@@ -1,0 +1,135 @@
+//! Criterion benchmarks for every pipeline stage and all four slicers.
+//!
+//! These back the paper's §6.1 timing claims: "the time and space to
+//! compute the thin slice or traditional slice with the
+//! context-insensitive algorithm was insignificant compared to the
+//! preliminary pointer analysis."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use thinslice::{cs_slice, slice_from, Analysis, SliceKind};
+use thinslice_ir::InstrKind;
+use thinslice_pta::{ModRef, Pta, PtaConfig};
+use thinslice_sdg::{build_cs, NodeId};
+use thinslice_suite::{generate, GeneratorConfig};
+
+fn seeds_of(a: &Analysis) -> Vec<NodeId> {
+    a.program
+        .all_stmts()
+        .filter(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
+        .flat_map(|s| a.sdg.stmt_nodes_of(s).to_vec())
+        .collect()
+}
+
+/// Pointer analysis + call graph construction per benchmark.
+fn bench_pointer_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pointer_analysis");
+    for name in ["nanoxml", "javac", "jack"] {
+        let b = thinslice_suite::benchmark_named(name).unwrap();
+        let program = thinslice_ir::compile(&b.sources).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |bench, p| {
+            bench.iter(|| Pta::analyze(black_box(p), PtaConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+/// SDG construction: direct heap edges vs heap parameters.
+fn bench_sdg_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdg_construction");
+    for name in ["nanoxml", "javac"] {
+        let b = thinslice_suite::benchmark_named(name).unwrap();
+        let program = thinslice_ir::compile(&b.sources).unwrap();
+        let pta = Pta::analyze(&program, PtaConfig::default());
+        group.bench_function(BenchmarkId::new("direct_edges", name), |bench| {
+            bench.iter(|| thinslice_sdg::build_ci(black_box(&program), black_box(&pta)));
+        });
+        let modref = ModRef::compute(&program, &pta);
+        group.bench_function(BenchmarkId::new("heap_params", name), |bench| {
+            bench.iter(|| build_cs(black_box(&program), black_box(&pta), black_box(&modref)));
+        });
+    }
+    group.finish();
+}
+
+/// The four slicers on the same seeds (one full sweep over all print
+/// statements per iteration).
+fn bench_slicers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicers");
+    for name in ["nanoxml", "javac"] {
+        let b = thinslice_suite::benchmark_named(name).unwrap();
+        let a = b.analyze(PtaConfig::default());
+        let seeds = seeds_of(&a);
+        group.bench_function(BenchmarkId::new("thin_ci", name), |bench| {
+            bench.iter(|| {
+                for &s in &seeds {
+                    black_box(slice_from(&a.sdg, &[s], SliceKind::Thin));
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("traditional_ci", name), |bench| {
+            bench.iter(|| {
+                for &s in &seeds {
+                    black_box(slice_from(&a.sdg, &[s], SliceKind::TraditionalData));
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("thin_cs_tabulation", name), |bench| {
+            bench.iter(|| {
+                for &s in &seeds {
+                    black_box(cs_slice(&a.sdg, &[s], SliceKind::Thin));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Whole-pipeline scaling on generated programs (compile → PTA → SDG →
+/// one thin slice).
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_scaling");
+    group.sample_size(10);
+    for factor in [1usize, 2, 4] {
+        let src = generate(&GeneratorConfig::scaled(factor));
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &src, |bench, src| {
+            bench.iter(|| {
+                let a = Analysis::build(&[("gen.mj", src)]).unwrap();
+                let seed = a
+                    .program
+                    .all_stmts()
+                    .find(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
+                    .unwrap();
+                black_box(a.thin_slice(&[seed]))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The inspection simulation itself (one Table 2 row, both slicers).
+fn bench_inspection(c: &mut Criterion) {
+    let b = thinslice_suite::benchmark_named("nanoxml").unwrap();
+    let a = b.analyze(PtaConfig::default());
+    let task = thinslice_suite::all_bug_tasks()
+        .into_iter()
+        .find(|t| t.id == "nanoxml-1")
+        .unwrap();
+    let resolved = task.resolve(&b, &a);
+    c.bench_function("inspection_simulation/nanoxml-1", |bench| {
+        bench.iter(|| {
+            black_box(a.inspect(black_box(&resolved), SliceKind::Thin));
+            black_box(a.inspect(black_box(&resolved), SliceKind::TraditionalData));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pointer_analysis,
+    bench_sdg_construction,
+    bench_slicers,
+    bench_scaling,
+    bench_inspection
+);
+criterion_main!(benches);

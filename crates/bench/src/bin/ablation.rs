@@ -1,0 +1,136 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Heap-context depth** — how deep container-in-container cloning
+//!    goes (`PtaConfig::max_heap_ctx_depth`): abstract-heap size vs
+//!    precision.
+//! 2. **Container set** — which classes are cloned per receiver: the full
+//!    stdlib set, `Vector`-only, or none (≈ `NoObjSens`).
+//! 3. **Cast filtering** — whether casts filter points-to sets;
+//!    quantifies what the filter buys in tough-cast counts and SDG size
+//!    (on these benchmarks the cast sources come straight from containers,
+//!    so the filter's effect is small — the table shows it honestly).
+//! 4. **Call-graph construction** — CHA vs Andersen on-the-fly: reachable
+//!    methods and per-site target counts.
+
+use thinslice_ir::{compile, InstrKind, Operand};
+use thinslice_pta::{cha::ChaCallGraph, ProgramStats, Pta, PtaConfig};
+
+fn tough_cast_count(program: &thinslice_ir::Program, pta: &Pta) -> usize {
+    program
+        .all_stmts()
+        .filter(|s| {
+            if let InstrKind::Cast { src: Operand::Var(v), ty, .. } = &program.instr(*s).kind {
+                ty.is_reference() && !pta.cast_is_verified(program, s.method, *v, ty)
+            } else {
+                false
+            }
+        })
+        .count()
+}
+
+fn main() {
+    let benchmarks = ["nanoxml", "javac", "jack"];
+
+    println!("Ablation 1: heap-context depth (benchmark: jack)");
+    println!("{:<8} {:>9} {:>9} {:>12}", "depth", "objects", "CG nodes", "tough casts");
+    let b = thinslice_suite::benchmark_named("jack").unwrap();
+    let program = compile(&b.sources).unwrap();
+    for depth in [1u32, 2, 3, 4, 5] {
+        let config = PtaConfig { max_heap_ctx_depth: depth, ..PtaConfig::default() };
+        let pta = Pta::analyze(&program, config);
+        let stats = ProgramStats::compute(&program, &pta);
+        println!(
+            "{:<8} {:>9} {:>9} {:>12}",
+            depth,
+            stats.abstract_objects,
+            stats.cg_nodes,
+            tough_cast_count(&program, &pta)
+        );
+    }
+
+    println!("\nAblation 2: container-class set");
+    println!("{:<10} {:<12} {:>9} {:>9} {:>12}", "benchmark", "containers", "objects", "CG nodes", "tough casts");
+    for name in benchmarks {
+        let b = thinslice_suite::benchmark_named(name).unwrap();
+        let program = compile(&b.sources).unwrap();
+        for (label, config) in [
+            ("full", PtaConfig::default()),
+            (
+                "vector",
+                PtaConfig {
+                    container_classes: vec!["Vector".into()],
+                    ..PtaConfig::default()
+                },
+            ),
+            ("none", PtaConfig::without_object_sensitivity()),
+        ] {
+            let pta = Pta::analyze(&program, config);
+            let stats = ProgramStats::compute(&program, &pta);
+            println!(
+                "{:<10} {:<12} {:>9} {:>9} {:>12}",
+                name,
+                label,
+                stats.abstract_objects,
+                stats.cg_nodes,
+                tough_cast_count(&program, &pta)
+            );
+        }
+    }
+
+    println!("\nAblation 3: cast filtering (tough casts and SDG edges per benchmark)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "tough(filt)", "tough(none)", "edges(filt)", "edges(none)"
+    );
+    for name in benchmarks {
+        let b = thinslice_suite::benchmark_named(name).unwrap();
+        let program = compile(&b.sources).unwrap();
+        let with = Pta::analyze(&program, PtaConfig::default());
+        let without =
+            Pta::analyze(&program, PtaConfig { cast_filtering: false, ..PtaConfig::default() });
+        let edges_with = thinslice_sdg::build_ci(&program, &with).edge_count();
+        let edges_without = thinslice_sdg::build_ci(&program, &without).edge_count();
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}",
+            name,
+            tough_cast_count(&program, &with),
+            tough_cast_count(&program, &without),
+            edges_with,
+            edges_without
+        );
+    }
+
+    println!("\nAblation 4: call-graph construction (CHA vs Andersen)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>14}",
+        "benchmark", "CHA methods", "Andersen mthds", "CHA targets", "Andersen tgts"
+    );
+    let gen_src = thinslice_suite::generate(&thinslice_suite::GeneratorConfig::default());
+    let mut cg_programs: Vec<(&str, thinslice_ir::Program)> = benchmarks
+        .iter()
+        .map(|name| {
+            let b = thinslice_suite::benchmark_named(name).unwrap();
+            (*name, compile(&b.sources).unwrap())
+        })
+        .collect();
+    cg_programs.push(("gen-x1", compile(&[("gen.mj", &gen_src)]).unwrap()));
+    for (name, program) in &cg_programs {
+        let program = program.clone();
+        let cha = ChaCallGraph::build(&program);
+        let pta = Pta::analyze(&program, PtaConfig::default());
+        let cha_targets: usize = cha.targets.values().map(Vec::len).sum();
+        let pta_targets: usize = program
+            .all_stmts()
+            .filter(|s| matches!(program.instr(*s).kind, InstrKind::Call { .. }))
+            .map(|s| pta.targets_of(s).len())
+            .sum();
+        println!(
+            "{:<10} {:>12} {:>14} {:>14} {:>14}",
+            name,
+            cha.reachable.len(),
+            pta.reachable_methods().len(),
+            cha_targets,
+            pta_targets
+        );
+    }
+}

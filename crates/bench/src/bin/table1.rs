@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 1: benchmark characteristics.
+
+fn main() {
+    let rows = thinslice_bench::table1_rows();
+    print!("{}", thinslice_bench::render_table1(&rows));
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Table 2: the debugging experiment.
+
+fn main() {
+    let tasks = thinslice_suite::all_bug_tasks();
+    let rows = thinslice_bench::run_tasks(&tasks);
+    print!(
+        "{}",
+        thinslice_bench::render_task_table(
+            "Table 2: Evaluation of thin slicing for debugging (13 sliceable bugs; \
+             5 xml-security bugs and 1 ant bug are unsliceable, as in the paper)",
+            &rows
+        )
+    );
+}

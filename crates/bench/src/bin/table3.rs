@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 3: understanding tough casts.
+
+fn main() {
+    let tasks = thinslice_suite::all_cast_tasks();
+    let rows = thinslice_bench::run_tasks(&tasks);
+    print!(
+        "{}",
+        thinslice_bench::render_task_table(
+            "Table 3: Evaluation of thin slicing for understanding tough casts",
+            &rows
+        )
+    );
+}

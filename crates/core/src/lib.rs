@@ -1,0 +1,305 @@
+#![warn(missing_docs)]
+
+//! # thinslice — Thin Slicing (PLDI 2007) for MJ
+//!
+//! This crate implements the paper's contribution: **thin slicing**, a
+//! backward slice containing only *producer* statements — the chain of
+//! assignments that computes and copies a value to the seed — excluding
+//! base-pointer manipulation and control flow, which become on-demand
+//! *explainers* ([`expand`]).
+//!
+//! The four slicers of the paper's §5 are here:
+//!
+//! | | context-insensitive | context-sensitive |
+//! |---|---|---|
+//! | thin | [`Analysis::thin_slice`] | [`tabulation::cs_slice`] + [`SliceKind::Thin`] |
+//! | traditional | [`Analysis::traditional_slice`] | [`tabulation::cs_slice`] + [`SliceKind::TraditionalData`] |
+//!
+//! plus the §6.1 evaluation harness ([`inspect`]) that simulates a tool
+//! user inspecting statements breadth-first from the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice::Analysis;
+//!
+//! // The paper's Figure 1 in miniature.
+//! let analysis = Analysis::build(&[(
+//!     "names.mj",
+//!     "class Main { static void main() {\n\
+//!         Vector names = new Vector();\n\
+//!         String first = \"John\";\n\
+//!         names.add(first);\n\
+//!         String got = (String) names.get(0);\n\
+//!         print(got);\n\
+//!     } }",
+//! )])?;
+//! let seed = analysis.seed_at_line("names.mj", 6).unwrap();
+//! let thin = analysis.thin_slice(&seed);
+//! let trad = analysis.traditional_slice(&seed);
+//! assert!(thin.len() < trad.len());
+//! # Ok::<(), thinslice_ir::CompileError>(())
+//! ```
+
+pub mod expand;
+pub mod inspect;
+pub mod report;
+pub mod slice;
+pub mod tabulation;
+
+pub use expand::{explain_aliasing, exposed_control_deps, heap_flow_pairs, AliasExplanation};
+pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
+pub use slice::{slice_from, Slice, SliceKind};
+pub use tabulation::{cs_slice, CsSlice};
+
+use thinslice_ir::{compile, CompileError, Program, StmtRef};
+use thinslice_pta::{ModRef, Pta, PtaConfig};
+use thinslice_sdg::{build_ci, build_cs, NodeId, Sdg};
+
+/// A compiled program plus the analyses slicing needs: points-to results,
+/// call graph and the context-insensitive dependence graph.
+///
+/// This is the façade most users want; the underlying pieces remain
+/// accessible for custom pipelines.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The compiled program.
+    pub program: Program,
+    /// Points-to and call-graph results.
+    pub pta: Pta,
+    /// The context-insensitive dependence graph (direct heap edges).
+    pub sdg: Sdg,
+}
+
+impl Analysis {
+    /// Compiles `sources` (with the standard library) and runs the default
+    /// analysis pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn build(sources: &[(&str, &str)]) -> Result<Analysis, CompileError> {
+        Self::with_config(sources, PtaConfig::default())
+    }
+
+    /// Like [`Analysis::build`] with an explicit pointer-analysis
+    /// configuration (e.g. [`PtaConfig::without_object_sensitivity`] for
+    /// the paper's `NoObjSens` runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn with_config(
+        sources: &[(&str, &str)],
+        config: PtaConfig,
+    ) -> Result<Analysis, CompileError> {
+        let program = compile(sources)?;
+        Ok(Self::from_program(program, config))
+    }
+
+    /// Runs the analysis pipeline on an already-compiled program.
+    pub fn from_program(program: Program, config: PtaConfig) -> Analysis {
+        let pta = Pta::analyze(&program, config);
+        let sdg = build_ci(&program, &pta);
+        Analysis { program, pta, sdg }
+    }
+
+    /// Builds the context-sensitive (heap-parameter) dependence graph.
+    /// Expensive on large programs — that is the paper's point.
+    pub fn build_cs_sdg(&self) -> Sdg {
+        let modref = ModRef::compute(&self.program, &self.pta);
+        build_cs(&self.program, &self.pta, &modref)
+    }
+
+    /// All IR statements on `line` of the source file named `file`
+    /// (excluding synthetic code), usable as a seed or desired set.
+    pub fn stmts_at_line(&self, file: &str, line: u32) -> Vec<StmtRef> {
+        self.program
+            .all_stmts()
+            .filter(|s| {
+                let span = self.program.instr(*s).span;
+                !span.is_synthetic()
+                    && span.line == line
+                    && self.program.files[span.file].name == file
+            })
+            .collect()
+    }
+
+    /// The seed statements for slicing "from `file:line`" — all reachable
+    /// statements on that line. Returns `None` when the line has no
+    /// reachable statement.
+    pub fn seed_at_line(&self, file: &str, line: u32) -> Option<Vec<StmtRef>> {
+        let stmts: Vec<StmtRef> = self
+            .stmts_at_line(file, line)
+            .into_iter()
+            .filter(|s| self.sdg.stmt_node(*s).is_some())
+            .collect();
+        if stmts.is_empty() {
+            None
+        } else {
+            Some(stmts)
+        }
+    }
+
+    fn nodes_of(&self, seeds: &[StmtRef]) -> Vec<NodeId> {
+        seeds.iter().flat_map(|&s| self.sdg.stmt_nodes_of(s).to_vec()).collect()
+    }
+
+    /// The thin slice from `seeds`: producer statements only.
+    pub fn thin_slice(&self, seeds: &[StmtRef]) -> Slice {
+        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::Thin)
+    }
+
+    /// The traditional data slice from `seeds` (all flow dependences,
+    /// control handled out of band as in the paper's evaluation).
+    pub fn traditional_slice(&self, seeds: &[StmtRef]) -> Slice {
+        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::TraditionalData)
+    }
+
+    /// The full Weiser-style slice from `seeds` (including control).
+    pub fn full_slice(&self, seeds: &[StmtRef]) -> Slice {
+        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::TraditionalFull)
+    }
+
+    /// Runs the §6.1 breadth-first inspection simulation.
+    pub fn inspect(&self, task: &InspectTask, kind: SliceKind) -> InspectionResult {
+        simulate_inspection(&self.program, &self.sdg, task, kind)
+    }
+
+    /// Explains the aliasing between two heap accesses in a thin slice
+    /// (paper §4.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`expand::explain_aliasing`].
+    pub fn explain_aliasing(
+        &self,
+        load: StmtRef,
+        store: StmtRef,
+    ) -> Result<AliasExplanation, expand::ExpandError> {
+        explain_aliasing(&self.program, &self.pta, &self.sdg, load, store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1, transliterated to MJ (the stdlib provides the
+    /// Vector; readNames/printNames/main as in the paper).
+    const FIGURE1: &str = r#"class Names {
+    static Vector readNames(InputStream input) {
+        Vector firstNames = new Vector();
+        while (!input.eof()) {
+            String fullName = input.readLine();
+            int spaceInd = fullName.indexOf(" ");
+            String firstName = fullName.substring(0, spaceInd - 1);
+            firstNames.add(firstName);
+        }
+        return firstNames;
+    }
+    static void printNames(Vector firstNames) {
+        for (int i = 0; i < firstNames.size(); i++) {
+            String firstName = (String) firstNames.get(i);
+            print("FIRST NAME: " + firstName);
+        }
+    }
+}
+class SessionState {
+    Vector names;
+    void setNames(Vector v) { this.names = v; }
+    Vector getNames() { return this.names; }
+}
+class Main {
+    static SessionState state;
+    static SessionState getState() {
+        if (Main.state == null) { Main.state = new SessionState(); }
+        return Main.state;
+    }
+    static void main() {
+        Vector firstNames = Names.readNames(new InputStream("input"));
+        SessionState s = Main.getState();
+        s.setNames(firstNames);
+        SessionState t = Main.getState();
+        Names.printNames(t.getNames());
+    }
+}"#;
+
+    #[test]
+    fn figure1_thin_slice_matches_the_paper() {
+        let a = Analysis::build(&[("fig1.mj", FIGURE1)]).unwrap();
+        // Seed: the print at line 15 of fig1.mj.
+        let seed = a.seed_at_line("fig1.mj", 15).expect("print line is reachable");
+        let thin = a.thin_slice(&seed);
+        let trad = a.traditional_slice(&seed);
+
+        let lines_of = |s: &Slice| -> Vec<u32> {
+            let mut ls: Vec<u32> = s
+                .stmts_in_bfs_order
+                .iter()
+                .map(|&st| a.program.instr(st).span)
+                .filter(|sp| !sp.is_synthetic() && a.program.files[sp.file].name == "fig1.mj")
+                .map(|sp| sp.line)
+                .collect();
+            ls.sort_unstable();
+            ls.dedup();
+            ls
+        };
+        let thin_lines = lines_of(&thin);
+        let trad_lines = lines_of(&trad);
+
+        // The paper's six underlined statements map to these fig1.mj lines:
+        //  7  (substring — the buggy producer)
+        //  8  (firstNames.add(firstName))
+        // 14  (firstNames.get(i))
+        // 15  (the print itself)
+        for expected in [7u32, 8, 14, 15] {
+            assert!(
+                thin_lines.contains(&expected),
+                "thin slice must contain fig1.mj:{expected}; got {thin_lines:?}"
+            );
+        }
+        // Explainers excluded from the thin slice but present in the
+        // traditional slice: the container construction (line 3) and the
+        // SessionState plumbing (lines 21-22).
+        for excluded in [3u32, 21, 22] {
+            assert!(
+                !thin_lines.contains(&excluded),
+                "thin slice must NOT contain fig1.mj:{excluded}; got {thin_lines:?}"
+            );
+            assert!(
+                trad_lines.contains(&excluded),
+                "traditional slice must contain fig1.mj:{excluded}; got {trad_lines:?}"
+            );
+        }
+        assert!(thin_lines.len() < trad_lines.len());
+    }
+
+    #[test]
+    fn seed_at_line_misses_unreachable_code() {
+        let a = Analysis::build(&[(
+            "t.mj",
+            "class Dead { void never() {\nprint(1);\n} }\nclass Main { static void main() { print(2); } }",
+        )])
+        .unwrap();
+        assert!(a.seed_at_line("t.mj", 2).is_none(), "never() is unreachable");
+        assert!(a.seed_at_line("t.mj", 4).is_some());
+    }
+
+    #[test]
+    fn inspection_favors_thin_slicing_on_figure1() {
+        let a = Analysis::build(&[("fig1.mj", FIGURE1)]).unwrap();
+        let seed = a.seed_at_line("fig1.mj", 15).unwrap();
+        let buggy = a.stmts_at_line("fig1.mj", 7); // the substring line
+        let task = InspectTask { seeds: seed, desired: vec![buggy] };
+        let thin = a.inspect(&task, SliceKind::Thin);
+        let trad = a.inspect(&task, SliceKind::TraditionalData);
+        assert!(thin.found_all && trad.found_all);
+        assert!(
+            thin.inspected < trad.inspected,
+            "thin={} trad={}",
+            thin.inspected,
+            trad.inspected
+        );
+    }
+}

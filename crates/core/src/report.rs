@@ -1,0 +1,84 @@
+//! Human-readable slice reports.
+
+use crate::inspect::InspectionResult;
+use crate::slice::Slice;
+use std::collections::BTreeSet;
+use thinslice_ir::{pretty, Program, StmtRef};
+
+/// Renders a slice as source lines, deduplicated and in inspection (BFS)
+/// order. Synthetic statements (compiler-generated) are skipped.
+pub fn slice_lines(program: &Program, slice: &Slice) -> Vec<String> {
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for &s in &slice.stmts_in_bfs_order {
+        let span = program.instr(s).span;
+        if span.is_synthetic() {
+            continue;
+        }
+        if seen.insert((span.file.raw(), span.line)) {
+            out.push(render_line(program, s));
+        }
+    }
+    out
+}
+
+fn render_line(program: &Program, s: StmtRef) -> String {
+    let span = program.instr(s).span;
+    let file = &program.files[span.file];
+    let text = file.line(span.line).map(str::trim).unwrap_or("<unknown>");
+    format!("{}:{}: {}", file.name, span.line, text)
+}
+
+/// Renders a slice at IR granularity (one line per IR statement), useful
+/// for debugging the analyses themselves.
+pub fn slice_instrs(program: &Program, slice: &Slice) -> Vec<String> {
+    slice
+        .stmts_in_bfs_order
+        .iter()
+        .map(|&s| pretty::stmt_str(program, s))
+        .collect()
+}
+
+/// Renders an inspection transcript: the lines a simulated user reads, in
+/// order, with a footer summarising the effort.
+pub fn inspection_report(result: &InspectionResult) -> String {
+    let mut out = String::new();
+    for (i, (file, line)) in result.order.iter().enumerate() {
+        out.push_str(&format!("{:>4}. {}:{}\n", i + 1, file, line));
+    }
+    out.push_str(&format!(
+        "-- inspected {} line(s); {}; full slice = {} line(s)\n",
+        result.inspected,
+        if result.found_all { "all desired statements found" } else { "NOT all desired statements found" },
+        result.full_slice_lines,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{slice_from, SliceKind};
+    use thinslice_ir::{compile, InstrKind};
+    use thinslice_pta::{Pta, PtaConfig};
+    use thinslice_sdg::build_ci;
+
+    #[test]
+    fn report_renders_source_lines_once() {
+        let src = "class Main { static void main() {\nint x = 1;\nint y = x + x;\nprint(y);\n} }";
+        let p = compile(&[("demo.mj", src)]).unwrap();
+        let pta = Pta::analyze(&p, PtaConfig::default());
+        let sdg = build_ci(&p, &pta);
+        let seed_stmt = p
+            .all_stmts()
+            .find(|s| matches!(p.instr(*s).kind, InstrKind::Print { .. }))
+            .unwrap();
+        let slice = slice_from(&sdg, &[sdg.stmt_node(seed_stmt).unwrap()], SliceKind::Thin);
+        let lines = slice_lines(&p, &slice);
+        assert_eq!(lines.len(), 3, "three distinct source lines: {lines:?}");
+        assert!(lines[0].contains("print(y);"));
+        assert!(lines.iter().any(|l| l.contains("int x = 1;")));
+        let instrs = slice_instrs(&p, &slice);
+        assert!(instrs.len() >= lines.len());
+    }
+}

@@ -1,0 +1,251 @@
+//! Context-insensitive slicing as graph reachability (paper §5.2).
+
+use std::collections::HashSet;
+use thinslice_ir::StmtRef;
+use thinslice_sdg::{NodeId, Sdg};
+use thinslice_util::Worklist;
+
+/// Which dependence relation a slice follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SliceKind {
+    /// Producer flow dependences only: no base-pointer/array-index flow, no
+    /// control dependence. The paper's contribution (§2–3).
+    Thin,
+    /// All flow dependences (including base pointers) but no control
+    /// dependence — the "traditional data slicer" configuration the paper
+    /// evaluates against (§6.1 handles control dependence out of band).
+    TraditionalData,
+    /// Everything, including control and interprocedural control (Call)
+    /// edges: Weiser-style full relevance.
+    TraditionalFull,
+}
+
+impl SliceKind {
+    /// Whether this slice follows `kind`-labelled edges.
+    pub fn follows(&self, kind: &thinslice_sdg::EdgeKind) -> bool {
+        match self {
+            SliceKind::Thin => kind.in_thin_slice(),
+            SliceKind::TraditionalData => kind.in_data_slice(),
+            SliceKind::TraditionalFull => kind.in_traditional_slice(),
+        }
+    }
+}
+
+/// The result of a context-insensitive backward slice.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// The dependence relation used.
+    pub kind: SliceKind,
+    /// All visited nodes (statements and connective nodes).
+    pub nodes: HashSet<NodeId>,
+    /// Statements in the slice, in BFS (distance) order from the seed.
+    pub stmts_in_bfs_order: Vec<StmtRef>,
+}
+
+impl Slice {
+    /// Statements in the slice as a set.
+    pub fn stmt_set(&self) -> HashSet<StmtRef> {
+        self.stmts_in_bfs_order.iter().copied().collect()
+    }
+
+    /// Whether the slice contains `stmt`.
+    pub fn contains(&self, stmt: StmtRef) -> bool {
+        self.stmts_in_bfs_order.contains(&stmt)
+    }
+
+    /// Number of statements in the slice.
+    pub fn len(&self) -> usize {
+        self.stmts_in_bfs_order.len()
+    }
+
+    /// Whether the slice is empty (possible only for unreachable seeds).
+    pub fn is_empty(&self) -> bool {
+        self.stmts_in_bfs_order.is_empty()
+    }
+}
+
+/// Computes a backward slice from `seeds` by BFS over the edges `kind`
+/// follows. Seeds at distance 0; ties broken by discovery order.
+pub fn slice_from(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut stmts = Vec::new();
+    let mut stmt_set: HashSet<StmtRef> = HashSet::new();
+    let mut frontier: Worklist<NodeId> = Worklist::new();
+    for &s in seeds {
+        frontier.push(s);
+    }
+    while let Some(n) = frontier.pop() {
+        if !visited.insert(n) {
+            continue;
+        }
+        if let Some(stmt) = sdg.display_stmt(n) {
+            if stmt_set.insert(stmt) {
+                stmts.push(stmt);
+            }
+        }
+        for e in sdg.deps(n) {
+            if kind.follows(&e.kind) && !visited.contains(&e.target) {
+                frontier.push(e.target);
+            }
+        }
+    }
+    Slice { kind, nodes: visited, stmts_in_bfs_order: stmts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::{compile, InstrKind};
+    use thinslice_pta::{Pta, PtaConfig};
+    use thinslice_sdg::build_ci;
+
+    fn setup(src: &str) -> (thinslice_ir::Program, Sdg) {
+        let p = compile(&[("t.mj", src)]).unwrap();
+        let pta = Pta::analyze(&p, PtaConfig::default());
+        let sdg = build_ci(&p, &pta);
+        (p, sdg)
+    }
+
+    fn print_seed(p: &thinslice_ir::Program, sdg: &Sdg) -> NodeId {
+        let s = p
+            .all_stmts()
+            .find(|s| {
+                s.method == p.main_method && matches!(p.instr(*s).kind, InstrKind::Print { .. })
+            })
+            .unwrap();
+        sdg.stmt_node(s).unwrap()
+    }
+
+    #[test]
+    fn thin_slice_excludes_container_internals() {
+        // The paper's Figure 1 in miniature: the thin slice from the print
+        // includes the stored value's chain but not the Vector's
+        // constructor internals.
+        let (p, sdg) = setup(
+            "class Main { static void main() {
+                Vector names = new Vector();
+                String first = \"John\";
+                names.add(first);
+                String got = (String) names.get(0);
+                print(got);
+            } }",
+        );
+        let seed = print_seed(&p, &sdg);
+        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let trad = slice_from(&sdg, &[seed], SliceKind::TraditionalData);
+
+        // The string literal (producer) is in both slices.
+        let lit = p
+            .all_stmts()
+            .find(|s| matches!(&p.instr(*s).kind, InstrKind::StrConst { value, .. } if value == "John"))
+            .unwrap();
+        assert!(thin.contains(lit), "thin slice must trace the value to its literal");
+        assert!(trad.contains(lit));
+
+        // The Vector constructor's array allocation is an explainer: only
+        // the traditional slice contains it.
+        let vector = p.class_named("Vector").unwrap();
+        let ctor = p.ctor_of(vector).unwrap();
+        let ctor_alloc = p
+            .all_stmts()
+            .find(|s| s.method == ctor && matches!(p.instr(*s).kind, InstrKind::NewArray { .. }))
+            .unwrap();
+        assert!(
+            !thin.contains(ctor_alloc),
+            "thin slice must not contain the Vector's backing-array allocation"
+        );
+        assert!(
+            trad.contains(ctor_alloc),
+            "the traditional slice reaches the allocation through base pointers"
+        );
+        assert!(thin.len() < trad.len());
+    }
+
+    #[test]
+    fn thin_slice_traces_through_heap() {
+        let (p, sdg) = setup(
+            "class Box { Object item; }
+             class Main { static void main() {
+                Box b = new Box();
+                b.item = new Main();
+                Object got = b.item;
+                print(got);
+            } }",
+        );
+        let seed = print_seed(&p, &sdg);
+        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let alloc = p
+            .all_stmts()
+            .find(|s| {
+                matches!(&p.instr(*s).kind, InstrKind::New { class, .. }
+                    if *class == p.class_named("Main").unwrap())
+            })
+            .unwrap();
+        assert!(thin.contains(alloc), "value flows store→load→print");
+        // But the Box allocation (base pointer) is not a producer.
+        let box_alloc = p
+            .all_stmts()
+            .find(|s| {
+                matches!(&p.instr(*s).kind, InstrKind::New { class, .. }
+                    if *class == p.class_named("Box").unwrap())
+            })
+            .unwrap();
+        assert!(!thin.contains(box_alloc));
+    }
+
+    #[test]
+    fn full_slice_includes_control() {
+        let (p, sdg) = setup(
+            "class Main { static void main() {
+                int x = 7;
+                if (x > 3) { print(1); }
+            } }",
+        );
+        let seed = print_seed(&p, &sdg);
+        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let full = slice_from(&sdg, &[seed], SliceKind::TraditionalFull);
+        let if_stmt = p
+            .all_stmts()
+            .find(|s| {
+                s.method == p.main_method && matches!(p.instr(*s).kind, InstrKind::If { .. })
+            })
+            .unwrap();
+        assert!(!thin.contains(if_stmt), "thin slices exclude control dependence");
+        assert!(full.contains(if_stmt));
+        // The full slice pulls the condition's data deps too.
+        assert!(full.len() > thin.len());
+    }
+
+    #[test]
+    fn seed_is_in_its_own_slice() {
+        let (p, sdg) = setup("class Main { static void main() { print(1); } }");
+        let seed = print_seed(&p, &sdg);
+        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        assert_eq!(thin.stmts_in_bfs_order.first().copied(), sdg.node(seed).as_stmt());
+    }
+
+    #[test]
+    fn bfs_order_is_distance_sorted() {
+        let (p, sdg) = setup(
+            "class Main { static void main() {
+                int a = 1;
+                int b = a + 1;
+                int c = b + 1;
+                print(c);
+            } }",
+        );
+        let seed = print_seed(&p, &sdg);
+        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        // Seed first; then c's def, then b's, then a's chain.
+        let order = &thin.stmts_in_bfs_order;
+        let pos = |pred: &dyn Fn(&InstrKind) -> bool| {
+            order.iter().position(|s| pred(&p.instr(*s).kind)).unwrap()
+        };
+        let print_pos = pos(&|k| matches!(k, InstrKind::Print { .. }));
+        let c_pos = pos(&|k| {
+            matches!(k, InstrKind::Binary { lhs, .. }
+                if matches!(lhs, thinslice_ir::Operand::Var(_)))
+        });
+        assert!(print_pos < c_pos);
+    }
+}

@@ -1,0 +1,333 @@
+//! Context-sensitive backward slicing via demand-driven tabulation.
+//!
+//! Implements the paper's §5.3 algorithm: "context-sensitive reachability
+//! as a partially balanced parentheses problem … a backwards, demand-driven
+//! tabulation algorithm" (citing Reps–Horwitz–Sagiv). Descending into a
+//! callee (through a return value or heap actual-out) opens a parenthesis
+//! at the call site; ascending back to a caller must close it at the same
+//! site. Procedure *summary edges* (call-site consumer → call-site actual)
+//! are computed lazily as entry nodes are reached from exits.
+
+use crate::slice::SliceKind;
+use std::collections::{HashMap, HashSet, VecDeque};
+use thinslice_ir::StmtRef;
+use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
+
+/// Result of a context-sensitive slice: the visited node set.
+#[derive(Debug, Clone)]
+pub struct CsSlice {
+    /// All nodes in the slice.
+    pub nodes: HashSet<NodeId>,
+    /// The statements in the slice.
+    pub stmts: HashSet<StmtRef>,
+}
+
+impl CsSlice {
+    /// Number of statements in the slice.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether no statements are in the slice.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Whether the slice contains `stmt`.
+    pub fn contains(&self, stmt: StmtRef) -> bool {
+        self.stmts.contains(&stmt)
+    }
+}
+
+/// The source of a tabulation path edge: either the seed region (ascending
+/// allowed) or a callee exit being summarised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Src {
+    Seed,
+    Exit(NodeId),
+}
+
+/// How an edge moves between procedures when followed backwards.
+enum Step {
+    Local,
+    /// Callee → caller (formal → actual, entry → call site) at a site.
+    Up(NodeId),
+    /// Caller → callee exit (call result → ret-merge, actual-out →
+    /// formal-out) at a site.
+    Down(NodeId),
+}
+
+fn classify(kind: &EdgeKind, sdg: &Sdg, target: NodeId) -> Step {
+    match kind {
+        EdgeKind::ParamIn { site } => Step::Up(*site),
+        EdgeKind::ParamOut { site } => Step::Down(*site),
+        EdgeKind::Call => {
+            // entry(callee) → call stmt: the target *is* the call site.
+            match sdg.node(target) {
+                NodeKind::Stmt(..) => Step::Up(target),
+                _ => Step::Local,
+            }
+        }
+        _ => Step::Local,
+    }
+}
+
+/// Computes a context-sensitive backward slice from `seeds`.
+///
+/// Intended for graphs whose *every* cross-procedure edge is a labelled
+/// parameter/call edge — i.e. the heap-parameter mode of
+/// [`thinslice_sdg::build_cs`] (or call-free regions of any graph). On the
+/// direct-heap-edge graph, store→load edges cross procedures without call
+/// labels, so summarisation cannot continue past them and heap-borne flow
+/// is truncated; the paper likewise only pairs tabulation with heap
+/// parameters (§5.3).
+pub fn cs_slice(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
+    // Down-edge index: (site, exit node) → caller-side consumers, built
+    // lazily is awkward; scan all edges once instead.
+    let mut down_consumers: HashMap<(NodeId, NodeId), Vec<NodeId>> = HashMap::new();
+    for (n, _) in sdg.nodes() {
+        for e in sdg.deps(n) {
+            if let EdgeKind::ParamOut { site } = e.kind {
+                down_consumers.entry((site, e.target)).or_default().push(n);
+            }
+        }
+    }
+
+    // path[n] = set of sources with a path edge to n.
+    let mut path: HashMap<NodeId, HashSet<Src>> = HashMap::new();
+    // Summary edges discovered so far: consumer node → continuations.
+    let mut summaries: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    // Nodes that descended, so new summaries can extend them:
+    // consumer node → sources present when the summary is found.
+    let mut wl: VecDeque<(Src, NodeId)> = VecDeque::new();
+
+    let add = |path: &mut HashMap<NodeId, HashSet<Src>>,
+                   wl: &mut VecDeque<(Src, NodeId)>,
+                   src: Src,
+                   n: NodeId| {
+        if path.entry(n).or_default().insert(src) {
+            wl.push_back((src, n));
+        }
+    };
+
+    for &s in seeds {
+        add(&mut path, &mut wl, Src::Seed, s);
+    }
+
+    while let Some((src, n)) = wl.pop_front() {
+        for e in sdg.deps(n).to_vec() {
+            if !kind.follows(&e.kind) {
+                continue;
+            }
+            match classify(&e.kind, sdg, e.target) {
+                Step::Local => add(&mut path, &mut wl, src, e.target),
+                Step::Up(site) => {
+                    match src {
+                        // Phase 1: unbalanced ascents are allowed from the
+                        // seed region.
+                        Src::Seed => add(&mut path, &mut wl, Src::Seed, e.target),
+                        // Summarising a callee: reaching an entry node and
+                        // ascending to site `c` completes a summary for
+                        // every consumer that descended into `exit` at `c`.
+                        Src::Exit(exit) => {
+                            let actual = e.target;
+                            if let Some(consumers) = down_consumers.get(&(site, exit)) {
+                                for &consumer in consumers.clone().iter() {
+                                    let is_new = !summaries
+                                        .get(&consumer)
+                                        .is_some_and(|v| v.contains(&actual));
+                                    if is_new {
+                                        summaries.entry(consumer).or_default().push(actual);
+                                        // Extend everyone who already
+                                        // reached the consumer.
+                                        if let Some(srcs) = path.get(&consumer).cloned() {
+                                            for s2 in srcs {
+                                                add(&mut path, &mut wl, s2, actual);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::Down(_site) => {
+                    let exit = e.target;
+                    // Start (or reuse) the callee's tabulation.
+                    add(&mut path, &mut wl, Src::Exit(exit), exit);
+                    // Apply already-known summaries for this consumer.
+                    if let Some(conts) = summaries.get(&n).cloned() {
+                        for c in conts {
+                            add(&mut path, &mut wl, src, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let nodes: HashSet<NodeId> = path.keys().copied().collect();
+    let stmts = nodes.iter().filter_map(|&n| sdg.display_stmt(n)).collect();
+    CsSlice { nodes, stmts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{slice_from, SliceKind};
+    use thinslice_ir::{compile, InstrKind, Program};
+    use thinslice_pta::{ModRef, Pta, PtaConfig};
+    use thinslice_sdg::{build_ci, build_cs};
+
+    fn setup(src: &str) -> (Program, Sdg, Sdg) {
+        let p = compile(&[("t.mj", src)]).unwrap();
+        let pta = Pta::analyze(&p, PtaConfig::default());
+        let ci = build_ci(&p, &pta);
+        let modref = ModRef::compute(&p, &pta);
+        let cs = build_cs(&p, &pta, &modref);
+        (p, ci, cs)
+    }
+
+    /// Finds the statement that materialises integer constant `n` (either a
+    /// `Const` instruction or a `Move` with an inline constant operand).
+    fn find_const_def(p: &Program, n: i64) -> thinslice_ir::StmtRef {
+        use thinslice_ir::{Const, Operand};
+        p.all_stmts()
+            .find(|s| match &p.instr(*s).kind {
+                InstrKind::Const { value: Const::Int(v), .. } => *v == n,
+                InstrKind::Move { src: Operand::Const(Const::Int(v)), .. } => *v == n,
+                _ => false,
+            })
+            .unwrap_or_else(|| panic!("no def of constant {n}"))
+    }
+
+    fn print_seed(p: &Program, sdg: &Sdg, which: i64) -> NodeId {
+        let s = p
+            .all_stmts()
+            .find(|s| {
+                s.method == p.main_method
+                    && match &p.instr(*s).kind {
+                        InstrKind::Print { value } => {
+                            // identify by printed constant when available
+                            matches!(value, thinslice_ir::Operand::Var(_)) && which < 0
+                                || matches!(
+                                    value,
+                                    thinslice_ir::Operand::Const(thinslice_ir::Const::Int(n)) if *n == which
+                                )
+                        }
+                        _ => false,
+                    }
+            })
+            .unwrap();
+        sdg.stmt_node(s).unwrap()
+    }
+
+    /// The unrealizable-path litmus test: two calls to an identity
+    /// function; context-insensitive slicing smears the arguments, the
+    /// tabulation keeps them apart.
+    const TWO_CALLS: &str = "class Id { int id(int x) { return x; } }
+        class Main { static void main() {
+            Id f = new Id();
+            int a = 111;
+            int b = 222;
+            int ra = f.id(a);
+            int rb = f.id(b);
+            print(ra);
+        } }";
+
+    #[test]
+    fn tabulation_avoids_unrealizable_paths() {
+        let (p, ci, _) = setup(TWO_CALLS);
+        let seed = print_seed(&p, &ci, -1);
+        let ci_slice = slice_from(&ci, &[seed], SliceKind::Thin);
+        let cs = cs_slice(&ci, &[seed], SliceKind::Thin);
+
+        let a_def = find_const_def(&p, 111);
+        let b_def = find_const_def(&p, 222);
+
+        assert!(ci_slice.contains(a_def));
+        assert!(
+            ci_slice.contains(b_def),
+            "context-insensitive slicing includes the unrealizable path through id"
+        );
+        assert!(cs.contains(a_def));
+        assert!(
+            !cs.contains(b_def),
+            "tabulation must keep the two call sites apart"
+        );
+    }
+
+    #[test]
+    fn cs_slice_is_subset_of_ci_slice() {
+        let (p, ci, _) = setup(TWO_CALLS);
+        let seed = print_seed(&p, &ci, -1);
+        let ci_slice = slice_from(&ci, &[seed], SliceKind::Thin);
+        let cs = cs_slice(&ci, &[seed], SliceKind::Thin);
+        assert!(cs.stmts.is_subset(&ci_slice.stmt_set()));
+    }
+
+    #[test]
+    fn heap_params_carry_value_flow() {
+        // The CS graph routes heap flow through formals/actuals; the value
+        // must still be reachable end to end.
+        let (p, _, cs_graph) = setup(
+            "class Box { Object item;
+                void fill(Object o) { this.item = o; }
+                Object take() { return this.item; }
+             }
+             class Main { static void main() {
+                Box b = new Box();
+                Main m = new Main();
+                b.fill(m);
+                Object got = b.take();
+                print(1);
+             } }",
+        );
+        // Seed at the load inside take … easier: seed at `got`'s def (the
+        // call) and expect the Main allocation in the slice.
+        let call = p
+            .all_stmts()
+            .find(|s| {
+                s.method == p.main_method
+                    && matches!(&p.instr(*s).kind, InstrKind::Call { callee, .. }
+                        if p.methods[*callee].name == "take")
+            })
+            .unwrap();
+        let seed = cs_graph.stmt_node(call).unwrap();
+        let slice = cs_slice(&cs_graph, &[seed], SliceKind::Thin);
+        let alloc = p
+            .all_stmts()
+            .find(|s| {
+                matches!(&p.instr(*s).kind, InstrKind::New { class, .. }
+                    if *class == p.class_named("Main").unwrap())
+            })
+            .unwrap();
+        assert!(
+            slice.contains(alloc),
+            "value must flow store→formal-out→actual-out→load across calls"
+        );
+    }
+
+    #[test]
+    fn summaries_are_reused_across_call_sites() {
+        // Both calls to `wrap` need the same summary; the second should
+        // reuse it and still give correct per-site flow.
+        let (p, ci, _) = setup(
+            "class W { int wrap(int x) { int y = x; return y; } }
+             class Main { static void main() {
+                W w = new W();
+                int a5 = 5;
+                int b6 = 6;
+                int p1 = w.wrap(a5);
+                int p2 = w.wrap(b6);
+                print(p2);
+             } }",
+        );
+        let seed = print_seed(&p, &ci, -1);
+        let cs = cs_slice(&ci, &[seed], SliceKind::Thin);
+        let five = find_const_def(&p, 5);
+        let six = find_const_def(&p, 6);
+        assert!(cs.contains(six));
+        assert!(!cs.contains(five));
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamic slicing over recorded execution traces.
+//!
+//! The paper (§1) notes "dynamic thin slices can be defined in a
+//! straightforward manner using dynamic data dependences", and its related
+//! work (§7) conjectures that the data dependences a thin slicer considers
+//! would often suffice for fault localisation. This module provides both
+//! dynamic slicers: thin (producer dependences only) and full data
+//! (including base-pointer/index dependences).
+
+use crate::machine::{EventId, Execution};
+use std::collections::HashSet;
+use thinslice_ir::StmtRef;
+
+/// A dynamic slice: the subset of trace events reachable from the seed.
+#[derive(Debug, Clone)]
+pub struct DynamicSlice {
+    /// Events in the slice.
+    pub events: HashSet<EventId>,
+    /// The distinct statements those events executed.
+    pub stmts: HashSet<StmtRef>,
+}
+
+impl DynamicSlice {
+    /// Whether the slice contains any instance of `stmt`.
+    pub fn contains_stmt(&self, stmt: StmtRef) -> bool {
+        self.stmts.contains(&stmt)
+    }
+
+    /// Number of distinct statements.
+    pub fn stmt_count(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+fn backward(exec: &Execution, seed: EventId, follow_excluded: bool) -> DynamicSlice {
+    let mut events: HashSet<EventId> = HashSet::new();
+    let mut frontier = vec![seed];
+    while let Some(e) = frontier.pop() {
+        if !events.insert(e) {
+            continue;
+        }
+        for &(dep, excluded) in &exec.events[e].deps {
+            if (!excluded || follow_excluded) && !events.contains(&dep) {
+                frontier.push(dep);
+            }
+        }
+    }
+    let stmts = events.iter().map(|&e| exec.events[e].stmt).collect();
+    DynamicSlice { events, stmts }
+}
+
+/// The dynamic *thin* slice from `seed`: backward closure over producer
+/// dependences only.
+pub fn dynamic_thin_slice(exec: &Execution, seed: EventId) -> DynamicSlice {
+    backward(exec, seed, false)
+}
+
+/// The dynamic data slice from `seed`: backward closure over all dynamic
+/// data dependences, including base-pointer and array-index uses.
+pub fn dynamic_data_slice(exec: &Execution, seed: EventId) -> DynamicSlice {
+    backward(exec, seed, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run, ExecConfig};
+    use thinslice_ir::{compile, InstrKind, Program};
+
+    fn exec(src: &str, config: ExecConfig) -> (Program, Execution) {
+        let p = compile(&[("t.mj", src)]).unwrap();
+        let e = run(&p, &config);
+        (p, e)
+    }
+
+    fn print_event(p: &Program, e: &Execution) -> EventId {
+        (0..e.events.len())
+            .rev()
+            .map(EventId::new)
+            .find(|&id| matches!(p.instr(e.events[id].stmt).kind, InstrKind::Print { .. }))
+            .expect("a print executed")
+    }
+
+    #[test]
+    fn executes_and_prints() {
+        let (_, e) = exec(
+            "class Main { static void main() { int x = 40; print(x + 2); } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.outcome, crate::machine::Outcome::Finished);
+        assert_eq!(e.prints.len(), 1);
+        assert_eq!(e.prints[0].1, "42");
+    }
+
+    #[test]
+    fn vector_roundtrip_executes() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                Vector v = new Vector();
+                v.add(\"hello\");
+                print((String) v.get(0));
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.outcome, crate::machine::Outcome::Finished);
+        assert_eq!(e.prints[0].1, "hello");
+    }
+
+    #[test]
+    fn dynamic_thin_slice_excludes_container_construction() {
+        let (p, e) = exec(
+            "class Main { static void main() {
+                Vector v = new Vector();
+                String s = \"payload\";
+                v.add(s);
+                print((String) v.get(0));
+            } }",
+            ExecConfig::default(),
+        );
+        let seed = print_event(&p, &e);
+        let thin = dynamic_thin_slice(&e, seed);
+        let full = dynamic_data_slice(&e, seed);
+
+        let lit = p
+            .all_stmts()
+            .find(|s| matches!(&p.instr(*s).kind, InstrKind::StrConst { value, .. } if value == "payload"))
+            .unwrap();
+        assert!(thin.contains_stmt(lit), "the literal is a producer");
+
+        // The Vector's backing-array allocation is base-pointer context.
+        let vector = p.class_named("Vector").unwrap();
+        let ctor = p.ctor_of(vector).unwrap();
+        let backing = p
+            .all_stmts()
+            .find(|s| s.method == ctor && matches!(p.instr(*s).kind, InstrKind::NewArray { .. }))
+            .unwrap();
+        assert!(!thin.contains_stmt(backing), "thin excludes the backing array");
+        assert!(full.contains_stmt(backing), "the full data slice includes it");
+        assert!(thin.stmt_count() < full.stmt_count());
+    }
+
+    #[test]
+    fn dynamic_dependences_are_exact_per_index() {
+        // The static slicer merges all array slots; the dynamic one knows
+        // slot 1 was written by the second add.
+        let (p, e) = exec(
+            "class Main { static void main() {
+                Vector v = new Vector();
+                String a = \"first\";
+                String b = \"second\";
+                v.add(a);
+                v.add(b);
+                print((String) v.get(1));
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.prints[0].1, "second");
+        let seed = print_event(&p, &e);
+        let thin = dynamic_thin_slice(&e, seed);
+        let first = p
+            .all_stmts()
+            .find(|s| matches!(&p.instr(*s).kind, InstrKind::StrConst { value, .. } if value == "first"))
+            .unwrap();
+        let second = p
+            .all_stmts()
+            .find(|s| matches!(&p.instr(*s).kind, InstrKind::StrConst { value, .. } if value == "second"))
+            .unwrap();
+        assert!(thin.contains_stmt(second));
+        assert!(
+            !thin.contains_stmt(first),
+            "dynamic index-sensitivity must exclude the other element"
+        );
+    }
+
+    #[test]
+    fn exceptions_terminate_with_outcome() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                throw new RuntimeException(\"boom\");
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.outcome, crate::machine::Outcome::Threw("RuntimeException".into()));
+    }
+
+    #[test]
+    fn runtime_errors_are_reported() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                Vector v = new Vector();
+                Object o = v.get(100);
+            } }",
+            ExecConfig::default(),
+        );
+        assert!(matches!(e.outcome, crate::machine::Outcome::RuntimeError(_)), "{:?}", e.outcome);
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                int i = 0;
+                while (true) { i = i + 1; }
+            } }",
+            ExecConfig { max_steps: 500, ..ExecConfig::default() },
+        );
+        assert_eq!(e.outcome, crate::machine::Outcome::StepLimit);
+        assert!(e.step_count() <= 500);
+    }
+
+    #[test]
+    fn scripted_input_drives_execution() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                InputStream in = new InputStream(\"f\");
+                while (!in.eof()) {
+                    String line = in.readLine();
+                    print(line);
+                }
+            } }",
+            ExecConfig {
+                lines: vec!["alpha".into(), "beta".into()],
+                ..ExecConfig::default()
+            },
+        );
+        let texts: Vec<&str> = e.prints.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn virtual_dispatch_executes_the_override() {
+        let (_, e) = exec(
+            "class A { String name() { return \"A\"; } }
+             class B extends A { String name() { return \"B\"; } }
+             class Main { static void main() {
+                A x = new B();
+                print(x.name());
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.prints[0].1, "B");
+    }
+
+    #[test]
+    fn string_natives_work() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                String full = \"John Doe\";
+                int space = full.indexOf(\" \");
+                print(full.substring(0, space));
+                print(full.substring(0, space - 1));
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.prints[0].1, "John");
+        assert_eq!(e.prints[1].1, "Joh", "the paper's Figure 1 bug, reproduced dynamically");
+    }
+
+    #[test]
+    fn hashtable_roundtrip_executes() {
+        let (_, e) = exec(
+            "class Main { static void main() {
+                Hashtable h = new Hashtable();
+                String k = \"key\";
+                h.put(k, \"value\");
+                print((String) h.get(k));
+            } }",
+            ExecConfig::default(),
+        );
+        assert_eq!(e.outcome, crate::machine::Outcome::Finished, "{:?}", e.outcome);
+        assert_eq!(e.prints[0].1, "value");
+    }
+}

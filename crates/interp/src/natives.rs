@@ -1,0 +1,154 @@
+//! Implementations of the MJ standard library's `native` methods.
+//!
+//! I/O natives draw from scripted inputs ([`NativeWorld`]); string natives
+//! operate on the interpreter's string heap objects. The dynamic dependence
+//! model matches the static one: a native call's result derives from its
+//! arguments (the call event itself is recorded by the interpreter).
+
+use crate::machine::{HeapObject, Machine, Stop, Value};
+use thinslice_ir::MethodId;
+
+/// Scripted inputs for the I/O natives.
+#[derive(Debug, Clone)]
+pub struct NativeWorld {
+    lines: Vec<String>,
+    line_pos: usize,
+    ints: Vec<i64>,
+    int_pos: usize,
+    /// Set when a stream is read past its end; `eof()` then reports true so
+    /// `while (!in.eof()) read…` loops terminate even for programs that
+    /// consume only one of the two streams.
+    over_read: bool,
+}
+
+impl NativeWorld {
+    /// Creates a world serving the given lines and integers, then eof.
+    pub fn new(lines: Vec<String>, ints: Vec<i64>) -> Self {
+        Self { lines, line_pos: 0, ints, int_pos: 0, over_read: false }
+    }
+
+    fn next_line(&mut self) -> Option<String> {
+        let l = self.lines.get(self.line_pos).cloned();
+        match l.is_some() {
+            true => self.line_pos += 1,
+            false => self.over_read = true,
+        }
+        l
+    }
+
+    fn next_int(&mut self) -> Option<i64> {
+        let v = self.ints.get(self.int_pos).copied();
+        match v.is_some() {
+            true => self.int_pos += 1,
+            false => self.over_read = true,
+        }
+        v
+    }
+
+    fn eof(&self) -> bool {
+        self.over_read
+            || (self.line_pos >= self.lines.len() && self.int_pos >= self.ints.len())
+    }
+}
+
+fn str_arg(m: &Machine, v: Value, what: &str) -> Result<String, Stop> {
+    match v {
+        Value::Ref(r) => match m.heap_object(r) {
+            HeapObject::Str { text } => Ok(text.clone()),
+            _ => Err(Stop::RuntimeError(format!("{what}: not a string"))),
+        },
+        Value::Null => Err(Stop::RuntimeError(format!("{what}: null string"))),
+        _ => Err(Stop::RuntimeError(format!("{what}: not a reference"))),
+    }
+}
+
+fn int_arg(v: Value, what: &str) -> Result<i64, Stop> {
+    match v {
+        Value::Int(n) => Ok(n),
+        _ => Err(Stop::RuntimeError(format!("{what}: not an int"))),
+    }
+}
+
+/// Executes native `method` with `args` (receiver first for instance
+/// natives). Returns the result value, if any.
+pub(crate) fn call_native(
+    m: &mut Machine,
+    method: MethodId,
+    args: &[Value],
+) -> Result<Option<Value>, Stop> {
+    let program = m.program();
+    let name = program.methods[method].name.clone();
+    let class = program.classes[program.methods[method].class].name.clone();
+    match (class.as_str(), name.as_str()) {
+        ("String", "length") => {
+            let s = str_arg(m, args[0], "String.length")?;
+            Ok(Some(Value::Int(s.chars().count() as i64)))
+        }
+        ("String", "indexOf") => {
+            let s = str_arg(m, args[0], "String.indexOf")?;
+            let needle = str_arg(m, args[1], "String.indexOf")?;
+            let idx = s.find(&needle).map(|i| i as i64).unwrap_or(-1);
+            Ok(Some(Value::Int(idx)))
+        }
+        ("String", "substring") => {
+            let s = str_arg(m, args[0], "String.substring")?;
+            let begin = int_arg(args[1], "substring begin")?.max(0) as usize;
+            let end = int_arg(args[2], "substring end")?.max(0) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let end = end.min(chars.len());
+            let begin = begin.min(end);
+            let text: String = chars[begin..end].iter().collect();
+            Ok(Some(m.alloc_str(text)))
+        }
+        ("String", "equalsStr") => {
+            let a = str_arg(m, args[0], "String.equalsStr")?;
+            let b = str_arg(m, args[1], "String.equalsStr")?;
+            Ok(Some(Value::Bool(a == b)))
+        }
+        ("String", "toInt") => {
+            let s = str_arg(m, args[0], "String.toInt")?;
+            let digits: String =
+                s.chars().filter(|c| c.is_ascii_digit() || *c == '-').collect();
+            Ok(Some(Value::Int(digits.parse().unwrap_or(0))))
+        }
+        ("InputStream", "readLine") => {
+            let line = m.world_mut().next_line().unwrap_or_default();
+            Ok(Some(m.alloc_str(line)))
+        }
+        ("InputStream", "readInt") => {
+            let v = m.world_mut().next_int().unwrap_or(0);
+            Ok(Some(Value::Int(v)))
+        }
+        ("InputStream", "eof") => Ok(Some(Value::Bool(m.world_mut().eof()))),
+        ("Hashtable", "hashOf") => {
+            // Deterministic content hash: string payloads hash by bytes,
+            // references by identity.
+            let h = match args[1] {
+                Value::Ref(r) => match m.heap_object(r) {
+                    HeapObject::Str { text } => {
+                        text.bytes().fold(7i64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as i64))
+                    }
+                    _ => r.raw() as i64,
+                },
+                Value::Int(n) => n,
+                Value::Bool(b) => b as i64,
+                Value::Null => 0,
+            };
+            Ok(Some(Value::Int(h.abs())))
+        }
+        ("Math", "abs") => Ok(Some(Value::Int(int_arg(args[0], "Math.abs")?.wrapping_abs()))),
+        ("Math", "max") => Ok(Some(Value::Int(
+            int_arg(args[0], "Math.max")?.max(int_arg(args[1], "Math.max")?),
+        ))),
+        ("Math", "min") => Ok(Some(Value::Int(
+            int_arg(args[0], "Math.min")?.min(int_arg(args[1], "Math.min")?),
+        ))),
+        ("Math", "random") => {
+            // Deterministic "randomness": a counter modulo the bound.
+            let bound = int_arg(args[0], "Math.random")?.max(1);
+            let v = m.world_mut().next_int().unwrap_or(0);
+            Ok(Some(Value::Int(v.rem_euclid(bound))))
+        }
+        other => Err(Stop::RuntimeError(format!("unmodelled native {other:?}"))),
+    }
+}

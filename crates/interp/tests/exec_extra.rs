@@ -1,0 +1,226 @@
+//! Additional interpreter behaviour tests: inheritance, statics, strings,
+//! the whole suite running under scripted inputs.
+
+use thinslice_interp::{run, ExecConfig, Outcome};
+use thinslice_ir::compile;
+
+fn exec(src: &str, config: ExecConfig) -> thinslice_interp::Execution {
+    let p = compile(&[("t.mj", src)]).unwrap();
+    run(&p, &config)
+}
+
+fn prints(e: &thinslice_interp::Execution) -> Vec<String> {
+    e.prints.iter().map(|(_, t)| t.clone()).collect()
+}
+
+#[test]
+fn inherited_fields_are_shared() {
+    let e = exec(
+        "class A { int x; }
+         class B extends A { void set() { this.x = 9; } }
+         class Main { static void main() {
+            B b = new B();
+            b.set();
+            print(b.x);
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["9"]);
+}
+
+#[test]
+fn super_constructors_run_before_subclass_bodies() {
+    let e = exec(
+        "class A { int x; A() { this.x = 1; } }
+         class B extends A { B() { this.x = this.x + 10; } }
+         class Main { static void main() {
+            B b = new B();
+            print(b.x);
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["11"]);
+}
+
+#[test]
+fn static_fields_persist_across_calls() {
+    let e = exec(
+        "class Main {
+            static int counter;
+            static void bump() { Main.counter = Main.counter + 1; }
+            static void main() {
+                Main.bump();
+                Main.bump();
+                Main.bump();
+                print(Main.counter);
+            }
+         }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["3"]);
+}
+
+#[test]
+fn instanceof_and_cast_agree() {
+    let e = exec(
+        "class A {} class B extends A {}
+         class Main { static void main() {
+            A x = new B();
+            if (x instanceof B) {
+                B b = (B) x;
+                print(\"is B\");
+            }
+            if (x instanceof Main) {
+                print(\"impossible\");
+            }
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["is B"]);
+}
+
+#[test]
+fn failed_cast_is_a_runtime_error() {
+    let e = exec(
+        "class A {} class B extends A {}
+         class Main { static void main() {
+            A x = new A();
+            B b = (B) x;
+         } }",
+        ExecConfig::default(),
+    );
+    assert!(matches!(e.outcome, Outcome::RuntimeError(ref m) if m.contains("cast")), "{:?}", e.outcome);
+}
+
+#[test]
+fn string_equality_and_concat() {
+    let e = exec(
+        r#"class Main { static void main() {
+            String a = "foo";
+            String b = "f" + "oo";
+            if (a.equalsStr(b)) { print("equal"); }
+            if (a == b) { print("identical"); }
+            print(a + "/" + b);
+         } }"#,
+        ExecConfig::default(),
+    );
+    // Content-equal but not reference-identical, like Java.
+    assert_eq!(prints(&e), vec!["equal", "foo/foo"]);
+}
+
+#[test]
+fn division_by_zero_reports() {
+    let e = exec(
+        "class Main { static void main() { int x = 0; print(10 / x); } }",
+        ExecConfig::default(),
+    );
+    assert!(matches!(e.outcome, Outcome::RuntimeError(ref m) if m.contains("zero")));
+}
+
+#[test]
+fn modulo_and_negation() {
+    let e = exec(
+        "class Main { static void main() {
+            print(17 % 5);
+            print(-(3 - 10));
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["2", "7"]);
+}
+
+#[test]
+fn while_loop_accumulates() {
+    let e = exec(
+        "class Main { static void main() {
+            int sum = 0;
+            for (int i = 1; i <= 10; i++) { sum += i; }
+            print(sum);
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["55"]);
+}
+
+#[test]
+fn recursion_executes() {
+    let e = exec(
+        "class Main {
+            static int fib(int n) {
+                if (n < 2) { return n; }
+                return Main.fib(n - 1) + Main.fib(n - 2);
+            }
+            static void main() { print(Main.fib(12)); }
+         }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["144"]);
+}
+
+#[test]
+fn math_natives() {
+    let e = exec(
+        "class Main { static void main() {
+            print(Math.abs(-5));
+            print(Math.max(3, 9));
+            print(Math.min(3, 9));
+         } }",
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["5", "9", "3"]);
+}
+
+#[test]
+fn linked_list_roundtrip() {
+    let e = exec(
+        r#"class Main { static void main() {
+            LinkedList l = new LinkedList();
+            l.addFirst("tail");
+            l.addFirst("head");
+            print((String) l.getFirst());
+            print((String) l.get(1));
+            print(l.size());
+         } }"#,
+        ExecConfig::default(),
+    );
+    assert_eq!(prints(&e), vec!["head", "tail", "2"]);
+}
+
+#[test]
+fn vector_grows_past_initial_capacity() {
+    let e = exec(
+        r#"class Main { static void main() {
+            Vector v = new Vector();
+            for (int i = 0; i < 25; i++) { v.add("x" + i); }
+            print(v.size());
+            print((String) v.get(24));
+         } }"#,
+        ExecConfig::default(),
+    );
+    assert_eq!(e.outcome, Outcome::Finished, "{:?}", e.outcome);
+    assert_eq!(prints(&e), vec!["25", "x24"]);
+}
+
+#[test]
+fn all_suite_benchmarks_run_under_the_interpreter() {
+    let config = ExecConfig {
+        lines: vec!["alpha beta=7 x".into(), "gamma delta=9".into()],
+        ints: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        max_steps: 100_000,
+    };
+    for b in thinslice_suite::all_benchmarks() {
+        let p = thinslice_ir::compile(&b.sources).unwrap();
+        let e = run(&p, &config);
+        assert!(
+            !matches!(e.outcome, Outcome::StepLimit),
+            "{}: runaway execution ({} steps)",
+            b.name,
+            e.step_count()
+        );
+        // A RuntimeError from quirky synthetic inputs is acceptable; an
+        // unmodelled-native error is not.
+        if let Outcome::RuntimeError(msg) = &e.outcome {
+            assert!(!msg.contains("unmodelled"), "{}: {msg}", b.name);
+        }
+    }
+}

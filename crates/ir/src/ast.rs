@@ -1,0 +1,242 @@
+//! Abstract syntax tree for the MJ language.
+//!
+//! MJ is a Java-like subset: classes with single inheritance, instance and
+//! static fields/methods, constructors, virtual dispatch, one-dimensional
+//! arrays, `int`/`boolean` primitives, strings, `new`, casts, `instanceof`,
+//! `throw` (no catch), and the usual statements. It is rich enough to express
+//! the heap-traffic patterns the thin-slicing paper studies (values stored
+//! into and read out of container objects) while staying analysable.
+
+use crate::span::Span;
+
+/// A parsed compilation unit (one source file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// Top-level class declarations in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Name of the superclass, if an `extends` clause is present.
+    pub superclass: Option<String>,
+    /// Declared fields.
+    pub fields: Vec<FieldDecl>,
+    /// Declared methods (constructors are methods named [`CTOR_NAME`]).
+    pub methods: Vec<MethodDecl>,
+    /// Location of the `class` keyword.
+    pub span: Span,
+}
+
+/// The internal method name used for constructors.
+pub const CTOR_NAME: &str = "<init>";
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Whether the field is `static`.
+    pub is_static: bool,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Field name.
+    pub name: String,
+    /// Location of the field name.
+    pub span: Span,
+}
+
+/// A method or constructor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Whether the method is `static`.
+    pub is_static: bool,
+    /// Whether the method is `native` (no body; modelled by the analyses).
+    pub is_native: bool,
+    /// Return type (`TypeExpr::Void` for `void` and constructors).
+    pub ret: TypeExpr,
+    /// Method name, or [`CTOR_NAME`] for constructors.
+    pub name: String,
+    /// Parameter types and names.
+    pub params: Vec<(TypeExpr, String)>,
+    /// Body; `None` for native methods.
+    pub body: Option<Vec<Stmt>>,
+    /// Location of the method name.
+    pub span: Span,
+}
+
+/// A surface-syntax type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `int`.
+    Int,
+    /// `boolean`.
+    Boolean,
+    /// `void` (return types only).
+    Void,
+    /// A class type referred to by name.
+    Named(String),
+    /// A one-dimensional (or nested) array.
+    Array(Box<TypeExpr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's kind and payload.
+    pub kind: StmtKind,
+    /// Location of the statement's first token.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are described in the variant docs
+pub enum StmtKind {
+    /// Local variable declaration, e.g. `Vector v = new Vector();`.
+    VarDecl { ty: TypeExpr, name: String, init: Option<Expr> },
+    /// Assignment through an lvalue (`x`, `x.f`, `a[i]`), with `=`, `+=` or `-=`.
+    Assign { lhs: Expr, op: AssignOp, rhs: Expr },
+    /// Postfix increment/decrement statement (`x++;`, `x.f--;`).
+    IncDec { lhs: Expr, inc: bool },
+    /// `if (cond) then else els`.
+    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    /// `while (cond) body`.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `return expr?;`.
+    Return { value: Option<Expr> },
+    /// `throw expr;`.
+    Throw { value: Expr },
+    /// `print(expr);` — the observable output sink.
+    Print { value: Expr },
+    /// An expression evaluated for effect (a call).
+    ExprStmt { expr: Expr },
+    /// `{ ... }`.
+    Block { body: Vec<Stmt> },
+}
+
+/// Assignment flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's kind and payload.
+    pub kind: ExprKind,
+    /// Location of the expression's first token.
+    pub span: Span,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are described in the variant docs
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// String literal (each occurrence is an allocation site).
+    StrLit(String),
+    /// `null`.
+    Null,
+    /// `this`.
+    This,
+    /// A bare name: local, parameter, implicit `this` field, static field of
+    /// the enclosing class, or a class name (when used as `C.member`).
+    Name(String),
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// Binary operation (including `&&`/`||`, which lower to control flow).
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Field access `base.name`; `base` may denote a class for statics.
+    Field { base: Box<Expr>, name: String },
+    /// Array indexing `base[index]`.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Method call. `base == None` means an unqualified call on the
+    /// enclosing class (implicit `this` or static).
+    Call { base: Option<Box<Expr>>, name: String, args: Vec<Expr> },
+    /// Explicit `super(...)` constructor call.
+    SuperCall { args: Vec<Expr> },
+    /// `new C(args)`.
+    New { class: String, args: Vec<Expr> },
+    /// `new T[len]`.
+    NewArray { elem: TypeExpr, len: Box<Expr> },
+    /// `(T) expr`.
+    Cast { ty: TypeExpr, expr: Box<Expr> },
+    /// `expr instanceof C`.
+    InstanceOf { expr: Box<Expr>, class: String },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (also string concatenation when either side is a `String`).
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+impl BinOp {
+    /// Whether the operator short-circuits (lowered to control flow).
+    pub fn is_short_circuit(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Whether the operator compares values (result is `boolean`).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::And.is_short_circuit());
+        assert!(!BinOp::Add.is_short_circuit());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Rem.is_comparison());
+    }
+}

@@ -1,0 +1,231 @@
+//! Dominator trees and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative algorithm over a generic
+//! adjacency-list graph, so the same code serves CFG dominators (for SSA)
+//! and postdominators on the reversed CFG (for control dependence).
+
+/// Dominator information for a rooted graph.
+///
+/// Nodes unreachable from the root have `idom[n] == None` and are absent
+/// from `rpo`.
+#[derive(Debug, Clone)]
+pub struct DomInfo {
+    /// Immediate dominator per node (`idom[root] == Some(root)`).
+    pub idom: Vec<Option<usize>>,
+    /// Reverse postorder of the reachable nodes, starting with the root.
+    pub rpo: Vec<usize>,
+}
+
+impl DomInfo {
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Children lists of the dominator tree.
+    pub fn children(&self) -> Vec<Vec<usize>> {
+        let mut kids = vec![Vec::new(); self.idom.len()];
+        for (n, &p) in self.idom.iter().enumerate() {
+            if let Some(p) = p {
+                if p != n {
+                    kids[p].push(n);
+                }
+            }
+        }
+        kids
+    }
+}
+
+/// Computes immediate dominators of the graph given by `succs`, rooted at
+/// `root`.
+pub fn dominators(succs: &[Vec<usize>], root: usize) -> DomInfo {
+    let n = succs.len();
+    // Postorder DFS (iterative).
+    let mut post: Vec<usize> = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    state[root] = 1;
+    while let Some(&mut (node, ref mut child)) = stack.last_mut() {
+        if *child < succs[node].len() {
+            let next = succs[node][*child];
+            *child += 1;
+            if state[next] == 0 {
+                state[next] = 1;
+                stack.push((next, 0));
+            }
+        } else {
+            state[node] = 2;
+            post.push(node);
+            stack.pop();
+        }
+    }
+    let mut rpo = post.clone();
+    rpo.reverse();
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_index[b] = i;
+    }
+
+    // Predecessors restricted to reachable nodes.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &b in &rpo {
+        for &s in &succs[b] {
+            preds[s].push(b);
+        }
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    DomInfo { idom, rpo }
+}
+
+fn intersect(idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_index[a] > rpo_index[b] {
+            a = idom[a].expect("processed node has idom");
+        }
+        while rpo_index[b] > rpo_index[a] {
+            b = idom[b].expect("processed node has idom");
+        }
+    }
+    a
+}
+
+/// Computes dominance frontiers from [`DomInfo`] and the graph.
+pub fn dominance_frontiers(succs: &[Vec<usize>], dom: &DomInfo) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &b in &dom.rpo {
+        for &s in &succs[b] {
+            preds[s].push(b);
+        }
+    }
+    let mut df: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &b in &dom.rpo {
+        let idom_b = dom.idom[b].expect("reachable");
+        for &p in &preds[b] {
+            // Walk from the predecessor up the dominator tree, adding `b`
+            // to each frontier, until reaching a *strict* dominator of `b`.
+            // (The strictness check, rather than `runner != idom(b)`, also
+            // handles the root-with-back-edge case where idom(b) == b.)
+            let mut runner = p;
+            loop {
+                if runner == idom_b && runner != b {
+                    break;
+                }
+                if !df[runner].contains(&b) {
+                    df[runner].push(b);
+                }
+                match dom.idom[runner] {
+                    Some(next) if next != runner => runner = next,
+                    _ => break,
+                }
+            }
+        }
+    }
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+    fn diamond() -> Vec<Vec<usize>> {
+        vec![vec![1, 2], vec![3], vec![3], vec![]]
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let g = diamond();
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom, vec![Some(0), Some(0), Some(0), Some(0)]);
+        assert!(d.dominates(0, 3));
+        assert!(!d.dominates(1, 3));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let g = diamond();
+        let d = dominators(&g, 0);
+        let df = dominance_frontiers(&g, &d);
+        assert_eq!(df[1], vec![3]);
+        assert_eq!(df[2], vec![3]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    /// A loop: 0 -> 1, 1 -> 2, 2 -> 1, 1 -> 3.
+    #[test]
+    fn loop_dominators_and_frontiers() {
+        let g = vec![vec![1], vec![2, 3], vec![1], vec![]];
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom[1], Some(0));
+        assert_eq!(d.idom[2], Some(1));
+        assert_eq!(d.idom[3], Some(1));
+        let df = dominance_frontiers(&g, &d);
+        // The loop body's frontier is the header.
+        assert_eq!(df[2], vec![1]);
+        assert_eq!(df[1], vec![1]);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let g = vec![vec![1], vec![], vec![1]]; // node 2 unreachable from 0
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom[2], None);
+        assert!(!d.rpo.contains(&2));
+    }
+
+    #[test]
+    fn nested_ifs() {
+        // 0 -> (1, 4); 1 -> (2, 3); 2 -> 5; 3 -> 5; 5 -> 6; 4 -> 6
+        let g = vec![vec![1, 4], vec![2, 3], vec![5], vec![5], vec![6], vec![6], vec![]];
+        let d = dominators(&g, 0);
+        assert_eq!(d.idom[5], Some(1));
+        assert_eq!(d.idom[6], Some(0));
+        assert!(d.dominates(1, 2));
+        assert!(d.dominates(1, 5));
+        assert!(!d.dominates(1, 6));
+    }
+
+    #[test]
+    fn dominator_children() {
+        let g = diamond();
+        let d = dominators(&g, 0);
+        let mut kids = d.children()[0].clone();
+        kids.sort_unstable();
+        assert_eq!(kids, vec![1, 2, 3]);
+    }
+}

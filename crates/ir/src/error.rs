@@ -1,0 +1,63 @@
+//! Compilation errors for the MJ frontend.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling MJ source to IR.
+///
+/// Carries the phase that failed, a message and the offending span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Compilation phase that produced the error.
+    pub phase: Phase,
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Location of the error.
+    pub span: Span,
+}
+
+/// Compiler phases that can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenisation.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Class-table construction (duplicate classes, inheritance cycles…).
+    Resolve,
+    /// Type checking and lowering.
+    Check,
+}
+
+impl CompileError {
+    /// Creates an error in the given phase.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
+        Self { phase, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Resolve => "resolve",
+            Phase::Check => "check",
+        };
+        write!(f, "{phase} error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_span() {
+        let e = CompileError::new(Phase::Parse, "expected `;`", Span::synthetic());
+        assert_eq!(e.to_string(), "parse error at 0:0: expected `;`");
+    }
+}

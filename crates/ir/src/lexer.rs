@@ -1,0 +1,371 @@
+//! The MJ lexer.
+
+use crate::error::{CompileError, Phase};
+use crate::span::{FileId, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenises `text` (belonging to `file`) into a vector ending with
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated strings, stray characters or
+/// malformed comments.
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_ir::lexer::lex;
+/// use thinslice_ir::span::FileId;
+/// use thinslice_ir::token::TokenKind;
+///
+/// let toks = lex(FileId::new(0), "class A { }")?;
+/// assert_eq!(toks[0].kind, TokenKind::Class);
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), thinslice_ir::error::CompileError>(())
+/// ```
+pub fn lex(file: FileId, text: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(file, text).run()
+}
+
+struct Lexer<'a> {
+    file: FileId,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(file: FileId, text: &'a str) -> Self {
+        Self { file, chars: text.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn span(&self) -> Span {
+        Span { file: self.file, line: self.line, col: self.col }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn error(&self, message: impl Into<String>, span: Span) -> CompileError {
+        CompileError::new(Phase::Lex, message, span)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.bump() else {
+                tokens.push(Token { kind: TokenKind::Eof, span });
+                return Ok(tokens);
+            };
+            let kind = match c {
+                '{' => TokenKind::LBrace,
+                '}' => TokenKind::RBrace,
+                '(' => TokenKind::LParen,
+                ')' => TokenKind::RParen,
+                '[' => TokenKind::LBracket,
+                ']' => TokenKind::RBracket,
+                ';' => TokenKind::Semi,
+                ',' => TokenKind::Comma,
+                '.' => TokenKind::Dot,
+                '*' => TokenKind::Star,
+                '/' => TokenKind::Slash,
+                '%' => TokenKind::Percent,
+                '+' => {
+                    if self.eat('+') {
+                        TokenKind::PlusPlus
+                    } else if self.eat('=') {
+                        TokenKind::PlusAssign
+                    } else {
+                        TokenKind::Plus
+                    }
+                }
+                '-' => {
+                    if self.eat('-') {
+                        TokenKind::MinusMinus
+                    } else if self.eat('=') {
+                        TokenKind::MinusAssign
+                    } else {
+                        TokenKind::Minus
+                    }
+                }
+                '=' => {
+                    if self.eat('=') {
+                        TokenKind::EqEq
+                    } else {
+                        TokenKind::Assign
+                    }
+                }
+                '!' => {
+                    if self.eat('=') {
+                        TokenKind::NotEq
+                    } else {
+                        TokenKind::Not
+                    }
+                }
+                '<' => {
+                    if self.eat('=') {
+                        TokenKind::Le
+                    } else {
+                        TokenKind::Lt
+                    }
+                }
+                '>' => {
+                    if self.eat('=') {
+                        TokenKind::Ge
+                    } else {
+                        TokenKind::Gt
+                    }
+                }
+                '&' => {
+                    if self.eat('&') {
+                        TokenKind::AndAnd
+                    } else {
+                        return Err(self.error("expected `&&`", span));
+                    }
+                }
+                '|' => {
+                    if self.eat('|') {
+                        TokenKind::OrOr
+                    } else {
+                        return Err(self.error("expected `||`", span));
+                    }
+                }
+                '"' => self.string(span)?,
+                c if c.is_ascii_digit() => self.number(c, span)?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.word(c),
+                other => {
+                    return Err(self.error(format!("unexpected character `{other}`"), span));
+                }
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') => {
+                    // Peek one further to distinguish `/` from comments.
+                    let mut clone = self.chars.clone();
+                    clone.next();
+                    match clone.peek() {
+                        Some('/') => {
+                            while let Some(c) = self.bump() {
+                                if c == '\n' {
+                                    break;
+                                }
+                            }
+                        }
+                        Some('*') => {
+                            let start = self.span();
+                            self.bump();
+                            self.bump();
+                            loop {
+                                match self.bump() {
+                                    Some('*') if self.peek() == Some('/') => {
+                                        self.bump();
+                                        break;
+                                    }
+                                    Some(_) => {}
+                                    None => {
+                                        return Err(
+                                            self.error("unterminated block comment", start)
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        _ => return Ok(()),
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn string(&mut self, start: Span) -> Result<TokenKind, CompileError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(TokenKind::StrLit(s)),
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    other => {
+                        return Err(self.error(
+                            format!("invalid escape `\\{}`", other.unwrap_or(' ')),
+                            start,
+                        ));
+                    }
+                },
+                Some('\n') | None => {
+                    return Err(self.error("unterminated string literal", start));
+                }
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, first: char, span: Span) -> Result<TokenKind, CompileError> {
+        let mut s = String::from(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s.parse::<i64>()
+            .map(TokenKind::IntLit)
+            .map_err(|_| self.error(format!("integer literal `{s}` out of range"), span))
+    }
+
+    fn word(&mut self, first: char) -> TokenKind {
+        let mut s = String::from(first);
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::keyword(&s).unwrap_or(TokenKind::Ident(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(FileId::new(0), src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("class A extends B { int x; }"),
+            vec![
+                Class,
+                Ident("A".into()),
+                Extends,
+                Ident("B".into()),
+                LBrace,
+                Int,
+                Ident("x".into()),
+                Semi,
+                RBrace,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a == b != c <= d >= e && f || g ++ -- += -="),
+            vec![
+                Ident("a".into()),
+                EqEq,
+                Ident("b".into()),
+                NotEq,
+                Ident("c".into()),
+                Le,
+                Ident("d".into()),
+                Ge,
+                Ident("e".into()),
+                AndAnd,
+                Ident("f".into()),
+                OrOr,
+                Ident("g".into()),
+                PlusPlus,
+                MinusMinus,
+                PlusAssign,
+                MinusAssign,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hello\n\"world\"""#),
+            vec![TokenKind::StrLit("hello\n\"world\"".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("x // line comment\n /* block\n comment */ y"),
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex(FileId::new(0), "a\n  b\nc").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+        assert_eq!(toks[2].span.line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex(FileId::new(0), "\"abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_ampersand_errors() {
+        assert!(lex(FileId::new(0), "a & b").is_err());
+    }
+
+    #[test]
+    fn division_is_not_a_comment() {
+        assert_eq!(
+            kinds("a / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,989 @@
+//! Lowering of MJ method bodies from AST to the three-address IR.
+//!
+//! Lowering performs name resolution and type checking on the fly and emits
+//! a CFG of basic blocks. Short-circuit operators and `for` loops become
+//! control flow; compound assignments become load/op/store sequences. The
+//! output is *not* yet in SSA form — see [`crate::ssa`].
+
+use crate::ast::{AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, TypeExpr, UnOp};
+use crate::error::{CompileError, Phase};
+use crate::ir::*;
+use crate::span::Span;
+use std::collections::HashMap;
+use thinslice_util::IdxVec;
+
+/// Lowers one method body.
+///
+/// `params` are the AST parameters (the implicit `this` is added here for
+/// instance methods). `stmts` is the parsed body.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with [`Phase::Check`] on any name-resolution or
+/// type error.
+pub fn lower_body(
+    program: &Program,
+    method: MethodId,
+    params: &[(TypeExpr, String)],
+    stmts: &[Stmt],
+    span: Span,
+) -> Result<Body, CompileError> {
+    let mut cx = LowerCx::new(program, method);
+    cx.declare_params(params, span)?;
+    if program.methods[method].is_ctor() {
+        cx.maybe_insert_implicit_super(stmts, span)?;
+    }
+    cx.push_scope();
+    for s in stmts {
+        cx.stmt(s)?;
+    }
+    cx.pop_scope();
+    cx.finish()
+}
+
+struct LowerCx<'a> {
+    program: &'a Program,
+    method: MethodId,
+    class: ClassId,
+    blocks: IdxVec<BlockId, Block>,
+    vars: IdxVec<Var, VarInfo>,
+    params: Vec<Var>,
+    scopes: Vec<HashMap<String, Var>>,
+    cur: BlockId,
+    entry: BlockId,
+}
+
+impl<'a> LowerCx<'a> {
+    fn new(program: &'a Program, method: MethodId) -> Self {
+        let mut blocks = IdxVec::new();
+        let entry = blocks.push(Block::default());
+        Self {
+            program,
+            method,
+            class: program.methods[method].class,
+            blocks,
+            vars: IdxVec::new(),
+            params: Vec::new(),
+            scopes: vec![HashMap::new()],
+            cur: entry,
+            entry,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>, span: Span) -> CompileError {
+        CompileError::new(Phase::Check, message, span)
+    }
+
+    fn meth(&self) -> &Method {
+        &self.program.methods[self.method]
+    }
+
+    // ---- variables and scopes ----
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn new_var(&mut self, name: impl Into<String>, ty: Type) -> Var {
+        self.vars.push(VarInfo { name: name.into(), ty, origin: None })
+    }
+
+    fn new_temp(&mut self, ty: Type) -> Var {
+        let n = self.vars.len();
+        self.new_var(format!("$t{n}"), ty)
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<Var, CompileError> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return Err(self.err(format!("variable `{name}` already declared in this scope"), span));
+        }
+        let v = self.new_var(name, ty);
+        self.scopes.last_mut().unwrap().insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn lookup(&self, name: &str) -> Option<Var> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare_params(
+        &mut self,
+        params: &[(TypeExpr, String)],
+        span: Span,
+    ) -> Result<(), CompileError> {
+        if !self.meth().is_static {
+            let this = self.new_var("this", Type::Class(self.class));
+            self.params.push(this);
+            self.scopes.last_mut().unwrap().insert("this".to_string(), this);
+        }
+        let tys = self.meth().param_tys.clone();
+        for ((_, name), ty) in params.iter().zip(tys) {
+            let v = self.declare(name, ty, span)?;
+            self.params.push(v);
+        }
+        Ok(())
+    }
+
+    // ---- block plumbing ----
+
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default())
+    }
+
+    fn emit(&mut self, kind: InstrKind, span: Span) {
+        self.blocks[self.cur].instrs.push(Instr { kind, span });
+    }
+
+    fn terminated(&self) -> bool {
+        self.blocks[self.cur].instrs.last().is_some_and(|i| i.kind.is_terminator())
+    }
+
+    /// Jumps to `target` unless the current block already ended.
+    fn goto(&mut self, target: BlockId, span: Span) {
+        if !self.terminated() {
+            self.emit(InstrKind::Goto { target }, span);
+        }
+    }
+
+    fn switch_to(&mut self, block: BlockId) {
+        self.cur = block;
+    }
+
+    // ---- constructors: implicit super() ----
+
+    fn maybe_insert_implicit_super(
+        &mut self,
+        stmts: &[Stmt],
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let has_explicit = stmts.iter().any(|s| {
+            matches!(&s.kind, StmtKind::ExprStmt { expr } if matches!(expr.kind, ExprKind::SuperCall { .. }))
+        });
+        if has_explicit {
+            return Ok(());
+        }
+        let Some(sup) = self.program.classes[self.class].superclass else {
+            return Ok(()); // Object's constructor.
+        };
+        let ctor = self.program.ctor_of(sup).expect("every class has a (possibly default) ctor");
+        if !self.program.methods[ctor].param_tys.is_empty() {
+            return Err(self.err(
+                format!(
+                    "constructor of `{}` must explicitly call `super(...)` because the superclass constructor takes arguments",
+                    self.program.classes[self.class].name
+                ),
+                span,
+            ));
+        }
+        let this = self.params[0];
+        self.emit(
+            InstrKind::Call {
+                dst: None,
+                kind: CallKind::Special,
+                callee: ctor,
+                args: vec![Operand::Var(this)],
+            },
+            span,
+        );
+        Ok(())
+    }
+
+    // ---- finishing: fallback return + unreachable-block pruning ----
+
+    fn finish(mut self) -> Result<Body, CompileError> {
+        if !self.terminated() {
+            let value = match &self.meth().ret_ty {
+                Type::Void => None,
+                Type::Int => Some(Operand::Const(Const::Int(0))),
+                Type::Bool => Some(Operand::Const(Const::Bool(false))),
+                _ => Some(Operand::Const(Const::Null)),
+            };
+            self.emit(InstrKind::Return { value }, self.meth().span);
+        }
+        let body = Body {
+            blocks: self.blocks,
+            vars: self.vars,
+            params: self.params,
+            entry: self.entry,
+        };
+        Ok(prune_unreachable(body))
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        self.push_scope();
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.pop_scope();
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match &s.kind {
+            StmtKind::Block { body } => self.stmts(body),
+            StmtKind::VarDecl { ty, name, init } => {
+                let ty = self.resolve_type(ty, s.span)?;
+                if ty == Type::Void {
+                    return Err(self.err("variables cannot have type void", s.span));
+                }
+                let (value, vty) = match init {
+                    Some(e) => self.expr(e)?,
+                    None => (default_value(&ty), ty.clone()),
+                };
+                self.check_assignable(&vty, &ty, s.span)?;
+                let v = self.declare(name, ty, s.span)?;
+                self.emit(InstrKind::Move { dst: v, src: value }, s.span);
+                Ok(())
+            }
+            StmtKind::Assign { lhs, op, rhs } => self.assign(lhs, *op, rhs, s.span),
+            StmtKind::IncDec { lhs, inc } => {
+                let one = Expr { kind: ExprKind::IntLit(1), span: s.span };
+                let op = if *inc { AssignOp::Add } else { AssignOp::Sub };
+                self.assign(lhs, op, &one, s.span)
+            }
+            StmtKind::If { cond, then, els } => {
+                let (c, ty) = self.expr(cond)?;
+                self.expect_type(&ty, &Type::Bool, cond.span)?;
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join = self.new_block();
+                self.emit(InstrKind::If { cond: c, then_bb, else_bb }, s.span);
+                self.switch_to(then_bb);
+                self.stmts(then)?;
+                self.goto(join, s.span);
+                self.switch_to(else_bb);
+                self.stmts(els)?;
+                self.goto(join, s.span);
+                self.switch_to(join);
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.new_block();
+                self.goto(header, s.span);
+                self.switch_to(header);
+                let (c, ty) = self.expr(cond)?;
+                self.expect_type(&ty, &Type::Bool, cond.span)?;
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.emit(InstrKind::If { cond: c, then_bb: body_bb, else_bb: exit }, s.span);
+                self.switch_to(body_bb);
+                self.stmts(body)?;
+                self.goto(header, s.span);
+                self.switch_to(exit);
+                Ok(())
+            }
+            StmtKind::Return { value } => {
+                let ret_ty = self.meth().ret_ty.clone();
+                let value = match (value, &ret_ty) {
+                    (None, Type::Void) => None,
+                    (None, _) => {
+                        return Err(self.err("missing return value", s.span));
+                    }
+                    (Some(_), Type::Void) => {
+                        return Err(self.err("void method cannot return a value", s.span));
+                    }
+                    (Some(e), _) => {
+                        let (v, ty) = self.expr(e)?;
+                        self.check_assignable(&ty, &ret_ty, e.span)?;
+                        Some(v)
+                    }
+                };
+                self.emit(InstrKind::Return { value }, s.span);
+                self.switch_to_dead_block();
+                Ok(())
+            }
+            StmtKind::Throw { value } => {
+                let (v, ty) = self.expr(value)?;
+                if !matches!(ty, Type::Class(_)) {
+                    return Err(self.err("can only throw class instances", value.span));
+                }
+                self.emit(InstrKind::Throw { value: v }, s.span);
+                self.switch_to_dead_block();
+                Ok(())
+            }
+            StmtKind::Print { value } => {
+                let (v, _) = self.expr(value)?;
+                self.emit(InstrKind::Print { value: v }, s.span);
+                Ok(())
+            }
+            StmtKind::ExprStmt { expr } => {
+                if !matches!(
+                    expr.kind,
+                    ExprKind::Call { .. } | ExprKind::SuperCall { .. } | ExprKind::New { .. }
+                ) {
+                    return Err(self.err("only calls may be used as statements", s.span));
+                }
+                self.expr(expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// After an unconditional terminator, subsequent statements go into a
+    /// fresh unreachable block (pruned by [`prune_unreachable`]).
+    fn switch_to_dead_block(&mut self) {
+        let dead = self.new_block();
+        self.switch_to(dead);
+    }
+
+    fn assign(
+        &mut self,
+        lhs: &Expr,
+        op: AssignOp,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let place = self.place(lhs)?;
+        if matches!(place, Place::ArrayLength(_)) {
+            return Err(self.err("cannot assign to array length", span));
+        }
+        let place_ty = self.place_type(&place);
+        let (value, vty) = match op {
+            AssignOp::Set => self.expr(rhs)?,
+            AssignOp::Add | AssignOp::Sub => {
+                self.expect_type(&place_ty, &Type::Int, span).or_else(|_| {
+                    if op == AssignOp::Add && place_ty == Type::Class(self.program.string_class) {
+                        Ok(())
+                    } else {
+                        Err(self.err("compound assignment requires int (or String for `+=`)", span))
+                    }
+                })?;
+                let cur = self.read_place(&place, span);
+                let (r, rty) = self.expr(rhs)?;
+                if place_ty == Type::Class(self.program.string_class) {
+                    let dst = self.new_temp(place_ty.clone());
+                    self.emit(InstrKind::StrConcat { dst, lhs: cur, rhs: r }, span);
+                    (Operand::Var(dst), place_ty.clone())
+                } else {
+                    self.expect_type(&rty, &Type::Int, rhs.span)?;
+                    let dst = self.new_temp(Type::Int);
+                    let irop = if op == AssignOp::Add { IrBinOp::Add } else { IrBinOp::Sub };
+                    self.emit(InstrKind::Binary { dst, op: irop, lhs: cur, rhs: r }, span);
+                    (Operand::Var(dst), Type::Int)
+                }
+            }
+        };
+        self.check_assignable(&vty, &place_ty, span)?;
+        self.write_place(&place, value, span);
+        Ok(())
+    }
+
+    // ---- places (lvalues) ----
+
+    fn place(&mut self, lhs: &Expr) -> Result<Place, CompileError> {
+        match &lhs.kind {
+            ExprKind::Name(name) => {
+                if let Some(v) = self.lookup(name) {
+                    return Ok(Place::Local(v));
+                }
+                // Implicit this-field or static field of the enclosing class.
+                if let Some(f) = self.program.resolve_field(self.class, name) {
+                    if self.program.fields[f].is_static {
+                        return Ok(Place::Static(f));
+                    }
+                    if self.meth().is_static {
+                        return Err(self.err(
+                            format!("cannot access instance field `{name}` from a static method"),
+                            lhs.span,
+                        ));
+                    }
+                    return Ok(Place::Field(self.params[0], f));
+                }
+                Err(self.err(format!("unknown variable `{name}`"), lhs.span))
+            }
+            ExprKind::Field { base, name } => {
+                if let Some(class) = self.class_name_base(base) {
+                    let f = self
+                        .program
+                        .resolve_field(class, name)
+                        .ok_or_else(|| self.err(format!("unknown field `{name}`"), lhs.span))?;
+                    if !self.program.fields[f].is_static {
+                        return Err(self.err(
+                            format!("field `{name}` is not static"),
+                            lhs.span,
+                        ));
+                    }
+                    return Ok(Place::Static(f));
+                }
+                let (b, bty) = self.expr(base)?;
+                if let Type::Array(_) = &bty {
+                    if name == "length" {
+                        let bv = self.operand_to_var(b, bty, base.span);
+                        return Ok(Place::ArrayLength(bv));
+                    }
+                }
+                let Type::Class(c) = bty else {
+                    return Err(self.err("field access on non-object", base.span));
+                };
+                let f = self.program.resolve_field(c, name).ok_or_else(|| {
+                    self.err(
+                        format!("unknown field `{name}` on `{}`", self.program.classes[c].name),
+                        lhs.span,
+                    )
+                })?;
+                if self.program.fields[f].is_static {
+                    return Ok(Place::Static(f));
+                }
+                let bv = self.operand_to_var(b, Type::Class(c), base.span);
+                Ok(Place::Field(bv, f))
+            }
+            ExprKind::Index { base, index } => {
+                let (b, bty) = self.expr(base)?;
+                let Type::Array(elem) = bty.clone() else {
+                    return Err(self.err("indexing a non-array", base.span));
+                };
+                let bv = self.operand_to_var(b, bty, base.span);
+                let (i, ity) = self.expr(index)?;
+                self.expect_type(&ity, &Type::Int, index.span)?;
+                Ok(Place::ArrayElem(bv, i, *elem))
+            }
+            _ => Err(self.err("invalid assignment target", lhs.span)),
+        }
+    }
+
+    fn place_type(&self, place: &Place) -> Type {
+        match place {
+            Place::Local(v) => self.vars[*v].ty.clone(),
+            Place::Field(_, f) | Place::Static(f) => self.program.fields[*f].ty.clone(),
+            Place::ArrayElem(_, _, elem) => elem.clone(),
+            Place::ArrayLength(_) => Type::Int,
+        }
+    }
+
+    fn read_place(&mut self, place: &Place, span: Span) -> Operand {
+        match place {
+            Place::Local(v) => Operand::Var(*v),
+            Place::Field(base, f) => {
+                let dst = self.new_temp(self.program.fields[*f].ty.clone());
+                self.emit(InstrKind::Load { dst, base: *base, field: *f }, span);
+                Operand::Var(dst)
+            }
+            Place::Static(f) => {
+                let dst = self.new_temp(self.program.fields[*f].ty.clone());
+                self.emit(InstrKind::StaticLoad { dst, field: *f }, span);
+                Operand::Var(dst)
+            }
+            Place::ArrayElem(base, index, elem) => {
+                let dst = self.new_temp(elem.clone());
+                self.emit(InstrKind::ArrayLoad { dst, base: *base, index: *index }, span);
+                Operand::Var(dst)
+            }
+            Place::ArrayLength(base) => {
+                let dst = self.new_temp(Type::Int);
+                self.emit(InstrKind::ArrayLen { dst, base: *base }, span);
+                Operand::Var(dst)
+            }
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, value: Operand, span: Span) {
+        match place {
+            Place::Local(v) => self.emit(InstrKind::Move { dst: *v, src: value }, span),
+            Place::Field(base, f) => {
+                self.emit(InstrKind::Store { base: *base, field: *f, value }, span)
+            }
+            Place::Static(f) => self.emit(InstrKind::StaticStore { field: *f, value }, span),
+            Place::ArrayElem(base, index, _) => {
+                self.emit(InstrKind::ArrayStore { base: *base, index: *index, value }, span)
+            }
+            Place::ArrayLength(_) => unreachable!("assignment to array length is rejected earlier"),
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr) -> Result<(Operand, Type), CompileError> {
+        match &e.kind {
+            ExprKind::IntLit(n) => Ok((Operand::Const(Const::Int(*n)), Type::Int)),
+            ExprKind::BoolLit(b) => Ok((Operand::Const(Const::Bool(*b)), Type::Bool)),
+            ExprKind::Null => Ok((Operand::Const(Const::Null), Type::Null)),
+            ExprKind::StrLit(s) => {
+                let ty = Type::Class(self.program.string_class);
+                let dst = self.new_temp(ty.clone());
+                self.emit(InstrKind::StrConst { dst, value: s.clone() }, e.span);
+                Ok((Operand::Var(dst), ty))
+            }
+            ExprKind::This => {
+                if self.meth().is_static {
+                    return Err(self.err("`this` in a static method", e.span));
+                }
+                Ok((Operand::Var(self.params[0]), Type::Class(self.class)))
+            }
+            ExprKind::Name(_) | ExprKind::Field { .. } | ExprKind::Index { .. } => {
+                let place = self.place(e)?;
+                let ty = self.place_type(&place);
+                let v = self.read_place(&place, e.span);
+                Ok((v, ty))
+            }
+            ExprKind::Unary { op, expr } => {
+                let (v, ty) = self.expr(expr)?;
+                match op {
+                    UnOp::Neg => {
+                        self.expect_type(&ty, &Type::Int, expr.span)?;
+                        let dst = self.new_temp(Type::Int);
+                        self.emit(InstrKind::Unary { dst, op: IrUnOp::Neg, src: v }, e.span);
+                        Ok((Operand::Var(dst), Type::Int))
+                    }
+                    UnOp::Not => {
+                        self.expect_type(&ty, &Type::Bool, expr.span)?;
+                        let dst = self.new_temp(Type::Bool);
+                        self.emit(InstrKind::Unary { dst, op: IrUnOp::Not, src: v }, e.span);
+                        Ok((Operand::Var(dst), Type::Bool))
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, e.span),
+            ExprKind::Call { base, name, args } => self.call(base.as_deref(), name, args, e.span),
+            ExprKind::SuperCall { args } => self.super_call(args, e.span),
+            ExprKind::New { class, args } => {
+                let c = self
+                    .program
+                    .class_named(class)
+                    .ok_or_else(|| self.err(format!("unknown class `{class}`"), e.span))?;
+                let dst = self.new_temp(Type::Class(c));
+                self.emit(InstrKind::New { dst, class: c }, e.span);
+                let ctor = self.program.ctor_of(c).expect("ctor exists");
+                let mut call_args = vec![Operand::Var(dst)];
+                self.check_and_lower_args(ctor, args, &mut call_args, e.span)?;
+                self.emit(
+                    InstrKind::Call { dst: None, kind: CallKind::Special, callee: ctor, args: call_args },
+                    e.span,
+                );
+                Ok((Operand::Var(dst), Type::Class(c)))
+            }
+            ExprKind::NewArray { elem, len } => {
+                let elem = self.resolve_type(elem, e.span)?;
+                let (l, lty) = self.expr(len)?;
+                self.expect_type(&lty, &Type::Int, len.span)?;
+                let ty = Type::Array(Box::new(elem.clone()));
+                let dst = self.new_temp(ty.clone());
+                self.emit(InstrKind::NewArray { dst, elem, len: l }, e.span);
+                Ok((Operand::Var(dst), ty))
+            }
+            ExprKind::Cast { ty, expr } => {
+                let target = self.resolve_type(ty, e.span)?;
+                let (v, vty) = self.expr(expr)?;
+                if !target.is_reference() {
+                    // Primitive casts are identity in MJ.
+                    self.expect_type(&vty, &target, expr.span)?;
+                    return Ok((v, target));
+                }
+                if !vty.is_reference() {
+                    return Err(self.err("cannot cast a primitive to a reference type", e.span));
+                }
+                if !self.program.cast_may_succeed(&vty, &target) {
+                    return Err(self.err(
+                        format!(
+                            "cast from `{}` to `{}` can never succeed",
+                            vty.display(self.program),
+                            target.display(self.program)
+                        ),
+                        e.span,
+                    ));
+                }
+                let dst = self.new_temp(target.clone());
+                self.emit(InstrKind::Cast { dst, ty: target.clone(), src: v }, e.span);
+                Ok((Operand::Var(dst), target))
+            }
+            ExprKind::InstanceOf { expr, class } => {
+                let c = self
+                    .program
+                    .class_named(class)
+                    .ok_or_else(|| self.err(format!("unknown class `{class}`"), e.span))?;
+                let (v, vty) = self.expr(expr)?;
+                if !vty.is_reference() {
+                    return Err(self.err("`instanceof` on a primitive", e.span));
+                }
+                let dst = self.new_temp(Type::Bool);
+                self.emit(InstrKind::InstanceOf { dst, src: v, class: c }, e.span);
+                Ok((Operand::Var(dst), Type::Bool))
+            }
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(Operand, Type), CompileError> {
+        if op.is_short_circuit() {
+            return self.short_circuit(op, lhs, rhs, span);
+        }
+        let (l, lty) = self.expr(lhs)?;
+        let (r, rty) = self.expr(rhs)?;
+        let string_ty = Type::Class(self.program.string_class);
+        match op {
+            BinOp::Add if lty == string_ty || rty == string_ty => {
+                let dst = self.new_temp(string_ty.clone());
+                self.emit(InstrKind::StrConcat { dst, lhs: l, rhs: r }, span);
+                Ok((Operand::Var(dst), string_ty))
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                self.expect_type(&lty, &Type::Int, lhs.span)?;
+                self.expect_type(&rty, &Type::Int, rhs.span)?;
+                let dst = self.new_temp(Type::Int);
+                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                Ok((Operand::Var(dst), Type::Int))
+            }
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                self.expect_type(&lty, &Type::Int, lhs.span)?;
+                self.expect_type(&rty, &Type::Int, rhs.span)?;
+                let dst = self.new_temp(Type::Bool);
+                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                Ok((Operand::Var(dst), Type::Bool))
+            }
+            BinOp::Eq | BinOp::Ne => {
+                let compatible = lty == rty
+                    || (lty.is_reference() && rty.is_reference());
+                if !compatible {
+                    return Err(self.err(
+                        format!(
+                            "cannot compare `{}` with `{}`",
+                            lty.display(self.program),
+                            rty.display(self.program)
+                        ),
+                        span,
+                    ));
+                }
+                let dst = self.new_temp(Type::Bool);
+                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                Ok((Operand::Var(dst), Type::Bool))
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(Operand, Type), CompileError> {
+        let (l, lty) = self.expr(lhs)?;
+        self.expect_type(&lty, &Type::Bool, lhs.span)?;
+        let result = self.new_temp(Type::Bool);
+        let rhs_bb = self.new_block();
+        let const_bb = self.new_block();
+        let end = self.new_block();
+        match op {
+            BinOp::And => {
+                self.emit(InstrKind::If { cond: l, then_bb: rhs_bb, else_bb: const_bb }, span)
+            }
+            BinOp::Or => {
+                self.emit(InstrKind::If { cond: l, then_bb: const_bb, else_bb: rhs_bb }, span)
+            }
+            _ => unreachable!(),
+        }
+        self.switch_to(rhs_bb);
+        let (r, rty) = self.expr(rhs)?;
+        self.expect_type(&rty, &Type::Bool, rhs.span)?;
+        self.emit(InstrKind::Move { dst: result, src: r }, span);
+        self.goto(end, span);
+        self.switch_to(const_bb);
+        let konst = Const::Bool(op == BinOp::Or);
+        self.emit(InstrKind::Const { dst: result, value: konst }, span);
+        self.goto(end, span);
+        self.switch_to(end);
+        Ok((Operand::Var(result), Type::Bool))
+    }
+
+    fn call(
+        &mut self,
+        base: Option<&Expr>,
+        name: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> Result<(Operand, Type), CompileError> {
+        // Static call through a class name: `C.m(...)`.
+        if let Some(b) = base {
+            if let Some(class) = self.class_name_base(b) {
+                let m = self.program.resolve_method(class, name).ok_or_else(|| {
+                    self.err(
+                        format!("unknown method `{name}` on `{}`", self.program.classes[class].name),
+                        span,
+                    )
+                })?;
+                if !self.program.methods[m].is_static {
+                    return Err(self.err(format!("method `{name}` is not static"), span));
+                }
+                let mut call_args = Vec::new();
+                self.check_and_lower_args(m, args, &mut call_args, span)?;
+                return Ok(self.emit_call(CallKind::Static, m, call_args, span));
+            }
+        }
+
+        let (recv, recv_ty, class) = match base {
+            Some(b) => {
+                let (v, ty) = self.expr(b)?;
+                let Type::Class(c) = ty.clone() else {
+                    return Err(self.err("method call on non-object", b.span));
+                };
+                (v, ty, c)
+            }
+            None => {
+                // Unqualified call: method of the enclosing class.
+                let m = self.program.resolve_method(self.class, name).ok_or_else(|| {
+                    self.err(format!("unknown method `{name}`"), span)
+                })?;
+                if self.program.methods[m].is_static {
+                    let mut call_args = Vec::new();
+                    self.check_and_lower_args(m, args, &mut call_args, span)?;
+                    return Ok(self.emit_call(CallKind::Static, m, call_args, span));
+                }
+                if self.meth().is_static {
+                    return Err(self.err(
+                        format!("cannot call instance method `{name}` from a static method"),
+                        span,
+                    ));
+                }
+                (Operand::Var(self.params[0]), Type::Class(self.class), self.class)
+            }
+        };
+        let m = self.program.resolve_method(class, name).ok_or_else(|| {
+            self.err(
+                format!("unknown method `{name}` on `{}`", self.program.classes[class].name),
+                span,
+            )
+        })?;
+        if self.program.methods[m].is_static {
+            return Err(self.err(format!("method `{name}` is static; call it on the class"), span));
+        }
+        if self.program.methods[m].is_ctor() {
+            return Err(self.err("constructors cannot be called directly", span));
+        }
+        let recv_var = self.operand_to_var(recv, recv_ty, span);
+        let mut call_args = vec![Operand::Var(recv_var)];
+        self.check_and_lower_args(m, args, &mut call_args, span)?;
+        Ok(self.emit_call(CallKind::Virtual, m, call_args, span))
+    }
+
+    fn super_call(&mut self, args: &[Expr], span: Span) -> Result<(Operand, Type), CompileError> {
+        if !self.meth().is_ctor() {
+            return Err(self.err("`super(...)` outside a constructor", span));
+        }
+        let sup = self.program.classes[self.class]
+            .superclass
+            .ok_or_else(|| self.err("`Object` has no superclass", span))?;
+        let ctor = self.program.ctor_of(sup).expect("ctor exists");
+        let mut call_args = vec![Operand::Var(self.params[0])];
+        self.check_and_lower_args(ctor, args, &mut call_args, span)?;
+        self.emit(
+            InstrKind::Call { dst: None, kind: CallKind::Special, callee: ctor, args: call_args },
+            span,
+        );
+        Ok((Operand::Const(Const::Null), Type::Void))
+    }
+
+    fn emit_call(
+        &mut self,
+        kind: CallKind,
+        callee: MethodId,
+        args: Vec<Operand>,
+        span: Span,
+    ) -> (Operand, Type) {
+        let ret = self.program.methods[callee].ret_ty.clone();
+        let dst = if ret == Type::Void { None } else { Some(self.new_temp(ret.clone())) };
+        self.emit(InstrKind::Call { dst, kind, callee, args }, span);
+        match dst {
+            Some(d) => (Operand::Var(d), ret),
+            None => (Operand::Const(Const::Null), Type::Void),
+        }
+    }
+
+    fn check_and_lower_args(
+        &mut self,
+        callee: MethodId,
+        args: &[Expr],
+        out: &mut Vec<Operand>,
+        span: Span,
+    ) -> Result<(), CompileError> {
+        let expected = self.program.methods[callee].param_tys.clone();
+        if expected.len() != args.len() {
+            return Err(self.err(
+                format!(
+                    "`{}` expects {} argument(s), got {}",
+                    self.program.methods[callee].qualified_name(self.program),
+                    expected.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        for (a, ety) in args.iter().zip(&expected) {
+            let (v, ty) = self.expr(a)?;
+            self.check_assignable(&ty, ety, a.span)?;
+            out.push(v);
+        }
+        Ok(())
+    }
+
+    // ---- helpers ----
+
+    /// If `base` is a bare name that denotes a class (and no variable shadows
+    /// it), returns the class.
+    fn class_name_base(&self, base: &Expr) -> Option<ClassId> {
+        match &base.kind {
+            ExprKind::Name(n) if self.lookup(n).is_none() => {
+                // Don't treat implicit fields as class names.
+                if self.program.resolve_field(self.class, n).is_some() {
+                    return None;
+                }
+                self.program.class_named(n)
+            }
+            _ => None,
+        }
+    }
+
+    fn operand_to_var(&mut self, op: Operand, ty: Type, span: Span) -> Var {
+        match op {
+            Operand::Var(v) => v,
+            Operand::Const(_) => {
+                let v = self.new_temp(ty);
+                self.emit(InstrKind::Move { dst: v, src: op }, span);
+                v
+            }
+        }
+    }
+
+    fn resolve_type(&self, ty: &TypeExpr, span: Span) -> Result<Type, CompileError> {
+        Ok(match ty {
+            TypeExpr::Int => Type::Int,
+            TypeExpr::Boolean => Type::Bool,
+            TypeExpr::Void => Type::Void,
+            TypeExpr::Named(n) => Type::Class(
+                self.program
+                    .class_named(n)
+                    .ok_or_else(|| self.err(format!("unknown class `{n}`"), span))?,
+            ),
+            TypeExpr::Array(e) => Type::Array(Box::new(self.resolve_type(e, span)?)),
+        })
+    }
+
+    fn expect_type(&self, got: &Type, want: &Type, span: Span) -> Result<(), CompileError> {
+        if got == want {
+            Ok(())
+        } else {
+            Err(self.err(
+                format!(
+                    "expected `{}`, found `{}`",
+                    want.display(self.program),
+                    got.display(self.program)
+                ),
+                span,
+            ))
+        }
+    }
+
+    fn check_assignable(&self, from: &Type, to: &Type, span: Span) -> Result<(), CompileError> {
+        if self.program.is_assignable(from, to) {
+            Ok(())
+        } else {
+            Err(self.err(
+                format!(
+                    "`{}` is not assignable to `{}`",
+                    from.display(self.program),
+                    to.display(self.program)
+                ),
+                span,
+            ))
+        }
+    }
+}
+
+/// An lvalue, fully evaluated except for the final read/write.
+enum Place {
+    Local(Var),
+    Field(Var, FieldId),
+    Static(FieldId),
+    ArrayElem(Var, Operand, Type),
+    /// `arr.length` — readable, never writable.
+    ArrayLength(Var),
+}
+
+fn ir_binop(op: BinOp) -> IrBinOp {
+    match op {
+        BinOp::Add => IrBinOp::Add,
+        BinOp::Sub => IrBinOp::Sub,
+        BinOp::Mul => IrBinOp::Mul,
+        BinOp::Div => IrBinOp::Div,
+        BinOp::Rem => IrBinOp::Rem,
+        BinOp::Lt => IrBinOp::Lt,
+        BinOp::Le => IrBinOp::Le,
+        BinOp::Gt => IrBinOp::Gt,
+        BinOp::Ge => IrBinOp::Ge,
+        BinOp::Eq => IrBinOp::Eq,
+        BinOp::Ne => IrBinOp::Ne,
+        BinOp::And | BinOp::Or => unreachable!("short-circuit ops lower to control flow"),
+    }
+}
+
+fn default_value(ty: &Type) -> Operand {
+    match ty {
+        Type::Int => Operand::Const(Const::Int(0)),
+        Type::Bool => Operand::Const(Const::Bool(false)),
+        _ => Operand::Const(Const::Null),
+    }
+}
+
+/// Removes blocks unreachable from the entry and compacts block ids.
+fn prune_unreachable(body: Body) -> Body {
+    use thinslice_util::Worklist;
+    let mut reachable = vec![false; body.blocks.len()];
+    let mut wl: Worklist<usize> = Worklist::new();
+    wl.push(body.entry.index_usize());
+    while let Some(b) = wl.pop() {
+        if reachable[b] {
+            continue;
+        }
+        reachable[b] = true;
+        for s in body.successors(BlockId::new(b)) {
+            wl.push(s.index_usize());
+        }
+    }
+    if reachable.iter().all(|&r| r) {
+        return body;
+    }
+    let mut remap: Vec<Option<BlockId>> = vec![None; body.blocks.len()];
+    let mut new_blocks: IdxVec<BlockId, Block> = IdxVec::new();
+    for (i, block) in body.blocks.iter().enumerate() {
+        if reachable[i] {
+            remap[i] = Some(new_blocks.push(block.clone()));
+        }
+    }
+    for block in new_blocks.iter_mut() {
+        if let Some(last) = block.instrs.last_mut() {
+            match &mut last.kind {
+                InstrKind::Goto { target } => *target = remap[target.index_usize()].unwrap(),
+                InstrKind::If { then_bb, else_bb, .. } => {
+                    *then_bb = remap[then_bb.index_usize()].unwrap();
+                    *else_bb = remap[else_bb.index_usize()].unwrap();
+                }
+                _ => {}
+            }
+        }
+    }
+    Body {
+        blocks: new_blocks,
+        vars: body.vars,
+        params: body.params,
+        entry: remap[body.entry.index_usize()].expect("entry is reachable"),
+    }
+}
+
+trait BlockIdExt {
+    fn index_usize(self) -> usize;
+}
+impl BlockIdExt for BlockId {
+    fn index_usize(self) -> usize {
+        thinslice_util::Idx::index(self)
+    }
+}

@@ -1,0 +1,195 @@
+//! Human-readable rendering of IR instructions, used by slice reports.
+
+use crate::ir::*;
+
+/// Renders a variable as `name.N` (SSA versions share the source name).
+pub fn var_str(body: &Body, v: Var) -> String {
+    format!("{}.{}", body.vars[v].name, v.raw())
+}
+
+fn operand_str(body: &Body, o: &Operand) -> String {
+    match o {
+        Operand::Var(v) => var_str(body, *v),
+        Operand::Const(Const::Int(n)) => n.to_string(),
+        Operand::Const(Const::Bool(b)) => b.to_string(),
+        Operand::Const(Const::Null) => "null".to_string(),
+    }
+}
+
+/// Renders one instruction of `method` as pseudo-source.
+pub fn instr_str(program: &Program, method: MethodId, instr: &Instr) -> String {
+    let body = program.methods[method].body.as_ref().expect("body");
+    let v = |x: &Var| var_str(body, *x);
+    let o = |x: &Operand| operand_str(body, x);
+    match &instr.kind {
+        InstrKind::Const { dst, value } => {
+            format!("{} = {}", v(dst), operand_str(body, &Operand::Const(*value)))
+        }
+        InstrKind::StrConst { dst, value } => format!("{} = \"{}\"", v(dst), value.escape_debug()),
+        InstrKind::Move { dst, src } => format!("{} = {}", v(dst), o(src)),
+        InstrKind::Unary { dst, op, src } => {
+            let sym = match op {
+                IrUnOp::Neg => "-",
+                IrUnOp::Not => "!",
+            };
+            format!("{} = {}{}", v(dst), sym, o(src))
+        }
+        InstrKind::Binary { dst, op, lhs, rhs } => {
+            format!("{} = {} {} {}", v(dst), o(lhs), binop_sym(*op), o(rhs))
+        }
+        InstrKind::StrConcat { dst, lhs, rhs } => {
+            format!("{} = concat({}, {})", v(dst), o(lhs), o(rhs))
+        }
+        InstrKind::New { dst, class } => {
+            format!("{} = new {}", v(dst), program.classes[*class].name)
+        }
+        InstrKind::NewArray { dst, elem, len } => {
+            format!("{} = new {}[{}]", v(dst), elem.display(program), o(len))
+        }
+        InstrKind::Load { dst, base, field } => {
+            format!("{} = {}.{}", v(dst), v(base), program.fields[*field].name)
+        }
+        InstrKind::Store { base, field, value } => {
+            format!("{}.{} = {}", v(base), program.fields[*field].name, o(value))
+        }
+        InstrKind::StaticLoad { dst, field } => {
+            let f = &program.fields[*field];
+            format!("{} = {}.{}", v(dst), program.classes[f.class].name, f.name)
+        }
+        InstrKind::StaticStore { field, value } => {
+            let f = &program.fields[*field];
+            format!("{}.{} = {}", program.classes[f.class].name, f.name, o(value))
+        }
+        InstrKind::ArrayLoad { dst, base, index } => {
+            format!("{} = {}[{}]", v(dst), v(base), o(index))
+        }
+        InstrKind::ArrayStore { base, index, value } => {
+            format!("{}[{}] = {}", v(base), o(index), o(value))
+        }
+        InstrKind::ArrayLen { dst, base } => format!("{} = {}.length", v(dst), v(base)),
+        InstrKind::Cast { dst, ty, src } => {
+            format!("{} = ({}) {}", v(dst), ty.display(program), o(src))
+        }
+        InstrKind::InstanceOf { dst, src, class } => {
+            format!("{} = {} instanceof {}", v(dst), o(src), program.classes[*class].name)
+        }
+        InstrKind::Call { dst, kind, callee, args } => {
+            let m = &program.methods[*callee];
+            let args_s: Vec<String> = args.iter().map(o).collect();
+            let prefix = match dst {
+                Some(d) => format!("{} = ", v(d)),
+                None => String::new(),
+            };
+            let k = match kind {
+                CallKind::Virtual => "virtual",
+                CallKind::Static => "static",
+                CallKind::Special => "special",
+            };
+            format!("{prefix}{k} {}({})", m.qualified_name(program), args_s.join(", "))
+        }
+        InstrKind::Print { value } => format!("print({})", o(value)),
+        InstrKind::Phi { dst, args } => {
+            let args_s: Vec<String> =
+                args.iter().map(|(b, a)| format!("bb{b}: {}", o(a))).collect();
+            format!("{} = \u{3c6}({})", v(dst), args_s.join(", "))
+        }
+        InstrKind::Goto { target } => format!("goto bb{target}"),
+        InstrKind::If { cond, then_bb, else_bb } => {
+            format!("if {} then bb{} else bb{}", o(cond), then_bb, else_bb)
+        }
+        InstrKind::Return { value } => match value {
+            Some(val) => format!("return {}", o(val)),
+            None => "return".to_string(),
+        },
+        InstrKind::Throw { value } => format!("throw {}", o(value)),
+    }
+}
+
+fn binop_sym(op: IrBinOp) -> &'static str {
+    match op {
+        IrBinOp::Add => "+",
+        IrBinOp::Sub => "-",
+        IrBinOp::Mul => "*",
+        IrBinOp::Div => "/",
+        IrBinOp::Rem => "%",
+        IrBinOp::Lt => "<",
+        IrBinOp::Le => "<=",
+        IrBinOp::Gt => ">",
+        IrBinOp::Ge => ">=",
+        IrBinOp::Eq => "==",
+        IrBinOp::Ne => "!=",
+    }
+}
+
+/// Renders a whole method body, one instruction per line, block headers
+/// included.
+pub fn method_str(program: &Program, method: MethodId) -> String {
+    let m = &program.methods[method];
+    let mut out = format!("{} {{\n", m.qualified_name(program));
+    if let Some(body) = &m.body {
+        for (b, block) in body.blocks.iter_enumerated() {
+            out.push_str(&format!("bb{b}:\n"));
+            for instr in &block.instrs {
+                out.push_str(&format!("    {}\n", instr_str(program, method, instr)));
+            }
+        }
+    } else {
+        out.push_str("    <native>\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a statement reference as `Class.method @ file:line: <source line>`,
+/// the format used in slice reports.
+pub fn stmt_str(program: &Program, s: StmtRef) -> String {
+    let m = &program.methods[s.method];
+    let instr = program.instr(s);
+    let file = &program.files[instr.span.file];
+    let src = file
+        .line(instr.span.line)
+        .map(str::trim)
+        .unwrap_or("<synthetic>");
+    format!(
+        "{} @ {}:{}: {}",
+        m.qualified_name(program),
+        file.name,
+        instr.span.line,
+        src
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+
+    #[test]
+    fn renders_instructions() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() { int x = 1; print(x + 2); } }",
+        )])
+        .unwrap();
+        let s = method_str(&p, p.main_method);
+        assert!(s.contains("Main.main"), "{s}");
+        assert!(s.contains("print("), "{s}");
+        assert!(s.contains("+ 2"), "{s}");
+    }
+
+    #[test]
+    fn stmt_str_includes_source_line() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() {\nprint(42);\n} }",
+        )])
+        .unwrap();
+        let print_stmt = p
+            .all_stmts()
+            .find(|s| matches!(p.instr(*s).kind, InstrKind::Print { .. }))
+            .unwrap();
+        let rendered = stmt_str(&p, print_stmt);
+        assert!(rendered.contains("t.mj:2"), "{rendered}");
+        assert!(rendered.contains("print(42);"), "{rendered}");
+    }
+}

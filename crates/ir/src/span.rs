@@ -1,0 +1,81 @@
+//! Source positions and spans.
+
+use std::fmt;
+use thinslice_util::new_index;
+
+new_index!(
+    /// Identifies a source file in a [`crate::Program`]'s file table.
+    pub struct FileId
+);
+
+/// A point in a source file (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// File containing the span.
+    pub file: FileId,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span pointing at the start of `file`.
+    pub fn start_of(file: FileId) -> Self {
+        Self { file, line: 1, col: 1 }
+    }
+
+    /// A placeholder span for synthesized code (file 0, line 0).
+    pub fn synthetic() -> Self {
+        Self { file: FileId::new(0), line: 0, col: 0 }
+    }
+
+    /// Whether this span was synthesized by the compiler.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A named source file and its text.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Display name of the file (e.g. `"nanoxml.mj"`).
+    pub name: String,
+    /// Full source text.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Returns the 1-based `line` of the file, if it exists.
+    pub fn line(&self, line: u32) -> Option<&str> {
+        if line == 0 {
+            return None;
+        }
+        self.text.lines().nth(line as usize - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_span_is_marked() {
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::start_of(FileId::new(0)).is_synthetic());
+    }
+
+    #[test]
+    fn source_file_line_lookup() {
+        let f = SourceFile { name: "t.mj".into(), text: "a\nb\nc".into() };
+        assert_eq!(f.line(2), Some("b"));
+        assert_eq!(f.line(0), None);
+        assert_eq!(f.line(4), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! SSA construction: pruned φ-placement and dominator-tree renaming.
+//!
+//! The paper's slicer "operates on an SSA representation, so [local flow]
+//! edges are added flow sensitively" (§5.1); SSA also gives the unique
+//! definitions needed when expanding aliasing questions (§4.1).
+
+use crate::dom::{dominance_frontiers, dominators};
+use crate::ir::*;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use thinslice_util::{Idx, IdxVec};
+
+/// Rewrites `body` into SSA form in place.
+///
+/// After this call every variable has exactly one definition; blocks may
+/// start with [`InstrKind::Phi`] instructions whose arguments name one
+/// operand per predecessor.
+pub fn into_ssa(body: &mut Body) {
+    let succs: Vec<Vec<usize>> =
+        body.blocks.indices().map(|b| body.successors(b).iter().map(|s| s.index()).collect()).collect();
+    let dom = dominators(&succs, body.entry.index());
+    let df = dominance_frontiers(&succs, &dom);
+
+    // Per-variable definition sites (blocks). BTreeMap: φ placement order
+    // must be deterministic so two compilations of the same source produce
+    // identical statement coordinates.
+    let mut def_blocks: BTreeMap<Var, Vec<usize>> = BTreeMap::new();
+    for p in &body.params {
+        def_blocks.entry(*p).or_default().push(body.entry.index());
+    }
+    for (b, block) in body.blocks.iter_enumerated() {
+        for instr in &block.instrs {
+            if let Some(d) = instr.kind.def() {
+                def_blocks.entry(d).or_default().push(b.index());
+            }
+        }
+    }
+
+    let live_in = liveness(body, &succs);
+
+    // φ placement at iterated dominance frontiers, pruned by liveness.
+    let mut phis: BTreeMap<usize, Vec<Var>> = BTreeMap::new(); // block -> original vars needing a phi
+    for (&var, defs) in &def_blocks {
+        // Iterated DF of even a single def block handles loop re-entry
+        // correctly, so no special-casing by def count is needed.
+        let mut work: Vec<usize> = defs.clone();
+        let mut has_phi: HashSet<usize> = HashSet::new();
+        while let Some(d) = work.pop() {
+            for &f in &df[d] {
+                if has_phi.insert(f) {
+                    if live_in[f].contains(&var) {
+                        phis.entry(f).or_default().push(var);
+                    }
+                    work.push(f);
+                }
+            }
+        }
+    }
+
+    // Insert placeholder φ instructions (args filled during renaming).
+    for (&b, vars) in &phis {
+        let block = &mut body.blocks[BlockId::new(b)];
+        for &v in vars {
+            let span = block.instrs.first().map(|i| i.span).unwrap_or_else(crate::span::Span::synthetic);
+            block.instrs.insert(
+                0,
+                Instr { kind: InstrKind::Phi { dst: v, args: Vec::new() }, span },
+            );
+        }
+    }
+
+    Renamer::new(body, &dom).run();
+}
+
+/// Backward liveness: per block, the set of variables live at entry.
+fn liveness(body: &Body, succs: &[Vec<usize>]) -> Vec<HashSet<Var>> {
+    let n = body.blocks.len();
+    let mut use_before_def: Vec<HashSet<Var>> = vec![HashSet::new(); n];
+    let mut defs: Vec<HashSet<Var>> = vec![HashSet::new(); n];
+    for (b, block) in body.blocks.iter_enumerated() {
+        let bi = b.index();
+        for instr in &block.instrs {
+            for (u, _) in instr.kind.uses() {
+                if !defs[bi].contains(&u) {
+                    use_before_def[bi].insert(u);
+                }
+            }
+            if let Some(d) = instr.kind.def() {
+                defs[bi].insert(d);
+            }
+        }
+    }
+    let mut live_in: Vec<HashSet<Var>> = vec![HashSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut out: HashSet<Var> = HashSet::new();
+            for &s in &succs[b] {
+                out.extend(live_in[s].iter().copied());
+            }
+            for d in &defs[b] {
+                out.remove(d);
+            }
+            out.extend(use_before_def[b].iter().copied());
+            if out != live_in[b] {
+                live_in[b] = out;
+                changed = true;
+            }
+        }
+    }
+    live_in
+}
+
+struct Renamer<'a> {
+    body: &'a mut Body,
+    dom_children: Vec<Vec<usize>>,
+    stacks: HashMap<Var, Vec<Var>>,
+    entry: usize,
+}
+
+impl<'a> Renamer<'a> {
+    fn new(body: &'a mut Body, dom: &crate::dom::DomInfo) -> Self {
+        let entry = body.entry.index();
+        Self { dom_children: dom.children(), body, stacks: HashMap::new(), entry }
+    }
+
+    fn run(mut self) {
+        for p in self.body.params.clone() {
+            self.stacks.insert(p, vec![p]);
+        }
+        // Iterative preorder walk of the dominator tree with explicit
+        // push/pop of rename frames.
+        enum Action {
+            Visit(usize),
+            Pop(Vec<(Var, bool)>), // (original, had_new_version) — pop one per entry
+        }
+        let mut stack = vec![Action::Visit(self.entry)];
+        while let Some(action) = stack.pop() {
+            match action {
+                Action::Visit(b) => {
+                    let pushed = self.rename_block(b);
+                    self.fill_phi_args(b);
+                    stack.push(Action::Pop(pushed));
+                    for &c in &self.dom_children[b] {
+                        stack.push(Action::Visit(c));
+                    }
+                }
+                Action::Pop(pushed) => {
+                    for (orig, _) in pushed {
+                        if let Some(s) = self.stacks.get_mut(&orig) {
+                            s.pop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn current(&self, v: Var) -> Option<Var> {
+        self.stacks.get(&v).and_then(|s| s.last().copied())
+    }
+
+    fn fresh_version(&mut self, orig: Var) -> Var {
+        let info = self.body.vars[orig].clone();
+        self.body.vars.push(VarInfo { name: info.name, ty: info.ty, origin: Some(orig) })
+    }
+
+    /// Renames defs/uses in block `b`; returns the list of originals whose
+    /// stack was pushed (to pop on exit).
+    fn rename_block(&mut self, b: usize) -> Vec<(Var, bool)> {
+        let mut pushed = Vec::new();
+        let block_id = BlockId::new(b);
+        let mut instrs = std::mem::take(&mut self.body.blocks[block_id].instrs);
+        for instr in instrs.iter_mut() {
+            // Uses first (except φ, whose args are filled from predecessors).
+            if !matches!(instr.kind, InstrKind::Phi { .. }) {
+                self.rename_uses(&mut instr.kind);
+            }
+            // Then the def.
+            if let Some(orig) = instr.kind.def() {
+                // The def in a Phi node refers to the original variable.
+                let orig = self.body.vars[orig].origin.unwrap_or(orig);
+                let new = self.fresh_version(orig);
+                set_def(&mut instr.kind, new);
+                self.stacks.entry(orig).or_default().push(new);
+                pushed.push((orig, true));
+            }
+        }
+        self.body.blocks[block_id].instrs = instrs;
+        pushed
+    }
+
+    fn rename_uses(&mut self, kind: &mut InstrKind) {
+        let map_operand = |stacks: &HashMap<Var, Vec<Var>>, o: &mut Operand| {
+            if let Operand::Var(v) = o {
+                if let Some(cur) = stacks.get(v).and_then(|s| s.last()) {
+                    *v = *cur;
+                }
+            }
+        };
+        let map_var = |stacks: &HashMap<Var, Vec<Var>>, v: &mut Var| {
+            if let Some(cur) = stacks.get(v).and_then(|s| s.last()) {
+                *v = *cur;
+            }
+        };
+        let st = &self.stacks;
+        match kind {
+            InstrKind::Const { .. } | InstrKind::StrConst { .. } | InstrKind::New { .. }
+            | InstrKind::StaticLoad { .. } | InstrKind::Goto { .. } | InstrKind::Phi { .. } => {}
+            InstrKind::Move { src, .. }
+            | InstrKind::Unary { src, .. }
+            | InstrKind::Cast { src, .. }
+            | InstrKind::InstanceOf { src, .. }
+            | InstrKind::StaticStore { value: src, .. }
+            | InstrKind::Print { value: src }
+            | InstrKind::Throw { value: src } => map_operand(st, src),
+            InstrKind::Binary { lhs, rhs, .. } | InstrKind::StrConcat { lhs, rhs, .. } => {
+                map_operand(st, lhs);
+                map_operand(st, rhs);
+            }
+            InstrKind::NewArray { len, .. } => map_operand(st, len),
+            InstrKind::Load { base, .. } | InstrKind::ArrayLen { base, .. } => map_var(st, base),
+            InstrKind::Store { base, value, .. } => {
+                map_var(st, base);
+                map_operand(st, value);
+            }
+            InstrKind::ArrayLoad { base, index, .. } => {
+                map_var(st, base);
+                map_operand(st, index);
+            }
+            InstrKind::ArrayStore { base, index, value } => {
+                map_var(st, base);
+                map_operand(st, index);
+                map_operand(st, value);
+            }
+            InstrKind::Call { args, .. } => {
+                for a in args {
+                    map_operand(st, a);
+                }
+            }
+            InstrKind::If { cond, .. } => map_operand(st, cond),
+            InstrKind::Return { value } => {
+                if let Some(v) = value {
+                    map_operand(st, v);
+                }
+            }
+        }
+    }
+
+    /// After renaming block `b`, append the matching φ argument in every
+    /// successor's φ nodes.
+    fn fill_phi_args(&mut self, b: usize) {
+        let block_id = BlockId::new(b);
+        for s in self.body.successors(block_id) {
+            let mut instrs = std::mem::take(&mut self.body.blocks[s].instrs);
+            for instr in instrs.iter_mut() {
+                if let InstrKind::Phi { dst, args } = &mut instr.kind {
+                    let orig = self.body.vars[*dst].origin.unwrap_or(*dst);
+                    let operand = match self.current(orig) {
+                        Some(v) => Operand::Var(v),
+                        None => default_for(&self.body.vars[orig].ty),
+                    };
+                    // A block can appear twice as a predecessor (e.g. both
+                    // branches of an `if` target the same block); record one
+                    // argument per incoming edge occurrence.
+                    args.push((block_id, operand));
+                } else {
+                    break; // φ nodes are contiguous at block start
+                }
+            }
+            self.body.blocks[s].instrs = instrs;
+        }
+    }
+}
+
+fn default_for(ty: &Type) -> Operand {
+    match ty {
+        Type::Int => Operand::Const(Const::Int(0)),
+        Type::Bool => Operand::Const(Const::Bool(false)),
+        _ => Operand::Const(Const::Null),
+    }
+}
+
+fn set_def(kind: &mut InstrKind, new: Var) {
+    match kind {
+        InstrKind::Const { dst, .. }
+        | InstrKind::StrConst { dst, .. }
+        | InstrKind::Move { dst, .. }
+        | InstrKind::Unary { dst, .. }
+        | InstrKind::Binary { dst, .. }
+        | InstrKind::StrConcat { dst, .. }
+        | InstrKind::New { dst, .. }
+        | InstrKind::NewArray { dst, .. }
+        | InstrKind::Load { dst, .. }
+        | InstrKind::StaticLoad { dst, .. }
+        | InstrKind::ArrayLoad { dst, .. }
+        | InstrKind::ArrayLen { dst, .. }
+        | InstrKind::Cast { dst, .. }
+        | InstrKind::InstanceOf { dst, .. }
+        | InstrKind::Phi { dst, .. } => *dst = new,
+        InstrKind::Call { dst, .. } => *dst = Some(new),
+        _ => unreachable!("instruction has no def"),
+    }
+}
+
+/// Checks the SSA invariant: every variable has at most one definition, and
+/// φ nodes have one argument per predecessor edge. Used by tests and
+/// assertions.
+pub fn validate_ssa(body: &Body) -> Result<(), String> {
+    let mut defined: IdxVec<Var, u32> = IdxVec::from_elem(0, body.vars.len());
+    for p in &body.params {
+        defined[*p] += 1;
+    }
+    for (_, instr) in body.instrs() {
+        if let Some(d) = instr.kind.def() {
+            defined[d] += 1;
+        }
+    }
+    for (v, &count) in defined.iter_enumerated() {
+        if count > 1 {
+            return Err(format!("variable {v:?} has {count} definitions"));
+        }
+    }
+    let preds = body.predecessors();
+    for (b, block) in body.blocks.iter_enumerated() {
+        for instr in &block.instrs {
+            if let InstrKind::Phi { args, .. } = &instr.kind {
+                if args.len() != preds[b].len() {
+                    return Err(format!(
+                        "phi in {b:?} has {} args but block has {} preds",
+                        args.len(),
+                        preds[b].len()
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+
+    fn body_of<'p>(p: &'p Program, class: &str, method: &str) -> &'p Body {
+        let c = p.class_named(class).unwrap();
+        let m = p.resolve_method(c, method).unwrap();
+        p.methods[m].body.as_ref().unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_ssa() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() { int x = 1; x = x + 1; print(x); } }",
+        )])
+        .unwrap();
+        let body = body_of(&p, "Main", "main");
+        validate_ssa(body).unwrap();
+        // x is versioned: the print must use the second version.
+        let print_use = body
+            .instrs()
+            .find_map(|(_, i)| match &i.kind {
+                InstrKind::Print { value: Operand::Var(v) } => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        let add_def = body
+            .instrs()
+            .find_map(|(_, i)| match &i.kind {
+                InstrKind::Move { dst, src: Operand::Var(_) } => Some(*dst),
+                _ => None,
+            });
+        assert!(add_def.is_some());
+        assert_eq!(body.vars[print_use].name, "x");
+    }
+
+    #[test]
+    fn if_join_gets_phi() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                int x = 0;
+                if (true) { x = 1; } else { x = 2; }
+                print(x);
+             } }",
+        )])
+        .unwrap();
+        let body = body_of(&p, "Main", "main");
+        validate_ssa(body).unwrap();
+        let phi_count = body
+            .instrs()
+            .filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. }))
+            .count();
+        assert_eq!(phi_count, 1, "exactly one phi for x at the join");
+    }
+
+    #[test]
+    fn loop_variable_gets_phi() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                int i = 0;
+                while (i < 10) { i = i + 1; }
+                print(i);
+             } }",
+        )])
+        .unwrap();
+        let body = body_of(&p, "Main", "main");
+        validate_ssa(body).unwrap();
+        let phis: Vec<_> = body
+            .instrs()
+            .filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. }))
+            .collect();
+        assert!(!phis.is_empty(), "loop header needs a phi for i");
+    }
+
+    #[test]
+    fn dead_variable_gets_no_phi() {
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                int x = 0;
+                if (true) { x = 1; } else { x = 2; }
+                print(7);
+             } }",
+        )])
+        .unwrap();
+        let body = body_of(&p, "Main", "main");
+        validate_ssa(body).unwrap();
+        let phi_count =
+            body.instrs().filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. })).count();
+        assert_eq!(phi_count, 0, "x is dead after the if; pruned SSA places no phi");
+    }
+
+    #[test]
+    fn params_are_ssa_roots() {
+        let p = compile(&[(
+            "t.mj",
+            "class A { int id(int x) { return x; } }
+             class Main { static void main() { A a = new A(); print(a.id(3)); } }",
+        )])
+        .unwrap();
+        let body = body_of(&p, "A", "id");
+        validate_ssa(body).unwrap();
+        let ret_use = body
+            .instrs()
+            .find_map(|(_, i)| match &i.kind {
+                InstrKind::Return { value: Some(Operand::Var(v)) } => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(ret_use, body.params[1], "return uses the parameter version directly");
+    }
+}

@@ -1,0 +1,319 @@
+//! The built-in MJ standard library.
+//!
+//! The thin-slicing paper analyses Java programs together with the JDK
+//! library, whose container classes (`Vector`, `Hashtable`, …) are the main
+//! source of slice pollution (paper §1). This module provides MJ equivalents
+//! with the same store/load-through-heap structure, so the paper's effects
+//! reproduce: values stored into a `Vector` travel through `elems[...]`,
+//! hashtable values through bucket chains, and so on.
+//!
+//! Methods whose behaviour cannot be expressed in MJ (I/O, hashing) are
+//! `native`; the analyses model a native call as producing a fresh object
+//! whose value derives from the call's arguments.
+
+/// MJ source text of the standard library, prepended to every compilation
+/// by [`fn@crate::compile`].
+pub const STDLIB_SOURCE: &str = r#"
+class Object {
+}
+
+class String {
+    native int length();
+    native int indexOf(String needle);
+    native String substring(int begin, int end);
+    native boolean equalsStr(String other);
+    native int toInt();
+}
+
+class StringBuffer {
+    String data;
+    StringBuffer() { this.data = ""; }
+    void append(String s) { this.data = this.data + s; }
+    String toString() { return this.data; }
+}
+
+class Exception {
+    String message;
+    Exception(String message) { this.message = message; }
+    String getMessage() { return this.message; }
+}
+
+class RuntimeException extends Exception {
+    RuntimeException(String message) { super(message); }
+}
+
+class Vector {
+    Object[] elems;
+    int count;
+    Vector() {
+        this.elems = new Object[10];
+        this.count = 0;
+    }
+    void add(Object p) {
+        if (this.count == this.elems.length) {
+            this.grow();
+        }
+        this.elems[this.count] = p;
+        this.count = this.count + 1;
+    }
+    void grow() {
+        Object[] bigger = new Object[this.elems.length * 2];
+        int i = 0;
+        while (i < this.count) {
+            bigger[i] = this.elems[i];
+            i = i + 1;
+        }
+        this.elems = bigger;
+    }
+    Object get(int ind) {
+        return this.elems[ind];
+    }
+    void set(int ind, Object p) {
+        this.elems[ind] = p;
+    }
+    Object removeAt(int ind) {
+        Object old = this.elems[ind];
+        int i = ind;
+        while (i < this.count - 1) {
+            this.elems[i] = this.elems[i + 1];
+            i = i + 1;
+        }
+        this.count = this.count - 1;
+        return old;
+    }
+    int size() { return this.count; }
+    boolean isEmpty() { return this.count == 0; }
+    boolean contains(Object p) {
+        int i = 0;
+        while (i < this.count) {
+            if (this.elems[i] == p) { return true; }
+            i = i + 1;
+        }
+        return false;
+    }
+    VectorIterator iterator() { return new VectorIterator(this); }
+}
+
+class VectorIterator {
+    Vector vec;
+    int pos;
+    VectorIterator(Vector vec) {
+        this.vec = vec;
+        this.pos = 0;
+    }
+    boolean hasNext() { return this.pos < this.vec.size(); }
+    Object next() {
+        Object item = this.vec.get(this.pos);
+        this.pos = this.pos + 1;
+        return item;
+    }
+}
+
+class Stack extends Vector {
+    Stack() { super(); }
+    void push(Object p) { this.add(p); }
+    Object pop() { return this.removeAt(this.size() - 1); }
+    Object peek() { return this.get(this.size() - 1); }
+}
+
+class MapEntry {
+    Object key;
+    Object value;
+    MapEntry next;
+    MapEntry(Object key, Object value) {
+        this.key = key;
+        this.value = value;
+        this.next = null;
+    }
+}
+
+class Hashtable {
+    MapEntry[] buckets;
+    int count;
+    Hashtable() {
+        this.buckets = new MapEntry[16];
+        this.count = 0;
+    }
+    native int hashOf(Object key);
+    boolean keysEqual(Object a, Object b) {
+        if (a == b) { return true; }
+        if (a instanceof String && b instanceof String) {
+            String left = (String) a;
+            String right = (String) b;
+            return left.equalsStr(right);
+        }
+        return false;
+    }
+    void put(Object key, Object value) {
+        int h = this.hashOf(key) % this.buckets.length;
+        MapEntry e = this.buckets[h];
+        while (e != null) {
+            if (this.keysEqual(e.key, key)) {
+                e.value = value;
+                return;
+            }
+            e = e.next;
+        }
+        MapEntry fresh = new MapEntry(key, value);
+        fresh.next = this.buckets[h];
+        this.buckets[h] = fresh;
+        this.count = this.count + 1;
+    }
+    Object get(Object key) {
+        int h = this.hashOf(key) % this.buckets.length;
+        MapEntry e = this.buckets[h];
+        while (e != null) {
+            if (this.keysEqual(e.key, key)) { return e.value; }
+            e = e.next;
+        }
+        return null;
+    }
+    boolean containsKey(Object key) {
+        return this.get(key) != null;
+    }
+    int size() { return this.count; }
+    Vector values() {
+        Vector out = new Vector();
+        int i = 0;
+        while (i < this.buckets.length) {
+            MapEntry e = this.buckets[i];
+            while (e != null) {
+                out.add(e.value);
+                e = e.next;
+            }
+            i = i + 1;
+        }
+        return out;
+    }
+}
+
+class ListNode {
+    Object item;
+    ListNode next;
+    ListNode(Object item) {
+        this.item = item;
+        this.next = null;
+    }
+}
+
+class LinkedList {
+    ListNode head;
+    int count;
+    LinkedList() {
+        this.head = null;
+        this.count = 0;
+    }
+    void addFirst(Object p) {
+        ListNode n = new ListNode(p);
+        n.next = this.head;
+        this.head = n;
+        this.count = this.count + 1;
+    }
+    Object getFirst() { return this.head.item; }
+    Object get(int ind) {
+        ListNode cur = this.head;
+        int i = 0;
+        while (i < ind) {
+            cur = cur.next;
+            i = i + 1;
+        }
+        return cur.item;
+    }
+    int size() { return this.count; }
+    boolean isEmpty() { return this.head == null; }
+}
+
+class InputStream {
+    String path;
+    boolean closed;
+    InputStream(String path) {
+        this.path = path;
+        this.closed = false;
+    }
+    native String readLine();
+    native int readInt();
+    native boolean eof();
+    void close() { this.closed = true; }
+}
+
+class Math {
+    static native int abs(int x);
+    static native int max(int a, int b);
+    static native int min(int a, int b);
+    static native int random(int bound);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::compile;
+    use crate::ir::Type;
+
+    #[test]
+    fn stdlib_compiles_alone() {
+        let p = compile(&[("t.mj", "class Main { static void main() {} }")]).unwrap();
+        for name in [
+            "Object",
+            "String",
+            "StringBuffer",
+            "Exception",
+            "RuntimeException",
+            "Vector",
+            "VectorIterator",
+            "Stack",
+            "MapEntry",
+            "Hashtable",
+            "ListNode",
+            "LinkedList",
+            "InputStream",
+            "Math",
+        ] {
+            assert!(p.class_named(name).is_some(), "missing stdlib class {name}");
+        }
+    }
+
+    #[test]
+    fn stack_extends_vector() {
+        let p = compile(&[("t.mj", "class Main { static void main() {} }")]).unwrap();
+        let stack = p.class_named("Stack").unwrap();
+        let vector = p.class_named("Vector").unwrap();
+        assert!(p.is_subclass(stack, vector));
+        // `push` resolves `add` from the superclass.
+        assert!(p.resolve_method(stack, "add").is_some());
+    }
+
+    #[test]
+    fn native_methods_have_no_body() {
+        let p = compile(&[("t.mj", "class Main { static void main() {} }")]).unwrap();
+        let s = p.class_named("String").unwrap();
+        let m = p.resolve_method(s, "substring").unwrap();
+        assert!(p.methods[m].is_native);
+        assert!(p.methods[m].body.is_none());
+        assert_eq!(p.methods[m].ret_ty, Type::Class(s));
+    }
+
+    #[test]
+    fn stdlib_programs_run_through_lowering() {
+        // Exercise the container code paths from user code.
+        let p = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                Vector v = new Vector();
+                v.add(\"a\");
+                String s = (String) v.get(0);
+                Hashtable h = new Hashtable();
+                h.put(s, v);
+                Vector w = (Vector) h.get(s);
+                print(w.size());
+                Stack st = new Stack();
+                st.push(s);
+                print((String) st.pop());
+                LinkedList l = new LinkedList();
+                l.addFirst(s);
+                print((String) l.getFirst());
+            } }",
+        )])
+        .unwrap();
+        assert!(p.methods[p.main_method].body.is_some());
+    }
+}

@@ -1,0 +1,252 @@
+//! Token definitions for the MJ language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// Location of the token's first character.
+    pub span: Span,
+}
+
+/// The kinds of MJ tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier such as `Vector` or `firstName`.
+    Ident(String),
+    /// An integer literal.
+    IntLit(i64),
+    /// A string literal (contents, unescaped).
+    StrLit(String),
+
+    // Keywords.
+    /// `Class`
+    Class,
+    /// `Extends`
+    Extends,
+    /// `Static`
+    Static,
+    /// `Native`
+    Native,
+    /// `Void`
+    Void,
+    /// `Int`
+    Int,
+    /// `Boolean`
+    Boolean,
+    /// `If`
+    If,
+    /// `Else`
+    Else,
+    /// `While`
+    While,
+    /// `For`
+    For,
+    /// `Return`
+    Return,
+    /// `Throw`
+    Throw,
+    /// `New`
+    New,
+    /// `Null`
+    Null,
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `This`
+    This,
+    /// `Super`
+    Super,
+    /// `InstanceOf`
+    InstanceOf,
+    /// `Print`
+    Print,
+
+    // Punctuation and operators.
+    /// `LBrace`
+    LBrace,
+    /// `RBrace`
+    RBrace,
+    /// `LParen`
+    LParen,
+    /// `RParen`
+    RParen,
+    /// `LBracket`
+    LBracket,
+    /// `RBracket`
+    RBracket,
+    /// `Semi`
+    Semi,
+    /// `Comma`
+    Comma,
+    /// `Dot`
+    Dot,
+    /// `Assign`
+    Assign,
+    /// `Plus`
+    Plus,
+    /// `Minus`
+    Minus,
+    /// `Star`
+    Star,
+    /// `Slash`
+    Slash,
+    /// `Percent`
+    Percent,
+    /// `Not`
+    Not,
+    /// `Lt`
+    Lt,
+    /// `Le`
+    Le,
+    /// `Gt`
+    Gt,
+    /// `Ge`
+    Ge,
+    /// `EqEq`
+    EqEq,
+    /// `NotEq`
+    NotEq,
+    /// `AndAnd`
+    AndAnd,
+    /// `OrOr`
+    OrOr,
+    /// `PlusPlus`
+    PlusPlus,
+    /// `MinusMinus`
+    MinusMinus,
+    /// `PlusAssign`
+    PlusAssign,
+    /// `MinusAssign`
+    MinusAssign,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "extends" => TokenKind::Extends,
+            "static" => TokenKind::Static,
+            "native" => TokenKind::Native,
+            "void" => TokenKind::Void,
+            "int" => TokenKind::Int,
+            "boolean" => TokenKind::Boolean,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "throw" => TokenKind::Throw,
+            "new" => TokenKind::New,
+            "null" => TokenKind::Null,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "this" => TokenKind::This,
+            "super" => TokenKind::Super,
+            "instanceof" => TokenKind::InstanceOf,
+            "print" => TokenKind::Print,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable description, used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(n) => format!("integer `{n}`"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::Class => "class",
+            TokenKind::Extends => "extends",
+            TokenKind::Static => "static",
+            TokenKind::Native => "native",
+            TokenKind::Void => "void",
+            TokenKind::Int => "int",
+            TokenKind::Boolean => "boolean",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::For => "for",
+            TokenKind::Return => "return",
+            TokenKind::Throw => "throw",
+            TokenKind::New => "new",
+            TokenKind::Null => "null",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::This => "this",
+            TokenKind::Super => "super",
+            TokenKind::InstanceOf => "instanceof",
+            TokenKind::Print => "print",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Not => "!",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::Ident(_) | TokenKind::IntLit(_) | TokenKind::StrLit(_) | TokenKind::Eof => {
+                unreachable!("handled in describe")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
+        assert_eq!(TokenKind::keyword("instanceof"), Some(TokenKind::InstanceOf));
+        assert_eq!(TokenKind::keyword("Vector"), None);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

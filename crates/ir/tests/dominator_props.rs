@@ -1,0 +1,136 @@
+//! Property tests for the dominator machinery: the iterative
+//! Cooper–Harvey–Kennedy result is validated against a brute-force
+//! definition of dominance on random graphs.
+
+use proptest::prelude::*;
+use thinslice_ir::dom::{dominance_frontiers, dominators};
+
+/// Brute force: `a` dominates `b` iff removing `a` makes `b` unreachable
+/// from the root (plus reflexivity).
+fn dominates_brute(succs: &[Vec<usize>], root: usize, a: usize, b: usize) -> bool {
+    if a == b {
+        return true;
+    }
+    let mut visited = vec![false; succs.len()];
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if n == a || std::mem::replace(&mut visited[n], true) {
+            continue;
+        }
+        for &s in &succs[n] {
+            stack.push(s);
+        }
+    }
+    // b unreachable without a (and b reachable at all) ⇒ a dominates b.
+    !visited[b]
+}
+
+fn reachable(succs: &[Vec<usize>], root: usize) -> Vec<bool> {
+    let mut visited = vec![false; succs.len()];
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if std::mem::replace(&mut visited[n], true) {
+            continue;
+        }
+        for &s in &succs[n] {
+            stack.push(s);
+        }
+    }
+    visited
+}
+
+fn arb_graph() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (2usize..10).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0..n, 0..3),
+            n..=n,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The computed immediate dominator really dominates, and no strictly
+    /// closer dominator exists between idom(b) and b.
+    #[test]
+    fn idom_agrees_with_brute_force(succs in arb_graph()) {
+        let root = 0;
+        let dom = dominators(&succs, root);
+        let reach = reachable(&succs, root);
+        for b in 0..succs.len() {
+            if !reach[b] {
+                prop_assert_eq!(dom.idom[b], None, "unreachable nodes get no idom");
+                continue;
+            }
+            // dominates() must agree with the brute-force oracle for every
+            // candidate dominator.
+            #[allow(clippy::needless_range_loop)] // a/b index several slices
+            for a in 0..succs.len() {
+                if !reach[a] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    dominates_brute(&succs, root, a, b),
+                    "dominates({}, {}) mismatch", a, b
+                );
+            }
+        }
+    }
+
+    /// Dominance frontier definition: x ∈ DF(a) iff a dominates some
+    /// predecessor of x but does not strictly dominate x.
+    #[test]
+    fn frontier_matches_definition(succs in arb_graph()) {
+        let root = 0;
+        let dom = dominators(&succs, root);
+        let reach = reachable(&succs, root);
+        let df = dominance_frontiers(&succs, &dom);
+        // Predecessors, restricted to reachable nodes.
+        let mut preds = vec![Vec::new(); succs.len()];
+        for a in 0..succs.len() {
+            if !reach[a] {
+                continue;
+            }
+            for &s in &succs[a] {
+                preds[s].push(a);
+            }
+        }
+        for a in 0..succs.len() {
+            if !reach[a] {
+                continue;
+            }
+            for x in 0..succs.len() {
+                if !reach[x] {
+                    continue;
+                }
+                let in_df = df[a].contains(&x);
+                let expected = preds[x].iter().any(|&p| dom.dominates(a, p))
+                    && (a == x || !dom.dominates(a, x));
+                prop_assert_eq!(in_df, expected, "DF({})∋{} mismatch", a, x);
+            }
+        }
+    }
+
+    /// The dominator tree is a tree: following idom from any reachable node
+    /// terminates at the root.
+    #[test]
+    fn idom_chains_reach_the_root(succs in arb_graph()) {
+        let root = 0;
+        let dom = dominators(&succs, root);
+        let reach = reachable(&succs, root);
+        #[allow(clippy::needless_range_loop)] // n indexes both reach and idom
+        for mut n in 0..succs.len() {
+            if !reach[n] {
+                continue;
+            }
+            let mut steps = 0;
+            while n != root {
+                n = dom.idom[n].expect("reachable node has idom");
+                steps += 1;
+                prop_assert!(steps <= succs.len(), "idom chain cycles");
+            }
+        }
+    }
+}

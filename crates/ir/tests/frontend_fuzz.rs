@@ -1,0 +1,69 @@
+//! Frontend robustness: the lexer/parser/compiler must never panic on
+//! arbitrary input — only return errors — and must round-trip whatever the
+//! program generator emits.
+
+use proptest::prelude::*;
+use thinslice_ir::{compile, lexer::lex, parser::parse, FileId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the lexer.
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(FileId::new(0), &input);
+    }
+
+    /// Arbitrary token-ish soup never panics the parser.
+    #[test]
+    fn parser_never_panics(input in "[a-zA-Z0-9{}()\\[\\];,.=+\\-*/%!<>&|\"' \n\t]*") {
+        let _ = parse(FileId::new(0), &input);
+    }
+
+    /// Arbitrary class-shaped text never panics the whole pipeline.
+    #[test]
+    fn compiler_never_panics(body in "[a-z0-9 ;=+(){}.\\[\\]]*") {
+        let src = format!("class Main {{ static void main() {{ {body} }} }}");
+        let _ = compile(&[("t.mj", &src)]);
+    }
+}
+
+/// A grab-bag of malformed programs that must produce *errors*, not panics
+/// or silent acceptance.
+#[test]
+fn malformed_programs_error_cleanly() {
+    let cases = [
+        "",                                     // no classes at all
+        "class",                                // truncated
+        "class A",                              // truncated
+        "class A {",                            // unclosed
+        "class A { int }",                      // field without name
+        "class A { void m( }",                  // bad params
+        "class A { void m() { if } }",          // bad statement
+        "class A { void m() { x = ; } }",       // missing rhs
+        "class A { void m() { return return; } }",
+        "class A { void m() { new ; } }",
+        "class A { void m() { (int) true; } }", // cast of bool to int, also not a stmt
+        "class A { void m() { while (1 {} } }",
+        "class Main { static void main() { int[] a = new int[true]; } }",
+        "class Main { static void main() { print(1 + ); } }",
+        "class Main { static void main() { String s = \"unterminated; } }",
+    ];
+    for src in cases {
+        match compile(&[("bad.mj", src)]) {
+            Err(_) => {}
+            Ok(_) => panic!("malformed program accepted: {src:?}"),
+        }
+    }
+}
+
+/// Error spans point into the right file and line.
+#[test]
+fn error_spans_are_positioned() {
+    let err = compile(&[(
+        "pos.mj",
+        "class Main {\n    static void main() {\n        int x = true;\n    }\n}",
+    )])
+    .unwrap_err();
+    assert_eq!(err.span.line, 3, "{err}");
+}

@@ -1,0 +1,307 @@
+//! Lowering and type-checking behaviour: error cases and the IR shapes the
+//! frontend guarantees.
+
+use thinslice_ir::{compile, Body, InstrKind, IrBinOp, Operand, Program};
+
+fn err_of(src: &str) -> String {
+    compile(&[("t.mj", src)]).unwrap_err().to_string()
+}
+
+fn main_body(src: &str) -> (Program, Body) {
+    let p = compile(&[("t.mj", src)]).unwrap();
+    let b = p.methods[p.main_method].body.as_ref().unwrap().clone();
+    (p, b)
+}
+
+// ---- type errors ----
+
+#[test]
+fn assigning_incompatible_class_is_an_error() {
+    let e = err_of(
+        "class A {} class B {} class Main { static void main() { A a = new B(); } }",
+    );
+    assert!(e.contains("not assignable"), "{e}");
+}
+
+#[test]
+fn arithmetic_on_booleans_is_an_error() {
+    let e = err_of("class Main { static void main() { int x = true + 1; } }");
+    assert!(e.contains("expected `int`"), "{e}");
+}
+
+#[test]
+fn condition_must_be_boolean() {
+    let e = err_of("class Main { static void main() { if (1) { print(1); } } }");
+    assert!(e.contains("expected `boolean`"), "{e}");
+}
+
+#[test]
+fn comparing_int_with_object_is_an_error() {
+    let e = err_of(
+        "class A {} class Main { static void main() { A a = new A(); boolean b = a == 1; } }",
+    );
+    assert!(e.contains("cannot compare"), "{e}");
+}
+
+#[test]
+fn unknown_variable_is_an_error() {
+    let e = err_of("class Main { static void main() { print(nothing); } }");
+    assert!(e.contains("unknown variable"), "{e}");
+}
+
+#[test]
+fn unknown_method_is_an_error() {
+    let e = err_of(
+        "class A {} class Main { static void main() { A a = new A(); a.zap(); } }",
+    );
+    assert!(e.contains("unknown method"), "{e}");
+}
+
+#[test]
+fn unknown_field_is_an_error() {
+    let e = err_of(
+        "class A {} class Main { static void main() { A a = new A(); print(a.zap); } }",
+    );
+    assert!(e.contains("unknown field"), "{e}");
+}
+
+#[test]
+fn this_in_static_method_is_an_error() {
+    let e = err_of("class Main { static void main() { print(this); } }");
+    assert!(e.contains("`this` in a static method"), "{e}");
+}
+
+#[test]
+fn super_outside_constructor_is_an_error() {
+    let e = err_of(
+        "class A {} class B extends A { void m() { super(); } }
+         class Main { static void main() {} }",
+    );
+    assert!(e.contains("outside a constructor"), "{e}");
+}
+
+#[test]
+fn wrong_arity_is_an_error() {
+    let e = err_of(
+        "class A { void m(int x) {} }
+         class Main { static void main() { A a = new A(); a.m(); } }",
+    );
+    assert!(e.contains("expects 1 argument"), "{e}");
+}
+
+#[test]
+fn impossible_cast_is_an_error() {
+    let e = err_of(
+        "class A {} class B {}
+         class Main { static void main() { A a = new A(); B b = (B) a; } }",
+    );
+    assert!(e.contains("can never succeed"), "{e}");
+}
+
+#[test]
+fn instance_field_from_static_method_is_an_error() {
+    let e = err_of(
+        "class Main { int f; static void main() { f = 1; } }",
+    );
+    assert!(e.contains("instance field"), "{e}");
+}
+
+#[test]
+fn shadowing_in_same_scope_is_an_error() {
+    let e = err_of("class Main { static void main() { int x = 1; int x = 2; } }");
+    assert!(e.contains("already declared"), "{e}");
+}
+
+#[test]
+fn shadowing_in_nested_scope_is_allowed() {
+    let p = compile(&[(
+        "t.mj",
+        "class Main { static void main() { int x = 1; { int x = 2; print(x); } print(x); } }",
+    )]);
+    assert!(p.is_ok());
+}
+
+#[test]
+fn assigning_to_array_length_is_an_error() {
+    let e = err_of(
+        "class Main { static void main() { int[] a = new int[3]; a.length = 5; } }",
+    );
+    assert!(e.contains("cannot assign to array length"), "{e}");
+}
+
+#[test]
+fn void_method_cannot_return_a_value() {
+    let e = err_of("class Main { static void main() { return 1; } }");
+    assert!(e.contains("void method"), "{e}");
+}
+
+#[test]
+fn throwing_a_primitive_is_an_error() {
+    let e = err_of("class Main { static void main() { throw 3; } }");
+    assert!(e.contains("throw"), "{e}");
+}
+
+#[test]
+fn missing_explicit_super_for_arg_ctor_is_an_error() {
+    let e = err_of(
+        "class A { A(int x) {} }
+         class B extends A { B() { print(1); } }
+         class Main { static void main() {} }",
+    );
+    assert!(e.contains("super"), "{e}");
+}
+
+// ---- lowering shapes ----
+
+#[test]
+fn short_circuit_becomes_control_flow() {
+    let (_, body) = main_body(
+        "class Main { static void main(){
+            boolean a = true;
+            boolean b = false;
+            if (a && b) { print(1); }
+        } }",
+    );
+    // && lowers to two If terminators (one for the &&, one for the if).
+    let ifs = body
+        .instrs()
+        .filter(|(_, i)| matches!(i.kind, InstrKind::If { .. }))
+        .count();
+    assert_eq!(ifs, 2, "short-circuit && introduces its own branch");
+}
+
+#[test]
+fn compound_assignment_to_field_loads_then_stores() {
+    let (_, _) = main_body(
+        "class Main { static void main() { } }",
+    );
+    let p = compile(&[(
+        "t.mj",
+        "class C { int f; void bump() { this.f += 2; } }
+         class Main { static void main() { C c = new C(); c.bump(); } }",
+    )])
+    .unwrap();
+    let c = p.class_named("C").unwrap();
+    let bump = p.resolve_method(c, "bump").unwrap();
+    let body = p.methods[bump].body.as_ref().unwrap();
+    let has_load = body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Load { .. }));
+    let has_add = body.instrs().any(|(_, i)| {
+        matches!(i.kind, InstrKind::Binary { op: IrBinOp::Add, .. })
+    });
+    let has_store = body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Store { .. }));
+    assert!(has_load && has_add && has_store);
+}
+
+#[test]
+fn implicit_this_field_access_lowers_to_load() {
+    let p = compile(&[(
+        "t.mj",
+        "class C { int f; int get() { return f; } }
+         class Main { static void main() { C c = new C(); print(c.get()); } }",
+    )])
+    .unwrap();
+    let c = p.class_named("C").unwrap();
+    let get = p.resolve_method(c, "get").unwrap();
+    let body = p.methods[get].body.as_ref().unwrap();
+    assert!(
+        body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Load { .. })),
+        "bare `f` resolves to `this.f`"
+    );
+}
+
+#[test]
+fn static_field_access_through_class_name() {
+    let (_, body) = main_body(
+        "class Main { static int counter; static void main() {
+            Main.counter = 7;
+            print(Main.counter);
+        } }",
+    );
+    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StaticStore { .. })));
+    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StaticLoad { .. })));
+}
+
+#[test]
+fn unqualified_static_call_resolves() {
+    let p = compile(&[(
+        "t.mj",
+        "class Main {
+            static int twice(int x) { return x * 2; }
+            static void main() { print(twice(21)); }
+        }",
+    )])
+    .unwrap();
+    let body = p.methods[p.main_method].body.as_ref().unwrap();
+    assert!(body.instrs().any(|(_, i)| {
+        matches!(&i.kind, InstrKind::Call { kind: thinslice_ir::CallKind::Static, .. })
+    }));
+}
+
+#[test]
+fn string_concat_lowers_to_strconcat() {
+    let (_, body) = main_body(
+        "class Main { static void main() { print(\"n = \" + 42); } }",
+    );
+    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StrConcat { .. })));
+}
+
+#[test]
+fn uninitialized_locals_get_defaults() {
+    let (_, body) = main_body(
+        "class Main { static void main() {
+            int x;
+            boolean b;
+            String s;
+            print(x);
+        } }",
+    );
+    // The declarations lower to moves of default constants.
+    let const_moves = body
+        .instrs()
+        .filter(|(_, i)| matches!(&i.kind, InstrKind::Move { src: Operand::Const(_), .. }))
+        .count();
+    assert!(const_moves >= 3, "each declaration initialises its variable");
+}
+
+#[test]
+fn unreachable_code_after_return_is_pruned() {
+    let (_, body) = main_body(
+        "class Main { static void main() {
+            print(1);
+            return;
+        } }",
+    );
+    // Every block is reachable from entry (pruning removed the dead tail).
+    let mut reachable = vec![false; body.blocks.len()];
+    let mut stack = vec![body.entry];
+    while let Some(b) = stack.pop() {
+        if std::mem::replace(&mut reachable[thinslice_util::Idx::index(b)], true) {
+            continue;
+        }
+        stack.extend(body.successors(b));
+    }
+    assert!(reachable.iter().all(|&r| r), "no unreachable blocks survive lowering");
+}
+
+#[test]
+fn ctor_gets_implicit_super_call() {
+    let p = compile(&[(
+        "t.mj",
+        "class A { int x; A() { this.x = 1; } }
+         class B extends A { B() { this.x = 2; } }
+         class Main { static void main() { B b = new B(); } }",
+    )])
+    .unwrap();
+    let b = p.class_named("B").unwrap();
+    let ctor = p.ctor_of(b).unwrap();
+    let body = p.methods[ctor].body.as_ref().unwrap();
+    let a = p.class_named("A").unwrap();
+    let a_ctor = p.ctor_of(a).unwrap();
+    assert!(
+        body.instrs().any(|(_, i)| {
+            matches!(&i.kind, InstrKind::Call { kind: thinslice_ir::CallKind::Special, callee, .. }
+                if *callee == a_ctor)
+        }),
+        "implicit super() call inserted"
+    );
+}

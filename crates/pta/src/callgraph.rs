@@ -1,0 +1,184 @@
+//! The context-sensitive call graph built on the fly during pointer
+//! analysis.
+
+use crate::heap::ObjId;
+use std::collections::HashMap;
+use thinslice_ir::{Loc, MethodId, StmtRef};
+use thinslice_util::{new_index, IdxVec};
+
+new_index!(
+    /// Identifies a call-graph node: one analysed *instance* of a method
+    /// (method × context).
+    pub struct CgNode
+);
+
+/// The analysis context of a method instance.
+///
+/// Only methods of the configured container classes receive [`Ctx::Obj`]
+/// contexts (one clone per receiver object); all other methods are analysed
+/// once, context-insensitively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ctx {
+    /// No context: one instance for all callers.
+    Insensitive,
+    /// Object-sensitive instance: cloned for this receiver object.
+    Obj(ObjId),
+}
+
+/// The call graph: nodes are `(method, context)` pairs, edges go from call
+/// sites to callee instances.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    nodes: IdxVec<CgNode, (MethodId, Ctx)>,
+    node_of: HashMap<(MethodId, Ctx), CgNode>,
+    /// Call-site → callee instances.
+    edges: HashMap<(CgNode, Loc), Vec<CgNode>>,
+    /// Callee instance → call sites that may invoke it.
+    callers: HashMap<CgNode, Vec<(CgNode, Loc)>>,
+}
+
+impl CallGraph {
+    /// Creates an empty call graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a `(method, context)` node, returning `(node, newly_created)`.
+    pub fn intern(&mut self, method: MethodId, ctx: Ctx) -> (CgNode, bool) {
+        if let Some(&n) = self.node_of.get(&(method, ctx)) {
+            return (n, false);
+        }
+        let n = self.nodes.push((method, ctx));
+        self.node_of.insert((method, ctx), n);
+        (n, true)
+    }
+
+    /// Looks up a node without creating it.
+    pub fn get(&self, method: MethodId, ctx: Ctx) -> Option<CgNode> {
+        self.node_of.get(&(method, ctx)).copied()
+    }
+
+    /// The method and context behind a node.
+    pub fn node(&self, n: CgNode) -> (MethodId, Ctx) {
+        self.nodes[n]
+    }
+
+    /// Number of nodes (method instances). This is the paper's Table 1
+    /// "call graph nodes" column.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct methods with at least one instance.
+    pub fn method_count(&self) -> usize {
+        let mut methods: Vec<MethodId> = self.nodes.iter().map(|(m, _)| *m).collect();
+        methods.sort_unstable();
+        methods.dedup();
+        methods.len()
+    }
+
+    /// Records a call edge; returns `true` if it is new.
+    pub fn add_edge(&mut self, caller: CgNode, site: Loc, callee: CgNode) -> bool {
+        let targets = self.edges.entry((caller, site)).or_default();
+        if targets.contains(&callee) {
+            return false;
+        }
+        targets.push(callee);
+        self.callers.entry(callee).or_default().push((caller, site));
+        true
+    }
+
+    /// Callee instances of a call site.
+    pub fn targets(&self, caller: CgNode, site: Loc) -> &[CgNode] {
+        self.edges.get(&(caller, site)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Call sites that may invoke `callee`.
+    pub fn callers(&self, callee: CgNode) -> &[(CgNode, Loc)] {
+        self.callers.get(&callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all nodes.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (CgNode, MethodId, Ctx)> + '_ {
+        self.nodes.iter_enumerated().map(|(n, (m, c))| (n, *m, *c))
+    }
+
+    /// All distinct reachable methods.
+    pub fn reachable_methods(&self) -> Vec<MethodId> {
+        let mut methods: Vec<MethodId> = self.nodes.iter().map(|(m, _)| *m).collect();
+        methods.sort_unstable();
+        methods.dedup();
+        methods
+    }
+
+    /// Collapses edges to the method level: call statement → possible target
+    /// methods (context-insensitive view used by the dependence graph).
+    pub fn method_level_targets(&self) -> HashMap<StmtRef, Vec<MethodId>> {
+        let mut out: HashMap<StmtRef, Vec<MethodId>> = HashMap::new();
+        for ((caller, loc), callees) in &self.edges {
+            let (m, _) = self.nodes[*caller];
+            let entry = out.entry(StmtRef { method: m, loc: *loc }).or_default();
+            for c in callees {
+                let (cm, _) = self.nodes[*c];
+                if !entry.contains(&cm) {
+                    entry.push(cm);
+                }
+            }
+        }
+        for v in out.values_mut() {
+            v.sort_unstable();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::BlockId;
+
+    fn loc(i: u32) -> Loc {
+        Loc { block: BlockId::new(0), index: i }
+    }
+
+    #[test]
+    fn intern_dedups() {
+        let mut cg = CallGraph::new();
+        let (a, new_a) = cg.intern(MethodId::new(0), Ctx::Insensitive);
+        let (b, new_b) = cg.intern(MethodId::new(0), Ctx::Insensitive);
+        assert!(new_a);
+        assert!(!new_b);
+        assert_eq!(a, b);
+        let (c, new_c) = cg.intern(MethodId::new(0), Ctx::Obj(ObjId::new(1)));
+        assert!(new_c);
+        assert_ne!(a, c);
+        assert_eq!(cg.node_count(), 2);
+        assert_eq!(cg.method_count(), 1);
+    }
+
+    #[test]
+    fn edges_and_callers() {
+        let mut cg = CallGraph::new();
+        let (caller, _) = cg.intern(MethodId::new(0), Ctx::Insensitive);
+        let (callee, _) = cg.intern(MethodId::new(1), Ctx::Insensitive);
+        assert!(cg.add_edge(caller, loc(3), callee));
+        assert!(!cg.add_edge(caller, loc(3), callee));
+        assert_eq!(cg.targets(caller, loc(3)), &[callee]);
+        assert_eq!(cg.callers(callee), &[(caller, loc(3))]);
+        assert!(cg.targets(caller, loc(9)).is_empty());
+    }
+
+    #[test]
+    fn method_level_collapse_merges_contexts() {
+        let mut cg = CallGraph::new();
+        let (caller, _) = cg.intern(MethodId::new(0), Ctx::Insensitive);
+        let (c1, _) = cg.intern(MethodId::new(1), Ctx::Obj(ObjId::new(0)));
+        let (c2, _) = cg.intern(MethodId::new(1), Ctx::Obj(ObjId::new(1)));
+        cg.add_edge(caller, loc(0), c1);
+        cg.add_edge(caller, loc(0), c2);
+        let flat = cg.method_level_targets();
+        assert_eq!(flat.len(), 1);
+        let targets = flat.values().next().unwrap();
+        assert_eq!(targets, &vec![MethodId::new(1)]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Class-hierarchy-analysis (CHA) call graph: the cheap baseline.
+//!
+//! CHA resolves a virtual call to *every* override of the statically
+//! resolved target in any subclass of its declaring class, without any
+//! points-to information. It is used as an ablation baseline to quantify
+//! how much the Andersen call graph prunes.
+
+use std::collections::{HashMap, HashSet};
+use thinslice_ir::{CallKind, InstrKind, MethodId, Program, StmtRef};
+use thinslice_util::Worklist;
+
+/// The CHA result: reachable methods and per-call-site targets.
+#[derive(Debug)]
+pub struct ChaCallGraph {
+    /// Methods reachable from `main`.
+    pub reachable: Vec<MethodId>,
+    /// Call site → possible targets.
+    pub targets: HashMap<StmtRef, Vec<MethodId>>,
+}
+
+impl ChaCallGraph {
+    /// Builds the CHA call graph from `main`.
+    pub fn build(program: &Program) -> ChaCallGraph {
+        let mut reachable: HashSet<MethodId> = HashSet::new();
+        let mut targets: HashMap<StmtRef, Vec<MethodId>> = HashMap::new();
+        let mut wl: Worklist<MethodId> = Worklist::new();
+        wl.push(program.main_method);
+        while let Some(m) = wl.pop() {
+            if !reachable.insert(m) {
+                continue;
+            }
+            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            for (loc, instr) in body.instrs() {
+                let InstrKind::Call { kind, callee, .. } = &instr.kind else { continue };
+                let sr = StmtRef { method: m, loc };
+                let callees: Vec<MethodId> = match kind {
+                    CallKind::Static | CallKind::Special => vec![*callee],
+                    CallKind::Virtual => cha_targets(program, *callee),
+                };
+                for &t in &callees {
+                    wl.push(t);
+                }
+                targets.insert(sr, callees);
+            }
+        }
+        let mut reachable: Vec<MethodId> = reachable.into_iter().collect();
+        reachable.sort_unstable();
+        ChaCallGraph { reachable, targets }
+    }
+
+    /// Possible targets of a call statement.
+    pub fn targets_of(&self, call: StmtRef) -> &[MethodId] {
+        self.targets.get(&call).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// All methods a virtual call to `declared` may dispatch to, per CHA: the
+/// resolved method in every subclass of the declaring class.
+pub fn cha_targets(program: &Program, declared: MethodId) -> Vec<MethodId> {
+    let decl_class = program.methods[declared].class;
+    let name = &program.methods[declared].name;
+    let mut out: Vec<MethodId> = Vec::new();
+    for sub in program.subclasses_of(decl_class) {
+        if let Some(t) = program.resolve_method(sub, name) {
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::compile;
+
+    #[test]
+    fn cha_is_coarser_than_andersen() {
+        let program = compile(&[(
+            "t.mj",
+            "class A { int f() { return 1; } }
+             class B extends A { int f() { return 2; } }
+             class C extends A { int f() { return 3; } }
+             class Main { static void main() {
+                A x = new B();
+                print(x.f());
+             } }",
+        )])
+        .unwrap();
+        let cha = ChaCallGraph::build(&program);
+        let call = program
+            .all_stmts()
+            .find(|s| {
+                s.method == program.main_method
+                    && matches!(
+                        program.instr(*s).kind,
+                        InstrKind::Call { kind: CallKind::Virtual, .. }
+                    )
+            })
+            .unwrap();
+        // CHA sees all three implementations; Andersen would see only B.f.
+        assert_eq!(cha.targets_of(call).len(), 3);
+    }
+
+    #[test]
+    fn cha_reaches_all_overrides() {
+        let program = compile(&[(
+            "t.mj",
+            "class A { void go() {} }
+             class B extends A { void go() { this.onlyB(); } void onlyB() {} }
+             class Main { static void main() {
+                A x = new A();
+                x.go();
+             } }",
+        )])
+        .unwrap();
+        let cha = ChaCallGraph::build(&program);
+        let b = program.class_named("B").unwrap();
+        let only_b = program.resolve_method(b, "onlyB").unwrap();
+        // CHA conservatively reaches B.go and hence B.onlyB, even though the
+        // receiver can only be an A.
+        assert!(cha.reachable.contains(&only_b));
+    }
+
+    #[test]
+    fn static_calls_have_single_target() {
+        let program = compile(&[(
+            "t.mj",
+            "class Util { static int f() { return 1; } }
+             class Main { static void main() { print(Util.f()); } }",
+        )])
+        .unwrap();
+        let cha = ChaCallGraph::build(&program);
+        let call = program
+            .all_stmts()
+            .find(|s| {
+                s.method == program.main_method
+                    && matches!(
+                        program.instr(*s).kind,
+                        InstrKind::Call { kind: CallKind::Static, .. }
+                    )
+            })
+            .unwrap();
+        assert_eq!(cha.targets_of(call).len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The abstract heap: allocation-site objects with optional heap contexts.
+
+use thinslice_ir::{ClassId, Program, StmtRef, Type};
+use thinslice_util::new_index;
+
+new_index!(
+    /// Identifies an abstract object in [`crate::Pta::objects`].
+    pub struct ObjId
+);
+
+/// Where an abstract object comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocSite {
+    /// An explicit allocation instruction (`new`, `new T[]`, a string
+    /// literal or a string concatenation).
+    Stmt(StmtRef),
+    /// The return value of a native method, modelled as a fresh object per
+    /// call site.
+    NativeRet(StmtRef),
+}
+
+impl AllocSite {
+    /// The statement this site is anchored at.
+    pub fn stmt(&self) -> StmtRef {
+        match self {
+            AllocSite::Stmt(s) | AllocSite::NativeRet(s) => *s,
+        }
+    }
+}
+
+/// The runtime type of an abstract object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ObjKind {
+    /// An instance of a class.
+    Class(ClassId),
+    /// An array with the given element type.
+    Array(Type),
+}
+
+/// An abstract object: an allocation site, its type, and an optional heap
+/// context.
+///
+/// The heap context implements the paper's "fully object-sensitive cloning
+/// for objects of key collections classes" (§6.1, citing Milanova et al.):
+/// an object allocated inside a container method analysed for receiver `r`
+/// carries `ctx = Some(r)`, so each `Vector` gets its own backing array.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AbstractObject {
+    /// The allocation site.
+    pub site: AllocSite,
+    /// Class or array type.
+    pub kind: ObjKind,
+    /// Receiver object of the container-method analysis context that
+    /// allocated this object, if any.
+    pub ctx: Option<ObjId>,
+}
+
+impl AbstractObject {
+    /// The class used for virtual dispatch and field lookup (arrays dispatch
+    /// as `Object`).
+    pub fn dispatch_class(&self, program: &Program) -> ClassId {
+        match &self.kind {
+            ObjKind::Class(c) => *c,
+            ObjKind::Array(_) => program.object_class,
+        }
+    }
+
+    /// The object's type as seen by cast filtering.
+    pub fn ty(&self) -> Type {
+        match &self.kind {
+            ObjKind::Class(c) => Type::Class(*c),
+            ObjKind::Array(elem) => Type::Array(Box::new(elem.clone())),
+        }
+    }
+
+    /// Whether a cast of this object to `target` can succeed.
+    pub fn compatible_with(&self, program: &Program, target: &Type) -> bool {
+        program.is_assignable(&self.ty(), target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::compile;
+    use thinslice_ir::{BlockId, Loc, MethodId};
+
+    fn dummy_site() -> AllocSite {
+        AllocSite::Stmt(StmtRef {
+            method: MethodId::new(0),
+            loc: Loc { block: BlockId::new(0), index: 0 },
+        })
+    }
+
+    #[test]
+    fn arrays_dispatch_as_object() {
+        let p = compile(&[("t.mj", "class Main { static void main() {} }")]).unwrap();
+        let o = AbstractObject {
+            site: dummy_site(),
+            kind: ObjKind::Array(Type::Int),
+            ctx: None,
+        };
+        assert_eq!(o.dispatch_class(&p), p.object_class);
+    }
+
+    #[test]
+    fn cast_compatibility_uses_hierarchy() {
+        let p = compile(&[(
+            "t.mj",
+            "class A {} class B extends A {} class Main { static void main() {} }",
+        )])
+        .unwrap();
+        let a = p.class_named("A").unwrap();
+        let b = p.class_named("B").unwrap();
+        let o = AbstractObject { site: dummy_site(), kind: ObjKind::Class(b), ctx: None };
+        assert!(o.compatible_with(&p, &Type::Class(a)));
+        assert!(o.compatible_with(&p, &Type::Class(b)));
+        let o2 = AbstractObject { site: dummy_site(), kind: ObjKind::Class(a), ctx: None };
+        assert!(!o2.compatible_with(&p, &Type::Class(b)));
+    }
+
+    #[test]
+    fn array_object_type() {
+        let o = AbstractObject {
+            site: dummy_site(),
+            kind: ObjKind::Array(Type::Int),
+            ctx: None,
+        };
+        assert_eq!(o.ty(), Type::Array(Box::new(Type::Int)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Interprocedural mod-ref analysis over heap partitions.
+//!
+//! The paper's context-sensitive slicer models heap accesses "as extra
+//! parameters and return values to each procedure … using the same heap
+//! partitions used by the preliminary pointer analysis"; discovering the
+//! parameter sets "requires an interprocedural mod-ref analysis" (§5.3,
+//! citing Ryder et al.). This module computes, per method, the heap
+//! partitions it may read (`ref`) and write (`mod`), directly or via
+//! callees.
+
+use crate::heap::ObjId;
+use crate::Pta;
+use std::collections::HashMap;
+use thinslice_ir::{FieldId, InstrKind, MethodId, Program, StmtRef};
+use thinslice_util::{new_index, BitSet, IdxVec, Worklist};
+
+new_index!(
+    /// Identifies a heap partition in [`ModRef::partitions`].
+    pub struct PartId
+);
+
+/// A heap partition: one abstract memory location class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// A field of an abstract object.
+    ObjField(ObjId, FieldId),
+    /// The element slot of an abstract array.
+    ArrayElem(ObjId),
+    /// A static field.
+    Static(FieldId),
+}
+
+/// Mod-ref sets per reachable method.
+#[derive(Debug)]
+pub struct ModRef {
+    /// All heap partitions touched anywhere in the program.
+    pub partitions: IdxVec<PartId, Partition>,
+    part_of: HashMap<Partition, PartId>,
+    /// Transitive written partitions per method.
+    mods: HashMap<MethodId, BitSet<PartId>>,
+    /// Transitive read partitions per method.
+    refs: HashMap<MethodId, BitSet<PartId>>,
+    empty: BitSet<PartId>,
+}
+
+impl ModRef {
+    /// Computes mod-ref for every reachable method.
+    pub fn compute(program: &Program, pta: &Pta) -> ModRef {
+        let mut mr = ModRef {
+            partitions: IdxVec::new(),
+            part_of: HashMap::new(),
+            mods: HashMap::new(),
+            refs: HashMap::new(),
+            empty: BitSet::new(),
+        };
+        let reachable = pta.reachable_methods();
+
+        // Direct mod/ref per method.
+        for &m in &reachable {
+            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            let mut mods = BitSet::new();
+            let mut refs = BitSet::new();
+            for (loc, instr) in body.instrs() {
+                let _ = loc;
+                match &instr.kind {
+                    InstrKind::Load { base, field, .. } => {
+                        for o in pta.points_to(m, *base).iter() {
+                            refs.insert(mr.intern(Partition::ObjField(o, *field)));
+                        }
+                    }
+                    InstrKind::Store { base, field, .. } => {
+                        for o in pta.points_to(m, *base).iter() {
+                            mods.insert(mr.intern(Partition::ObjField(o, *field)));
+                        }
+                    }
+                    InstrKind::ArrayLoad { base, .. } => {
+                        for o in pta.points_to(m, *base).iter() {
+                            refs.insert(mr.intern(Partition::ArrayElem(o)));
+                        }
+                    }
+                    InstrKind::ArrayStore { base, .. } => {
+                        for o in pta.points_to(m, *base).iter() {
+                            mods.insert(mr.intern(Partition::ArrayElem(o)));
+                        }
+                    }
+                    InstrKind::StaticLoad { field, .. } => {
+                        refs.insert(mr.intern(Partition::Static(*field)));
+                    }
+                    InstrKind::StaticStore { field, .. } => {
+                        mods.insert(mr.intern(Partition::Static(*field)));
+                    }
+                    _ => {}
+                }
+            }
+            mr.mods.insert(m, mods);
+            mr.refs.insert(m, refs);
+        }
+
+        // Transitive closure callee → caller over the method-level call
+        // graph.
+        let mut callers_of: HashMap<MethodId, Vec<MethodId>> = HashMap::new();
+        for &m in &reachable {
+            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            for (loc, instr) in body.instrs() {
+                if matches!(instr.kind, InstrKind::Call { .. }) {
+                    let sr = StmtRef { method: m, loc };
+                    for &t in pta.targets_of(sr) {
+                        callers_of.entry(t).or_default().push(m);
+                    }
+                }
+            }
+        }
+        let mut wl: Worklist<usize> = Worklist::new();
+        let index_of: HashMap<MethodId, usize> =
+            reachable.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        for i in 0..reachable.len() {
+            wl.push(i);
+        }
+        while let Some(i) = wl.pop() {
+            let callee = reachable[i];
+            let (callee_mods, callee_refs) = (
+                mr.mods.get(&callee).cloned().unwrap_or_default(),
+                mr.refs.get(&callee).cloned().unwrap_or_default(),
+            );
+            let Some(callers) = callers_of.get(&callee) else { continue };
+            for &caller in callers.clone().iter() {
+                let mut changed = false;
+                changed |= mr.mods.entry(caller).or_default().union_with(&callee_mods);
+                changed |= mr.refs.entry(caller).or_default().union_with(&callee_refs);
+                if changed {
+                    if let Some(&ci) = index_of.get(&caller) {
+                        wl.push(ci);
+                    }
+                }
+            }
+        }
+        mr
+    }
+
+    fn intern(&mut self, p: Partition) -> PartId {
+        if let Some(&id) = self.part_of.get(&p) {
+            return id;
+        }
+        let id = self.partitions.push(p);
+        self.part_of.insert(p, id);
+        id
+    }
+
+    /// Looks up a partition's id without creating it.
+    pub fn partition_id(&self, p: Partition) -> Option<PartId> {
+        self.part_of.get(&p).copied()
+    }
+
+    /// Heap partitions `method` may write, transitively.
+    pub fn mods(&self, method: MethodId) -> &BitSet<PartId> {
+        self.mods.get(&method).unwrap_or(&self.empty)
+    }
+
+    /// Heap partitions `method` may read, transitively.
+    pub fn refs(&self, method: MethodId) -> &BitSet<PartId> {
+        self.refs.get(&method).unwrap_or(&self.empty)
+    }
+
+    /// Partitions either read or written by `method` — its heap-parameter
+    /// set in the context-sensitive SDG.
+    pub fn mod_or_ref(&self, method: MethodId) -> BitSet<PartId> {
+        let mut s = self.mods(method).clone();
+        s.union_with(self.refs(method));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PtaConfig;
+    use thinslice_ir::compile;
+
+    #[test]
+    fn direct_and_transitive_modref() {
+        let program = compile(&[(
+            "t.mj",
+            "class Box { Object item;
+                void fill(Object o) { this.item = o; }
+                Object take() { return this.item; }
+             }
+             class Main { static void main() {
+                Box b = new Box();
+                b.fill(new Main());
+                Object o = b.take();
+             } }",
+        )])
+        .unwrap();
+        let pta = Pta::analyze(&program, PtaConfig::default());
+        let mr = ModRef::compute(&program, &pta);
+        let box_class = program.class_named("Box").unwrap();
+        let fill = program.resolve_method(box_class, "fill").unwrap();
+        let take = program.resolve_method(box_class, "take").unwrap();
+        let main = program.main_method;
+        assert_eq!(mr.mods(fill).len(), 1, "fill writes Box.item");
+        assert!(mr.refs(fill).is_empty());
+        assert_eq!(mr.refs(take).len(), 1, "take reads Box.item");
+        // main inherits both transitively.
+        assert!(!mr.mods(main).is_empty());
+        assert!(!mr.refs(main).is_empty());
+        assert!(mr.mods(fill).is_subset(&mr.mod_or_ref(main)));
+    }
+
+    #[test]
+    fn container_use_inflates_heap_parameters() {
+        let program = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                Vector v = new Vector();
+                v.add(new Main());
+                Object o = v.get(0);
+             } }",
+        )])
+        .unwrap();
+        let pta = Pta::analyze(&program, PtaConfig::default());
+        let mr = ModRef::compute(&program, &pta);
+        // main transitively touches the Vector's count field, elems field
+        // and backing array element slot — several partitions.
+        assert!(
+            mr.mod_or_ref(program.main_method).len() >= 3,
+            "expected several heap partitions, got {}",
+            mr.mod_or_ref(program.main_method).len()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Program/analysis size statistics — the inputs to the paper's Table 1.
+
+use crate::Pta;
+use std::collections::HashSet;
+use thinslice_ir::{ClassId, MethodId, Program};
+
+/// Benchmark characteristics as reported in the paper's Table 1: classes,
+/// methods (discovered during on-the-fly call graph construction, including
+/// library methods), call-graph nodes (exceeding method count due to
+/// cloning) and scalar statement count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Distinct classes with at least one reachable method (plus classes of
+    /// reachable allocations).
+    pub classes: usize,
+    /// Distinct reachable methods.
+    pub methods: usize,
+    /// Call-graph nodes (method instances; ≥ `methods` with cloning).
+    pub cg_nodes: usize,
+    /// Scalar IR statements across reachable method bodies (excluding heap
+    /// parameter-passing statements, as in the paper).
+    pub sdg_statements: usize,
+    /// Abstract objects in the points-to result.
+    pub abstract_objects: usize,
+    /// Statements that may throw in full Java semantics — the paper's §1
+    /// observation about implicit control dependences.
+    pub implicit_conditionals: usize,
+}
+
+impl ProgramStats {
+    /// Computes statistics for `program` under the analysis result `pta`.
+    pub fn compute(program: &Program, pta: &Pta) -> ProgramStats {
+        let reachable: Vec<MethodId> = pta.reachable_methods();
+        let mut classes: HashSet<ClassId> = HashSet::new();
+        let mut sdg_statements = 0usize;
+        let mut implicit_conditionals = 0usize;
+        for &m in &reachable {
+            classes.insert(program.methods[m].class);
+            if let Some(body) = program.methods[m].body.as_ref() {
+                sdg_statements += body.instr_count();
+                implicit_conditionals += body
+                    .instrs()
+                    .filter(|(_, i)| i.kind.may_throw_implicitly())
+                    .count();
+            }
+        }
+        ProgramStats {
+            classes: classes.len(),
+            methods: reachable.len(),
+            cg_nodes: pta.callgraph.node_count(),
+            sdg_statements,
+            abstract_objects: pta.objects.len(),
+            implicit_conditionals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PtaConfig;
+    use thinslice_ir::compile;
+
+    #[test]
+    fn cloning_inflates_cg_nodes() {
+        let program = compile(&[(
+            "t.mj",
+            "class Main { static void main() {
+                Vector a = new Vector();
+                Vector b = new Vector();
+                a.add(new Main());
+                b.add(new Main());
+                Object x = a.get(0);
+                Object y = b.get(0);
+            } }",
+        )])
+        .unwrap();
+        let pta = Pta::analyze(&program, PtaConfig::default());
+        let stats = ProgramStats::compute(&program, &pta);
+        assert!(
+            stats.cg_nodes > stats.methods,
+            "expected cloned container methods: {stats:?}"
+        );
+        assert!(stats.sdg_statements > 0);
+        assert!(stats.implicit_conditionals > 0);
+    }
+
+    #[test]
+    fn no_objsens_has_fewer_cg_nodes() {
+        let src = "class Main { static void main() {
+                Vector a = new Vector();
+                Vector b = new Vector();
+                a.add(new Main());
+                b.add(new Main());
+            } }";
+        let program = compile(&[("t.mj", src)]).unwrap();
+        let objsens = Pta::analyze(&program, PtaConfig::default());
+        let noobjsens = Pta::analyze(&program, PtaConfig::without_object_sensitivity());
+        let s1 = ProgramStats::compute(&program, &objsens);
+        let s2 = ProgramStats::compute(&program, &noobjsens);
+        assert!(s1.cg_nodes > s2.cg_nodes);
+        assert_eq!(s2.cg_nodes, s2.methods);
+    }
+}

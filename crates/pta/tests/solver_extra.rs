@@ -1,0 +1,217 @@
+//! Pointer-analysis corner cases beyond the in-module unit tests.
+
+use thinslice_ir::{compile, InstrKind, Type};
+use thinslice_pta::{ObjKind, Pta, PtaConfig};
+
+fn analyze(src: &str) -> (thinslice_ir::Program, Pta) {
+    let p = compile(&[("t.mj", src)]).unwrap();
+    let pta = Pta::analyze(&p, PtaConfig::default());
+    (p, pta)
+}
+
+fn pts_of(
+    p: &thinslice_ir::Program,
+    pta: &Pta,
+    name: &str,
+) -> thinslice_util::BitSet<thinslice_pta::ObjId> {
+    let body = p.methods[p.main_method].body.as_ref().unwrap();
+    let mut out = thinslice_util::BitSet::new();
+    for (v, info) in body.vars.iter_enumerated() {
+        if info.name == name {
+            out.union_with(pta.points_to(p.main_method, v));
+        }
+    }
+    out
+}
+
+#[test]
+fn arrays_of_arrays_flow() {
+    let (p, pta) = analyze(
+        "class A {}
+         class Main { static void main() {
+            A[][] grid = new A[][3];
+            A[] row = new A[2];
+            row[0] = new A();
+            grid[0] = row;
+            A[] fetched = grid[0];
+            A got = fetched[0];
+         } }",
+    );
+    let got = pts_of(&p, &pta, "got");
+    let a = p.class_named("A").unwrap();
+    assert!(got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(a)));
+    let fetched = pts_of(&p, &pta, "fetched");
+    assert!(fetched
+        .iter()
+        .any(|o| matches!(&pta.objects[o].kind, ObjKind::Array(Type::Class(c)) if *c == a)));
+}
+
+#[test]
+fn statics_flow_across_methods() {
+    let (p, pta) = analyze(
+        "class Registry { static Object cached; }
+         class A {}
+         class Main {
+            static void put() { Registry.cached = new A(); }
+            static void main() {
+                Main.put();
+                Object got = Registry.cached;
+            }
+         }",
+    );
+    let got = pts_of(&p, &pta, "got");
+    let a = p.class_named("A").unwrap();
+    assert!(got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(a)));
+}
+
+#[test]
+fn cyclic_structures_terminate() {
+    let (p, pta) = analyze(
+        "class Node { Node next; }
+         class Main { static void main() {
+            Node a = new Node();
+            Node b = new Node();
+            a.next = b;
+            b.next = a;
+            Node walk = a.next.next.next;
+         } }",
+    );
+    let walk = pts_of(&p, &pta, "walk");
+    // Field-sensitive resolution of the 3-hop chain through the 2-cycle:
+    // exactly the `b` node (a.next = {b}, b.next = {a}, a.next = {b}).
+    assert_eq!(walk.len(), 1, "{walk:?}");
+    let _ = p;
+}
+
+#[test]
+fn inherited_method_dispatches_with_subclass_receiver() {
+    let (p, pta) = analyze(
+        "class Main { static void main() {
+            Stack s = new Stack();
+            s.push(new Main());
+            Object got = s.peek();
+         } }",
+    );
+    let got = pts_of(&p, &pta, "got");
+    let main_class = p.class_named("Main").unwrap();
+    assert!(got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(main_class)));
+    // Stack.push runs Vector.add with a Stack receiver: the add instance is
+    // context-sensitive on the *Stack* object.
+    let vector = p.class_named("Vector").unwrap();
+    let add = p.resolve_method(vector, "add").unwrap();
+    assert_eq!(pta.instances_of(add).len(), 1);
+}
+
+#[test]
+fn iterator_preserves_container_separation() {
+    let (p, pta) = analyze(
+        "class A {} class B {}
+         class Main { static void main() {
+            Vector va = new Vector();
+            Vector vb = new Vector();
+            va.add(new A());
+            vb.add(new B());
+            VectorIterator it = va.iterator();
+            Object got = it.next();
+         } }",
+    );
+    let got = pts_of(&p, &pta, "got");
+    let a = p.class_named("A").unwrap();
+    let b = p.class_named("B").unwrap();
+    assert!(got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(a)));
+    assert!(
+        !got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(b)),
+        "iterating va must not observe vb's contents"
+    );
+}
+
+#[test]
+fn null_only_variables_have_empty_sets() {
+    let (p, pta) = analyze(
+        "class A { }
+         class Main { static void main() {
+            A a = null;
+            if (a == null) { print(1); }
+         } }",
+    );
+    let a = pts_of(&p, &pta, "a");
+    assert!(a.is_empty());
+}
+
+#[test]
+fn heap_context_depth_bounds_object_count() {
+    let src = "class Main { static void main() {
+        Vector outer = new Vector();
+        Vector inner = new Vector();
+        inner.add(new Main());
+        outer.add(inner);
+        Vector got = (Vector) outer.get(0);
+        Object item = got.get(0);
+    } }";
+    let p = compile(&[("t.mj", src)]).unwrap();
+    let shallow = Pta::analyze(&p, PtaConfig { max_heap_ctx_depth: 1, ..PtaConfig::default() });
+    let deep = Pta::analyze(&p, PtaConfig { max_heap_ctx_depth: 4, ..PtaConfig::default() });
+    assert!(
+        deep.objects.len() >= shallow.objects.len(),
+        "deeper contexts refine the heap: {} vs {}",
+        deep.objects.len(),
+        shallow.objects.len()
+    );
+}
+
+#[test]
+fn stringbuffer_concat_produces_strings() {
+    let (p, pta) = analyze(
+        "class Main { static void main() {
+            StringBuffer sb = new StringBuffer();
+            sb.append(\"a\");
+            sb.append(\"b\");
+            String out = sb.toString();
+         } }",
+    );
+    let out = pts_of(&p, &pta, "out");
+    assert!(!out.is_empty());
+    assert!(out
+        .iter()
+        .all(|o| pta.objects[o].kind == ObjKind::Class(p.string_class)));
+}
+
+#[test]
+fn call_through_object_typed_variable() {
+    // Dispatch is driven by the abstract objects, not the declared type.
+    let (p, pta) = analyze(
+        "class A { int tag() { return 1; } }
+         class B extends A { int tag() { return 2; } }
+         class Main { static void main() {
+            Object o = new B();
+            A a = (A) o;
+            print(a.tag());
+         } }",
+    );
+    let call = p
+        .all_stmts()
+        .find(|s| {
+            s.method == p.main_method
+                && matches!(&p.instr(*s).kind, InstrKind::Call { callee, .. }
+                    if p.methods[*callee].name == "tag")
+        })
+        .unwrap();
+    let b = p.class_named("B").unwrap();
+    let b_tag = p.resolve_method(b, "tag").unwrap();
+    assert_eq!(pta.targets_of(call), &[b_tag]);
+}
+
+#[test]
+fn recursive_container_growth_terminates() {
+    // Vectors stored inside themselves: the depth cap must bound the
+    // abstract heap.
+    let (_, pta) = analyze(
+        "class Main { static void main() {
+            Vector v = new Vector();
+            v.add(v);
+            Vector inner = (Vector) v.get(0);
+            inner.add(inner);
+         } }",
+    );
+    assert!(pta.objects.len() < 100, "heap must stay bounded: {}", pta.objects.len());
+}

@@ -1,0 +1,218 @@
+//! Intra-method control dependence via postdominators.
+//!
+//! Uses the Ferrante–Ottenstein–Warren construction: for a CFG edge
+//! `A → B` where `B` does not postdominate `A`, every block from `B` up the
+//! postdominator tree to (exclusive) `ipostdom(A)` is control dependent on
+//! `A`'s branch.
+
+use thinslice_ir::dom::dominators;
+use thinslice_ir::{BlockId, Body};
+use thinslice_util::Idx;
+
+/// Control dependences of one method body: for each block, the blocks whose
+/// terminators control it (empty = only the method entry controls it).
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// `deps[b]` = blocks whose branch controls execution of block `b`.
+    pub deps: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `body`.
+    pub fn compute(body: &Body) -> ControlDeps {
+        let n = body.blocks.len();
+        // Reverse CFG with a virtual exit node `n`.
+        let exit = n;
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for b in body.blocks.indices() {
+            let succs = body.successors(b);
+            if succs.is_empty() {
+                // Return/Throw block: edge b -> exit, reversed: exit -> b.
+                rev[exit].push(b.index());
+            }
+            for s in succs {
+                rev[s.index()].push(b.index());
+            }
+        }
+        let pdom = dominators(&rev, exit);
+
+        let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for a in body.blocks.indices() {
+            let succs = body.successors(a);
+            if succs.len() < 2 {
+                continue; // only branches create control dependences
+            }
+            let Some(ipdom_a) = pdom.idom[a.index()] else { continue };
+            for b in succs {
+                // Walk b up the postdominator tree until ipdom(a).
+                let mut runner = b.index();
+                while runner != ipdom_a {
+                    if runner == a.index() {
+                        // Loop header case: a controls itself; record and stop.
+                        if !deps[runner].contains(&a) {
+                            deps[runner].push(a);
+                        }
+                        break;
+                    }
+                    if !deps[runner].contains(&a) {
+                        deps[runner].push(a);
+                    }
+                    match pdom.idom[runner] {
+                        Some(next) if next != runner => runner = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Blocks controlling `b` (empty = controlled only by method entry).
+    pub fn controlling(&self, b: BlockId) -> &[BlockId] {
+        &self.deps[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::{compile, InstrKind};
+
+    fn control_of(src: &str) -> (thinslice_ir::Program, ControlDeps) {
+        let p = compile(&[("t.mj", src)]).unwrap();
+        let cd = ControlDeps::compute(p.methods[p.main_method].body.as_ref().unwrap());
+        (p, cd)
+    }
+
+    #[test]
+    fn if_branches_depend_on_condition() {
+        let (p, cd) = control_of(
+            "class Main { static void main() {
+                int x = 1;
+                if (x > 0) { print(1); } else { print(2); }
+                print(3);
+             } }",
+        );
+        let body = p.methods[p.main_method].body.as_ref().unwrap();
+        // Find the If terminator's block and the two print(1)/print(2) blocks.
+        let mut if_block = None;
+        let mut print1_block = None;
+        let mut print2_block = None;
+        let mut print3_block = None;
+        for (loc, i) in body.instrs() {
+            match &i.kind {
+                InstrKind::If { .. } => if_block = Some(loc.block),
+                InstrKind::Print {
+                    value: thinslice_ir::Operand::Const(thinslice_ir::Const::Int(n)),
+                } => match n {
+                    1 => print1_block = Some(loc.block),
+                    2 => print2_block = Some(loc.block),
+                    3 => print3_block = Some(loc.block),
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        let ifb = if_block.unwrap();
+        assert_eq!(cd.controlling(print1_block.unwrap()), &[ifb]);
+        assert_eq!(cd.controlling(print2_block.unwrap()), &[ifb]);
+        assert!(
+            cd.controlling(print3_block.unwrap()).is_empty(),
+            "the statement after the join is not controlled by the if"
+        );
+    }
+
+    #[test]
+    fn loop_body_depends_on_header() {
+        let (p, cd) = control_of(
+            "class Main { static void main() {
+                int i = 0;
+                while (i < 3) { print(i); i = i + 1; }
+             } }",
+        );
+        let body = p.methods[p.main_method].body.as_ref().unwrap();
+        let mut if_block = None;
+        let mut print_block = None;
+        for (loc, i) in body.instrs() {
+            match &i.kind {
+                InstrKind::If { .. } => if_block = Some(loc.block),
+                InstrKind::Print { .. } => print_block = Some(loc.block),
+                _ => {}
+            }
+        }
+        assert_eq!(cd.controlling(print_block.unwrap()), &[if_block.unwrap()]);
+        // The loop header controls itself (it re-executes depending on the
+        // branch).
+        let header_deps = cd.controlling(if_block.unwrap());
+        assert_eq!(header_deps, &[if_block.unwrap()]);
+    }
+
+    #[test]
+    fn nested_ifs_nest_dependences() {
+        let (p, cd) = control_of(
+            "class Main { static void main() {
+                int x = 1;
+                if (x > 0) {
+                    if (x > 1) { print(1); }
+                }
+             } }",
+        );
+        let body = p.methods[p.main_method].body.as_ref().unwrap();
+        let if_blocks: Vec<_> = body
+            .instrs()
+            .filter(|(_, i)| matches!(i.kind, InstrKind::If { .. }))
+            .map(|(loc, _)| loc.block)
+            .collect();
+        let print_block = body
+            .instrs()
+            .find(|(_, i)| matches!(i.kind, InstrKind::Print { .. }))
+            .map(|(loc, _)| loc.block)
+            .unwrap();
+        assert_eq!(if_blocks.len(), 2);
+        // print(1) is controlled by the inner if; the inner if by the outer.
+        let inner = if_blocks[1];
+        let outer = if_blocks[0];
+        assert_eq!(cd.controlling(print_block), &[inner]);
+        assert_eq!(cd.controlling(inner), &[outer]);
+    }
+
+    #[test]
+    fn straight_line_has_no_control_deps() {
+        let (p, cd) = control_of("class Main { static void main() { print(1); print(2); } }");
+        let body = p.methods[p.main_method].body.as_ref().unwrap();
+        for b in body.blocks.indices() {
+            assert!(cd.controlling(b).is_empty());
+        }
+    }
+
+    #[test]
+    fn throw_in_branch() {
+        let (p, cd) = control_of(
+            "class Main { static void main() {
+                int x = 1;
+                if (x > 0) { throw new Exception(\"boom\"); }
+                print(2);
+             } }",
+        );
+        let body = p.methods[p.main_method].body.as_ref().unwrap();
+        let throw_block = body
+            .instrs()
+            .find(|(_, i)| matches!(i.kind, InstrKind::Throw { .. }))
+            .map(|(loc, _)| loc.block)
+            .unwrap();
+        let if_block = body
+            .instrs()
+            .find(|(_, i)| matches!(i.kind, InstrKind::If { .. }))
+            .map(|(loc, _)| loc.block)
+            .unwrap();
+        assert_eq!(cd.controlling(throw_block), &[if_block]);
+        // print(2) executes only if the throw does not: it is control
+        // dependent on the if as well.
+        let print_block = body
+            .instrs()
+            .find(|(_, i)| matches!(i.kind, InstrKind::Print { .. }))
+            .map(|(loc, _)| loc.block)
+            .unwrap();
+        assert_eq!(cd.controlling(print_block), &[if_block]);
+    }
+}

@@ -1,0 +1,10 @@
+//! The eight benchmark programs.
+
+pub mod ant;
+pub mod jack;
+pub mod javac;
+pub mod jess;
+pub mod jtopas;
+pub mod mtrt;
+pub mod nanoxml;
+pub mod xmlsec;

@@ -1,0 +1,280 @@
+//! A dense, growable bitset keyed by typed indices.
+
+use crate::Idx;
+use std::fmt;
+use std::marker::PhantomData;
+
+const WORD_BITS: usize = 64;
+
+/// A dense bitset over a typed index domain.
+///
+/// Used for points-to sets, reachability sets and slice membership. The set
+/// grows on demand; all operations are O(words).
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_util::BitSet;
+///
+/// let mut s: BitSet<usize> = BitSet::new();
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3));
+/// assert!(s.contains(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet<I: Idx = usize> {
+    words: Vec<u64>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx> Default for BitSet<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx> BitSet<I> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self { words: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty set sized for a domain of `n` elements.
+    pub fn with_domain_size(n: usize) -> Self {
+        Self { words: vec![0; n.div_ceil(WORD_BITS)], _marker: PhantomData }
+    }
+
+    fn ensure(&mut self, word: usize) {
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+    }
+
+    /// Inserts `index`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, index: I) -> bool {
+        let i = index.index();
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.ensure(w);
+        let mask = 1u64 << b;
+        let newly = self.words[w] & mask == 0;
+        self.words[w] |= mask;
+        newly
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    pub fn remove(&mut self, index: I) -> bool {
+        let i = index.index();
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let mask = 1u64 << b;
+        let present = self.words[w] & mask != 0;
+        self.words[w] &= !mask;
+        present
+    }
+
+    /// Whether `index` is in the set.
+    pub fn contains(&self, index: I) -> bool {
+        let i = index.index();
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Adds all elements of `other`; returns `true` if anything changed.
+    pub fn union_with(&mut self, other: &Self) -> bool {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Keeps only elements also in `other`.
+    pub fn intersect_with(&mut self, other: &Self) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Removes all elements of `other` from `self`.
+    pub fn subtract(&mut self, other: &Self) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= !other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Whether the two sets share any element.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Iterates over the elements in increasing index order.
+    pub fn iter(&self) -> BitSetIter<'_, I> {
+        BitSetIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), _marker: PhantomData }
+    }
+}
+
+impl<I: Idx> fmt::Debug for BitSet<I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter().map(|i| i.index())).finish()
+    }
+}
+
+impl<I: Idx> FromIterator<I> for BitSet<I> {
+    fn from_iter<It: IntoIterator<Item = I>>(iter: It) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl<I: Idx> Extend<I> for BitSet<I> {
+    fn extend<It: IntoIterator<Item = I>>(&mut self, iter: It) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over [`BitSet`] elements, produced by [`BitSet::iter`].
+pub struct BitSetIter<'a, I: Idx> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx> Iterator for BitSetIter<'_, I> {
+    type Item = I;
+
+    fn next(&mut self) -> Option<I> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(I::from_usize(self.word_idx * WORD_BITS + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s: BitSet = BitSet::new();
+        assert!(s.insert(100));
+        assert!(s.contains(100));
+        assert!(!s.contains(99));
+        assert!(s.remove(100));
+        assert!(!s.remove(100));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a: BitSet = [1usize, 2].into_iter().collect();
+        let b: BitSet = [2usize, 3].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn intersect_and_subtract() {
+        let mut a: BitSet = [1usize, 2, 3, 64, 65].into_iter().collect();
+        let b: BitSet = [2usize, 64].into_iter().collect();
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 64]);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3, 65]);
+    }
+
+    #[test]
+    fn intersects_and_subset() {
+        let a: BitSet = [1usize, 70].into_iter().collect();
+        let b: BitSet = [70usize].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        let empty: BitSet = BitSet::new();
+        assert!(!a.intersects(&empty));
+        assert!(empty.is_subset(&a));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let elems = [0usize, 63, 64, 127, 128, 500];
+        let s: BitSet = elems.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), elems.to_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreeset_semantics(ops in proptest::collection::vec((0usize..300, any::<bool>()), 0..200)) {
+            let mut bs: BitSet = BitSet::new();
+            let mut reference = BTreeSet::new();
+            for (v, add) in ops {
+                if add {
+                    prop_assert_eq!(bs.insert(v), reference.insert(v));
+                } else {
+                    prop_assert_eq!(bs.remove(v), reference.remove(&v));
+                }
+            }
+            prop_assert_eq!(bs.len(), reference.len());
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), reference.into_iter().collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn union_is_set_union(a in proptest::collection::btree_set(0usize..200, 0..50),
+                              b in proptest::collection::btree_set(0usize..200, 0..50)) {
+            let mut x: BitSet = a.iter().copied().collect();
+            let y: BitSet = b.iter().copied().collect();
+            x.union_with(&y);
+            let expect: Vec<_> = a.union(&b).copied().collect();
+            prop_assert_eq!(x.iter().collect::<Vec<_>>(), expect);
+        }
+    }
+}

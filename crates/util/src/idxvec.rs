@@ -1,0 +1,222 @@
+//! A `Vec` indexed by a typed dense index.
+
+use crate::Idx;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// A growable vector indexed by an [`Idx`] newtype instead of `usize`.
+///
+/// Using typed indices prevents mixing up, say, block ids and variable ids
+/// at compile time.
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_util::{new_index, IdxVec};
+/// new_index!(pub struct VarId);
+///
+/// let mut v: IdxVec<VarId, &str> = IdxVec::new();
+/// let a = v.push("a");
+/// let b = v.push("b");
+/// assert_eq!(v[a], "a");
+/// assert_eq!(v[b], "b");
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IdxVec<I: Idx, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: Idx, T> IdxVec<I, T> {
+    /// Creates an empty vector.
+    pub fn new() -> Self {
+        Self { raw: Vec::new(), _marker: PhantomData }
+    }
+
+    /// Creates an empty vector with the given capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { raw: Vec::with_capacity(cap), _marker: PhantomData }
+    }
+
+    /// Creates a vector of `n` clones of `value`.
+    pub fn from_elem(value: T, n: usize) -> Self
+    where
+        T: Clone,
+    {
+        Self { raw: vec![value; n], _marker: PhantomData }
+    }
+
+    /// Wraps an existing `Vec`, adopting positional indices.
+    pub fn from_raw(raw: Vec<T>) -> Self {
+        Self { raw, _marker: PhantomData }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Appends an element, returning its index.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_usize(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// The index the *next* `push` will return.
+    pub fn next_index(&self) -> I {
+        I::from_usize(self.raw.len())
+    }
+
+    /// Returns a reference if `index` is in bounds.
+    pub fn get(&self, index: I) -> Option<&T> {
+        self.raw.get(index.index())
+    }
+
+    /// Returns a mutable reference if `index` is in bounds.
+    pub fn get_mut(&mut self, index: I) -> Option<&mut T> {
+        self.raw.get_mut(index.index())
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterates over the elements mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterates over `(index, &element)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> + '_ {
+        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+    }
+
+    /// Iterates over all valid indices.
+    pub fn indices(&self) -> impl Iterator<Item = I> + 'static {
+        (0..self.raw.len()).map(I::from_usize)
+    }
+
+    /// Borrows the underlying slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.raw
+    }
+
+    /// Consumes the vector, returning the underlying `Vec`.
+    pub fn into_raw(self) -> Vec<T> {
+        self.raw
+    }
+
+    /// Grows the vector with clones of `value` until `index` is valid.
+    pub fn ensure_contains(&mut self, index: I, value: T)
+    where
+        T: Clone,
+    {
+        if index.index() >= self.raw.len() {
+            self.raw.resize(index.index() + 1, value);
+        }
+    }
+}
+
+impl<I: Idx, T> Default for IdxVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx, T: fmt::Debug> fmt::Debug for IdxVec<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.raw.iter()).finish()
+    }
+}
+
+impl<I: Idx, T> Index<I> for IdxVec<I, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, index: I) -> &T {
+        &self.raw[index.index()]
+    }
+}
+
+impl<I: Idx, T> IndexMut<I> for IdxVec<I, T> {
+    #[inline]
+    fn index_mut(&mut self, index: I) -> &mut T {
+        &mut self.raw[index.index()]
+    }
+}
+
+impl<I: Idx, T> FromIterator<T> for IdxVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self::from_raw(iter.into_iter().collect())
+    }
+}
+
+impl<I: Idx, T> Extend<T> for IdxVec<I, T> {
+    fn extend<It: IntoIterator<Item = T>>(&mut self, iter: It) {
+        self.raw.extend(iter);
+    }
+}
+
+impl<'a, I: Idx, T> IntoIterator for &'a IdxVec<I, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.iter()
+    }
+}
+
+impl<I: Idx, T> IntoIterator for IdxVec<I, T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.raw.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::new_index;
+
+    new_index!(struct Id);
+
+    #[test]
+    fn push_and_index() {
+        let mut v: IdxVec<Id, i32> = IdxVec::new();
+        let a = v.push(10);
+        let b = v.push(20);
+        assert_eq!(v[a], 10);
+        v[b] = 25;
+        assert_eq!(v[b], 25);
+        assert_eq!(v.next_index(), Id::new(2));
+    }
+
+    #[test]
+    fn iter_enumerated_yields_ordered_ids() {
+        let v: IdxVec<Id, char> = "abc".chars().collect();
+        let pairs: Vec<_> = v.iter_enumerated().map(|(i, c)| (i.index(), *c)).collect();
+        assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn ensure_contains_grows() {
+        let mut v: IdxVec<Id, i32> = IdxVec::new();
+        v.ensure_contains(Id::new(3), 0);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[Id::new(3)], 0);
+    }
+
+    #[test]
+    fn get_out_of_bounds_is_none() {
+        let v: IdxVec<Id, i32> = IdxVec::new();
+        assert!(v.get(Id::new(0)).is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Union-find with path compression and union by rank.
+
+/// Disjoint-set forest over `0..n`.
+///
+/// Used to merge heap partitions that must share a dependence-graph node.
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_util::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert_eq!(uf.find(0), uf.find(1));
+/// assert_ne!(uf.find(1), uf.find(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Adds a new singleton set, returning its element.
+    pub fn push(&mut self) -> usize {
+        let i = self.parent.len();
+        self.parent.push(i as u32);
+        self.rank.push(0);
+        i
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Returns the canonical representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        hi
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 3));
+        let e = uf.push();
+        assert_eq!(e, 5);
+        uf.union(3, e);
+        assert!(uf.same_set(3, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_transitive(pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..40)) {
+            let mut uf = UnionFind::new(30);
+            for &(a, b) in &pairs {
+                uf.union(a, b);
+            }
+            // Closure check: representatives partition consistently.
+            for &(a, b) in &pairs {
+                prop_assert!(uf.same_set(a, b));
+            }
+            for x in 0..30 {
+                let r = uf.find(x);
+                prop_assert_eq!(uf.find(r), r);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A FIFO worklist that deduplicates queued items.
+
+use crate::{BitSet, Idx};
+use std::collections::VecDeque;
+
+/// A FIFO worklist over a dense index domain.
+///
+/// An item that is already queued is not queued twice; once popped it may be
+/// queued again. This is the standard driver for fixed-point constraint
+/// solvers.
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_util::Worklist;
+///
+/// let mut wl: Worklist<usize> = Worklist::new();
+/// wl.push(1);
+/// wl.push(1); // deduplicated
+/// wl.push(2);
+/// assert_eq!(wl.pop(), Some(1));
+/// assert_eq!(wl.pop(), Some(2));
+/// assert_eq!(wl.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Worklist<I: Idx = usize> {
+    queue: VecDeque<I>,
+    queued: BitSet<I>,
+}
+
+impl<I: Idx> Default for Worklist<I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Idx> Worklist<I> {
+    /// Creates an empty worklist.
+    pub fn new() -> Self {
+        Self { queue: VecDeque::new(), queued: BitSet::new() }
+    }
+
+    /// Queues `item` unless it is already pending; returns `true` if queued.
+    pub fn push(&mut self, item: I) -> bool {
+        if self.queued.insert(item) {
+            self.queue.push_back(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the oldest pending item.
+    pub fn pop(&mut self) -> Option<I> {
+        let item = self.queue.pop_front()?;
+        self.queued.remove(item);
+        Some(item)
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of pending items.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<I: Idx> Extend<I> for Worklist<I> {
+    fn extend<It: IntoIterator<Item = I>>(&mut self, iter: It) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+impl<I: Idx> FromIterator<I> for Worklist<I> {
+    fn from_iter<It: IntoIterator<Item = I>>(iter: It) -> Self {
+        let mut wl = Self::new();
+        wl.extend(iter);
+        wl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut wl: Worklist<usize> = [3, 1, 2].into_iter().collect();
+        assert_eq!(wl.len(), 3);
+        assert_eq!(wl.pop(), Some(3));
+        assert_eq!(wl.pop(), Some(1));
+        assert_eq!(wl.pop(), Some(2));
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn requeue_after_pop() {
+        let mut wl: Worklist<usize> = Worklist::new();
+        assert!(wl.push(5));
+        assert!(!wl.push(5));
+        assert_eq!(wl.pop(), Some(5));
+        assert!(wl.push(5));
+        assert_eq!(wl.pop(), Some(5));
+        assert_eq!(wl.pop(), None);
+    }
+}

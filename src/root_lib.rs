@@ -1,0 +1,15 @@
+//! Workspace root crate.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `thinslice-*` crates.
+//! It re-exports the public crates for convenience so examples can write
+//! `use thinslice_repro::prelude::*;`.
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use thinslice::*;
+    pub use thinslice_ir as ir;
+    pub use thinslice_pta as pta;
+    pub use thinslice_sdg as sdg;
+    pub use thinslice_suite as suite;
+}

@@ -1,0 +1,152 @@
+//! Differential testing: the interpreter's dynamic dependence trace is an
+//! oracle for the static analyses.
+//!
+//! Soundness of the static thin slicer means: for any execution and any
+//! seed statement, the statements in the *dynamic* thin slice (exact,
+//! index-sensitive, per-run) must all appear in the *static* thin slice of
+//! the same seed. Likewise for the full data slices, and the dynamic call
+//! targets must be within the static call graph.
+
+use proptest::prelude::*;
+use thinslice::Analysis;
+use thinslice_interp::{dynamic_data_slice, dynamic_thin_slice, run, ExecConfig, Outcome};
+use thinslice_ir::InstrKind;
+use thinslice_suite::{generate, GeneratorConfig};
+
+fn exec_config() -> ExecConfig {
+    ExecConfig {
+        lines: vec![
+            "alpha beta=1 /".into(),
+            "gamma delta=2".into(),
+            "x=3 tail".into(),
+        ],
+        ints: vec![3, 1, 4, 1, 5, 9, 2, 6],
+        max_steps: 100_000,
+    }
+}
+
+/// Runs one program and checks dynamic ⊆ static for every executed print.
+fn check_program(sources: &[(&str, &str)], config: &ExecConfig) {
+    let analysis = Analysis::build(sources).expect("compiles");
+    let exec = run(&analysis.program, config);
+    // Whatever the outcome, the recorded prefix of the trace is valid.
+    for (idx, (event, _)) in exec.prints.iter().enumerate() {
+        let seed_stmt = exec.events[*event].stmt;
+        if analysis.sdg.stmt_nodes_of(seed_stmt).is_empty() {
+            continue;
+        }
+        let static_thin = analysis.thin_slice(&[seed_stmt]).stmt_set();
+        let static_data = analysis.traditional_slice(&[seed_stmt]).stmt_set();
+        let dyn_thin = dynamic_thin_slice(&exec, *event);
+        let dyn_data = dynamic_data_slice(&exec, *event);
+        for s in &dyn_thin.stmts {
+            assert!(
+                static_thin.contains(s),
+                "print #{idx}: dynamic thin stmt {s:?} missing from static thin slice"
+            );
+        }
+        for s in &dyn_data.stmts {
+            assert!(
+                static_data.contains(s),
+                "print #{idx}: dynamic data stmt {s:?} missing from static data slice"
+            );
+        }
+        // Thin ⊆ data dynamically too.
+        assert!(dyn_thin.stmts.is_subset(&dyn_data.stmts));
+    }
+}
+
+#[test]
+fn dynamic_slices_are_subsets_on_all_benchmarks() {
+    for b in thinslice_suite::all_benchmarks() {
+        let sources: Vec<(&str, &str)> = b.sources.clone();
+        check_program(&sources, &exec_config());
+    }
+}
+
+#[test]
+fn benchmarks_actually_execute() {
+    // Every benchmark must run far enough to print something — otherwise
+    // the differential test is vacuous.
+    for b in thinslice_suite::all_benchmarks() {
+        let analysis = Analysis::build(&b.sources).unwrap();
+        let exec = run(&analysis.program, &exec_config());
+        assert!(
+            !exec.prints.is_empty() || !matches!(exec.outcome, Outcome::Finished),
+            "{}: executed {} steps, printed nothing, finished silently",
+            b.name,
+            exec.step_count()
+        );
+        assert!(exec.step_count() > 10, "{}: trivial execution", b.name);
+    }
+}
+
+#[test]
+fn figure1_dynamic_trace_reproduces_the_bug() {
+    // Running the paper's Figure 1 actually prints "FIRST NAME: Joh" — the
+    // off-by-one bug — and the dynamic thin slice from that print contains
+    // the buggy substring statement.
+    let src = r#"class Names {
+    static Vector readNames(InputStream input) {
+        Vector firstNames = new Vector();
+        while (!input.eof()) {
+            String fullName = input.readLine();
+            int spaceInd = fullName.indexOf(" ");
+            String firstName = fullName.substring(0, spaceInd - 1);
+            firstNames.add(firstName);
+        }
+        return firstNames;
+    }
+    static void printNames(Vector firstNames) {
+        for (int i = 0; i < firstNames.size(); i++) {
+            String firstName = (String) firstNames.get(i);
+            print("FIRST NAME: " + firstName);
+        }
+    }
+}
+class Main {
+    static void main() {
+        Vector firstNames = Names.readNames(new InputStream("input"));
+        Names.printNames(firstNames);
+    }
+}"#;
+    let analysis = Analysis::build(&[("fig1.mj", src)]).unwrap();
+    let exec = run(
+        &analysis.program,
+        &ExecConfig { lines: vec!["John Doe".into()], ..ExecConfig::default() },
+    );
+    assert_eq!(exec.outcome, Outcome::Finished, "{:?}", exec.outcome);
+    assert_eq!(exec.prints.len(), 1);
+    assert_eq!(exec.prints[0].1, "FIRST NAME: Joh", "the paper's bug, observed at runtime");
+
+    let seed = exec.prints[0].0;
+    let dyn_thin = dynamic_thin_slice(&exec, seed);
+    let buggy = analysis
+        .program
+        .all_stmts()
+        .find(|s| {
+            matches!(&analysis.program.instr(*s).kind, InstrKind::Call { callee, .. }
+                if analysis.program.methods[*callee].name == "substring")
+        })
+        .unwrap();
+    assert!(
+        dyn_thin.contains_stmt(buggy),
+        "the dynamic thin slice walks straight to the buggy substring"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Dynamic ⊆ static on randomly generated programs with random inputs.
+    #[test]
+    fn dynamic_subset_of_static_on_generated_programs(
+        seed in 0u64..300,
+        ints in proptest::collection::vec(-50i64..50, 4..16),
+    ) {
+        let config = GeneratorConfig { seed, ..GeneratorConfig::default() };
+        let src = generate(&config);
+        let exec_config = ExecConfig { ints, max_steps: 50_000, ..ExecConfig::default() };
+        check_program(&[("gen.mj", &src)], &exec_config);
+    }
+}
