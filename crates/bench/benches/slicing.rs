@@ -1,135 +1,371 @@
-//! Criterion benchmarks for every pipeline stage and all four slicers.
+//! Slicing benchmark: sequential vs batched queries on the Table 2 workload.
 //!
-//! These back the paper's §6.1 timing claims: "the time and space to
-//! compute the thin slice or traditional slice with the
-//! context-insensitive algorithm was insignificant compared to the
-//! preliminary pointer analysis."
+//! Hand-rolled harness (`harness = false`; the build must work offline, so
+//! no external benchmark crates). Run with `cargo bench -p thinslice-bench`.
+//!
+//! For every benchmark that appears in the Table 2 debugging tasks, the
+//! harness measures:
+//!
+//! * **build** — compile + pointer analysis + CI SDG construction, and the
+//!   CSR freeze on top;
+//! * **per-slicer query time** — for each of the four slicer variants
+//!   (thin, traditional-data, traditional-full, context-sensitive thin):
+//!   - `seq`: the pre-existing single-query entry points over the growable
+//!     `Sdg` (fresh allocations per query; the tabulation rebuilds its
+//!     down-edge index per query),
+//!   - `csr`: a single query over the frozen CSR graph (fresh scratch),
+//!   - `batch`: `thinslice::batch` over the shared frozen graph with
+//!     per-worker scratch reuse and a shared tabulation index;
+//! * **throughput** — slices/sec for `seq` vs `batch`.
+//!
+//! Every batched result is asserted equal to its sequential counterpart
+//! before any number is reported. Results go to stdout as a table and to
+//! `BENCH_slicing.json` at the repository root as machine-readable JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use thinslice::{cs_slice, slice_from, Analysis, SliceKind};
-use thinslice_ir::InstrKind;
-use thinslice_pta::{ModRef, Pta, PtaConfig};
-use thinslice_sdg::{build_cs, NodeId};
-use thinslice_suite::{generate, GeneratorConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+use thinslice::{batch, cs_slice, slice_from, Analysis, CsSlice, Slice, SliceKind};
+use thinslice_pta::PtaConfig;
+use thinslice_sdg::{DepGraph, FrozenSdg, Sdg};
+use thinslice_suite::{all_bug_tasks, benchmark_named, line_with, Benchmark};
+use thinslice_util::par;
 
-fn seeds_of(a: &Analysis) -> Vec<NodeId> {
-    a.program
-        .all_stmts()
-        .filter(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
-        .flat_map(|s| a.sdg.stmt_nodes_of(s).to_vec())
+/// Timing rounds per measurement; the median over rounds is reported.
+const ROUNDS: usize = 25;
+/// Untimed warm-up runs before the rounds (caches, lazy allocations).
+const WARMUP: usize = 2;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slicer {
+    Thin,
+    Data,
+    Full,
+    CsThin,
+}
+
+impl Slicer {
+    const ALL: [Slicer; 4] = [Slicer::Thin, Slicer::Data, Slicer::Full, Slicer::CsThin];
+
+    fn name(self) -> &'static str {
+        match self {
+            Slicer::Thin => "thin",
+            Slicer::Data => "traditional-data",
+            Slicer::Full => "traditional-full",
+            Slicer::CsThin => "cs-thin",
+        }
+    }
+
+    fn kind(self) -> SliceKind {
+        match self {
+            Slicer::Thin | Slicer::CsThin => SliceKind::Thin,
+            Slicer::Data => SliceKind::TraditionalData,
+            Slicer::Full => SliceKind::TraditionalFull,
+        }
+    }
+}
+
+struct SlicerResult {
+    slicer: Slicer,
+    queries: usize,
+    seq_mean_us: f64,
+    csr_mean_us: f64,
+    batch_mean_us: f64,
+    seq_total_s: f64,
+    batch_total_s: f64,
+}
+
+struct BenchResult {
+    name: String,
+    build_ms: f64,
+    freeze_ms: f64,
+    nodes: usize,
+    edges: usize,
+    slicers: Vec<SlicerResult>,
+}
+
+/// Median seconds per run for each of `fs`, measured in interleaved
+/// rounds: every round times each configuration once, back to back, after
+/// [`WARMUP`] untimed rounds. Interleaving means machine-load drift hits
+/// all configurations alike instead of biasing whichever happened to run
+/// during a busy stretch, and the median discards the rounds a scheduler
+/// preemption inflated — both matter for microsecond-scale measurements
+/// on a shared single-core machine.
+fn time_interleaved(mut fs: Vec<Box<dyn FnMut() + '_>>) -> Vec<f64> {
+    for _ in 0..WARMUP {
+        for f in &mut fs {
+            f();
+        }
+    }
+    let mut rounds = vec![Vec::with_capacity(ROUNDS); fs.len()];
+    for _ in 0..ROUNDS {
+        for (i, f) in fs.iter_mut().enumerate() {
+            let start = Instant::now();
+            f();
+            rounds[i].push(start.elapsed().as_secs_f64());
+        }
+    }
+    rounds
+        .into_iter()
+        .map(|mut r| {
+            r.sort_by(f64::total_cmp);
+            r[ROUNDS / 2]
+        })
         .collect()
 }
 
-/// Pointer analysis + call graph construction per benchmark.
-fn bench_pointer_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pointer_analysis");
-    for name in ["nanoxml", "javac", "jack"] {
-        let b = thinslice_suite::benchmark_named(name).unwrap();
-        let program = thinslice_ir::compile(&b.sources).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |bench, p| {
-            bench.iter(|| Pta::analyze(black_box(p), PtaConfig::default()));
-        });
-    }
-    group.finish();
+fn stmt_sets(slices: &[Slice]) -> Vec<Vec<thinslice_ir::StmtRef>> {
+    slices
+        .iter()
+        .map(|s| s.stmts_in_bfs_order.clone())
+        .collect()
 }
 
-/// SDG construction: direct heap edges vs heap parameters.
-fn bench_sdg_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sdg_construction");
-    for name in ["nanoxml", "javac"] {
-        let b = thinslice_suite::benchmark_named(name).unwrap();
-        let program = thinslice_ir::compile(&b.sources).unwrap();
-        let pta = Pta::analyze(&program, PtaConfig::default());
-        group.bench_function(BenchmarkId::new("direct_edges", name), |bench| {
-            bench.iter(|| thinslice_sdg::build_ci(black_box(&program), black_box(&pta)));
-        });
-        let modref = ModRef::compute(&program, &pta);
-        group.bench_function(BenchmarkId::new("heap_params", name), |bench| {
-            bench.iter(|| build_cs(black_box(&program), black_box(&pta), black_box(&modref)));
-        });
-    }
-    group.finish();
+fn cs_stmt_counts(slices: &[CsSlice]) -> Vec<usize> {
+    slices.iter().map(CsSlice::len).collect()
 }
 
-/// The four slicers on the same seeds (one full sweep over all print
-/// statements per iteration).
-fn bench_slicers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("slicers");
-    for name in ["nanoxml", "javac"] {
-        let b = thinslice_suite::benchmark_named(name).unwrap();
-        let a = b.analyze(PtaConfig::default());
-        let seeds = seeds_of(&a);
-        group.bench_function(BenchmarkId::new("thin_ci", name), |bench| {
-            bench.iter(|| {
-                for &s in &seeds {
-                    black_box(slice_from(&a.sdg, &[s], SliceKind::Thin));
-                }
-            });
-        });
-        group.bench_function(BenchmarkId::new("traditional_ci", name), |bench| {
-            bench.iter(|| {
-                for &s in &seeds {
-                    black_box(slice_from(&a.sdg, &[s], SliceKind::TraditionalData));
-                }
-            });
-        });
-        group.bench_function(BenchmarkId::new("thin_cs_tabulation", name), |bench| {
-            bench.iter(|| {
-                for &s in &seeds {
-                    black_box(cs_slice(&a.sdg, &[s], SliceKind::Thin));
-                }
-            });
-        });
-    }
-    group.finish();
+/// The Table 2 seed queries of one benchmark, node-resolved against the
+/// given graph.
+fn table2_queries<G: DepGraph>(
+    b: &Benchmark,
+    a: &Analysis,
+    graph: &G,
+) -> Vec<Vec<thinslice_sdg::NodeId>> {
+    all_bug_tasks()
+        .iter()
+        .filter(|t| t.benchmark == b.name)
+        .map(|t| {
+            let src = b
+                .sources
+                .iter()
+                .find(|(f, _)| *f == t.seed.file)
+                .expect("seed file");
+            let line = line_with(src.1, t.seed.snippet);
+            a.stmts_at_line(t.seed.file, line)
+                .into_iter()
+                .flat_map(|s| graph.stmt_nodes_of(s).to_vec())
+                .collect()
+        })
+        .collect()
 }
 
-/// Whole-pipeline scaling on generated programs (compile → PTA → SDG →
-/// one thin slice).
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline_scaling");
-    group.sample_size(10);
-    for factor in [1usize, 2, 4] {
-        let src = generate(&GeneratorConfig::scaled(factor));
-        group.bench_with_input(BenchmarkId::from_parameter(factor), &src, |bench, src| {
-            bench.iter(|| {
-                let a = Analysis::build(&[("gen.mj", src)]).unwrap();
-                let seed = a
-                    .program
-                    .all_stmts()
-                    .find(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
-                    .unwrap();
-                black_box(a.thin_slice(&[seed]))
-            });
-        });
-    }
-    group.finish();
-}
+fn run_benchmark(name: &str, threads: usize) -> BenchResult {
+    let b = benchmark_named(name).expect("benchmark exists");
 
-/// The inspection simulation itself (one Table 2 row, both slicers).
-fn bench_inspection(c: &mut Criterion) {
-    let b = thinslice_suite::benchmark_named("nanoxml").unwrap();
+    let t0 = Instant::now();
     let a = b.analyze(PtaConfig::default());
-    let task = thinslice_suite::all_bug_tasks()
-        .into_iter()
-        .find(|t| t.id == "nanoxml-1")
-        .unwrap();
-    let resolved = task.resolve(&b, &a);
-    c.bench_function("inspection_simulation/nanoxml-1", |bench| {
-        bench.iter(|| {
-            black_box(a.inspect(black_box(&resolved), SliceKind::Thin));
-            black_box(a.inspect(black_box(&resolved), SliceKind::TraditionalData));
+    let build_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let t1 = Instant::now();
+    let frozen = a.sdg.freeze();
+    let freeze_ms = t1.elapsed().as_secs_f64() * 1000.0;
+
+    let cs_sdg = a.build_cs_sdg();
+    let cs_frozen = cs_sdg.freeze();
+
+    let mut slicers = Vec::new();
+    for slicer in Slicer::ALL {
+        let (graph, graph_frozen): (&Sdg, &FrozenSdg) = match slicer {
+            Slicer::CsThin => (&cs_sdg, &cs_frozen),
+            _ => (&a.sdg, &frozen),
+        };
+        let queries = table2_queries(&b, &a, graph);
+        let n = queries.len();
+        if n == 0 {
+            continue;
+        }
+        let kind = slicer.kind();
+
+        let result = match slicer {
+            Slicer::CsThin => {
+                let seq: Vec<CsSlice> = queries.iter().map(|q| cs_slice(graph, q, kind)).collect();
+                let batched = batch::cs_slices(graph_frozen, &queries, kind, threads);
+                assert_eq!(
+                    cs_stmt_counts(&seq),
+                    cs_stmt_counts(&batched),
+                    "{name}/{}: batch must equal sequential",
+                    slicer.name()
+                );
+                for (s, bt) in seq.iter().zip(&batched) {
+                    assert_eq!(s.stmts, bt.stmts);
+                }
+                let t = time_interleaved(vec![
+                    Box::new(|| {
+                        for q in &queries {
+                            std::hint::black_box(cs_slice(graph, q, kind));
+                        }
+                    }),
+                    Box::new(|| {
+                        for q in &queries {
+                            std::hint::black_box(cs_slice(graph_frozen, q, kind));
+                        }
+                    }),
+                    Box::new(|| {
+                        std::hint::black_box(batch::cs_slices(
+                            graph_frozen,
+                            &queries,
+                            kind,
+                            threads,
+                        ));
+                    }),
+                ]);
+                (t[0], t[1], t[2])
+            }
+            _ => {
+                let seq: Vec<Slice> = queries.iter().map(|q| slice_from(graph, q, kind)).collect();
+                let batched = batch::slices(graph_frozen, &queries, kind, threads);
+                assert_eq!(
+                    stmt_sets(&seq),
+                    stmt_sets(&batched),
+                    "{name}/{}: batch must equal sequential (BFS order included)",
+                    slicer.name()
+                );
+                let t = time_interleaved(vec![
+                    Box::new(|| {
+                        for q in &queries {
+                            std::hint::black_box(slice_from(graph, q, kind));
+                        }
+                    }),
+                    Box::new(|| {
+                        for q in &queries {
+                            std::hint::black_box(slice_from(graph_frozen, q, kind));
+                        }
+                    }),
+                    Box::new(|| {
+                        std::hint::black_box(batch::slices(graph_frozen, &queries, kind, threads));
+                    }),
+                ]);
+                (t[0], t[1], t[2])
+            }
+        };
+        let (seq_total_s, csr_total_s, batch_total_s) = result;
+        slicers.push(SlicerResult {
+            slicer,
+            queries: n,
+            seq_mean_us: seq_total_s / n as f64 * 1e6,
+            csr_mean_us: csr_total_s / n as f64 * 1e6,
+            batch_mean_us: batch_total_s / n as f64 * 1e6,
+            seq_total_s,
+            batch_total_s,
         });
-    });
+    }
+
+    BenchResult {
+        name: name.to_string(),
+        build_ms,
+        freeze_ms,
+        nodes: frozen.node_count(),
+        edges: frozen.edge_count(),
+        slicers,
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_pointer_analysis,
-    bench_sdg_construction,
-    bench_slicers,
-    bench_scaling,
-    bench_inspection
-);
-criterion_main!(benches);
+fn render_json(results: &[BenchResult], threads: usize) -> String {
+    let mut queries = 0usize;
+    let mut seq_s = 0.0f64;
+    let mut batch_s = 0.0f64;
+    for r in results {
+        for s in &r.slicers {
+            queries += s.queries;
+            seq_s += s.seq_total_s;
+            batch_s += s.batch_total_s;
+        }
+    }
+    let seq_tput = queries as f64 / seq_s.max(1e-12);
+    let batch_tput = queries as f64 / batch_s.max(1e-12);
+
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"workload\": \"table2-bug-task-seeds\",");
+    let _ = writeln!(out, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(out, "  \"threads\": {threads},");
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"build_ms\": {:.3},", r.build_ms);
+        let _ = writeln!(out, "      \"freeze_ms\": {:.3},", r.freeze_ms);
+        let _ = writeln!(out, "      \"sdg_nodes\": {},", r.nodes);
+        let _ = writeln!(out, "      \"sdg_edges\": {},", r.edges);
+        out.push_str("      \"slicers\": [\n");
+        for (j, s) in r.slicers.iter().enumerate() {
+            out.push_str("        {");
+            let _ = write!(out, "\"kind\": \"{}\", ", s.slicer.name());
+            let _ = write!(out, "\"queries\": {}, ", s.queries);
+            let _ = write!(out, "\"seq_mean_us\": {:.3}, ", s.seq_mean_us);
+            let _ = write!(out, "\"csr_single_mean_us\": {:.3}, ", s.csr_mean_us);
+            let _ = write!(out, "\"batch_mean_us\": {:.3}, ", s.batch_mean_us);
+            let _ = write!(
+                out,
+                "\"seq_slices_per_sec\": {:.1}, ",
+                s.queries as f64 / s.seq_total_s.max(1e-12)
+            );
+            let _ = write!(
+                out,
+                "\"batch_slices_per_sec\": {:.1}, ",
+                s.queries as f64 / s.batch_total_s.max(1e-12)
+            );
+            let _ = write!(
+                out,
+                "\"batch_speedup\": {:.2}",
+                s.seq_total_s / s.batch_total_s.max(1e-12)
+            );
+            out.push('}');
+            out.push_str(if j + 1 < r.slicers.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"aggregate\": {");
+    let _ = write!(out, "\"queries\": {queries}, ");
+    let _ = write!(out, "\"seq_slices_per_sec\": {seq_tput:.1}, ");
+    let _ = write!(out, "\"batch_slices_per_sec\": {batch_tput:.1}, ");
+    let _ = write!(
+        out,
+        "\"batch_speedup\": {:.2}",
+        batch_tput / seq_tput.max(1e-12)
+    );
+    out.push_str("}\n}\n");
+    out
+}
+
+fn main() {
+    let threads = par::default_threads();
+    let mut names: Vec<&'static str> = Vec::new();
+    for t in all_bug_tasks() {
+        if !names.contains(&t.benchmark) {
+            names.push(t.benchmark);
+        }
+    }
+
+    let mut results = Vec::new();
+    for name in names {
+        eprintln!("benchmarking {name} …");
+        let r = run_benchmark(name, threads);
+        println!(
+            "{:<10} build {:>8.1} ms  freeze {:>6.2} ms  ({} nodes, {} edges)",
+            r.name, r.build_ms, r.freeze_ms, r.nodes, r.edges
+        );
+        for s in &r.slicers {
+            println!(
+                "  {:<17} {:>2} queries  seq {:>9.1} µs  csr {:>9.1} µs  batch {:>9.1} µs  speedup {:>5.2}x",
+                s.slicer.name(),
+                s.queries,
+                s.seq_mean_us,
+                s.csr_mean_us,
+                s.batch_mean_us,
+                s.seq_total_s / s.batch_total_s.max(1e-12),
+            );
+        }
+        results.push(r);
+    }
+
+    let json = render_json(&results, threads);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
+    std::fs::write(path, &json).expect("write BENCH_slicing.json");
+    println!("\nwrote {path}");
+    print!("{json}");
+}

@@ -19,7 +19,12 @@ fn tough_cast_count(program: &thinslice_ir::Program, pta: &Pta) -> usize {
     program
         .all_stmts()
         .filter(|s| {
-            if let InstrKind::Cast { src: Operand::Var(v), ty, .. } = &program.instr(*s).kind {
+            if let InstrKind::Cast {
+                src: Operand::Var(v),
+                ty,
+                ..
+            } = &program.instr(*s).kind
+            {
                 ty.is_reference() && !pta.cast_is_verified(program, s.method, *v, ty)
             } else {
                 false
@@ -32,11 +37,17 @@ fn main() {
     let benchmarks = ["nanoxml", "javac", "jack"];
 
     println!("Ablation 1: heap-context depth (benchmark: jack)");
-    println!("{:<8} {:>9} {:>9} {:>12}", "depth", "objects", "CG nodes", "tough casts");
+    println!(
+        "{:<8} {:>9} {:>9} {:>12}",
+        "depth", "objects", "CG nodes", "tough casts"
+    );
     let b = thinslice_suite::benchmark_named("jack").unwrap();
     let program = compile(&b.sources).unwrap();
     for depth in [1u32, 2, 3, 4, 5] {
-        let config = PtaConfig { max_heap_ctx_depth: depth, ..PtaConfig::default() };
+        let config = PtaConfig {
+            max_heap_ctx_depth: depth,
+            ..PtaConfig::default()
+        };
         let pta = Pta::analyze(&program, config);
         let stats = ProgramStats::compute(&program, &pta);
         println!(
@@ -49,7 +60,10 @@ fn main() {
     }
 
     println!("\nAblation 2: container-class set");
-    println!("{:<10} {:<12} {:>9} {:>9} {:>12}", "benchmark", "containers", "objects", "CG nodes", "tough casts");
+    println!(
+        "{:<10} {:<12} {:>9} {:>9} {:>12}",
+        "benchmark", "containers", "objects", "CG nodes", "tough casts"
+    );
     for name in benchmarks {
         let b = thinslice_suite::benchmark_named(name).unwrap();
         let program = compile(&b.sources).unwrap();
@@ -86,8 +100,13 @@ fn main() {
         let b = thinslice_suite::benchmark_named(name).unwrap();
         let program = compile(&b.sources).unwrap();
         let with = Pta::analyze(&program, PtaConfig::default());
-        let without =
-            Pta::analyze(&program, PtaConfig { cast_filtering: false, ..PtaConfig::default() });
+        let without = Pta::analyze(
+            &program,
+            PtaConfig {
+                cast_filtering: false,
+                ..PtaConfig::default()
+            },
+        );
         let edges_with = thinslice_sdg::build_ci(&program, &with).edge_count();
         let edges_without = thinslice_sdg::build_ci(&program, &without).edge_count();
         println!(

@@ -20,7 +20,10 @@ fn main() {
     for factor in [1usize, 2, 4, 8] {
         let src = thinslice_suite::generate(&GeneratorConfig::scaled(factor));
         let label = format!("gen-x{factor}");
-        rows.push(thinslice_bench::measure_scalability(&label, &[("gen.mj", &src)]));
+        rows.push(thinslice_bench::measure_scalability(
+            &label,
+            &[("gen.mj", &src)],
+        ));
     }
     print!("{}", thinslice_bench::render_scalability(&rows));
 
@@ -30,9 +33,16 @@ fn main() {
     println!("Context sensitivity: full slice vs inspected statements (nanoxml-1)");
     let b = thinslice_suite::benchmark_named("nanoxml").unwrap();
     let a = b.analyze(PtaConfig::default());
-    let task = thinslice_suite::all_bug_tasks().into_iter().find(|t| t.id == "nanoxml-1").unwrap();
+    let task = thinslice_suite::all_bug_tasks()
+        .into_iter()
+        .find(|t| t.id == "nanoxml-1")
+        .unwrap();
     let resolved = task.resolve(&b, &a);
-    let seeds: Vec<_> = resolved.seeds.iter().filter_map(|&s| a.sdg.stmt_node(s)).collect();
+    let seeds: Vec<_> = resolved
+        .seeds
+        .iter()
+        .filter_map(|&s| a.sdg.stmt_node(s))
+        .collect();
 
     let ci = thinslice::slice_from(&a.sdg, &seeds, SliceKind::TraditionalData);
     // The context-sensitive slicer runs on the heap-parameter graph, as in

@@ -84,7 +84,10 @@ pub fn run_tasks(tasks: &[Task]) -> Vec<TaskResult> {
     let mut rows = Vec::new();
     let mut current: Option<(Benchmark, Analysis, Analysis)> = None;
     for task in tasks {
-        let needs_new = current.as_ref().map(|(b, _, _)| b.name != task.benchmark).unwrap_or(true);
+        let needs_new = current
+            .as_ref()
+            .map(|(b, _, _)| b.name != task.benchmark)
+            .unwrap_or(true);
         if needs_new {
             let b = thinslice_suite::benchmark_named(task.benchmark)
                 .unwrap_or_else(|| panic!("unknown benchmark {}", task.benchmark));
@@ -106,7 +109,15 @@ pub fn render_task_table(title: &str, rows: &[TaskResult]) -> String {
     out.push('\n');
     out.push_str(&format!(
         "{:<16} {:>6} {:>6} {:>6} {:>9} {:>14} {:>14} {:>12} {:>12}\n",
-        "Task", "#Thin", "#Trad", "Ratio", "#Control", "#ThinNoObjSen", "#TradNoObjSen", "paper#Thin", "paper#Trad"
+        "Task",
+        "#Thin",
+        "#Trad",
+        "Ratio",
+        "#Control",
+        "#ThinNoObjSen",
+        "#TradNoObjSen",
+        "paper#Thin",
+        "paper#Trad"
     ));
     let mut total_thin = 0usize;
     let mut total_trad = 0usize;
@@ -149,7 +160,11 @@ pub fn render_task_table(title: &str, rows: &[TaskResult]) -> String {
     out.push_str(&format!(
         "aggregate #Trad/#Thin ratio: {:.2} (paper: {})\n",
         total_trad as f64 / total_thin.max(1) as f64,
-        if title.contains("Table 2") { "3.3" } else { "9.4" },
+        if title.contains("Table 2") {
+            "3.3"
+        } else {
+            "9.4"
+        },
     ));
     out.push_str(&format!(
         "NoObjSens inflation: thin {:.2}x, trad {:.2}x\n",
@@ -200,7 +215,12 @@ pub fn measure_scalability(label: &str, sources: &[(&str, &str)]) -> Scalability
     // Slice from every print statement (the natural seeds).
     let seeds: Vec<_> = program
         .all_stmts()
-        .filter(|s| matches!(program.instr(*s).kind, thinslice_ir::InstrKind::Print { .. }))
+        .filter(|s| {
+            matches!(
+                program.instr(*s).kind,
+                thinslice_ir::InstrKind::Print { .. }
+            )
+        })
         .filter_map(|s| sdg.stmt_node(s))
         .collect();
     let t2 = Instant::now();
@@ -209,7 +229,11 @@ pub fn measure_scalability(label: &str, sources: &[(&str, &str)]) -> Scalability
         let _ = thinslice::slice_from(&sdg, &[seed], SliceKind::Thin);
         slices += 1;
     }
-    let thin_slice_time = if slices > 0 { t2.elapsed() / slices as u32 } else { Duration::ZERO };
+    let thin_slice_time = if slices > 0 {
+        t2.elapsed() / slices as u32
+    } else {
+        Duration::ZERO
+    };
 
     let modref = ModRef::compute(&program, &pta);
     let cs = thinslice_sdg::build_cs(&program, &pta, &modref);
@@ -229,7 +253,9 @@ pub fn measure_scalability(label: &str, sources: &[(&str, &str)]) -> Scalability
 /// Renders the scalability table.
 pub fn render_scalability(rows: &[ScalabilityRow]) -> String {
     let mut out = String::new();
-    out.push_str("Scalability (paper §6.1): thin slicing cost vs pointer analysis; heap-parameter blow-up\n");
+    out.push_str(
+        "Scalability (paper §6.1): thin slicing cost vs pointer analysis; heap-parameter blow-up\n",
+    );
     out.push_str(&format!(
         "{:<14} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12}\n",
         "Program", "PTA(ms)", "SDG(ms)", "thin(µs)", "CI nodes", "CS nodes", "CS heap-par"

@@ -6,10 +6,15 @@
 //!
 //! ```text
 //! thinslice slice   <file.mj>... --seed <file:line> [--kind thin|data|full] [--cs]
+//! thinslice slice   <file.mj>... (--seeds-file <path> | --all-seeds) [--threads <n>]
 //! thinslice explain <file.mj>... --seed <file:line>
 //! thinslice run     <file.mj>... [--line <input>]... [--int <n>]... [--dynamic-slice]
 //! thinslice info    <file.mj>...
 //! ```
+//!
+//! Batch mode (`--seeds-file`, one `file:line` per line, or `--all-seeds`
+//! for every sliceable source line) answers all queries over one shared
+//! frozen dependence graph, fanned out across `--threads` workers.
 
 use std::process::ExitCode;
 use thinslice::{Analysis, SliceKind};
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   thinslice slice   <file.mj>... --seed <file:line> [--kind thin|data|full] [--cs] [--no-objsens]
+  thinslice slice   <file.mj>... (--seeds-file <path> | --all-seeds) [--threads <n>] [--kind ...]
   thinslice explain <file.mj>... --seed <file:line>
   thinslice run     <file.mj>... [--line <text>]... [--int <n>]... [--dynamic-slice]
   thinslice info    <file.mj>...";
@@ -38,6 +44,9 @@ const USAGE: &str = "usage:
 struct Options {
     files: Vec<String>,
     seed: Option<(String, u32)>,
+    seeds_file: Option<String>,
+    all_seeds: bool,
+    threads: usize,
     kind: SliceKind,
     context_sensitive: bool,
     object_sensitive: bool,
@@ -50,6 +59,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut o = Options {
         files: Vec::new(),
         seed: None,
+        seeds_file: None,
+        all_seeds: false,
+        threads: thinslice_util::par::default_threads(),
         kind: SliceKind::Thin,
         context_sensitive: false,
         object_sensitive: true,
@@ -74,12 +86,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown slice kind {other:?}")),
                 };
             }
+            "--seeds-file" => {
+                o.seeds_file = Some(it.next().ok_or("--seeds-file needs a path")?.clone());
+            }
+            "--all-seeds" => o.all_seeds = true,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                o.threads = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if o.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--cs" => o.context_sensitive = true,
             "--no-objsens" => o.object_sensitive = false,
             "--line" => o.lines.push(it.next().ok_or("--line needs text")?.clone()),
             "--int" => {
                 let v = it.next().ok_or("--int needs a number")?;
-                o.ints.push(v.parse().map_err(|_| format!("bad int {v:?}"))?);
+                o.ints
+                    .push(v.parse().map_err(|_| format!("bad int {v:?}"))?);
             }
             "--dynamic-slice" => o.dynamic_slice = true,
             f if !f.starts_with('-') => o.files.push(f.to_string()),
@@ -102,8 +126,10 @@ fn load(o: &Options) -> Result<Analysis, String> {
             .unwrap_or_else(|| f.clone());
         sources.push((name, text));
     }
-    let borrowed: Vec<(&str, &str)> =
-        sources.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect();
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.as_str()))
+        .collect();
     let config = if o.object_sensitive {
         thinslice_pta::PtaConfig::default()
     } else {
@@ -130,15 +156,102 @@ fn real_main(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The batch seed list: parsed from `--seeds-file` (one `file:line` per
+/// line, `#` comments allowed), or every sliceable source line under
+/// `--all-seeds`.
+fn batch_seed_lines(a: &Analysis, o: &Options) -> Result<Vec<(String, u32)>, String> {
+    if let Some(path) = &o.seeds_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (f, l) = line
+                .rsplit_once(':')
+                .ok_or_else(|| format!("{path}:{}: expected <file:line>", i + 1))?;
+            let n: u32 = l
+                .parse()
+                .map_err(|_| format!("{path}:{}: bad line number {l:?}", i + 1))?;
+            out.push((f.to_string(), n));
+        }
+        if out.is_empty() {
+            return Err(format!("{path}: no seeds"));
+        }
+        Ok(out)
+    } else {
+        // Every distinct source line with a reachable statement, in file
+        // order — the "slice everything" stress mode.
+        let mut lines = std::collections::BTreeSet::new();
+        for s in a.program.all_stmts() {
+            let span = a.program.instr(s).span;
+            if !span.is_synthetic() && a.sdg.stmt_node(s).is_some() {
+                lines.insert((a.program.files[span.file].name.clone(), span.line));
+            }
+        }
+        Ok(lines.into_iter().collect())
+    }
+}
+
+fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
+    let seed_lines = batch_seed_lines(a, o)?;
+    let mut queries: Vec<Vec<thinslice_ir::StmtRef>> = Vec::with_capacity(seed_lines.len());
+    for (f, l) in &seed_lines {
+        queries.push(
+            a.seed_at_line(f, *l)
+                .ok_or_else(|| format!("{f}:{l} has no reachable statement"))?,
+        );
+    }
+
+    let start = std::time::Instant::now();
+    let sizes: Vec<usize> = if o.context_sensitive {
+        let cs_sdg = a.build_cs_sdg();
+        let frozen = cs_sdg.freeze();
+        let nodes = thinslice::batch::node_queries(&frozen, &queries);
+        thinslice::batch::cs_slices(&frozen, &nodes, o.kind, o.threads)
+            .iter()
+            .map(thinslice::CsSlice::len)
+            .collect()
+    } else {
+        a.batch_slices(&queries, o.kind, o.threads)
+            .iter()
+            .map(thinslice::Slice::len)
+            .collect()
+    };
+    let elapsed = start.elapsed();
+
+    for ((f, l), size) in seed_lines.iter().zip(&sizes) {
+        println!("{f}:{l}  {:?} slice: {size} statements", o.kind);
+    }
+    println!(
+        "-- {} slices in {:.1} ms on {} thread(s) ({:.0} slices/sec)",
+        sizes.len(),
+        elapsed.as_secs_f64() * 1000.0,
+        o.threads,
+        sizes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    Ok(())
+}
+
 fn cmd_slice(o: &Options) -> Result<(), String> {
     let a = load(o)?;
+    if o.seeds_file.is_some() || o.all_seeds {
+        return cmd_slice_batch(&a, o);
+    }
     let seeds = resolve_seed(&a, o)?;
     if o.context_sensitive {
         let cs_sdg = a.build_cs_sdg();
-        let nodes: Vec<_> =
-            seeds.iter().flat_map(|&s| cs_sdg.stmt_nodes_of(s).to_vec()).collect();
+        let nodes: Vec<_> = seeds
+            .iter()
+            .flat_map(|&s| cs_sdg.stmt_nodes_of(s).to_vec())
+            .collect();
         let slice = thinslice::cs_slice(&cs_sdg, &nodes, o.kind);
-        println!("context-sensitive {:?} slice: {} statements", o.kind, slice.len());
+        println!(
+            "context-sensitive {:?} slice: {} statements",
+            o.kind,
+            slice.len()
+        );
         let mut stmts: Vec<_> = slice.stmts.iter().copied().collect();
         stmts.sort();
         let mut seen_lines = std::collections::HashSet::new();
@@ -151,11 +264,18 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
         return Ok(());
     }
     let slice = thinslice::slice_from(
-        &a.sdg,
-        &seeds.iter().flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec()).collect::<Vec<_>>(),
+        &a.csr,
+        &seeds
+            .iter()
+            .flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec())
+            .collect::<Vec<_>>(),
         o.kind,
     );
-    println!("{:?} slice: {} statements (BFS order from the seed)", o.kind, slice.len());
+    println!(
+        "{:?} slice: {} statements (BFS order from the seed)",
+        o.kind,
+        slice.len()
+    );
     for line in thinslice::report::slice_lines(&a.program, &slice) {
         println!("  {line}");
     }
@@ -216,11 +336,18 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     for (_, text) in &exec.prints {
         println!("{text}");
     }
-    println!("-- outcome: {:?} after {} steps", exec.outcome, exec.step_count());
+    println!(
+        "-- outcome: {:?} after {} steps",
+        exec.outcome,
+        exec.step_count()
+    );
     if o.dynamic_slice {
         if let Some((event, _)) = exec.prints.last() {
             let slice = dynamic_thin_slice(&exec, *event);
-            println!("\ndynamic thin slice of the last print ({} statements):", slice.stmt_count());
+            println!(
+                "\ndynamic thin slice of the last print ({} statements):",
+                slice.stmt_count()
+            );
             let mut stmts: Vec<_> = slice.stmts.iter().copied().collect();
             stmts.sort();
             for s in stmts {
@@ -267,8 +394,17 @@ mod tests {
 
     #[test]
     fn parses_interpreter_inputs() {
-        let o = opts(&["a.mj", "--line", "x y", "--int", "7", "--int", "-3", "--dynamic-slice"])
-            .unwrap();
+        let o = opts(&[
+            "a.mj",
+            "--line",
+            "x y",
+            "--int",
+            "7",
+            "--int",
+            "-3",
+            "--dynamic-slice",
+        ])
+        .unwrap();
         assert_eq!(o.lines, vec!["x y"]);
         assert_eq!(o.ints, vec![7, -3]);
         assert!(o.dynamic_slice);
@@ -288,6 +424,20 @@ mod tests {
         assert!(opts(&["a.mj", "--seed", "f:abc"]).is_err());
         assert!(opts(&["a.mj", "--kind", "fat"]).is_err());
         assert!(opts(&["a.mj", "--wat"]).is_err());
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let o = opts(&["a.mj", "--seeds-file", "seeds.txt", "--threads", "3"]).unwrap();
+        assert_eq!(o.seeds_file.as_deref(), Some("seeds.txt"));
+        assert_eq!(o.threads, 3);
+        assert!(!o.all_seeds);
+        let o = opts(&["a.mj", "--all-seeds"]).unwrap();
+        assert!(o.all_seeds);
+        assert!(o.threads >= 1);
+        assert!(opts(&["a.mj", "--threads", "0"]).is_err());
+        assert!(opts(&["a.mj", "--threads", "many"]).is_err());
+        assert!(opts(&["a.mj", "--seeds-file"]).is_err());
     }
 
     #[test]

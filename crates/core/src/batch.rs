@@ -1,0 +1,306 @@
+//! Parallel batched slicing: N queries over one shared frozen graph.
+//!
+//! The paper's evaluation workload is query-heavy: one dependence graph,
+//! many seeds (every task of Table 2/3 slices the same benchmark). This
+//! module amortises everything that does not depend on the seed —
+//! the CSR graph ([`FrozenSdg`]), per-worker scratch buffers
+//! ([`SliceScratch`]) and the tabulation's down-edge index
+//! ([`DownConsumers`]) — and fans the queries out across a thread pool
+//! over the shared immutable graph.
+//!
+//! Results are returned in query order, and each result is identical to
+//! what the sequential single-query entry points ([`slice_from`],
+//! [`crate::cs_slice`]) produce, whatever the thread count: workers share
+//! only immutable data, and each query's traversal is fully independent.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice::{batch, Analysis, SliceKind};
+//!
+//! let analysis = Analysis::build(&[(
+//!     "t.mj",
+//!     "class Main { static void main() {\nint x = 1;\nprint(x);\nprint(2);\n} }",
+//! )])?;
+//! let seeds = vec![
+//!     analysis.seed_at_line("t.mj", 3).unwrap(),
+//!     analysis.seed_at_line("t.mj", 4).unwrap(),
+//! ];
+//! let slices = analysis.batch_slices(&seeds, SliceKind::Thin, 2);
+//! assert_eq!(slices.len(), 2);
+//! assert_eq!(slices[0].stmt_set(), analysis.thin_slice(&seeds[0]).stmt_set());
+//! # Ok::<(), thinslice_ir::CompileError>(())
+//! ```
+
+use crate::slice::{slice_dense_reusing, Slice, SliceKind, SliceScratch};
+use crate::tabulation::{cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice, DownConsumers};
+use thinslice_sdg::{DepGraph, FrozenSdg, NodeId};
+use thinslice_util::par;
+
+/// Minimum batch size at which pre-filtering the edge array by the slice
+/// kind pays for its O(edges) setup scan. Below it, queries run directly
+/// on the shared graph with per-edge kind tests — both paths produce
+/// identical output, this is purely a cost model.
+const FILTER_THRESHOLD: usize = 16;
+
+/// The tabulation revisits edges (a node is reprocessed once per new
+/// source fact), so dropping unfollowed edges up front pays off at much
+/// smaller batch sizes than for plain BFS.
+const CS_FILTER_THRESHOLD: usize = 5;
+
+/// Minimum cs batch size for the dense reusable scratch. Its node-indexed
+/// tables cost O(graph) to set up, repaid by cheaper per-step bookkeeping
+/// and cross-query memoisation — below this, the hash-based one-shot
+/// store (with the shared down-edge index) wins.
+const CS_DENSE_THRESHOLD: usize = 2;
+
+/// Computes one backward slice per query, in query order.
+///
+/// Each query is a seed-node set, sliced exactly as [`slice_from`] would.
+/// `threads <= 1` runs inline on the calling thread (bit-identical by
+/// construction); more threads fan out over `graph`, which is shared
+/// immutably.
+///
+/// [`slice_from`]: crate::slice_from
+pub fn slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+) -> Vec<Slice> {
+    // The traditional-full slicer follows every edge kind, so the graph
+    // is its own filtered view: skip both the copy and the per-edge tests.
+    if matches!(kind, SliceKind::TraditionalFull) {
+        return par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
+            slice_dense_reusing(graph, seeds, kind, scratch, true)
+        });
+    }
+    if queries.len() < FILTER_THRESHOLD {
+        return par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
+            slice_dense_reusing(graph, seeds, kind, scratch, false)
+        });
+    }
+    // Filter once per batch: whether a kind follows an edge depends only
+    // on the edge's label, so dropping unfollowed edges up front leaves
+    // every query's traversal — and output — unchanged.
+    let filtered = graph.filtered(|e| kind.follows(&e.kind));
+    par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
+        slice_dense_reusing(&filtered, seeds, kind, scratch, true)
+    })
+}
+
+/// Computes one context-sensitive (tabulation) slice per query, in query
+/// order. The down-edge index is built once and shared by all workers, so
+/// a batch of N queries scans the graph's edges once, not N times.
+pub fn cs_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+) -> Vec<CsSlice> {
+    // The down-edge index is built once and shared by all workers — a
+    // batch of N queries scans the graph's edges once, not N times — and
+    // each worker reuses its tabulation state across queries. For larger
+    // batches the same per-batch edge filter as [`slices`] applies
+    // (parameter-edge labels are uniform per kind, so the summary
+    // bookkeeping is unaffected).
+    if queries.len() < CS_DENSE_THRESHOLD {
+        let index = DownConsumers::build(graph);
+        return par::map_with(
+            queries,
+            threads,
+            || (),
+            |_, _, seeds| cs_slice_indexed(graph, &index, seeds, kind),
+        );
+    }
+    if queries.len() < CS_FILTER_THRESHOLD || matches!(kind, SliceKind::TraditionalFull) {
+        let index = DownConsumers::build(graph);
+        return par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
+            cs_slice_reusing(graph, &index, seeds, kind, scratch)
+        });
+    }
+    let filtered = graph.filtered(|e| kind.follows(&e.kind));
+    let index = DownConsumers::build(&filtered);
+    par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
+        cs_slice_reusing(&filtered, &index, seeds, kind, scratch)
+    })
+}
+
+/// Resolves statement-level queries to node-level ones against `graph`.
+pub fn node_queries(graph: &FrozenSdg, queries: &[Vec<thinslice_ir::StmtRef>]) -> Vec<Vec<NodeId>> {
+    queries
+        .iter()
+        .map(|ss| {
+            ss.iter()
+                .flat_map(|&s| graph.stmt_nodes_of(s).to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::slice_from;
+    use crate::tabulation::cs_slice;
+    use crate::Analysis;
+
+    fn setup() -> Analysis {
+        Analysis::build(&[(
+            "t.mj",
+            "class Box { Object item;
+                void fill(Object o) { this.item = o; }
+                Object take() { return this.item; }
+             }
+             class Main { static void main() {
+                Box b = new Box();
+                String s = \"deep\";
+                b.fill(s);
+                Object got = b.take();
+                print(got);
+                int x = 3;
+                int y = x + 4;
+                print(y);
+             } }",
+        )])
+        .unwrap()
+    }
+
+    fn all_print_queries(a: &Analysis) -> Vec<Vec<NodeId>> {
+        use thinslice_ir::InstrKind;
+        a.program
+            .all_stmts()
+            .filter(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
+            .filter_map(|s| {
+                let nodes = a.csr.stmt_nodes_of(s).to_vec();
+                if nodes.is_empty() {
+                    None
+                } else {
+                    Some(nodes)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_for_every_kind_and_thread_count() {
+        let a = setup();
+        let queries = all_print_queries(&a);
+        assert!(queries.len() >= 2);
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            let sequential: Vec<Slice> = queries
+                .iter()
+                .map(|q| slice_from(&a.sdg, q, kind))
+                .collect();
+            for threads in [1, 4] {
+                let batched = slices(&a.csr, &queries, kind, threads);
+                assert_eq!(batched.len(), sequential.len());
+                for (b, s) in batched.iter().zip(&sequential) {
+                    assert_eq!(
+                        b.stmts_in_bfs_order, s.stmts_in_bfs_order,
+                        "{kind:?}/{threads}"
+                    );
+                    assert_eq!(b.nodes, s.nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cs_matches_sequential() {
+        let a = setup();
+        let queries = all_print_queries(&a);
+        let sequential: Vec<CsSlice> = queries
+            .iter()
+            .map(|q| cs_slice(&a.sdg, q, SliceKind::Thin))
+            .collect();
+        for threads in [1, 4] {
+            let batched = cs_slices(&a.csr, &queries, SliceKind::Thin, threads);
+            for (b, s) in batched.iter().zip(&sequential) {
+                assert_eq!(b.stmts, s.stmts, "threads={threads}");
+                assert_eq!(b.nodes, s.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_between_queries() {
+        // Same query twice in one batch on one thread: the second run uses
+        // a dirtied scratch and must still match.
+        let a = setup();
+        let q = all_print_queries(&a);
+        let twice: Vec<Vec<NodeId>> = vec![q[0].clone(), q[1].clone(), q[0].clone()];
+        let out = slices(&a.csr, &twice, SliceKind::TraditionalFull, 1);
+        assert_eq!(out[0].stmts_in_bfs_order, out[2].stmts_in_bfs_order);
+        assert_eq!(out[0].nodes, out[2].nodes);
+    }
+
+    #[test]
+    fn cs_exit_memoisation_does_not_change_results() {
+        // Many repeats of the same queries on one thread: from the second
+        // query on, every callee-exit region comes from the scratch's
+        // memo (spliced) rather than fresh tabulation, and each result
+        // must still match a from-scratch sequential run.
+        let a = setup();
+        let q = all_print_queries(&a);
+        let tiled: Vec<Vec<NodeId>> = q.iter().cycle().take(3 * q.len()).cloned().collect();
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            let batched = cs_slices(&a.csr, &tiled, kind, 1);
+            for (b, seeds) in batched.iter().zip(&tiled) {
+                let s = cs_slice(&a.sdg, seeds, kind);
+                assert_eq!(b.stmts, s.stmts, "{kind:?}");
+                assert_eq!(b.nodes, s.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn large_batches_take_the_filtered_path_and_still_match() {
+        // Tile the queries past both filter thresholds so the prefiltered
+        // BFS and the filtered tabulation actually run.
+        let a = setup();
+        let q = all_print_queries(&a);
+        let tiled: Vec<Vec<NodeId>> = q
+            .iter()
+            .cycle()
+            .take(FILTER_THRESHOLD + 1)
+            .cloned()
+            .collect();
+        assert!(tiled.len() > FILTER_THRESHOLD && tiled.len() > CS_FILTER_THRESHOLD);
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            let batched = slices(&a.csr, &tiled, kind, 2);
+            for (b, seeds) in batched.iter().zip(&tiled) {
+                let s = slice_from(&a.sdg, seeds, kind);
+                assert_eq!(b.stmts_in_bfs_order, s.stmts_in_bfs_order, "{kind:?}");
+                assert_eq!(b.nodes, s.nodes);
+            }
+            let cs_batched = cs_slices(&a.csr, &tiled, kind, 2);
+            for (b, seeds) in cs_batched.iter().zip(&tiled) {
+                let s = cs_slice(&a.sdg, seeds, kind);
+                assert_eq!(b.stmts, s.stmts, "{kind:?}");
+                assert_eq!(b.nodes, s.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_empty_query() {
+        let a = setup();
+        assert!(slices(&a.csr, &[], SliceKind::Thin, 4).is_empty());
+        let out = slices(&a.csr, &[Vec::new()], SliceKind::Thin, 1);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].is_empty());
+    }
+}

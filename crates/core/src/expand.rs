@@ -14,10 +14,10 @@
 //! Repeating these expansions in the limit yields the traditional slice.
 
 use crate::slice::{slice_from, Slice, SliceKind};
-use std::collections::HashSet;
 use thinslice_ir::{InstrKind, MethodId, Program, StmtRef, Var};
 use thinslice_pta::{AllocSite, ObjId, Pta};
 use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
+use thinslice_util::FxHashSet;
 
 /// The result of explaining one heap-based flow in a thin slice.
 #[derive(Debug, Clone)]
@@ -149,9 +149,7 @@ fn def_nodes_of(program: &Program, sdg: &Sdg, method: MethodId, v: Var) -> Vec<N
         return sdg
             .nodes()
             .filter_map(|(n, k)| match k {
-                NodeKind::FormalParam(_, i)
-                    if *i == idx as u32 && sdg.method_of(n) == method =>
-                {
+                NodeKind::FormalParam(_, i) if *i == idx as u32 && sdg.method_of(n) == method => {
                     Some(n)
                 }
                 _ => None,
@@ -226,7 +224,7 @@ pub fn exposed_control_deps(sdg: &Sdg, stmt: StmtRef) -> Vec<StmtRef> {
 /// of (load, store) connected by a producer heap edge. These are the points
 /// a user may ask [`explain_aliasing`] about.
 pub fn heap_flow_pairs(program: &Program, sdg: &Sdg, slice: &Slice) -> Vec<(StmtRef, StmtRef)> {
-    let in_slice: HashSet<StmtRef> = slice.stmt_set();
+    let in_slice: FxHashSet<StmtRef> = slice.stmt_set();
     let mut out = Vec::new();
     for &s in &slice.stmts_in_bfs_order {
         let is_load = matches!(
@@ -238,7 +236,12 @@ pub fn heap_flow_pairs(program: &Program, sdg: &Sdg, slice: &Slice) -> Vec<(Stmt
         }
         for &n in sdg.stmt_nodes_of(s) {
             for e in sdg.deps(n) {
-                if !matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false }) {
+                if !matches!(
+                    e.kind,
+                    EdgeKind::Flow {
+                        excluded_from_thin: false
+                    }
+                ) {
                     continue;
                 }
                 if let Some(t) = sdg.node(e.target).as_stmt() {
@@ -292,11 +295,7 @@ mod tests {
         (p, pta, sdg)
     }
 
-    fn open_field_access(
-        p: &thinslice_ir::Program,
-        load: bool,
-        in_method: &str,
-    ) -> StmtRef {
+    fn open_field_access(p: &thinslice_ir::Program, load: bool, in_method: &str) -> StmtRef {
         let file_class = p.class_named("File").unwrap();
         let m = p.resolve_method(file_class, in_method).unwrap();
         p.all_stmts()
@@ -332,7 +331,11 @@ mod tests {
         let load = open_field_access(&p, true, "isOpen");
         let store = open_field_access(&p, false, "closeFile");
         let exp = explain_aliasing(&p, &pta, &sdg, load, store).unwrap();
-        assert_eq!(exp.common_objects.len(), 1, "exactly the File object is shared");
+        assert_eq!(
+            exp.common_objects.len(),
+            1,
+            "exactly the File object is shared"
+        );
         let stmts = exp.statements();
         // The File allocation must appear in the explanation.
         let file_alloc = p
@@ -424,8 +427,9 @@ mod tests {
         let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
         let pairs = heap_flow_pairs(&p, &sdg, &thin);
         assert!(
-            pairs.iter().any(|(l, s)| *l == load
-                && *s == open_field_access(&p, false, "closeFile")),
+            pairs
+                .iter()
+                .any(|(l, s)| *l == load && *s == open_field_access(&p, false, "closeFile")),
             "the load↔store communication points are identified"
         );
     }

@@ -11,10 +11,9 @@
 //! traversed but never counted.
 
 use crate::slice::SliceKind;
-use std::collections::HashSet;
 use thinslice_ir::{Program, Span, StmtRef};
-use thinslice_sdg::{NodeId, Sdg};
-use thinslice_util::Worklist;
+use thinslice_sdg::{DepGraph, NodeId};
+use thinslice_util::{FxHashSet, Worklist};
 
 /// The outcome of one simulated inspection session.
 #[derive(Debug, Clone)]
@@ -43,9 +42,12 @@ pub struct InspectTask {
 }
 
 /// Runs the breadth-first inspection simulation.
-pub fn simulate_inspection(
+///
+/// Generic over [`DepGraph`]; pass the frozen CSR graph
+/// ([`thinslice_sdg::FrozenSdg`]) for repeated simulations.
+pub fn simulate_inspection<G: DepGraph>(
     program: &Program,
-    sdg: &Sdg,
+    sdg: &G,
     task: &InspectTask,
     kind: SliceKind,
 ) -> InspectionResult {
@@ -59,16 +61,17 @@ pub fn simulate_inspection(
 
     // Desired groups as line sets (a desired statement is "found" when its
     // line is inspected).
-    let desired_lines: Vec<HashSet<(String, u32)>> = task
+    let desired_lines: Vec<FxHashSet<(String, u32)>> = task
         .desired
         .iter()
         .map(|group| group.iter().filter_map(|&s| line_of(s)).collect())
         .collect();
-    let mut satisfied: Vec<bool> = desired_lines.iter().map(HashSet::is_empty).collect();
+    let mut satisfied: Vec<bool> = desired_lines.iter().map(FxHashSet::is_empty).collect();
 
-    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut visited: thinslice_util::BitSet<NodeId> =
+        thinslice_util::BitSet::with_domain_size(sdg.node_count());
     let mut inspected_lines: Vec<(String, u32)> = Vec::new();
-    let mut inspected_set: HashSet<(String, u32)> = HashSet::new();
+    let mut inspected_set: FxHashSet<(String, u32)> = FxHashSet::default();
     let mut frontier: Worklist<NodeId> = Worklist::new();
     for &s in &task.seeds {
         for &n in sdg.stmt_nodes_of(s) {
@@ -99,7 +102,7 @@ pub fn simulate_inspection(
             }
         }
         for e in sdg.deps(n) {
-            if kind.follows(&e.kind) && !visited.contains(&e.target) {
+            if kind.follows(&e.kind) && !visited.contains(e.target) {
                 frontier.push(e.target);
             }
         }
@@ -120,7 +123,7 @@ mod tests {
     use super::*;
     use thinslice_ir::{compile, InstrKind};
     use thinslice_pta::{Pta, PtaConfig};
-    use thinslice_sdg::build_ci;
+    use thinslice_sdg::{build_ci, Sdg};
 
     fn setup(src: &str) -> (thinslice_ir::Program, Sdg) {
         let p = compile(&[("prog.mj", src)]).unwrap();
@@ -143,7 +146,10 @@ mod tests {
         let (p, sdg) = setup("class Main { static void main() {\nprint(1);\n} }");
         let seeds = stmts_at_line(&p, 2);
         assert!(!seeds.is_empty());
-        let task = InspectTask { seeds: seeds.clone(), desired: vec![seeds] };
+        let task = InspectTask {
+            seeds: seeds.clone(),
+            desired: vec![seeds],
+        };
         let r = simulate_inspection(&p, &sdg, &task, SliceKind::Thin);
         assert!(r.found_all);
         assert_eq!(r.inspected, 1);
@@ -164,7 +170,10 @@ print(got);
         let (p, sdg) = setup(src);
         let seeds = stmts_at_line(&p, 6); // print(got)
         let desired = stmts_at_line(&p, 3); // the literal
-        let task = InspectTask { seeds, desired: vec![desired] };
+        let task = InspectTask {
+            seeds,
+            desired: vec![desired],
+        };
         let thin = simulate_inspection(&p, &sdg, &task, SliceKind::Thin);
         let trad = simulate_inspection(&p, &sdg, &task, SliceKind::TraditionalData);
         assert!(thin.found_all && trad.found_all);
@@ -179,12 +188,14 @@ print(got);
 
     #[test]
     fn missing_desired_reports_not_found() {
-        let (p, sdg) = setup(
-            "class Main { static void main() {\nint x = 1;\nprint(x);\nprint(2);\n} }",
-        );
+        let (p, sdg) =
+            setup("class Main { static void main() {\nint x = 1;\nprint(x);\nprint(2);\n} }");
         let seeds = stmts_at_line(&p, 4); // print(2) — constant, no deps
         let desired = stmts_at_line(&p, 2); // int x = 1 — not in slice
-        let task = InspectTask { seeds, desired: vec![desired] };
+        let task = InspectTask {
+            seeds,
+            desired: vec![desired],
+        };
         let r = simulate_inspection(&p, &sdg, &task, SliceKind::Thin);
         assert!(!r.found_all);
         assert_eq!(r.inspected, r.full_slice_lines);
@@ -232,7 +243,10 @@ print(r);
             })
             .collect();
         assert!(!desired.is_empty());
-        let task = InspectTask { seeds, desired: vec![desired] };
+        let task = InspectTask {
+            seeds,
+            desired: vec![desired],
+        };
         let r = simulate_inspection(&p, &sdg, &task, SliceKind::Thin);
         assert!(r.found_all, "thin slicing crosses the call boundary");
         assert!(r.inspected <= 4);

@@ -41,6 +41,7 @@
 //! # Ok::<(), thinslice_ir::CompileError>(())
 //! ```
 
+pub mod batch;
 pub mod expand;
 pub mod inspect;
 pub mod report;
@@ -49,12 +50,14 @@ pub mod tabulation;
 
 pub use expand::{explain_aliasing, exposed_control_deps, heap_flow_pairs, AliasExplanation};
 pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
-pub use slice::{slice_from, Slice, SliceKind};
-pub use tabulation::{cs_slice, CsSlice};
+pub use slice::{slice_from, slice_from_reusing, Slice, SliceKind, SliceScratch};
+pub use tabulation::{
+    cs_slice, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice, DownConsumers,
+};
 
 use thinslice_ir::{compile, CompileError, Program, StmtRef};
 use thinslice_pta::{ModRef, Pta, PtaConfig};
-use thinslice_sdg::{build_ci, build_cs, NodeId, Sdg};
+use thinslice_sdg::{build_ci, build_cs, FrozenSdg, NodeId, Sdg};
 
 /// A compiled program plus the analyses slicing needs: points-to results,
 /// call graph and the context-insensitive dependence graph.
@@ -69,6 +72,9 @@ pub struct Analysis {
     pub pta: Pta,
     /// The context-insensitive dependence graph (direct heap edges).
     pub sdg: Sdg,
+    /// The same graph frozen into CSR arrays — the representation every
+    /// query traverses.
+    pub csr: FrozenSdg,
 }
 
 impl Analysis {
@@ -101,7 +107,13 @@ impl Analysis {
     pub fn from_program(program: Program, config: PtaConfig) -> Analysis {
         let pta = Pta::analyze(&program, config);
         let sdg = build_ci(&program, &pta);
-        Analysis { program, pta, sdg }
+        let csr = sdg.freeze();
+        Analysis {
+            program,
+            pta,
+            sdg,
+            csr,
+        }
     }
 
     /// Builds the context-sensitive (heap-parameter) dependence graph.
@@ -142,28 +154,45 @@ impl Analysis {
     }
 
     fn nodes_of(&self, seeds: &[StmtRef]) -> Vec<NodeId> {
-        seeds.iter().flat_map(|&s| self.sdg.stmt_nodes_of(s).to_vec()).collect()
+        seeds
+            .iter()
+            .flat_map(|&s| self.sdg.stmt_nodes_of(s).to_vec())
+            .collect()
     }
 
     /// The thin slice from `seeds`: producer statements only.
     pub fn thin_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::Thin)
+        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::Thin)
     }
 
     /// The traditional data slice from `seeds` (all flow dependences,
     /// control handled out of band as in the paper's evaluation).
     pub fn traditional_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::TraditionalData)
+        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::TraditionalData)
     }
 
     /// The full Weiser-style slice from `seeds` (including control).
     pub fn full_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.sdg, &self.nodes_of(seeds), SliceKind::TraditionalFull)
+        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::TraditionalFull)
     }
 
     /// Runs the §6.1 breadth-first inspection simulation.
     pub fn inspect(&self, task: &InspectTask, kind: SliceKind) -> InspectionResult {
-        simulate_inspection(&self.program, &self.sdg, task, kind)
+        simulate_inspection(&self.program, &self.csr, task, kind)
+    }
+
+    /// Computes one slice per statement-level query, fanned out over
+    /// `threads` workers sharing the frozen CSR graph. Results are in query
+    /// order and identical to calling [`Analysis::thin_slice`] (etc.) per
+    /// query.
+    pub fn batch_slices(
+        &self,
+        queries: &[Vec<StmtRef>],
+        kind: SliceKind,
+        threads: usize,
+    ) -> Vec<Slice> {
+        let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
+        batch::slices(&self.csr, &node_queries, kind, threads)
     }
 
     /// Explains the aliasing between two heap accesses in a thin slice
@@ -229,7 +258,9 @@ class Main {
     fn figure1_thin_slice_matches_the_paper() {
         let a = Analysis::build(&[("fig1.mj", FIGURE1)]).unwrap();
         // Seed: the print at line 15 of fig1.mj.
-        let seed = a.seed_at_line("fig1.mj", 15).expect("print line is reachable");
+        let seed = a
+            .seed_at_line("fig1.mj", 15)
+            .expect("print line is reachable");
         let thin = a.thin_slice(&seed);
         let trad = a.traditional_slice(&seed);
 
@@ -282,7 +313,10 @@ class Main {
             "class Dead { void never() {\nprint(1);\n} }\nclass Main { static void main() { print(2); } }",
         )])
         .unwrap();
-        assert!(a.seed_at_line("t.mj", 2).is_none(), "never() is unreachable");
+        assert!(
+            a.seed_at_line("t.mj", 2).is_none(),
+            "never() is unreachable"
+        );
         assert!(a.seed_at_line("t.mj", 4).is_some());
     }
 
@@ -291,7 +325,10 @@ class Main {
         let a = Analysis::build(&[("fig1.mj", FIGURE1)]).unwrap();
         let seed = a.seed_at_line("fig1.mj", 15).unwrap();
         let buggy = a.stmts_at_line("fig1.mj", 7); // the substring line
-        let task = InspectTask { seeds: seed, desired: vec![buggy] };
+        let task = InspectTask {
+            seeds: seed,
+            desired: vec![buggy],
+        };
         let thin = a.inspect(&task, SliceKind::Thin);
         let trad = a.inspect(&task, SliceKind::TraditionalData);
         assert!(thin.found_all && trad.found_all);

@@ -49,7 +49,11 @@ pub fn inspection_report(result: &InspectionResult) -> String {
     out.push_str(&format!(
         "-- inspected {} line(s); {}; full slice = {} line(s)\n",
         result.inspected,
-        if result.found_all { "all desired statements found" } else { "NOT all desired statements found" },
+        if result.found_all {
+            "all desired statements found"
+        } else {
+            "NOT all desired statements found"
+        },
         result.full_slice_lines,
     ));
     out

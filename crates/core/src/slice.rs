@@ -1,9 +1,8 @@
 //! Context-insensitive slicing as graph reachability (paper §5.2).
 
-use std::collections::HashSet;
 use thinslice_ir::StmtRef;
-use thinslice_sdg::{NodeId, Sdg};
-use thinslice_util::Worklist;
+use thinslice_sdg::{DenseDisplay, DepGraph, NodeId, NO_DISPLAY};
+use thinslice_util::{BitSet, FxHashSet, Worklist};
 
 /// Which dependence relation a slice follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,14 +36,14 @@ pub struct Slice {
     /// The dependence relation used.
     pub kind: SliceKind,
     /// All visited nodes (statements and connective nodes).
-    pub nodes: HashSet<NodeId>,
+    pub nodes: FxHashSet<NodeId>,
     /// Statements in the slice, in BFS (distance) order from the seed.
     pub stmts_in_bfs_order: Vec<StmtRef>,
 }
 
 impl Slice {
     /// Statements in the slice as a set.
-    pub fn stmt_set(&self) -> HashSet<StmtRef> {
+    pub fn stmt_set(&self) -> FxHashSet<StmtRef> {
         self.stmts_in_bfs_order.iter().copied().collect()
     }
 
@@ -64,13 +63,59 @@ impl Slice {
     }
 }
 
+/// Reusable buffers for repeated slicing queries over one graph.
+///
+/// A BFS needs a visited set, a frontier and a statement-dedup set; on a
+/// query-per-seed workload, allocating them anew per query dominates the
+/// cost of small slices. The scratch keeps them warm: after each query only
+/// the touched bits are cleared, so reuse is O(|slice|), not O(|graph|).
+#[derive(Debug, Default)]
+pub struct SliceScratch {
+    visited: BitSet<NodeId>,
+    touched: Vec<NodeId>,
+    frontier: Worklist<NodeId>,
+    stmt_set: FxHashSet<StmtRef>,
+    /// Dense-id statement dedup for [`slice_dense_reusing`]; mirrors
+    /// `stmt_set` but costs a bit test instead of a hash per node.
+    stmt_seen: BitSet<u32>,
+    stmt_touched: Vec<u32>,
+}
+
+impl SliceScratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> SliceScratch {
+        SliceScratch::default()
+    }
+}
+
 /// Computes a backward slice from `seeds` by BFS over the edges `kind`
 /// follows. Seeds at distance 0; ties broken by discovery order.
-pub fn slice_from(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
-    let mut visited: HashSet<NodeId> = HashSet::new();
+///
+/// Generic over [`DepGraph`]: runs identically over the growable
+/// [`thinslice_sdg::Sdg`] and its frozen CSR form
+/// ([`thinslice_sdg::FrozenSdg`]), which is the fast path for repeated
+/// queries.
+pub fn slice_from<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> Slice {
+    slice_from_reusing(sdg, seeds, kind, &mut SliceScratch::new())
+}
+
+/// [`slice_from`] with caller-provided scratch buffers — the batched
+/// engine's per-worker inner loop. The result is identical to
+/// [`slice_from`]'s for any scratch state left by previous queries.
+pub fn slice_from_reusing<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+) -> Slice {
+    let SliceScratch {
+        visited,
+        touched,
+        frontier,
+        stmt_set,
+        ..
+    } = scratch;
     let mut stmts = Vec::new();
-    let mut stmt_set: HashSet<StmtRef> = HashSet::new();
-    let mut frontier: Worklist<NodeId> = Worklist::new();
     for &s in seeds {
         frontier.push(s);
     }
@@ -78,18 +123,84 @@ pub fn slice_from(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
         if !visited.insert(n) {
             continue;
         }
+        touched.push(n);
         if let Some(stmt) = sdg.display_stmt(n) {
             if stmt_set.insert(stmt) {
                 stmts.push(stmt);
             }
         }
         for e in sdg.deps(n) {
-            if kind.follows(&e.kind) && !visited.contains(&e.target) {
+            if kind.follows(&e.kind) && !visited.contains(e.target) {
                 frontier.push(e.target);
             }
         }
     }
-    Slice { kind, nodes: visited, stmts_in_bfs_order: stmts }
+    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    for n in touched.drain(..) {
+        visited.remove(n);
+    }
+    stmt_set.clear();
+    Slice {
+        kind,
+        nodes,
+        stmts_in_bfs_order: stmts,
+    }
+}
+
+/// [`slice_from_reusing`] over a frozen graph, using its dense statement
+/// numbering ([`DenseDisplay`]) so the per-node statement dedup is a bit
+/// test instead of a hash. With `prefiltered` the graph's edges are
+/// already exactly the ones `kind` follows (see `FrozenSdg::filtered`)
+/// and the inner loop skips the per-edge kind test. Discovery order — and
+/// therefore the slice — matches [`slice_from`] on the same dependence
+/// relation exactly; only the dedup bookkeeping differs.
+pub(crate) fn slice_dense_reusing<G: DenseDisplay>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+    prefiltered: bool,
+) -> Slice {
+    let SliceScratch {
+        visited,
+        touched,
+        frontier,
+        stmt_seen,
+        stmt_touched,
+        ..
+    } = scratch;
+    let mut stmts = Vec::new();
+    for &s in seeds {
+        frontier.push(s);
+    }
+    while let Some(n) = frontier.pop() {
+        if !visited.insert(n) {
+            continue;
+        }
+        touched.push(n);
+        let d = sdg.display_dense(n);
+        if d != NO_DISPLAY && stmt_seen.insert(d) {
+            stmt_touched.push(d);
+            stmts.push(sdg.dense_stmt(d));
+        }
+        for e in sdg.deps(n) {
+            if (prefiltered || kind.follows(&e.kind)) && !visited.contains(e.target) {
+                frontier.push(e.target);
+            }
+        }
+    }
+    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    for n in touched.drain(..) {
+        visited.remove(n);
+    }
+    for d in stmt_touched.drain(..) {
+        stmt_seen.remove(d);
+    }
+    Slice {
+        kind,
+        nodes,
+        stmts_in_bfs_order: stmts,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +208,7 @@ mod tests {
     use super::*;
     use thinslice_ir::{compile, InstrKind};
     use thinslice_pta::{Pta, PtaConfig};
-    use thinslice_sdg::build_ci;
+    use thinslice_sdg::{build_ci, Sdg};
 
     fn setup(src: &str) -> (thinslice_ir::Program, Sdg) {
         let p = compile(&[("t.mj", src)]).unwrap();
@@ -139,7 +250,10 @@ mod tests {
             .all_stmts()
             .find(|s| matches!(&p.instr(*s).kind, InstrKind::StrConst { value, .. } if value == "John"))
             .unwrap();
-        assert!(thin.contains(lit), "thin slice must trace the value to its literal");
+        assert!(
+            thin.contains(lit),
+            "thin slice must trace the value to its literal"
+        );
         assert!(trad.contains(lit));
 
         // The Vector constructor's array allocation is an explainer: only
@@ -206,14 +320,43 @@ mod tests {
         let full = slice_from(&sdg, &[seed], SliceKind::TraditionalFull);
         let if_stmt = p
             .all_stmts()
-            .find(|s| {
-                s.method == p.main_method && matches!(p.instr(*s).kind, InstrKind::If { .. })
-            })
+            .find(|s| s.method == p.main_method && matches!(p.instr(*s).kind, InstrKind::If { .. }))
             .unwrap();
-        assert!(!thin.contains(if_stmt), "thin slices exclude control dependence");
+        assert!(
+            !thin.contains(if_stmt),
+            "thin slices exclude control dependence"
+        );
         assert!(full.contains(if_stmt));
         // The full slice pulls the condition's data deps too.
         assert!(full.len() > thin.len());
+    }
+
+    #[test]
+    fn frozen_graph_slices_identically() {
+        let (p, sdg) = setup(
+            "class Main { static void main() {
+                Vector names = new Vector();
+                String first = \"John\";
+                names.add(first);
+                String got = (String) names.get(0);
+                print(got);
+            } }",
+        );
+        let seed = print_seed(&p, &sdg);
+        let frozen = sdg.freeze();
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            let warm = slice_from(&sdg, &[seed], kind);
+            let cold = slice_from(&frozen, &[seed], kind);
+            assert_eq!(
+                warm.stmts_in_bfs_order, cold.stmts_in_bfs_order,
+                "{kind:?}: BFS order must be bit-identical over the CSR graph"
+            );
+            assert_eq!(warm.nodes, cold.nodes);
+        }
     }
 
     #[test]
@@ -221,7 +364,10 @@ mod tests {
         let (p, sdg) = setup("class Main { static void main() { print(1); } }");
         let seed = print_seed(&p, &sdg);
         let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
-        assert_eq!(thin.stmts_in_bfs_order.first().copied(), sdg.node(seed).as_stmt());
+        assert_eq!(
+            thin.stmts_in_bfs_order.first().copied(),
+            sdg.node(seed).as_stmt()
+        );
     }
 
     #[test]

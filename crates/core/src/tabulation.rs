@@ -9,17 +9,19 @@
 //! are computed lazily as entry nodes are reached from exits.
 
 use crate::slice::SliceKind;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use thinslice_ir::StmtRef;
-use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
+use thinslice_sdg::{DepGraph, EdgeKind, NodeId, NodeKind};
+use thinslice_util::{FxHashMap, FxHashSet};
+use thinslice_util::{Idx, IdxVec};
 
 /// Result of a context-sensitive slice: the visited node set.
 #[derive(Debug, Clone)]
 pub struct CsSlice {
     /// All nodes in the slice.
-    pub nodes: HashSet<NodeId>,
+    pub nodes: FxHashSet<NodeId>,
     /// The statements in the slice.
-    pub stmts: HashSet<StmtRef>,
+    pub stmts: FxHashSet<StmtRef>,
 }
 
 impl CsSlice {
@@ -57,7 +59,7 @@ enum Step {
     Down(NodeId),
 }
 
-fn classify(kind: &EdgeKind, sdg: &Sdg, target: NodeId) -> Step {
+fn classify<G: DepGraph>(kind: &EdgeKind, sdg: &G, target: NodeId) -> Step {
     match kind {
         EdgeKind::ParamIn { site } => Step::Up(*site),
         EdgeKind::ParamOut { site } => Step::Down(*site),
@@ -81,69 +83,425 @@ fn classify(kind: &EdgeKind, sdg: &Sdg, target: NodeId) -> Step {
 /// labels, so summarisation cannot continue past them and heap-borne flow
 /// is truncated; the paper likewise only pairs tabulation with heap
 /// parameters (§5.3).
-pub fn cs_slice(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
-    // Down-edge index: (site, exit node) → caller-side consumers, built
-    // lazily is awkward; scan all edges once instead.
-    let mut down_consumers: HashMap<(NodeId, NodeId), Vec<NodeId>> = HashMap::new();
-    for (n, _) in sdg.nodes() {
-        for e in sdg.deps(n) {
-            if let EdgeKind::ParamOut { site } = e.kind {
-                down_consumers.entry((site, e.target)).or_default().push(n);
+pub fn cs_slice<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
+    cs_slice_indexed(sdg, &DownConsumers::build(sdg), seeds, kind)
+}
+
+/// The down-edge index tabulation needs: (site, exit node) → caller-side
+/// consumer nodes. Building it scans every edge once, which dominates the
+/// cost of small queries — batched slicing builds it once per graph and
+/// shares it across all queries ([`cs_slice_indexed`]).
+#[derive(Debug, Clone, Default)]
+pub struct DownConsumers {
+    map: FxHashMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl DownConsumers {
+    /// Scans `sdg` and indexes all `ParamOut` edges.
+    pub fn build<G: DepGraph>(sdg: &G) -> DownConsumers {
+        let mut map: FxHashMap<(NodeId, NodeId), Vec<NodeId>> = FxHashMap::default();
+        for n in (0..sdg.node_count()).map(NodeId::from_usize) {
+            for e in sdg.deps(n) {
+                if let EdgeKind::ParamOut { site } = e.kind {
+                    map.entry((site, e.target)).or_default().push(n);
+                }
+            }
+        }
+        DownConsumers { map }
+    }
+}
+
+/// Storage for the tabulation's path-edge and summary relations.
+///
+/// The algorithm ([`tabulate`]) is written once against this trait; the
+/// two implementations trade differently:
+///
+/// * [`SparseStore`] — hash maps, no setup cost, per-step hashing. What a
+///   one-shot query wants: its cost is proportional to the slice.
+/// * [`DenseStore`] — [`NodeId`]-indexed tables, O(graph) one-time setup,
+///   per-step array indexing, O(|slice|) clearing via touched-lists. What
+///   a reused scratch wants: across a batch the setup amortises to zero
+///   and every step is cheaper.
+///
+/// Both store exactly the same relations, so the traversal — and the
+/// slice — is identical whichever backs it.
+trait TabStore {
+    /// Adds `src` to `n`'s path-edge set; true if it was not there.
+    fn add_path(&mut self, n: NodeId, src: Src) -> bool;
+    /// Copies `n`'s current sources into `out` (which is cleared first).
+    fn copy_srcs(&self, n: NodeId, out: &mut Vec<Src>);
+    /// Records the summary edge `consumer → actual`; true if new.
+    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool;
+    /// Copies `n`'s known summary continuations into `out` (cleared first).
+    fn copy_summaries(&self, n: NodeId, out: &mut Vec<NodeId>);
+    /// Called when the traversal descends from a node with source `from`
+    /// into callee exit `exit`. Returns whether the caller should start
+    /// (or continue) tabulating the exit's region; a memoising store may
+    /// instead splice in an already-computed region and return `false`.
+    fn descend(&mut self, from: Src, exit: NodeId) -> bool;
+    /// Builds the result from all nodes with a path edge, then resets the
+    /// store for the next query.
+    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice;
+}
+
+/// Hash-map tabulation storage for one-shot queries. See [`TabStore`].
+#[derive(Debug, Default)]
+struct SparseStore {
+    path: FxHashMap<NodeId, FxHashSet<Src>>,
+    summaries: FxHashMap<NodeId, Vec<NodeId>>,
+}
+
+impl TabStore for SparseStore {
+    fn add_path(&mut self, n: NodeId, src: Src) -> bool {
+        self.path.entry(n).or_default().insert(src)
+    }
+
+    fn copy_srcs(&self, n: NodeId, out: &mut Vec<Src>) {
+        out.clear();
+        if let Some(srcs) = self.path.get(&n) {
+            out.extend(srcs.iter().copied());
+        }
+    }
+
+    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool {
+        let v = self.summaries.entry(consumer).or_default();
+        if v.contains(&actual) {
+            return false;
+        }
+        v.push(actual);
+        true
+    }
+
+    fn copy_summaries(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        if let Some(conts) = self.summaries.get(&n) {
+            out.extend(conts.iter().copied());
+        }
+    }
+
+    fn descend(&mut self, _from: Src, _exit: NodeId) -> bool {
+        true
+    }
+
+    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice {
+        let nodes: FxHashSet<NodeId> = self.path.keys().copied().collect();
+        let stmts = nodes.iter().filter_map(|&n| sdg.display_stmt(n)).collect();
+        self.path.clear();
+        self.summaries.clear();
+        CsSlice { nodes, stmts }
+    }
+}
+
+/// `exit_state` values for [`DenseStore`].
+mod exit_state {
+    /// Never descended into.
+    pub const UNSEEN: u8 = 0;
+    /// First explored by the in-flight query; harvested at its end.
+    pub const EXPLORING: u8 = 1;
+    /// Region fully tabulated by an earlier query; splice, don't explore.
+    pub const CACHED: u8 = 2;
+    /// Transient [`super::DenseStore::splice`] visit marker (cycle guard).
+    pub const SPLICING: u8 = 3;
+}
+
+/// Dense tabulation storage for reused scratch. See [`TabStore`].
+///
+/// Beyond the dense path/summary tables, this store memoises *graph
+/// facts* across the queries sharing it. Summary edges, and a callee
+/// exit's tabulated region, are seed-independent: an `Exit(e)` path edge
+/// grows only along followed edges and summary edges, all properties of
+/// (graph, slice kind). When the query that first descends into an exit
+/// finishes, its worklist has drained, so that exit's region — and every
+/// summary its consumers can ever receive — is at fixpoint and can be
+/// replayed verbatim. A later query that descends into a memoised exit
+/// splices the region (and, transitively, its sub-exits' regions) into
+/// its path table instead of re-tabulating the callee: across a batch,
+/// each callee region is tabulated once, not once per query. This is why
+/// [`cs_slice_reusing`] requires scratch reuse to stay on one
+/// (graph, kind) pair.
+#[derive(Debug, Default)]
+struct DenseStore {
+    /// `path[n]` = sources with a path edge to `n`. The per-node source
+    /// sets are tiny (almost always 1–3), so a vector with linear dedup
+    /// beats a hash set.
+    path: IdxVec<NodeId, Vec<Src>>,
+    /// Nodes whose path set is non-empty — the slice, and the clear list.
+    reached: Vec<NodeId>,
+    /// Summary edges discovered so far: consumer node → continuations.
+    /// A graph fact; persists across queries.
+    summaries: IdxVec<NodeId, Vec<NodeId>>,
+    /// exit → its complete region, valid once `exit_state` is `CACHED`.
+    exit_cache: IdxVec<NodeId, Vec<NodeId>>,
+    /// exit → exits its region descends into. The deeper regions carry
+    /// their own `Exit` sources, so `exit_cache[e]` alone is not the full
+    /// set of nodes a descent into `e` reaches — splicing follows these.
+    exit_deps: IdxVec<NodeId, Vec<NodeId>>,
+    /// Per-exit [`exit_state`] value.
+    exit_state: IdxVec<NodeId, u8>,
+    /// Exits first explored by the in-flight query, for harvesting.
+    explored_now: Vec<NodeId>,
+    /// DFS stack and visited list for [`DenseStore::splice`].
+    splice_stack: Vec<NodeId>,
+    spliced: Vec<NodeId>,
+}
+
+impl DenseStore {
+    /// Grows the tables to cover `node_count` nodes, resetting all
+    /// memoised state (the graph changed, or this is the first query).
+    fn ensure(&mut self, node_count: usize) {
+        if self.path.len() < node_count {
+            self.path = IdxVec::from_elem(Vec::new(), node_count);
+            self.summaries = IdxVec::from_elem(Vec::new(), node_count);
+            self.exit_cache = IdxVec::from_elem(Vec::new(), node_count);
+            self.exit_deps = IdxVec::from_elem(Vec::new(), node_count);
+            self.exit_state = IdxVec::from_elem(exit_state::UNSEEN, node_count);
+        }
+    }
+
+    /// Replays the memoised region of `exit` (and transitively of the
+    /// exits it descends into) into the current query's path table.
+    fn splice(&mut self, exit: NodeId) {
+        self.splice_stack.push(exit);
+        while let Some(e) = self.splice_stack.pop() {
+            if self.exit_state[e] != exit_state::CACHED {
+                // SPLICING: already replayed on this walk. EXPLORING: the
+                // in-flight tabulation is computing it right now.
+                continue;
+            }
+            self.exit_state[e] = exit_state::SPLICING;
+            self.spliced.push(e);
+            for i in 0..self.exit_cache[e].len() {
+                let n = self.exit_cache[e][i];
+                let srcs = &mut self.path[n];
+                if srcs.is_empty() {
+                    self.reached.push(n);
+                }
+                if !srcs.contains(&Src::Exit(e)) {
+                    srcs.push(Src::Exit(e));
+                }
+            }
+            for i in 0..self.exit_deps[e].len() {
+                self.splice_stack.push(self.exit_deps[e][i]);
+            }
+        }
+        for e in self.spliced.drain(..) {
+            self.exit_state[e] = exit_state::CACHED;
+        }
+    }
+}
+
+impl TabStore for DenseStore {
+    fn add_path(&mut self, n: NodeId, src: Src) -> bool {
+        let srcs = &mut self.path[n];
+        if srcs.contains(&src) {
+            return false;
+        }
+        if srcs.is_empty() {
+            self.reached.push(n);
+        }
+        srcs.push(src);
+        true
+    }
+
+    fn copy_srcs(&self, n: NodeId, out: &mut Vec<Src>) {
+        out.clear();
+        out.extend(self.path[n].iter().copied());
+    }
+
+    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool {
+        let v = &mut self.summaries[consumer];
+        if v.contains(&actual) {
+            return false;
+        }
+        v.push(actual);
+        true
+    }
+
+    fn copy_summaries(&self, n: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.summaries[n].iter().copied());
+    }
+
+    fn descend(&mut self, from: Src, exit: NodeId) -> bool {
+        // The dependency edge must be recorded whatever the exit's state,
+        // so a parent region's cache entry is complete when harvested.
+        if let Src::Exit(parent) = from {
+            if !self.exit_deps[parent].contains(&exit) {
+                self.exit_deps[parent].push(exit);
+            }
+        }
+        match self.exit_state[exit] {
+            exit_state::CACHED => {
+                // An already-spliced region has its exit's own path edge
+                // set; skip the (idempotent) replay then.
+                if !self.path[exit].contains(&Src::Exit(exit)) {
+                    self.splice(exit);
+                }
+                false
+            }
+            exit_state::EXPLORING => true,
+            _ => {
+                self.exit_state[exit] = exit_state::EXPLORING;
+                self.explored_now.push(exit);
+                true
             }
         }
     }
 
-    // path[n] = set of sources with a path edge to n.
-    let mut path: HashMap<NodeId, HashSet<Src>> = HashMap::new();
-    // Summary edges discovered so far: consumer node → continuations.
-    let mut summaries: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-    // Nodes that descended, so new summaries can extend them:
-    // consumer node → sources present when the summary is found.
-    let mut wl: VecDeque<(Src, NodeId)> = VecDeque::new();
+    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice {
+        let nodes: FxHashSet<NodeId> = self.reached.iter().copied().collect();
+        let stmts = self
+            .reached
+            .iter()
+            .filter_map(|&n| sdg.display_stmt(n))
+            .collect();
+        // Harvest the regions this query completed: the worklist has
+        // drained, so every exit first explored here is at fixpoint.
+        for &n in &self.reached {
+            for &src in self.path[n].iter() {
+                if let Src::Exit(e) = src {
+                    if self.exit_state[e] == exit_state::EXPLORING {
+                        self.exit_cache[e].push(n);
+                    }
+                }
+            }
+        }
+        for e in self.explored_now.drain(..) {
+            self.exit_state[e] = exit_state::CACHED;
+        }
+        // Path edges are per-query: clear only what this query touched,
+        // retaining capacity, so the next query allocates nothing.
+        for n in self.reached.drain(..) {
+            self.path[n].clear();
+        }
+        CsSlice { nodes, stmts }
+    }
+}
 
-    let add = |path: &mut HashMap<NodeId, HashSet<Src>>,
-                   wl: &mut VecDeque<(Src, NodeId)>,
-                   src: Src,
-                   n: NodeId| {
-        if path.entry(n).or_default().insert(src) {
+/// Reusable tabulation state for the batched engine: a [`DenseStore`] plus
+/// the worklist and staging buffers. Kept per worker; per-query state is
+/// cleared between queries retaining capacity, while memoised graph facts
+/// (summaries, callee-exit regions) persist and make later queries
+/// cheaper. In steady state a query allocates nothing but its result.
+/// One-shot entry points ([`cs_slice`],
+/// [`cs_slice_indexed`]) use a [`SparseStore`] instead, which needs no
+/// O(graph) setup — so their latency is untouched by the batch machinery.
+#[derive(Debug, Default)]
+pub struct CsScratch {
+    store: DenseStore,
+    wl: VecDeque<(Src, NodeId)>,
+    /// Staging buffer for a consumer's source set while it is extended
+    /// (the extension mutates the store, so the set cannot stay borrowed).
+    tmp_srcs: Vec<Src>,
+    /// Staging buffer for a consumer's summary continuations, ditto.
+    tmp_conts: Vec<NodeId>,
+}
+
+impl CsScratch {
+    /// Creates an empty scratch. Buffers grow on first use.
+    pub fn new() -> CsScratch {
+        CsScratch::default()
+    }
+}
+
+/// [`cs_slice`] with a prebuilt [`DownConsumers`] index for `sdg`. The
+/// index depends only on the graph, so it can be shared across any number
+/// of queries (and threads).
+pub fn cs_slice_indexed<G: DepGraph>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+) -> CsSlice {
+    let mut store = SparseStore::default();
+    tabulate(
+        sdg,
+        index,
+        seeds,
+        kind,
+        &mut store,
+        &mut VecDeque::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+    )
+}
+
+/// [`cs_slice_indexed`] with caller-provided scratch state.
+///
+/// The scratch memoises summary edges and callee-exit regions, which are
+/// facts of the (graph, kind) pair — so a scratch may only be reused
+/// across queries on the **same graph with the same slice kind** (as the
+/// batched engine does, one scratch per worker per batch). Under that
+/// contract the result is identical for any scratch left by previous
+/// queries.
+pub fn cs_slice_reusing<G: DepGraph>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut CsScratch,
+) -> CsSlice {
+    let CsScratch {
+        store,
+        wl,
+        tmp_srcs,
+        tmp_conts,
+    } = scratch;
+    store.ensure(sdg.node_count());
+    tabulate(sdg, index, seeds, kind, store, wl, tmp_srcs, tmp_conts)
+}
+
+/// The paper's §5.3 tabulation, generic over graph and storage; see
+/// [`TabStore`] for why two storages exist.
+#[allow(clippy::too_many_arguments)]
+fn tabulate<G: DepGraph, S: TabStore>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    store: &mut S,
+    wl: &mut VecDeque<(Src, NodeId)>,
+    tmp_srcs: &mut Vec<Src>,
+    tmp_conts: &mut Vec<NodeId>,
+) -> CsSlice {
+    let down_consumers = &index.map;
+    wl.clear();
+
+    let add = |store: &mut S, wl: &mut VecDeque<(Src, NodeId)>, src: Src, n: NodeId| {
+        if store.add_path(n, src) {
             wl.push_back((src, n));
         }
     };
 
     for &s in seeds {
-        add(&mut path, &mut wl, Src::Seed, s);
+        add(store, wl, Src::Seed, s);
     }
 
     while let Some((src, n)) = wl.pop_front() {
-        for e in sdg.deps(n).to_vec() {
+        for e in sdg.deps(n) {
             if !kind.follows(&e.kind) {
                 continue;
             }
             match classify(&e.kind, sdg, e.target) {
-                Step::Local => add(&mut path, &mut wl, src, e.target),
+                Step::Local => add(store, wl, src, e.target),
                 Step::Up(site) => {
                     match src {
                         // Phase 1: unbalanced ascents are allowed from the
                         // seed region.
-                        Src::Seed => add(&mut path, &mut wl, Src::Seed, e.target),
+                        Src::Seed => add(store, wl, Src::Seed, e.target),
                         // Summarising a callee: reaching an entry node and
                         // ascending to site `c` completes a summary for
                         // every consumer that descended into `exit` at `c`.
                         Src::Exit(exit) => {
                             let actual = e.target;
                             if let Some(consumers) = down_consumers.get(&(site, exit)) {
-                                for &consumer in consumers.clone().iter() {
-                                    let is_new = !summaries
-                                        .get(&consumer)
-                                        .is_some_and(|v| v.contains(&actual));
-                                    if is_new {
-                                        summaries.entry(consumer).or_default().push(actual);
+                                for &consumer in consumers {
+                                    if store.add_summary(consumer, actual) {
                                         // Extend everyone who already
                                         // reached the consumer.
-                                        if let Some(srcs) = path.get(&consumer).cloned() {
-                                            for s2 in srcs {
-                                                add(&mut path, &mut wl, s2, actual);
-                                            }
+                                        store.copy_srcs(consumer, tmp_srcs);
+                                        for &s2 in tmp_srcs.iter() {
+                                            add(store, wl, s2, actual);
                                         }
                                     }
                                 }
@@ -153,22 +511,22 @@ pub fn cs_slice(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
                 }
                 Step::Down(_site) => {
                     let exit = e.target;
-                    // Start (or reuse) the callee's tabulation.
-                    add(&mut path, &mut wl, Src::Exit(exit), exit);
+                    // Start the callee's tabulation — unless the store
+                    // already knows the exit's region and splices it in.
+                    if store.descend(src, exit) {
+                        add(store, wl, Src::Exit(exit), exit);
+                    }
                     // Apply already-known summaries for this consumer.
-                    if let Some(conts) = summaries.get(&n).cloned() {
-                        for c in conts {
-                            add(&mut path, &mut wl, src, c);
-                        }
+                    store.copy_summaries(n, tmp_conts);
+                    for &c in tmp_conts.iter() {
+                        add(store, wl, src, c);
                     }
                 }
             }
         }
     }
 
-    let nodes: HashSet<NodeId> = path.keys().copied().collect();
-    let stmts = nodes.iter().filter_map(|&n| sdg.display_stmt(n)).collect();
-    CsSlice { nodes, stmts }
+    store.finish(sdg)
 }
 
 #[cfg(test)]
@@ -177,7 +535,7 @@ mod tests {
     use crate::slice::{slice_from, SliceKind};
     use thinslice_ir::{compile, InstrKind, Program};
     use thinslice_pta::{ModRef, Pta, PtaConfig};
-    use thinslice_sdg::{build_ci, build_cs};
+    use thinslice_sdg::{build_ci, build_cs, Sdg};
 
     fn setup(src: &str) -> (Program, Sdg, Sdg) {
         let p = compile(&[("t.mj", src)]).unwrap();
@@ -194,8 +552,14 @@ mod tests {
         use thinslice_ir::{Const, Operand};
         p.all_stmts()
             .find(|s| match &p.instr(*s).kind {
-                InstrKind::Const { value: Const::Int(v), .. } => *v == n,
-                InstrKind::Move { src: Operand::Const(Const::Int(v)), .. } => *v == n,
+                InstrKind::Const {
+                    value: Const::Int(v),
+                    ..
+                } => *v == n,
+                InstrKind::Move {
+                    src: Operand::Const(Const::Int(v)),
+                    ..
+                } => *v == n,
                 _ => false,
             })
             .unwrap_or_else(|| panic!("no def of constant {n}"))
@@ -306,6 +670,27 @@ mod tests {
             slice.contains(alloc),
             "value must flow store→formal-out→actual-out→load across calls"
         );
+    }
+
+    #[test]
+    fn frozen_graph_tabulates_identically() {
+        let (p, ci, cs_graph) = setup(TWO_CALLS);
+        let seed = print_seed(&p, &ci, -1);
+        for (graph, seed) in [
+            (&ci, seed),
+            (
+                &cs_graph,
+                cs_graph
+                    .stmt_node(ci.node(seed).as_stmt().unwrap())
+                    .unwrap(),
+            ),
+        ] {
+            let frozen = graph.freeze();
+            let warm = cs_slice(graph, &[seed], SliceKind::Thin);
+            let cold = cs_slice(&frozen, &[seed], SliceKind::Thin);
+            assert_eq!(warm.nodes, cold.nodes);
+            assert_eq!(warm.stmts, cold.stmts);
+        }
     }
 
     #[test]

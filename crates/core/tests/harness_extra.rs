@@ -19,11 +19,18 @@ print(d);
 } }";
     let a = Analysis::build(&[("p.mj", src)]).unwrap();
     let seeds = a.seed_at_line("p.mj", 6).unwrap();
-    let task = InspectTask { seeds, desired: vec![a.stmts_at_line("p.mj", 2)] };
+    let task = InspectTask {
+        seeds,
+        desired: vec![a.stmts_at_line("p.mj", 2)],
+    };
     let r = a.inspect(&task, SliceKind::Thin);
     assert!(r.found_all);
     let lines: Vec<u32> = r.order.iter().map(|(_, l)| *l).collect();
-    assert_eq!(lines, vec![6, 5, 4, 3, 2], "strict distance ordering on a chain");
+    assert_eq!(
+        lines,
+        vec![6, 5, 4, 3, 2],
+        "strict distance ordering on a chain"
+    );
     assert_eq!(r.inspected, 5);
 }
 
@@ -38,7 +45,10 @@ print(x);
 } }";
     let a = Analysis::build(&[("p.mj", src)]).unwrap();
     let seeds = a.seed_at_line("p.mj", 3).unwrap();
-    let task = InspectTask { seeds, desired: vec![a.stmts_at_line("p.mj", 2)] };
+    let task = InspectTask {
+        seeds,
+        desired: vec![a.stmts_at_line("p.mj", 2)],
+    };
     let r = a.inspect(&task, SliceKind::Thin);
     assert_eq!(r.inspected, 2, "seed line + producer line");
 }
@@ -52,7 +62,10 @@ print(x + 1);
 } }";
     let a = Analysis::build(&[("p.mj", src)]).unwrap();
     let seeds = a.seed_at_line("p.mj", 3).unwrap();
-    let task = InspectTask { seeds, desired: vec![a.stmts_at_line("p.mj", 2)] };
+    let task = InspectTask {
+        seeds,
+        desired: vec![a.stmts_at_line("p.mj", 2)],
+    };
     let r = a.inspect(&task, SliceKind::Thin);
     let report = thinslice::report::inspection_report(&r);
     assert!(report.contains("p.mj:3"), "{report}");
@@ -65,9 +78,8 @@ fn every_benchmark_method_is_valid_ssa() {
         let program = thinslice_ir::compile(&b.sources).unwrap();
         for (_, m) in program.methods.iter_enumerated() {
             if let Some(body) = &m.body {
-                validate_ssa(body).unwrap_or_else(|e| {
-                    panic!("{}: {} is not valid SSA: {e}", b.name, m.name)
-                });
+                validate_ssa(body)
+                    .unwrap_or_else(|e| panic!("{}: {} is not valid SSA: {e}", b.name, m.name));
             }
         }
     }
@@ -102,8 +114,10 @@ print(b);
 } }";
     let a = Analysis::build(&[("p.mj", src)]).unwrap();
     let seeds = a.seed_at_line("p.mj", 4).unwrap();
-    let nodes: Vec<_> =
-        seeds.iter().flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec()).collect();
+    let nodes: Vec<_> = seeds
+        .iter()
+        .flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec())
+        .collect();
     let ci = thinslice::slice_from(&a.sdg, &nodes, SliceKind::Thin);
     let cs = thinslice::cs_slice(&a.sdg, &nodes, SliceKind::Thin);
     assert_eq!(ci.stmt_set(), cs.stmts);
@@ -126,7 +140,10 @@ fn expansion_statements_are_outside_the_thin_slice() {
         .all_stmts()
         .find(|s| {
             s.method == a.program.main_method
-                && matches!(a.program.instr(*s).kind, thinslice_ir::InstrKind::Load { .. })
+                && matches!(
+                    a.program.instr(*s).kind,
+                    thinslice_ir::InstrKind::Load { .. }
+                )
         })
         .unwrap();
     let store = a
@@ -134,7 +151,10 @@ fn expansion_statements_are_outside_the_thin_slice() {
         .all_stmts()
         .find(|s| {
             s.method == a.program.main_method
-                && matches!(a.program.instr(*s).kind, thinslice_ir::InstrKind::Store { .. })
+                && matches!(
+                    a.program.instr(*s).kind,
+                    thinslice_ir::InstrKind::Store { .. }
+                )
         })
         .unwrap();
     let seeds = vec![load];
@@ -148,7 +168,10 @@ fn expansion_statements_are_outside_the_thin_slice() {
                 if *class == a.program.class_named("Box").unwrap())
         })
         .unwrap();
-    assert!(!thin.contains(box_alloc), "the Box allocation is an explainer");
+    assert!(
+        !thin.contains(box_alloc),
+        "the Box allocation is an explainer"
+    );
     assert!(
         explanation.statements().contains(&box_alloc),
         "…and the expansion reveals it"

@@ -134,8 +134,14 @@ mod tests {
             .all_stmts()
             .find(|s| s.method == ctor && matches!(p.instr(*s).kind, InstrKind::NewArray { .. }))
             .unwrap();
-        assert!(!thin.contains_stmt(backing), "thin excludes the backing array");
-        assert!(full.contains_stmt(backing), "the full data slice includes it");
+        assert!(
+            !thin.contains_stmt(backing),
+            "thin excludes the backing array"
+        );
+        assert!(
+            full.contains_stmt(backing),
+            "the full data slice includes it"
+        );
         assert!(thin.stmt_count() < full.stmt_count());
     }
 
@@ -180,7 +186,10 @@ mod tests {
             } }",
             ExecConfig::default(),
         );
-        assert_eq!(e.outcome, crate::machine::Outcome::Threw("RuntimeException".into()));
+        assert_eq!(
+            e.outcome,
+            crate::machine::Outcome::Threw("RuntimeException".into())
+        );
     }
 
     #[test]
@@ -192,7 +201,11 @@ mod tests {
             } }",
             ExecConfig::default(),
         );
-        assert!(matches!(e.outcome, crate::machine::Outcome::RuntimeError(_)), "{:?}", e.outcome);
+        assert!(
+            matches!(e.outcome, crate::machine::Outcome::RuntimeError(_)),
+            "{:?}",
+            e.outcome
+        );
     }
 
     #[test]
@@ -202,7 +215,10 @@ mod tests {
                 int i = 0;
                 while (true) { i = i + 1; }
             } }",
-            ExecConfig { max_steps: 500, ..ExecConfig::default() },
+            ExecConfig {
+                max_steps: 500,
+                ..ExecConfig::default()
+            },
         );
         assert_eq!(e.outcome, crate::machine::Outcome::StepLimit);
         assert!(e.step_count() <= 500);
@@ -253,7 +269,10 @@ mod tests {
             ExecConfig::default(),
         );
         assert_eq!(e.prints[0].1, "John");
-        assert_eq!(e.prints[1].1, "Joh", "the paper's Figure 1 bug, reproduced dynamically");
+        assert_eq!(
+            e.prints[1].1, "Joh",
+            "the paper's Figure 1 bug, reproduced dynamically"
+        );
     }
 
     #[test]
@@ -267,7 +286,12 @@ mod tests {
             } }",
             ExecConfig::default(),
         );
-        assert_eq!(e.outcome, crate::machine::Outcome::Finished, "{:?}", e.outcome);
+        assert_eq!(
+            e.outcome,
+            crate::machine::Outcome::Finished,
+            "{:?}",
+            e.outcome
+        );
         assert_eq!(e.prints[0].1, "value");
     }
 }

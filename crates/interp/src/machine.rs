@@ -106,7 +106,11 @@ pub struct ExecConfig {
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        Self { lines: Vec::new(), ints: Vec::new(), max_steps: 200_000 }
+        Self {
+            lines: Vec::new(),
+            ints: Vec::new(),
+            max_steps: 200_000,
+        }
     }
 }
 
@@ -165,7 +169,11 @@ pub fn run(program: &Program, config: &ExecConfig) -> Execution {
         Err(Stop::RuntimeError(msg)) => Outcome::RuntimeError(msg),
         Err(Stop::StepLimit) => Outcome::StepLimit,
     };
-    Execution { events: m.events, prints: m.prints, outcome }
+    Execution {
+        events: m.events,
+        prints: m.prints,
+        outcome,
+    }
 }
 
 /// How a method invocation ended.
@@ -241,7 +249,9 @@ impl<'p> Machine<'p> {
         match v {
             Value::Ref(r) => Ok(r),
             Value::Null => Err(Stop::RuntimeError(format!("null dereference at {what}"))),
-            other => Err(Stop::RuntimeError(format!("non-reference {other:?} at {what}"))),
+            other => Err(Stop::RuntimeError(format!(
+                "non-reference {other:?} at {what}"
+            ))),
         }
     }
 
@@ -342,7 +352,10 @@ impl<'p> Machine<'p> {
                         .find(|(b, _)| *b == from)
                         .expect("phi has an operand for the taken predecessor");
                     let (v, w) = self.operand(frame, operand);
-                    let sr = StmtRef { method, loc: Loc { block, index } };
+                    let sr = StmtRef {
+                        method,
+                        loc: Loc { block, index },
+                    };
                     let deps = w.map(|e| (e, false)).into_iter().collect();
                     let ev = self.record(sr, deps)?;
                     phi_updates.push((*dst, v, w, ev));
@@ -361,7 +374,13 @@ impl<'p> Machine<'p> {
             let instrs: &[Instr] = &body.blocks[block].instrs;
             let mut next_block: Option<BlockId> = None;
             for (i, instr) in instrs.iter().enumerate().skip(first_non_phi) {
-                let sr = StmtRef { method, loc: Loc { block, index: i as u32 } };
+                let sr = StmtRef {
+                    method,
+                    loc: Loc {
+                        block,
+                        index: i as u32,
+                    },
+                };
                 match self.step(frame, sr, instr)? {
                     StepResult::Continue => {}
                     StepResult::Jump(b) => {
@@ -436,7 +455,10 @@ impl<'p> Machine<'p> {
             }
             New { dst, class } => {
                 let ev = self.record(sr, Vec::new())?;
-                let r = self.alloc(HeapObject::Instance { class: *class, fields: HashMap::new() });
+                let r = self.alloc(HeapObject::Instance {
+                    class: *class,
+                    fields: HashMap::new(),
+                });
                 frame.locals[*dst] = Value::Ref(r);
                 frame.writers[*dst] = Some(ev);
             }
@@ -461,13 +483,13 @@ impl<'p> Machine<'p> {
                 let r = self.as_ref(b, "field read")?;
                 let fty = self.program.fields[*field].ty.clone();
                 let v = match &self.heap[r] {
-                    HeapObject::Instance { fields, .. } => {
-                        fields.get(field).copied().unwrap_or(Self::default_value(&fty))
-                    }
+                    HeapObject::Instance { fields, .. } => fields
+                        .get(field)
+                        .copied()
+                        .unwrap_or(Self::default_value(&fty)),
                     _ => return Err(Stop::RuntimeError("field read on non-instance".into())),
                 };
-                let mut deps: Vec<(EventId, bool)> =
-                    wb.map(|e| (e, true)).into_iter().collect();
+                let mut deps: Vec<(EventId, bool)> = wb.map(|e| (e, true)).into_iter().collect();
                 if let Some(&writer) = self.field_writers.get(&(r, *field)) {
                     deps.push((writer, false));
                 }
@@ -479,8 +501,7 @@ impl<'p> Machine<'p> {
                 let (b, wb) = self.operand(frame, &Operand::Var(*base));
                 let (v, wv) = self.operand(frame, value);
                 let r = self.as_ref(b, "field write")?;
-                let mut deps: Vec<(EventId, bool)> =
-                    wb.map(|e| (e, true)).into_iter().collect();
+                let mut deps: Vec<(EventId, bool)> = wb.map(|e| (e, true)).into_iter().collect();
                 deps.extend(wv.map(|e| (e, false)));
                 let ev = self.record(sr, deps)?;
                 match &mut self.heap[r] {
@@ -493,7 +514,11 @@ impl<'p> Machine<'p> {
             }
             StaticLoad { dst, field } => {
                 let fty = self.program.fields[*field].ty.clone();
-                let v = self.statics.get(field).copied().unwrap_or(Self::default_value(&fty));
+                let v = self
+                    .statics
+                    .get(field)
+                    .copied()
+                    .unwrap_or(Self::default_value(&fty));
                 let deps = self
                     .static_writers
                     .get(field)
@@ -518,15 +543,12 @@ impl<'p> Machine<'p> {
                     return Err(Stop::RuntimeError("array index not an int".into()));
                 };
                 let v = match &self.heap[r] {
-                    HeapObject::Array { data, .. } => {
-                        *data.get(i as usize).ok_or_else(|| {
-                            Stop::RuntimeError(format!("index {i} out of bounds"))
-                        })?
-                    }
+                    HeapObject::Array { data, .. } => *data
+                        .get(i as usize)
+                        .ok_or_else(|| Stop::RuntimeError(format!("index {i} out of bounds")))?,
                     _ => return Err(Stop::RuntimeError("array read on non-array".into())),
                 };
-                let mut deps: Vec<(EventId, bool)> =
-                    wb.map(|e| (e, true)).into_iter().collect();
+                let mut deps: Vec<(EventId, bool)> = wb.map(|e| (e, true)).into_iter().collect();
                 deps.extend(wi.map(|e| (e, true)));
                 if let Some(&writer) = self.array_writers.get(&(r, i as usize)) {
                     deps.push((writer, false));
@@ -543,8 +565,7 @@ impl<'p> Machine<'p> {
                 let Value::Int(i) = ix else {
                     return Err(Stop::RuntimeError("array index not an int".into()));
                 };
-                let mut deps: Vec<(EventId, bool)> =
-                    wb.map(|e| (e, true)).into_iter().collect();
+                let mut deps: Vec<(EventId, bool)> = wb.map(|e| (e, true)).into_iter().collect();
                 deps.extend(wi.map(|e| (e, true)));
                 deps.extend(wv.map(|e| (e, false)));
                 let ev = self.record(sr, deps)?;
@@ -592,7 +613,12 @@ impl<'p> Machine<'p> {
                 frame.locals[*dst] = out;
                 frame.writers[*dst] = Some(ev);
             }
-            Call { dst, kind, callee, args } => {
+            Call {
+                dst,
+                kind,
+                callee,
+                args,
+            } => {
                 return self.exec_call(frame, sr, *dst, *kind, *callee, args);
             }
             Print { value } => {
@@ -606,10 +632,18 @@ impl<'p> Machine<'p> {
                 self.record(sr, Vec::new())?;
                 return Ok(StepResult::Jump(*target));
             }
-            If { cond, then_bb, else_bb } => {
+            If {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let (v, w) = self.operand(frame, cond);
                 self.record(sr, w.map(|e| (e, false)).into_iter().collect())?;
-                return Ok(StepResult::Jump(if v.truthy() { *then_bb } else { *else_bb }));
+                return Ok(StepResult::Jump(if v.truthy() {
+                    *then_bb
+                } else {
+                    *else_bb
+                }));
             }
             Return { value } => {
                 let out = match value {
@@ -732,8 +766,7 @@ impl<'p> Machine<'p> {
                     frame.locals[d] = v;
                     // The result flows through the call statement: a result
                     // event depending on the callee's return event.
-                    let deps: Vec<(EventId, bool)> =
-                        w.map(|e| (e, false)).into_iter().collect();
+                    let deps: Vec<(EventId, bool)> = w.map(|e| (e, false)).into_iter().collect();
                     let result_event = self.record(sr, deps)?;
                     frame.writers[d] = Some(result_event);
                 }

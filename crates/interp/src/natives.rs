@@ -24,7 +24,13 @@ pub struct NativeWorld {
 impl NativeWorld {
     /// Creates a world serving the given lines and integers, then eof.
     pub fn new(lines: Vec<String>, ints: Vec<i64>) -> Self {
-        Self { lines, line_pos: 0, ints, int_pos: 0, over_read: false }
+        Self {
+            lines,
+            line_pos: 0,
+            ints,
+            int_pos: 0,
+            over_read: false,
+        }
     }
 
     fn next_line(&mut self) -> Option<String> {
@@ -46,8 +52,7 @@ impl NativeWorld {
     }
 
     fn eof(&self) -> bool {
-        self.over_read
-            || (self.line_pos >= self.lines.len() && self.int_pos >= self.ints.len())
+        self.over_read || (self.line_pos >= self.lines.len() && self.int_pos >= self.ints.len())
     }
 }
 
@@ -107,8 +112,10 @@ pub(crate) fn call_native(
         }
         ("String", "toInt") => {
             let s = str_arg(m, args[0], "String.toInt")?;
-            let digits: String =
-                s.chars().filter(|c| c.is_ascii_digit() || *c == '-').collect();
+            let digits: String = s
+                .chars()
+                .filter(|c| c.is_ascii_digit() || *c == '-')
+                .collect();
             Ok(Some(Value::Int(digits.parse().unwrap_or(0))))
         }
         ("InputStream", "readLine") => {
@@ -125,9 +132,9 @@ pub(crate) fn call_native(
             // references by identity.
             let h = match args[1] {
                 Value::Ref(r) => match m.heap_object(r) {
-                    HeapObject::Str { text } => {
-                        text.bytes().fold(7i64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as i64))
-                    }
+                    HeapObject::Str { text } => text
+                        .bytes()
+                        .fold(7i64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as i64)),
                     _ => r.raw() as i64,
                 },
                 Value::Int(n) => n,
@@ -136,7 +143,9 @@ pub(crate) fn call_native(
             };
             Ok(Some(Value::Int(h.abs())))
         }
-        ("Math", "abs") => Ok(Some(Value::Int(int_arg(args[0], "Math.abs")?.wrapping_abs()))),
+        ("Math", "abs") => Ok(Some(Value::Int(
+            int_arg(args[0], "Math.abs")?.wrapping_abs(),
+        ))),
         ("Math", "max") => Ok(Some(Value::Int(
             int_arg(args[0], "Math.max")?.max(int_arg(args[1], "Math.max")?),
         ))),

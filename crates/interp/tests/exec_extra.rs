@@ -89,7 +89,11 @@ fn failed_cast_is_a_runtime_error() {
          } }",
         ExecConfig::default(),
     );
-    assert!(matches!(e.outcome, Outcome::RuntimeError(ref m) if m.contains("cast")), "{:?}", e.outcome);
+    assert!(
+        matches!(e.outcome, Outcome::RuntimeError(ref m) if m.contains("cast")),
+        "{:?}",
+        e.outcome
+    );
 }
 
 #[test]

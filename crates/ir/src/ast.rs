@@ -95,13 +95,21 @@ pub struct Stmt {
 #[allow(missing_docs)] // variant payload fields are described in the variant docs
 pub enum StmtKind {
     /// Local variable declaration, e.g. `Vector v = new Vector();`.
-    VarDecl { ty: TypeExpr, name: String, init: Option<Expr> },
+    VarDecl {
+        ty: TypeExpr,
+        name: String,
+        init: Option<Expr>,
+    },
     /// Assignment through an lvalue (`x`, `x.f`, `a[i]`), with `=`, `+=` or `-=`.
     Assign { lhs: Expr, op: AssignOp, rhs: Expr },
     /// Postfix increment/decrement statement (`x++;`, `x.f--;`).
     IncDec { lhs: Expr, inc: bool },
     /// `if (cond) then else els`.
-    If { cond: Expr, then: Vec<Stmt>, els: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then: Vec<Stmt>,
+        els: Vec<Stmt>,
+    },
     /// `while (cond) body`.
     While { cond: Expr, body: Vec<Stmt> },
     /// `return expr?;`.
@@ -156,14 +164,22 @@ pub enum ExprKind {
     /// Unary operation.
     Unary { op: UnOp, expr: Box<Expr> },
     /// Binary operation (including `&&`/`||`, which lower to control flow).
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Field access `base.name`; `base` may denote a class for statics.
     Field { base: Box<Expr>, name: String },
     /// Array indexing `base[index]`.
     Index { base: Box<Expr>, index: Box<Expr> },
     /// Method call. `base == None` means an unqualified call on the
     /// enclosing class (implicit `this` or static).
-    Call { base: Option<Box<Expr>>, name: String, args: Vec<Expr> },
+    Call {
+        base: Option<Box<Expr>>,
+        name: String,
+        args: Vec<Expr>,
+    },
     /// Explicit `super(...)` constructor call.
     SuperCall { args: Vec<Expr> },
     /// `new C(args)`.
@@ -224,7 +240,10 @@ impl BinOp {
 
     /// Whether the operator compares values (result is `boolean`).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 }
 

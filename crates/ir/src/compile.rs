@@ -8,7 +8,7 @@ use crate::lower::lower_body;
 use crate::span::{FileId, SourceFile, Span};
 use crate::ssa;
 use crate::stdlib::STDLIB_SOURCE;
-use std::collections::HashMap;
+use thinslice_util::FxHashMap;
 use thinslice_util::IdxVec;
 
 /// Compiles MJ sources into a [`Program`], prepending the built-in standard
@@ -47,12 +47,14 @@ pub fn compile_raw(sources: &[(&str, &str)]) -> Result<Program, CompileError> {
     let mut files: IdxVec<FileId, SourceFile> = IdxVec::new();
     let mut asts: Vec<(FileId, AstProgram)> = Vec::new();
     for (name, text) in sources {
-        let file = files.push(SourceFile { name: name.to_string(), text: text.to_string() });
+        let file = files.push(SourceFile {
+            name: name.to_string(),
+            text: text.to_string(),
+        });
         let ast = crate::parser::parse(file, text)?;
         asts.push((file, ast));
     }
-    let decls: Vec<ClassDecl> =
-        asts.into_iter().flat_map(|(_, ast)| ast.classes).collect();
+    let decls: Vec<ClassDecl> = asts.into_iter().flat_map(|(_, ast)| ast.classes).collect();
     Collector::new(files).run(decls)
 }
 
@@ -61,7 +63,7 @@ struct Collector {
     classes: IdxVec<ClassId, Class>,
     fields: IdxVec<FieldId, Field>,
     methods: IdxVec<MethodId, Method>,
-    class_by_name: HashMap<String, ClassId>,
+    class_by_name: FxHashMap<String, ClassId>,
 }
 
 impl Collector {
@@ -71,7 +73,7 @@ impl Collector {
             classes: IdxVec::new(),
             fields: IdxVec::new(),
             methods: IdxVec::new(),
-            class_by_name: HashMap::new(),
+            class_by_name: FxHashMap::default(),
         }
     }
 
@@ -123,9 +125,12 @@ impl Collector {
         for d in &decls {
             let id = self.class_by_name[&d.name];
             let superclass = match &d.superclass {
-                Some(s) => Some(*self.class_by_name.get(s).ok_or_else(|| {
-                    self.err(format!("unknown superclass `{s}`"), d.span)
-                })?),
+                Some(s) => Some(
+                    *self
+                        .class_by_name
+                        .get(s)
+                        .ok_or_else(|| self.err(format!("unknown superclass `{s}`"), d.span))?,
+                ),
                 None if id == object_class => None,
                 None => Some(object_class),
             };
@@ -141,9 +146,10 @@ impl Collector {
             let id = self.class_by_name[&d.name];
             for f in &d.fields {
                 if d.fields.iter().filter(|g| g.name == f.name).count() > 1 {
-                    return Err(
-                        self.err(format!("duplicate field `{}` in `{}`", f.name, d.name), f.span)
-                    );
+                    return Err(self.err(
+                        format!("duplicate field `{}` in `{}`", f.name, d.name),
+                        f.span,
+                    ));
                 }
                 let ty = self.resolve_type(&f.ty, f.span)?;
                 let fid = self.fields.push(Field {
@@ -158,7 +164,10 @@ impl Collector {
             for m in &d.methods {
                 if d.methods.iter().filter(|g| g.name == m.name).count() > 1 {
                     return Err(self.err(
-                        format!("duplicate method `{}` in `{}` (MJ has no overloading)", m.name, d.name),
+                        format!(
+                            "duplicate method `{}` in `{}` (MJ has no overloading)",
+                            m.name, d.name
+                        ),
                         m.span,
                     ));
                 }
@@ -166,9 +175,7 @@ impl Collector {
                 let mut param_tys = Vec::new();
                 for (pt, pname) in &m.params {
                     if m.params.iter().filter(|(_, n)| n == pname).count() > 1 {
-                        return Err(
-                            self.err(format!("duplicate parameter `{pname}`"), m.span)
-                        );
+                        return Err(self.err(format!("duplicate parameter `{pname}`"), m.span));
                     }
                     param_tys.push(self.resolve_type(pt, m.span)?);
                 }
@@ -271,25 +278,27 @@ impl Collector {
             let mut fast = self.classes[start].superclass;
             while let (Some(s), Some(f)) = (slow, fast) {
                 if s == f {
-                    return Err(self.err(
-                        format!("inheritance cycle involving `{}`", d.name),
-                        d.span,
-                    ));
+                    return Err(
+                        self.err(format!("inheritance cycle involving `{}`", d.name), d.span)
+                    );
                 }
                 slow = self.classes[s].superclass;
-                fast = self.classes[f].superclass.and_then(|g| self.classes[g].superclass);
+                fast = self.classes[f]
+                    .superclass
+                    .and_then(|g| self.classes[g].superclass);
             }
         }
         Ok(())
     }
-
 }
 
 fn check_overrides(program: &Program, decls: &[ClassDecl]) -> Result<(), CompileError> {
     {
         for d in decls {
             let class = program.class_by_name[&d.name];
-            let Some(sup) = program.classes[class].superclass else { continue };
+            let Some(sup) = program.classes[class].superclass else {
+                continue;
+            };
             for &mid in &program.classes[class].methods {
                 let m = &program.methods[mid];
                 if m.is_ctor() {
@@ -343,16 +352,21 @@ mod tests {
 
     #[test]
     fn duplicate_class_is_an_error() {
-        let err = compile(&[("t.mj", "class A {} class A {} class Main { static void main() {} }")])
-            .unwrap_err();
+        let err = compile(&[(
+            "t.mj",
+            "class A {} class A {} class Main { static void main() {} }",
+        )])
+        .unwrap_err();
         assert!(err.message.contains("duplicate class"));
     }
 
     #[test]
     fn unknown_superclass_is_an_error() {
-        let err =
-            compile(&[("t.mj", "class A extends Zzz {} class Main { static void main() {} }")])
-                .unwrap_err();
+        let err = compile(&[(
+            "t.mj",
+            "class A extends Zzz {} class Main { static void main() {} }",
+        )])
+        .unwrap_err();
         assert!(err.message.contains("unknown superclass"));
     }
 
@@ -368,8 +382,11 @@ mod tests {
 
     #[test]
     fn self_extension_is_an_error() {
-        let err = compile(&[("t.mj", "class A extends A {} class Main { static void main() {} }")])
-            .unwrap_err();
+        let err = compile(&[(
+            "t.mj",
+            "class A extends A {} class Main { static void main() {} }",
+        )])
+        .unwrap_err();
         assert!(err.message.contains("itself") || err.message.contains("cycle"));
     }
 
@@ -393,8 +410,11 @@ mod tests {
 
     #[test]
     fn default_ctor_is_synthesized() {
-        let p = compile(&[("t.mj", "class A {} class Main { static void main() { A a = new A(); } }")])
-            .unwrap();
+        let p = compile(&[(
+            "t.mj",
+            "class A {} class Main { static void main() { A a = new A(); } }",
+        )])
+        .unwrap();
         let a = p.class_named("A").unwrap();
         let ctor = p.ctor_of(a).unwrap();
         assert!(p.methods[ctor].body.is_some());
@@ -414,7 +434,10 @@ mod tests {
         assert!(p.is_assignable(&Type::Class(b), &Type::Class(a)));
         assert!(p.is_assignable(&Type::Null, &Type::Class(a)));
         assert!(!p.is_assignable(&Type::Class(a), &Type::Class(b)));
-        assert!(p.is_assignable(&Type::Array(Box::new(Type::Class(b))), &Type::Class(p.object_class)));
+        assert!(p.is_assignable(
+            &Type::Array(Box::new(Type::Class(b))),
+            &Type::Class(p.object_class)
+        ));
         assert!(p.cast_may_succeed(&Type::Class(a), &Type::Class(b)));
     }
 }

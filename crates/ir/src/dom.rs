@@ -211,7 +211,15 @@ mod tests {
     #[test]
     fn nested_ifs() {
         // 0 -> (1, 4); 1 -> (2, 3); 2 -> 5; 3 -> 5; 5 -> 6; 4 -> 6
-        let g = vec![vec![1, 4], vec![2, 3], vec![5], vec![5], vec![6], vec![6], vec![]];
+        let g = vec![
+            vec![1, 4],
+            vec![2, 3],
+            vec![5],
+            vec![5],
+            vec![6],
+            vec![6],
+            vec![],
+        ];
         let d = dominators(&g, 0);
         assert_eq!(d.idom[5], Some(1));
         assert_eq!(d.idom[6], Some(0));

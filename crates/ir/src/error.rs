@@ -33,7 +33,11 @@ pub enum Phase {
 impl CompileError {
     /// Creates an error in the given phase.
     pub fn new(phase: Phase, message: impl Into<String>, span: Span) -> Self {
-        Self { phase, message: message.into(), span }
+        Self {
+            phase,
+            message: message.into(),
+            span,
+        }
     }
 }
 

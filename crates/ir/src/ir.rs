@@ -7,8 +7,8 @@
 //! begin with [`InstrKind::Phi`] instructions.
 
 use crate::span::{FileId, SourceFile, Span};
-use std::collections::HashMap;
 use std::fmt;
+use thinslice_util::FxHashMap;
 use thinslice_util::{new_index, IdxVec};
 
 new_index!(
@@ -44,7 +44,7 @@ pub struct Program {
     /// All methods of all classes.
     pub methods: IdxVec<MethodId, Method>,
     /// Class lookup by name.
-    pub class_by_name: HashMap<String, ClassId>,
+    pub class_by_name: FxHashMap<String, ClassId>,
     /// The root `Object` class.
     pub object_class: ClassId,
     /// The built-in `String` class.
@@ -171,11 +171,15 @@ impl Body {
     /// Iterates over all `(location, instruction)` pairs in block order.
     pub fn instrs(&self) -> impl Iterator<Item = (Loc, &Instr)> + '_ {
         self.blocks.iter_enumerated().flat_map(|(b, block)| {
-            block
-                .instrs
-                .iter()
-                .enumerate()
-                .map(move |(i, instr)| (Loc { block: b, index: i as u32 }, instr))
+            block.instrs.iter().enumerate().map(move |(i, instr)| {
+                (
+                    Loc {
+                        block: b,
+                        index: i as u32,
+                    },
+                    instr,
+                )
+            })
         })
     }
 
@@ -192,7 +196,9 @@ impl Body {
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
         match &self.blocks[b].instrs.last().expect("empty block").kind {
             InstrKind::Goto { target } => vec![*target],
-            InstrKind::If { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            InstrKind::If {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             InstrKind::Return { .. } | InstrKind::Throw { .. } => vec![],
             other => panic!("block does not end in terminator: {other:?}"),
         }
@@ -367,10 +373,19 @@ pub enum InstrKind {
     /// `dst = op src`
     Unary { dst: Var, op: IrUnOp, src: Operand },
     /// `dst = lhs op rhs`
-    Binary { dst: Var, op: IrBinOp, lhs: Operand, rhs: Operand },
+    Binary {
+        dst: Var,
+        op: IrBinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = lhs + rhs` where either side is a `String`; allocates a fresh
     /// `String` whose value is produced from both operands.
-    StrConcat { dst: Var, lhs: Operand, rhs: Operand },
+    StrConcat {
+        dst: Var,
+        lhs: Operand,
+        rhs: Operand,
+    },
     /// `dst = new C` (allocation site; the constructor call is separate).
     New { dst: Var, class: ClassId },
     /// `dst = new T[len]` (allocation site).
@@ -378,7 +393,11 @@ pub enum InstrKind {
     /// `dst = base.field`
     Load { dst: Var, base: Var, field: FieldId },
     /// `base.field = value`
-    Store { base: Var, field: FieldId, value: Operand },
+    Store {
+        base: Var,
+        field: FieldId,
+        value: Operand,
+    },
     /// `dst = C.field`
     StaticLoad { dst: Var, field: FieldId },
     /// `C.field = value`
@@ -386,27 +405,47 @@ pub enum InstrKind {
     /// `dst = base[index]`
     ArrayLoad { dst: Var, base: Var, index: Operand },
     /// `base[index] = value`
-    ArrayStore { base: Var, index: Operand, value: Operand },
+    ArrayStore {
+        base: Var,
+        index: Operand,
+        value: Operand,
+    },
     /// `dst = base.length`
     ArrayLen { dst: Var, base: Var },
     /// `dst = (ty) src` — may fail at runtime; filters points-to sets.
     Cast { dst: Var, ty: Type, src: Operand },
     /// `dst = src instanceof C`
-    InstanceOf { dst: Var, src: Operand, class: ClassId },
+    InstanceOf {
+        dst: Var,
+        src: Operand,
+        class: ClassId,
+    },
     /// Method call. For [`CallKind::Virtual`]/[`CallKind::Special`],
     /// `args[0]` is the receiver. `callee` is the statically resolved target
     /// (the declared method for virtual calls).
-    Call { dst: Option<Var>, kind: CallKind, callee: MethodId, args: Vec<Operand> },
+    Call {
+        dst: Option<Var>,
+        kind: CallKind,
+        callee: MethodId,
+        args: Vec<Operand>,
+    },
     /// `print(value)` — observable sink; common slice seed.
     Print { value: Operand },
     /// SSA φ: `dst = φ(args)`, one operand per predecessor block.
-    Phi { dst: Var, args: Vec<(BlockId, Operand)> },
+    Phi {
+        dst: Var,
+        args: Vec<(BlockId, Operand)>,
+    },
 
     // ---- terminators ----
     /// Unconditional jump.
     Goto { target: BlockId },
     /// Conditional branch on a boolean operand.
-    If { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    If {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
     /// Return from the method.
     Return { value: Option<Operand> },
     /// Throw an exception (terminates the method in MJ).
@@ -629,10 +668,10 @@ impl Program {
     /// Iterates over every statement in every method body.
     pub fn all_stmts(&self) -> impl Iterator<Item = StmtRef> + '_ {
         self.methods.iter_enumerated().flat_map(|(m, method)| {
-            method
-                .body
-                .iter()
-                .flat_map(move |body| body.instrs().map(move |(loc, _)| StmtRef { method: m, loc }))
+            method.body.iter().flat_map(move |body| {
+                body.instrs()
+                    .map(move |(loc, _)| StmtRef { method: m, loc })
+            })
         })
     }
 
@@ -642,7 +681,11 @@ impl Program {
     ///
     /// Panics if the referenced method is native (has no body).
     pub fn instr(&self, s: StmtRef) -> &Instr {
-        self.methods[s.method].body.as_ref().expect("native method has no body").instr(s.loc)
+        self.methods[s.method]
+            .body
+            .as_ref()
+            .expect("native method has no body")
+            .instr(s.loc)
     }
 
     /// Looks up a class by name.
@@ -670,7 +713,11 @@ mod tests {
 
     #[test]
     fn use_classification_for_heap_accesses() {
-        let load = InstrKind::Load { dst: Var::new(0), base: Var::new(1), field: FieldId::new(0) };
+        let load = InstrKind::Load {
+            dst: Var::new(0),
+            base: Var::new(1),
+            field: FieldId::new(0),
+        };
         assert_eq!(load.uses(), vec![(Var::new(1), UseKind::BasePointer)]);
 
         let store = InstrKind::Store {
@@ -680,7 +727,10 @@ mod tests {
         };
         assert_eq!(
             store.uses(),
-            vec![(Var::new(1), UseKind::BasePointer), (Var::new(2), UseKind::Value)]
+            vec![
+                (Var::new(1), UseKind::BasePointer),
+                (Var::new(2), UseKind::Value)
+            ]
         );
 
         let aload = InstrKind::ArrayLoad {
@@ -690,7 +740,10 @@ mod tests {
         };
         assert_eq!(
             aload.uses(),
-            vec![(Var::new(1), UseKind::BasePointer), (Var::new(2), UseKind::ArrayIndex)]
+            vec![
+                (Var::new(1), UseKind::BasePointer),
+                (Var::new(2), UseKind::ArrayIndex)
+            ]
         );
     }
 
@@ -710,17 +763,35 @@ mod tests {
 
     #[test]
     fn terminator_classification() {
-        assert!(InstrKind::Goto { target: BlockId::new(0) }.is_terminator());
+        assert!(InstrKind::Goto {
+            target: BlockId::new(0)
+        }
+        .is_terminator());
         assert!(InstrKind::Return { value: None }.is_terminator());
-        assert!(!InstrKind::Const { dst: Var::new(0), value: Const::Int(0) }.is_terminator());
+        assert!(!InstrKind::Const {
+            dst: Var::new(0),
+            value: Const::Int(0)
+        }
+        .is_terminator());
     }
 
     #[test]
     fn allocations() {
-        assert!(InstrKind::New { dst: Var::new(0), class: ClassId::new(0) }.is_allocation());
-        assert!(InstrKind::StrConst { dst: Var::new(0), value: "x".into() }.is_allocation());
-        assert!(!InstrKind::Move { dst: Var::new(0), src: Operand::Const(Const::Null) }
-            .is_allocation());
+        assert!(InstrKind::New {
+            dst: Var::new(0),
+            class: ClassId::new(0)
+        }
+        .is_allocation());
+        assert!(InstrKind::StrConst {
+            dst: Var::new(0),
+            value: "x".into()
+        }
+        .is_allocation());
+        assert!(!InstrKind::Move {
+            dst: Var::new(0),
+            src: Operand::Const(Const::Null)
+        }
+        .is_allocation());
     }
 }
 

@@ -37,11 +37,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(file: FileId, text: &'a str) -> Self {
-        Self { file, chars: text.chars().peekable(), line: 1, col: 1 }
+        Self {
+            file,
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     fn span(&self) -> Span {
-        Span { file: self.file, line: self.line, col: self.col }
+        Span {
+            file: self.file,
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn bump(&mut self) -> Option<char> {
@@ -78,7 +87,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span = self.span();
             let Some(c) = self.bump() else {
-                tokens.push(Token { kind: TokenKind::Eof, span });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -195,9 +207,7 @@ impl<'a> Lexer<'a> {
                                     }
                                     Some(_) => {}
                                     None => {
-                                        return Err(
-                                            self.error("unterminated block comment", start)
-                                        );
+                                        return Err(self.error("unterminated block comment", start));
                                     }
                                 }
                             }
@@ -269,7 +279,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(FileId::new(0), src).unwrap().into_iter().map(|t| t.kind).collect()
+        lex(FileId::new(0), src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -332,7 +346,11 @@ mod tests {
     fn skips_comments() {
         assert_eq!(
             kinds("x // line comment\n /* block\n comment */ y"),
-            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

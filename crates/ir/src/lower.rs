@@ -9,7 +9,7 @@ use crate::ast::{AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, TypeExpr, UnOp
 use crate::error::{CompileError, Phase};
 use crate::ir::*;
 use crate::span::Span;
-use std::collections::HashMap;
+use thinslice_util::FxHashMap;
 use thinslice_util::IdxVec;
 
 /// Lowers one method body.
@@ -48,7 +48,7 @@ struct LowerCx<'a> {
     blocks: IdxVec<BlockId, Block>,
     vars: IdxVec<Var, VarInfo>,
     params: Vec<Var>,
-    scopes: Vec<HashMap<String, Var>>,
+    scopes: Vec<FxHashMap<String, Var>>,
     cur: BlockId,
     entry: BlockId,
 }
@@ -64,7 +64,7 @@ impl<'a> LowerCx<'a> {
             blocks,
             vars: IdxVec::new(),
             params: Vec::new(),
-            scopes: vec![HashMap::new()],
+            scopes: vec![FxHashMap::default()],
             cur: entry,
             entry,
         }
@@ -81,7 +81,7 @@ impl<'a> LowerCx<'a> {
     // ---- variables and scopes ----
 
     fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(FxHashMap::default());
     }
 
     fn pop_scope(&mut self) {
@@ -89,7 +89,11 @@ impl<'a> LowerCx<'a> {
     }
 
     fn new_var(&mut self, name: impl Into<String>, ty: Type) -> Var {
-        self.vars.push(VarInfo { name: name.into(), ty, origin: None })
+        self.vars.push(VarInfo {
+            name: name.into(),
+            ty,
+            origin: None,
+        })
     }
 
     fn new_temp(&mut self, ty: Type) -> Var {
@@ -99,7 +103,10 @@ impl<'a> LowerCx<'a> {
 
     fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<Var, CompileError> {
         if self.scopes.last().unwrap().contains_key(name) {
-            return Err(self.err(format!("variable `{name}` already declared in this scope"), span));
+            return Err(self.err(
+                format!("variable `{name}` already declared in this scope"),
+                span,
+            ));
         }
         let v = self.new_var(name, ty);
         self.scopes.last_mut().unwrap().insert(name.to_string(), v);
@@ -118,7 +125,10 @@ impl<'a> LowerCx<'a> {
         if !self.meth().is_static {
             let this = self.new_var("this", Type::Class(self.class));
             self.params.push(this);
-            self.scopes.last_mut().unwrap().insert("this".to_string(), this);
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert("this".to_string(), this);
         }
         let tys = self.meth().param_tys.clone();
         for ((_, name), ty) in params.iter().zip(tys) {
@@ -139,7 +149,10 @@ impl<'a> LowerCx<'a> {
     }
 
     fn terminated(&self) -> bool {
-        self.blocks[self.cur].instrs.last().is_some_and(|i| i.kind.is_terminator())
+        self.blocks[self.cur]
+            .instrs
+            .last()
+            .is_some_and(|i| i.kind.is_terminator())
     }
 
     /// Jumps to `target` unless the current block already ended.
@@ -169,7 +182,10 @@ impl<'a> LowerCx<'a> {
         let Some(sup) = self.program.classes[self.class].superclass else {
             return Ok(()); // Object's constructor.
         };
-        let ctor = self.program.ctor_of(sup).expect("every class has a (possibly default) ctor");
+        let ctor = self
+            .program
+            .ctor_of(sup)
+            .expect("every class has a (possibly default) ctor");
         if !self.program.methods[ctor].param_tys.is_empty() {
             return Err(self.err(
                 format!(
@@ -243,7 +259,10 @@ impl<'a> LowerCx<'a> {
             }
             StmtKind::Assign { lhs, op, rhs } => self.assign(lhs, *op, rhs, s.span),
             StmtKind::IncDec { lhs, inc } => {
-                let one = Expr { kind: ExprKind::IntLit(1), span: s.span };
+                let one = Expr {
+                    kind: ExprKind::IntLit(1),
+                    span: s.span,
+                };
                 let op = if *inc { AssignOp::Add } else { AssignOp::Sub };
                 self.assign(lhs, op, &one, s.span)
             }
@@ -253,7 +272,14 @@ impl<'a> LowerCx<'a> {
                 let then_bb = self.new_block();
                 let else_bb = self.new_block();
                 let join = self.new_block();
-                self.emit(InstrKind::If { cond: c, then_bb, else_bb }, s.span);
+                self.emit(
+                    InstrKind::If {
+                        cond: c,
+                        then_bb,
+                        else_bb,
+                    },
+                    s.span,
+                );
                 self.switch_to(then_bb);
                 self.stmts(then)?;
                 self.goto(join, s.span);
@@ -271,7 +297,14 @@ impl<'a> LowerCx<'a> {
                 self.expect_type(&ty, &Type::Bool, cond.span)?;
                 let body_bb = self.new_block();
                 let exit = self.new_block();
-                self.emit(InstrKind::If { cond: c, then_bb: body_bb, else_bb: exit }, s.span);
+                self.emit(
+                    InstrKind::If {
+                        cond: c,
+                        then_bb: body_bb,
+                        else_bb: exit,
+                    },
+                    s.span,
+                );
                 self.switch_to(body_bb);
                 self.stmts(body)?;
                 self.goto(header, s.span);
@@ -351,20 +384,42 @@ impl<'a> LowerCx<'a> {
                     if op == AssignOp::Add && place_ty == Type::Class(self.program.string_class) {
                         Ok(())
                     } else {
-                        Err(self.err("compound assignment requires int (or String for `+=`)", span))
+                        Err(self.err(
+                            "compound assignment requires int (or String for `+=`)",
+                            span,
+                        ))
                     }
                 })?;
                 let cur = self.read_place(&place, span);
                 let (r, rty) = self.expr(rhs)?;
                 if place_ty == Type::Class(self.program.string_class) {
                     let dst = self.new_temp(place_ty.clone());
-                    self.emit(InstrKind::StrConcat { dst, lhs: cur, rhs: r }, span);
+                    self.emit(
+                        InstrKind::StrConcat {
+                            dst,
+                            lhs: cur,
+                            rhs: r,
+                        },
+                        span,
+                    );
                     (Operand::Var(dst), place_ty.clone())
                 } else {
                     self.expect_type(&rty, &Type::Int, rhs.span)?;
                     let dst = self.new_temp(Type::Int);
-                    let irop = if op == AssignOp::Add { IrBinOp::Add } else { IrBinOp::Sub };
-                    self.emit(InstrKind::Binary { dst, op: irop, lhs: cur, rhs: r }, span);
+                    let irop = if op == AssignOp::Add {
+                        IrBinOp::Add
+                    } else {
+                        IrBinOp::Sub
+                    };
+                    self.emit(
+                        InstrKind::Binary {
+                            dst,
+                            op: irop,
+                            lhs: cur,
+                            rhs: r,
+                        },
+                        span,
+                    );
                     (Operand::Var(dst), Type::Int)
                 }
             }
@@ -404,10 +459,7 @@ impl<'a> LowerCx<'a> {
                         .resolve_field(class, name)
                         .ok_or_else(|| self.err(format!("unknown field `{name}`"), lhs.span))?;
                     if !self.program.fields[f].is_static {
-                        return Err(self.err(
-                            format!("field `{name}` is not static"),
-                            lhs.span,
-                        ));
+                        return Err(self.err(format!("field `{name}` is not static"), lhs.span));
                     }
                     return Ok(Place::Static(f));
                 }
@@ -423,7 +475,10 @@ impl<'a> LowerCx<'a> {
                 };
                 let f = self.program.resolve_field(c, name).ok_or_else(|| {
                     self.err(
-                        format!("unknown field `{name}` on `{}`", self.program.classes[c].name),
+                        format!(
+                            "unknown field `{name}` on `{}`",
+                            self.program.classes[c].name
+                        ),
                         lhs.span,
                     )
                 })?;
@@ -461,7 +516,14 @@ impl<'a> LowerCx<'a> {
             Place::Local(v) => Operand::Var(*v),
             Place::Field(base, f) => {
                 let dst = self.new_temp(self.program.fields[*f].ty.clone());
-                self.emit(InstrKind::Load { dst, base: *base, field: *f }, span);
+                self.emit(
+                    InstrKind::Load {
+                        dst,
+                        base: *base,
+                        field: *f,
+                    },
+                    span,
+                );
                 Operand::Var(dst)
             }
             Place::Static(f) => {
@@ -471,7 +533,14 @@ impl<'a> LowerCx<'a> {
             }
             Place::ArrayElem(base, index, elem) => {
                 let dst = self.new_temp(elem.clone());
-                self.emit(InstrKind::ArrayLoad { dst, base: *base, index: *index }, span);
+                self.emit(
+                    InstrKind::ArrayLoad {
+                        dst,
+                        base: *base,
+                        index: *index,
+                    },
+                    span,
+                );
                 Operand::Var(dst)
             }
             Place::ArrayLength(base) => {
@@ -484,14 +553,30 @@ impl<'a> LowerCx<'a> {
 
     fn write_place(&mut self, place: &Place, value: Operand, span: Span) {
         match place {
-            Place::Local(v) => self.emit(InstrKind::Move { dst: *v, src: value }, span),
-            Place::Field(base, f) => {
-                self.emit(InstrKind::Store { base: *base, field: *f, value }, span)
-            }
+            Place::Local(v) => self.emit(
+                InstrKind::Move {
+                    dst: *v,
+                    src: value,
+                },
+                span,
+            ),
+            Place::Field(base, f) => self.emit(
+                InstrKind::Store {
+                    base: *base,
+                    field: *f,
+                    value,
+                },
+                span,
+            ),
             Place::Static(f) => self.emit(InstrKind::StaticStore { field: *f, value }, span),
-            Place::ArrayElem(base, index, _) => {
-                self.emit(InstrKind::ArrayStore { base: *base, index: *index, value }, span)
-            }
+            Place::ArrayElem(base, index, _) => self.emit(
+                InstrKind::ArrayStore {
+                    base: *base,
+                    index: *index,
+                    value,
+                },
+                span,
+            ),
             Place::ArrayLength(_) => unreachable!("assignment to array length is rejected earlier"),
         }
     }
@@ -506,7 +591,13 @@ impl<'a> LowerCx<'a> {
             ExprKind::StrLit(s) => {
                 let ty = Type::Class(self.program.string_class);
                 let dst = self.new_temp(ty.clone());
-                self.emit(InstrKind::StrConst { dst, value: s.clone() }, e.span);
+                self.emit(
+                    InstrKind::StrConst {
+                        dst,
+                        value: s.clone(),
+                    },
+                    e.span,
+                );
                 Ok((Operand::Var(dst), ty))
             }
             ExprKind::This => {
@@ -527,13 +618,27 @@ impl<'a> LowerCx<'a> {
                     UnOp::Neg => {
                         self.expect_type(&ty, &Type::Int, expr.span)?;
                         let dst = self.new_temp(Type::Int);
-                        self.emit(InstrKind::Unary { dst, op: IrUnOp::Neg, src: v }, e.span);
+                        self.emit(
+                            InstrKind::Unary {
+                                dst,
+                                op: IrUnOp::Neg,
+                                src: v,
+                            },
+                            e.span,
+                        );
                         Ok((Operand::Var(dst), Type::Int))
                     }
                     UnOp::Not => {
                         self.expect_type(&ty, &Type::Bool, expr.span)?;
                         let dst = self.new_temp(Type::Bool);
-                        self.emit(InstrKind::Unary { dst, op: IrUnOp::Not, src: v }, e.span);
+                        self.emit(
+                            InstrKind::Unary {
+                                dst,
+                                op: IrUnOp::Not,
+                                src: v,
+                            },
+                            e.span,
+                        );
                         Ok((Operand::Var(dst), Type::Bool))
                     }
                 }
@@ -552,7 +657,12 @@ impl<'a> LowerCx<'a> {
                 let mut call_args = vec![Operand::Var(dst)];
                 self.check_and_lower_args(ctor, args, &mut call_args, e.span)?;
                 self.emit(
-                    InstrKind::Call { dst: None, kind: CallKind::Special, callee: ctor, args: call_args },
+                    InstrKind::Call {
+                        dst: None,
+                        kind: CallKind::Special,
+                        callee: ctor,
+                        args: call_args,
+                    },
                     e.span,
                 );
                 Ok((Operand::Var(dst), Type::Class(c)))
@@ -588,7 +698,14 @@ impl<'a> LowerCx<'a> {
                     ));
                 }
                 let dst = self.new_temp(target.clone());
-                self.emit(InstrKind::Cast { dst, ty: target.clone(), src: v }, e.span);
+                self.emit(
+                    InstrKind::Cast {
+                        dst,
+                        ty: target.clone(),
+                        src: v,
+                    },
+                    e.span,
+                );
                 Ok((Operand::Var(dst), target))
             }
             ExprKind::InstanceOf { expr, class } => {
@@ -601,7 +718,14 @@ impl<'a> LowerCx<'a> {
                     return Err(self.err("`instanceof` on a primitive", e.span));
                 }
                 let dst = self.new_temp(Type::Bool);
-                self.emit(InstrKind::InstanceOf { dst, src: v, class: c }, e.span);
+                self.emit(
+                    InstrKind::InstanceOf {
+                        dst,
+                        src: v,
+                        class: c,
+                    },
+                    e.span,
+                );
                 Ok((Operand::Var(dst), Type::Bool))
             }
         }
@@ -623,26 +747,48 @@ impl<'a> LowerCx<'a> {
         match op {
             BinOp::Add if lty == string_ty || rty == string_ty => {
                 let dst = self.new_temp(string_ty.clone());
-                self.emit(InstrKind::StrConcat { dst, lhs: l, rhs: r }, span);
+                self.emit(
+                    InstrKind::StrConcat {
+                        dst,
+                        lhs: l,
+                        rhs: r,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), string_ty))
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
                 self.expect_type(&lty, &Type::Int, lhs.span)?;
                 self.expect_type(&rty, &Type::Int, rhs.span)?;
                 let dst = self.new_temp(Type::Int);
-                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                self.emit(
+                    InstrKind::Binary {
+                        dst,
+                        op: ir_binop(op),
+                        lhs: l,
+                        rhs: r,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), Type::Int))
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                 self.expect_type(&lty, &Type::Int, lhs.span)?;
                 self.expect_type(&rty, &Type::Int, rhs.span)?;
                 let dst = self.new_temp(Type::Bool);
-                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                self.emit(
+                    InstrKind::Binary {
+                        dst,
+                        op: ir_binop(op),
+                        lhs: l,
+                        rhs: r,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), Type::Bool))
             }
             BinOp::Eq | BinOp::Ne => {
-                let compatible = lty == rty
-                    || (lty.is_reference() && rty.is_reference());
+                let compatible = lty == rty || (lty.is_reference() && rty.is_reference());
                 if !compatible {
                     return Err(self.err(
                         format!(
@@ -654,7 +800,15 @@ impl<'a> LowerCx<'a> {
                     ));
                 }
                 let dst = self.new_temp(Type::Bool);
-                self.emit(InstrKind::Binary { dst, op: ir_binop(op), lhs: l, rhs: r }, span);
+                self.emit(
+                    InstrKind::Binary {
+                        dst,
+                        op: ir_binop(op),
+                        lhs: l,
+                        rhs: r,
+                    },
+                    span,
+                );
                 Ok((Operand::Var(dst), Type::Bool))
             }
             BinOp::And | BinOp::Or => unreachable!("handled above"),
@@ -675,22 +829,44 @@ impl<'a> LowerCx<'a> {
         let const_bb = self.new_block();
         let end = self.new_block();
         match op {
-            BinOp::And => {
-                self.emit(InstrKind::If { cond: l, then_bb: rhs_bb, else_bb: const_bb }, span)
-            }
-            BinOp::Or => {
-                self.emit(InstrKind::If { cond: l, then_bb: const_bb, else_bb: rhs_bb }, span)
-            }
+            BinOp::And => self.emit(
+                InstrKind::If {
+                    cond: l,
+                    then_bb: rhs_bb,
+                    else_bb: const_bb,
+                },
+                span,
+            ),
+            BinOp::Or => self.emit(
+                InstrKind::If {
+                    cond: l,
+                    then_bb: const_bb,
+                    else_bb: rhs_bb,
+                },
+                span,
+            ),
             _ => unreachable!(),
         }
         self.switch_to(rhs_bb);
         let (r, rty) = self.expr(rhs)?;
         self.expect_type(&rty, &Type::Bool, rhs.span)?;
-        self.emit(InstrKind::Move { dst: result, src: r }, span);
+        self.emit(
+            InstrKind::Move {
+                dst: result,
+                src: r,
+            },
+            span,
+        );
         self.goto(end, span);
         self.switch_to(const_bb);
         let konst = Const::Bool(op == BinOp::Or);
-        self.emit(InstrKind::Const { dst: result, value: konst }, span);
+        self.emit(
+            InstrKind::Const {
+                dst: result,
+                value: konst,
+            },
+            span,
+        );
         self.goto(end, span);
         self.switch_to(end);
         Ok((Operand::Var(result), Type::Bool))
@@ -708,7 +884,10 @@ impl<'a> LowerCx<'a> {
             if let Some(class) = self.class_name_base(b) {
                 let m = self.program.resolve_method(class, name).ok_or_else(|| {
                     self.err(
-                        format!("unknown method `{name}` on `{}`", self.program.classes[class].name),
+                        format!(
+                            "unknown method `{name}` on `{}`",
+                            self.program.classes[class].name
+                        ),
                         span,
                     )
                 })?;
@@ -731,9 +910,10 @@ impl<'a> LowerCx<'a> {
             }
             None => {
                 // Unqualified call: method of the enclosing class.
-                let m = self.program.resolve_method(self.class, name).ok_or_else(|| {
-                    self.err(format!("unknown method `{name}`"), span)
-                })?;
+                let m = self
+                    .program
+                    .resolve_method(self.class, name)
+                    .ok_or_else(|| self.err(format!("unknown method `{name}`"), span))?;
                 if self.program.methods[m].is_static {
                     let mut call_args = Vec::new();
                     self.check_and_lower_args(m, args, &mut call_args, span)?;
@@ -745,17 +925,27 @@ impl<'a> LowerCx<'a> {
                         span,
                     ));
                 }
-                (Operand::Var(self.params[0]), Type::Class(self.class), self.class)
+                (
+                    Operand::Var(self.params[0]),
+                    Type::Class(self.class),
+                    self.class,
+                )
             }
         };
         let m = self.program.resolve_method(class, name).ok_or_else(|| {
             self.err(
-                format!("unknown method `{name}` on `{}`", self.program.classes[class].name),
+                format!(
+                    "unknown method `{name}` on `{}`",
+                    self.program.classes[class].name
+                ),
                 span,
             )
         })?;
         if self.program.methods[m].is_static {
-            return Err(self.err(format!("method `{name}` is static; call it on the class"), span));
+            return Err(self.err(
+                format!("method `{name}` is static; call it on the class"),
+                span,
+            ));
         }
         if self.program.methods[m].is_ctor() {
             return Err(self.err("constructors cannot be called directly", span));
@@ -777,7 +967,12 @@ impl<'a> LowerCx<'a> {
         let mut call_args = vec![Operand::Var(self.params[0])];
         self.check_and_lower_args(ctor, args, &mut call_args, span)?;
         self.emit(
-            InstrKind::Call { dst: None, kind: CallKind::Special, callee: ctor, args: call_args },
+            InstrKind::Call {
+                dst: None,
+                kind: CallKind::Special,
+                callee: ctor,
+                args: call_args,
+            },
             span,
         );
         Ok((Operand::Const(Const::Null), Type::Void))
@@ -791,8 +986,20 @@ impl<'a> LowerCx<'a> {
         span: Span,
     ) -> (Operand, Type) {
         let ret = self.program.methods[callee].ret_ty.clone();
-        let dst = if ret == Type::Void { None } else { Some(self.new_temp(ret.clone())) };
-        self.emit(InstrKind::Call { dst, kind, callee, args }, span);
+        let dst = if ret == Type::Void {
+            None
+        } else {
+            Some(self.new_temp(ret.clone()))
+        };
+        self.emit(
+            InstrKind::Call {
+                dst,
+                kind,
+                callee,
+                args,
+            },
+            span,
+        );
         match dst {
             Some(d) => (Operand::Var(d), ret),
             None => (Operand::Const(Const::Null), Type::Void),
@@ -963,7 +1170,9 @@ fn prune_unreachable(body: Body) -> Body {
         if let Some(last) = block.instrs.last_mut() {
             match &mut last.kind {
                 InstrKind::Goto { target } => *target = remap[target.index_usize()].unwrap(),
-                InstrKind::If { then_bb, else_bb, .. } => {
+                InstrKind::If {
+                    then_bb, else_bb, ..
+                } => {
                     *then_bb = remap[then_bb.index_usize()].unwrap();
                     *else_bb = remap[else_bb.index_usize()].unwrap();
                 }

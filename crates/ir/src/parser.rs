@@ -68,7 +68,11 @@ impl Parser {
         if self.peek() == &kind {
             Ok(self.bump())
         } else {
-            Err(self.error(format!("expected {}, found {}", kind.describe(), self.peek().describe())))
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -112,7 +116,13 @@ impl Parser {
         while !self.eat(&TokenKind::RBrace) {
             self.member(&name, &mut fields, &mut methods)?;
         }
-        Ok(ClassDecl { name, superclass, fields, methods, span })
+        Ok(ClassDecl {
+            name,
+            superclass,
+            fields,
+            methods,
+            span,
+        })
     }
 
     fn member(
@@ -156,7 +166,15 @@ impl Parser {
             } else {
                 Some(self.block()?)
             };
-            methods.push(MethodDecl { is_static, is_native, ret: ty, name, params, body, span });
+            methods.push(MethodDecl {
+                is_static,
+                is_native,
+                ret: ty,
+                name,
+                params,
+                body,
+                span,
+            });
         } else {
             if is_native {
                 return Err(self.error("fields cannot be native"));
@@ -165,7 +183,12 @@ impl Parser {
                 return Err(self.error("fields cannot have type void"));
             }
             self.expect(TokenKind::Semi)?;
-            fields.push(FieldDecl { is_static, ty, name, span });
+            fields.push(FieldDecl {
+                is_static,
+                ty,
+                name,
+                span,
+            });
         }
         Ok(())
     }
@@ -229,14 +252,20 @@ impl Parser {
     fn stmt(&mut self) -> Result<Stmt, CompileError> {
         let span = self.span();
         let kind = match self.peek().clone() {
-            TokenKind::LBrace => StmtKind::Block { body: self.block()? },
+            TokenKind::LBrace => StmtKind::Block {
+                body: self.block()?,
+            },
             TokenKind::If => {
                 self.bump();
                 self.expect(TokenKind::LParen)?;
                 let cond = self.expr()?;
                 self.expect(TokenKind::RParen)?;
                 let then = self.stmt_as_block()?;
-                let els = if self.eat(&TokenKind::Else) { self.stmt_as_block()? } else { Vec::new() };
+                let els = if self.eat(&TokenKind::Else) {
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
                 StmtKind::If { cond, then, els }
             }
             TokenKind::While => {
@@ -314,9 +343,16 @@ impl Parser {
     fn var_decl(&mut self, span: Span) -> Result<Stmt, CompileError> {
         let ty = self.type_expr(false)?;
         let (name, _) = self.expect_ident()?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         self.expect(TokenKind::Semi)?;
-        Ok(Stmt { kind: StmtKind::VarDecl { ty, name, init }, span })
+        Ok(Stmt {
+            kind: StmtKind::VarDecl { ty, name, init },
+            span,
+        })
     }
 
     /// Assignment, inc/dec or expression statement — without the trailing
@@ -327,17 +363,29 @@ impl Parser {
             TokenKind::Assign => {
                 self.bump();
                 let rhs = self.expr()?;
-                Ok(StmtKind::Assign { lhs, op: AssignOp::Set, rhs })
+                Ok(StmtKind::Assign {
+                    lhs,
+                    op: AssignOp::Set,
+                    rhs,
+                })
             }
             TokenKind::PlusAssign => {
                 self.bump();
                 let rhs = self.expr()?;
-                Ok(StmtKind::Assign { lhs, op: AssignOp::Add, rhs })
+                Ok(StmtKind::Assign {
+                    lhs,
+                    op: AssignOp::Add,
+                    rhs,
+                })
             }
             TokenKind::MinusAssign => {
                 self.bump();
                 let rhs = self.expr()?;
-                Ok(StmtKind::Assign { lhs, op: AssignOp::Sub, rhs })
+                Ok(StmtKind::Assign {
+                    lhs,
+                    op: AssignOp::Sub,
+                    rhs,
+                })
             }
             TokenKind::PlusPlus => {
                 self.bump();
@@ -348,7 +396,10 @@ impl Parser {
                 Ok(StmtKind::IncDec { lhs, inc: false })
             }
             _ => {
-                if !matches!(lhs.kind, ExprKind::Call { .. } | ExprKind::SuperCall { .. } | ExprKind::New { .. }) {
+                if !matches!(
+                    lhs.kind,
+                    ExprKind::Call { .. } | ExprKind::SuperCall { .. } | ExprKind::New { .. }
+                ) {
                     return Err(self.error("expected assignment or call statement"));
                 }
                 Ok(StmtKind::ExprStmt { expr: lhs })
@@ -382,20 +433,32 @@ impl Parser {
             None
         } else {
             let s = self.span();
-            Some(Stmt { kind: self.simple_stmt()?, span: s })
+            Some(Stmt {
+                kind: self.simple_stmt()?,
+                span: s,
+            })
         };
         self.expect(TokenKind::RParen)?;
         let mut body = self.stmt_as_block()?;
         if let Some(u) = update {
             body.push(u);
         }
-        let cond = cond.unwrap_or(Expr { kind: ExprKind::BoolLit(true), span });
-        let while_stmt = Stmt { kind: StmtKind::While { cond, body }, span };
+        let cond = cond.unwrap_or(Expr {
+            kind: ExprKind::BoolLit(true),
+            span,
+        });
+        let while_stmt = Stmt {
+            kind: StmtKind::While { cond, body },
+            span,
+        };
         let block = match init {
             Some(i) => vec![i, while_stmt],
             None => vec![while_stmt],
         };
-        Ok(Stmt { kind: StmtKind::Block { body: block }, span })
+        Ok(Stmt {
+            kind: StmtKind::Block { body: block },
+            span,
+        })
     }
 
     // ---- expressions, precedence climbing ----
@@ -411,7 +474,11 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr()?;
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -425,7 +492,11 @@ impl Parser {
             self.bump();
             let rhs = self.equality_expr()?;
             lhs = Expr {
-                kind: ExprKind::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
                 span,
             };
         }
@@ -443,7 +514,14 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.relational_expr()?;
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -461,7 +539,10 @@ impl Parser {
                     self.bump();
                     let (class, _) = self.expect_ident()?;
                     lhs = Expr {
-                        kind: ExprKind::InstanceOf { expr: Box::new(lhs), class },
+                        kind: ExprKind::InstanceOf {
+                            expr: Box::new(lhs),
+                            class,
+                        },
                         span,
                     };
                     continue;
@@ -471,7 +552,14 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.additive_expr()?;
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -487,7 +575,14 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.multiplicative_expr()?;
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -504,7 +599,14 @@ impl Parser {
             let span = self.span();
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr { kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, span };
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -515,12 +617,24 @@ impl Parser {
             TokenKind::Not => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Not, expr: Box::new(e) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    span,
+                })
             }
             TokenKind::Minus => {
                 self.bump();
                 let e = self.unary_expr()?;
-                Ok(Expr { kind: ExprKind::Unary { op: UnOp::Neg, expr: Box::new(e) }, span })
+                Ok(Expr {
+                    kind: ExprKind::Unary {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    span,
+                })
             }
             _ => self.postfix_expr(),
         }
@@ -537,11 +651,21 @@ impl Parser {
                     if matches!(self.peek(), TokenKind::LParen) {
                         let args = self.args()?;
                         e = Expr {
-                            kind: ExprKind::Call { base: Some(Box::new(e)), name, args },
+                            kind: ExprKind::Call {
+                                base: Some(Box::new(e)),
+                                name,
+                                args,
+                            },
                             span,
                         };
                     } else {
-                        e = Expr { kind: ExprKind::Field { base: Box::new(e), name }, span };
+                        e = Expr {
+                            kind: ExprKind::Field {
+                                base: Box::new(e),
+                                name,
+                            },
+                            span,
+                        };
                     }
                 }
                 TokenKind::LBracket => {
@@ -550,7 +674,10 @@ impl Parser {
                     let idx = self.expr()?;
                     self.expect(TokenKind::RBracket)?;
                     e = Expr {
-                        kind: ExprKind::Index { base: Box::new(e), index: Box::new(idx) },
+                        kind: ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(idx),
+                        },
                         span,
                     };
                 }
@@ -653,7 +780,10 @@ impl Parser {
                         self.bump();
                         let len = self.expr()?;
                         self.expect(TokenKind::RBracket)?;
-                        ExprKind::NewArray { elem, len: Box::new(len) }
+                        ExprKind::NewArray {
+                            elem,
+                            len: Box::new(len),
+                        }
                     }
                     (TypeExpr::Named(class), TokenKind::LParen) => {
                         let class = class.clone();
@@ -667,7 +797,11 @@ impl Parser {
                 self.bump();
                 if matches!(self.peek(), TokenKind::LParen) {
                     let args = self.args()?;
-                    ExprKind::Call { base: None, name, args }
+                    ExprKind::Call {
+                        base: None,
+                        name,
+                        args,
+                    }
                 } else {
                     ExprKind::Name(name)
                 }
@@ -678,7 +812,10 @@ impl Parser {
                     let ty = self.type_expr(false)?;
                     self.expect(TokenKind::RParen)?;
                     let e = self.unary_expr()?;
-                    ExprKind::Cast { ty, expr: Box::new(e) }
+                    ExprKind::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    }
                 } else {
                     self.bump();
                     let e = self.expr()?;
@@ -728,12 +865,15 @@ mod tests {
 
     #[test]
     fn parses_cast_vs_parens() {
-        let body = first_method_body(
-            "class A { void m(Object o) { A a = (A) o; int x = (1 + 2) * 3; } }",
-        );
+        let body =
+            first_method_body("class A { void m(Object o) { A a = (A) o; int x = (1 + 2) * 3; } }");
         match &body[0].kind {
             StmtKind::VarDecl { init: Some(e), .. } => {
-                assert!(matches!(e.kind, ExprKind::Cast { .. }), "expected cast, got {:?}", e.kind);
+                assert!(
+                    matches!(e.kind, ExprKind::Cast { .. }),
+                    "expected cast, got {:?}",
+                    e.kind
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -751,7 +891,10 @@ mod tests {
         match &body[0].kind {
             StmtKind::VarDecl { init: Some(e), .. } => match &e.kind {
                 ExprKind::Cast { ty, .. } => {
-                    assert_eq!(*ty, TypeExpr::Array(Box::new(TypeExpr::Named("Object".into()))));
+                    assert_eq!(
+                        *ty,
+                        TypeExpr::Array(Box::new(TypeExpr::Named("Object".into())))
+                    );
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -821,7 +964,13 @@ mod tests {
     #[test]
     fn parses_compound_assignment() {
         let body = first_method_body("class A { int f; void m() { this.f += 2; } }");
-        assert!(matches!(&body[0].kind, StmtKind::Assign { op: AssignOp::Add, .. }));
+        assert!(matches!(
+            &body[0].kind,
+            StmtKind::Assign {
+                op: AssignOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -854,7 +1003,10 @@ mod tests {
             first_method_body("class A { void m(String s) { print(\"FIRST NAME: \" + s); } }");
         match &body[0].kind {
             StmtKind::Print { value } => {
-                assert!(matches!(&value.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+                assert!(matches!(
+                    &value.kind,
+                    ExprKind::Binary { op: BinOp::Add, .. }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -23,7 +23,11 @@ pub fn instr_str(program: &Program, method: MethodId, instr: &Instr) -> String {
     let o = |x: &Operand| operand_str(body, x);
     match &instr.kind {
         InstrKind::Const { dst, value } => {
-            format!("{} = {}", v(dst), operand_str(body, &Operand::Const(*value)))
+            format!(
+                "{} = {}",
+                v(dst),
+                operand_str(body, &Operand::Const(*value))
+            )
         }
         InstrKind::StrConst { dst, value } => format!("{} = \"{}\"", v(dst), value.escape_debug()),
         InstrKind::Move { dst, src } => format!("{} = {}", v(dst), o(src)),
@@ -58,7 +62,12 @@ pub fn instr_str(program: &Program, method: MethodId, instr: &Instr) -> String {
         }
         InstrKind::StaticStore { field, value } => {
             let f = &program.fields[*field];
-            format!("{}.{} = {}", program.classes[f.class].name, f.name, o(value))
+            format!(
+                "{}.{} = {}",
+                program.classes[f.class].name,
+                f.name,
+                o(value)
+            )
         }
         InstrKind::ArrayLoad { dst, base, index } => {
             format!("{} = {}[{}]", v(dst), v(base), o(index))
@@ -71,9 +80,19 @@ pub fn instr_str(program: &Program, method: MethodId, instr: &Instr) -> String {
             format!("{} = ({}) {}", v(dst), ty.display(program), o(src))
         }
         InstrKind::InstanceOf { dst, src, class } => {
-            format!("{} = {} instanceof {}", v(dst), o(src), program.classes[*class].name)
+            format!(
+                "{} = {} instanceof {}",
+                v(dst),
+                o(src),
+                program.classes[*class].name
+            )
         }
-        InstrKind::Call { dst, kind, callee, args } => {
+        InstrKind::Call {
+            dst,
+            kind,
+            callee,
+            args,
+        } => {
             let m = &program.methods[*callee];
             let args_s: Vec<String> = args.iter().map(o).collect();
             let prefix = match dst {
@@ -85,16 +104,26 @@ pub fn instr_str(program: &Program, method: MethodId, instr: &Instr) -> String {
                 CallKind::Static => "static",
                 CallKind::Special => "special",
             };
-            format!("{prefix}{k} {}({})", m.qualified_name(program), args_s.join(", "))
+            format!(
+                "{prefix}{k} {}({})",
+                m.qualified_name(program),
+                args_s.join(", ")
+            )
         }
         InstrKind::Print { value } => format!("print({})", o(value)),
         InstrKind::Phi { dst, args } => {
-            let args_s: Vec<String> =
-                args.iter().map(|(b, a)| format!("bb{b}: {}", o(a))).collect();
+            let args_s: Vec<String> = args
+                .iter()
+                .map(|(b, a)| format!("bb{b}: {}", o(a)))
+                .collect();
             format!("{} = \u{3c6}({})", v(dst), args_s.join(", "))
         }
         InstrKind::Goto { target } => format!("goto bb{target}"),
-        InstrKind::If { cond, then_bb, else_bb } => {
+        InstrKind::If {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!("if {} then bb{} else bb{}", o(cond), then_bb, else_bb)
         }
         InstrKind::Return { value } => match value {
@@ -179,11 +208,7 @@ mod tests {
 
     #[test]
     fn stmt_str_includes_source_line() {
-        let p = compile(&[(
-            "t.mj",
-            "class Main { static void main() {\nprint(42);\n} }",
-        )])
-        .unwrap();
+        let p = compile(&[("t.mj", "class Main { static void main() {\nprint(42);\n} }")]).unwrap();
         let print_stmt = p
             .all_stmts()
             .find(|s| matches!(p.instr(*s).kind, InstrKind::Print { .. }))

@@ -22,12 +22,20 @@ pub struct Span {
 impl Span {
     /// A span pointing at the start of `file`.
     pub fn start_of(file: FileId) -> Self {
-        Self { file, line: 1, col: 1 }
+        Self {
+            file,
+            line: 1,
+            col: 1,
+        }
     }
 
     /// A placeholder span for synthesized code (file 0, line 0).
     pub fn synthetic() -> Self {
-        Self { file: FileId::new(0), line: 0, col: 0 }
+        Self {
+            file: FileId::new(0),
+            line: 0,
+            col: 0,
+        }
     }
 
     /// Whether this span was synthesized by the compiler.
@@ -73,7 +81,10 @@ mod tests {
 
     #[test]
     fn source_file_line_lookup() {
-        let f = SourceFile { name: "t.mj".into(), text: "a\nb\nc".into() };
+        let f = SourceFile {
+            name: "t.mj".into(),
+            text: "a\nb\nc".into(),
+        };
         assert_eq!(f.line(2), Some("b"));
         assert_eq!(f.line(0), None);
         assert_eq!(f.line(4), None);

@@ -6,7 +6,8 @@
 
 use crate::dom::{dominance_frontiers, dominators};
 use crate::ir::*;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
+use thinslice_util::{FxHashMap, FxHashSet};
 use thinslice_util::{Idx, IdxVec};
 
 /// Rewrites `body` into SSA form in place.
@@ -15,8 +16,11 @@ use thinslice_util::{Idx, IdxVec};
 /// start with [`InstrKind::Phi`] instructions whose arguments name one
 /// operand per predecessor.
 pub fn into_ssa(body: &mut Body) {
-    let succs: Vec<Vec<usize>> =
-        body.blocks.indices().map(|b| body.successors(b).iter().map(|s| s.index()).collect()).collect();
+    let succs: Vec<Vec<usize>> = body
+        .blocks
+        .indices()
+        .map(|b| body.successors(b).iter().map(|s| s.index()).collect())
+        .collect();
     let dom = dominators(&succs, body.entry.index());
     let df = dominance_frontiers(&succs, &dom);
 
@@ -43,7 +47,7 @@ pub fn into_ssa(body: &mut Body) {
         // Iterated DF of even a single def block handles loop re-entry
         // correctly, so no special-casing by def count is needed.
         let mut work: Vec<usize> = defs.clone();
-        let mut has_phi: HashSet<usize> = HashSet::new();
+        let mut has_phi: FxHashSet<usize> = FxHashSet::default();
         while let Some(d) = work.pop() {
             for &f in &df[d] {
                 if has_phi.insert(f) {
@@ -60,10 +64,20 @@ pub fn into_ssa(body: &mut Body) {
     for (&b, vars) in &phis {
         let block = &mut body.blocks[BlockId::new(b)];
         for &v in vars {
-            let span = block.instrs.first().map(|i| i.span).unwrap_or_else(crate::span::Span::synthetic);
+            let span = block
+                .instrs
+                .first()
+                .map(|i| i.span)
+                .unwrap_or_else(crate::span::Span::synthetic);
             block.instrs.insert(
                 0,
-                Instr { kind: InstrKind::Phi { dst: v, args: Vec::new() }, span },
+                Instr {
+                    kind: InstrKind::Phi {
+                        dst: v,
+                        args: Vec::new(),
+                    },
+                    span,
+                },
             );
         }
     }
@@ -72,10 +86,10 @@ pub fn into_ssa(body: &mut Body) {
 }
 
 /// Backward liveness: per block, the set of variables live at entry.
-fn liveness(body: &Body, succs: &[Vec<usize>]) -> Vec<HashSet<Var>> {
+fn liveness(body: &Body, succs: &[Vec<usize>]) -> Vec<FxHashSet<Var>> {
     let n = body.blocks.len();
-    let mut use_before_def: Vec<HashSet<Var>> = vec![HashSet::new(); n];
-    let mut defs: Vec<HashSet<Var>> = vec![HashSet::new(); n];
+    let mut use_before_def: Vec<FxHashSet<Var>> = vec![FxHashSet::default(); n];
+    let mut defs: Vec<FxHashSet<Var>> = vec![FxHashSet::default(); n];
     for (b, block) in body.blocks.iter_enumerated() {
         let bi = b.index();
         for instr in &block.instrs {
@@ -89,12 +103,12 @@ fn liveness(body: &Body, succs: &[Vec<usize>]) -> Vec<HashSet<Var>> {
             }
         }
     }
-    let mut live_in: Vec<HashSet<Var>> = vec![HashSet::new(); n];
+    let mut live_in: Vec<FxHashSet<Var>> = vec![FxHashSet::default(); n];
     let mut changed = true;
     while changed {
         changed = false;
         for b in (0..n).rev() {
-            let mut out: HashSet<Var> = HashSet::new();
+            let mut out: FxHashSet<Var> = FxHashSet::default();
             for &s in &succs[b] {
                 out.extend(live_in[s].iter().copied());
             }
@@ -114,14 +128,19 @@ fn liveness(body: &Body, succs: &[Vec<usize>]) -> Vec<HashSet<Var>> {
 struct Renamer<'a> {
     body: &'a mut Body,
     dom_children: Vec<Vec<usize>>,
-    stacks: HashMap<Var, Vec<Var>>,
+    stacks: FxHashMap<Var, Vec<Var>>,
     entry: usize,
 }
 
 impl<'a> Renamer<'a> {
     fn new(body: &'a mut Body, dom: &crate::dom::DomInfo) -> Self {
         let entry = body.entry.index();
-        Self { dom_children: dom.children(), body, stacks: HashMap::new(), entry }
+        Self {
+            dom_children: dom.children(),
+            body,
+            stacks: FxHashMap::default(),
+            entry,
+        }
     }
 
     fn run(mut self) {
@@ -162,7 +181,11 @@ impl<'a> Renamer<'a> {
 
     fn fresh_version(&mut self, orig: Var) -> Var {
         let info = self.body.vars[orig].clone();
-        self.body.vars.push(VarInfo { name: info.name, ty: info.ty, origin: Some(orig) })
+        self.body.vars.push(VarInfo {
+            name: info.name,
+            ty: info.ty,
+            origin: Some(orig),
+        })
     }
 
     /// Renames defs/uses in block `b`; returns the list of originals whose
@@ -191,22 +214,26 @@ impl<'a> Renamer<'a> {
     }
 
     fn rename_uses(&mut self, kind: &mut InstrKind) {
-        let map_operand = |stacks: &HashMap<Var, Vec<Var>>, o: &mut Operand| {
+        let map_operand = |stacks: &FxHashMap<Var, Vec<Var>>, o: &mut Operand| {
             if let Operand::Var(v) = o {
                 if let Some(cur) = stacks.get(v).and_then(|s| s.last()) {
                     *v = *cur;
                 }
             }
         };
-        let map_var = |stacks: &HashMap<Var, Vec<Var>>, v: &mut Var| {
+        let map_var = |stacks: &FxHashMap<Var, Vec<Var>>, v: &mut Var| {
             if let Some(cur) = stacks.get(v).and_then(|s| s.last()) {
                 *v = *cur;
             }
         };
         let st = &self.stacks;
         match kind {
-            InstrKind::Const { .. } | InstrKind::StrConst { .. } | InstrKind::New { .. }
-            | InstrKind::StaticLoad { .. } | InstrKind::Goto { .. } | InstrKind::Phi { .. } => {}
+            InstrKind::Const { .. }
+            | InstrKind::StrConst { .. }
+            | InstrKind::New { .. }
+            | InstrKind::StaticLoad { .. }
+            | InstrKind::Goto { .. }
+            | InstrKind::Phi { .. } => {}
             InstrKind::Move { src, .. }
             | InstrKind::Unary { src, .. }
             | InstrKind::Cast { src, .. }
@@ -362,16 +389,19 @@ mod tests {
         let print_use = body
             .instrs()
             .find_map(|(_, i)| match &i.kind {
-                InstrKind::Print { value: Operand::Var(v) } => Some(*v),
+                InstrKind::Print {
+                    value: Operand::Var(v),
+                } => Some(*v),
                 _ => None,
             })
             .unwrap();
-        let add_def = body
-            .instrs()
-            .find_map(|(_, i)| match &i.kind {
-                InstrKind::Move { dst, src: Operand::Var(_) } => Some(*dst),
-                _ => None,
-            });
+        let add_def = body.instrs().find_map(|(_, i)| match &i.kind {
+            InstrKind::Move {
+                dst,
+                src: Operand::Var(_),
+            } => Some(*dst),
+            _ => None,
+        });
         assert!(add_def.is_some());
         assert_eq!(body.vars[print_use].name, "x");
     }
@@ -429,9 +459,14 @@ mod tests {
         .unwrap();
         let body = body_of(&p, "Main", "main");
         validate_ssa(body).unwrap();
-        let phi_count =
-            body.instrs().filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. })).count();
-        assert_eq!(phi_count, 0, "x is dead after the if; pruned SSA places no phi");
+        let phi_count = body
+            .instrs()
+            .filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. }))
+            .count();
+        assert_eq!(
+            phi_count, 0,
+            "x is dead after the if; pruned SSA places no phi"
+        );
     }
 
     #[test]
@@ -447,10 +482,15 @@ mod tests {
         let ret_use = body
             .instrs()
             .find_map(|(_, i)| match &i.kind {
-                InstrKind::Return { value: Some(Operand::Var(v)) } => Some(*v),
+                InstrKind::Return {
+                    value: Some(Operand::Var(v)),
+                } => Some(*v),
                 _ => None,
             })
             .unwrap();
-        assert_eq!(ret_use, body.params[1], "return uses the parameter version directly");
+        assert_eq!(
+            ret_use, body.params[1],
+            "return uses the parameter version directly"
+        );
     }
 }

@@ -239,7 +239,10 @@ mod tests {
     #[test]
     fn keywords_resolve() {
         assert_eq!(TokenKind::keyword("class"), Some(TokenKind::Class));
-        assert_eq!(TokenKind::keyword("instanceof"), Some(TokenKind::InstanceOf));
+        assert_eq!(
+            TokenKind::keyword("instanceof"),
+            Some(TokenKind::InstanceOf)
+        );
         assert_eq!(TokenKind::keyword("Vector"), None);
     }
 

@@ -2,8 +2,8 @@
 //! Cooper–Harvey–Kennedy result is validated against a brute-force
 //! definition of dominance on random graphs.
 
-use proptest::prelude::*;
 use thinslice_ir::dom::{dominance_frontiers, dominators};
+use thinslice_util::SmallRng;
 
 /// Brute force: `a` dominates `b` iff removing `a` makes `b` unreachable
 /// from the root (plus reflexivity).
@@ -39,28 +39,30 @@ fn reachable(succs: &[Vec<usize>], root: usize) -> Vec<bool> {
     visited
 }
 
-fn arb_graph() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    (2usize..10).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0..n, 0..3),
-            n..=n,
-        )
-    })
+/// A random digraph with 2..10 nodes, each with up to 2 successors.
+fn arb_graph(rng: &mut SmallRng) -> Vec<Vec<usize>> {
+    let n = rng.range_usize(2, 10);
+    (0..n)
+        .map(|_| {
+            (0..rng.range_usize(0, 3))
+                .map(|_| rng.range_usize(0, n))
+                .collect()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The computed immediate dominator really dominates, and no strictly
-    /// closer dominator exists between idom(b) and b.
-    #[test]
-    fn idom_agrees_with_brute_force(succs in arb_graph()) {
+/// The computed immediate dominator really dominates, and no strictly
+/// closer dominator exists between idom(b) and b.
+#[test]
+fn idom_agrees_with_brute_force() {
+    for seed in 0..64u64 {
+        let succs = arb_graph(&mut SmallRng::new(seed));
         let root = 0;
         let dom = dominators(&succs, root);
         let reach = reachable(&succs, root);
         for b in 0..succs.len() {
             if !reach[b] {
-                prop_assert_eq!(dom.idom[b], None, "unreachable nodes get no idom");
+                assert_eq!(dom.idom[b], None, "unreachable nodes get no idom");
                 continue;
             }
             // dominates() must agree with the brute-force oracle for every
@@ -70,19 +72,22 @@ proptest! {
                 if !reach[a] {
                     continue;
                 }
-                prop_assert_eq!(
+                assert_eq!(
                     dom.dominates(a, b),
                     dominates_brute(&succs, root, a, b),
-                    "dominates({}, {}) mismatch", a, b
+                    "dominates({a}, {b}) mismatch (seed {seed})"
                 );
             }
         }
     }
+}
 
-    /// Dominance frontier definition: x ∈ DF(a) iff a dominates some
-    /// predecessor of x but does not strictly dominate x.
-    #[test]
-    fn frontier_matches_definition(succs in arb_graph()) {
+/// Dominance frontier definition: x ∈ DF(a) iff a dominates some
+/// predecessor of x but does not strictly dominate x.
+#[test]
+fn frontier_matches_definition() {
+    for seed in 0..64u64 {
+        let succs = arb_graph(&mut SmallRng::new(seed ^ 0xd0f));
         let root = 0;
         let dom = dominators(&succs, root);
         let reach = reachable(&succs, root);
@@ -108,15 +113,18 @@ proptest! {
                 let in_df = df[a].contains(&x);
                 let expected = preds[x].iter().any(|&p| dom.dominates(a, p))
                     && (a == x || !dom.dominates(a, x));
-                prop_assert_eq!(in_df, expected, "DF({})∋{} mismatch", a, x);
+                assert_eq!(in_df, expected, "DF({a})∋{x} mismatch (seed {seed})");
             }
         }
     }
+}
 
-    /// The dominator tree is a tree: following idom from any reachable node
-    /// terminates at the root.
-    #[test]
-    fn idom_chains_reach_the_root(succs in arb_graph()) {
+/// The dominator tree is a tree: following idom from any reachable node
+/// terminates at the root.
+#[test]
+fn idom_chains_reach_the_root() {
+    for seed in 0..64u64 {
+        let succs = arb_graph(&mut SmallRng::new(seed ^ 0x1d03));
         let root = 0;
         let dom = dominators(&succs, root);
         let reach = reachable(&succs, root);
@@ -129,7 +137,7 @@ proptest! {
             while n != root {
                 n = dom.idom[n].expect("reachable node has idom");
                 steps += 1;
-                prop_assert!(steps <= succs.len(), "idom chain cycles");
+                assert!(steps <= succs.len(), "idom chain cycles (seed {seed})");
             }
         }
     }

@@ -2,27 +2,54 @@
 //! arbitrary input — only return errors — and must round-trip whatever the
 //! program generator emits.
 
-use proptest::prelude::*;
 use thinslice_ir::{compile, lexer::lex, parser::parse, FileId};
+use thinslice_util::SmallRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// A random string of length `0..max_len` over `charset`.
+fn random_string(rng: &mut SmallRng, charset: &[char], max_len: usize) -> String {
+    (0..rng.range_usize(0, max_len))
+        .map(|_| *rng.choose(charset))
+        .collect()
+}
 
-    /// Arbitrary bytes never panic the lexer.
-    #[test]
-    fn lexer_never_panics(input in ".*") {
+/// Arbitrary text (including non-ASCII and control characters) never panics
+/// the lexer.
+#[test]
+fn lexer_never_panics() {
+    let charset: Vec<char> = (0u8..=127)
+        .map(char::from)
+        .chain(['é', 'λ', '→', '\u{0}', '𝄞'])
+        .collect();
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::new(seed);
+        let input = random_string(&mut rng, &charset, 80);
         let _ = lex(FileId::new(0), &input);
     }
+}
 
-    /// Arbitrary token-ish soup never panics the parser.
-    #[test]
-    fn parser_never_panics(input in "[a-zA-Z0-9{}()\\[\\];,.=+\\-*/%!<>&|\"' \n\t]*") {
+/// Arbitrary token-ish soup never panics the parser.
+#[test]
+fn parser_never_panics() {
+    let charset: Vec<char> =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789{}()[];,.=+-*/%!<>&|\"' \n\t"
+            .chars()
+            .collect();
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::new(seed ^ 0xbeef);
+        let input = random_string(&mut rng, &charset, 80);
         let _ = parse(FileId::new(0), &input);
     }
+}
 
-    /// Arbitrary class-shaped text never panics the whole pipeline.
-    #[test]
-    fn compiler_never_panics(body in "[a-z0-9 ;=+(){}.\\[\\]]*") {
+/// Arbitrary class-shaped text never panics the whole pipeline.
+#[test]
+fn compiler_never_panics() {
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789 ;=+(){}.[]"
+        .chars()
+        .collect();
+    for seed in 0..256u64 {
+        let mut rng = SmallRng::new(seed ^ 0xf00d);
+        let body = random_string(&mut rng, &charset, 60);
         let src = format!("class Main {{ static void main() {{ {body} }} }}");
         let _ = compile(&[("t.mj", &src)]);
     }
@@ -33,14 +60,14 @@ proptest! {
 #[test]
 fn malformed_programs_error_cleanly() {
     let cases = [
-        "",                                     // no classes at all
-        "class",                                // truncated
-        "class A",                              // truncated
-        "class A {",                            // unclosed
-        "class A { int }",                      // field without name
-        "class A { void m( }",                  // bad params
-        "class A { void m() { if } }",          // bad statement
-        "class A { void m() { x = ; } }",       // missing rhs
+        "",                               // no classes at all
+        "class",                          // truncated
+        "class A",                        // truncated
+        "class A {",                      // unclosed
+        "class A { int }",                // field without name
+        "class A { void m( }",            // bad params
+        "class A { void m() { if } }",    // bad statement
+        "class A { void m() { x = ; } }", // missing rhs
         "class A { void m() { return return; } }",
         "class A { void m() { new ; } }",
         "class A { void m() { (int) true; } }", // cast of bool to int, also not a stmt

@@ -17,9 +17,7 @@ fn main_body(src: &str) -> (Program, Body) {
 
 #[test]
 fn assigning_incompatible_class_is_an_error() {
-    let e = err_of(
-        "class A {} class B {} class Main { static void main() { A a = new B(); } }",
-    );
+    let e = err_of("class A {} class B {} class Main { static void main() { A a = new B(); } }");
     assert!(e.contains("not assignable"), "{e}");
 }
 
@@ -51,17 +49,13 @@ fn unknown_variable_is_an_error() {
 
 #[test]
 fn unknown_method_is_an_error() {
-    let e = err_of(
-        "class A {} class Main { static void main() { A a = new A(); a.zap(); } }",
-    );
+    let e = err_of("class A {} class Main { static void main() { A a = new A(); a.zap(); } }");
     assert!(e.contains("unknown method"), "{e}");
 }
 
 #[test]
 fn unknown_field_is_an_error() {
-    let e = err_of(
-        "class A {} class Main { static void main() { A a = new A(); print(a.zap); } }",
-    );
+    let e = err_of("class A {} class Main { static void main() { A a = new A(); print(a.zap); } }");
     assert!(e.contains("unknown field"), "{e}");
 }
 
@@ -100,9 +94,7 @@ fn impossible_cast_is_an_error() {
 
 #[test]
 fn instance_field_from_static_method_is_an_error() {
-    let e = err_of(
-        "class Main { int f; static void main() { f = 1; } }",
-    );
+    let e = err_of("class Main { int f; static void main() { f = 1; } }");
     assert!(e.contains("instance field"), "{e}");
 }
 
@@ -123,9 +115,7 @@ fn shadowing_in_nested_scope_is_allowed() {
 
 #[test]
 fn assigning_to_array_length_is_an_error() {
-    let e = err_of(
-        "class Main { static void main() { int[] a = new int[3]; a.length = 5; } }",
-    );
+    let e = err_of("class Main { static void main() { int[] a = new int[3]; a.length = 5; } }");
     assert!(e.contains("cannot assign to array length"), "{e}");
 }
 
@@ -172,9 +162,7 @@ fn short_circuit_becomes_control_flow() {
 
 #[test]
 fn compound_assignment_to_field_loads_then_stores() {
-    let (_, _) = main_body(
-        "class Main { static void main() { } }",
-    );
+    let (_, _) = main_body("class Main { static void main() { } }");
     let p = compile(&[(
         "t.mj",
         "class C { int f; void bump() { this.f += 2; } }
@@ -184,11 +172,21 @@ fn compound_assignment_to_field_loads_then_stores() {
     let c = p.class_named("C").unwrap();
     let bump = p.resolve_method(c, "bump").unwrap();
     let body = p.methods[bump].body.as_ref().unwrap();
-    let has_load = body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Load { .. }));
+    let has_load = body
+        .instrs()
+        .any(|(_, i)| matches!(i.kind, InstrKind::Load { .. }));
     let has_add = body.instrs().any(|(_, i)| {
-        matches!(i.kind, InstrKind::Binary { op: IrBinOp::Add, .. })
+        matches!(
+            i.kind,
+            InstrKind::Binary {
+                op: IrBinOp::Add,
+                ..
+            }
+        )
     });
-    let has_store = body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Store { .. }));
+    let has_store = body
+        .instrs()
+        .any(|(_, i)| matches!(i.kind, InstrKind::Store { .. }));
     assert!(has_load && has_add && has_store);
 }
 
@@ -204,7 +202,8 @@ fn implicit_this_field_access_lowers_to_load() {
     let get = p.resolve_method(c, "get").unwrap();
     let body = p.methods[get].body.as_ref().unwrap();
     assert!(
-        body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::Load { .. })),
+        body.instrs()
+            .any(|(_, i)| matches!(i.kind, InstrKind::Load { .. })),
         "bare `f` resolves to `this.f`"
     );
 }
@@ -217,8 +216,12 @@ fn static_field_access_through_class_name() {
             print(Main.counter);
         } }",
     );
-    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StaticStore { .. })));
-    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StaticLoad { .. })));
+    assert!(body
+        .instrs()
+        .any(|(_, i)| matches!(i.kind, InstrKind::StaticStore { .. })));
+    assert!(body
+        .instrs()
+        .any(|(_, i)| matches!(i.kind, InstrKind::StaticLoad { .. })));
 }
 
 #[test]
@@ -233,16 +236,22 @@ fn unqualified_static_call_resolves() {
     .unwrap();
     let body = p.methods[p.main_method].body.as_ref().unwrap();
     assert!(body.instrs().any(|(_, i)| {
-        matches!(&i.kind, InstrKind::Call { kind: thinslice_ir::CallKind::Static, .. })
+        matches!(
+            &i.kind,
+            InstrKind::Call {
+                kind: thinslice_ir::CallKind::Static,
+                ..
+            }
+        )
     }));
 }
 
 #[test]
 fn string_concat_lowers_to_strconcat() {
-    let (_, body) = main_body(
-        "class Main { static void main() { print(\"n = \" + 42); } }",
-    );
-    assert!(body.instrs().any(|(_, i)| matches!(i.kind, InstrKind::StrConcat { .. })));
+    let (_, body) = main_body("class Main { static void main() { print(\"n = \" + 42); } }");
+    assert!(body
+        .instrs()
+        .any(|(_, i)| matches!(i.kind, InstrKind::StrConcat { .. })));
 }
 
 #[test]
@@ -258,9 +267,20 @@ fn uninitialized_locals_get_defaults() {
     // The declarations lower to moves of default constants.
     let const_moves = body
         .instrs()
-        .filter(|(_, i)| matches!(&i.kind, InstrKind::Move { src: Operand::Const(_), .. }))
+        .filter(|(_, i)| {
+            matches!(
+                &i.kind,
+                InstrKind::Move {
+                    src: Operand::Const(_),
+                    ..
+                }
+            )
+        })
         .count();
-    assert!(const_moves >= 3, "each declaration initialises its variable");
+    assert!(
+        const_moves >= 3,
+        "each declaration initialises its variable"
+    );
 }
 
 #[test]
@@ -280,7 +300,10 @@ fn unreachable_code_after_return_is_pruned() {
         }
         stack.extend(body.successors(b));
     }
-    assert!(reachable.iter().all(|&r| r), "no unreachable blocks survive lowering");
+    assert!(
+        reachable.iter().all(|&r| r),
+        "no unreachable blocks survive lowering"
+    );
 }
 
 #[test]

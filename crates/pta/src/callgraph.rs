@@ -2,9 +2,8 @@
 //! analysis.
 
 use crate::heap::ObjId;
-use std::collections::HashMap;
 use thinslice_ir::{Loc, MethodId, StmtRef};
-use thinslice_util::{new_index, IdxVec};
+use thinslice_util::{new_index, FxHashMap, IdxVec};
 
 new_index!(
     /// Identifies a call-graph node: one analysed *instance* of a method
@@ -30,11 +29,11 @@ pub enum Ctx {
 #[derive(Debug, Clone, Default)]
 pub struct CallGraph {
     nodes: IdxVec<CgNode, (MethodId, Ctx)>,
-    node_of: HashMap<(MethodId, Ctx), CgNode>,
+    node_of: FxHashMap<(MethodId, Ctx), CgNode>,
     /// Call-site → callee instances.
-    edges: HashMap<(CgNode, Loc), Vec<CgNode>>,
+    edges: FxHashMap<(CgNode, Loc), Vec<CgNode>>,
     /// Callee instance → call sites that may invoke it.
-    callers: HashMap<CgNode, Vec<(CgNode, Loc)>>,
+    callers: FxHashMap<CgNode, Vec<(CgNode, Loc)>>,
 }
 
 impl CallGraph {
@@ -90,7 +89,10 @@ impl CallGraph {
 
     /// Callee instances of a call site.
     pub fn targets(&self, caller: CgNode, site: Loc) -> &[CgNode] {
-        self.edges.get(&(caller, site)).map(Vec::as_slice).unwrap_or(&[])
+        self.edges
+            .get(&(caller, site))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Call sites that may invoke `callee`.
@@ -113,11 +115,16 @@ impl CallGraph {
 
     /// Collapses edges to the method level: call statement → possible target
     /// methods (context-insensitive view used by the dependence graph).
-    pub fn method_level_targets(&self) -> HashMap<StmtRef, Vec<MethodId>> {
-        let mut out: HashMap<StmtRef, Vec<MethodId>> = HashMap::new();
+    pub fn method_level_targets(&self) -> FxHashMap<StmtRef, Vec<MethodId>> {
+        let mut out: FxHashMap<StmtRef, Vec<MethodId>> = FxHashMap::default();
         for ((caller, loc), callees) in &self.edges {
             let (m, _) = self.nodes[*caller];
-            let entry = out.entry(StmtRef { method: m, loc: *loc }).or_default();
+            let entry = out
+                .entry(StmtRef {
+                    method: m,
+                    loc: *loc,
+                })
+                .or_default();
             for c in callees {
                 let (cm, _) = self.nodes[*c];
                 if !entry.contains(&cm) {
@@ -138,7 +145,10 @@ mod tests {
     use thinslice_ir::BlockId;
 
     fn loc(i: u32) -> Loc {
-        Loc { block: BlockId::new(0), index: i }
+        Loc {
+            block: BlockId::new(0),
+            index: i,
+        }
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! points-to information. It is used as an ablation baseline to quantify
 //! how much the Andersen call graph prunes.
 
-use std::collections::{HashMap, HashSet};
 use thinslice_ir::{CallKind, InstrKind, MethodId, Program, StmtRef};
 use thinslice_util::Worklist;
+use thinslice_util::{FxHashMap, FxHashSet};
 
 /// The CHA result: reachable methods and per-call-site targets.
 #[derive(Debug)]
@@ -15,23 +15,27 @@ pub struct ChaCallGraph {
     /// Methods reachable from `main`.
     pub reachable: Vec<MethodId>,
     /// Call site → possible targets.
-    pub targets: HashMap<StmtRef, Vec<MethodId>>,
+    pub targets: FxHashMap<StmtRef, Vec<MethodId>>,
 }
 
 impl ChaCallGraph {
     /// Builds the CHA call graph from `main`.
     pub fn build(program: &Program) -> ChaCallGraph {
-        let mut reachable: HashSet<MethodId> = HashSet::new();
-        let mut targets: HashMap<StmtRef, Vec<MethodId>> = HashMap::new();
+        let mut reachable: FxHashSet<MethodId> = FxHashSet::default();
+        let mut targets: FxHashMap<StmtRef, Vec<MethodId>> = FxHashMap::default();
         let mut wl: Worklist<MethodId> = Worklist::new();
         wl.push(program.main_method);
         while let Some(m) = wl.pop() {
             if !reachable.insert(m) {
                 continue;
             }
-            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            let Some(body) = program.methods[m].body.as_ref() else {
+                continue;
+            };
             for (loc, instr) in body.instrs() {
-                let InstrKind::Call { kind, callee, .. } = &instr.kind else { continue };
+                let InstrKind::Call { kind, callee, .. } = &instr.kind else {
+                    continue;
+                };
                 let sr = StmtRef { method: m, loc };
                 let callees: Vec<MethodId> = match kind {
                     CallKind::Static | CallKind::Special => vec![*callee],
@@ -96,7 +100,10 @@ mod tests {
                 s.method == program.main_method
                     && matches!(
                         program.instr(*s).kind,
-                        InstrKind::Call { kind: CallKind::Virtual, .. }
+                        InstrKind::Call {
+                            kind: CallKind::Virtual,
+                            ..
+                        }
                     )
             })
             .unwrap();
@@ -139,7 +146,10 @@ mod tests {
                 s.method == program.main_method
                     && matches!(
                         program.instr(*s).kind,
-                        InstrKind::Call { kind: CallKind::Static, .. }
+                        InstrKind::Call {
+                            kind: CallKind::Static,
+                            ..
+                        }
                     )
             })
             .unwrap();

@@ -88,7 +88,10 @@ mod tests {
     fn dummy_site() -> AllocSite {
         AllocSite::Stmt(StmtRef {
             method: MethodId::new(0),
-            loc: Loc { block: BlockId::new(0), index: 0 },
+            loc: Loc {
+                block: BlockId::new(0),
+                index: 0,
+            },
         })
     }
 
@@ -112,10 +115,18 @@ mod tests {
         .unwrap();
         let a = p.class_named("A").unwrap();
         let b = p.class_named("B").unwrap();
-        let o = AbstractObject { site: dummy_site(), kind: ObjKind::Class(b), ctx: None };
+        let o = AbstractObject {
+            site: dummy_site(),
+            kind: ObjKind::Class(b),
+            ctx: None,
+        };
         assert!(o.compatible_with(&p, &Type::Class(a)));
         assert!(o.compatible_with(&p, &Type::Class(b)));
-        let o2 = AbstractObject { site: dummy_site(), kind: ObjKind::Class(a), ctx: None };
+        let o2 = AbstractObject {
+            site: dummy_site(),
+            kind: ObjKind::Class(a),
+            ctx: None,
+        };
         assert!(!o2.compatible_with(&p, &Type::Class(b)));
     }
 

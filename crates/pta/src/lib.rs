@@ -48,9 +48,8 @@ pub use modref::{ModRef, PartId, Partition};
 pub use stats::ProgramStats;
 
 use solver::{PtrKey, SolverResult};
-use std::collections::HashMap;
 use thinslice_ir::{FieldId, MethodId, Program, StmtRef, Var};
-use thinslice_util::{BitSet, IdxVec};
+use thinslice_util::{BitSet, FxHashMap, IdxVec};
 
 /// Configuration of the points-to analysis.
 #[derive(Debug, Clone)]
@@ -97,7 +96,10 @@ impl PtaConfig {
     /// The configuration used for the paper's `NoObjSens` comparison runs:
     /// identical, but without object-sensitive container cloning.
     pub fn without_object_sensitivity() -> Self {
-        Self { object_sensitive_containers: false, ..Self::default() }
+        Self {
+            object_sensitive_containers: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -113,13 +115,13 @@ pub struct Pta {
     pub callgraph: CallGraph,
     /// Number of copy edges in the constraint graph (size statistic).
     pub constraint_edges: usize,
-    var_pts: HashMap<(MethodId, Var), BitSet<ObjId>>,
-    inst_var_pts: HashMap<(CgNode, Var), BitSet<ObjId>>,
-    field_pts: HashMap<(ObjId, FieldId), BitSet<ObjId>>,
-    array_pts: HashMap<ObjId, BitSet<ObjId>>,
-    static_pts: HashMap<FieldId, BitSet<ObjId>>,
-    call_targets: HashMap<StmtRef, Vec<MethodId>>,
-    instances: HashMap<MethodId, Vec<CgNode>>,
+    var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>>,
+    inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>>,
+    field_pts: FxHashMap<(ObjId, FieldId), BitSet<ObjId>>,
+    array_pts: FxHashMap<ObjId, BitSet<ObjId>>,
+    static_pts: FxHashMap<FieldId, BitSet<ObjId>>,
+    call_targets: FxHashMap<StmtRef, Vec<MethodId>>,
+    instances: FxHashMap<MethodId, Vec<CgNode>>,
     empty: BitSet<ObjId>,
 }
 
@@ -131,12 +133,12 @@ impl Pta {
     }
 
     fn from_solver(config: PtaConfig, r: SolverResult) -> Pta {
-        let mut var_pts: HashMap<(MethodId, Var), BitSet<ObjId>> = HashMap::new();
-        let mut inst_var_pts: HashMap<(CgNode, Var), BitSet<ObjId>> = HashMap::new();
-        let mut field_pts: HashMap<(ObjId, FieldId), BitSet<ObjId>> = HashMap::new();
-        let mut array_pts: HashMap<ObjId, BitSet<ObjId>> = HashMap::new();
-        let mut static_pts: HashMap<FieldId, BitSet<ObjId>> = HashMap::new();
-        let mut instances: HashMap<MethodId, Vec<CgNode>> = HashMap::new();
+        let mut var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>> = FxHashMap::default();
+        let mut inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>> = FxHashMap::default();
+        let mut field_pts: FxHashMap<(ObjId, FieldId), BitSet<ObjId>> = FxHashMap::default();
+        let mut array_pts: FxHashMap<ObjId, BitSet<ObjId>> = FxHashMap::default();
+        let mut static_pts: FxHashMap<FieldId, BitSet<ObjId>> = FxHashMap::default();
+        let mut instances: FxHashMap<MethodId, Vec<CgNode>> = FxHashMap::default();
         for (n, m, _) in r.callgraph.iter_nodes() {
             instances.entry(m).or_default().push(n);
         }
@@ -193,7 +195,10 @@ impl Pta {
 
     /// All analysed instances (clones) of a method.
     pub fn instances_of(&self, method: MethodId) -> &[CgNode] {
-        self.instances.get(&method).map(Vec::as_slice).unwrap_or(&[])
+        self.instances
+            .get(&method)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Points-to set of an object's field.
@@ -213,7 +218,8 @@ impl Pta {
 
     /// Whether two variables may point to a common object.
     pub fn may_alias(&self, a: (MethodId, Var), b: (MethodId, Var)) -> bool {
-        self.points_to(a.0, a.1).intersects(self.points_to(b.0, b.1))
+        self.points_to(a.0, a.1)
+            .intersects(self.points_to(b.0, b.1))
     }
 
     /// The objects two variables may both point to — the filter used when
@@ -226,7 +232,10 @@ impl Pta {
 
     /// Possible target methods of a call statement (context-collapsed).
     pub fn targets_of(&self, call: StmtRef) -> &[MethodId] {
-        self.call_targets.get(&call).map(Vec::as_slice).unwrap_or(&[])
+        self.call_targets
+            .get(&call)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All methods reachable from `main` (including natives).
@@ -311,7 +320,12 @@ mod tests {
         // (B) good is verified: good only points to B objects.
         let mut checked = 0;
         for (_, instr) in body.instrs() {
-            if let InstrKind::Cast { src: thinslice_ir::Operand::Var(s), ty, .. } = &instr.kind {
+            if let InstrKind::Cast {
+                src: thinslice_ir::Operand::Var(s),
+                ty,
+                ..
+            } = &instr.kind
+            {
                 if *ty == Type::Class(b_class) {
                     assert!(pta.cast_is_verified(&program, m, *s, ty));
                     checked += 1;
@@ -345,7 +359,10 @@ mod tests {
                 s.method == program.main_method
                     && matches!(
                         &program.instr(*s).kind,
-                        InstrKind::Call { kind: thinslice_ir::CallKind::Virtual, .. }
+                        InstrKind::Call {
+                            kind: thinslice_ir::CallKind::Virtual,
+                            ..
+                        }
                     )
             })
             .unwrap();

@@ -10,8 +10,8 @@
 
 use crate::heap::ObjId;
 use crate::Pta;
-use std::collections::HashMap;
 use thinslice_ir::{FieldId, InstrKind, MethodId, Program, StmtRef};
+use thinslice_util::FxHashMap;
 use thinslice_util::{new_index, BitSet, IdxVec, Worklist};
 
 new_index!(
@@ -35,11 +35,11 @@ pub enum Partition {
 pub struct ModRef {
     /// All heap partitions touched anywhere in the program.
     pub partitions: IdxVec<PartId, Partition>,
-    part_of: HashMap<Partition, PartId>,
+    part_of: FxHashMap<Partition, PartId>,
     /// Transitive written partitions per method.
-    mods: HashMap<MethodId, BitSet<PartId>>,
+    mods: FxHashMap<MethodId, BitSet<PartId>>,
     /// Transitive read partitions per method.
-    refs: HashMap<MethodId, BitSet<PartId>>,
+    refs: FxHashMap<MethodId, BitSet<PartId>>,
     empty: BitSet<PartId>,
 }
 
@@ -48,16 +48,18 @@ impl ModRef {
     pub fn compute(program: &Program, pta: &Pta) -> ModRef {
         let mut mr = ModRef {
             partitions: IdxVec::new(),
-            part_of: HashMap::new(),
-            mods: HashMap::new(),
-            refs: HashMap::new(),
+            part_of: FxHashMap::default(),
+            mods: FxHashMap::default(),
+            refs: FxHashMap::default(),
             empty: BitSet::new(),
         };
         let reachable = pta.reachable_methods();
 
         // Direct mod/ref per method.
         for &m in &reachable {
-            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            let Some(body) = program.methods[m].body.as_ref() else {
+                continue;
+            };
             let mut mods = BitSet::new();
             let mut refs = BitSet::new();
             for (loc, instr) in body.instrs() {
@@ -98,9 +100,11 @@ impl ModRef {
 
         // Transitive closure callee → caller over the method-level call
         // graph.
-        let mut callers_of: HashMap<MethodId, Vec<MethodId>> = HashMap::new();
+        let mut callers_of: FxHashMap<MethodId, Vec<MethodId>> = FxHashMap::default();
         for &m in &reachable {
-            let Some(body) = program.methods[m].body.as_ref() else { continue };
+            let Some(body) = program.methods[m].body.as_ref() else {
+                continue;
+            };
             for (loc, instr) in body.instrs() {
                 if matches!(instr.kind, InstrKind::Call { .. }) {
                     let sr = StmtRef { method: m, loc };
@@ -111,7 +115,7 @@ impl ModRef {
             }
         }
         let mut wl: Worklist<usize> = Worklist::new();
-        let index_of: HashMap<MethodId, usize> =
+        let index_of: FxHashMap<MethodId, usize> =
             reachable.iter().enumerate().map(|(i, &m)| (m, i)).collect();
         for i in 0..reachable.len() {
             wl.push(i);
@@ -122,7 +126,9 @@ impl ModRef {
                 mr.mods.get(&callee).cloned().unwrap_or_default(),
                 mr.refs.get(&callee).cloned().unwrap_or_default(),
             );
-            let Some(callers) = callers_of.get(&callee) else { continue };
+            let Some(callers) = callers_of.get(&callee) else {
+                continue;
+            };
             for &caller in callers.clone().iter() {
                 let mut changed = false;
                 changed |= mr.mods.entry(caller).or_default().union_with(&callee_mods);

@@ -11,11 +11,10 @@
 use crate::callgraph::{CallGraph, CgNode, Ctx};
 use crate::heap::{AbstractObject, AllocSite, ObjId, ObjKind};
 use crate::PtaConfig;
-use std::collections::{HashMap, HashSet};
 use thinslice_ir::{
     CallKind, ClassId, FieldId, InstrKind, Loc, MethodId, Operand, Program, StmtRef, Type, Var,
 };
-use thinslice_util::{BitSet, IdxVec, Worklist, new_index};
+use thinslice_util::{new_index, BitSet, FxHashMap, FxHashSet, IdxVec, Worklist};
 
 new_index!(
     /// A node in the points-to constraint graph.
@@ -63,7 +62,7 @@ pub struct SolverResult {
     /// Final points-to sets.
     pub pts: IdxVec<PtrNode, BitSet<ObjId>>,
     /// Node lookup.
-    pub node_of: HashMap<PtrKey, PtrNode>,
+    pub node_of: FxHashMap<PtrKey, PtrNode>,
     /// Total number of copy edges (a size statistic).
     pub edge_count: usize,
 }
@@ -76,14 +75,17 @@ pub fn solve(program: &Program, config: &PtaConfig) -> SolverResult {
 struct Solver<'p> {
     program: &'p Program,
     config: &'p PtaConfig,
-    container_classes: HashSet<ClassId>,
+    container_classes: FxHashSet<ClassId>,
     cg: CallGraph,
     objects: IdxVec<ObjId, AbstractObject>,
-    obj_of: HashMap<(AllocSite, Option<ObjId>), ObjId>,
+    obj_of: FxHashMap<(AllocSite, Option<ObjId>), ObjId>,
     obj_depth: IdxVec<ObjId, u32>,
     keys: IdxVec<PtrNode, PtrKey>,
-    node_of: HashMap<PtrKey, PtrNode>,
+    node_of: FxHashMap<PtrKey, PtrNode>,
     pts: IdxVec<PtrNode, BitSet<ObjId>>,
+    /// Objects added to `pts[n]` since `n` was last processed (difference
+    /// propagation): the worklist step pushes only these along edges.
+    delta: IdxVec<PtrNode, BitSet<ObjId>>,
     /// Copy edges `n → (dst, optional cast filter)`.
     succ: IdxVec<PtrNode, Vec<(PtrNode, Option<Type>)>>,
     pending: IdxVec<PtrNode, Vec<Constraint>>,
@@ -104,11 +106,12 @@ impl<'p> Solver<'p> {
             container_classes,
             cg: CallGraph::new(),
             objects: IdxVec::new(),
-            obj_of: HashMap::new(),
+            obj_of: FxHashMap::default(),
             obj_depth: IdxVec::new(),
             keys: IdxVec::new(),
-            node_of: HashMap::new(),
+            node_of: FxHashMap::default(),
             pts: IdxVec::new(),
+            delta: IdxVec::new(),
             succ: IdxVec::new(),
             pending: IdxVec::new(),
             worklist: Worklist::new(),
@@ -141,6 +144,7 @@ impl<'p> Solver<'p> {
         let n = self.keys.push(key.clone());
         self.node_of.insert(key, n);
         self.pts.push(BitSet::new());
+        self.delta.push(BitSet::new());
         self.succ.push(Vec::new());
         self.pending.push(Vec::new());
         n
@@ -175,7 +179,36 @@ impl<'p> Solver<'p> {
 
     fn insert_obj(&mut self, n: PtrNode, o: ObjId) {
         if self.pts[n].insert(o) {
+            self.delta[n].insert(o);
             self.worklist.push(n);
+        }
+    }
+
+    /// Pushes `set` into `pts[dst]` through an optional cast filter,
+    /// recording genuinely new objects in `delta[dst]` and scheduling `dst`
+    /// when it grew.
+    fn propagate(&mut self, set: &BitSet<ObjId>, dst: PtrNode, filter: &Option<Type>) {
+        let changed = match filter {
+            None => {
+                // `pts` and `delta` are disjoint fields, so both halves can
+                // be borrowed mutably at once.
+                let (pts, delta) = (&mut self.pts[dst], &mut self.delta[dst]);
+                pts.union_with_delta(set, delta)
+            }
+            Some(ty) => {
+                let mut changed = false;
+                for o in set.iter() {
+                    if self.objects[o].compatible_with(self.program, ty) && self.pts[dst].insert(o)
+                    {
+                        self.delta[dst].insert(o);
+                        changed = true;
+                    }
+                }
+                changed
+            }
+        };
+        if changed {
+            self.worklist.push(dst);
         }
     }
 
@@ -183,13 +216,19 @@ impl<'p> Solver<'p> {
         if src == dst && filter.is_none() {
             return;
         }
-        if self.succ[src].iter().any(|(d, f)| *d == dst && *f == filter) {
+        if self.succ[src]
+            .iter()
+            .any(|(d, f)| *d == dst && *f == filter)
+        {
             return;
         }
-        self.succ[src].push((dst, filter));
+        self.succ[src].push((dst, filter.clone()));
         self.edge_count += 1;
+        // A new edge must carry the *entire* current set across once; the
+        // worklist thereafter only moves deltas.
         if !self.pts[src].is_empty() {
-            self.worklist.push(src);
+            let set = self.pts[src].clone();
+            self.propagate(&set, dst, &filter);
         }
     }
 
@@ -197,71 +236,70 @@ impl<'p> Solver<'p> {
         if self.pending[n].contains(&c) {
             return;
         }
-        self.pending[n].push(c);
+        self.pending[n].push(c.clone());
+        // A new constraint must see the *entire* current set once; the
+        // worklist thereafter applies it only to deltas.
         if !self.pts[n].is_empty() {
-            self.worklist.push(n);
+            let set = self.pts[n].clone();
+            self.apply_constraint(&set, &c);
         }
     }
 
     // ---- the fixpoint step ----
 
+    /// Difference propagation: only the objects added since `n` was last
+    /// processed travel along edges and into constraints. Full sets are
+    /// handled exactly once, at edge/constraint insertion.
     fn process_node(&mut self, n: PtrNode) {
-        let set = self.pts[n].clone();
-        // Propagate along copy edges.
-        let succs = self.succ[n].clone();
-        for (dst, filter) in succs {
-            let changed = match &filter {
-                None => self.pts[dst].union_with(&set),
-                Some(ty) => {
-                    let mut changed = false;
-                    for o in set.iter() {
-                        if self.objects[o].compatible_with(self.program, ty) {
-                            changed |= self.pts[dst].insert(o);
-                        }
-                    }
-                    changed
-                }
-            };
-            if changed {
-                self.worklist.push(dst);
-            }
+        let delta = std::mem::take(&mut self.delta[n]);
+        if delta.is_empty() {
+            return;
         }
-        // Process complex constraints.
+        let succs = self.succ[n].clone();
+        for (dst, filter) in &succs {
+            self.propagate(&delta, *dst, filter);
+        }
         let pending = self.pending[n].clone();
-        for c in pending {
-            match c {
-                Constraint::Load { field, dst } => {
-                    for o in set.iter() {
-                        let of = self.node(PtrKey::ObjField(o, field));
-                        self.add_edge(of, dst, None);
+        for c in &pending {
+            self.apply_constraint(&delta, c);
+        }
+    }
+
+    /// Applies one complex constraint to the given (sub)set of the
+    /// constrained node's points-to set.
+    fn apply_constraint(&mut self, set: &BitSet<ObjId>, c: &Constraint) {
+        match *c {
+            Constraint::Load { field, dst } => {
+                for o in set.iter() {
+                    let of = self.node(PtrKey::ObjField(o, field));
+                    self.add_edge(of, dst, None);
+                }
+            }
+            Constraint::Store { field, src } => {
+                for o in set.iter() {
+                    let of = self.node(PtrKey::ObjField(o, field));
+                    self.add_edge(src, of, None);
+                }
+            }
+            Constraint::ALoad { dst } => {
+                for o in set.iter() {
+                    if matches!(self.objects[o].kind, ObjKind::Array(_)) {
+                        let el = self.node(PtrKey::ArrayElem(o));
+                        self.add_edge(el, dst, None);
                     }
                 }
-                Constraint::Store { field, src } => {
-                    for o in set.iter() {
-                        let of = self.node(PtrKey::ObjField(o, field));
-                        self.add_edge(src, of, None);
+            }
+            Constraint::AStore { src } => {
+                for o in set.iter() {
+                    if matches!(self.objects[o].kind, ObjKind::Array(_)) {
+                        let el = self.node(PtrKey::ArrayElem(o));
+                        self.add_edge(src, el, None);
                     }
                 }
-                Constraint::ALoad { dst } => {
-                    for o in set.iter() {
-                        if matches!(self.objects[o].kind, ObjKind::Array(_)) {
-                            let el = self.node(PtrKey::ArrayElem(o));
-                            self.add_edge(el, dst, None);
-                        }
-                    }
-                }
-                Constraint::AStore { src } => {
-                    for o in set.iter() {
-                        if matches!(self.objects[o].kind, ObjKind::Array(_)) {
-                            let el = self.node(PtrKey::ArrayElem(o));
-                            self.add_edge(src, el, None);
-                        }
-                    }
-                }
-                Constraint::Call { caller, site } => {
-                    for o in set.iter() {
-                        self.dispatch(caller, site, o);
-                    }
+            }
+            Constraint::Call { caller, site } => {
+                for o in set.iter() {
+                    self.dispatch(caller, site, o);
                 }
             }
         }
@@ -283,16 +321,28 @@ impl<'p> Solver<'p> {
     /// Resolves and links one receiver object at a virtual/special call site.
     fn dispatch(&mut self, caller: CgNode, site: Loc, receiver: ObjId) {
         let (caller_m, _) = self.cg.node(caller);
-        let body = self.program.methods[caller_m].body.as_ref().expect("caller has body");
+        let body = self.program.methods[caller_m]
+            .body
+            .as_ref()
+            .expect("caller has body");
         let instr = body.instr(site).kind.clone();
-        let InstrKind::Call { dst, kind, callee, args } = instr else {
+        let InstrKind::Call {
+            dst,
+            kind,
+            callee,
+            args,
+        } = instr
+        else {
             unreachable!("call constraint on non-call instruction");
         };
         let target = match kind {
             CallKind::Special => callee,
             CallKind::Virtual => {
                 let class = self.objects[receiver].dispatch_class(self.program);
-                match self.program.resolve_method(class, &self.program.methods[callee].name) {
+                match self
+                    .program
+                    .resolve_method(class, &self.program.methods[callee].name)
+                {
                     Some(t) => t,
                     None => return,
                 }
@@ -326,7 +376,11 @@ impl<'p> Solver<'p> {
 
         // Bind the receiver: directly insert this object (per-object, more
         // precise than a copy edge from the receiver node).
-        let this_param = self.program.methods[target].body.as_ref().expect("body").params[0];
+        let this_param = self.program.methods[target]
+            .body
+            .as_ref()
+            .expect("body")
+            .params[0];
         let this_node = self.var_node(inst, this_param);
         self.insert_obj(this_node, receiver);
 
@@ -375,13 +429,7 @@ impl<'p> Solver<'p> {
 
     /// Models a native call: the return value is a fresh object per call
     /// site (of the declared return type).
-    fn link_native_ret(
-        &mut self,
-        caller: CgNode,
-        site: Loc,
-        dst: &Option<Var>,
-        target: MethodId,
-    ) {
+    fn link_native_ret(&mut self, caller: CgNode, site: Loc, dst: &Option<Var>, target: MethodId) {
         let Some(d) = dst else { return };
         let ret_ty = self.program.methods[target].ret_ty.clone();
         let kind = match &ret_ty {
@@ -390,7 +438,10 @@ impl<'p> Solver<'p> {
             _ => return,
         };
         let (caller_m, _) = self.cg.node(caller);
-        let site_ref = StmtRef { method: caller_m, loc: site };
+        let site_ref = StmtRef {
+            method: caller_m,
+            loc: site,
+        };
         let ctx = self.heap_ctx(caller);
         let o = self.intern_obj(AllocSite::NativeRet(site_ref), kind, ctx);
         let dn = self.var_node(caller, *d);
@@ -415,8 +466,10 @@ impl<'p> Solver<'p> {
             }
         }
 
-        let stmts: Vec<(Loc, InstrKind)> =
-            body.instrs().map(|(loc, i)| (loc, i.kind.clone())).collect();
+        let stmts: Vec<(Loc, InstrKind)> = body
+            .instrs()
+            .map(|(loc, i)| (loc, i.kind.clone()))
+            .collect();
         for (loc, kind) in stmts {
             self.gen_constraints(inst, m, loc, &kind);
         }
@@ -447,72 +500,103 @@ impl<'p> Solver<'p> {
                 let d = self.var_node(inst, *dst);
                 self.insert_obj(d, o);
             }
-            InstrKind::Move { dst, src: Operand::Var(s) }
-                if self.is_ref_var(m, *dst) => {
-                    let sn = self.var_node(inst, *s);
-                    let dn = self.var_node(inst, *dst);
-                    self.add_edge(sn, dn, None);
-                }
-            InstrKind::Phi { dst, args }
-                if self.is_ref_var(m, *dst) => {
-                    let dn = self.var_node(inst, *dst);
-                    for (_, a) in args {
-                        if let Operand::Var(v) = a {
-                            let sn = self.var_node(inst, *v);
-                            self.add_edge(sn, dn, None);
-                        }
+            InstrKind::Move {
+                dst,
+                src: Operand::Var(s),
+            } if self.is_ref_var(m, *dst) => {
+                let sn = self.var_node(inst, *s);
+                let dn = self.var_node(inst, *dst);
+                self.add_edge(sn, dn, None);
+            }
+            InstrKind::Phi { dst, args } if self.is_ref_var(m, *dst) => {
+                let dn = self.var_node(inst, *dst);
+                for (_, a) in args {
+                    if let Operand::Var(v) = a {
+                        let sn = self.var_node(inst, *v);
+                        self.add_edge(sn, dn, None);
                     }
                 }
-            InstrKind::Cast { dst, ty, src: Operand::Var(s) }
-                if ty.is_reference() => {
-                    let sn = self.var_node(inst, *s);
-                    let dn = self.var_node(inst, *dst);
-                    let filter = self.config.cast_filtering.then(|| ty.clone());
-                    self.add_edge(sn, dn, filter);
-                }
+            }
+            InstrKind::Cast {
+                dst,
+                ty,
+                src: Operand::Var(s),
+            } if ty.is_reference() => {
+                let sn = self.var_node(inst, *s);
+                let dn = self.var_node(inst, *dst);
+                let filter = self.config.cast_filtering.then(|| ty.clone());
+                self.add_edge(sn, dn, filter);
+            }
             InstrKind::Load { dst, base, field }
-                if self.program.fields[*field].ty.is_reference() => {
-                    let bn = self.var_node(inst, *base);
-                    let dn = self.var_node(inst, *dst);
-                    self.add_pending(bn, Constraint::Load { field: *field, dst: dn });
-                }
-            InstrKind::Store { base, field, value: Operand::Var(v) }
-                if self.program.fields[*field].ty.is_reference() => {
-                    let bn = self.var_node(inst, *base);
-                    let vn = self.var_node(inst, *v);
-                    self.add_pending(bn, Constraint::Store { field: *field, src: vn });
-                }
+                if self.program.fields[*field].ty.is_reference() =>
+            {
+                let bn = self.var_node(inst, *base);
+                let dn = self.var_node(inst, *dst);
+                self.add_pending(
+                    bn,
+                    Constraint::Load {
+                        field: *field,
+                        dst: dn,
+                    },
+                );
+            }
+            InstrKind::Store {
+                base,
+                field,
+                value: Operand::Var(v),
+            } if self.program.fields[*field].ty.is_reference() => {
+                let bn = self.var_node(inst, *base);
+                let vn = self.var_node(inst, *v);
+                self.add_pending(
+                    bn,
+                    Constraint::Store {
+                        field: *field,
+                        src: vn,
+                    },
+                );
+            }
             InstrKind::StaticLoad { dst, field }
-                if self.program.fields[*field].ty.is_reference() => {
-                    let sn = self.node(PtrKey::Static(*field));
-                    let dn = self.var_node(inst, *dst);
-                    self.add_edge(sn, dn, None);
-                }
-            InstrKind::StaticStore { field, value: Operand::Var(v) }
-                if self.program.fields[*field].ty.is_reference() => {
-                    let vn = self.var_node(inst, *v);
-                    let sn = self.node(PtrKey::Static(*field));
-                    self.add_edge(vn, sn, None);
-                }
-            InstrKind::ArrayLoad { dst, base, .. }
-                if self.is_ref_var(m, *dst) => {
-                    let bn = self.var_node(inst, *base);
-                    let dn = self.var_node(inst, *dst);
-                    self.add_pending(bn, Constraint::ALoad { dst: dn });
-                }
-            InstrKind::ArrayStore { base, value: Operand::Var(v), .. }
-                if self.is_ref_var(m, *v) => {
-                    let bn = self.var_node(inst, *base);
-                    let vn = self.var_node(inst, *v);
-                    self.add_pending(bn, Constraint::AStore { src: vn });
-                }
-            InstrKind::Return { value: Some(Operand::Var(v)) }
-                if self.program.methods[m].ret_ty.is_reference() => {
-                    let vn = self.var_node(inst, *v);
-                    let rn = self.node(PtrKey::Ret(inst));
-                    self.add_edge(vn, rn, None);
-                }
-            InstrKind::Call { dst, kind, callee, args } => match kind {
+                if self.program.fields[*field].ty.is_reference() =>
+            {
+                let sn = self.node(PtrKey::Static(*field));
+                let dn = self.var_node(inst, *dst);
+                self.add_edge(sn, dn, None);
+            }
+            InstrKind::StaticStore {
+                field,
+                value: Operand::Var(v),
+            } if self.program.fields[*field].ty.is_reference() => {
+                let vn = self.var_node(inst, *v);
+                let sn = self.node(PtrKey::Static(*field));
+                self.add_edge(vn, sn, None);
+            }
+            InstrKind::ArrayLoad { dst, base, .. } if self.is_ref_var(m, *dst) => {
+                let bn = self.var_node(inst, *base);
+                let dn = self.var_node(inst, *dst);
+                self.add_pending(bn, Constraint::ALoad { dst: dn });
+            }
+            InstrKind::ArrayStore {
+                base,
+                value: Operand::Var(v),
+                ..
+            } if self.is_ref_var(m, *v) => {
+                let bn = self.var_node(inst, *base);
+                let vn = self.var_node(inst, *v);
+                self.add_pending(bn, Constraint::AStore { src: vn });
+            }
+            InstrKind::Return {
+                value: Some(Operand::Var(v)),
+            } if self.program.methods[m].ret_ty.is_reference() => {
+                let vn = self.var_node(inst, *v);
+                let rn = self.node(PtrKey::Ret(inst));
+                self.add_edge(vn, rn, None);
+            }
+            InstrKind::Call {
+                dst,
+                kind,
+                callee,
+                args,
+            } => match kind {
                 CallKind::Static => {
                     if self.program.methods[*callee].is_native {
                         // Intern a node for stats, then model the return.
@@ -532,7 +616,13 @@ impl<'p> Solver<'p> {
                 CallKind::Virtual | CallKind::Special => {
                     if let Some(Operand::Var(recv)) = args.first() {
                         let rn = self.var_node(inst, *recv);
-                        self.add_pending(rn, Constraint::Call { caller: inst, site: loc });
+                        self.add_pending(
+                            rn,
+                            Constraint::Call {
+                                caller: inst,
+                                site: loc,
+                            },
+                        );
                     }
                 }
             },
@@ -541,7 +631,9 @@ impl<'p> Solver<'p> {
     }
 
     fn is_ref_var(&self, m: MethodId, v: Var) -> bool {
-        self.program.methods[m].body.as_ref().expect("body").vars[v].ty.is_reference()
+        self.program.methods[m].body.as_ref().expect("body").vars[v]
+            .ty
+            .is_reference()
     }
 }
 
@@ -557,11 +649,7 @@ mod tests {
         (p, r)
     }
 
-    fn pts_of_main_var(
-        p: &thinslice_ir::Program,
-        r: &SolverResult,
-        name: &str,
-    ) -> BitSet<ObjId> {
+    fn pts_of_main_var(p: &thinslice_ir::Program, r: &SolverResult, name: &str) -> BitSet<ObjId> {
         let main_inst = r.callgraph.get(p.main_method, Ctx::Insensitive).unwrap();
         let body = p.methods[p.main_method].body.as_ref().unwrap();
         let mut out = BitSet::new();
@@ -600,7 +688,9 @@ mod tests {
         );
         let pts = pts_of_main_var(&p, &r, "got");
         let a_class = p.class_named("A").unwrap();
-        assert!(pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(pts
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
     }
 
     #[test]
@@ -618,8 +708,12 @@ mod tests {
         let pts = pts_of_main_var(&p, &r, "o");
         let main_class = p.class_named("Main").unwrap();
         let a_class = p.class_named("A").unwrap();
-        assert!(pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(main_class)));
-        assert!(!pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(pts
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(main_class)));
+        assert!(!pts
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
     }
 
     #[test]
@@ -638,10 +732,16 @@ mod tests {
         let a_pts = pts_of_main_var(&p, &r, "a");
         let a_class = p.class_named("A").unwrap();
         let b_class = p.class_named("B").unwrap();
-        assert!(o_pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)));
-        assert!(a_pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(o_pts
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(b_class)));
+        assert!(a_pts
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
         assert!(
-            !a_pts.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
+            !a_pts
+                .iter()
+                .any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
             "cast must filter out B"
         );
     }
@@ -663,13 +763,20 @@ mod tests {
         let b_class = p.class_named("B").unwrap();
         let oa = pts_of_main_var(&p, &r, "oa");
         let ob = pts_of_main_var(&p, &r, "ob");
-        assert!(oa.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(oa
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
         assert!(
-            !oa.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
+            !oa.iter()
+                .any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
             "object-sensitive Vectors must not mix contents"
         );
-        assert!(ob.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)));
-        assert!(!ob.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(ob
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(b_class)));
+        assert!(!ob
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
     }
 
     #[test]
@@ -686,12 +793,16 @@ mod tests {
              } }",
         )])
         .unwrap();
-        let cfg = PtaConfig { object_sensitive_containers: false, ..PtaConfig::default() };
+        let cfg = PtaConfig {
+            object_sensitive_containers: false,
+            ..PtaConfig::default()
+        };
         let r = solve(&p, &cfg);
         let oa = pts_of_main_var(&p, &r, "oa");
         let b_class = p.class_named("B").unwrap();
         assert!(
-            oa.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
+            oa.iter()
+                .any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
             "without object sensitivity the two Vectors share one backing array"
         );
     }
@@ -779,9 +890,12 @@ mod tests {
         let oa = pts_of_main_var(&p, &r, "oa");
         let a_class = p.class_named("A").unwrap();
         let b_class = p.class_named("B").unwrap();
-        assert!(oa.iter().any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
+        assert!(oa
+            .iter()
+            .any(|o| r.objects[o].kind == ObjKind::Class(a_class)));
         assert!(
-            !oa.iter().any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
+            !oa.iter()
+                .any(|o| r.objects[o].kind == ObjKind::Class(b_class)),
             "object-sensitive Hashtables must not mix values"
         );
     }

@@ -1,8 +1,8 @@
 //! Program/analysis size statistics — the inputs to the paper's Table 1.
 
 use crate::Pta;
-use std::collections::HashSet;
 use thinslice_ir::{ClassId, MethodId, Program};
+use thinslice_util::FxHashSet;
 
 /// Benchmark characteristics as reported in the paper's Table 1: classes,
 /// methods (discovered during on-the-fly call graph construction, including
@@ -31,7 +31,7 @@ impl ProgramStats {
     /// Computes statistics for `program` under the analysis result `pta`.
     pub fn compute(program: &Program, pta: &Pta) -> ProgramStats {
         let reachable: Vec<MethodId> = pta.reachable_methods();
-        let mut classes: HashSet<ClassId> = HashSet::new();
+        let mut classes: FxHashSet<ClassId> = FxHashSet::default();
         let mut sdg_statements = 0usize;
         let mut implicit_conditionals = 0usize;
         for &m in &reachable {

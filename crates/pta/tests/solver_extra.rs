@@ -94,7 +94,9 @@ fn inherited_method_dispatches_with_subclass_receiver() {
     );
     let got = pts_of(&p, &pta, "got");
     let main_class = p.class_named("Main").unwrap();
-    assert!(got.iter().any(|o| pta.objects[o].kind == ObjKind::Class(main_class)));
+    assert!(got
+        .iter()
+        .any(|o| pta.objects[o].kind == ObjKind::Class(main_class)));
     // Stack.push runs Vector.add with a Stack receiver: the add instance is
     // context-sensitive on the *Stack* object.
     let vector = p.class_named("Vector").unwrap();
@@ -149,8 +151,20 @@ fn heap_context_depth_bounds_object_count() {
         Object item = got.get(0);
     } }";
     let p = compile(&[("t.mj", src)]).unwrap();
-    let shallow = Pta::analyze(&p, PtaConfig { max_heap_ctx_depth: 1, ..PtaConfig::default() });
-    let deep = Pta::analyze(&p, PtaConfig { max_heap_ctx_depth: 4, ..PtaConfig::default() });
+    let shallow = Pta::analyze(
+        &p,
+        PtaConfig {
+            max_heap_ctx_depth: 1,
+            ..PtaConfig::default()
+        },
+    );
+    let deep = Pta::analyze(
+        &p,
+        PtaConfig {
+            max_heap_ctx_depth: 4,
+            ..PtaConfig::default()
+        },
+    );
     assert!(
         deep.objects.len() >= shallow.objects.len(),
         "deeper contexts refine the heap: {} vs {}",
@@ -213,5 +227,9 @@ fn recursive_container_growth_terminates() {
             inner.add(inner);
          } }",
     );
-    assert!(pta.objects.len() < 100, "heap must stay bounded: {}", pta.objects.len());
+    assert!(
+        pta.objects.len() < 100,
+        "heap must stay bounded: {}",
+        pta.objects.len()
+    );
 }

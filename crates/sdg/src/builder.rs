@@ -16,9 +16,10 @@
 use crate::control::ControlDeps;
 use crate::node::{Edge, EdgeKind, NodeId, NodeKind};
 use crate::Sdg;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use thinslice_ir::{InstrKind, Loc, MethodId, Operand, Program, StmtRef, UseKind, Var};
 use thinslice_pta::{CgNode, Pta};
+use thinslice_util::FxHashMap;
 
 /// Builds the context-insensitive SDG for all method instances reachable in
 /// `pta`.
@@ -50,9 +51,9 @@ struct Builder<'p> {
     static_loads: BTreeMap<thinslice_ir::FieldId, Vec<(CgNode, StmtRef)>>,
     static_stores: BTreeMap<thinslice_ir::FieldId, Vec<(CgNode, StmtRef)>>,
     /// Per method: SSA def sites (shared by all clones).
-    def_sites: HashMap<MethodId, HashMap<Var, Loc>>,
+    def_sites: FxHashMap<MethodId, FxHashMap<Var, Loc>>,
     /// Per method: control dependences (shared by all clones).
-    control: HashMap<MethodId, ControlDeps>,
+    control: FxHashMap<MethodId, ControlDeps>,
 }
 
 impl<'p> Builder<'p> {
@@ -68,8 +69,8 @@ impl<'p> Builder<'p> {
             array_stores: Vec::new(),
             static_loads: BTreeMap::new(),
             static_stores: BTreeMap::new(),
-            def_sites: HashMap::new(),
-            control: HashMap::new(),
+            def_sites: FxHashMap::default(),
+            control: FxHashMap::default(),
         }
     }
 
@@ -88,7 +89,7 @@ impl<'p> Builder<'p> {
                 continue;
             }
             let body = self.program.methods[m].body.as_ref().expect("body");
-            let defs: HashMap<Var, Loc> = body
+            let defs: FxHashMap<Var, Loc> = body
                 .instrs()
                 .filter_map(|(loc, i)| i.kind.def().map(|d| (d, loc)))
                 .collect();
@@ -104,10 +105,16 @@ impl<'p> Builder<'p> {
                 self.sdg.intern(NodeKind::Stmt(inst, sr));
                 match &instr.kind {
                     InstrKind::Load { base, field, .. } => {
-                        self.field_loads.entry(*field).or_default().push((inst, sr, *base));
+                        self.field_loads
+                            .entry(*field)
+                            .or_default()
+                            .push((inst, sr, *base));
                     }
                     InstrKind::Store { base, field, .. } => {
-                        self.field_stores.entry(*field).or_default().push((inst, sr, *base));
+                        self.field_stores
+                            .entry(*field)
+                            .or_default()
+                            .push((inst, sr, *base));
                     }
                     InstrKind::ArrayLoad { base, .. } => {
                         self.array_loads.push((inst, sr, *base));
@@ -116,10 +123,16 @@ impl<'p> Builder<'p> {
                         self.array_stores.push((inst, sr, *base));
                     }
                     InstrKind::StaticLoad { field, .. } => {
-                        self.static_loads.entry(*field).or_default().push((inst, sr));
+                        self.static_loads
+                            .entry(*field)
+                            .or_default()
+                            .push((inst, sr));
                     }
                     InstrKind::StaticStore { field, .. } => {
-                        self.static_stores.entry(*field).or_default().push((inst, sr));
+                        self.static_stores
+                            .entry(*field)
+                            .or_default()
+                            .push((inst, sr));
                     }
                     _ => {}
                 }
@@ -143,7 +156,9 @@ impl<'p> Builder<'p> {
     /// statement, or the formal-parameter node.
     fn def_node(&mut self, inst: CgNode, m: MethodId, v: Var) -> NodeId {
         if let Some(loc) = self.def_sites[&m].get(&v).copied() {
-            return self.sdg.intern(NodeKind::Stmt(inst, StmtRef { method: m, loc }));
+            return self
+                .sdg
+                .intern(NodeKind::Stmt(inst, StmtRef { method: m, loc }));
         }
         let body = self.program.methods[m].body.as_ref().expect("body");
         if let Some(idx) = body.params.iter().position(|p| *p == v) {
@@ -159,9 +174,12 @@ impl<'p> Builder<'p> {
         let entry = self.sdg.intern(NodeKind::Entry(inst));
 
         // Terminator node of each block (control-dependence source).
-        let mut term_node: HashMap<usize, NodeId> = HashMap::new();
+        let mut term_node: FxHashMap<usize, NodeId> = FxHashMap::default();
         for (b, block) in body.blocks.iter_enumerated() {
-            let loc = Loc { block: b, index: (block.instrs.len() - 1) as u32 };
+            let loc = Loc {
+                block: b,
+                index: (block.instrs.len() - 1) as u32,
+            };
             let sr = StmtRef { method: m, loc };
             term_node.insert(
                 thinslice_util::Idx::index(b),
@@ -174,15 +192,26 @@ impl<'p> Builder<'p> {
             let node = self.sdg.intern(NodeKind::Stmt(inst, sr));
 
             // Control dependence: on controlling branches, or the entry.
-            let ctrl: Vec<thinslice_ir::BlockId> =
-                self.control[&m].controlling(loc.block).to_vec();
+            let ctrl: Vec<thinslice_ir::BlockId> = self.control[&m].controlling(loc.block).to_vec();
             if ctrl.is_empty() {
-                self.sdg.add_edge(node, Edge { target: entry, kind: EdgeKind::Control });
+                self.sdg.add_edge(
+                    node,
+                    Edge {
+                        target: entry,
+                        kind: EdgeKind::Control,
+                    },
+                );
             } else {
                 for cb in ctrl {
                     let t = term_node[&thinslice_util::Idx::index(cb)];
                     if t != node {
-                        self.sdg.add_edge(node, Edge { target: t, kind: EdgeKind::Control });
+                        self.sdg.add_edge(
+                            node,
+                            Edge {
+                                target: t,
+                                kind: EdgeKind::Control,
+                            },
+                        );
                     }
                 }
             }
@@ -200,7 +229,9 @@ impl<'p> Builder<'p> {
                             node,
                             Edge {
                                 target: d,
-                                kind: EdgeKind::Flow { excluded_from_thin: excluded },
+                                kind: EdgeKind::Flow {
+                                    excluded_from_thin: excluded,
+                                },
                             },
                         );
                     }
@@ -212,7 +243,12 @@ impl<'p> Builder<'p> {
                 let ret = self.sdg.intern(NodeKind::RetMerge(inst));
                 self.sdg.add_edge(
                     ret,
-                    Edge { target: node, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                    Edge {
+                        target: node,
+                        kind: EdgeKind::Flow {
+                            excluded_from_thin: false,
+                        },
+                    },
                 );
             }
         }
@@ -242,7 +278,12 @@ impl<'p> Builder<'p> {
                     let d = self.def_node(inst, m, *v);
                     self.sdg.add_edge(
                         node,
-                        Edge { target: d, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                        Edge {
+                            target: d,
+                            kind: EdgeKind::Flow {
+                                excluded_from_thin: false,
+                            },
+                        },
                     );
                 }
             }
@@ -259,7 +300,9 @@ impl<'p> Builder<'p> {
                             node,
                             Edge {
                                 target: d,
-                                kind: EdgeKind::Flow { excluded_from_thin: false },
+                                kind: EdgeKind::Flow {
+                                    excluded_from_thin: false,
+                                },
                             },
                         );
                     }
@@ -270,26 +313,47 @@ impl<'p> Builder<'p> {
             for (i, a) in args.iter().enumerate() {
                 let actual = self.sdg.intern(NodeKind::ActualParam(node, i as u32));
                 let formal = self.sdg.intern(NodeKind::FormalParam(t_inst, i as u32));
-                self.sdg
-                    .add_edge(formal, Edge { target: actual, kind: EdgeKind::ParamIn { site: node } });
+                self.sdg.add_edge(
+                    formal,
+                    Edge {
+                        target: actual,
+                        kind: EdgeKind::ParamIn { site: node },
+                    },
+                );
                 if let Operand::Var(v) = a {
                     let d = self.def_node(inst, m, *v);
                     self.sdg.add_edge(
                         actual,
-                        Edge { target: d, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                        Edge {
+                            target: d,
+                            kind: EdgeKind::Flow {
+                                excluded_from_thin: false,
+                            },
+                        },
                     );
                 }
             }
             // Return value.
             if dst.is_some() && self.program.methods[t].ret_ty != thinslice_ir::Type::Void {
                 let ret = self.sdg.intern(NodeKind::RetMerge(t_inst));
-                self.sdg
-                    .add_edge(node, Edge { target: ret, kind: EdgeKind::ParamOut { site: node } });
+                self.sdg.add_edge(
+                    node,
+                    Edge {
+                        target: ret,
+                        kind: EdgeKind::ParamOut { site: node },
+                    },
+                );
             }
             // Interprocedural control: the callee's entry depends on the
             // call site.
             let callee_entry = self.sdg.intern(NodeKind::Entry(t_inst));
-            self.sdg.add_edge(callee_entry, Edge { target: node, kind: EdgeKind::Call });
+            self.sdg.add_edge(
+                callee_entry,
+                Edge {
+                    target: node,
+                    kind: EdgeKind::Call,
+                },
+            );
         }
     }
 
@@ -298,7 +362,9 @@ impl<'p> Builder<'p> {
     fn heap_edges(&mut self) {
         let field_loads = std::mem::take(&mut self.field_loads);
         for (field, loads) in field_loads {
-            let Some(stores) = self.field_stores.get(&field).cloned() else { continue };
+            let Some(stores) = self.field_stores.get(&field).cloned() else {
+                continue;
+            };
             for (linst, lsr, lbase) in &loads {
                 let lpts = self.pta.instance_points_to(*linst, *lbase);
                 for (sinst, ssr, sbase) in &stores {
@@ -307,7 +373,12 @@ impl<'p> Builder<'p> {
                         let sn = self.sdg.intern(NodeKind::Stmt(*sinst, *ssr));
                         self.sdg.add_edge(
                             ln,
-                            Edge { target: sn, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                            Edge {
+                                target: sn,
+                                kind: EdgeKind::Flow {
+                                    excluded_from_thin: false,
+                                },
+                            },
                         );
                     }
                 }
@@ -323,21 +394,33 @@ impl<'p> Builder<'p> {
                     let sn = self.sdg.intern(NodeKind::Stmt(*sinst, *ssr));
                     self.sdg.add_edge(
                         ln,
-                        Edge { target: sn, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                        Edge {
+                            target: sn,
+                            kind: EdgeKind::Flow {
+                                excluded_from_thin: false,
+                            },
+                        },
                     );
                 }
             }
         }
         let static_loads = std::mem::take(&mut self.static_loads);
         for (field, loads) in static_loads {
-            let Some(stores) = self.static_stores.get(&field).cloned() else { continue };
+            let Some(stores) = self.static_stores.get(&field).cloned() else {
+                continue;
+            };
             for (linst, lsr) in &loads {
                 for (sinst, ssr) in &stores {
                     let ln = self.sdg.intern(NodeKind::Stmt(*linst, *lsr));
                     let sn = self.sdg.intern(NodeKind::Stmt(*sinst, *ssr));
                     self.sdg.add_edge(
                         ln,
-                        Edge { target: sn, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                        Edge {
+                            target: sn,
+                            kind: EdgeKind::Flow {
+                                excluded_from_thin: false,
+                            },
+                        },
                     );
                 }
             }
@@ -374,7 +457,12 @@ mod tests {
             .unwrap();
         let deps = sdg.deps(print_node);
         assert!(
-            deps.iter().any(|e| matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false })),
+            deps.iter().any(|e| matches!(
+                e.kind,
+                EdgeKind::Flow {
+                    excluded_from_thin: false
+                }
+            )),
             "print depends on its operand's def"
         );
     }
@@ -401,12 +489,21 @@ mod tests {
             .unwrap();
         let deps = sdg.deps(load);
         assert!(
-            deps.iter()
-                .any(|e| e.target == store
-                    && matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false })),
+            deps.iter().any(|e| e.target == store
+                && matches!(
+                    e.kind,
+                    EdgeKind::Flow {
+                        excluded_from_thin: false
+                    }
+                )),
             "load must depend on the aliased store via a producer edge"
         );
-        assert!(deps.iter().any(|e| matches!(e.kind, EdgeKind::Flow { excluded_from_thin: true })));
+        assert!(deps.iter().any(|e| matches!(
+            e.kind,
+            EdgeKind::Flow {
+                excluded_from_thin: true
+            }
+        )));
     }
 
     #[test]
@@ -430,11 +527,15 @@ mod tests {
             .deps(load)
             .iter()
             .filter(|e| {
-                matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false })
-                    && sdg
-                        .node(e.target)
-                        .as_stmt()
-                        .is_some_and(|s| matches!(p.instr(s).kind, InstrKind::Store { .. }))
+                matches!(
+                    e.kind,
+                    EdgeKind::Flow {
+                        excluded_from_thin: false
+                    }
+                ) && sdg
+                    .node(e.target)
+                    .as_stmt()
+                    .is_some_and(|s| matches!(p.instr(s).kind, InstrKind::Store { .. }))
             })
             .count();
         assert_eq!(store_edges, 1, "only the aliased store is linked");
@@ -477,11 +578,18 @@ mod tests {
                 .deps(ln)
                 .iter()
                 .filter(|e| {
-                    matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false })
-                        && sdg.node(e.target).as_stmt() == Some(add_store)
+                    matches!(
+                        e.kind,
+                        EdgeKind::Flow {
+                            excluded_from_thin: false
+                        }
+                    ) && sdg.node(e.target).as_stmt() == Some(add_store)
                 })
                 .count();
-            assert_eq!(producer_stores, 1, "each get clone sees exactly one add clone");
+            assert_eq!(
+                producer_stores, 1,
+                "each get clone sees exactly one add clone"
+            );
         }
     }
 
@@ -500,7 +608,9 @@ mod tests {
         let id_inst = pta.instances_of(id)[0];
         let formal = sdg.find_node(NodeKind::FormalParam(id_inst, 1)).unwrap();
         let deps = sdg.deps(formal);
-        assert!(deps.iter().any(|e| matches!(e.kind, EdgeKind::ParamIn { .. })));
+        assert!(deps
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::ParamIn { .. })));
         let ret = sdg.find_node(NodeKind::RetMerge(id_inst)).unwrap();
         let call_node = sdg
             .stmt_nodes()
@@ -508,7 +618,10 @@ mod tests {
                 s.method == p.main_method
                     && matches!(
                         p.instr(*s).kind,
-                        InstrKind::Call { kind: thinslice_ir::CallKind::Virtual, .. }
+                        InstrKind::Call {
+                            kind: thinslice_ir::CallKind::Virtual,
+                            ..
+                        }
                     )
             })
             .map(|(n, _)| n)
@@ -569,7 +682,7 @@ mod tests {
         // The dependence runs through the `Move` that copies the literal
         // into `full`; check reachability over producer flow edges.
         let mut frontier = vec![call_node];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = thinslice_util::FxHashSet::default();
         let mut found = false;
         while let Some(n) = frontier.pop() {
             if !seen.insert(n) {
@@ -580,12 +693,20 @@ mod tests {
                 break;
             }
             for e in sdg.deps(n) {
-                if matches!(e.kind, EdgeKind::Flow { excluded_from_thin: false }) {
+                if matches!(
+                    e.kind,
+                    EdgeKind::Flow {
+                        excluded_from_thin: false
+                    }
+                ) {
                     frontier.push(e.target);
                 }
             }
         }
-        assert!(found, "substring result must trace back to the string literal");
+        assert!(
+            found,
+            "substring result must trace back to the string literal"
+        );
     }
 
     #[test]
@@ -601,6 +722,9 @@ mod tests {
         let m = p.resolve_method(a, "m").unwrap();
         let m_inst = pta.instances_of(m)[0];
         let entry = sdg.find_node(NodeKind::Entry(m_inst)).unwrap();
-        assert!(sdg.deps(entry).iter().any(|e| matches!(e.kind, EdgeKind::Call)));
+        assert!(sdg
+            .deps(entry)
+            .iter()
+            .any(|e| matches!(e.kind, EdgeKind::Call)));
     }
 }

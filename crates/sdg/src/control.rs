@@ -42,7 +42,9 @@ impl ControlDeps {
             if succs.len() < 2 {
                 continue; // only branches create control dependences
             }
-            let Some(ipdom_a) = pdom.idom[a.index()] else { continue };
+            let Some(ipdom_a) = pdom.idom[a.index()] else {
+                continue;
+            };
             for b in succs {
                 // Walk b up the postdominator tree until ipdom(a).
                 let mut runner = b.index();

@@ -1,0 +1,444 @@
+//! A frozen, compressed-sparse-row view of a built dependence graph.
+//!
+//! [`Sdg`] is built incrementally: each node owns a `Vec<Edge>`, so a BFS
+//! hops between heap allocations. Once construction is done the graph is
+//! immutable for the whole query phase, which makes the classic CSR layout
+//! pay off: one contiguous edge array plus an offset array per node. All
+//! slicers traverse the graph through the [`DepGraph`] trait, so they run
+//! unchanged over either representation; [`Sdg::freeze`] preserves per-node
+//! edge order exactly, keeping BFS discovery order — and therefore slice
+//! output — bit-for-bit identical.
+
+use crate::node::{Edge, NodeId, NodeKind};
+use crate::{HeapMode, Sdg};
+use thinslice_ir::StmtRef;
+use thinslice_util::{FxHashMap, Idx};
+
+/// The read-only graph surface the slicers need.
+///
+/// Implemented by the growable [`Sdg`] and the frozen [`FrozenSdg`]; query
+/// code is generic over this trait and never notices which one it walks.
+pub trait DepGraph {
+    /// Total node count; node ids are dense in `0..node_count()`.
+    fn node_count(&self) -> usize;
+
+    /// The dependencies of `n`, in insertion order.
+    fn deps(&self, n: NodeId) -> &[Edge];
+
+    /// The kind of a node.
+    fn node(&self, n: NodeId) -> NodeKind;
+
+    /// The statement a node is displayed as in a slice (see
+    /// [`Sdg::display_stmt`]).
+    fn display_stmt(&self, n: NodeId) -> Option<StmtRef>;
+
+    /// All instance nodes of a statement (empty if unreachable).
+    fn stmt_nodes_of(&self, s: StmtRef) -> &[NodeId];
+
+    /// The graph's heap mode.
+    fn mode(&self) -> HeapMode;
+}
+
+impl DepGraph for Sdg {
+    fn node_count(&self) -> usize {
+        Sdg::node_count(self)
+    }
+
+    fn deps(&self, n: NodeId) -> &[Edge] {
+        Sdg::deps(self, n)
+    }
+
+    fn node(&self, n: NodeId) -> NodeKind {
+        Sdg::node(self, n)
+    }
+
+    fn display_stmt(&self, n: NodeId) -> Option<StmtRef> {
+        Sdg::display_stmt(self, n)
+    }
+
+    fn stmt_nodes_of(&self, s: StmtRef) -> &[NodeId] {
+        Sdg::stmt_nodes_of(self, s)
+    }
+
+    fn mode(&self) -> HeapMode {
+        Sdg::mode(self)
+    }
+}
+
+/// A dependence graph frozen into compressed-sparse-row arrays.
+///
+/// `edges[offsets[n] .. offsets[n + 1]]` are the dependencies of node `n`,
+/// in exactly the order [`Sdg::deps`] returned them. Node kinds and display
+/// statements are likewise flattened into dense arrays, so a backward BFS
+/// touches only contiguous memory. The frozen graph is immutable and safe
+/// to share across threads ([`Sync`]), which is what the batched query
+/// engine relies on.
+///
+/// # Examples
+///
+/// ```
+/// use thinslice_ir::compile;
+/// use thinslice_pta::{Pta, PtaConfig};
+/// use thinslice_sdg::{build_ci, DepGraph};
+///
+/// let program = compile(&[(
+///     "t.mj",
+///     "class Main { static void main() { int x = 1; print(x); } }",
+/// )]).unwrap();
+/// let pta = Pta::analyze(&program, PtaConfig::default());
+/// let sdg = build_ci(&program, &pta);
+/// let frozen = sdg.freeze();
+/// assert_eq!(frozen.node_count(), sdg.node_count());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenSdg {
+    mode: HeapMode,
+    /// CSR row offsets; `offsets.len() == node_count + 1`.
+    offsets: Vec<u32>,
+    /// All edges, grouped by source node, per-node order preserved.
+    edges: Vec<Edge>,
+    /// Node kinds, indexed by `NodeId`.
+    kinds: Vec<NodeKind>,
+    /// Pre-resolved display statements, indexed by `NodeId`.
+    display: Vec<Option<StmtRef>>,
+    /// Dense id of each node's display statement ([`NO_DISPLAY`] if none):
+    /// distinct display statements numbered `0..display_stmts.len()`.
+    display_idx: Vec<u32>,
+    /// The distinct display statements, indexed by their dense id.
+    display_stmts: Vec<StmtRef>,
+    /// All instance nodes of a statement, for seed resolution.
+    nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>>,
+}
+
+/// Sentinel dense id for nodes without a display statement.
+pub const NO_DISPLAY: u32 = u32::MAX;
+
+/// Dense numbering of display statements, for hash-free statement dedup.
+///
+/// A slice's statement set is the set of display statements of its visited
+/// nodes. Deduplicating those through a hash set is the hottest per-node
+/// operation of a big BFS; the frozen graph instead numbers the distinct
+/// display statements densely at freeze time, so a traversal can dedup
+/// with a bit set over `0..dense_stmt_count()`. Guaranteed consistent with
+/// [`DepGraph::display_stmt`]: `display_dense(n)` is [`NO_DISPLAY`] exactly
+/// when `display_stmt(n)` is `None`, and `dense_stmt(display_dense(n))`
+/// equals `display_stmt(n).unwrap()` otherwise.
+pub trait DenseDisplay: DepGraph {
+    /// The dense id of `n`'s display statement, or [`NO_DISPLAY`].
+    fn display_dense(&self, n: NodeId) -> u32;
+
+    /// The statement with dense id `i`.
+    fn dense_stmt(&self, i: u32) -> StmtRef;
+
+    /// Number of distinct display statements.
+    fn dense_stmt_count(&self) -> usize;
+}
+
+impl FrozenSdg {
+    /// Total edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Some instance node of a statement, if the statement is reachable.
+    pub fn stmt_node(&self, s: StmtRef) -> Option<NodeId> {
+        self.stmt_nodes_of(s).first().copied()
+    }
+
+    /// A view of the graph keeping only the edges `keep` accepts, per-node
+    /// order preserved. The batched engine filters once per batch by the
+    /// slice kind's edge predicate, so every query's BFS traverses a
+    /// smaller edge array with no per-edge kind test — traversal order
+    /// over the kept edges is unchanged. Only the edge arrays are rebuilt;
+    /// node metadata is borrowed from `self`, so the filter costs one scan
+    /// of the edge array.
+    pub fn filtered(&self, mut keep: impl FnMut(&Edge) -> bool) -> FilteredCsr<'_> {
+        let n = self.kinds.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edges.len());
+        offsets.push(0);
+        for i in 0..n {
+            let row = &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+            edges.extend(row.iter().filter(|e| keep(e)).copied());
+            offsets.push(u32::try_from(edges.len()).expect("edge count exceeds u32"));
+        }
+        FilteredCsr {
+            base: self,
+            offsets,
+            edges,
+        }
+    }
+}
+
+/// An edge-filtered view over a [`FrozenSdg`]: its own CSR edge arrays,
+/// node metadata borrowed from the base graph. See [`FrozenSdg::filtered`].
+#[derive(Debug, Clone)]
+pub struct FilteredCsr<'g> {
+    base: &'g FrozenSdg,
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+}
+
+impl FilteredCsr<'_> {
+    /// Edges kept by the filter.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+impl DepGraph for FilteredCsr<'_> {
+    fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    fn deps(&self, n: NodeId) -> &[Edge] {
+        let i = n.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn node(&self, n: NodeId) -> NodeKind {
+        self.base.node(n)
+    }
+
+    fn display_stmt(&self, n: NodeId) -> Option<StmtRef> {
+        self.base.display_stmt(n)
+    }
+
+    fn stmt_nodes_of(&self, s: StmtRef) -> &[NodeId] {
+        self.base.stmt_nodes_of(s)
+    }
+
+    fn mode(&self) -> HeapMode {
+        self.base.mode()
+    }
+}
+
+impl DenseDisplay for FrozenSdg {
+    fn display_dense(&self, n: NodeId) -> u32 {
+        self.display_idx[n.index()]
+    }
+
+    fn dense_stmt(&self, i: u32) -> StmtRef {
+        self.display_stmts[i as usize]
+    }
+
+    fn dense_stmt_count(&self) -> usize {
+        self.display_stmts.len()
+    }
+}
+
+impl DenseDisplay for FilteredCsr<'_> {
+    fn display_dense(&self, n: NodeId) -> u32 {
+        self.base.display_dense(n)
+    }
+
+    fn dense_stmt(&self, i: u32) -> StmtRef {
+        self.base.dense_stmt(i)
+    }
+
+    fn dense_stmt_count(&self) -> usize {
+        self.base.dense_stmt_count()
+    }
+}
+
+impl DepGraph for FrozenSdg {
+    fn node_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn deps(&self, n: NodeId) -> &[Edge] {
+        let i = n.index();
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn node(&self, n: NodeId) -> NodeKind {
+        self.kinds[n.index()]
+    }
+
+    fn display_stmt(&self, n: NodeId) -> Option<StmtRef> {
+        self.display[n.index()]
+    }
+
+    fn stmt_nodes_of(&self, s: StmtRef) -> &[NodeId] {
+        self.nodes_of_stmt.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn mode(&self) -> HeapMode {
+        self.mode
+    }
+}
+
+impl Sdg {
+    /// Freezes the graph into its CSR form. Per-node edge order is
+    /// preserved exactly, so traversals over the frozen graph visit nodes
+    /// in the same order as over `self`.
+    pub fn freeze(&self) -> FrozenSdg {
+        let n = Sdg::node_count(self);
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(self.edge_count());
+        let mut kinds = Vec::with_capacity(n);
+        let mut display = Vec::with_capacity(n);
+        let mut display_idx = Vec::with_capacity(n);
+        let mut display_stmts = Vec::new();
+        let mut dense_of: FxHashMap<StmtRef, u32> = FxHashMap::default();
+        let mut nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>> = FxHashMap::default();
+        offsets.push(0);
+        for (id, &kind) in self.nodes() {
+            edges.extend_from_slice(Sdg::deps(self, id));
+            offsets.push(u32::try_from(edges.len()).expect("edge count exceeds u32"));
+            kinds.push(kind);
+            let d = Sdg::display_stmt(self, id);
+            display.push(d);
+            display_idx.push(match d {
+                Some(s) => *dense_of.entry(s).or_insert_with(|| {
+                    display_stmts.push(s);
+                    u32::try_from(display_stmts.len() - 1).expect("stmt count exceeds u32")
+                }),
+                None => NO_DISPLAY,
+            });
+            if let NodeKind::Stmt(_, s) = kind {
+                nodes_of_stmt.entry(s).or_default().push(id);
+            }
+        }
+        FrozenSdg {
+            mode: Sdg::mode(self),
+            offsets,
+            edges,
+            kinds,
+            display,
+            display_idx,
+            display_stmts,
+            nodes_of_stmt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::EdgeKind;
+    use thinslice_ir::{BlockId, Loc, MethodId};
+    use thinslice_pta::CgNode;
+
+    fn stmt(m: u32, i: u32) -> NodeKind {
+        NodeKind::Stmt(
+            CgNode::new(0),
+            StmtRef {
+                method: MethodId::new(m as usize),
+                loc: Loc {
+                    block: BlockId::new(0),
+                    index: i,
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn freeze_preserves_nodes_edges_and_order() {
+        let mut g = Sdg::empty(HeapMode::DirectEdges);
+        let a = g.intern(stmt(0, 0));
+        let b = g.intern(stmt(0, 1));
+        let c = g.intern(stmt(0, 2));
+        // Two edges out of `a` in a deliberate order, one out of `c`.
+        g.add_edge(
+            a,
+            Edge {
+                target: c,
+                kind: EdgeKind::Control,
+            },
+        );
+        g.add_edge(
+            a,
+            Edge {
+                target: b,
+                kind: EdgeKind::Flow {
+                    excluded_from_thin: false,
+                },
+            },
+        );
+        g.add_edge(
+            c,
+            Edge {
+                target: b,
+                kind: EdgeKind::Call,
+            },
+        );
+
+        let f = g.freeze();
+        assert_eq!(DepGraph::node_count(&f), Sdg::node_count(&g));
+        assert_eq!(f.edge_count(), g.edge_count());
+        for (id, _) in g.nodes() {
+            assert_eq!(
+                DepGraph::deps(&f, id),
+                Sdg::deps(&g, id),
+                "edge order at {id:?}"
+            );
+            assert_eq!(DepGraph::node(&f, id), Sdg::node(&g, id));
+            assert_eq!(DepGraph::display_stmt(&f, id), Sdg::display_stmt(&g, id));
+        }
+        assert_eq!(DepGraph::mode(&f), HeapMode::DirectEdges);
+    }
+
+    #[test]
+    fn freeze_preserves_stmt_node_mapping() {
+        let mut g = Sdg::empty(HeapMode::DirectEdges);
+        let sr = StmtRef {
+            method: MethodId::new(1),
+            loc: Loc {
+                block: BlockId::new(0),
+                index: 0,
+            },
+        };
+        let a = g.intern(NodeKind::Stmt(CgNode::new(0), sr));
+        let b = g.intern(NodeKind::Stmt(CgNode::new(1), sr));
+        let f = g.freeze();
+        assert_eq!(DepGraph::stmt_nodes_of(&f, sr), &[a, b]);
+        assert_eq!(f.stmt_node(sr), Some(a));
+    }
+
+    #[test]
+    fn dense_display_is_consistent_with_display_stmt() {
+        let mut g = Sdg::empty(HeapMode::DirectEdges);
+        // Two clones of the same statement share a dense id; distinct
+        // statements get distinct ids.
+        let sr0 = StmtRef {
+            method: MethodId::new(0),
+            loc: Loc {
+                block: BlockId::new(0),
+                index: 0,
+            },
+        };
+        g.intern(NodeKind::Stmt(CgNode::new(0), sr0));
+        g.intern(NodeKind::Stmt(CgNode::new(1), sr0));
+        g.intern(stmt(0, 1));
+        let f = g.freeze();
+        assert_eq!(f.dense_stmt_count(), 2);
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in g.nodes() {
+            let dense = f.display_dense(id);
+            match DepGraph::display_stmt(&f, id) {
+                None => assert_eq!(dense, NO_DISPLAY),
+                Some(s) => {
+                    assert_ne!(dense, NO_DISPLAY);
+                    assert_eq!(f.dense_stmt(dense), s);
+                    seen.insert(dense);
+                }
+            }
+        }
+        assert_eq!(seen.len(), f.dense_stmt_count());
+        // The filtered view shares the numbering.
+        let v = f.filtered(|_| true);
+        for (id, _) in g.nodes() {
+            assert_eq!(v.display_dense(id), f.display_dense(id));
+        }
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let g = Sdg::empty(HeapMode::Parameters);
+        let f = g.freeze();
+        assert_eq!(DepGraph::node_count(&f), 0);
+        assert_eq!(f.edge_count(), 0);
+        assert_eq!(DepGraph::mode(&f), HeapMode::Parameters);
+    }
+}

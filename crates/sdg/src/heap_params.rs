@@ -41,13 +41,29 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
             // Values may enter through the caller.
             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
             let fin = sdg.intern(NodeKind::FormalIn(inst, p));
-            sdg.add_edge(mh, Edge { target: fin, kind: EdgeKind::Flow { excluded_from_thin: false } });
+            sdg.add_edge(
+                mh,
+                Edge {
+                    target: fin,
+                    kind: EdgeKind::Flow {
+                        excluded_from_thin: false,
+                    },
+                },
+            );
         }
         for p in modref.mods(m).iter() {
             // Values may leave through the formal-out.
             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
             let fout = sdg.intern(NodeKind::FormalOut(inst, p));
-            sdg.add_edge(fout, Edge { target: mh, kind: EdgeKind::Flow { excluded_from_thin: false } });
+            sdg.add_edge(
+                fout,
+                Edge {
+                    target: mh,
+                    kind: EdgeKind::Flow {
+                        excluded_from_thin: false,
+                    },
+                },
+            );
         }
     }
 
@@ -64,7 +80,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                             sdg.add_edge(
                                 node,
-                                Edge { target: mh, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                                Edge {
+                                    target: mh,
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
+                                },
                             );
                         }
                     }
@@ -76,7 +97,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                             sdg.add_edge(
                                 mh,
-                                Edge { target: node, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                                Edge {
+                                    target: node,
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
+                                },
                             );
                         }
                     }
@@ -88,7 +114,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                             sdg.add_edge(
                                 node,
-                                Edge { target: mh, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                                Edge {
+                                    target: mh,
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
+                                },
                             );
                         }
                     }
@@ -100,7 +131,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                             sdg.add_edge(
                                 mh,
-                                Edge { target: node, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                                Edge {
+                                    target: node,
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
+                                },
                             );
                         }
                     }
@@ -111,7 +147,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                         let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                         sdg.add_edge(
                             node,
-                            Edge { target: mh, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                            Edge {
+                                target: mh,
+                                kind: EdgeKind::Flow {
+                                    excluded_from_thin: false,
+                                },
+                            },
                         );
                     }
                 }
@@ -121,7 +162,12 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                         let mh = sdg.intern(NodeKind::MethodHeap(inst, p));
                         sdg.add_edge(
                             mh,
-                            Edge { target: node, kind: EdgeKind::Flow { excluded_from_thin: false } },
+                            Edge {
+                                target: node,
+                                kind: EdgeKind::Flow {
+                                    excluded_from_thin: false,
+                                },
+                            },
                         );
                     }
                 }
@@ -139,12 +185,20 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh_caller = sdg.intern(NodeKind::MethodHeap(inst, p));
                             // Callee's formal-in comes from the call-site
                             // actual-in, which reads the caller's state.
-                            sdg.add_edge(fin, Edge { target: ain, kind: EdgeKind::ParamIn { site } });
+                            sdg.add_edge(
+                                fin,
+                                Edge {
+                                    target: ain,
+                                    kind: EdgeKind::ParamIn { site },
+                                },
+                            );
                             sdg.add_edge(
                                 ain,
                                 Edge {
                                     target: mh_caller,
-                                    kind: EdgeKind::Flow { excluded_from_thin: false },
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
                                 },
                             );
                         }
@@ -154,12 +208,20 @@ fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref:
                             let mh_caller = sdg.intern(NodeKind::MethodHeap(inst, p));
                             // The caller's state after the call includes the
                             // callee's writes.
-                            sdg.add_edge(aout, Edge { target: fout, kind: EdgeKind::ParamOut { site } });
+                            sdg.add_edge(
+                                aout,
+                                Edge {
+                                    target: fout,
+                                    kind: EdgeKind::ParamOut { site },
+                                },
+                            );
                             sdg.add_edge(
                                 mh_caller,
                                 Edge {
                                     target: aout,
-                                    kind: EdgeKind::Flow { excluded_from_thin: false },
+                                    kind: EdgeKind::Flow {
+                                        excluded_from_thin: false,
+                                    },
                                 },
                             );
                         }
@@ -245,7 +307,8 @@ mod tests {
             .unwrap();
         let deps = cs.deps(load);
         assert!(
-            deps.iter().any(|e| matches!(cs.node(e.target), NodeKind::MethodHeap(..))),
+            deps.iter()
+                .any(|e| matches!(cs.node(e.target), NodeKind::MethodHeap(..))),
             "the load must read through take's MethodHeap"
         );
         assert!(
@@ -286,7 +349,7 @@ mod tests {
             .expect("fill has a heap formal-out");
         let mut frontier = vec![fout];
         let mut found_store = false;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = thinslice_util::FxHashSet::default();
         while let Some(n) = frontier.pop() {
             if !seen.insert(n) {
                 continue;
@@ -304,6 +367,9 @@ mod tests {
                 }
             }
         }
-        assert!(found_store, "formal-out reaches the store through the aggregator");
+        assert!(
+            found_store,
+            "formal-out reaches the store through the aggregator"
+        );
     }
 }

@@ -36,18 +36,20 @@
 
 pub mod builder;
 pub mod control;
+pub mod csr;
 pub mod heap_params;
 pub mod node;
 pub mod stats;
 
 pub use builder::build_ci;
+pub use csr::{DenseDisplay, DepGraph, FilteredCsr, FrozenSdg, NO_DISPLAY};
 pub use heap_params::build_cs;
 pub use node::{Edge, EdgeKind, NodeId, NodeKind};
 pub use stats::SdgStats;
 
-use std::collections::HashMap;
 use thinslice_ir::{MethodId, StmtRef};
 use thinslice_pta::CgNode;
+use thinslice_util::FxHashMap;
 use thinslice_util::IdxVec;
 
 /// How heap-based value flow is represented.
@@ -68,12 +70,12 @@ pub enum HeapMode {
 pub struct Sdg {
     mode: HeapMode,
     nodes: IdxVec<NodeId, NodeKind>,
-    node_of: HashMap<NodeKind, NodeId>,
+    node_of: FxHashMap<NodeKind, NodeId>,
     deps: IdxVec<NodeId, Vec<Edge>>,
     /// All instance nodes of a statement (one per analysed clone).
-    nodes_of_stmt: HashMap<StmtRef, Vec<NodeId>>,
+    nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>>,
     /// Method of each instance, learned from its statement nodes.
-    method_of_inst: HashMap<CgNode, MethodId>,
+    method_of_inst: FxHashMap<CgNode, MethodId>,
     edge_count: usize,
 }
 
@@ -83,10 +85,10 @@ impl Sdg {
         Sdg {
             mode,
             nodes: IdxVec::new(),
-            node_of: HashMap::new(),
+            node_of: FxHashMap::default(),
             deps: IdxVec::new(),
-            nodes_of_stmt: HashMap::new(),
-            method_of_inst: HashMap::new(),
+            nodes_of_stmt: FxHashMap::default(),
+            method_of_inst: FxHashMap::default(),
             edge_count: 0,
         }
     }
@@ -168,7 +170,9 @@ impl Sdg {
 
     /// Iterates over statement nodes only.
     pub fn stmt_nodes(&self) -> impl Iterator<Item = (NodeId, StmtRef)> + '_ {
-        self.nodes.iter_enumerated().filter_map(|(n, k)| k.as_stmt().map(|s| (n, s)))
+        self.nodes
+            .iter_enumerated()
+            .filter_map(|(n, k)| k.as_stmt().map(|s| (n, s)))
     }
 
     /// Total node count.
@@ -216,7 +220,10 @@ impl Sdg {
     fn instance_method(&self, inst: CgNode) -> MethodId {
         // Statement nodes are interned before any parameter/entry node of
         // their instance, so the map is always populated by then.
-        *self.method_of_inst.get(&inst).expect("instance has statements")
+        *self
+            .method_of_inst
+            .get(&inst)
+            .expect("instance has statements")
     }
 }
 
@@ -230,7 +237,10 @@ mod tests {
             CgNode::new(0),
             StmtRef {
                 method: MethodId::new(m as usize),
-                loc: Loc { block: BlockId::new(0), index: i },
+                loc: Loc {
+                    block: BlockId::new(0),
+                    index: i,
+                },
             },
         )
     }
@@ -249,13 +259,24 @@ mod tests {
         let mut g = Sdg::empty(HeapMode::DirectEdges);
         let a = g.intern(stmt(0, 0));
         let b = g.intern(stmt(0, 1));
-        let e = Edge { target: b, kind: EdgeKind::Control };
+        let e = Edge {
+            target: b,
+            kind: EdgeKind::Control,
+        };
         g.add_edge(a, e);
         g.add_edge(a, e);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.deps(a), &[e]);
         // A different kind between the same nodes is a distinct edge.
-        g.add_edge(a, Edge { target: b, kind: EdgeKind::Flow { excluded_from_thin: false } });
+        g.add_edge(
+            a,
+            Edge {
+                target: b,
+                kind: EdgeKind::Flow {
+                    excluded_from_thin: false,
+                },
+            },
+        );
         assert_eq!(g.edge_count(), 2);
     }
 
@@ -272,7 +293,10 @@ mod tests {
         let mut g = Sdg::empty(HeapMode::DirectEdges);
         let sr = StmtRef {
             method: MethodId::new(1),
-            loc: Loc { block: BlockId::new(0), index: 0 },
+            loc: Loc {
+                block: BlockId::new(0),
+                index: 0,
+            },
         };
         let a = g.intern(NodeKind::Stmt(CgNode::new(0), sr));
         let b = g.intern(NodeKind::Stmt(CgNode::new(1), sr));

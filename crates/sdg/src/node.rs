@@ -132,9 +132,18 @@ mod tests {
 
     #[test]
     fn edge_classification() {
-        assert!(EdgeKind::Flow { excluded_from_thin: false }.in_thin_slice());
-        assert!(!EdgeKind::Flow { excluded_from_thin: true }.in_thin_slice());
-        assert!(EdgeKind::Flow { excluded_from_thin: true }.in_data_slice());
+        assert!(EdgeKind::Flow {
+            excluded_from_thin: false
+        }
+        .in_thin_slice());
+        assert!(!EdgeKind::Flow {
+            excluded_from_thin: true
+        }
+        .in_thin_slice());
+        assert!(EdgeKind::Flow {
+            excluded_from_thin: true
+        }
+        .in_data_slice());
         assert!(!EdgeKind::Control.in_thin_slice());
         assert!(!EdgeKind::Control.in_data_slice());
         assert!(EdgeKind::Control.in_traditional_slice());

@@ -75,7 +75,10 @@ mod tests {
         let cs = SdgStats::compute(&build_cs(&p, &pta, &modref));
         assert_eq!(ci.heap_param_nodes, 0);
         assert!(cs.heap_param_nodes > 0);
-        assert_eq!(ci.stmt_nodes, cs.stmt_nodes, "same statements in both modes");
+        assert_eq!(
+            ci.stmt_nodes, cs.stmt_nodes,
+            "same statements in both modes"
+        );
         assert!(cs.nodes > ci.nodes);
     }
 }

@@ -5,9 +5,8 @@
 //! SDG explodes. [`GeneratorConfig`] controls how much of each shape is
 //! produced; generation is deterministic for a given seed.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::fmt::Write;
+use thinslice_util::SmallRng;
 
 /// Size knobs for the generated program.
 #[derive(Debug, Clone)]
@@ -28,7 +27,13 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self { node_classes: 8, passes: 2, container_chains: 4, call_depth: 3, seed: 7 }
+        Self {
+            node_classes: 8,
+            passes: 2,
+            container_chains: 4,
+            call_depth: 3,
+            seed: 7,
+        }
     }
 }
 
@@ -54,15 +59,15 @@ impl GeneratorConfig {
 /// thin slice is short and whose traditional slice spans the generated
 /// plumbing.
 pub fn generate(config: &GeneratorConfig) -> String {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::new(config.seed);
     let mut out = String::new();
 
     // The node hierarchy (javac shape). The base `weigh` makes calls
     // through the supertype polymorphic (CHA vs Andersen ablation).
     out.push_str("class GenNode {\n    int op;\n    GenNode(int op) {\n        this.op = op;\n    }\n    int weigh() {\n        return this.op;\n    }\n}\n\n");
     for i in 0..config.node_classes {
-        let a = rng.gen_range(1..9);
-        let b = rng.gen_range(1..9);
+        let a = rng.range_usize(1, 9);
+        let b = rng.range_usize(1, 9);
         writeln!(
             out,
             "class GenNode{i} extends GenNode {{\n    int payload;\n    GenNode{i}(int payload) {{\n        super({op});\n        this.payload = payload * {a} + {b};\n    }}\n    int weigh() {{\n        return this.payload * {b};\n    }}\n}}\n",
@@ -95,7 +100,7 @@ pub fn generate(config: &GeneratorConfig) -> String {
     // Call-depth helpers: each value travels through `call_depth` wrappers.
     for d in 0..config.call_depth {
         let next = if d + 1 < config.call_depth {
-            format!("GenHop{}.relay(value + {})", d + 1, rng.gen_range(1..5))
+            format!("GenHop{}.relay(value + {})", d + 1, rng.range_usize(1, 5))
         } else {
             "value".to_string()
         };

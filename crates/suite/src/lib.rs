@@ -70,7 +70,11 @@ mod tests {
     fn all_benchmarks_compile() {
         for b in all_benchmarks() {
             let a = b.analyze(thinslice_pta::PtaConfig::default());
-            assert!(a.pta.callgraph.node_count() > 0, "{} has no reachable code", b.name);
+            assert!(
+                a.pta.callgraph.node_count() > 0,
+                "{} has no reachable code",
+                b.name
+            );
         }
     }
 

@@ -176,12 +176,18 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "ant", sources: vec![("ant.mj", SOURCE)] }
+    Benchmark {
+        name: "ant",
+        sources: vec![("ant.mj", SOURCE)],
+    }
 }
 
 /// The four injected-bug tasks (Table 2 rows ant-1 … ant-4).
 pub fn bugs() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "ant.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "ant.mj",
+        snippet,
+    };
     vec![
         // A task whose value is null; the bug is the task construction one
         // call away, guarded by the null check.
@@ -202,7 +208,9 @@ pub fn bugs() -> Vec<Task> {
             benchmark: "ant",
             kind: TaskKind::Bug,
             seed: m("print(\"run: \" + task.value);"),
-            desired: vec![m("String taskValue = line.substring(cut + 1, line.length() - 1);")],
+            desired: vec![m(
+                "String taskValue = line.substring(cut + 1, line.length() - 1);",
+            )],
             control_deps: 0,
             needs_alias_expansion: false,
             paper_thin: 4,

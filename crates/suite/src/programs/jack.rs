@@ -174,12 +174,18 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "jack", sources: vec![("jack.mj", SOURCE)] }
+    Benchmark {
+        name: "jack",
+        sources: vec![("jack.mj", SOURCE)],
+    }
 }
 
 /// The ten tough-cast tasks (Table 3 rows jack-1 … jack-10).
 pub fn casts() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "jack.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "jack.mj",
+        snippet,
+    };
     vec![
         Task {
             id: "jack-1",
@@ -197,7 +203,10 @@ pub fn casts() -> Vec<Task> {
             benchmark: "jack",
             kind: TaskKind::ToughCast,
             seed: m("ParseState state = (ParseState) this.work.pop();"),
-            desired: vec![m("this.work.push(new ParseState(p, 0));"), m("this.work.push(new ParseState(state.production, state.dot + 1));")],
+            desired: vec![
+                m("this.work.push(new ParseState(p, 0));"),
+                m("this.work.push(new ParseState(state.production, state.dot + 1));"),
+            ],
             control_deps: 0,
             needs_alias_expansion: false,
             paper_thin: 57,

@@ -412,7 +412,10 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "javac", sources: vec![("javac.mj", SOURCE)] }
+    Benchmark {
+        name: "javac",
+        sources: vec![("javac.mj", SOURCE)],
+    }
 }
 
 /// The four tough-cast tasks (Table 3 rows javac-1 … javac-4).
@@ -424,14 +427,30 @@ pub fn benchmark() -> Benchmark {
 /// statements — "writes of opcodes in a large number of constructors,
 /// which could be quickly inspected" (§6.3).
 pub fn casts() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "javac.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "javac.mj",
+        snippet,
+    };
     vec![
         Task {
             id: "javac-1",
             benchmark: "javac",
             kind: TaskKind::ToughCast,
             seed: m("AddNode add = (AddNode) n;"),
-            desired: vec![m("super(1);"), m("super(2);"), m("super(3);"), m("super(4);"), m("super(5);"), m("super(6);"), m("super(7);"), m("super(8);"), m("super(9);"), m("super(10);"), m("super(11);"), m("super(12);")],
+            desired: vec![
+                m("super(1);"),
+                m("super(2);"),
+                m("super(3);"),
+                m("super(4);"),
+                m("super(5);"),
+                m("super(6);"),
+                m("super(7);"),
+                m("super(8);"),
+                m("super(9);"),
+                m("super(10);"),
+                m("super(11);"),
+                m("super(12);"),
+            ],
             control_deps: 1,
             needs_alias_expansion: false,
             paper_thin: 57,
@@ -442,7 +461,20 @@ pub fn casts() -> Vec<Task> {
             benchmark: "javac",
             kind: TaskKind::ToughCast,
             seed: m("MulNode mul = (MulNode) n;"),
-            desired: vec![m("super(1);"), m("super(2);"), m("super(3);"), m("super(4);"), m("super(5);"), m("super(6);"), m("super(7);"), m("super(8);"), m("super(9);"), m("super(10);"), m("super(11);"), m("super(12);")],
+            desired: vec![
+                m("super(1);"),
+                m("super(2);"),
+                m("super(3);"),
+                m("super(4);"),
+                m("super(5);"),
+                m("super(6);"),
+                m("super(7);"),
+                m("super(8);"),
+                m("super(9);"),
+                m("super(10);"),
+                m("super(11);"),
+                m("super(12);"),
+            ],
             control_deps: 1,
             needs_alias_expansion: false,
             paper_thin: 43,
@@ -453,7 +485,20 @@ pub fn casts() -> Vec<Task> {
             benchmark: "javac",
             kind: TaskKind::ToughCast,
             seed: m("CallNode call = (CallNode) n;"),
-            desired: vec![m("super(1);"), m("super(2);"), m("super(3);"), m("super(4);"), m("super(5);"), m("super(6);"), m("super(7);"), m("super(8);"), m("super(9);"), m("super(10);"), m("super(11);"), m("super(12);")],
+            desired: vec![
+                m("super(1);"),
+                m("super(2);"),
+                m("super(3);"),
+                m("super(4);"),
+                m("super(5);"),
+                m("super(6);"),
+                m("super(7);"),
+                m("super(8);"),
+                m("super(9);"),
+                m("super(10);"),
+                m("super(11);"),
+                m("super(12);"),
+            ],
             control_deps: 1,
             needs_alias_expansion: false,
             paper_thin: 65,
@@ -464,7 +509,20 @@ pub fn casts() -> Vec<Task> {
             benchmark: "javac",
             kind: TaskKind::ToughCast,
             seed: m("IfNode cond = (IfNode) n;"),
-            desired: vec![m("super(1);"), m("super(2);"), m("super(3);"), m("super(4);"), m("super(5);"), m("super(6);"), m("super(7);"), m("super(8);"), m("super(9);"), m("super(10);"), m("super(11);"), m("super(12);")],
+            desired: vec![
+                m("super(1);"),
+                m("super(2);"),
+                m("super(3);"),
+                m("super(4);"),
+                m("super(5);"),
+                m("super(6);"),
+                m("super(7);"),
+                m("super(8);"),
+                m("super(9);"),
+                m("super(10);"),
+                m("super(11);"),
+                m("super(12);"),
+            ],
             control_deps: 1,
             needs_alias_expansion: false,
             paper_thin: 45,
@@ -499,9 +557,11 @@ mod tests {
         let cast = stmts
             .iter()
             .find_map(|s| match &a.program.instr(*s).kind {
-                thinslice_ir::InstrKind::Cast { src: thinslice_ir::Operand::Var(v), ty, .. } => {
-                    Some((s.method, *v, ty.clone()))
-                }
+                thinslice_ir::InstrKind::Cast {
+                    src: thinslice_ir::Operand::Var(v),
+                    ty,
+                    ..
+                } => Some((s.method, *v, ty.clone())),
                 _ => None,
             })
             .expect("cast statement on the line");

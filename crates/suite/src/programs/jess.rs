@@ -193,12 +193,18 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "jess", sources: vec![("jess.mj", SOURCE)] }
+    Benchmark {
+        name: "jess",
+        sources: vec![("jess.mj", SOURCE)],
+    }
 }
 
 /// The six tough-cast tasks (Table 3 rows jess-1 … jess-6).
 pub fn casts() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "jess.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "jess.mj",
+        snippet,
+    };
     vec![
         Task {
             id: "jess-1",

@@ -85,12 +85,18 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "jtopas", sources: vec![("jtopas.mj", SOURCE)] }
+    Benchmark {
+        name: "jtopas",
+        sources: vec![("jtopas.mj", SOURCE)],
+    }
 }
 
 /// The two injected-bug tasks (Table 2 rows jtopas-1, jtopas-2).
 pub fn bugs() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "jtopas.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "jtopas.mj",
+        snippet,
+    };
     vec![
         // The buggy statement itself fails (a null dereference — `ghost`
         // is an out-of-range read): seed == desired, one inspection.

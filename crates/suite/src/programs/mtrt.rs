@@ -148,19 +148,28 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "mtrt", sources: vec![("mtrt.mj", SOURCE)] }
+    Benchmark {
+        name: "mtrt",
+        sources: vec![("mtrt.mj", SOURCE)],
+    }
 }
 
 /// The two tough-cast tasks (Table 3 rows mtrt-1, mtrt-2).
 pub fn casts() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "mtrt.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "mtrt.mj",
+        snippet,
+    };
     vec![
         Task {
             id: "mtrt-1",
             benchmark: "mtrt",
             kind: TaskKind::ToughCast,
             seed: m("SphereShape sphere = (SphereShape) shape;"),
-            desired: vec![m("scene.addShape(new SphereShape(c, this.input.readInt()));"), m("scene.addShape(new TriangleShape(c, c2, c3));")],
+            desired: vec![
+                m("scene.addShape(new SphereShape(c, this.input.readInt()));"),
+                m("scene.addShape(new TriangleShape(c, c2, c3));"),
+            ],
             control_deps: 0,
             needs_alias_expansion: false,
             paper_thin: 22,
@@ -171,7 +180,10 @@ pub fn casts() -> Vec<Task> {
             benchmark: "mtrt",
             kind: TaskKind::ToughCast,
             seed: m("TriangleShape triangle = (TriangleShape) shape;"),
-            desired: vec![m("scene.addShape(new SphereShape(c, this.input.readInt()));"), m("scene.addShape(new TriangleShape(c, c2, c3));")],
+            desired: vec![
+                m("scene.addShape(new SphereShape(c, this.input.readInt()));"),
+                m("scene.addShape(new TriangleShape(c, c2, c3));"),
+            ],
             control_deps: 0,
             needs_alias_expansion: false,
             paper_thin: 23,

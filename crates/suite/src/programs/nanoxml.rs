@@ -216,12 +216,18 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "nanoxml", sources: vec![("nanoxml.mj", SOURCE)] }
+    Benchmark {
+        name: "nanoxml",
+        sources: vec![("nanoxml.mj", SOURCE)],
+    }
 }
 
 /// The six injected-bug tasks (Table 2 rows nanoxml-1 … nanoxml-6).
 pub fn bugs() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "nanoxml.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "nanoxml.mj",
+        snippet,
+    };
     vec![
         // Attribute value printed wrong; the bug is the substring offset in
         // parseAttribute, two container hops away from the print.

@@ -100,7 +100,10 @@ class Main {
 
 /// The benchmark definition.
 pub fn benchmark() -> Benchmark {
-    Benchmark { name: "xmlsec", sources: vec![("xmlsec.mj", SOURCE)] }
+    Benchmark {
+        name: "xmlsec",
+        sources: vec![("xmlsec.mj", SOURCE)],
+    }
 }
 
 /// Bugs for which the paper found *no* kind of slicing useful: the injected
@@ -112,7 +115,10 @@ pub fn unsliceable_bug_count() -> usize {
 
 /// The single sliceable task (Table 2 row xml-security-1).
 pub fn bugs() -> Vec<Task> {
-    let m = |snippet: &'static str| Marker { file: "xmlsec.mj", snippet };
+    let m = |snippet: &'static str| Marker {
+        file: "xmlsec.mj",
+        snippet,
+    };
     vec![Task {
         id: "xml-security-1",
         benchmark: "xmlsec",
@@ -129,7 +135,7 @@ pub fn bugs() -> Vec<Task> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use thinslice_pta::PtaConfig;
 
     #[test]

@@ -14,9 +14,7 @@
 //!   inspected afterwards.
 
 use crate::spec::{Benchmark, Task};
-use thinslice::{
-    expand, Analysis, InspectTask, InspectionResult, SliceKind,
-};
+use thinslice::{expand, Analysis, InspectTask, InspectionResult, SliceKind};
 use thinslice_ir::StmtRef;
 
 /// The measured numbers for one slicer on one task.
@@ -99,7 +97,10 @@ pub fn measure(
             }
         }
     }
-    let widened = InspectTask { seeds, desired: resolved.desired.clone() };
+    let widened = InspectTask {
+        seeds,
+        desired: resolved.desired.clone(),
+    };
     let base: InspectionResult = analysis.inspect(&widened, kind);
 
     let mut inspected = base.inspected + task.control_deps as usize + extra_inspected;
@@ -155,7 +156,10 @@ pub fn measure(
             )
         };
         pairs.sort_by_key(|(load, store)| {
-            (!stores_literal(*store), position_of(*store).min(position_of(*load)))
+            (
+                !stores_literal(*store),
+                position_of(*store).min(position_of(*load)),
+            )
         });
 
         // Every explanation line counts as fresh inspection effort; the set
@@ -200,7 +204,11 @@ pub fn measure(
         full_slice += extra;
     }
 
-    Measurement { inspected, found, full_slice }
+    Measurement {
+        inspected,
+        found,
+        full_slice,
+    }
 }
 
 /// Runs a full task: thin + traditional, with and without object-sensitive
@@ -240,7 +248,12 @@ mod tests {
             let row = run_task(&b, &task, &precise, &noobjsens);
             assert!(row.thin.found, "{}: thin must find the bug", row.id);
             assert!(row.trad.found, "{}: trad must find the bug", row.id);
-            assert!(row.thin.inspected <= 16, "{}: thin={}", row.id, row.thin.inspected);
+            assert!(
+                row.thin.inspected <= 16,
+                "{}: thin={}",
+                row.id,
+                row.thin.inspected
+            );
             assert!(row.thin.inspected <= row.trad.inspected);
         }
     }

@@ -113,14 +113,20 @@ impl Task {
         let (seed_file, seed_line) = line_of_marker(&self.seed);
         let seeds = analysis
             .seed_at_line(seed_file, seed_line)
-            .unwrap_or_else(|| panic!("{}: seed line {seed_file}:{seed_line} unreachable", self.id));
+            .unwrap_or_else(|| {
+                panic!("{}: seed line {seed_file}:{seed_line} unreachable", self.id)
+            });
         let desired = self
             .desired
             .iter()
             .map(|m| {
                 let (f, l) = line_of_marker(m);
                 let stmts = analysis.stmts_at_line(f, l);
-                assert!(!stmts.is_empty(), "{}: desired line {f}:{l} has no statements", self.id);
+                assert!(
+                    !stmts.is_empty(),
+                    "{}: desired line {f}:{l} has no statements",
+                    self.id
+                );
                 stmts
             })
             .collect();

@@ -37,12 +37,18 @@ impl<I: Idx> Default for BitSet<I> {
 impl<I: Idx> BitSet<I> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        Self { words: Vec::new(), _marker: PhantomData }
+        Self {
+            words: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty set sized for a domain of `n` elements.
     pub fn with_domain_size(n: usize) -> Self {
-        Self { words: vec![0; n.div_ceil(WORD_BITS)], _marker: PhantomData }
+        Self {
+            words: vec![0; n.div_ceil(WORD_BITS)],
+            _marker: PhantomData,
+        }
     }
 
     fn ensure(&mut self, word: usize) {
@@ -111,6 +117,28 @@ impl<I: Idx> BitSet<I> {
         changed
     }
 
+    /// Adds all elements of `other`, recording every *newly added* element
+    /// into `delta`; returns `true` if anything changed.
+    ///
+    /// This is the primitive behind difference propagation in the points-to
+    /// solver: the worklist carries only the bits that actually changed.
+    pub fn union_with_delta(&mut self, other: &Self, delta: &mut Self) -> bool {
+        if self.words.len() < other.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut changed = false;
+        for (i, (a, &b)) in self.words.iter_mut().zip(&other.words).enumerate() {
+            let fresh = b & !*a;
+            if fresh != 0 {
+                changed = true;
+                *a |= b;
+                delta.ensure(i);
+                delta.words[i] |= fresh;
+            }
+        }
+        changed
+    }
+
     /// Keeps only elements also in `other`.
     pub fn intersect_with(&mut self, other: &Self) {
         for (i, a) in self.words.iter_mut().enumerate() {
@@ -127,7 +155,10 @@ impl<I: Idx> BitSet<I> {
 
     /// Whether the two sets share any element.
     pub fn intersects(&self, other: &Self) -> bool {
-        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// Whether every element of `self` is in `other`.
@@ -140,13 +171,20 @@ impl<I: Idx> BitSet<I> {
 
     /// Iterates over the elements in increasing index order.
     pub fn iter(&self) -> BitSetIter<'_, I> {
-        BitSetIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0), _marker: PhantomData }
+        BitSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+            _marker: PhantomData,
+        }
     }
 }
 
 impl<I: Idx> fmt::Debug for BitSet<I> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_set().entries(self.iter().map(|i| i.index())).finish()
+        f.debug_set()
+            .entries(self.iter().map(|i| i.index()))
+            .finish()
     }
 }
 
@@ -198,7 +236,7 @@ impl<I: Idx> Iterator for BitSetIter<'_, I> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SmallRng;
     use std::collections::BTreeSet;
 
     #[test]
@@ -251,30 +289,82 @@ mod tests {
         assert_eq!(s.iter().collect::<Vec<_>>(), elems.to_vec());
     }
 
-    proptest! {
-        #[test]
-        fn matches_btreeset_semantics(ops in proptest::collection::vec((0usize..300, any::<bool>()), 0..200)) {
+    #[test]
+    fn matches_btreeset_semantics() {
+        // Deterministic randomized differential test against BTreeSet.
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::new(seed);
             let mut bs: BitSet = BitSet::new();
             let mut reference = BTreeSet::new();
-            for (v, add) in ops {
-                if add {
-                    prop_assert_eq!(bs.insert(v), reference.insert(v));
+            for _ in 0..200 {
+                let v = rng.range_usize(0, 300);
+                if rng.bool() {
+                    assert_eq!(
+                        bs.insert(v),
+                        reference.insert(v),
+                        "insert {v} (seed {seed})"
+                    );
                 } else {
-                    prop_assert_eq!(bs.remove(v), reference.remove(&v));
+                    assert_eq!(
+                        bs.remove(v),
+                        reference.remove(&v),
+                        "remove {v} (seed {seed})"
+                    );
                 }
             }
-            prop_assert_eq!(bs.len(), reference.len());
-            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), reference.into_iter().collect::<Vec<_>>());
+            assert_eq!(bs.len(), reference.len());
+            assert_eq!(
+                bs.iter().collect::<Vec<_>>(),
+                reference.into_iter().collect::<Vec<_>>()
+            );
         }
+    }
 
-        #[test]
-        fn union_is_set_union(a in proptest::collection::btree_set(0usize..200, 0..50),
-                              b in proptest::collection::btree_set(0usize..200, 0..50)) {
+    #[test]
+    fn union_is_set_union() {
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::new(seed ^ 0xabcd);
+            let a: BTreeSet<usize> = (0..rng.range_usize(0, 50))
+                .map(|_| rng.range_usize(0, 200))
+                .collect();
+            let b: BTreeSet<usize> = (0..rng.range_usize(0, 50))
+                .map(|_| rng.range_usize(0, 200))
+                .collect();
             let mut x: BitSet = a.iter().copied().collect();
             let y: BitSet = b.iter().copied().collect();
             x.union_with(&y);
             let expect: Vec<_> = a.union(&b).copied().collect();
-            prop_assert_eq!(x.iter().collect::<Vec<_>>(), expect);
+            assert_eq!(x.iter().collect::<Vec<_>>(), expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn union_with_delta_records_exactly_the_new_bits() {
+        for seed in 0..24u64 {
+            let mut rng = SmallRng::new(seed ^ 0x5eed);
+            let a: BTreeSet<usize> = (0..rng.range_usize(0, 60))
+                .map(|_| rng.range_usize(0, 300))
+                .collect();
+            let b: BTreeSet<usize> = (0..rng.range_usize(0, 60))
+                .map(|_| rng.range_usize(0, 300))
+                .collect();
+            let mut x: BitSet = a.iter().copied().collect();
+            let y: BitSet = b.iter().copied().collect();
+            let mut delta: BitSet = BitSet::new();
+            let changed = x.union_with_delta(&y, &mut delta);
+            let expect_delta: Vec<_> = b.difference(&a).copied().collect();
+            assert_eq!(
+                delta.iter().collect::<Vec<_>>(),
+                expect_delta,
+                "seed {seed}"
+            );
+            assert_eq!(changed, !expect_delta.is_empty());
+            let expect_union: Vec<_> = a.union(&b).copied().collect();
+            assert_eq!(x.iter().collect::<Vec<_>>(), expect_union);
+            // Accumulation: a second union with the same set adds nothing.
+            let mut delta2: BitSet = BitSet::new();
+            assert!(!x.union_with_delta(&y, &mut delta2));
+            assert!(delta2.is_empty());
         }
     }
 }

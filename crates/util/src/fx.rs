@@ -1,0 +1,129 @@
+//! Fx hashing: the fast, non-cryptographic hash used by rustc.
+//!
+//! The analysis crates key hash maps almost exclusively by small dense
+//! integers and short tuples of them (statement refs, call-graph nodes,
+//! object ids). SipHash — the `std` default — burns most of its time on
+//! DoS resistance these internal tables do not need. This module is a
+//! dependency-free reimplementation of the `rustc-hash` algorithm (the
+//! crates.io crate is intentionally not pulled in: the build must work
+//! without network access), exposing the same `FxHashMap`/`FxHashSet`
+//! aliases so call sites read identically to code using the real crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice_util::{FxHashMap, FxHashSet};
+//!
+//! let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! let s: FxHashSet<u32> = [1, 2, 2, 3].into_iter().collect();
+//! assert_eq!(s.len(), 3);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The multiplier from rustc's Fx hash (a pi-derived odd constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash state: one 64-bit word folded with rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_ne_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_hash_equal() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_words() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_behave() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, 82)], 41);
+        let s: FxHashSet<u64> = (0..100).collect();
+        assert!(s.contains(&99));
+        assert!(!s.contains(&100));
+    }
+}

@@ -32,12 +32,18 @@ pub struct IdxVec<I: Idx, T> {
 impl<I: Idx, T> IdxVec<I, T> {
     /// Creates an empty vector.
     pub fn new() -> Self {
-        Self { raw: Vec::new(), _marker: PhantomData }
+        Self {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates an empty vector with the given capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { raw: Vec::with_capacity(cap), _marker: PhantomData }
+        Self {
+            raw: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
     }
 
     /// Creates a vector of `n` clones of `value`.
@@ -45,12 +51,18 @@ impl<I: Idx, T> IdxVec<I, T> {
     where
         T: Clone,
     {
-        Self { raw: vec![value; n], _marker: PhantomData }
+        Self {
+            raw: vec![value; n],
+            _marker: PhantomData,
+        }
     }
 
     /// Wraps an existing `Vec`, adopting positional indices.
     pub fn from_raw(raw: Vec<T>) -> Self {
-        Self { raw, _marker: PhantomData }
+        Self {
+            raw,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.
@@ -97,7 +109,10 @@ impl<I: Idx, T> IdxVec<I, T> {
 
     /// Iterates over `(index, &element)` pairs.
     pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> + '_ {
-        self.raw.iter().enumerate().map(|(i, t)| (I::from_usize(i), t))
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_usize(i), t))
     }
 
     /// Iterates over all valid indices.

@@ -9,7 +9,11 @@
 //! * [`IdxVec`] — a `Vec` indexed by such a newtype,
 //! * [`BitSet`] — a dense bitset used for points-to sets and slice sets,
 //! * [`Worklist`] — a FIFO worklist with membership dedup,
-//! * [`UnionFind`] — used for heap-partition merging.
+//! * [`UnionFind`] — used for heap-partition merging,
+//! * [`FxHashMap`]/[`FxHashSet`] — fast non-DoS-resistant hashing for the
+//!   analyses' internal tables,
+//! * [`par`] — an order-preserving parallel map for batched queries,
+//! * [`SmallRng`] — a deterministic PRNG for generators and tests.
 //!
 //! # Examples
 //!
@@ -23,12 +27,17 @@
 //! ```
 
 mod bitset;
+mod fx;
 mod idxvec;
+pub mod par;
+mod rng;
 mod unionfind;
 mod worklist;
 
 pub use bitset::{BitSet, BitSetIter};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use idxvec::IdxVec;
+pub use rng::SmallRng;
 pub use unionfind::UnionFind;
 pub use worklist::Worklist;
 

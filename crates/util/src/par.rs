@@ -1,0 +1,151 @@
+//! A minimal data-parallel executor over scoped threads.
+//!
+//! The batched slicing engine fans independent queries out across cores.
+//! `rayon` would be the natural dependency, but the build must work without
+//! network access, so this module provides the one primitive the engine
+//! needs: an order-preserving parallel map with per-worker state, built on
+//! `std::thread::scope` and an atomic work counter (dynamic load balancing,
+//! no work splitting heuristics to tune).
+//!
+//! Results are returned in input order regardless of completion order, so
+//! parallel callers observe exactly the sequential output.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice_util::par;
+//!
+//! let squares = par::map_with(&[1u64, 2, 3, 4], 2, || (), |(), _i, x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads to use by default: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, giving each
+/// worker a private scratch state built by `init`; returns the results in
+/// input order.
+///
+/// With `threads <= 1` (or one item) everything runs on the calling thread
+/// with no spawning, so single-threaded behaviour is exactly a `for` loop —
+/// useful both for determinism tests and for machines without spare cores.
+pub fn map_with<T, R, S, I, F>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&mut scratch, i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for w in workers {
+            // A panic in a worker propagates here, matching sequential
+            // behaviour (the panic surfaces to the caller).
+            for (i, r) in w.join().expect("parallel map worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+        slots
+    });
+    slots
+        .iter_mut()
+        .map(|s| s.take().expect("every index produced"))
+        .collect()
+}
+
+/// [`map_with`] without per-worker state.
+pub fn map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with(items, threads, || (), |(), i, t| f(i, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let out = map(&items, 4, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let seq = map(&items, 1, |i, &x| x.wrapping_mul(i as u64 + 1));
+        let par = map(&items, 8, |i, &x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        // Each worker counts how many items it saw; totals must add up.
+        use std::sync::atomic::AtomicUsize;
+        let total = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..200).collect();
+        let out = map_with(
+            &items,
+            3,
+            || 0usize,
+            |count, _, &x| {
+                *count += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+        );
+        assert_eq!(out, items);
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(map(&[9u8], 4, |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn oversubscribed_thread_count_is_clamped() {
+        let items = [1, 2, 3];
+        assert_eq!(map(&items, 64, |_, &x| x), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,135 @@
+//! A tiny deterministic pseudo-random generator for tests and the program
+//! generator.
+//!
+//! The suite's scalability generator and the randomized property tests need
+//! reproducible pseudo-randomness, not cryptographic quality. This is a
+//! dependency-free splitmix64/xorshift combination (the `rand` crate is
+//! intentionally not pulled in: the build must work without network
+//! access). The same seed always yields the same stream, on every platform.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice_util::SmallRng;
+//!
+//! let mut a = SmallRng::new(7);
+//! let mut b = SmallRng::new(7);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let x = a.range_usize(10, 20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+/// A small deterministic PRNG (xorshift64* seeded through splitmix64).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from `seed`; distinct seeds give distinct
+    /// streams, and any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        // One splitmix64 step decorrelates adjacent seeds and avoids the
+        // all-zero state xorshift cannot leave.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self { state: z | 1 }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform `i64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi.wrapping_sub(lo) as u64;
+        lo.wrapping_add((self.next_u64() % span) as i64)
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniform choice from a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::new(42);
+        let mut b = SmallRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::new(43);
+        assert_ne!(SmallRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::new(0);
+        for _ in 0..1000 {
+            let u = r.range_usize(3, 9);
+            assert!((3..9).contains(&u));
+            let i = r.range_i64(-50, 50);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut r = SmallRng::new(1);
+        let heads = (0..256).filter(|_| r.bool()).count();
+        assert!(
+            heads > 64 && heads < 192,
+            "suspiciously biased: {heads}/256"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_items() {
+        let mut r = SmallRng::new(5);
+        let items = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = *r.choose(&items);
+            seen[items.iter().position(|&i| i == v).unwrap()] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

@@ -24,7 +24,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
     }
 
     /// Adds a new singleton set, returning its element.
@@ -67,7 +70,11 @@ impl UnionFind {
         if ra == rb {
             return ra;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi as u32;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
@@ -84,7 +91,7 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SmallRng;
 
     #[test]
     fn basic_unions() {
@@ -99,20 +106,24 @@ mod tests {
         assert!(uf.same_set(3, 5));
     }
 
-    proptest! {
-        #[test]
-        fn union_is_transitive(pairs in proptest::collection::vec((0usize..30, 0usize..30), 0..40)) {
+    #[test]
+    fn union_is_transitive() {
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::new(seed);
+            let pairs: Vec<(usize, usize)> = (0..rng.range_usize(0, 40))
+                .map(|_| (rng.range_usize(0, 30), rng.range_usize(0, 30)))
+                .collect();
             let mut uf = UnionFind::new(30);
             for &(a, b) in &pairs {
                 uf.union(a, b);
             }
             // Closure check: representatives partition consistently.
             for &(a, b) in &pairs {
-                prop_assert!(uf.same_set(a, b));
+                assert!(uf.same_set(a, b), "seed {seed}: {a} and {b} must merge");
             }
             for x in 0..30 {
                 let r = uf.find(x);
-                prop_assert_eq!(uf.find(r), r);
+                assert_eq!(uf.find(r), r, "seed {seed}: root of {x} must be a fixpoint");
             }
         }
     }

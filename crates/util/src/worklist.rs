@@ -37,7 +37,10 @@ impl<I: Idx> Default for Worklist<I> {
 impl<I: Idx> Worklist<I> {
     /// Creates an empty worklist.
     pub fn new() -> Self {
-        Self { queue: VecDeque::new(), queued: BitSet::new() }
+        Self {
+            queue: VecDeque::new(),
+            queued: BitSet::new(),
+        }
     }
 
     /// Queues `item` unless it is already pending; returns `true` if queued.

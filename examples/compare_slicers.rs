@@ -11,7 +11,9 @@ use thinslice::{Analysis, SliceKind};
 use thinslice_sdg::SdgStats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "nanoxml".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "nanoxml".to_string());
     let benchmark = thinslice_suite::benchmark_named(&name)
         .unwrap_or_else(|| panic!("unknown benchmark {name}; try nanoxml, ant, javac, jack …"));
     println!("benchmark: {name}");
@@ -34,10 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds: Vec<_> = analysis
         .program
         .all_stmts()
-        .filter(|s| matches!(analysis.program.instr(*s).kind, thinslice_ir::InstrKind::Print { .. }))
+        .filter(|s| {
+            matches!(
+                analysis.program.instr(*s).kind,
+                thinslice_ir::InstrKind::Print { .. }
+            )
+        })
         .filter(|s| !analysis.sdg.stmt_nodes_of(*s).is_empty())
         .collect();
-    println!("\nslicing from each of the {} print statements:", seeds.len());
+    println!(
+        "\nslicing from each of the {} print statements:",
+        seeds.len()
+    );
     println!(
         "{:<28} {:>8} {:>8} {:>12} {:>12}",
         "seed", "thin-CI", "trad-CI", "thin-heappar", "trad-heappar"
@@ -54,13 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let thin_hp = thinslice::cs_slice(&cs_sdg, &cs_nodes, SliceKind::Thin).len();
         let trad_hp = thinslice::cs_slice(&cs_sdg, &cs_nodes, SliceKind::TraditionalData).len();
         let span = analysis.program.instr(seed).span;
-        let label = format!(
-            "{}:{}",
-            analysis.program.files[span.file].name, span.line
-        );
-        println!(
-            "{label:<28} {thin_ci:>8} {trad_ci:>8} {thin_hp:>12} {trad_hp:>12}"
-        );
+        let label = format!("{}:{}", analysis.program.files[span.file].name, span.line);
+        println!("{label:<28} {thin_ci:>8} {trad_ci:>8} {thin_hp:>12} {trad_hp:>12}");
     }
     println!(
         "\nthin ≤ traditional on both graphs; the heap-parameter slicer excludes\n\

@@ -40,7 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The failure: the throw at line 17. No value flows into a throw's
     // guard from the throw itself, so the user first looks at the
     // lexically-adjacent conditional (paper §4.2)…
-    let throw_seed = analysis.seed_at_line("file.mj", 17).expect("throw is reachable");
+    let throw_seed = analysis
+        .seed_at_line("file.mj", 17)
+        .expect("throw is reachable");
     let conditionals: Vec<_> = throw_seed
         .iter()
         .flat_map(|&s| expand::exposed_control_deps(&analysis.sdg, s))

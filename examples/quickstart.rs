@@ -54,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let analysis = Analysis::build(&[("fig1.mj", FIGURE1)])?;
 
     // Seed: the print statement (line 15 of fig1.mj).
-    let seed = analysis.seed_at_line("fig1.mj", 15).expect("print line is reachable");
+    let seed = analysis
+        .seed_at_line("fig1.mj", 15)
+        .expect("print line is reachable");
 
     let thin = analysis.thin_slice(&seed);
     let trad = analysis.traditional_slice(&seed);

@@ -25,14 +25,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (method, src_var, target_ty) = cast_stmts
         .iter()
         .find_map(|s| match &analysis.program.instr(*s).kind {
-            InstrKind::Cast { src: Operand::Var(v), ty, .. } => Some((s.method, *v, ty.clone())),
+            InstrKind::Cast {
+                src: Operand::Var(v),
+                ty,
+                ..
+            } => Some((s.method, *v, ty.clone())),
             _ => None,
         })
         .expect("cast on the line");
-    let verified = analysis.pta.cast_is_verified(&analysis.program, method, src_var, &target_ty);
+    let verified = analysis
+        .pta
+        .cast_is_verified(&analysis.program, method, src_var, &target_ty);
     println!(
         "the (AddNode) cast is {} by the pointer analysis",
-        if verified { "VERIFIED (not tough)" } else { "NOT verifiable — a tough cast" }
+        if verified {
+            "VERIFIED (not tough)"
+        } else {
+            "NOT verifiable — a tough cast"
+        }
     );
 
     // Follow the control dependence from the cast to `if (op == 1)`, then

@@ -1,0 +1,118 @@
+//! The parallel batched query engine must be a pure performance feature:
+//! for every slicer variant, every benchmark program and every thread
+//! count, its output is bit-for-bit the sequential single-query output.
+//!
+//! This holds by construction — workers share only immutable data (the
+//! frozen CSR graph, the down-edge index) and per-worker scratch reuse
+//! clears or memoises only query-independent facts — and this test pins
+//! the construction down against the whole evaluation suite.
+
+use thinslice::{batch, cs_slice, slice_from, SliceKind};
+use thinslice_ir::InstrKind;
+use thinslice_pta::PtaConfig;
+use thinslice_sdg::{DepGraph, NodeId};
+
+const BFS_KINDS: [SliceKind; 3] = [
+    SliceKind::Thin,
+    SliceKind::TraditionalData,
+    SliceKind::TraditionalFull,
+];
+
+/// One query per print statement of the program, resolved against `graph`.
+fn print_queries<G: DepGraph>(program: &thinslice_ir::Program, graph: &G) -> Vec<Vec<NodeId>> {
+    program
+        .all_stmts()
+        .filter(|s| matches!(program.instr(*s).kind, InstrKind::Print { .. }))
+        .map(|s| graph.stmt_nodes_of(s).to_vec())
+        .filter(|nodes| !nodes.is_empty())
+        .collect()
+}
+
+/// Tiles `queries` so batches are large enough to take the prefiltered
+/// fast path as well as the small-batch path.
+fn tiled(queries: &[Vec<NodeId>], n: usize) -> Vec<Vec<NodeId>> {
+    queries.iter().cycle().take(n).cloned().collect()
+}
+
+#[test]
+fn batched_bfs_slices_match_sequential_on_all_benchmarks() {
+    for b in thinslice_suite::all_benchmarks() {
+        let a = b.analyze(PtaConfig::default());
+        let queries = print_queries(&a.program, &a.csr);
+        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        for kind in BFS_KINDS {
+            let sequential: Vec<_> = queries
+                .iter()
+                .map(|q| slice_from(&a.sdg, q, kind))
+                .collect();
+            for threads in [1, 2, 4] {
+                let batched = batch::slices(&a.csr, &queries, kind, threads);
+                assert_eq!(batched.len(), sequential.len());
+                for (got, want) in batched.iter().zip(&sequential) {
+                    assert_eq!(
+                        got.stmts_in_bfs_order, want.stmts_in_bfs_order,
+                        "{}: {kind:?} at {threads} threads",
+                        b.name
+                    );
+                    assert_eq!(got.nodes, want.nodes, "{}: {kind:?}", b.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_tabulation_matches_sequential_on_all_benchmarks() {
+    for b in thinslice_suite::all_benchmarks() {
+        let a = b.analyze(PtaConfig::default());
+        // The tabulation is paired with the heap-parameter graph, as in
+        // the paper (§5.3).
+        let cs_sdg = a.build_cs_sdg();
+        let cs_frozen = cs_sdg.freeze();
+        let queries = print_queries(&a.program, &cs_frozen);
+        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|q| cs_slice(&cs_sdg, q, SliceKind::Thin))
+            .collect();
+        for threads in [1, 2, 4] {
+            let batched = batch::cs_slices(&cs_frozen, &queries, SliceKind::Thin, threads);
+            assert_eq!(batched.len(), sequential.len());
+            for (got, want) in batched.iter().zip(&sequential) {
+                assert_eq!(got.stmts, want.stmts, "{}: {threads} threads", b.name);
+                assert_eq!(got.nodes, want.nodes, "{}", b.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn large_batches_match_sequential_through_every_fast_path() {
+    // Tile queries past the batch engine's internal thresholds so the
+    // per-batch edge prefilter and the scratch-memoisation paths are all
+    // exercised, on one benchmark from each heap mode.
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+
+    let queries = tiled(&print_queries(&a.program, &a.csr), 20);
+    for kind in BFS_KINDS {
+        let batched = batch::slices(&a.csr, &queries, kind, 2);
+        for (got, seeds) in batched.iter().zip(&queries) {
+            let want = slice_from(&a.sdg, seeds, kind);
+            assert_eq!(got.stmts_in_bfs_order, want.stmts_in_bfs_order, "{kind:?}");
+            assert_eq!(got.nodes, want.nodes, "{kind:?}");
+        }
+    }
+
+    let cs_sdg = a.build_cs_sdg();
+    let cs_frozen = cs_sdg.freeze();
+    let cs_queries = tiled(&print_queries(&a.program, &cs_frozen), 20);
+    for kind in BFS_KINDS {
+        let batched = batch::cs_slices(&cs_frozen, &cs_queries, kind, 2);
+        for (got, seeds) in batched.iter().zip(&cs_queries) {
+            let want = cs_slice(&cs_sdg, seeds, kind);
+            assert_eq!(got.stmts, want.stmts, "{kind:?}");
+            assert_eq!(got.nodes, want.nodes, "{kind:?}");
+        }
+    }
+}

@@ -38,7 +38,11 @@ fn slicer_inclusion_hierarchy_holds_on_all_benchmarks() {
                 b.name
             );
             // The seed is always in its own slice.
-            assert!(thin_set.contains(&seed), "{}: seed missing from its slice", b.name);
+            assert!(
+                thin_set.contains(&seed),
+                "{}: seed missing from its slice",
+                b.name
+            );
         }
     }
 }

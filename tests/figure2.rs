@@ -56,7 +56,10 @@ fn thin_slice_is_exactly_the_producers() {
     // Producers: the seed (12), the store (10), the value allocation (8).
     assert!(lines.contains(&12), "the seed itself: {lines:?}");
     assert!(lines.contains(&10), "the aliased store w.f = y: {lines:?}");
-    assert!(lines.contains(&8), "the allocation of the stored value: {lines:?}");
+    assert!(
+        lines.contains(&8),
+        "the allocation of the stored value: {lines:?}"
+    );
 
     // Explainers excluded: base-pointer flow (6, 7, 9) and control (11).
     for excluded in [6u32, 7, 9, 11] {
@@ -75,7 +78,10 @@ fn traditional_slice_adds_the_explainers() {
     let full = a.full_slice(&seed);
 
     let lines_of = |s: &thinslice::Slice| -> std::collections::BTreeSet<u32> {
-        s.stmts_in_bfs_order.iter().map(|&st| a.program.instr(st).span.line).collect()
+        s.stmts_in_bfs_order
+            .iter()
+            .map(|&st| a.program.instr(st).span.line)
+            .collect()
     };
     let data_lines = lines_of(&data);
     let full_lines = lines_of(&full);
@@ -83,14 +89,20 @@ fn traditional_slice_adds_the_explainers() {
     // The data slice adds the base-pointer chain (lines 6, 7, 9) but not
     // the conditional.
     for base_ptr in [6u32, 7, 9] {
-        assert!(data_lines.contains(&base_ptr), "{base_ptr} in data slice: {data_lines:?}");
+        assert!(
+            data_lines.contains(&base_ptr),
+            "{base_ptr} in data slice: {data_lines:?}"
+        );
     }
     assert!(
         !data_lines.contains(&11),
         "the conditional is control, not data: {data_lines:?}"
     );
     // The full (Weiser) slice adds the conditional too.
-    assert!(full_lines.contains(&11), "full slice has the control dep: {full_lines:?}");
+    assert!(
+        full_lines.contains(&11),
+        "full slice has the control dep: {full_lines:?}"
+    );
     assert!(full_lines.is_superset(&data_lines));
 }
 
@@ -102,7 +114,12 @@ fn edge_classification_matches_figure3() {
     // to the conditional.
     let load = line_stmts(&a, 12)
         .into_iter()
-        .find(|s| matches!(a.program.instr(*s).kind, thinslice_ir::InstrKind::Load { .. }))
+        .find(|s| {
+            matches!(
+                a.program.instr(*s).kind,
+                thinslice_ir::InstrKind::Load { .. }
+            )
+        })
         .expect("the field load");
     let node = a.sdg.stmt_node(load).unwrap();
     let mut has_producer_to_store = false;
@@ -110,29 +127,42 @@ fn edge_classification_matches_figure3() {
     let mut has_control = false;
     for e in a.sdg.deps(node) {
         match e.kind {
-            thinslice_sdg::EdgeKind::Flow { excluded_from_thin: false }
-                if a.sdg.node(e.target).as_stmt().is_some_and(|s| {
-                    matches!(a.program.instr(s).kind, thinslice_ir::InstrKind::Store { .. })
-                }) => {
-                    has_producer_to_store = true;
-                }
-            thinslice_sdg::EdgeKind::Flow { excluded_from_thin: true } => {
+            thinslice_sdg::EdgeKind::Flow {
+                excluded_from_thin: false,
+            } if a.sdg.node(e.target).as_stmt().is_some_and(|s| {
+                matches!(
+                    a.program.instr(s).kind,
+                    thinslice_ir::InstrKind::Store { .. }
+                )
+            }) =>
+            {
+                has_producer_to_store = true;
+            }
+            thinslice_sdg::EdgeKind::Flow {
+                excluded_from_thin: true,
+            } => {
                 has_base_pointer = true;
             }
             thinslice_sdg::EdgeKind::Control => has_control = true,
             _ => {}
         }
     }
-    assert!(has_producer_to_store, "solid edge to w.f = y (paper Figure 3)");
-    assert!(has_base_pointer, "dashed base-pointer edge to z's definition");
+    assert!(
+        has_producer_to_store,
+        "solid edge to w.f = y (paper Figure 3)"
+    );
+    assert!(
+        has_base_pointer,
+        "dashed base-pointer edge to z's definition"
+    );
     assert!(has_control, "dotted control edge to the conditional");
 }
 
 #[test]
 fn prelude_reexports_work() {
     // The workspace-root crate re-exports everything the examples need.
-    let program = ir::compile(&[("t.mj", "class Main { static void main() { print(1); } }")])
-        .unwrap();
+    let program =
+        ir::compile(&[("t.mj", "class Main { static void main() { print(1); } }")]).unwrap();
     let pta_result = pta::Pta::analyze(&program, pta::PtaConfig::default());
     let graph = sdg::build_ci(&program, &pta_result);
     assert!(graph.node_count() > 0);

@@ -16,14 +16,21 @@ fn claim1_thin_slices_contain_the_desired_statements() {
     );
     let cast_rows = thinslice_bench_rows(&thinslice_suite::all_cast_tasks());
     let found = cast_rows.iter().filter(|r| r.thin.found).count();
-    assert_eq!(found, cast_rows.len(), "every tough cast must be explainable");
+    assert_eq!(
+        found,
+        cast_rows.len(),
+        "every tough cast must be explainable"
+    );
 }
 
 /// Claim 2 (§6.2, §6.3): thin slicing needs fewer inspected statements than
 /// traditional slicing, in aggregate.
 #[test]
 fn claim2_thin_beats_traditional_in_aggregate() {
-    for tasks in [thinslice_suite::all_bug_tasks(), thinslice_suite::all_cast_tasks()] {
+    for tasks in [
+        thinslice_suite::all_bug_tasks(),
+        thinslice_suite::all_cast_tasks(),
+    ] {
         let rows = thinslice_bench_rows(&tasks);
         let thin: usize = rows.iter().map(|r| r.thin.inspected).sum();
         let trad: usize = rows.iter().map(|r| r.trad.inspected).sum();
@@ -58,7 +65,10 @@ fn claim3_object_sensitivity_matters() {
         .iter()
         .filter(|r| r.thin_noobjsens.inspected as f64 >= 1.2 * r.thin.inspected as f64)
         .count();
-    assert!(degraded >= 3, "several rows must degrade without object sensitivity");
+    assert!(
+        degraded >= 3,
+        "several rows must degrade without object sensitivity"
+    );
 }
 
 /// Claim 4 (§6.1): context-insensitive thin slicing is cheap; the
@@ -77,7 +87,12 @@ fn claim4_scalability() {
     let sdg = thinslice_sdg::build_ci(&program, &pta);
     let seed = program
         .all_stmts()
-        .find(|s| matches!(program.instr(*s).kind, thinslice_ir::InstrKind::Print { .. }))
+        .find(|s| {
+            matches!(
+                program.instr(*s).kind,
+                thinslice_ir::InstrKind::Print { .. }
+            )
+        })
         .and_then(|s| sdg.stmt_node(s))
         .unwrap();
     let t1 = Instant::now();
@@ -122,7 +137,11 @@ fn thinslice_bench_rows(tasks: &[thinslice_suite::Task]) -> Vec<thinslice_suite:
     let mut rows = Vec::new();
     let mut cache: std::collections::HashMap<
         &'static str,
-        (thinslice_suite::Benchmark, thinslice::Analysis, thinslice::Analysis),
+        (
+            thinslice_suite::Benchmark,
+            thinslice::Analysis,
+            thinslice::Analysis,
+        ),
     > = std::collections::HashMap::new();
     for task in tasks {
         let entry = cache.entry(task.benchmark).or_insert_with(|| {
@@ -131,7 +150,9 @@ fn thinslice_bench_rows(tasks: &[thinslice_suite::Task]) -> Vec<thinslice_suite:
             let n = b.analyze(PtaConfig::without_object_sensitivity());
             (b, p, n)
         });
-        rows.push(thinslice_suite::run_task(&entry.0, task, &entry.1, &entry.2));
+        rows.push(thinslice_suite::run_task(
+            &entry.0, task, &entry.1, &entry.2,
+        ));
     }
     rows
 }

@@ -135,14 +135,20 @@ fn container_workout_thin_slices_skip_growth_machinery() {
         .all_stmts()
         .find(|s| {
             s.method == grow
-                && matches!(analysis.program.instr(*s).kind, thinslice_ir::InstrKind::NewArray { .. })
+                && matches!(
+                    analysis.program.instr(*s).kind,
+                    thinslice_ir::InstrKind::NewArray { .. }
+                )
         })
         .unwrap();
     assert!(
         !thin.contains(grow_alloc),
         "the grown array allocation is container machinery"
     );
-    assert!(trad.contains(grow_alloc), "…which the traditional slice includes");
+    assert!(
+        trad.contains(grow_alloc),
+        "…which the traditional slice includes"
+    );
     // But grow's element-copying store IS a producer (values flow through
     // it when the vector grows).
     let copy_store = analysis
@@ -150,7 +156,10 @@ fn container_workout_thin_slices_skip_growth_machinery() {
         .all_stmts()
         .find(|s| {
             s.method == grow
-                && matches!(analysis.program.instr(*s).kind, thinslice_ir::InstrKind::ArrayStore { .. })
+                && matches!(
+                    analysis.program.instr(*s).kind,
+                    thinslice_ir::InstrKind::ArrayStore { .. }
+                )
         })
         .unwrap();
     assert!(
