@@ -17,7 +17,8 @@
 //! frozen dependence graph, fanned out across `--threads` workers.
 
 use std::process::ExitCode;
-use thinslice::{Analysis, SliceKind};
+use thinslice::batch::BatchConfig;
+use thinslice::{report, Analysis, Budget, SliceKind};
 use thinslice_interp::{dynamic_thin_slice, run as interp_run, ExecConfig};
 use thinslice_ir::pretty;
 
@@ -39,7 +40,12 @@ const USAGE: &str = "usage:
   thinslice slice   <file.mj>... (--seeds-file <path> | --all-seeds) [--threads <n>] [--kind ...]
   thinslice explain <file.mj>... --seed <file:line>
   thinslice run     <file.mj>... [--line <text>]... [--int <n>]... [--dynamic-slice]
-  thinslice info    <file.mj>...";
+  thinslice info    <file.mj>...
+
+governance (any command): [--deadline-ms <n>] [--step-budget <n>] [--fail-fast]
+  Budgeted stages never abort: they return sound partial results marked
+  [TRUNCATED: <reason>; ~<n> pending]. A context-sensitive query that
+  exhausts its budget degrades to context-insensitive reachability.";
 
 struct Options {
     files: Vec<String>,
@@ -53,6 +59,30 @@ struct Options {
     lines: Vec<String>,
     ints: Vec<i64>,
     dynamic_slice: bool,
+    deadline_ms: Option<u64>,
+    step_budget: Option<u64>,
+    fail_fast: bool,
+}
+
+impl Options {
+    /// The resource budget the flags describe (unlimited when no
+    /// governance flag was given).
+    fn budget(&self) -> Budget {
+        let mut b = Budget::unlimited();
+        if let Some(ms) = self.deadline_ms {
+            b = b.with_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(n) = self.step_budget {
+            b = b.with_step_limit(n);
+        }
+        b
+    }
+
+    /// Whether any governance flag is active (the governed code paths are
+    /// only taken then, so ungoverned runs stay byte-identical).
+    fn governed(&self) -> bool {
+        self.deadline_ms.is_some() || self.step_budget.is_some() || self.fail_fast
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -68,6 +98,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         lines: Vec::new(),
         ints: Vec::new(),
         dynamic_slice: false,
+        deadline_ms: None,
+        step_budget: None,
+        fail_fast: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -106,6 +139,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .push(v.parse().map_err(|_| format!("bad int {v:?}"))?);
             }
             "--dynamic-slice" => o.dynamic_slice = true,
+            "--deadline-ms" => {
+                let v = it.next().ok_or("--deadline-ms needs milliseconds")?;
+                o.deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline {v:?}"))?);
+            }
+            "--step-budget" => {
+                let v = it.next().ok_or("--step-budget needs a count")?;
+                o.step_budget = Some(v.parse().map_err(|_| format!("bad step budget {v:?}"))?);
+            }
+            "--fail-fast" => o.fail_fast = true,
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -135,7 +177,25 @@ fn load(o: &Options) -> Result<Analysis, String> {
     } else {
         thinslice_pta::PtaConfig::without_object_sensitivity()
     };
-    Analysis::with_config(&borrowed, config).map_err(|e| e.to_string())
+    if o.governed() {
+        let (a, build) = Analysis::with_config_governed(&borrowed, config, &o.budget())
+            .map_err(|e| e.to_string())?;
+        if !build.pta.is_complete() {
+            eprintln!(
+                "warning: points-to solve {}; the call graph is partial",
+                build.pta
+            );
+        }
+        if !build.sdg.is_complete() {
+            eprintln!(
+                "warning: SDG construction {}; some dependences are missing",
+                build.sdg
+            );
+        }
+        Ok(a)
+    } else {
+        Analysis::with_config(&borrowed, config).map_err(|e| e.to_string())
+    }
 }
 
 fn resolve_seed(a: &Analysis, o: &Options) -> Result<Vec<thinslice_ir::StmtRef>, String> {
@@ -204,6 +264,10 @@ fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
         );
     }
 
+    if o.governed() {
+        return cmd_slice_batch_governed(a, o, &seed_lines, &queries);
+    }
+
     let start = std::time::Instant::now();
     let sizes: Vec<usize> = if o.context_sensitive {
         let cs_sdg = a.build_cs_sdg();
@@ -234,6 +298,61 @@ fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Batch slicing under a budget: per-seed outcome lines (size, truncation
+/// marker, degradation, latency, retries) and a one-line footer.
+fn cmd_slice_batch_governed(
+    a: &Analysis,
+    o: &Options,
+    seed_lines: &[(String, u32)],
+    queries: &[Vec<thinslice_ir::StmtRef>],
+) -> Result<(), String> {
+    let cfg = BatchConfig {
+        budget: o.budget(),
+        fail_fast: o.fail_fast,
+        ..BatchConfig::default()
+    };
+    let outcomes = if o.context_sensitive {
+        let cs_sdg = a.build_cs_sdg();
+        let frozen = cs_sdg.freeze();
+        let nodes = thinslice::batch::node_queries(&frozen, queries);
+        thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, o.threads, &cfg)
+    } else {
+        a.governed_batch_slices(queries, o.kind, o.threads, &cfg)
+    };
+
+    for ((f, l), out) in seed_lines.iter().zip(&outcomes) {
+        let ms = out.latency.as_secs_f64() * 1000.0;
+        let retried = if out.retries > 0 {
+            format!(
+                ", {} retr{}",
+                out.retries,
+                if out.retries == 1 { "y" } else { "ies" }
+            )
+        } else {
+            String::new()
+        };
+        match &out.slice {
+            Ok(s) => {
+                let degraded = if s.degraded {
+                    " [DEGRADED: cs -> ci]"
+                } else {
+                    ""
+                };
+                println!(
+                    "{f}:{l}  {:?} slice: {} statements{}{}  [{ms:.1} ms{retried}]",
+                    o.kind,
+                    s.stmts.len(),
+                    report::completeness_marker(&s.completeness),
+                    degraded,
+                );
+            }
+            Err(e) => println!("{f}:{l}  FAILED: {e}  [{ms:.1} ms{retried}]"),
+        }
+    }
+    println!("{}", report::governed_batch_footer(&outcomes));
+    Ok(())
+}
+
 fn cmd_slice(o: &Options) -> Result<(), String> {
     let a = load(o)?;
     if o.seeds_file.is_some() || o.all_seeds {
@@ -241,6 +360,9 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
     }
     let seeds = resolve_seed(&a, o)?;
     if o.context_sensitive {
+        if o.governed() {
+            return cmd_slice_cs_governed(&a, o, &seeds);
+        }
         let cs_sdg = a.build_cs_sdg();
         let nodes: Vec<_> = seeds
             .iter()
@@ -263,6 +385,19 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
         }
         return Ok(());
     }
+    if o.governed() {
+        let out = a.slice_governed(&seeds, o.kind, &o.budget());
+        println!(
+            "{:?} slice: {} statements (BFS order from the seed){}",
+            o.kind,
+            out.result.len(),
+            report::completeness_marker(&out.completeness),
+        );
+        for line in report::slice_lines(&a.program, &out.result) {
+            println!("  {line}");
+        }
+        return Ok(());
+    }
     let slice = thinslice::slice_from(
         &a.csr,
         &seeds
@@ -278,6 +413,54 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
     );
     for line in thinslice::report::slice_lines(&a.program, &slice) {
         println!("  {line}");
+    }
+    Ok(())
+}
+
+/// A single context-sensitive query under a budget, with the CS → CI
+/// degradation ladder surfaced to the user.
+fn cmd_slice_cs_governed(
+    a: &Analysis,
+    o: &Options,
+    seeds: &[thinslice_ir::StmtRef],
+) -> Result<(), String> {
+    let cs_sdg = a.build_cs_sdg();
+    let frozen = cs_sdg.freeze();
+    let queries = vec![seeds.to_vec()];
+    let nodes = thinslice::batch::node_queries(&frozen, &queries);
+    let cfg = BatchConfig {
+        budget: o.budget(),
+        fail_fast: o.fail_fast,
+        ..BatchConfig::default()
+    };
+    let mut outcomes = thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, 1, &cfg);
+    let out = outcomes.remove(0);
+    let slice = out.slice.map_err(|e| e.to_string())?;
+    if slice.degraded {
+        eprintln!(
+            "note: the context-sensitive query exhausted its budget; \
+             degraded to context-insensitive reachability over the same graph"
+        );
+    }
+    println!(
+        "context-sensitive {:?} slice: {} statements{}{}",
+        o.kind,
+        slice.stmts.len(),
+        report::completeness_marker(&slice.completeness),
+        if slice.degraded {
+            " [DEGRADED: cs -> ci]"
+        } else {
+            ""
+        },
+    );
+    let mut stmts = slice.stmts.clone();
+    stmts.sort();
+    let mut seen_lines = std::collections::HashSet::new();
+    for s in stmts {
+        let sp = a.program.instr(s).span;
+        if seen_lines.insert((sp.file, sp.line)) {
+            println!("  {}", pretty::stmt_str(&a.program, s));
+        }
     }
     Ok(())
 }
@@ -330,6 +513,7 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     let config = ExecConfig {
         lines: o.lines.clone(),
         ints: o.ints.clone(),
+        budget: o.budget(),
         ..ExecConfig::default()
     };
     let exec = interp_run(&a.program, &config);
@@ -438,6 +622,25 @@ mod tests {
         assert!(opts(&["a.mj", "--threads", "0"]).is_err());
         assert!(opts(&["a.mj", "--threads", "many"]).is_err());
         assert!(opts(&["a.mj", "--seeds-file"]).is_err());
+    }
+
+    #[test]
+    fn parses_governance_flags() {
+        let o = opts(&["a.mj", "--deadline-ms", "250", "--step-budget", "5000"]).unwrap();
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.step_budget, Some(5000));
+        assert!(!o.fail_fast);
+        assert!(o.governed());
+        assert!(!o.budget().is_unlimited());
+        let o = opts(&["a.mj", "--fail-fast"]).unwrap();
+        assert!(o.fail_fast);
+        assert!(o.governed());
+        let o = opts(&["a.mj"]).unwrap();
+        assert!(!o.governed());
+        assert!(o.budget().is_unlimited());
+        assert!(opts(&["a.mj", "--deadline-ms", "soon"]).is_err());
+        assert!(opts(&["a.mj", "--step-budget", "-1"]).is_err());
+        assert!(opts(&["a.mj", "--deadline-ms"]).is_err());
     }
 
     #[test]

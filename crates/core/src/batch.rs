@@ -32,10 +32,18 @@
 //! # Ok::<(), thinslice_ir::CompileError>(())
 //! ```
 
-use crate::slice::{slice_dense_reusing, Slice, SliceKind, SliceScratch};
-use crate::tabulation::{cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice, DownConsumers};
+use crate::slice::{
+    slice_dense_governed_reusing, slice_dense_reusing, Slice, SliceKind, SliceScratch,
+};
+use crate::tabulation::{
+    cs_slice_governed_reusing, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
+    DownConsumers,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+use thinslice_ir::StmtRef;
 use thinslice_sdg::{DepGraph, FrozenSdg, NodeId};
-use thinslice_util::par;
+use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet};
 
 /// Minimum batch size at which pre-filtering the edge array by the slice
 /// kind pays for its O(edges) setup scan. Below it, queries run directly
@@ -123,6 +131,247 @@ pub fn cs_slices(
     let index = DownConsumers::build(&filtered);
     par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
         cs_slice_reusing(&filtered, &index, seeds, kind, scratch)
+    })
+}
+
+// ---- governed batches: budgets, panic isolation, graceful degradation ----
+
+/// Deterministic fault injection for robustness tests: query `query`
+/// panics on its first `attempts` attempts (so `attempts <= retries`
+/// exercises recovery, `attempts > retries` exercises a hard failure).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection {
+    /// Index of the query whose worker panics.
+    pub query: usize,
+    /// How many of its attempts panic before it would succeed.
+    pub attempts: u32,
+}
+
+/// Configuration for a governed batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Per-query resource budget (deadline measured per attempt).
+    pub budget: Budget,
+    /// Cancel the remaining queries after the first hard query failure.
+    pub fail_fast: bool,
+    /// How many times a panicked query is retried on fresh scratch.
+    pub retries: u32,
+    /// Test-only deterministic fault injection.
+    pub fault: Option<FaultInjection>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            budget: Budget::unlimited(),
+            fail_fast: false,
+            retries: 1,
+            fault: None,
+        }
+    }
+}
+
+/// A hard per-query failure (distinct from a truncated-but-sound result).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The worker panicked on every allowed attempt.
+    Panicked {
+        /// The final panic payload, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Panicked { message } => write!(f, "worker panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A governed slice result: statements plus the honesty labels.
+#[derive(Debug, Clone)]
+pub struct GovernedSlice {
+    /// Statements in the slice. BFS (distance) order for the reachability
+    /// slicers; sorted by statement for the tabulation slicer.
+    pub stmts: Vec<StmtRef>,
+    /// All visited nodes.
+    pub nodes: FxHashSet<NodeId>,
+    /// Whether the traversal reached its fixpoint.
+    pub completeness: Completeness,
+    /// Whether a context-sensitive query fell back to the
+    /// context-insensitive slicer after exhausting its budget.
+    pub degraded: bool,
+}
+
+/// One query's outcome in a governed batch.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The slice, or the hard error that survived all retries.
+    pub slice: Result<GovernedSlice, QueryError>,
+    /// Wall-clock time spent on this query (all attempts).
+    pub latency: Duration,
+    /// How many retries ran (0 = first attempt sufficed).
+    pub retries: u32,
+}
+
+impl QueryOutcome {
+    /// Whether the query produced a complete, non-degraded slice.
+    pub fn is_clean(&self) -> bool {
+        matches!(
+            &self.slice,
+            Ok(s) if s.completeness.is_complete() && !s.degraded
+        )
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one query's attempts under `catch_unwind`: a panic poisons only
+/// this worker's scratch (replaced fresh), is retried up to `cfg.retries`
+/// times, and on final failure optionally cancels the rest of the batch.
+fn run_guarded<S>(
+    i: usize,
+    cfg: &BatchConfig,
+    cancel: &CancelToken,
+    scratch: &mut S,
+    fresh: impl Fn() -> S,
+    attempt: impl Fn(&mut S) -> GovernedSlice,
+) -> QueryOutcome {
+    let start = Instant::now();
+    let mut attempts_used = 0u32;
+    loop {
+        let inject = cfg
+            .fault
+            .as_ref()
+            .is_some_and(|f| f.query == i && attempts_used < f.attempts);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected worker fault (query {i})");
+            }
+            attempt(scratch)
+        }));
+        match outcome {
+            Ok(slice) => {
+                return QueryOutcome {
+                    slice: Ok(slice),
+                    latency: start.elapsed(),
+                    retries: attempts_used,
+                }
+            }
+            Err(payload) => {
+                // The unwound attempt may have left the scratch mid-update;
+                // replace it so the retry (and the worker's later queries)
+                // start from known-good state.
+                *scratch = fresh();
+                if attempts_used < cfg.retries {
+                    attempts_used += 1;
+                    continue;
+                }
+                if cfg.fail_fast {
+                    cancel.cancel();
+                }
+                return QueryOutcome {
+                    slice: Err(QueryError::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                    latency: start.elapsed(),
+                    retries: attempts_used,
+                };
+            }
+        }
+    }
+}
+
+/// The effective budget and cancel token for a governed batch: fail-fast
+/// needs a shared token, so one is created unless the caller provided one.
+fn armed_budget(cfg: &BatchConfig) -> (Budget, CancelToken) {
+    let cancel = cfg.budget.cancel_token().cloned().unwrap_or_default();
+    let budget = cfg.budget.clone().with_cancel(cancel.clone());
+    (budget, cancel)
+}
+
+/// [`slices`] under a [`BatchConfig`]: per-query budgets, panic isolation
+/// with bounded retry, and per-query latency/retry reporting.
+///
+/// Traversal per query is identical to the ungoverned engine's; a query
+/// that exhausts its budget returns its truncated prefix labelled
+/// `Truncated` instead of blocking the batch.
+pub fn governed_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    cfg: &BatchConfig,
+) -> Vec<QueryOutcome> {
+    let (budget, cancel) = armed_budget(cfg);
+    // The traditional-full slicer follows every edge, so the shared graph
+    // is its own filtered view (as in `slices`).
+    let prefiltered = matches!(kind, SliceKind::TraditionalFull);
+    par::map_with(queries, threads, SliceScratch::new, |scratch, i, seeds| {
+        run_guarded(i, cfg, &cancel, scratch, SliceScratch::new, |s| {
+            let mut meter = budget.meter();
+            let out = slice_dense_governed_reusing(graph, seeds, kind, s, prefiltered, &mut meter);
+            GovernedSlice {
+                stmts: out.result.stmts_in_bfs_order,
+                nodes: out.result.nodes,
+                completeness: out.completeness,
+                degraded: false,
+            }
+        })
+    })
+}
+
+/// [`cs_slices`] under a [`BatchConfig`], with graceful degradation: a
+/// query whose tabulation exhausts its budget is re-answered by the
+/// context-insensitive reachability slicer over the same frozen graph
+/// (fresh meter) and marked `degraded` — the paper's scalability ladder,
+/// CS → CI → truncated.
+pub fn governed_cs_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    cfg: &BatchConfig,
+) -> Vec<QueryOutcome> {
+    let (budget, cancel) = armed_budget(cfg);
+    let index = DownConsumers::build(graph);
+    let fresh = || (CsScratch::new(), SliceScratch::new());
+    par::map_with(queries, threads, fresh, |scratch, i, seeds| {
+        run_guarded(i, cfg, &cancel, scratch, fresh, |(cs, bfs)| {
+            let mut meter = budget.meter();
+            let out = cs_slice_governed_reusing(graph, &index, seeds, kind, cs, &mut meter);
+            if out.completeness.is_complete() {
+                let mut stmts: Vec<StmtRef> = out.result.stmts.iter().copied().collect();
+                stmts.sort_unstable();
+                return GovernedSlice {
+                    stmts,
+                    nodes: out.result.nodes,
+                    completeness: Completeness::Complete,
+                    degraded: false,
+                };
+            }
+            // Degradation ladder: answer with the cheaper CI slicer over
+            // the same graph, under a fresh meter from the same budget.
+            let mut ci_meter = budget.meter();
+            let ci = slice_dense_governed_reusing(graph, seeds, kind, bfs, false, &mut ci_meter);
+            GovernedSlice {
+                stmts: ci.result.stmts_in_bfs_order,
+                nodes: ci.result.nodes,
+                completeness: ci.completeness,
+                degraded: true,
+            }
+        })
     })
 }
 

@@ -13,11 +13,11 @@
 //!
 //! Repeating these expansions in the limit yields the traditional slice.
 
-use crate::slice::{slice_from, Slice, SliceKind};
+use crate::slice::{slice_from_governed_reusing, Slice, SliceKind, SliceScratch};
 use thinslice_ir::{InstrKind, MethodId, Program, StmtRef, Var};
 use thinslice_pta::{AllocSite, ObjId, Pta};
 use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
-use thinslice_util::FxHashSet;
+use thinslice_util::{Budget, Completeness, FxHashSet, Meter, Outcome};
 
 /// The result of explaining one heap-based flow in a thin slice.
 #[derive(Debug, Clone)]
@@ -95,6 +95,23 @@ pub fn explain_aliasing(
     load: StmtRef,
     store: StmtRef,
 ) -> Result<AliasExplanation, ExpandError> {
+    explain_aliasing_governed(program, pta, sdg, load, store, &Budget::unlimited())
+        .map(|o| o.result)
+}
+
+/// [`explain_aliasing`] under a resource [`Budget`].
+///
+/// One meter covers the whole expansion (both base-pointer slices), so the
+/// budget bounds the full question, not each half. A truncated explanation
+/// contains a subset of the unbudgeted explainer statements.
+pub fn explain_aliasing_governed(
+    program: &Program,
+    pta: &Pta,
+    sdg: &Sdg,
+    load: StmtRef,
+    store: StmtRef,
+    budget: &Budget,
+) -> Result<Outcome<AliasExplanation>, ExpandError> {
     let (lm, lbase) = base_of(program, load).ok_or(ExpandError::NotAHeapAccess(load))?;
     let (sm, sbase) = base_of(program, store).ok_or(ExpandError::NotAHeapAccess(store))?;
     let common = pta.common_objects((lm, lbase), (sm, sbase));
@@ -103,21 +120,45 @@ pub fn explain_aliasing(
     }
     let common_vec: Vec<ObjId> = common.iter().collect();
 
-    let load_base_flow = base_pointer_flow(program, pta, sdg, lm, lbase, &common_vec);
-    let store_base_flow = base_pointer_flow(program, pta, sdg, sm, sbase, &common_vec);
-    Ok(AliasExplanation {
-        load,
-        store,
-        common_objects: common_vec,
-        load_base_flow,
-        store_base_flow,
-    })
+    let mut meter = budget.meter();
+    let mut scratch = SliceScratch::new();
+    let (load_base_flow, c1) = base_pointer_flow(
+        program,
+        pta,
+        sdg,
+        lm,
+        lbase,
+        &common_vec,
+        &mut scratch,
+        &mut meter,
+    );
+    let (store_base_flow, c2) = base_pointer_flow(
+        program,
+        pta,
+        sdg,
+        sm,
+        sbase,
+        &common_vec,
+        &mut scratch,
+        &mut meter,
+    );
+    Ok(Outcome::new(
+        AliasExplanation {
+            load,
+            store,
+            common_objects: common_vec,
+            load_base_flow,
+            store_base_flow,
+        },
+        c1.and(c2),
+    ))
 }
 
 /// Thin slice from the definition of `base` in `method`, filtered to
 /// statements touching at least one of `objects` (paper §4.1: "the thin
 /// slices explaining aliasing should be restricted to only show the flow of
 /// objects that can flow to both base pointers").
+#[allow(clippy::too_many_arguments)]
 fn base_pointer_flow(
     program: &Program,
     pta: &Pta,
@@ -125,14 +166,20 @@ fn base_pointer_flow(
     method: MethodId,
     base: Var,
     objects: &[ObjId],
-) -> Vec<StmtRef> {
+    scratch: &mut SliceScratch,
+    meter: &mut Meter,
+) -> (Vec<StmtRef>, Completeness) {
     let seeds = def_nodes_of(program, sdg, method, base);
-    let slice: Slice = slice_from(sdg, &seeds, SliceKind::Thin);
-    slice
+    let Outcome {
+        result: slice,
+        completeness,
+    }: Outcome<Slice> = slice_from_governed_reusing(sdg, &seeds, SliceKind::Thin, scratch, meter);
+    let stmts = slice
         .stmts_in_bfs_order
         .into_iter()
         .filter(|s| stmt_touches_objects(program, pta, *s, objects))
-        .collect()
+        .collect();
+    (stmts, completeness)
 }
 
 /// The SDG nodes to seed a base-pointer flow question at: the SSA
@@ -262,6 +309,7 @@ pub fn heap_flow_pairs(program: &Program, sdg: &Sdg, slice: &Slice) -> Vec<(Stmt
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::slice::slice_from;
     use thinslice_ir::compile;
     use thinslice_pta::PtaConfig;
     use thinslice_sdg::build_ci;

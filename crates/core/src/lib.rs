@@ -48,16 +48,41 @@ pub mod report;
 pub mod slice;
 pub mod tabulation;
 
-pub use expand::{explain_aliasing, exposed_control_deps, heap_flow_pairs, AliasExplanation};
-pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
-pub use slice::{slice_from, slice_from_reusing, Slice, SliceKind, SliceScratch};
-pub use tabulation::{
-    cs_slice, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice, DownConsumers,
+pub use batch::{BatchConfig, FaultInjection, GovernedSlice, QueryError, QueryOutcome};
+pub use expand::{
+    explain_aliasing, explain_aliasing_governed, exposed_control_deps, heap_flow_pairs,
+    AliasExplanation,
 };
+pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
+pub use slice::{
+    slice_from, slice_from_governed, slice_from_reusing, Slice, SliceKind, SliceScratch,
+};
+pub use tabulation::{
+    cs_slice, cs_slice_governed, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
+    DownConsumers,
+};
+pub use thinslice_util::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
 
 use thinslice_ir::{compile, CompileError, Program, StmtRef};
 use thinslice_pta::{ModRef, Pta, PtaConfig};
-use thinslice_sdg::{build_ci, build_cs, FrozenSdg, NodeId, Sdg};
+use thinslice_sdg::{build_ci, build_ci_governed, build_cs, FrozenSdg, NodeId, Sdg};
+
+/// Per-stage completeness of a governed analysis build
+/// ([`Analysis::from_program_governed`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BuildReport {
+    /// Whether the points-to solve reached its fixpoint.
+    pub pta: Completeness,
+    /// Whether SDG construction processed every instance and heap access.
+    pub sdg: Completeness,
+}
+
+impl BuildReport {
+    /// Whether every stage ran to completion.
+    pub fn is_complete(&self) -> bool {
+        self.pta.is_complete() && self.sdg.is_complete()
+    }
+}
 
 /// A compiled program plus the analyses slicing needs: points-to results,
 /// call graph and the context-insensitive dependence graph.
@@ -114,6 +139,51 @@ impl Analysis {
             sdg,
             csr,
         }
+    }
+
+    /// [`Analysis::with_config`] under a resource [`Budget`], with a
+    /// per-stage build report.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn with_config_governed(
+        sources: &[(&str, &str)],
+        config: PtaConfig,
+        budget: &Budget,
+    ) -> Result<(Analysis, BuildReport), CompileError> {
+        let program = compile(sources)?;
+        Ok(Self::from_program_governed(program, config, budget))
+    }
+
+    /// [`Analysis::from_program`] under a resource [`Budget`].
+    ///
+    /// Each stage (points-to solve, SDG construction) gets a freshly armed
+    /// meter from `budget`; a stage that exhausts it yields a sound partial
+    /// result (smaller call graph / fewer dependence edges) and the next
+    /// stage proceeds on it. The [`BuildReport`] says what was truncated.
+    pub fn from_program_governed(
+        program: Program,
+        config: PtaConfig,
+        budget: &Budget,
+    ) -> (Analysis, BuildReport) {
+        let mut pta_meter = budget.meter();
+        let (pta, pta_completeness) = Pta::analyze_governed(&program, config, &mut pta_meter);
+        let mut sdg_meter = budget.meter();
+        let (sdg, sdg_completeness) = build_ci_governed(&program, &pta, &mut sdg_meter);
+        let csr = sdg.freeze();
+        (
+            Analysis {
+                program,
+                pta,
+                sdg,
+                csr,
+            },
+            BuildReport {
+                pta: pta_completeness,
+                sdg: sdg_completeness,
+            },
+        )
     }
 
     /// Builds the context-sensitive (heap-parameter) dependence graph.
@@ -193,6 +263,30 @@ impl Analysis {
     ) -> Vec<Slice> {
         let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
         batch::slices(&self.csr, &node_queries, kind, threads)
+    }
+
+    /// A single slice from `seeds` under a resource [`Budget`]; see
+    /// [`slice::slice_from_governed`].
+    pub fn slice_governed(
+        &self,
+        seeds: &[StmtRef],
+        kind: SliceKind,
+        budget: &Budget,
+    ) -> Outcome<Slice> {
+        slice_from_governed(&self.csr, &self.nodes_of(seeds), kind, budget)
+    }
+
+    /// [`Analysis::batch_slices`] under a [`batch::BatchConfig`]: per-query
+    /// budgets, panic isolation with bounded retry, per-query latency.
+    pub fn governed_batch_slices(
+        &self,
+        queries: &[Vec<StmtRef>],
+        kind: SliceKind,
+        threads: usize,
+        cfg: &BatchConfig,
+    ) -> Vec<QueryOutcome> {
+        let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
+        batch::governed_slices(&self.csr, &node_queries, kind, threads, cfg)
     }
 
     /// Explains the aliasing between two heap accesses in a thin slice

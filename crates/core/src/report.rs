@@ -1,9 +1,11 @@
 //! Human-readable slice reports.
 
+use crate::batch::QueryOutcome;
 use crate::inspect::InspectionResult;
 use crate::slice::Slice;
 use std::collections::BTreeSet;
 use thinslice_ir::{pretty, Program, StmtRef};
+use thinslice_util::Completeness;
 
 /// Renders a slice as source lines, deduplicated and in inspection (BFS)
 /// order. Synthetic statements (compiler-generated) are skipped.
@@ -59,6 +61,50 @@ pub fn inspection_report(result: &InspectionResult) -> String {
     out
 }
 
+/// The marker a report appends to a truncated result; empty for complete
+/// results, so ungoverned output is unchanged.
+pub fn completeness_marker(c: &Completeness) -> String {
+    match c {
+        Completeness::Complete => String::new(),
+        Completeness::Truncated { reason, frontier } => {
+            format!(" [TRUNCATED: {reason}; ~{frontier} pending]")
+        }
+    }
+}
+
+/// One-line summary of a governed batch: how many queries came back
+/// complete, truncated, degraded (CS → CI fallback) or failed, plus total
+/// retries.
+pub fn governed_batch_footer(outcomes: &[QueryOutcome]) -> String {
+    let mut complete = 0usize;
+    let mut truncated = 0usize;
+    let mut degraded = 0usize;
+    let mut errors = 0usize;
+    let mut retries = 0u32;
+    for o in outcomes {
+        retries += o.retries;
+        match &o.slice {
+            Ok(s) => {
+                if s.degraded {
+                    degraded += 1;
+                } else if s.completeness.is_complete() {
+                    complete += 1;
+                }
+                if !s.completeness.is_complete() {
+                    truncated += 1;
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    format!(
+        "-- {} quer{}: {complete} complete, {truncated} truncated, {degraded} degraded, {errors} failed, {retries} retr{}",
+        outcomes.len(),
+        if outcomes.len() == 1 { "y" } else { "ies" },
+        if retries == 1 { "y" } else { "ies" },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +130,18 @@ mod tests {
         assert!(lines.iter().any(|l| l.contains("int x = 1;")));
         let instrs = slice_instrs(&p, &slice);
         assert!(instrs.len() >= lines.len());
+    }
+
+    #[test]
+    fn truncation_markers_render() {
+        use thinslice_util::ExhaustReason;
+        assert_eq!(completeness_marker(&Completeness::Complete), "");
+        assert_eq!(
+            completeness_marker(&Completeness::Truncated {
+                reason: ExhaustReason::Deadline,
+                frontier: 12
+            }),
+            " [TRUNCATED: deadline; ~12 pending]"
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DenseDisplay, DepGraph, NodeId, NO_DISPLAY};
-use thinslice_util::{BitSet, FxHashSet, Worklist};
+use thinslice_util::{BitSet, Budget, FxHashSet, Meter, Outcome, Worklist};
 
 /// Which dependence relation a slice follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -145,6 +145,143 @@ pub fn slice_from_reusing<G: DepGraph>(
         nodes,
         stmts_in_bfs_order: stmts,
     }
+}
+
+/// [`slice_from`] under a resource [`Budget`].
+///
+/// Runs the identical BFS; once the budget is exhausted the traversal stops
+/// pulling from the frontier and the visited prefix — a subset of the
+/// unbudgeted slice, in the same discovery order — is returned labelled
+/// `Truncated` with the abandoned frontier size. With an unlimited budget
+/// the result is bit-identical to [`slice_from`].
+pub fn slice_from_governed<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    budget: &Budget,
+) -> Outcome<Slice> {
+    let mut meter = budget.meter();
+    slice_from_governed_reusing(sdg, seeds, kind, &mut SliceScratch::new(), &mut meter)
+}
+
+/// [`slice_from_governed`] with caller-provided scratch and an armed meter
+/// (the batched engine's governed inner loop).
+pub fn slice_from_governed_reusing<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+    meter: &mut Meter,
+) -> Outcome<Slice> {
+    let SliceScratch {
+        visited,
+        touched,
+        frontier,
+        stmt_set,
+        ..
+    } = scratch;
+    let mut stmts = Vec::new();
+    for &s in seeds {
+        frontier.push(s);
+    }
+    while let Some(n) = frontier.pop() {
+        if !meter.tick_tracked(touched.len()) {
+            // Unprocessed: back on the frontier for an honest count.
+            frontier.push(n);
+            break;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        touched.push(n);
+        if let Some(stmt) = sdg.display_stmt(n) {
+            if stmt_set.insert(stmt) {
+                stmts.push(stmt);
+            }
+        }
+        for e in sdg.deps(n) {
+            if kind.follows(&e.kind) && !visited.contains(e.target) {
+                frontier.push(e.target);
+            }
+        }
+    }
+    let completeness = meter.completeness(frontier.len());
+    frontier.clear();
+    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    for n in touched.drain(..) {
+        visited.remove(n);
+    }
+    stmt_set.clear();
+    Outcome::new(
+        Slice {
+            kind,
+            nodes,
+            stmts_in_bfs_order: stmts,
+        },
+        completeness,
+    )
+}
+
+/// [`slice_dense_reusing`]'s governed twin: the dense-display fast path of
+/// the batched engine, under an armed meter. Traversal order matches the
+/// ungoverned loop exactly; only the budget branch is added.
+pub(crate) fn slice_dense_governed_reusing<G: DenseDisplay>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+    prefiltered: bool,
+    meter: &mut Meter,
+) -> Outcome<Slice> {
+    let SliceScratch {
+        visited,
+        touched,
+        frontier,
+        stmt_seen,
+        stmt_touched,
+        ..
+    } = scratch;
+    let mut stmts = Vec::new();
+    for &s in seeds {
+        frontier.push(s);
+    }
+    while let Some(n) = frontier.pop() {
+        if !meter.tick_tracked(touched.len()) {
+            frontier.push(n);
+            break;
+        }
+        if !visited.insert(n) {
+            continue;
+        }
+        touched.push(n);
+        let d = sdg.display_dense(n);
+        if d != NO_DISPLAY && stmt_seen.insert(d) {
+            stmt_touched.push(d);
+            stmts.push(sdg.dense_stmt(d));
+        }
+        for e in sdg.deps(n) {
+            if (prefiltered || kind.follows(&e.kind)) && !visited.contains(e.target) {
+                frontier.push(e.target);
+            }
+        }
+    }
+    let completeness = meter.completeness(frontier.len());
+    frontier.clear();
+    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    for n in touched.drain(..) {
+        visited.remove(n);
+    }
+    for d in stmt_touched.drain(..) {
+        stmt_seen.remove(d);
+    }
+    Outcome::new(
+        Slice {
+            kind,
+            nodes,
+            stmts_in_bfs_order: stmts,
+        },
+        completeness,
+    )
 }
 
 /// [`slice_from_reusing`] over a frozen graph, using its dense statement

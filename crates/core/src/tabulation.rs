@@ -12,7 +12,7 @@ use crate::slice::SliceKind;
 use std::collections::VecDeque;
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DepGraph, EdgeKind, NodeId, NodeKind};
-use thinslice_util::{FxHashMap, FxHashSet};
+use thinslice_util::{Budget, Completeness, FxHashMap, FxHashSet, Meter, Outcome};
 use thinslice_util::{Idx, IdxVec};
 
 /// Result of a context-sensitive slice: the visited node set.
@@ -139,9 +139,14 @@ trait TabStore {
     /// (or continue) tabulating the exit's region; a memoising store may
     /// instead splice in an already-computed region and return `false`.
     fn descend(&mut self, from: Src, exit: NodeId) -> bool;
+    /// Current size of the path-edge relation, for watermark metering.
+    fn resident(&self) -> usize;
     /// Builds the result from all nodes with a path edge, then resets the
-    /// store for the next query.
-    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice;
+    /// store for the next query. `complete` says whether the worklist
+    /// drained: a memoising store may only promote regions explored by a
+    /// *complete* query to its cache (a truncated query's regions are not
+    /// at fixpoint).
+    fn finish<G: DepGraph>(&mut self, sdg: &G, complete: bool) -> CsSlice;
 }
 
 /// Hash-map tabulation storage for one-shot queries. See [`TabStore`].
@@ -183,7 +188,13 @@ impl TabStore for SparseStore {
         true
     }
 
-    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice {
+    fn resident(&self) -> usize {
+        self.path.len()
+    }
+
+    fn finish<G: DepGraph>(&mut self, sdg: &G, _complete: bool) -> CsSlice {
+        // Nothing is memoised across queries, so truncation needs no
+        // special handling: everything is cleared either way.
         let nodes: FxHashSet<NodeId> = self.path.keys().copied().collect();
         let stmts = nodes.iter().filter_map(|&n| sdg.display_stmt(n)).collect();
         self.path.clear();
@@ -348,26 +359,41 @@ impl TabStore for DenseStore {
         }
     }
 
-    fn finish<G: DepGraph>(&mut self, sdg: &G) -> CsSlice {
+    fn resident(&self) -> usize {
+        self.reached.len()
+    }
+
+    fn finish<G: DepGraph>(&mut self, sdg: &G, complete: bool) -> CsSlice {
         let nodes: FxHashSet<NodeId> = self.reached.iter().copied().collect();
         let stmts = self
             .reached
             .iter()
             .filter_map(|&n| sdg.display_stmt(n))
             .collect();
-        // Harvest the regions this query completed: the worklist has
-        // drained, so every exit first explored here is at fixpoint.
-        for &n in &self.reached {
-            for &src in self.path[n].iter() {
-                if let Src::Exit(e) = src {
-                    if self.exit_state[e] == exit_state::EXPLORING {
-                        self.exit_cache[e].push(n);
+        if complete {
+            // Harvest the regions this query completed: the worklist has
+            // drained, so every exit first explored here is at fixpoint.
+            for &n in &self.reached {
+                for &src in self.path[n].iter() {
+                    if let Src::Exit(e) = src {
+                        if self.exit_state[e] == exit_state::EXPLORING {
+                            self.exit_cache[e].push(n);
+                        }
                     }
                 }
             }
-        }
-        for e in self.explored_now.drain(..) {
-            self.exit_state[e] = exit_state::CACHED;
+            for e in self.explored_now.drain(..) {
+                self.exit_state[e] = exit_state::CACHED;
+            }
+        } else {
+            // Truncated: the regions first explored here are NOT at
+            // fixpoint — caching them would poison every later query that
+            // splices them. Return them to UNSEEN (their `exit_cache` was
+            // never filled). Summary edges and `exit_deps` discovered so
+            // far are monotone graph facts and safely persist.
+            for e in self.explored_now.drain(..) {
+                self.exit_state[e] = exit_state::UNSEEN;
+            }
         }
         // Path edges are per-query: clear only what this query touched,
         // retaining capacity, so the next query allocates nothing.
@@ -423,7 +449,63 @@ pub fn cs_slice_indexed<G: DepGraph>(
         &mut VecDeque::new(),
         &mut Vec::new(),
         &mut Vec::new(),
+        &mut Meter::unlimited(),
     )
+    .0
+}
+
+/// [`cs_slice`] under a resource [`Budget`].
+///
+/// Identical traversal; once the budget is exhausted the accumulated path
+/// edges — a subset of the fixpoint relation, since it only grows — are
+/// returned labelled `Truncated` with the abandoned worklist size. With an
+/// unlimited budget the result is bit-identical to [`cs_slice`].
+pub fn cs_slice_governed<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    budget: &Budget,
+) -> Outcome<CsSlice> {
+    let mut store = SparseStore::default();
+    let mut meter = budget.meter();
+    let (slice, completeness) = tabulate(
+        sdg,
+        &DownConsumers::build(sdg),
+        seeds,
+        kind,
+        &mut store,
+        &mut VecDeque::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut meter,
+    );
+    Outcome::new(slice, completeness)
+}
+
+/// [`cs_slice_governed`] with a shared index, caller-provided scratch and
+/// an armed meter — the batched engine's governed inner loop. The scratch
+/// contract of [`cs_slice_reusing`] applies; a truncated query leaves no
+/// unsound memoised state behind (regions it explored are re-explored by
+/// the next query that needs them).
+pub fn cs_slice_governed_reusing<G: DepGraph>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut CsScratch,
+    meter: &mut Meter,
+) -> Outcome<CsSlice> {
+    let CsScratch {
+        store,
+        wl,
+        tmp_srcs,
+        tmp_conts,
+    } = scratch;
+    store.ensure(sdg.node_count());
+    let (slice, completeness) = tabulate(
+        sdg, index, seeds, kind, store, wl, tmp_srcs, tmp_conts, meter,
+    );
+    Outcome::new(slice, completeness)
 }
 
 /// [`cs_slice_indexed`] with caller-provided scratch state.
@@ -448,11 +530,27 @@ pub fn cs_slice_reusing<G: DepGraph>(
         tmp_conts,
     } = scratch;
     store.ensure(sdg.node_count());
-    tabulate(sdg, index, seeds, kind, store, wl, tmp_srcs, tmp_conts)
+    tabulate(
+        sdg,
+        index,
+        seeds,
+        kind,
+        store,
+        wl,
+        tmp_srcs,
+        tmp_conts,
+        &mut Meter::unlimited(),
+    )
+    .0
 }
 
 /// The paper's §5.3 tabulation, generic over graph and storage; see
 /// [`TabStore`] for why two storages exist.
+///
+/// Metered per worklist pop: once `meter` is exhausted the popped item is
+/// pushed back (honest frontier count) and the path edges accumulated so
+/// far — a subset of the fixpoint's, since the relation only grows — form
+/// the truncated result.
 #[allow(clippy::too_many_arguments)]
 fn tabulate<G: DepGraph, S: TabStore>(
     sdg: &G,
@@ -463,7 +561,8 @@ fn tabulate<G: DepGraph, S: TabStore>(
     wl: &mut VecDeque<(Src, NodeId)>,
     tmp_srcs: &mut Vec<Src>,
     tmp_conts: &mut Vec<NodeId>,
-) -> CsSlice {
+    meter: &mut Meter,
+) -> (CsSlice, Completeness) {
     let down_consumers = &index.map;
     wl.clear();
 
@@ -478,6 +577,10 @@ fn tabulate<G: DepGraph, S: TabStore>(
     }
 
     while let Some((src, n)) = wl.pop_front() {
+        if !meter.tick_tracked(store.resident()) {
+            wl.push_front((src, n));
+            break;
+        }
         for e in sdg.deps(n) {
             if !kind.follows(&e.kind) {
                 continue;
@@ -526,7 +629,10 @@ fn tabulate<G: DepGraph, S: TabStore>(
         }
     }
 
-    store.finish(sdg)
+    let completeness = meter.completeness(wl.len());
+    wl.clear();
+    let slice = store.finish(sdg, completeness.is_complete());
+    (slice, completeness)
 }
 
 #[cfg(test)]

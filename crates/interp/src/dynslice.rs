@@ -225,6 +225,47 @@ mod tests {
     }
 
     #[test]
+    fn budget_deadline_stops_infinite_loops() {
+        use thinslice_util::{Budget, ExhaustReason};
+        let (_, e) = exec(
+            "class Main { static void main() {
+                int i = 0;
+                while (true) { i = i + 1; }
+            } }",
+            ExecConfig {
+                budget: Budget::unlimited().with_deadline(std::time::Duration::ZERO),
+                ..ExecConfig::default()
+            },
+        );
+        assert_eq!(
+            e.outcome,
+            crate::machine::Outcome::BudgetExhausted(ExhaustReason::Deadline)
+        );
+    }
+
+    #[test]
+    fn budget_cancellation_stops_execution() {
+        use thinslice_util::{Budget, CancelToken};
+        let token = CancelToken::new();
+        token.cancel();
+        let (_, e) = exec(
+            "class Main { static void main() {
+                int i = 0;
+                while (true) { i = i + 1; }
+            } }",
+            ExecConfig {
+                budget: Budget::unlimited().with_cancel(token),
+                ..ExecConfig::default()
+            },
+        );
+        assert!(
+            matches!(e.outcome, crate::machine::Outcome::BudgetExhausted(_)),
+            "{:?}",
+            e.outcome
+        );
+    }
+
+    #[test]
     fn scripted_input_drives_execution() {
         let (_, e) = exec(
             "class Main { static void main() {

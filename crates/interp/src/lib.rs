@@ -35,3 +35,4 @@ pub mod natives;
 pub use dynslice::{dynamic_data_slice, dynamic_thin_slice, DynamicSlice};
 pub use machine::{run, EventId, ExecConfig, Execution, Outcome};
 pub use natives::NativeWorld;
+pub use thinslice_util::{Budget, CancelToken, ExhaustReason};

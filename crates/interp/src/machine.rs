@@ -14,7 +14,7 @@ use thinslice_ir::{
     BlockId, Body, CallKind, ClassId, Const, FieldId, Instr, InstrKind, IrBinOp, IrUnOp, Loc,
     MethodId, Operand, Program, StmtRef, Type, Var,
 };
-use thinslice_util::{new_index, IdxVec};
+use thinslice_util::{new_index, Budget, ExhaustReason, IdxVec, Meter};
 
 new_index!(
     /// Identifies a heap object during execution.
@@ -91,6 +91,9 @@ pub enum Outcome {
     RuntimeError(String),
     /// The step budget was exhausted (e.g. an infinite loop).
     StepLimit,
+    /// Some other resource limit fired first (deadline, cancellation or
+    /// memory watermark from the attached [`Budget`]).
+    BudgetExhausted(ExhaustReason),
 }
 
 /// Interpreter inputs and limits.
@@ -102,6 +105,10 @@ pub struct ExecConfig {
     pub ints: Vec<i64>,
     /// Maximum executed instructions.
     pub max_steps: usize,
+    /// Additional resource limits (deadline, cancellation, memory). The
+    /// effective step quota is the *minimum* of `max_steps` and the
+    /// budget's own step limit, so the historical default cap still holds.
+    pub budget: Budget,
 }
 
 impl Default for ExecConfig {
@@ -110,6 +117,7 @@ impl Default for ExecConfig {
             lines: Vec::new(),
             ints: Vec::new(),
             max_steps: 200_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -151,7 +159,11 @@ pub fn run(program: &Program, config: &ExecConfig) -> Execution {
         array_writers: HashMap::new(),
         events: IdxVec::new(),
         prints: Vec::new(),
-        steps_left: config.max_steps,
+        meter: config
+            .budget
+            .clone()
+            .cap_steps(config.max_steps as u64)
+            .meter(),
         world: NativeWorld::new(config.lines.clone(), config.ints.clone()),
     };
     let outcome = match m.call(program.main_method, Vec::new(), Vec::new()) {
@@ -167,7 +179,8 @@ pub fn run(program: &Program, config: &ExecConfig) -> Execution {
             Outcome::Threw(name)
         }
         Err(Stop::RuntimeError(msg)) => Outcome::RuntimeError(msg),
-        Err(Stop::StepLimit) => Outcome::StepLimit,
+        Err(Stop::Exhausted(ExhaustReason::StepQuota)) => Outcome::StepLimit,
+        Err(Stop::Exhausted(reason)) => Outcome::BudgetExhausted(reason),
     };
     Execution {
         events: m.events,
@@ -187,7 +200,7 @@ enum Flow {
 /// Unrecoverable interpreter stops.
 pub(crate) enum Stop {
     RuntimeError(String),
-    StepLimit,
+    Exhausted(ExhaustReason),
 }
 
 /// One activation record.
@@ -206,7 +219,7 @@ pub(crate) struct Machine<'p> {
     array_writers: HashMap<(HeapRef, usize), EventId>,
     events: IdxVec<EventId, Event>,
     prints: Vec<(EventId, String)>,
-    steps_left: usize,
+    meter: Meter,
     world: NativeWorld,
 }
 
@@ -229,10 +242,10 @@ impl<'p> Machine<'p> {
     }
 
     fn record(&mut self, stmt: StmtRef, deps: Vec<(EventId, bool)>) -> Result<EventId, Stop> {
-        if self.steps_left == 0 {
-            return Err(Stop::StepLimit);
+        if !self.meter.tick_tracked(self.heap.len() + self.events.len()) {
+            let reason = self.meter.reason().unwrap_or(ExhaustReason::StepQuota);
+            return Err(Stop::Exhausted(reason));
         }
-        self.steps_left -= 1;
         Ok(self.events.push(Event { stmt, deps }))
     }
 

@@ -211,6 +211,7 @@ fn all_suite_benchmarks_run_under_the_interpreter() {
         lines: vec!["alpha beta=7 x".into(), "gamma delta=9".into()],
         ints: vec![1, 2, 3, 4, 5, 6, 7, 8],
         max_steps: 100_000,
+        ..ExecConfig::default()
     };
     for b in thinslice_suite::all_benchmarks() {
         let p = thinslice_ir::compile(&b.sources).unwrap();

@@ -78,6 +78,22 @@ impl<'a> LowerCx<'a> {
         &self.program.methods[self.method]
     }
 
+    /// The constructor of `class`, as a checked error instead of a panic:
+    /// every collected class gets a (possibly default) constructor, but a
+    /// malformed class table should surface as a diagnostic, not abort the
+    /// whole compilation.
+    fn ctor_of(&self, class: ClassId, span: Span) -> Result<MethodId, CompileError> {
+        self.program.ctor_of(class).ok_or_else(|| {
+            self.err(
+                format!(
+                    "class `{}` has no constructor",
+                    self.program.classes[class].name
+                ),
+                span,
+            )
+        })
+    }
+
     // ---- variables and scopes ----
 
     fn push_scope(&mut self) {
@@ -101,15 +117,23 @@ impl<'a> LowerCx<'a> {
         self.new_var(format!("$t{n}"), ty)
     }
 
+    /// The innermost scope. The stack is created non-empty and push/pop
+    /// are balanced, so it is never empty while lowering runs.
+    fn innermost_scope(&mut self) -> &mut FxHashMap<String, Var> {
+        self.scopes
+            .last_mut()
+            .expect("scope stack is non-empty while lowering")
+    }
+
     fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<Var, CompileError> {
-        if self.scopes.last().unwrap().contains_key(name) {
+        if self.innermost_scope().contains_key(name) {
             return Err(self.err(
                 format!("variable `{name}` already declared in this scope"),
                 span,
             ));
         }
         let v = self.new_var(name, ty);
-        self.scopes.last_mut().unwrap().insert(name.to_string(), v);
+        self.innermost_scope().insert(name.to_string(), v);
         Ok(v)
     }
 
@@ -125,10 +149,7 @@ impl<'a> LowerCx<'a> {
         if !self.meth().is_static {
             let this = self.new_var("this", Type::Class(self.class));
             self.params.push(this);
-            self.scopes
-                .last_mut()
-                .unwrap()
-                .insert("this".to_string(), this);
+            self.innermost_scope().insert("this".to_string(), this);
         }
         let tys = self.meth().param_tys.clone();
         for ((_, name), ty) in params.iter().zip(tys) {
@@ -182,10 +203,7 @@ impl<'a> LowerCx<'a> {
         let Some(sup) = self.program.classes[self.class].superclass else {
             return Ok(()); // Object's constructor.
         };
-        let ctor = self
-            .program
-            .ctor_of(sup)
-            .expect("every class has a (possibly default) ctor");
+        let ctor = self.ctor_of(sup, span)?;
         if !self.program.methods[ctor].param_tys.is_empty() {
             return Err(self.err(
                 format!(
@@ -653,7 +671,7 @@ impl<'a> LowerCx<'a> {
                     .ok_or_else(|| self.err(format!("unknown class `{class}`"), e.span))?;
                 let dst = self.new_temp(Type::Class(c));
                 self.emit(InstrKind::New { dst, class: c }, e.span);
-                let ctor = self.program.ctor_of(c).expect("ctor exists");
+                let ctor = self.ctor_of(c, e.span)?;
                 let mut call_args = vec![Operand::Var(dst)];
                 self.check_and_lower_args(ctor, args, &mut call_args, e.span)?;
                 self.emit(
@@ -845,7 +863,7 @@ impl<'a> LowerCx<'a> {
                 },
                 span,
             ),
-            _ => unreachable!(),
+            _ => unreachable!("short_circuit is only called for && and ||"),
         }
         self.switch_to(rhs_bb);
         let (r, rty) = self.expr(rhs)?;
@@ -963,7 +981,7 @@ impl<'a> LowerCx<'a> {
         let sup = self.program.classes[self.class]
             .superclass
             .ok_or_else(|| self.err("`Object` has no superclass", span))?;
-        let ctor = self.program.ctor_of(sup).expect("ctor exists");
+        let ctor = self.ctor_of(sup, span)?;
         let mut call_args = vec![Operand::Var(self.params[0])];
         self.check_and_lower_args(ctor, args, &mut call_args, span)?;
         self.emit(
@@ -1169,12 +1187,17 @@ fn prune_unreachable(body: Body) -> Body {
     for block in new_blocks.iter_mut() {
         if let Some(last) = block.instrs.last_mut() {
             match &mut last.kind {
-                InstrKind::Goto { target } => *target = remap[target.index_usize()].unwrap(),
+                InstrKind::Goto { target } => {
+                    *target = remap[target.index_usize()]
+                        .expect("successor of a reachable block is reachable");
+                }
                 InstrKind::If {
                     then_bb, else_bb, ..
                 } => {
-                    *then_bb = remap[then_bb.index_usize()].unwrap();
-                    *else_bb = remap[else_bb.index_usize()].unwrap();
+                    *then_bb = remap[then_bb.index_usize()]
+                        .expect("successor of a reachable block is reachable");
+                    *else_bb = remap[else_bb.index_usize()]
+                        .expect("successor of a reachable block is reachable");
                 }
                 _ => {}
             }

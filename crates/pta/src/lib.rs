@@ -132,6 +132,18 @@ impl Pta {
         Self::from_solver(config, result)
     }
 
+    /// Like [`Pta::analyze`], but metered: a truncated solve yields a sound
+    /// under-approximation of the call graph and points-to sets, labelled
+    /// with why it stopped and how much worklist was abandoned.
+    pub fn analyze_governed(
+        program: &Program,
+        config: PtaConfig,
+        meter: &mut thinslice_util::Meter,
+    ) -> (Pta, thinslice_util::Completeness) {
+        let (result, completeness) = solver::solve_governed(program, &config, meter);
+        (Self::from_solver(config, result), completeness)
+    }
+
     fn from_solver(config: PtaConfig, r: SolverResult) -> Pta {
         let mut var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>> = FxHashMap::default();
         let mut inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>> = FxHashMap::default();

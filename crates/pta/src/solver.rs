@@ -14,7 +14,9 @@ use crate::PtaConfig;
 use thinslice_ir::{
     CallKind, ClassId, FieldId, InstrKind, Loc, MethodId, Operand, Program, StmtRef, Type, Var,
 };
-use thinslice_util::{new_index, BitSet, FxHashMap, FxHashSet, IdxVec, Worklist};
+use thinslice_util::{
+    new_index, BitSet, Completeness, FxHashMap, FxHashSet, IdxVec, Meter, Worklist,
+};
 
 new_index!(
     /// A node in the points-to constraint graph.
@@ -72,6 +74,16 @@ pub fn solve(program: &Program, config: &PtaConfig) -> SolverResult {
     Solver::new(program, config).run()
 }
 
+/// Like [`solve`], but metered: stops pulling worklist items once `meter`
+/// is exhausted and labels the (sound, partial) result accordingly.
+pub fn solve_governed(
+    program: &Program,
+    config: &PtaConfig,
+    meter: &mut Meter,
+) -> (SolverResult, Completeness) {
+    Solver::new(program, config).run_governed(meter)
+}
+
 struct Solver<'p> {
     program: &'p Program,
     config: &'p PtaConfig,
@@ -119,20 +131,31 @@ impl<'p> Solver<'p> {
         }
     }
 
-    fn run(mut self) -> SolverResult {
+    fn run(self) -> SolverResult {
+        self.run_governed(&mut Meter::unlimited()).0
+    }
+
+    fn run_governed(mut self, meter: &mut Meter) -> (SolverResult, Completeness) {
         let (main, _) = self.cg.intern(self.program.main_method, Ctx::Insensitive);
         self.process_method(main);
         while let Some(n) = self.worklist.pop() {
+            if !meter.tick_tracked(self.pts.len()) {
+                // Unprocessed: put it back so the frontier count is honest.
+                self.worklist.push(n);
+                break;
+            }
             self.process_node(n);
         }
-        SolverResult {
+        let completeness = meter.completeness(self.worklist.len());
+        let result = SolverResult {
             objects: self.objects,
             callgraph: self.cg,
             keys: self.keys,
             pts: self.pts,
             node_of: self.node_of,
             edge_count: self.edge_count,
-        }
+        };
+        (result, completeness)
     }
 
     // ---- interning ----

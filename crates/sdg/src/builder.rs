@@ -19,12 +19,19 @@ use crate::Sdg;
 use std::collections::BTreeMap;
 use thinslice_ir::{InstrKind, Loc, MethodId, Operand, Program, StmtRef, UseKind, Var};
 use thinslice_pta::{CgNode, Pta};
-use thinslice_util::FxHashMap;
+use thinslice_util::{Completeness, FxHashMap, Meter};
 
 /// Builds the context-insensitive SDG for all method instances reachable in
 /// `pta`.
 pub fn build_ci(program: &Program, pta: &Pta) -> Sdg {
     Builder::new(program, pta, crate::HeapMode::DirectEdges).run()
+}
+
+/// Like [`build_ci`], but metered: a truncated build returns a graph with a
+/// (sound) subset of the statement nodes and dependence edges, labelled with
+/// why construction stopped and roughly how much work was abandoned.
+pub fn build_ci_governed(program: &Program, pta: &Pta, meter: &mut Meter) -> (Sdg, Completeness) {
+    Builder::new(program, pta, crate::HeapMode::DirectEdges).run_governed(meter)
 }
 
 /// Builds the statement/parameter/control skeleton *without* heap edges;
@@ -74,7 +81,11 @@ impl<'p> Builder<'p> {
         }
     }
 
-    fn run(mut self) -> Sdg {
+    fn run(self) -> Sdg {
+        self.run_governed(&mut Meter::unlimited()).0
+    }
+
+    fn run_governed(mut self, meter: &mut Meter) -> (Sdg, Completeness) {
         let instances: Vec<(CgNode, MethodId)> = self
             .pta
             .callgraph
@@ -97,8 +108,18 @@ impl<'p> Builder<'p> {
             self.control.insert(m, ControlDeps::compute(body));
         }
 
+        // A truncated pass leaves `abandoned` as a lower bound on the work
+        // it skipped; every later pass is skipped entirely (interning is
+        // idempotent, so the graph built so far stays internally
+        // consistent — it just has fewer nodes and edges).
+        let mut abandoned = 0usize;
+
         // Pass 1: statement nodes + heap access collection, per instance.
-        for &(inst, m) in &instances {
+        for (done, &(inst, m)) in instances.iter().enumerate() {
+            if !meter.tick_tracked(self.sdg.node_count()) {
+                abandoned += instances.len() - done;
+                break;
+            }
             let body = self.program.methods[m].body.as_ref().expect("body");
             for (loc, instr) in body.instrs() {
                 let sr = StmtRef { method: m, loc };
@@ -140,16 +161,23 @@ impl<'p> Builder<'p> {
         }
 
         // Pass 2: local flow, parameter linkage, control, per instance.
-        for &(inst, m) in &instances {
-            self.instance_edges(inst, m);
+        if !meter.is_exhausted() {
+            for (done, &(inst, m)) in instances.iter().enumerate() {
+                if !meter.tick_tracked(self.sdg.node_count()) {
+                    abandoned += instances.len() - done;
+                    break;
+                }
+                self.instance_edges(inst, m);
+            }
         }
 
         // Pass 3: direct heap edges (context-insensitive mode only; the
         // context-sensitive mode routes the heap through parameter nodes).
-        if self.mode == crate::HeapMode::DirectEdges {
-            self.heap_edges();
+        if self.mode == crate::HeapMode::DirectEdges && !meter.is_exhausted() {
+            abandoned += self.heap_edges(meter);
         }
-        self.sdg
+        let completeness = meter.completeness(abandoned);
+        (self.sdg, completeness)
     }
 
     /// The node a use of `v` in instance `inst` depends on: its SSA def
@@ -359,13 +387,21 @@ impl<'p> Builder<'p> {
 
     /// Direct heap edges: load → every may-aliased store (paper §5.2),
     /// using *per-instance* points-to sets so container clones stay apart.
-    fn heap_edges(&mut self) {
+    ///
+    /// Metered per load site (the quadratic pass is where adversarial
+    /// programs blow up); returns a lower bound on abandoned load sites.
+    fn heap_edges(&mut self, meter: &mut Meter) -> usize {
+        let mut abandoned = 0usize;
         let field_loads = std::mem::take(&mut self.field_loads);
-        for (field, loads) in field_loads {
+        'fields: for (field, loads) in field_loads {
             let Some(stores) = self.field_stores.get(&field).cloned() else {
                 continue;
             };
-            for (linst, lsr, lbase) in &loads {
+            for (i, (linst, lsr, lbase)) in loads.iter().enumerate() {
+                if !meter.tick_tracked(self.sdg.node_count()) {
+                    abandoned += loads.len() - i;
+                    break 'fields;
+                }
                 let lpts = self.pta.instance_points_to(*linst, *lbase);
                 for (sinst, ssr, sbase) in &stores {
                     if lpts.intersects(self.pta.instance_points_to(*sinst, *sbase)) {
@@ -386,7 +422,11 @@ impl<'p> Builder<'p> {
         }
         let array_loads = std::mem::take(&mut self.array_loads);
         let array_stores = self.array_stores.clone();
-        for (linst, lsr, lbase) in &array_loads {
+        for (i, (linst, lsr, lbase)) in array_loads.iter().enumerate() {
+            if meter.is_exhausted() || !meter.tick_tracked(self.sdg.node_count()) {
+                abandoned += array_loads.len() - i;
+                break;
+            }
             let lpts = self.pta.instance_points_to(*linst, *lbase);
             for (sinst, ssr, sbase) in &array_stores {
                 if lpts.intersects(self.pta.instance_points_to(*sinst, *sbase)) {
@@ -405,11 +445,15 @@ impl<'p> Builder<'p> {
             }
         }
         let static_loads = std::mem::take(&mut self.static_loads);
-        for (field, loads) in static_loads {
+        'statics: for (field, loads) in static_loads {
             let Some(stores) = self.static_stores.get(&field).cloned() else {
                 continue;
             };
-            for (linst, lsr) in &loads {
+            for (i, (linst, lsr)) in loads.iter().enumerate() {
+                if meter.is_exhausted() || !meter.tick_tracked(self.sdg.node_count()) {
+                    abandoned += loads.len() - i;
+                    break 'statics;
+                }
                 for (sinst, ssr) in &stores {
                     let ln = self.sdg.intern(NodeKind::Stmt(*linst, *lsr));
                     let sn = self.sdg.intern(NodeKind::Stmt(*sinst, *ssr));
@@ -425,6 +469,7 @@ impl<'p> Builder<'p> {
                 }
             }
         }
+        abandoned
     }
 }
 

@@ -41,7 +41,7 @@ pub mod heap_params;
 pub mod node;
 pub mod stats;
 
-pub use builder::build_ci;
+pub use builder::{build_ci, build_ci_governed};
 pub use csr::{DenseDisplay, DepGraph, FilteredCsr, FrozenSdg, NO_DISPLAY};
 pub use heap_params::build_cs;
 pub use node::{Edge, EdgeKind, NodeId, NodeKind};

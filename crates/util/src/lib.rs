@@ -13,6 +13,8 @@
 //! * [`FxHashMap`]/[`FxHashSet`] — fast non-DoS-resistant hashing for the
 //!   analyses' internal tables,
 //! * [`par`] — an order-preserving parallel map for batched queries,
+//! * [`govern`] — resource budgets, cancellation and truncation labels
+//!   shared by every analysis stage,
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests.
 //!
 //! # Examples
@@ -28,6 +30,7 @@
 
 mod bitset;
 mod fx;
+pub mod govern;
 mod idxvec;
 pub mod par;
 mod rng;
@@ -36,6 +39,7 @@ mod worklist;
 
 pub use bitset::{BitSet, BitSetIter};
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
+pub use govern::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
 pub use idxvec::IdxVec;
 pub use rng::SmallRng;
 pub use unionfind::UnionFind;

@@ -69,6 +69,11 @@ impl<I: Idx> Worklist<I> {
     pub fn len(&self) -> usize {
         self.queue.len()
     }
+
+    /// Drops all pending items (membership bits included).
+    pub fn clear(&mut self) {
+        while self.pop().is_some() {}
+    }
 }
 
 impl<I: Idx> Extend<I> for Worklist<I> {

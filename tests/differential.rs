@@ -22,6 +22,7 @@ fn exec_config() -> ExecConfig {
         ],
         ints: vec![3, 1, 4, 1, 5, 9, 2, 6],
         max_steps: 100_000,
+        ..ExecConfig::default()
     }
 }
 

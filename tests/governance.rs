@@ -1,0 +1,305 @@
+//! Resource governance across the pipeline: budget-exhausted queries
+//! return sound truncated prefixes (never panics or hangs), context-
+//! sensitive queries degrade to context-insensitive reachability, and a
+//! panicking worker in a batch cannot corrupt its siblings.
+
+use std::time::Duration;
+use thinslice::batch::{self, BatchConfig, FaultInjection};
+use thinslice::{
+    cs_slice, cs_slice_governed, slice_from, slice_from_governed, Budget, Completeness,
+    ExhaustReason, QueryError, SliceKind,
+};
+use thinslice_ir::InstrKind;
+use thinslice_pta::PtaConfig;
+use thinslice_sdg::{DepGraph, NodeId};
+
+/// One query per print statement of the program, resolved against `graph`.
+fn print_queries<G: DepGraph>(program: &thinslice_ir::Program, graph: &G) -> Vec<Vec<NodeId>> {
+    program
+        .all_stmts()
+        .filter(|s| matches!(program.instr(*s).kind, InstrKind::Print { .. }))
+        .map(|s| graph.stmt_nodes_of(s).to_vec())
+        .filter(|nodes| !nodes.is_empty())
+        .collect()
+}
+
+fn steps(n: u64) -> Budget {
+    Budget::unlimited().with_step_limit(n)
+}
+
+#[test]
+fn truncated_bfs_slices_are_nonempty_prefixes_of_the_full_slice() {
+    for b in thinslice_suite::all_benchmarks() {
+        let a = b.analyze(PtaConfig::default());
+        let queries = print_queries(&a.program, &a.csr);
+        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        for kind in [SliceKind::Thin, SliceKind::TraditionalData] {
+            for seeds in queries.iter().take(3) {
+                let full = slice_from(&a.csr, seeds, kind);
+                if full.nodes.len() < 2 {
+                    continue;
+                }
+                // Quotas strictly below the full visit count must truncate;
+                // a quota of exactly the fixpoint size must not.
+                for quota in [1, (full.nodes.len() as u64) / 2] {
+                    let out = slice_from_governed(&a.csr, seeds, kind, &steps(quota));
+                    assert!(
+                        matches!(
+                            out.completeness,
+                            Completeness::Truncated {
+                                reason: ExhaustReason::StepQuota,
+                                ..
+                            }
+                        ),
+                        "{}: quota {quota} of {} visits gave {:?}",
+                        b.name,
+                        full.nodes.len(),
+                        out.completeness,
+                    );
+                    let partial = out.result;
+                    assert!(!partial.stmts_in_bfs_order.is_empty(), "{}", b.name);
+                    assert!(
+                        partial.stmts_in_bfs_order.len() <= full.stmts_in_bfs_order.len(),
+                        "{}",
+                        b.name
+                    );
+                    // The governed twin walks in the same order, so the
+                    // partial slice is a *prefix*, not just a subset.
+                    assert_eq!(
+                        partial.stmts_in_bfs_order[..],
+                        full.stmts_in_bfs_order[..partial.stmts_in_bfs_order.len()],
+                        "{}: {kind:?} truncated slice is not a prefix",
+                        b.name
+                    );
+                    assert!(
+                        partial.nodes.iter().all(|n| full.nodes.contains(n)),
+                        "{}: truncated slice escaped the full slice",
+                        b.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unbudgeted_governed_slices_match_the_ungoverned_slicer() {
+    for b in thinslice_suite::all_benchmarks() {
+        let a = b.analyze(PtaConfig::default());
+        let queries = print_queries(&a.program, &a.csr);
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            for seeds in queries.iter().take(2) {
+                let full = slice_from(&a.csr, seeds, kind);
+                let out = slice_from_governed(&a.csr, seeds, kind, &Budget::unlimited());
+                assert!(out.completeness.is_complete(), "{}", b.name);
+                assert_eq!(out.result.stmts_in_bfs_order, full.stmts_in_bfs_order);
+                assert_eq!(out.result.nodes, full.nodes);
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_tabulation_slices_are_nonempty_subsets_of_the_fixpoint() {
+    for b in thinslice_suite::all_benchmarks() {
+        let a = b.analyze(PtaConfig::default());
+        let cs_sdg = a.build_cs_sdg();
+        let queries = print_queries(&a.program, &cs_sdg);
+        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        for kind in [SliceKind::Thin, SliceKind::TraditionalData] {
+            let seeds = &queries[0];
+            let full = cs_slice(&cs_sdg, seeds, kind);
+            if full.stmts.len() < 2 {
+                continue;
+            }
+            let out = cs_slice_governed(&cs_sdg, seeds, kind, &steps(1));
+            assert!(
+                matches!(out.completeness, Completeness::Truncated { .. }),
+                "{}: {kind:?} quota 1 gave {:?}",
+                b.name,
+                out.completeness,
+            );
+            let partial = out.result;
+            assert!(!partial.stmts.is_empty(), "{}", b.name);
+            assert!(
+                partial.stmts.iter().all(|s| full.stmts.contains(s)),
+                "{}: truncated tabulation escaped the fixpoint slice",
+                b.name
+            );
+            assert!(
+                partial.nodes.iter().all(|n| full.nodes.contains(n)),
+                "{}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn one_millisecond_deadline_always_returns_outcomes() {
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+    let queries = print_queries(&a.program, &a.csr);
+    let cfg = BatchConfig {
+        budget: Budget::unlimited().with_deadline(Duration::from_millis(1)),
+        ..BatchConfig::default()
+    };
+    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    assert_eq!(outcomes.len(), queries.len());
+    for out in &outcomes {
+        // Deadline exhaustion is a truncated result, never a hard error.
+        let slice = out.slice.as_ref().expect("no worker may panic");
+        assert!(!slice.degraded);
+        // Either the query finished inside 1 ms or it was truncated by the
+        // deadline — both are legitimate outcomes; a hang would have kept
+        // this test from ever getting here.
+        if let Completeness::Truncated { reason, .. } = slice.completeness {
+            assert_eq!(reason, ExhaustReason::Deadline);
+        }
+    }
+}
+
+#[test]
+fn exhausted_cs_queries_degrade_to_ci_reachability() {
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+    let cs_sdg = a.build_cs_sdg();
+    let frozen = cs_sdg.freeze();
+    let queries = print_queries(&a.program, &frozen);
+    let cfg = BatchConfig {
+        budget: steps(1),
+        ..BatchConfig::default()
+    };
+    let outcomes = batch::governed_cs_slices(&frozen, &queries, SliceKind::Thin, 2, &cfg);
+    assert_eq!(outcomes.len(), queries.len());
+    let mut saw_degraded = false;
+    for out in &outcomes {
+        let slice = out.slice.as_ref().expect("no worker may panic");
+        if slice.degraded {
+            saw_degraded = true;
+            // The CI fallback answered from the same frozen graph; with a
+            // one-step budget it is itself truncated but non-empty.
+            assert!(!slice.stmts.is_empty());
+            assert!(!slice.completeness.is_complete());
+        }
+    }
+    assert!(saw_degraded, "a one-step budget must exhaust tabulation");
+}
+
+#[test]
+fn injected_worker_panic_cannot_corrupt_sibling_queries() {
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+    let queries = print_queries(&a.program, &a.csr);
+    assert!(queries.len() >= 3, "need at least three queries");
+
+    let clean = batch::governed_slices(
+        &a.csr,
+        &queries,
+        SliceKind::Thin,
+        2,
+        &BatchConfig::default(),
+    );
+
+    // The faulty query panics on every allowed attempt (2 > 1 retry).
+    let cfg = BatchConfig {
+        fault: Some(FaultInjection {
+            query: 1,
+            attempts: 2,
+        }),
+        retries: 1,
+        ..BatchConfig::default()
+    };
+    let faulty = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    assert_eq!(faulty.len(), clean.len());
+    for (i, (got, want)) in faulty.iter().zip(&clean).enumerate() {
+        if i == 1 {
+            assert_eq!(got.retries, 1);
+            assert!(
+                matches!(&got.slice, Err(QueryError::Panicked { message })
+                    if message.contains("injected worker fault")),
+                "query 1 must fail: {:?}",
+                got.slice
+            );
+            continue;
+        }
+        let (got, want) = (
+            got.slice.as_ref().expect("sibling must succeed"),
+            want.slice.as_ref().expect("clean run must succeed"),
+        );
+        // Bit-identical siblings: the panic and the scratch replacement
+        // leaked nothing into other workers.
+        assert_eq!(got.stmts, want.stmts, "query {i}");
+        assert_eq!(got.nodes, want.nodes, "query {i}");
+        assert!(got.completeness.is_complete());
+    }
+}
+
+#[test]
+fn a_retry_on_fresh_scratch_recovers_from_a_transient_panic() {
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+    let queries = print_queries(&a.program, &a.csr);
+    let clean = batch::governed_slices(
+        &a.csr,
+        &queries,
+        SliceKind::Thin,
+        2,
+        &BatchConfig::default(),
+    );
+    // One panic, one allowed retry: the query recovers with an identical
+    // result on fresh scratch.
+    let cfg = BatchConfig {
+        fault: Some(FaultInjection {
+            query: 0,
+            attempts: 1,
+        }),
+        retries: 1,
+        ..BatchConfig::default()
+    };
+    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    let recovered = outcomes[0].slice.as_ref().expect("retry must succeed");
+    let want = clean[0].slice.as_ref().unwrap();
+    assert_eq!(outcomes[0].retries, 1);
+    assert_eq!(recovered.stmts, want.stmts);
+    assert_eq!(recovered.nodes, want.nodes);
+}
+
+#[test]
+fn fail_fast_cancels_the_queries_after_a_hard_failure() {
+    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
+    let a = b.analyze(PtaConfig::default());
+    let queries = print_queries(&a.program, &a.csr);
+    assert!(queries.len() >= 3);
+    // One worker, so queries run in order and the cancellation from query
+    // 0's hard failure deterministically precedes every later query.
+    let cfg = BatchConfig {
+        fault: Some(FaultInjection {
+            query: 0,
+            attempts: 2,
+        }),
+        retries: 1,
+        fail_fast: true,
+        ..BatchConfig::default()
+    };
+    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 1, &cfg);
+    assert!(outcomes[0].slice.is_err());
+    for (i, out) in outcomes.iter().enumerate().skip(1) {
+        let slice = out.slice.as_ref().expect("cancelled, not failed");
+        assert!(
+            matches!(
+                slice.completeness,
+                Completeness::Truncated {
+                    reason: ExhaustReason::Cancelled,
+                    ..
+                }
+            ),
+            "query {i}: {:?}",
+            slice.completeness
+        );
+    }
+}
