@@ -28,7 +28,7 @@ use thinslice::{batch, cs_slice, slice_from, Analysis, CsSlice, Slice, SliceKind
 use thinslice_pta::PtaConfig;
 use thinslice_sdg::{DepGraph, FrozenSdg, Sdg};
 use thinslice_suite::{all_bug_tasks, benchmark_named, line_with, Benchmark};
-use thinslice_util::par;
+use thinslice_util::{par, Histogram};
 
 /// Timing rounds per measurement; the median over rounds is reported.
 const ROUNDS: usize = 25;
@@ -96,21 +96,17 @@ fn time_interleaved(mut fs: Vec<Box<dyn FnMut() + '_>>) -> Vec<f64> {
             f();
         }
     }
-    let mut rounds = vec![Vec::with_capacity(ROUNDS); fs.len()];
+    // Samples go through the telemetry histogram so the percentile math
+    // here is the same nearest-rank implementation the run reports use.
+    let mut rounds: Vec<Histogram> = (0..fs.len()).map(|_| Histogram::new()).collect();
     for _ in 0..ROUNDS {
         for (i, f) in fs.iter_mut().enumerate() {
             let start = Instant::now();
             f();
-            rounds[i].push(start.elapsed().as_secs_f64());
+            rounds[i].record(start.elapsed().as_secs_f64());
         }
     }
-    rounds
-        .into_iter()
-        .map(|mut r| {
-            r.sort_by(f64::total_cmp);
-            r[ROUNDS / 2]
-        })
-        .collect()
+    rounds.iter().map(Histogram::median).collect()
 }
 
 fn stmt_sets(slices: &[Slice]) -> Vec<Vec<thinslice_ir::StmtRef>> {

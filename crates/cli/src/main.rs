@@ -18,8 +18,8 @@
 
 use std::process::ExitCode;
 use thinslice::batch::BatchConfig;
-use thinslice::{report, Analysis, Budget, SliceKind};
-use thinslice_interp::{dynamic_thin_slice, run as interp_run, ExecConfig};
+use thinslice::{report, Analysis, Budget, RunReport, SliceKind, Telemetry};
+use thinslice_interp::{dynamic_thin_slice, run_telemetry as interp_run, ExecConfig};
 use thinslice_ir::pretty;
 
 fn main() -> ExitCode {
@@ -41,11 +41,17 @@ const USAGE: &str = "usage:
   thinslice explain <file.mj>... --seed <file:line>
   thinslice run     <file.mj>... [--line <text>]... [--int <n>]... [--dynamic-slice]
   thinslice info    <file.mj>...
+  thinslice validate-report <report.json>
 
 governance (any command): [--deadline-ms <n>] [--step-budget <n>] [--fail-fast]
   Budgeted stages never abort: they return sound partial results marked
   [TRUNCATED: <reason>; ~<n> pending]. A context-sensitive query that
-  exhausts its budget degrades to context-insensitive reachability.";
+  exhausts its budget degrades to context-insensitive reachability.
+
+telemetry (any command): [--trace] [--trace-format json|text] [--metrics-out <path>]
+  --trace prints the run's spans and metrics to stderr; --metrics-out
+  writes the machine-readable run report (thinslice.run_report.v1 JSON).
+  Without these flags no telemetry is collected and output is unchanged.";
 
 struct Options {
     files: Vec<String>,
@@ -62,6 +68,9 @@ struct Options {
     deadline_ms: Option<u64>,
     step_budget: Option<u64>,
     fail_fast: bool,
+    trace: bool,
+    trace_json: bool,
+    metrics_out: Option<String>,
 }
 
 impl Options {
@@ -83,6 +92,17 @@ impl Options {
     fn governed(&self) -> bool {
         self.deadline_ms.is_some() || self.step_budget.is_some() || self.fail_fast
     }
+
+    /// The telemetry handle the flags describe: enabled only when a
+    /// telemetry flag was given, so plain runs collect nothing and their
+    /// output stays byte-identical.
+    fn telemetry(&self) -> Telemetry {
+        if self.trace || self.metrics_out.is_some() {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        }
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -101,6 +121,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         step_budget: None,
         fail_fast: false,
+        trace: false,
+        trace_json: false,
+        metrics_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -148,6 +171,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.step_budget = Some(v.parse().map_err(|_| format!("bad step budget {v:?}"))?);
             }
             "--fail-fast" => o.fail_fast = true,
+            "--trace" => o.trace = true,
+            "--trace-format" => {
+                o.trace_json = match it.next().map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => return Err(format!("unknown trace format {other:?}")),
+                };
+            }
+            "--metrics-out" => {
+                o.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+            }
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -158,7 +192,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn load(o: &Options) -> Result<Analysis, String> {
+fn load(o: &Options, tel: &Telemetry) -> Result<Analysis, String> {
     let mut sources: Vec<(String, String)> = Vec::new();
     for f in &o.files {
         let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
@@ -178,8 +212,11 @@ fn load(o: &Options) -> Result<Analysis, String> {
         thinslice_pta::PtaConfig::without_object_sensitivity()
     };
     if o.governed() {
+        let mut span = tel.span("analysis.build_governed");
         let (a, build) = Analysis::with_config_governed(&borrowed, config, &o.budget())
             .map_err(|e| e.to_string())?;
+        span.add("sdg.nodes", a.sdg.node_count() as u64);
+        drop(span);
         if !build.pta.is_complete() {
             eprintln!(
                 "warning: points-to solve {}; the call graph is partial",
@@ -194,7 +231,7 @@ fn load(o: &Options) -> Result<Analysis, String> {
         }
         Ok(a)
     } else {
-        Analysis::with_config(&borrowed, config).map_err(|e| e.to_string())
+        Analysis::with_config_telemetry(&borrowed, config, tel).map_err(|e| e.to_string())
     }
 }
 
@@ -207,13 +244,56 @@ fn resolve_seed(a: &Analysis, o: &Options) -> Result<Vec<thinslice_ir::StmtRef>,
 fn real_main(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("no command")?;
     let o = parse_options(rest)?;
+    let tel = o.telemetry();
     match cmd.as_str() {
-        "slice" => cmd_slice(&o),
-        "explain" => cmd_explain(&o),
-        "run" => cmd_run(&o),
-        "info" => cmd_info(&o),
-        other => Err(format!("unknown command {other}")),
+        "slice" => cmd_slice(&o, &tel)?,
+        "explain" => cmd_explain(&o, &tel)?,
+        "run" => cmd_run(&o, &tel)?,
+        "info" => cmd_info(&o, &tel)?,
+        "validate-report" => cmd_validate_report(&o)?,
+        other => return Err(format!("unknown command {other}")),
     }
+    emit_telemetry(&o, &tel)
+}
+
+/// Writes the run report where the telemetry flags asked for it: `--trace`
+/// renders to stderr (text or JSON per `--trace-format`), `--metrics-out`
+/// writes the JSON report to a file. No-op without telemetry flags.
+fn emit_telemetry(o: &Options, tel: &Telemetry) -> Result<(), String> {
+    if !tel.is_enabled() {
+        return Ok(());
+    }
+    let report = tel.report();
+    if let Some(path) = &o.metrics_out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if o.trace {
+        if o.trace_json {
+            eprintln!("{}", report.to_json());
+        } else {
+            eprint!("{}", report.render_text());
+        }
+    }
+    Ok(())
+}
+
+/// Validates a previously emitted run report against the
+/// `thinslice.run_report.v1` schema (used by CI to check `--metrics-out`
+/// output stays machine-readable).
+fn cmd_validate_report(o: &Options) -> Result<(), String> {
+    for path in &o.files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: valid {} report ({} spans, {} counters, {} histograms, {} events)",
+            thinslice_util::telemetry::RUN_REPORT_SCHEMA,
+            report.spans.len(),
+            report.counters.len(),
+            report.histograms.len(),
+            report.events.len(),
+        );
+    }
+    Ok(())
 }
 
 /// The batch seed list: parsed from `--seeds-file` (one `file:line` per
@@ -254,7 +334,7 @@ fn batch_seed_lines(a: &Analysis, o: &Options) -> Result<Vec<(String, u32)>, Str
     }
 }
 
-fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
+fn cmd_slice_batch(a: &Analysis, o: &Options, tel: &Telemetry) -> Result<(), String> {
     let seed_lines = batch_seed_lines(a, o)?;
     let mut queries: Vec<Vec<thinslice_ir::StmtRef>> = Vec::with_capacity(seed_lines.len());
     for (f, l) in &seed_lines {
@@ -265,20 +345,19 @@ fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
     }
 
     if o.governed() {
-        return cmd_slice_batch_governed(a, o, &seed_lines, &queries);
+        return cmd_slice_batch_governed(a, o, tel, &seed_lines, &queries);
     }
 
     let start = std::time::Instant::now();
     let sizes: Vec<usize> = if o.context_sensitive {
-        let cs_sdg = a.build_cs_sdg();
-        let frozen = cs_sdg.freeze();
+        let frozen = build_cs_frozen(a, tel);
         let nodes = thinslice::batch::node_queries(&frozen, &queries);
-        thinslice::batch::cs_slices(&frozen, &nodes, o.kind, o.threads)
+        thinslice::batch::cs_slices_telemetry(&frozen, &nodes, o.kind, o.threads, tel)
             .iter()
             .map(thinslice::CsSlice::len)
             .collect()
     } else {
-        a.batch_slices(&queries, o.kind, o.threads)
+        a.batch_slices_telemetry(&queries, o.kind, o.threads, tel)
             .iter()
             .map(thinslice::Slice::len)
             .collect()
@@ -295,7 +374,34 @@ fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
         o.threads,
         sizes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
     );
+    print_latency_footer(tel);
     Ok(())
+}
+
+/// Builds and freezes the context-sensitive SDG under telemetry spans.
+fn build_cs_frozen(a: &Analysis, tel: &Telemetry) -> thinslice_sdg::FrozenSdg {
+    let cs_sdg = {
+        let mut span = tel.span("sdg.build_cs");
+        let g = a.build_cs_sdg();
+        span.add("sdg.nodes", g.node_count() as u64);
+        span.add("sdg.edges", g.edge_count() as u64);
+        g
+    };
+    let mut span = tel.span("sdg.freeze");
+    let frozen = cs_sdg.freeze();
+    span.add("sdg.csr_edges", frozen.edge_count() as u64);
+    frozen
+}
+
+/// With telemetry enabled, one extra footer line summarising the per-query
+/// latency histogram. Plain runs print nothing extra.
+fn print_latency_footer(tel: &Telemetry) {
+    if let Some(h) = tel.histogram_summary("batch.query_us") {
+        println!(
+            "-- per-query latency: p50 {:.1} us, p95 {:.1} us, max {:.1} us over {} queries",
+            h.p50, h.p95, h.max, h.count
+        );
+    }
 }
 
 /// Batch slicing under a budget: per-seed outcome lines (size, truncation
@@ -303,17 +409,18 @@ fn cmd_slice_batch(a: &Analysis, o: &Options) -> Result<(), String> {
 fn cmd_slice_batch_governed(
     a: &Analysis,
     o: &Options,
+    tel: &Telemetry,
     seed_lines: &[(String, u32)],
     queries: &[Vec<thinslice_ir::StmtRef>],
 ) -> Result<(), String> {
     let cfg = BatchConfig {
         budget: o.budget(),
         fail_fast: o.fail_fast,
+        telemetry: tel.clone(),
         ..BatchConfig::default()
     };
     let outcomes = if o.context_sensitive {
-        let cs_sdg = a.build_cs_sdg();
-        let frozen = cs_sdg.freeze();
+        let frozen = build_cs_frozen(a, tel);
         let nodes = thinslice::batch::node_queries(&frozen, queries);
         thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, o.threads, &cfg)
     } else {
@@ -350,25 +457,36 @@ fn cmd_slice_batch_governed(
         }
     }
     println!("{}", report::governed_batch_footer(&outcomes));
+    print_latency_footer(tel);
     Ok(())
 }
 
-fn cmd_slice(o: &Options) -> Result<(), String> {
-    let a = load(o)?;
+fn cmd_slice(o: &Options, tel: &Telemetry) -> Result<(), String> {
+    let a = load(o, tel)?;
     if o.seeds_file.is_some() || o.all_seeds {
-        return cmd_slice_batch(&a, o);
+        return cmd_slice_batch(&a, o, tel);
     }
     let seeds = resolve_seed(&a, o)?;
     if o.context_sensitive {
         if o.governed() {
-            return cmd_slice_cs_governed(&a, o, &seeds);
+            return cmd_slice_cs_governed(&a, o, tel, &seeds);
         }
-        let cs_sdg = a.build_cs_sdg();
+        let cs_sdg = {
+            let mut span = tel.span("sdg.build_cs");
+            let g = a.build_cs_sdg();
+            span.add("sdg.nodes", g.node_count() as u64);
+            g
+        };
         let nodes: Vec<_> = seeds
             .iter()
             .flat_map(|&s| cs_sdg.stmt_nodes_of(s).to_vec())
             .collect();
-        let slice = thinslice::cs_slice(&cs_sdg, &nodes, o.kind);
+        let slice = {
+            let mut span = tel.span("slice.cs_query");
+            let slice = thinslice::cs_slice(&cs_sdg, &nodes, o.kind);
+            span.add("slice.nodes_visited", slice.nodes.len() as u64);
+            slice
+        };
         println!(
             "context-sensitive {:?} slice: {} statements",
             o.kind,
@@ -386,7 +504,10 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
         return Ok(());
     }
     if o.governed() {
+        let mut span = tel.span("slice.query");
         let out = a.slice_governed(&seeds, o.kind, &o.budget());
+        span.add("slice.nodes_visited", out.result.nodes.len() as u64);
+        drop(span);
         println!(
             "{:?} slice: {} statements (BFS order from the seed){}",
             o.kind,
@@ -398,6 +519,7 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
         }
         return Ok(());
     }
+    let mut span = tel.span("slice.query");
     let slice = thinslice::slice_from(
         &a.csr,
         &seeds
@@ -406,6 +528,8 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
             .collect::<Vec<_>>(),
         o.kind,
     );
+    span.add("slice.nodes_visited", slice.nodes.len() as u64);
+    drop(span);
     println!(
         "{:?} slice: {} statements (BFS order from the seed)",
         o.kind,
@@ -422,15 +546,16 @@ fn cmd_slice(o: &Options) -> Result<(), String> {
 fn cmd_slice_cs_governed(
     a: &Analysis,
     o: &Options,
+    tel: &Telemetry,
     seeds: &[thinslice_ir::StmtRef],
 ) -> Result<(), String> {
-    let cs_sdg = a.build_cs_sdg();
-    let frozen = cs_sdg.freeze();
+    let frozen = build_cs_frozen(a, tel);
     let queries = vec![seeds.to_vec()];
     let nodes = thinslice::batch::node_queries(&frozen, &queries);
     let cfg = BatchConfig {
         budget: o.budget(),
         fail_fast: o.fail_fast,
+        telemetry: tel.clone(),
         ..BatchConfig::default()
     };
     let mut outcomes = thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, 1, &cfg);
@@ -465,8 +590,8 @@ fn cmd_slice_cs_governed(
     Ok(())
 }
 
-fn cmd_explain(o: &Options) -> Result<(), String> {
-    let a = load(o)?;
+fn cmd_explain(o: &Options, tel: &Telemetry) -> Result<(), String> {
+    let a = load(o, tel)?;
     let seeds = resolve_seed(&a, o)?;
     // Control dependences of the seed.
     let mut ctrl = Vec::new();
@@ -494,7 +619,7 @@ fn cmd_explain(o: &Options) -> Result<(), String> {
     for (load, store) in pairs {
         println!("  load : {}", pretty::stmt_str(&a.program, load));
         println!("  store: {}", pretty::stmt_str(&a.program, store));
-        match a.explain_aliasing(load, store) {
+        match thinslice::explain_aliasing_telemetry(&a.program, &a.pta, &a.sdg, load, store, tel) {
             Ok(e) => {
                 println!("  common objects: {}", e.common_objects.len());
                 for s in e.statements() {
@@ -508,15 +633,15 @@ fn cmd_explain(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(o: &Options) -> Result<(), String> {
-    let a = load(o)?;
+fn cmd_run(o: &Options, tel: &Telemetry) -> Result<(), String> {
+    let a = load(o, tel)?;
     let config = ExecConfig {
         lines: o.lines.clone(),
         ints: o.ints.clone(),
         budget: o.budget(),
         ..ExecConfig::default()
     };
-    let exec = interp_run(&a.program, &config);
+    let exec = interp_run(&a.program, &config, tel);
     for (_, text) in &exec.prints {
         println!("{text}");
     }
@@ -544,8 +669,8 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(o: &Options) -> Result<(), String> {
-    let a = load(o)?;
+fn cmd_info(o: &Options, tel: &Telemetry) -> Result<(), String> {
+    let a = load(o, tel)?;
     let stats = thinslice_pta::ProgramStats::compute(&a.program, &a.pta);
     let sdg_stats = thinslice_sdg::SdgStats::compute(&a.sdg);
     println!("classes:               {}", stats.classes);
@@ -556,6 +681,10 @@ fn cmd_info(o: &Options) -> Result<(), String> {
     println!("SDG nodes (total):     {}", sdg_stats.nodes);
     println!("SDG edges:             {}", sdg_stats.edges);
     println!("implicit conditionals: {}", stats.implicit_conditionals);
+    println!("PTA constraint edges:  {}", stats.constraint_edges);
+    println!("PTA delta rounds:      {}", stats.pta_delta_rounds);
+    println!("PTA max worklist:      {}", stats.pta_max_worklist_depth);
+    println!("PTA delta objects:     {}", stats.pta_delta_objects);
     Ok(())
 }
 
@@ -641,6 +770,22 @@ mod tests {
         assert!(opts(&["a.mj", "--deadline-ms", "soon"]).is_err());
         assert!(opts(&["a.mj", "--step-budget", "-1"]).is_err());
         assert!(opts(&["a.mj", "--deadline-ms"]).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let o = opts(&["a.mj"]).unwrap();
+        assert!(!o.telemetry().is_enabled(), "telemetry is opt-in");
+        let o = opts(&["a.mj", "--trace"]).unwrap();
+        assert!(o.trace && !o.trace_json);
+        assert!(o.telemetry().is_enabled());
+        let o = opts(&["a.mj", "--trace", "--trace-format", "json"]).unwrap();
+        assert!(o.trace_json);
+        let o = opts(&["a.mj", "--metrics-out", "m.json"]).unwrap();
+        assert_eq!(o.metrics_out.as_deref(), Some("m.json"));
+        assert!(o.telemetry().is_enabled());
+        assert!(opts(&["a.mj", "--trace-format", "xml"]).is_err());
+        assert!(opts(&["a.mj", "--metrics-out"]).is_err());
     }
 
     #[test]

@@ -37,13 +37,13 @@ use crate::slice::{
 };
 use crate::tabulation::{
     cs_slice_governed_reusing, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
-    DownConsumers,
+    DownConsumers, MemoStats,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 use thinslice_ir::StmtRef;
-use thinslice_sdg::{DepGraph, FrozenSdg, NodeId};
-use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet};
+use thinslice_sdg::{DenseDisplay, DepGraph, FrozenSdg, NodeId};
+use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet, Telemetry};
 
 /// Minimum batch size at which pre-filtering the edge array by the slice
 /// kind pays for its O(edges) setup scan. Below it, queries run directly
@@ -76,16 +76,32 @@ pub fn slices(
     kind: SliceKind,
     threads: usize,
 ) -> Vec<Slice> {
+    slices_telemetry(graph, queries, kind, threads, &Telemetry::disabled())
+}
+
+/// [`slices`] recording batch telemetry: a `batch.slices` span, a per-query
+/// latency histogram (`batch.query_us`) and post-hoc traversal counters.
+/// With a disabled handle this is exactly [`slices`] — same dispatch, same
+/// traversals, same output.
+pub fn slices_telemetry(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    tel: &Telemetry,
+) -> Vec<Slice> {
+    let mut span = tel.span("batch.slices");
+    span.add("batch.queries", queries.len() as u64);
     // The traditional-full slicer follows every edge kind, so the graph
     // is its own filtered view: skip both the copy and the per-edge tests.
     if matches!(kind, SliceKind::TraditionalFull) {
         return par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
-            slice_dense_reusing(graph, seeds, kind, scratch, true)
+            measured_bfs(tel, graph, seeds, kind, scratch, true)
         });
     }
     if queries.len() < FILTER_THRESHOLD {
         return par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
-            slice_dense_reusing(graph, seeds, kind, scratch, false)
+            measured_bfs(tel, graph, seeds, kind, scratch, false)
         });
     }
     // Filter once per batch: whether a kind follows an edge depends only
@@ -93,8 +109,44 @@ pub fn slices(
     // every query's traversal — and output — unchanged.
     let filtered = graph.filtered(|e| kind.follows(&e.kind));
     par::map_with(queries, threads, SliceScratch::new, |scratch, _, seeds| {
-        slice_dense_reusing(&filtered, seeds, kind, scratch, true)
+        measured_bfs(tel, &filtered, seeds, kind, scratch, true)
     })
+}
+
+/// Runs one BFS query; with telemetry enabled, also records its latency
+/// and traversal size. The traversal itself is untouched either way.
+fn measured_bfs<G: DenseDisplay>(
+    tel: &Telemetry,
+    graph: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+    prefiltered: bool,
+) -> Slice {
+    if !tel.is_enabled() {
+        return slice_dense_reusing(graph, seeds, kind, scratch, prefiltered);
+    }
+    let started = Instant::now();
+    let slice = slice_dense_reusing(graph, seeds, kind, scratch, prefiltered);
+    record_traversal(tel, graph, &slice.nodes, started);
+    slice
+}
+
+/// Post-hoc traversal accounting: the BFS scans every out-edge of every
+/// node it visits, so summing CSR degrees over the visited set reproduces
+/// the edges-visited figure without touching the hot loop.
+fn record_traversal<G: DepGraph>(
+    tel: &Telemetry,
+    graph: &G,
+    nodes: &FxHashSet<NodeId>,
+    started: Instant,
+) {
+    tel.record("batch.query_us", started.elapsed().as_secs_f64() * 1e6);
+    tel.count("slice.nodes_visited", nodes.len() as u64);
+    tel.count(
+        "slice.csr_edges_visited",
+        nodes.iter().map(|&n| graph.deps(n).len() as u64).sum(),
+    );
 }
 
 /// Computes one context-sensitive (tabulation) slice per query, in query
@@ -106,6 +158,22 @@ pub fn cs_slices(
     kind: SliceKind,
     threads: usize,
 ) -> Vec<CsSlice> {
+    cs_slices_telemetry(graph, queries, kind, threads, &Telemetry::disabled())
+}
+
+/// [`cs_slices`] recording batch telemetry: a `batch.cs_slices` span, the
+/// `batch.query_us` latency histogram, traversal counters and the
+/// tabulation's exit-region memo hit/miss + summary-edge counters. With a
+/// disabled handle this is exactly [`cs_slices`].
+pub fn cs_slices_telemetry(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    tel: &Telemetry,
+) -> Vec<CsSlice> {
+    let mut span = tel.span("batch.cs_slices");
+    span.add("batch.queries", queries.len() as u64);
     // The down-edge index is built once and shared by all workers — a
     // batch of N queries scans the graph's edges once, not N times — and
     // each worker reuses its tabulation state across queries. For larger
@@ -118,20 +186,55 @@ pub fn cs_slices(
             queries,
             threads,
             || (),
-            |_, _, seeds| cs_slice_indexed(graph, &index, seeds, kind),
+            |_, _, seeds| {
+                if !tel.is_enabled() {
+                    return cs_slice_indexed(graph, &index, seeds, kind);
+                }
+                let started = Instant::now();
+                let slice = cs_slice_indexed(graph, &index, seeds, kind);
+                record_traversal(tel, graph, &slice.nodes, started);
+                slice
+            },
         );
     }
     if queries.len() < CS_FILTER_THRESHOLD || matches!(kind, SliceKind::TraditionalFull) {
         let index = DownConsumers::build(graph);
         return par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
-            cs_slice_reusing(graph, &index, seeds, kind, scratch)
+            measured_cs(tel, graph, &index, seeds, kind, scratch)
         });
     }
     let filtered = graph.filtered(|e| kind.follows(&e.kind));
     let index = DownConsumers::build(&filtered);
     par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
-        cs_slice_reusing(&filtered, &index, seeds, kind, scratch)
+        measured_cs(tel, &filtered, &index, seeds, kind, scratch)
     })
+}
+
+/// Runs one tabulation query on reusable scratch; with telemetry enabled,
+/// also records latency, traversal size and the per-query memo deltas.
+fn measured_cs<G: DepGraph>(
+    tel: &Telemetry,
+    graph: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut CsScratch,
+) -> CsSlice {
+    if !tel.is_enabled() {
+        return cs_slice_reusing(graph, index, seeds, kind, scratch);
+    }
+    let started = Instant::now();
+    let before = scratch.memo_stats();
+    let slice = cs_slice_reusing(graph, index, seeds, kind, scratch);
+    record_memo(tel, scratch.memo_stats().since(&before));
+    record_traversal(tel, graph, &slice.nodes, started);
+    slice
+}
+
+fn record_memo(tel: &Telemetry, delta: MemoStats) {
+    tel.count("cs.exit_memo_hits", delta.exit_hits);
+    tel.count("cs.exit_memo_misses", delta.exit_misses);
+    tel.count("cs.summary_edges", delta.summary_edges);
 }
 
 // ---- governed batches: budgets, panic isolation, graceful degradation ----
@@ -158,6 +261,11 @@ pub struct BatchConfig {
     pub retries: u32,
     /// Test-only deterministic fault injection.
     pub fault: Option<FaultInjection>,
+    /// Telemetry sink for per-query latency/retry metrics, meter-check
+    /// counts and budget-exhaustion events. Disabled by default, which
+    /// leaves the governed engine byte-identical to its pre-telemetry
+    /// behaviour.
+    pub telemetry: Telemetry,
 }
 
 impl Default for BatchConfig {
@@ -167,6 +275,7 @@ impl Default for BatchConfig {
             fail_fast: false,
             retries: 1,
             fault: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -301,6 +410,43 @@ fn armed_budget(cfg: &BatchConfig) -> (Budget, CancelToken) {
     (budget, cancel)
 }
 
+/// Records one governed query's outcome: latency, retries, failures, and —
+/// when the budget ran out — a `govern.budget_exhausted` event carrying the
+/// stage, the reason and the abandoned-frontier size.
+fn record_governed(tel: &Telemetry, stage: &str, out: &QueryOutcome) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.record("batch.query_us", out.latency.as_secs_f64() * 1e6);
+    tel.count("batch.retries", out.retries as u64);
+    match &out.slice {
+        Err(e) => {
+            tel.count("batch.query_failures", 1);
+            tel.event(
+                "batch.query_failed",
+                &[("stage", stage.to_string()), ("error", e.to_string())],
+            );
+        }
+        Ok(s) => {
+            tel.count("slice.nodes_visited", s.nodes.len() as u64);
+            if s.degraded {
+                tel.count("govern.degraded_queries", 1);
+            }
+            if let Completeness::Truncated { reason, frontier } = &s.completeness {
+                tel.count("govern.budget_exhaustions", 1);
+                tel.event(
+                    "govern.budget_exhausted",
+                    &[
+                        ("stage", stage.to_string()),
+                        ("reason", reason.to_string()),
+                        ("frontier", frontier.to_string()),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 /// [`slices`] under a [`BatchConfig`]: per-query budgets, panic isolation
 /// with bounded retry, and per-query latency/retry reporting.
 ///
@@ -315,20 +461,26 @@ pub fn governed_slices(
     cfg: &BatchConfig,
 ) -> Vec<QueryOutcome> {
     let (budget, cancel) = armed_budget(cfg);
+    let tel = &cfg.telemetry;
+    let mut span = tel.span("batch.governed_slices");
+    span.add("batch.queries", queries.len() as u64);
     // The traditional-full slicer follows every edge, so the shared graph
     // is its own filtered view (as in `slices`).
     let prefiltered = matches!(kind, SliceKind::TraditionalFull);
     par::map_with(queries, threads, SliceScratch::new, |scratch, i, seeds| {
-        run_guarded(i, cfg, &cancel, scratch, SliceScratch::new, |s| {
+        let out = run_guarded(i, cfg, &cancel, scratch, SliceScratch::new, |s| {
             let mut meter = budget.meter();
             let out = slice_dense_governed_reusing(graph, seeds, kind, s, prefiltered, &mut meter);
+            tel.count("govern.meter_checks", meter.slow_checks());
             GovernedSlice {
                 stmts: out.result.stmts_in_bfs_order,
                 nodes: out.result.nodes,
                 completeness: out.completeness,
                 degraded: false,
             }
-        })
+        });
+        record_governed(tel, "slice", &out);
+        out
     })
 }
 
@@ -345,13 +497,25 @@ pub fn governed_cs_slices(
     cfg: &BatchConfig,
 ) -> Vec<QueryOutcome> {
     let (budget, cancel) = armed_budget(cfg);
+    let tel = &cfg.telemetry;
+    let mut span = tel.span("batch.governed_cs_slices");
+    span.add("batch.queries", queries.len() as u64);
     let index = DownConsumers::build(graph);
     let fresh = || (CsScratch::new(), SliceScratch::new());
     par::map_with(queries, threads, fresh, |scratch, i, seeds| {
-        run_guarded(i, cfg, &cancel, scratch, fresh, |(cs, bfs)| {
+        let out = run_guarded(i, cfg, &cancel, scratch, fresh, |(cs, bfs)| {
             let mut meter = budget.meter();
+            let memo_before = if tel.is_enabled() {
+                Some(cs.memo_stats())
+            } else {
+                None
+            };
             let out = cs_slice_governed_reusing(graph, &index, seeds, kind, cs, &mut meter);
+            if let Some(before) = memo_before {
+                record_memo(tel, cs.memo_stats().since(&before));
+            }
             if out.completeness.is_complete() {
+                tel.count("govern.meter_checks", meter.slow_checks());
                 let mut stmts: Vec<StmtRef> = out.result.stmts.iter().copied().collect();
                 stmts.sort_unstable();
                 return GovernedSlice {
@@ -365,13 +529,19 @@ pub fn governed_cs_slices(
             // the same graph, under a fresh meter from the same budget.
             let mut ci_meter = budget.meter();
             let ci = slice_dense_governed_reusing(graph, seeds, kind, bfs, false, &mut ci_meter);
+            tel.count(
+                "govern.meter_checks",
+                meter.slow_checks() + ci_meter.slow_checks(),
+            );
             GovernedSlice {
                 stmts: ci.result.stmts_in_bfs_order,
                 nodes: ci.result.nodes,
                 completeness: ci.completeness,
                 degraded: true,
             }
-        })
+        });
+        record_governed(tel, "cs_slice", &out);
+        out
     })
 }
 

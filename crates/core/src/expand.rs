@@ -17,7 +17,7 @@ use crate::slice::{slice_from_governed_reusing, Slice, SliceKind, SliceScratch};
 use thinslice_ir::{InstrKind, MethodId, Program, StmtRef, Var};
 use thinslice_pta::{AllocSite, ObjId, Pta};
 use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
-use thinslice_util::{Budget, Completeness, FxHashSet, Meter, Outcome};
+use thinslice_util::{Budget, Completeness, FxHashSet, Meter, Outcome, Telemetry};
 
 /// The result of explaining one heap-based flow in a thin slice.
 #[derive(Debug, Clone)]
@@ -97,6 +97,35 @@ pub fn explain_aliasing(
 ) -> Result<AliasExplanation, ExpandError> {
     explain_aliasing_governed(program, pta, sdg, load, store, &Budget::unlimited())
         .map(|o| o.result)
+}
+
+/// [`explain_aliasing`] recording expansion telemetry: an
+/// `expand.explain_aliasing` span whose counters give the number of common
+/// objects and explainer statements, plus outcome counters. With a disabled
+/// handle this is exactly [`explain_aliasing`].
+///
+/// # Errors
+///
+/// Same as [`explain_aliasing`].
+pub fn explain_aliasing_telemetry(
+    program: &Program,
+    pta: &Pta,
+    sdg: &Sdg,
+    load: StmtRef,
+    store: StmtRef,
+    tel: &Telemetry,
+) -> Result<AliasExplanation, ExpandError> {
+    let mut span = tel.span("expand.explain_aliasing");
+    let out = explain_aliasing(program, pta, sdg, load, store);
+    match &out {
+        Ok(exp) => {
+            span.add("expand.common_objects", exp.common_objects.len() as u64);
+            span.add("expand.explainer_stmts", exp.statements().len() as u64);
+            tel.count("expand.explanations", 1);
+        }
+        Err(_) => tel.count("expand.rejections", 1),
+    }
+    out
 }
 
 /// [`explain_aliasing`] under a resource [`Budget`].

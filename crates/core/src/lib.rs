@@ -50,20 +50,23 @@ pub mod tabulation;
 
 pub use batch::{BatchConfig, FaultInjection, GovernedSlice, QueryError, QueryOutcome};
 pub use expand::{
-    explain_aliasing, explain_aliasing_governed, exposed_control_deps, heap_flow_pairs,
-    AliasExplanation,
+    explain_aliasing, explain_aliasing_governed, explain_aliasing_telemetry, exposed_control_deps,
+    heap_flow_pairs, AliasExplanation,
 };
 pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
 pub use slice::{
     slice_from, slice_from_governed, slice_from_reusing, Slice, SliceKind, SliceScratch,
 };
+pub use tabulation::MemoStats;
 pub use tabulation::{
     cs_slice, cs_slice_governed, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
     DownConsumers,
 };
-pub use thinslice_util::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
+pub use thinslice_util::{
+    Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome, RunReport, Telemetry,
+};
 
-use thinslice_ir::{compile, CompileError, Program, StmtRef};
+use thinslice_ir::{compile, compile_telemetry, CompileError, Program, StmtRef};
 use thinslice_pta::{ModRef, Pta, PtaConfig};
 use thinslice_sdg::{build_ci, build_ci_governed, build_cs, FrozenSdg, NodeId, Sdg};
 
@@ -130,9 +133,66 @@ impl Analysis {
 
     /// Runs the analysis pipeline on an already-compiled program.
     pub fn from_program(program: Program, config: PtaConfig) -> Analysis {
-        let pta = Pta::analyze(&program, config);
-        let sdg = build_ci(&program, &pta);
-        let csr = sdg.freeze();
+        Self::from_program_telemetry(program, config, &Telemetry::disabled())
+    }
+
+    /// [`Analysis::with_config`] recording pipeline telemetry: spans for
+    /// parse/lower/SSA, the points-to solve, SDG construction and the CSR
+    /// freeze, plus solver worklist/delta counters. With a disabled handle
+    /// this is exactly [`Analysis::with_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn with_config_telemetry(
+        sources: &[(&str, &str)],
+        config: PtaConfig,
+        tel: &Telemetry,
+    ) -> Result<Analysis, CompileError> {
+        let program = compile_telemetry(sources, tel)?;
+        Ok(Self::from_program_telemetry(program, config, tel))
+    }
+
+    /// [`Analysis::from_program`] recording pipeline telemetry; see
+    /// [`Analysis::with_config_telemetry`].
+    pub fn from_program_telemetry(
+        program: Program,
+        config: PtaConfig,
+        tel: &Telemetry,
+    ) -> Analysis {
+        let pta = {
+            let mut span = tel.span("pta.solve");
+            let pta = Pta::analyze(&program, config);
+            span.add("pta.delta_rounds", pta.solve_stats.delta_rounds);
+            span.add("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
+            span.add("pta.delta_objects", pta.solve_stats.delta_objects);
+            pta
+        };
+        tel.count("pta.delta_rounds", pta.solve_stats.delta_rounds);
+        tel.count("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
+        tel.count("pta.delta_objects", pta.solve_stats.delta_objects);
+        tel.gauge(
+            "pta.max_worklist_depth",
+            pta.solve_stats.max_worklist_depth as u64,
+        );
+        tel.gauge("pta.constraint_edges", pta.constraint_edges as u64);
+        tel.gauge("pta.abstract_objects", pta.objects.len() as u64);
+        let sdg = {
+            let mut span = tel.span("sdg.build");
+            let sdg = build_ci(&program, &pta);
+            span.add("sdg.nodes", sdg.node_count() as u64);
+            span.add("sdg.edges", sdg.edge_count() as u64);
+            sdg
+        };
+        tel.gauge("sdg.nodes", sdg.node_count() as u64);
+        tel.gauge("sdg.edges", sdg.edge_count() as u64);
+        let csr = {
+            let mut span = tel.span("sdg.freeze");
+            let csr = sdg.freeze();
+            span.add("sdg.csr_edges", csr.edge_count() as u64);
+            csr
+        };
+        tel.gauge("sdg.csr_edges", csr.edge_count() as u64);
         Analysis {
             program,
             pta,
@@ -261,8 +321,21 @@ impl Analysis {
         kind: SliceKind,
         threads: usize,
     ) -> Vec<Slice> {
+        self.batch_slices_telemetry(queries, kind, threads, &Telemetry::disabled())
+    }
+
+    /// [`Analysis::batch_slices`] recording batch telemetry (per-query
+    /// latency histogram, traversal counters); see
+    /// [`batch::slices_telemetry`].
+    pub fn batch_slices_telemetry(
+        &self,
+        queries: &[Vec<StmtRef>],
+        kind: SliceKind,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Vec<Slice> {
         let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
-        batch::slices(&self.csr, &node_queries, kind, threads)
+        batch::slices_telemetry(&self.csr, &node_queries, kind, threads, tel)
     }
 
     /// A single slice from `seeds` under a resource [`Budget`]; see

@@ -254,6 +254,33 @@ struct DenseStore {
     /// DFS stack and visited list for [`DenseStore::splice`].
     splice_stack: Vec<NodeId>,
     spliced: Vec<NodeId>,
+    /// Cross-query memoisation counters (monotone; telemetry reads deltas).
+    memo: MemoStats,
+}
+
+/// Cross-query memoisation counters of one worker's tabulation scratch.
+///
+/// Counters are cumulative over the scratch's lifetime; the batch engine
+/// snapshots them around each query and reports the deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Descents answered by splicing a memoised callee-exit region.
+    pub exit_hits: u64,
+    /// Descents that had to tabulate an unseen callee-exit region.
+    pub exit_misses: u64,
+    /// Summary edges recorded (a graph fact shared by later queries).
+    pub summary_edges: u64,
+}
+
+impl MemoStats {
+    /// Counter-wise difference `self - earlier` (for per-query deltas).
+    pub fn since(&self, earlier: &MemoStats) -> MemoStats {
+        MemoStats {
+            exit_hits: self.exit_hits - earlier.exit_hits,
+            exit_misses: self.exit_misses - earlier.exit_misses,
+            summary_edges: self.summary_edges - earlier.summary_edges,
+        }
+    }
 }
 
 impl DenseStore {
@@ -325,6 +352,7 @@ impl TabStore for DenseStore {
             return false;
         }
         v.push(actual);
+        self.memo.summary_edges += 1;
         true
     }
 
@@ -343,6 +371,7 @@ impl TabStore for DenseStore {
         }
         match self.exit_state[exit] {
             exit_state::CACHED => {
+                self.memo.exit_hits += 1;
                 // An already-spliced region has its exit's own path edge
                 // set; skip the (idempotent) replay then.
                 if !self.path[exit].contains(&Src::Exit(exit)) {
@@ -352,6 +381,7 @@ impl TabStore for DenseStore {
             }
             exit_state::EXPLORING => true,
             _ => {
+                self.memo.exit_misses += 1;
                 self.exit_state[exit] = exit_state::EXPLORING;
                 self.explored_now.push(exit);
                 true
@@ -427,6 +457,13 @@ impl CsScratch {
     /// Creates an empty scratch. Buffers grow on first use.
     pub fn new() -> CsScratch {
         CsScratch::default()
+    }
+
+    /// Cumulative memoisation counters of this scratch (exit-region memo
+    /// hits/misses, summary edges). Snapshot before and after a query and
+    /// diff with [`MemoStats::since`] for per-query figures.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.store.memo
     }
 }
 

@@ -14,7 +14,7 @@ use thinslice_ir::{
     BlockId, Body, CallKind, ClassId, Const, FieldId, Instr, InstrKind, IrBinOp, IrUnOp, Loc,
     MethodId, Operand, Program, StmtRef, Type, Var,
 };
-use thinslice_util::{new_index, Budget, ExhaustReason, IdxVec, Meter};
+use thinslice_util::{new_index, Budget, ExhaustReason, IdxVec, Meter, Telemetry};
 
 new_index!(
     /// Identifies a heap object during execution.
@@ -187,6 +187,35 @@ pub fn run(program: &Program, config: &ExecConfig) -> Execution {
         prints: m.prints,
         outcome,
     }
+}
+
+/// [`run`] recording interpreter telemetry: an `interp.run` span counting
+/// executed instructions and printed values, a per-outcome counter, and an
+/// `interp.budget_exhausted` event when a resource limit stopped the run.
+/// With a disabled handle this is exactly [`run`].
+pub fn run_telemetry(program: &Program, config: &ExecConfig, tel: &Telemetry) -> Execution {
+    let mut span = tel.span("interp.run");
+    let exec = run(program, config);
+    span.add("interp.steps", exec.step_count() as u64);
+    span.add("interp.prints", exec.prints.len() as u64);
+    let outcome = match &exec.outcome {
+        Outcome::Finished => "interp.outcome.finished",
+        Outcome::Threw(_) => "interp.outcome.threw",
+        Outcome::RuntimeError(_) => "interp.outcome.runtime_error",
+        Outcome::StepLimit => "interp.outcome.step_limit",
+        Outcome::BudgetExhausted(_) => "interp.outcome.budget_exhausted",
+    };
+    tel.count(outcome, 1);
+    if let Outcome::BudgetExhausted(reason) = &exec.outcome {
+        tel.event(
+            "interp.budget_exhausted",
+            &[
+                ("stage", "interp".to_string()),
+                ("reason", reason.to_string()),
+            ],
+        );
+    }
+    exec
 }
 
 /// How a method invocation ended.

@@ -10,6 +10,7 @@ use crate::ssa;
 use crate::stdlib::STDLIB_SOURCE;
 use thinslice_util::FxHashMap;
 use thinslice_util::IdxVec;
+use thinslice_util::Telemetry;
 
 /// Compiles MJ sources into a [`Program`], prepending the built-in standard
 /// library.
@@ -32,9 +33,19 @@ use thinslice_util::IdxVec;
 /// # Ok::<(), thinslice_ir::error::CompileError>(())
 /// ```
 pub fn compile(sources: &[(&str, &str)]) -> Result<Program, CompileError> {
+    compile_telemetry(sources, &Telemetry::disabled())
+}
+
+/// Like [`compile`], but recording frontend telemetry: `ir.parse`,
+/// `ir.resolve`, `ir.lower` and `ir.ssa` spans with size counters. With a
+/// disabled handle this is exactly [`compile`].
+pub fn compile_telemetry(
+    sources: &[(&str, &str)],
+    tel: &Telemetry,
+) -> Result<Program, CompileError> {
     let mut all: Vec<(&str, &str)> = vec![("<stdlib>", STDLIB_SOURCE)];
     all.extend_from_slice(sources);
-    compile_raw(&all)
+    compile_raw_telemetry(&all, tel)
 }
 
 /// Compiles MJ sources *without* the standard library. The sources must
@@ -44,18 +55,29 @@ pub fn compile(sources: &[(&str, &str)]) -> Result<Program, CompileError> {
 ///
 /// See [`compile`].
 pub fn compile_raw(sources: &[(&str, &str)]) -> Result<Program, CompileError> {
+    compile_raw_telemetry(sources, &Telemetry::disabled())
+}
+
+fn compile_raw_telemetry(
+    sources: &[(&str, &str)],
+    tel: &Telemetry,
+) -> Result<Program, CompileError> {
     let mut files: IdxVec<FileId, SourceFile> = IdxVec::new();
     let mut asts: Vec<(FileId, AstProgram)> = Vec::new();
-    for (name, text) in sources {
-        let file = files.push(SourceFile {
-            name: name.to_string(),
-            text: text.to_string(),
-        });
-        let ast = crate::parser::parse(file, text)?;
-        asts.push((file, ast));
+    {
+        let mut parse_span = tel.span("ir.parse");
+        for (name, text) in sources {
+            let file = files.push(SourceFile {
+                name: name.to_string(),
+                text: text.to_string(),
+            });
+            let ast = crate::parser::parse(file, text)?;
+            asts.push((file, ast));
+        }
+        parse_span.add("ir.files", asts.len() as u64);
     }
     let decls: Vec<ClassDecl> = asts.into_iter().flat_map(|(_, ast)| ast.classes).collect();
-    Collector::new(files).run(decls)
+    Collector::new(files).run(decls, tel)
 }
 
 struct Collector {
@@ -96,7 +118,9 @@ impl Collector {
         })
     }
 
-    fn run(mut self, decls: Vec<ClassDecl>) -> Result<Program, CompileError> {
+    fn run(mut self, decls: Vec<ClassDecl>, tel: &Telemetry) -> Result<Program, CompileError> {
+        let mut resolve_span = tel.span("ir.resolve");
+        resolve_span.add("ir.classes", decls.len() as u64);
         // Pass 1: declare class names.
         for d in &decls {
             if self.class_by_name.contains_key(&d.name) {
@@ -218,8 +242,10 @@ impl Collector {
             main_method: MethodId::new(0), // fixed up below
         };
         check_overrides(&program, &decls)?;
+        drop(resolve_span);
 
         // Pass 4: lower bodies.
+        let mut lower_span = tel.span("ir.lower");
         let mut bodies: Vec<(MethodId, Body)> = Vec::new();
         for d in &decls {
             let class = program.class_by_name[&d.name];
@@ -239,10 +265,27 @@ impl Collector {
                 bodies.push((mid, body));
             }
         }
+        lower_span.add("ir.bodies", bodies.len() as u64);
+        lower_span.add(
+            "ir.instrs",
+            bodies.iter().map(|(_, b)| b.instr_count() as u64).sum(),
+        );
+        drop(lower_span);
+
+        let mut ssa_span = tel.span("ir.ssa");
+        let mut phis = 0u64;
         for (mid, mut body) in bodies {
             ssa::into_ssa(&mut body);
+            if tel.is_enabled() {
+                phis += body
+                    .instrs()
+                    .filter(|(_, i)| matches!(i.kind, InstrKind::Phi { .. }))
+                    .count() as u64;
+            }
             program.methods[mid].body = Some(body);
         }
+        ssa_span.add("ir.phis", phis);
+        drop(ssa_span);
 
         // Locate main.
         let mains: Vec<MethodId> = program

@@ -49,7 +49,7 @@ pub mod ssa;
 pub mod stdlib;
 pub mod token;
 
-pub use compile::{compile, compile_raw};
+pub use compile::{compile, compile_raw, compile_telemetry};
 pub use error::CompileError;
 pub use ir::{
     Block, BlockId, Body, CallKind, Class, ClassId, Const, Field, FieldId, Instr, InstrKind,

@@ -47,6 +47,8 @@ pub use heap::{AbstractObject, AllocSite, ObjId, ObjKind};
 pub use modref::{ModRef, PartId, Partition};
 pub use stats::ProgramStats;
 
+pub use solver::SolveStats;
+
 use solver::{PtrKey, SolverResult};
 use thinslice_ir::{FieldId, MethodId, Program, StmtRef, Var};
 use thinslice_util::{BitSet, FxHashMap, IdxVec};
@@ -115,6 +117,8 @@ pub struct Pta {
     pub callgraph: CallGraph,
     /// Number of copy edges in the constraint graph (size statistic).
     pub constraint_edges: usize,
+    /// Propagation statistics of the solver run that produced this result.
+    pub solve_stats: SolveStats,
     var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>>,
     inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>>,
     field_pts: FxHashMap<(ObjId, FieldId), BitSet<ObjId>>,
@@ -183,6 +187,7 @@ impl Pta {
             objects: r.objects,
             callgraph: r.callgraph,
             constraint_edges: r.edge_count,
+            solve_stats: r.stats,
             var_pts,
             inst_var_pts,
             field_pts,

@@ -53,6 +53,26 @@ enum Constraint {
     Call { caller: CgNode, site: Loc },
 }
 
+/// Propagation statistics from one solver run.
+///
+/// Collected unconditionally — each figure is a plain integer update on an
+/// already-touched cache line, so the ungoverned hot path stays as fast as
+/// before. Telemetry and [`crate::ProgramStats`] read these after the fact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Worklist pops processed — the number of delta-propagation rounds.
+    pub delta_rounds: u64,
+    /// Deduplicated worklist pushes (nodes scheduled because they grew).
+    pub worklist_pushes: u64,
+    /// Deepest the pending worklist ever got.
+    pub max_worklist_depth: usize,
+    /// Total objects moved through delta sets (sum of delta sizes at
+    /// processing time) — the difference-propagation work measure.
+    pub delta_objects: u64,
+    /// Governance slow checks the meter performed during the solve.
+    pub meter_checks: u64,
+}
+
 /// The result of running the solver (before collapsing into [`crate::Pta`]).
 pub struct SolverResult {
     /// All abstract objects.
@@ -67,6 +87,8 @@ pub struct SolverResult {
     pub node_of: FxHashMap<PtrKey, PtrNode>,
     /// Total number of copy edges (a size statistic).
     pub edge_count: usize,
+    /// Propagation statistics of the run.
+    pub stats: SolveStats,
 }
 
 /// Runs the points-to analysis from `program`'s `main`.
@@ -103,6 +125,7 @@ struct Solver<'p> {
     pending: IdxVec<PtrNode, Vec<Constraint>>,
     worklist: Worklist<PtrNode>,
     edge_count: usize,
+    stats: SolveStats,
 }
 
 impl<'p> Solver<'p> {
@@ -128,6 +151,7 @@ impl<'p> Solver<'p> {
             pending: IdxVec::new(),
             worklist: Worklist::new(),
             edge_count: 0,
+            stats: SolveStats::default(),
         }
     }
 
@@ -144,9 +168,11 @@ impl<'p> Solver<'p> {
                 self.worklist.push(n);
                 break;
             }
+            self.stats.delta_rounds += 1;
             self.process_node(n);
         }
         let completeness = meter.completeness(self.worklist.len());
+        self.stats.meter_checks = meter.slow_checks();
         let result = SolverResult {
             objects: self.objects,
             callgraph: self.cg,
@@ -154,6 +180,7 @@ impl<'p> Solver<'p> {
             pts: self.pts,
             node_of: self.node_of,
             edge_count: self.edge_count,
+            stats: self.stats,
         };
         (result, completeness)
     }
@@ -200,10 +227,21 @@ impl<'p> Solver<'p> {
 
     // ---- graph mutation ----
 
+    /// Queues a node whose points-to set grew, tracking push statistics.
+    #[inline]
+    fn schedule(&mut self, n: PtrNode) {
+        if self.worklist.push(n) {
+            self.stats.worklist_pushes += 1;
+            if self.worklist.len() > self.stats.max_worklist_depth {
+                self.stats.max_worklist_depth = self.worklist.len();
+            }
+        }
+    }
+
     fn insert_obj(&mut self, n: PtrNode, o: ObjId) {
         if self.pts[n].insert(o) {
             self.delta[n].insert(o);
-            self.worklist.push(n);
+            self.schedule(n);
         }
     }
 
@@ -231,7 +269,7 @@ impl<'p> Solver<'p> {
             }
         };
         if changed {
-            self.worklist.push(dst);
+            self.schedule(dst);
         }
     }
 
@@ -278,6 +316,7 @@ impl<'p> Solver<'p> {
         if delta.is_empty() {
             return;
         }
+        self.stats.delta_objects += delta.len() as u64;
         let succs = self.succ[n].clone();
         for (dst, filter) in &succs {
             self.propagate(&delta, *dst, filter);

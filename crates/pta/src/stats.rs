@@ -25,6 +25,15 @@ pub struct ProgramStats {
     /// Statements that may throw in full Java semantics — the paper's §1
     /// observation about implicit control dependences.
     pub implicit_conditionals: usize,
+    /// Copy edges in the points-to constraint graph.
+    pub constraint_edges: usize,
+    /// Delta-propagation rounds (worklist pops) the solver needed to reach
+    /// its fixpoint.
+    pub pta_delta_rounds: u64,
+    /// Deepest the solver's pending worklist ever got.
+    pub pta_max_worklist_depth: usize,
+    /// Total objects moved through delta sets during the solve.
+    pub pta_delta_objects: u64,
 }
 
 impl ProgramStats {
@@ -51,6 +60,10 @@ impl ProgramStats {
             sdg_statements,
             abstract_objects: pta.objects.len(),
             implicit_conditionals,
+            constraint_edges: pta.constraint_edges,
+            pta_delta_rounds: pta.solve_stats.delta_rounds,
+            pta_max_worklist_depth: pta.solve_stats.max_worklist_depth,
+            pta_delta_objects: pta.solve_stats.delta_objects,
         }
     }
 }
@@ -83,6 +96,13 @@ mod tests {
         );
         assert!(stats.sdg_statements > 0);
         assert!(stats.implicit_conditionals > 0);
+        assert!(
+            stats.pta_delta_rounds > 0,
+            "solver must pop work: {stats:?}"
+        );
+        assert!(stats.pta_max_worklist_depth > 0);
+        assert!(stats.pta_delta_objects > 0);
+        assert!(stats.constraint_edges > 0);
     }
 
     #[test]

@@ -183,6 +183,8 @@ pub struct Meter {
     resident_limit: usize,
     cancel: Option<CancelToken>,
     exhausted: Option<ExhaustReason>,
+    /// How many slow checks (clock/cancel/watermark consultations) ran.
+    checks: u64,
 }
 
 impl Meter {
@@ -198,6 +200,7 @@ impl Meter {
             resident_limit: budget.resident_limit.unwrap_or(usize::MAX),
             cancel: budget.cancel.clone(),
             exhausted: None,
+            checks: 0,
         };
         // Arming after cancellation yields an immediately-exhausted meter,
         // so fail-fast stops even queries too small to reach a slow check.
@@ -236,6 +239,7 @@ impl Meter {
 
     #[cold]
     fn slow_check(&mut self, resident: usize) -> bool {
+        self.checks += 1;
         if self.exhausted.is_some() {
             return false;
         }
@@ -286,6 +290,12 @@ impl Meter {
     /// consumed portion).
     pub fn steps_used(&self) -> u64 {
         self.steps_used + (self.stride - self.until_check)
+    }
+
+    /// How many slow checks (clock, cancellation, watermark) have run —
+    /// the governance-overhead figure telemetry reports.
+    pub fn slow_checks(&self) -> u64 {
+        self.checks
     }
 
     /// Labels a finished stage: [`Completeness::Complete`] if the meter

@@ -15,6 +15,8 @@
 //! * [`par`] — an order-preserving parallel map for batched queries,
 //! * [`govern`] — resource budgets, cancellation and truncation labels
 //!   shared by every analysis stage,
+//! * [`telemetry`] — tracing spans, a metrics registry and JSON run
+//!   reports, zero-cost when disabled,
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests.
 //!
 //! # Examples
@@ -34,6 +36,7 @@ pub mod govern;
 mod idxvec;
 pub mod par;
 mod rng;
+pub mod telemetry;
 mod unionfind;
 mod worklist;
 
@@ -42,6 +45,7 @@ pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use govern::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
 pub use idxvec::IdxVec;
 pub use rng::SmallRng;
+pub use telemetry::{Histogram, MetricsRegistry, RunReport, Telemetry};
 pub use unionfind::UnionFind;
 pub use worklist::Worklist;
 

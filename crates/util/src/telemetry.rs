@@ -1,0 +1,1066 @@
+//! Hand-rolled telemetry: tracing spans, a metrics registry, and
+//! machine-readable run reports.
+//!
+//! External observability crates (`tracing`, `metrics`, `criterion`) are
+//! unavailable offline, so — like [`crate::par`] and the `fx` hashes — this
+//! module re-implements the small slice of them the pipeline needs:
+//!
+//! * [`Telemetry`] — a cheaply clonable handle threaded through the analysis
+//!   stages. A *disabled* handle (the default) carries no allocation and
+//!   every operation is a branch on `None`, so instrumented code paths stay
+//!   bit-identical to uninstrumented ones.
+//! * [`Span`] — an RAII guard measuring wall-clock time for one named stage
+//!   (`tel.span("pta.solve")`), with nesting tracked via a span stack and
+//!   per-span counters attached through [`Span::add`].
+//! * [`MetricsRegistry`] — named monotonic counters, last-write gauges and
+//!   sample-keeping [`Histogram`]s, plus a list of structured
+//!   [`TelemetryEvent`]s (e.g. budget exhaustions from [`crate::govern`]).
+//! * [`RunReport`] — an owned snapshot of everything above with a hand-rolled
+//!   JSON writer *and* parser (no `serde`), so reports round-trip through
+//!   files and external tooling.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice_util::telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let mut span = tel.span("pta.solve");
+//!     span.add("worklist.pops", 42);
+//! }
+//! tel.count("sdg.edges", 7);
+//! tel.record("batch.query_us", 120.0);
+//! let report = tel.report();
+//! assert_eq!(report.counters["sdg.edges"], 7);
+//! let json = report.to_json();
+//! assert_eq!(thinslice_util::telemetry::RunReport::from_json(&json).unwrap(), report);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Identifies the JSON schema emitted by [`RunReport::to_json`].
+pub const RUN_REPORT_SCHEMA: &str = "thinslice.run_report.v1";
+
+// ---------------------------------------------------------------------------
+// Telemetry handle
+// ---------------------------------------------------------------------------
+
+/// A shareable telemetry handle.
+///
+/// Disabled handles ([`Telemetry::disabled`], also [`Default`]) make every
+/// operation a no-op; enabled handles ([`Telemetry::enabled`]) share one
+/// trace + registry across clones, so batch workers on different threads
+/// aggregate into the same report.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    trace: Mutex<Trace>,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+#[derive(Debug, Default)]
+struct Trace {
+    spans: Vec<SpanRecord>,
+    /// Indices into `spans` of the currently open spans, innermost last.
+    stack: Vec<usize>,
+}
+
+impl Telemetry {
+    /// A handle where every operation is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle recording spans and metrics from now on.
+    pub fn enabled() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                trace: Mutex::new(Trace::default()),
+                metrics: Mutex::new(MetricsRegistry::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything. Use to gate work whose only
+    /// purpose is producing telemetry (e.g. post-hoc edge counting).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a named span; timing stops when the returned guard drops.
+    ///
+    /// Spans opened while another span guard is live nest under it (their
+    /// recorded `depth` is one greater). Span guards must be dropped in
+    /// reverse order of creation — the natural shape of scoped stage code.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        let Some(inner) = self.inner.as_ref() else {
+            return Span {
+                tel: self,
+                idx: usize::MAX,
+                start: None,
+            };
+        };
+        let start = Instant::now();
+        let start_us = start.duration_since(inner.epoch).as_micros() as u64;
+        let mut trace = inner.trace.lock().unwrap();
+        let depth = trace.stack.len() as u32;
+        let idx = trace.spans.len();
+        trace.spans.push(SpanRecord {
+            name: name.to_string(),
+            depth,
+            start_us,
+            dur_us: 0,
+            counters: Vec::new(),
+        });
+        trace.stack.push(idx);
+        Span {
+            tel: self,
+            idx,
+            start: Some(start),
+        }
+    }
+
+    /// Adds `n` to the named monotonic counter. `n == 0` is dropped so
+    /// reports only list metrics that actually fired.
+    pub fn count(&self, name: &str, n: u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        inner.metrics.lock().unwrap().count(name, n);
+    }
+
+    /// Sets the named gauge to `v` (last write wins).
+    pub fn gauge(&self, name: &str, v: u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.metrics.lock().unwrap().gauge(name, v);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&self, name: &str, v: f64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.metrics.lock().unwrap().record(name, v);
+    }
+
+    /// Appends a structured event (e.g. a budget exhaustion).
+    pub fn event(&self, name: &str, fields: &[(&str, String)]) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        inner.metrics.lock().unwrap().push_event(TelemetryEvent {
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Summarises the named histogram, if any samples were recorded.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        let inner = self.inner.as_ref()?;
+        let metrics = inner.metrics.lock().unwrap();
+        metrics.histograms.get(name).map(Histogram::summary)
+    }
+
+    /// Snapshots everything recorded so far into an owned [`RunReport`].
+    ///
+    /// Open spans are included with their duration measured up to now.
+    pub fn report(&self) -> RunReport {
+        let Some(inner) = self.inner.as_ref() else {
+            return RunReport::default();
+        };
+        let now = Instant::now();
+        let trace = inner.trace.lock().unwrap();
+        let mut spans = trace.spans.clone();
+        for &open in &trace.stack {
+            let s = &mut spans[open];
+            s.dur_us = now
+                .duration_since(inner.epoch)
+                .as_micros()
+                .saturating_sub(u128::from(s.start_us)) as u64;
+        }
+        drop(trace);
+        let metrics = inner.metrics.lock().unwrap();
+        RunReport {
+            spans,
+            counters: metrics.counters.clone(),
+            gauges: metrics.gauges.clone(),
+            histograms: metrics
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+            events: metrics.events.clone(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One completed (or still-open) span in the trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dotted stage name, e.g. `"pta.solve"`.
+    pub name: String,
+    /// Nesting depth: 0 for top-level spans.
+    pub depth: u32,
+    /// Start offset from the handle's creation, in microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Per-span counters attached via [`Span::add`], in insertion order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// RAII guard for a span opened by [`Telemetry::span`].
+///
+/// Dropping the guard closes the span and records its duration.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span<'t> {
+    tel: &'t Telemetry,
+    idx: usize,
+    start: Option<Instant>,
+}
+
+impl Span<'_> {
+    /// Adds `n` to a counter attached to this span (zero increments are
+    /// dropped). Counters with the same name accumulate.
+    pub fn add(&mut self, name: &str, n: u64) {
+        let (Some(inner), Some(_)) = (self.tel.inner.as_ref(), self.start) else {
+            return;
+        };
+        if n == 0 {
+            return;
+        }
+        let mut trace = inner.trace.lock().unwrap();
+        let counters = &mut trace.spans[self.idx].counters;
+        if let Some(slot) = counters.iter_mut().find(|(k, _)| k == name) {
+            slot.1 += n;
+        } else {
+            counters.push((name.to_string(), n));
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (self.tel.inner.as_ref(), self.start) else {
+            return;
+        };
+        let dur_us = start.elapsed().as_micros() as u64;
+        let mut trace = inner.trace.lock().unwrap();
+        trace.spans[self.idx].dur_us = dur_us;
+        // Close this span on the stack; tolerate out-of-order drops by
+        // removing wherever it sits.
+        if let Some(pos) = trace.stack.iter().rposition(|&i| i == self.idx) {
+            trace.stack.remove(pos);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Named counters, gauges, histograms and events.
+///
+/// [`Telemetry`] owns one behind a mutex; the registry is also usable
+/// standalone (the bench harness aggregates into a private one).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<TelemetryEvent>,
+}
+
+impl MetricsRegistry {
+    /// Adds `n` to a monotonic counter.
+    pub fn count(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one histogram sample.
+    pub fn record(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// Appends an event.
+    pub fn push_event(&mut self, e: TelemetryEvent) {
+        self.events.push(e);
+    }
+
+    /// Read access to a histogram, if it has samples.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+}
+
+/// A structured event with ordered string fields.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryEvent {
+    /// Dotted event name, e.g. `"govern.exhausted"`.
+    pub name: String,
+    /// Ordered `(key, value)` pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TelemetryEvent {
+    /// Looks up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A histogram that keeps its raw samples.
+///
+/// Sample counts in this pipeline are small (one per query / bench round),
+/// so exact percentiles beat bucketing. This is the single source of truth
+/// for percentile math: the bench harness and the batch footer both read
+/// their medians/percentiles from here.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Largest sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Nearest-rank percentile: the smallest sample ≥ `p` percent of the
+    /// distribution (0.0 when empty). `percentile(50.0)` is the median.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// The median sample (nearest-rank).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Snapshot summary with the percentiles reports care about.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count() as u64,
+            sum: self.sum(),
+            p50: self.percentile(50.0),
+            p95: self.percentile(95.0),
+            max: self.max(),
+        }
+    }
+}
+
+/// Summary statistics of one [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+// ---------------------------------------------------------------------------
+// RunReport + JSON
+// ---------------------------------------------------------------------------
+
+/// An owned snapshot of a run's telemetry, serialisable to/from JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Completed spans in open order.
+    pub spans: Vec<SpanRecord>,
+    /// Monotonic counters (sorted by name).
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (sorted by name).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries (sorted by name).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Structured events in record order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl RunReport {
+    /// Serialises the report as deterministic JSON (map keys sorted,
+    /// `f64`s printed with round-trip precision).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj_open();
+        w.key("schema");
+        w.str(RUN_REPORT_SCHEMA);
+        w.key("spans");
+        w.arr_open();
+        for s in &self.spans {
+            w.obj_open();
+            w.key("name");
+            w.str(&s.name);
+            w.key("depth");
+            w.u64(u64::from(s.depth));
+            w.key("start_us");
+            w.u64(s.start_us);
+            w.key("dur_us");
+            w.u64(s.dur_us);
+            w.key("counters");
+            w.obj_open();
+            for (k, v) in &s.counters {
+                w.key(k);
+                w.u64(*v);
+            }
+            w.obj_close();
+            w.obj_close();
+        }
+        w.arr_close();
+        w.key("counters");
+        w.obj_open();
+        for (k, v) in &self.counters {
+            w.key(k);
+            w.u64(*v);
+        }
+        w.obj_close();
+        w.key("gauges");
+        w.obj_open();
+        for (k, v) in &self.gauges {
+            w.key(k);
+            w.u64(*v);
+        }
+        w.obj_close();
+        w.key("histograms");
+        w.obj_open();
+        for (k, h) in &self.histograms {
+            w.key(k);
+            w.obj_open();
+            w.key("count");
+            w.u64(h.count);
+            w.key("sum");
+            w.f64(h.sum);
+            w.key("p50");
+            w.f64(h.p50);
+            w.key("p95");
+            w.f64(h.p95);
+            w.key("max");
+            w.f64(h.max);
+            w.obj_close();
+        }
+        w.obj_close();
+        w.key("events");
+        w.arr_open();
+        for e in &self.events {
+            w.obj_open();
+            w.key("name");
+            w.str(&e.name);
+            w.key("fields");
+            w.obj_open();
+            for (k, v) in &e.fields {
+                w.key(k);
+                w.str(v);
+            }
+            w.obj_close();
+            w.obj_close();
+        }
+        w.arr_close();
+        w.obj_close();
+        w.finish()
+    }
+
+    /// Parses a report previously produced by [`RunReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct, or a schema
+    /// mismatch.
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let value = Json::parse(text)?;
+        let top = value.as_obj().ok_or("top level must be an object")?;
+        let schema = get(top, "schema")?
+            .as_str()
+            .ok_or("\"schema\" must be a string")?;
+        if schema != RUN_REPORT_SCHEMA {
+            return Err(format!("unknown schema {schema:?}"));
+        }
+        let mut report = RunReport::default();
+        for sv in get(top, "spans")?
+            .as_arr()
+            .ok_or("\"spans\" must be an array")?
+        {
+            let so = sv.as_obj().ok_or("span must be an object")?;
+            report.spans.push(SpanRecord {
+                name: get(so, "name")?.as_str().ok_or("span name")?.to_string(),
+                depth: get(so, "depth")?.as_u64().ok_or("span depth")? as u32,
+                start_us: get(so, "start_us")?.as_u64().ok_or("span start_us")?,
+                dur_us: get(so, "dur_us")?.as_u64().ok_or("span dur_us")?,
+                counters: get(so, "counters")?
+                    .as_obj()
+                    .ok_or("span counters")?
+                    .iter()
+                    .map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)).ok_or("span counter"))
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        for (k, v) in get(top, "counters")?.as_obj().ok_or("\"counters\"")? {
+            report
+                .counters
+                .insert(k.clone(), v.as_u64().ok_or("counter value")?);
+        }
+        for (k, v) in get(top, "gauges")?.as_obj().ok_or("\"gauges\"")? {
+            report
+                .gauges
+                .insert(k.clone(), v.as_u64().ok_or("gauge value")?);
+        }
+        for (k, v) in get(top, "histograms")?.as_obj().ok_or("\"histograms\"")? {
+            let h = v.as_obj().ok_or("histogram must be an object")?;
+            report.histograms.insert(
+                k.clone(),
+                HistogramSummary {
+                    count: get(h, "count")?.as_u64().ok_or("histogram count")?,
+                    sum: get(h, "sum")?.as_f64().ok_or("histogram sum")?,
+                    p50: get(h, "p50")?.as_f64().ok_or("histogram p50")?,
+                    p95: get(h, "p95")?.as_f64().ok_or("histogram p95")?,
+                    max: get(h, "max")?.as_f64().ok_or("histogram max")?,
+                },
+            );
+        }
+        for ev in get(top, "events")?.as_arr().ok_or("\"events\"")? {
+            let eo = ev.as_obj().ok_or("event must be an object")?;
+            report.events.push(TelemetryEvent {
+                name: get(eo, "name")?.as_str().ok_or("event name")?.to_string(),
+                fields: get(eo, "fields")?
+                    .as_obj()
+                    .ok_or("event fields")?
+                    .iter()
+                    .map(|(k, v)| {
+                        v.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or("event field")
+                    })
+                    .collect::<Result<_, _>>()?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Renders an indented human-readable trace + metrics listing.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("trace:\n");
+            for s in &self.spans {
+                let indent = "  ".repeat(s.depth as usize + 1);
+                let _ = write!(
+                    out,
+                    "{indent}{:<28} {:>9.3} ms",
+                    s.name,
+                    s.dur_us as f64 / 1000.0
+                );
+                for (k, v) in &s.counters {
+                    let _ = write!(out, "  {k}={v}");
+                }
+                out.push('\n');
+            }
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() || !self.histograms.is_empty() {
+            out.push_str("metrics:\n");
+            for (k, v) in &self.counters {
+                let _ = writeln!(out, "  counter {k} = {v}");
+            }
+            for (k, v) in &self.gauges {
+                let _ = writeln!(out, "  gauge   {k} = {v}");
+            }
+            for (k, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  hist    {k}: n={} p50={:.1} p95={:.1} max={:.1}",
+                    h.count, h.p50, h.p95, h.max
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events:\n");
+            for e in &self.events {
+                let _ = write!(out, "  {}", e.name);
+                for (k, v) in &e.fields {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON writer/parser
+// ---------------------------------------------------------------------------
+
+struct JsonWriter {
+    out: String,
+    /// Whether the current nesting level already has an element (needs a
+    /// comma before the next one), innermost last.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            needs_comma: vec![false],
+        }
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn obj_open(&mut self) {
+        self.elem();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    fn obj_close(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    fn arr_open(&mut self) {
+        self.elem();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    fn arr_close(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    fn key(&mut self, k: &str) {
+        self.elem();
+        escape_into(&mut self.out, k);
+        self.out.push(':');
+        // The value that follows is part of this element, not a new one.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.elem();
+        escape_into(&mut self.out, s);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.elem();
+        self.out.push_str(&v.to_string());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.elem();
+        // `{:?}` prints the shortest representation that round-trips, and
+        // always includes a decimal point or exponent.
+        self.out.push_str(&format!("{v:?}"));
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value (minimal, for [`RunReport::from_json`] and tests).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, entries in textual order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (rejecting trailing garbage).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// The object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_obj()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))
+                            .map_err(str::to_string)?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte sequences pass
+                // through unchanged).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        {
+            let mut s = tel.span("x");
+            s.add("c", 1);
+        }
+        tel.count("c", 5);
+        tel.record("h", 1.0);
+        tel.event("e", &[("k", "v".to_string())]);
+        assert_eq!(tel.report(), RunReport::default());
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let tel = Telemetry::enabled();
+        {
+            let mut outer = tel.span("outer");
+            outer.add("n", 2);
+            outer.add("n", 3);
+            {
+                let _inner = tel.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let r = tel.report();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans[0].name, "outer");
+        assert_eq!(r.spans[0].depth, 0);
+        assert_eq!(r.spans[0].counters, vec![("n".to_string(), 5)]);
+        assert_eq!(r.spans[1].name, "inner");
+        assert_eq!(r.spans[1].depth, 1);
+        assert!(r.spans[0].dur_us >= r.spans[1].dur_us);
+        assert!(r.spans[1].start_us >= r.spans[0].start_us);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new();
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.median(), 3.0);
+        assert_eq!(h.percentile(95.0), 5.0);
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(Histogram::new().percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let tel = Telemetry::enabled();
+        {
+            let mut s = tel.span("stage.one");
+            s.add("items", 7);
+        }
+        tel.count("edges \"quoted\"\n", 3);
+        tel.gauge("nodes", 10);
+        tel.record("lat_us", 1.5);
+        tel.record("lat_us", 2.5);
+        tel.event("govern.exhausted", &[("reason", "steps".to_string())]);
+        let report = tel.report();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} x").is_err());
+        assert!(RunReport::from_json("{\"schema\":\"other\"}").is_err());
+    }
+}

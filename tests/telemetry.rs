@@ -1,0 +1,258 @@
+//! End-to-end telemetry: spans nest and time monotonically, counters
+//! aggregate across batch workers, the machine-readable run report
+//! round-trips through its hand-rolled JSON parser, governance records
+//! budget-exhaustion events, and a disabled handle changes nothing.
+
+use thinslice::batch::{self, BatchConfig};
+use thinslice::{Analysis, Budget, SliceKind, Telemetry};
+use thinslice_ir::InstrKind;
+use thinslice_sdg::{DepGraph, NodeId};
+use thinslice_util::telemetry::RUN_REPORT_SCHEMA;
+use thinslice_util::RunReport;
+
+const PROGRAM: &str = "class Box { Object item;
+    void fill(Object o) { this.item = o; }
+    Object take() { return this.item; }
+ }
+ class Main { static void main() {
+    Box b = new Box();
+    String s = \"deep\";
+    b.fill(s);
+    Object got = b.take();
+    print(got);
+    int x = 3;
+    int y = x + 4;
+    print(y);
+ } }";
+
+fn setup() -> Analysis {
+    Analysis::build(&[("t.mj", PROGRAM)]).unwrap()
+}
+
+fn print_queries(a: &Analysis) -> Vec<Vec<NodeId>> {
+    a.program
+        .all_stmts()
+        .filter(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
+        .map(|s| a.csr.stmt_nodes_of(s).to_vec())
+        .filter(|nodes| !nodes.is_empty())
+        .collect()
+}
+
+#[test]
+fn pipeline_spans_nest_and_time_monotonically() {
+    let tel = Telemetry::enabled();
+    let _a = Analysis::with_config_telemetry(
+        &[("t.mj", PROGRAM)],
+        thinslice_pta::PtaConfig::default(),
+        &tel,
+    )
+    .unwrap();
+    let report = tel.report();
+    let names: Vec<&str> = report.spans.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "ir.parse",
+        "ir.resolve",
+        "ir.lower",
+        "ir.ssa",
+        "pta.solve",
+        "sdg.build",
+        "sdg.freeze",
+    ] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+    // Spans are recorded in open order with monotone start offsets, and a
+    // closed span never extends past the next sibling's start + duration
+    // accounting keeps wall-clock ordering sane.
+    for w in report.spans.windows(2) {
+        assert!(
+            w[0].start_us <= w[1].start_us,
+            "span starts must be monotone: {:?}",
+            report.spans
+        );
+    }
+    let pta = report.spans.iter().find(|s| s.name == "pta.solve").unwrap();
+    let rounds = pta
+        .counters
+        .iter()
+        .find(|(k, _)| k == "pta.delta_rounds")
+        .map(|(_, v)| *v)
+        .unwrap();
+    assert!(rounds > 0, "the solver must pop work");
+}
+
+#[test]
+fn nested_spans_record_depth() {
+    let tel = Telemetry::enabled();
+    {
+        let _outer = tel.span("outer");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        {
+            let _inner = tel.span("inner");
+        }
+    }
+    let report = tel.report();
+    let outer = report.spans.iter().find(|s| s.name == "outer").unwrap();
+    let inner = report.spans.iter().find(|s| s.name == "inner").unwrap();
+    assert_eq!(outer.depth, 0);
+    assert_eq!(inner.depth, 1);
+    assert!(inner.start_us >= outer.start_us);
+    assert!(
+        outer.dur_us >= inner.dur_us,
+        "enclosing span lasts at least as long as its child: outer={} inner={}",
+        outer.dur_us,
+        inner.dur_us
+    );
+}
+
+#[test]
+fn counters_aggregate_across_batch_workers() {
+    let a = setup();
+    let queries = print_queries(&a);
+    assert!(queries.len() >= 2);
+    // Tile the queries so several workers record concurrently.
+    let tiled: Vec<Vec<NodeId>> = queries.iter().cycle().take(20).cloned().collect();
+
+    let tel = Telemetry::enabled();
+    let slices = batch::slices_telemetry(&a.csr, &tiled, SliceKind::Thin, 4, &tel);
+    let report = tel.report();
+
+    // One latency sample per query, whatever the thread interleaving.
+    let h = report.histograms.get("batch.query_us").unwrap();
+    assert_eq!(h.count as usize, tiled.len());
+    assert!(h.p50 <= h.p95 && h.p95 <= h.max);
+
+    // The shared counter is the exact sum of per-slice node counts.
+    let expected: u64 = slices.iter().map(|s| s.nodes.len() as u64).sum();
+    assert_eq!(report.counters.get("slice.nodes_visited"), Some(&expected));
+    assert!(
+        report.counters.get("slice.csr_edges_visited").copied() > Some(0),
+        "the BFS visits edges: {:?}",
+        report.counters
+    );
+}
+
+#[test]
+fn cs_batch_records_memo_hits_and_misses() {
+    let a = setup();
+    let queries = print_queries(&a);
+    // Repeats of the same queries: later queries splice memoised exit
+    // regions, so both hits and misses must show up.
+    let tiled: Vec<Vec<NodeId>> = queries
+        .iter()
+        .cycle()
+        .take(3 * queries.len())
+        .cloned()
+        .collect();
+    let tel = Telemetry::enabled();
+    let _ = batch::cs_slices_telemetry(&a.csr, &tiled, SliceKind::Thin, 1, &tel);
+    let report = tel.report();
+    let misses = report
+        .counters
+        .get("cs.exit_memo_misses")
+        .copied()
+        .unwrap_or(0);
+    let hits = report
+        .counters
+        .get("cs.exit_memo_hits")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        misses > 0,
+        "first encounters must miss: {:?}",
+        report.counters
+    );
+    assert!(
+        hits > 0,
+        "repeats must hit the exit memo: {:?}",
+        report.counters
+    );
+}
+
+#[test]
+fn run_report_round_trips_through_json() {
+    let a = setup();
+    let queries = print_queries(&a);
+    let tel = Telemetry::enabled();
+    let _ = batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &tel);
+    tel.event("test.marker", &[("key", "value \"quoted\"\n".to_string())]);
+    let report = tel.report();
+
+    let json = report.to_json();
+    assert!(json.contains(RUN_REPORT_SCHEMA));
+    let parsed = RunReport::from_json(&json).expect("emitted JSON must parse");
+    assert_eq!(parsed, report, "round-trip must be lossless");
+}
+
+#[test]
+fn governance_records_budget_exhaustion_with_frontier() {
+    let a = setup();
+    let queries = print_queries(&a);
+    let tel = Telemetry::enabled();
+    let cfg = BatchConfig {
+        budget: Budget::unlimited().with_step_limit(1),
+        telemetry: tel.clone(),
+        ..BatchConfig::default()
+    };
+    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    let truncated = outcomes
+        .iter()
+        .filter(|o| matches!(&o.slice, Ok(s) if !s.completeness.is_complete()))
+        .count();
+    assert!(truncated > 0, "a 1-step budget must truncate something");
+
+    let report = tel.report();
+    assert_eq!(
+        report.counters.get("govern.budget_exhaustions"),
+        Some(&(truncated as u64))
+    );
+    let events: Vec<_> = report
+        .events
+        .iter()
+        .filter(|e| e.name == "govern.budget_exhausted")
+        .collect();
+    assert_eq!(events.len(), truncated);
+    for e in &events {
+        assert_eq!(e.field("stage"), Some("slice"));
+        assert!(e.field("reason").is_some());
+        let frontier: u64 = e
+            .field("frontier")
+            .expect("event carries the abandoned-frontier size")
+            .parse()
+            .expect("frontier is a count");
+        assert!(frontier > 0, "abandoned work must be reported");
+    }
+    // Meter checks were counted for every attempted query.
+    assert!(report.counters.get("govern.meter_checks").copied() >= Some(1));
+    // The per-query latency histogram covers every query.
+    let h = report.histograms.get("batch.query_us").unwrap();
+    assert_eq!(h.count as usize, queries.len());
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    let a = setup();
+    let queries = print_queries(&a);
+    let disabled = Telemetry::disabled();
+    assert!(!disabled.is_enabled());
+
+    let plain = batch::slices(&a.csr, &queries, SliceKind::Thin, 2);
+    let with_disabled = batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &disabled);
+    let with_enabled =
+        batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &Telemetry::enabled());
+    for ((p, d), e) in plain.iter().zip(&with_disabled).zip(&with_enabled) {
+        assert_eq!(p.stmts_in_bfs_order, d.stmts_in_bfs_order);
+        assert_eq!(p.stmts_in_bfs_order, e.stmts_in_bfs_order);
+        assert_eq!(p.nodes, d.nodes);
+        assert_eq!(p.nodes, e.nodes);
+    }
+
+    // A disabled handle records nothing — its report is empty.
+    let report = disabled.report();
+    assert!(report.spans.is_empty());
+    assert!(report.counters.is_empty());
+    assert!(report.histograms.is_empty());
+    assert!(report.events.is_empty());
+}
