@@ -1,0 +1,67 @@
+//! CI bench guard: compares a freshly-measured `BENCH_slicing.json`
+//! against the committed baseline and fails when the aggregate batch
+//! throughput regressed by more than the allowed fraction.
+//!
+//! Usage: `bench_guard <baseline.json> <fresh.json> [max-drop-percent]`
+//!
+//! The guard only gates on *regressions* of the one headline number
+//! (`aggregate.batch_slices_per_sec`): absolute throughput varies across
+//! runner hardware, so per-benchmark or absolute thresholds would flake.
+//! The default tolerance of 25% absorbs runner noise while still
+//! catching a slicer or batch-engine pessimisation.
+
+use thinslice_util::telemetry::Json;
+
+const DEFAULT_MAX_DROP_PERCENT: f64 = 25.0;
+
+fn batch_throughput(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    json.get("aggregate")
+        .and_then(|a| a.get("batch_slices_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing aggregate.batch_slices_per_sec"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let (baseline_path, fresh_path) = match args {
+        [b, f] | [b, f, _] => (b.as_str(), f.as_str()),
+        _ => {
+            return Err(
+                "usage: bench_guard <baseline.json> <fresh.json> [max-drop-percent]".to_string(),
+            )
+        }
+    };
+    let max_drop = match args.get(2) {
+        Some(p) => p
+            .parse::<f64>()
+            .map_err(|e| format!("bad max-drop-percent {p}: {e}"))?,
+        None => DEFAULT_MAX_DROP_PERCENT,
+    };
+    let baseline = batch_throughput(baseline_path)?;
+    let fresh = batch_throughput(fresh_path)?;
+    if baseline <= 0.0 {
+        return Err(format!("{baseline_path}: non-positive baseline throughput"));
+    }
+    let drop_percent = (1.0 - fresh / baseline) * 100.0;
+    let summary = format!(
+        "aggregate batch throughput: baseline {baseline:.1}/s, fresh {fresh:.1}/s \
+         ({drop_percent:+.1}% drop, {max_drop:.0}% allowed)"
+    );
+    if drop_percent > max_drop {
+        Err(format!("regression: {summary}"))
+    } else {
+        Ok(summary)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => println!("bench guard ok: {summary}"),
+        Err(message) => {
+            eprintln!("bench guard FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //!   *inspected* statement count (the paper's nanoxml-1: 8067→381 full but
 //!   only 32→26 inspected).
 
-use thinslice::SliceKind;
+use thinslice::{Engine, Query, RunCtx, SliceKind};
 use thinslice_pta::PtaConfig;
 use thinslice_suite::GeneratorConfig;
 
@@ -38,22 +38,21 @@ fn main() {
         .find(|t| t.id == "nanoxml-1")
         .unwrap();
     let resolved = task.resolve(&b, &a);
-    let seeds: Vec<_> = resolved
-        .seeds
-        .iter()
-        .filter_map(|&s| a.sdg.stmt_node(s))
-        .collect();
 
-    let ci = thinslice::slice_from(&a.sdg, &seeds, SliceKind::TraditionalData);
-    // The context-sensitive slicer runs on the heap-parameter graph, as in
-    // the paper's §5.3.
-    let cs_graph = a.build_cs_sdg();
-    let cs_seeds: Vec<_> = resolved
-        .seeds
-        .iter()
-        .flat_map(|&s| cs_graph.stmt_nodes_of(s).to_vec())
-        .collect();
-    let cs = thinslice::cs_slice(&cs_graph, &cs_seeds, SliceKind::TraditionalData);
+    // Both slicers answer through the session's unified query path; the
+    // context-sensitive engine runs on the heap-parameter graph, as in the
+    // paper's §5.3.
+    let mut session = b.session(PtaConfig::default(), RunCtx::disabled());
+    let ci = session.query(&Query::new(
+        resolved.seeds.clone(),
+        SliceKind::TraditionalData,
+        Engine::Ci,
+    ));
+    let cs = session.query(&Query::new(
+        resolved.seeds.clone(),
+        SliceKind::TraditionalData,
+        Engine::Cs,
+    ));
     let inspected = a.inspect(&resolved, SliceKind::TraditionalData);
     println!(
         "  full traditional slice: context-insensitive = {} stmts, context-sensitive = {} stmts",

@@ -226,6 +226,10 @@ pub fn measure_scalability(label: &str, sources: &[(&str, &str)]) -> Scalability
     let t2 = Instant::now();
     let mut slices = 0usize;
     for &seed in &seeds {
+        // Deliberately times the legacy sparse-graph slicer: this row
+        // isolates raw BFS cost over the growable `Sdg`, without the
+        // session's freeze step.
+        #[allow(deprecated)]
         let _ = thinslice::slice_from(&sdg, &[seed], SliceKind::Thin);
         slices += 1;
     }

@@ -15,11 +15,17 @@
 //! Batch mode (`--seeds-file`, one `file:line` per line, or `--all-seeds`
 //! for every sliceable source line) answers all queries over one shared
 //! frozen dependence graph, fanned out across `--threads` workers.
+//!
+//! Every command runs on an [`AnalysisSession`]: one lazily built pipeline
+//! per invocation, one [`RunCtx`] carrying whatever telemetry and budget
+//! the flags describe, and every slice answered through [`Query`].
 
 use std::process::ExitCode;
-use thinslice::batch::BatchConfig;
-use thinslice::{report, Analysis, Budget, RunReport, SliceKind, Telemetry};
-use thinslice_interp::{dynamic_thin_slice, run_telemetry as interp_run, ExecConfig};
+use thinslice::{
+    report, AnalysisSession, BatchOptions, Budget, Engine, Query, RunCtx, RunReport, SliceKind,
+    Telemetry,
+};
+use thinslice_interp::{dynamic_thin_slice, run_ctx as interp_run, ExecConfig};
 use thinslice_ir::pretty;
 
 fn main() -> ExitCode {
@@ -103,6 +109,61 @@ impl Options {
             Telemetry::disabled()
         }
     }
+
+    /// The one [`RunCtx`] every stage of this invocation runs under,
+    /// bundling [`Options::telemetry`] and (when governed)
+    /// [`Options::budget`].
+    fn run_ctx(&self) -> RunCtx {
+        let mut ctx = RunCtx::disabled().with_telemetry(self.telemetry());
+        if self.governed() {
+            ctx = ctx.with_budget(self.budget());
+        }
+        ctx
+    }
+
+    /// Which slicing engine the flags select.
+    fn engine(&self) -> Engine {
+        if self.context_sensitive {
+            Engine::Cs
+        } else {
+            Engine::Ci
+        }
+    }
+}
+
+/// Parses the governance and telemetry flags shared by every command
+/// (`--deadline-ms`, `--step-budget`, `--fail-fast`, `--trace`,
+/// `--trace-format`, `--metrics-out`). Returns whether `flag` was one of
+/// them (its value, if any, consumed from `it`).
+fn parse_shared_flag(
+    o: &mut Options,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<bool, String> {
+    match flag {
+        "--deadline-ms" => {
+            let v = it.next().ok_or("--deadline-ms needs milliseconds")?;
+            o.deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline {v:?}"))?);
+        }
+        "--step-budget" => {
+            let v = it.next().ok_or("--step-budget needs a count")?;
+            o.step_budget = Some(v.parse().map_err(|_| format!("bad step budget {v:?}"))?);
+        }
+        "--fail-fast" => o.fail_fast = true,
+        "--trace" => o.trace = true,
+        "--trace-format" => {
+            o.trace_json = match it.next().map(String::as_str) {
+                Some("json") => true,
+                Some("text") => false,
+                other => return Err(format!("unknown trace format {other:?}")),
+            };
+        }
+        "--metrics-out" => {
+            o.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -127,6 +188,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        if parse_shared_flag(&mut o, a.as_str(), &mut it)? {
+            continue;
+        }
         match a.as_str() {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs <file:line>")?;
@@ -162,26 +226,6 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .push(v.parse().map_err(|_| format!("bad int {v:?}"))?);
             }
             "--dynamic-slice" => o.dynamic_slice = true,
-            "--deadline-ms" => {
-                let v = it.next().ok_or("--deadline-ms needs milliseconds")?;
-                o.deadline_ms = Some(v.parse().map_err(|_| format!("bad deadline {v:?}"))?);
-            }
-            "--step-budget" => {
-                let v = it.next().ok_or("--step-budget needs a count")?;
-                o.step_budget = Some(v.parse().map_err(|_| format!("bad step budget {v:?}"))?);
-            }
-            "--fail-fast" => o.fail_fast = true,
-            "--trace" => o.trace = true,
-            "--trace-format" => {
-                o.trace_json = match it.next().map(String::as_str) {
-                    Some("json") => true,
-                    Some("text") => false,
-                    other => return Err(format!("unknown trace format {other:?}")),
-                };
-            }
-            "--metrics-out" => {
-                o.metrics_out = Some(it.next().ok_or("--metrics-out needs a path")?.clone());
-            }
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -192,7 +236,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn load(o: &Options, tel: &Telemetry) -> Result<Analysis, String> {
+fn load(o: &Options, ctx: &RunCtx) -> Result<AnalysisSession, String> {
     let mut sources: Vec<(String, String)> = Vec::new();
     for f in &o.files {
         let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
@@ -211,12 +255,10 @@ fn load(o: &Options, tel: &Telemetry) -> Result<Analysis, String> {
     } else {
         thinslice_pta::PtaConfig::without_object_sensitivity()
     };
+    let mut session =
+        AnalysisSession::with_ctx(&borrowed, config, ctx.clone()).map_err(|e| e.to_string())?;
     if o.governed() {
-        let mut span = tel.span("analysis.build_governed");
-        let (a, build) = Analysis::with_config_governed(&borrowed, config, &o.budget())
-            .map_err(|e| e.to_string())?;
-        span.add("sdg.nodes", a.sdg.node_count() as u64);
-        drop(span);
+        let build = session.build_report();
         if !build.pta.is_complete() {
             eprintln!(
                 "warning: points-to solve {}; the call graph is partial",
@@ -229,31 +271,32 @@ fn load(o: &Options, tel: &Telemetry) -> Result<Analysis, String> {
                 build.sdg
             );
         }
-        Ok(a)
-    } else {
-        Analysis::with_config_telemetry(&borrowed, config, tel).map_err(|e| e.to_string())
     }
+    Ok(session)
 }
 
-fn resolve_seed(a: &Analysis, o: &Options) -> Result<Vec<thinslice_ir::StmtRef>, String> {
+fn resolve_seed(
+    s: &mut AnalysisSession,
+    o: &Options,
+) -> Result<Vec<thinslice_ir::StmtRef>, String> {
     let (file, line) = o.seed.as_ref().ok_or("--seed is required")?;
-    a.seed_at_line(file, *line)
+    s.seed_at_line(file, *line)
         .ok_or_else(|| format!("{file}:{line} has no reachable statement"))
 }
 
 fn real_main(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("no command")?;
     let o = parse_options(rest)?;
-    let tel = o.telemetry();
+    let ctx = o.run_ctx();
     match cmd.as_str() {
-        "slice" => cmd_slice(&o, &tel)?,
-        "explain" => cmd_explain(&o, &tel)?,
-        "run" => cmd_run(&o, &tel)?,
-        "info" => cmd_info(&o, &tel)?,
+        "slice" => cmd_slice(&o, &ctx)?,
+        "explain" => cmd_explain(&o, &ctx)?,
+        "run" => cmd_run(&o, &ctx)?,
+        "info" => cmd_info(&o, &ctx)?,
         "validate-report" => cmd_validate_report(&o)?,
         other => return Err(format!("unknown command {other}")),
     }
-    emit_telemetry(&o, &tel)
+    emit_telemetry(&o, ctx.telemetry())
 }
 
 /// Writes the run report where the telemetry flags asked for it: `--trace`
@@ -299,7 +342,7 @@ fn cmd_validate_report(o: &Options) -> Result<(), String> {
 /// The batch seed list: parsed from `--seeds-file` (one `file:line` per
 /// line, `#` comments allowed), or every sliceable source line under
 /// `--all-seeds`.
-fn batch_seed_lines(a: &Analysis, o: &Options) -> Result<Vec<(String, u32)>, String> {
+fn batch_seed_lines(s: &mut AnalysisSession, o: &Options) -> Result<Vec<(String, u32)>, String> {
     if let Some(path) = &o.seeds_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let mut out = Vec::new();
@@ -323,111 +366,69 @@ fn batch_seed_lines(a: &Analysis, o: &Options) -> Result<Vec<(String, u32)>, Str
     } else {
         // Every distinct source line with a reachable statement, in file
         // order — the "slice everything" stress mode.
-        let mut lines = std::collections::BTreeSet::new();
-        for s in a.program.all_stmts() {
-            let span = a.program.instr(s).span;
-            if !span.is_synthetic() && a.sdg.stmt_node(s).is_some() {
-                lines.insert((a.program.files[span.file].name.clone(), span.line));
+        let candidates: Vec<(String, u32)> = {
+            let program = s.program();
+            let mut lines = std::collections::BTreeSet::new();
+            for st in program.all_stmts() {
+                let span = program.instr(st).span;
+                if !span.is_synthetic() {
+                    lines.insert((program.files[span.file].name.clone(), span.line));
+                }
             }
-        }
-        Ok(lines.into_iter().collect())
+            lines.into_iter().collect()
+        };
+        Ok(candidates
+            .into_iter()
+            .filter(|(f, l)| s.seed_at_line(f, *l).is_some())
+            .collect())
     }
 }
 
-fn cmd_slice_batch(a: &Analysis, o: &Options, tel: &Telemetry) -> Result<(), String> {
-    let seed_lines = batch_seed_lines(a, o)?;
-    let mut queries: Vec<Vec<thinslice_ir::StmtRef>> = Vec::with_capacity(seed_lines.len());
+fn cmd_slice_batch(s: &mut AnalysisSession, o: &Options, ctx: &RunCtx) -> Result<(), String> {
+    let seed_lines = batch_seed_lines(s, o)?;
+    let mut queries: Vec<Query> = Vec::with_capacity(seed_lines.len());
     for (f, l) in &seed_lines {
-        queries.push(
-            a.seed_at_line(f, *l)
-                .ok_or_else(|| format!("{f}:{l} has no reachable statement"))?,
-        );
+        let seeds = s
+            .seed_at_line(f, *l)
+            .ok_or_else(|| format!("{f}:{l} has no reachable statement"))?;
+        queries.push(Query::new(seeds, o.kind, o.engine()));
     }
 
-    if o.governed() {
-        return cmd_slice_batch_governed(a, o, tel, &seed_lines, &queries);
-    }
-
-    let start = std::time::Instant::now();
-    let sizes: Vec<usize> = if o.context_sensitive {
-        let frozen = build_cs_frozen(a, tel);
-        let nodes = thinslice::batch::node_queries(&frozen, &queries);
-        thinslice::batch::cs_slices_telemetry(&frozen, &nodes, o.kind, o.threads, tel)
-            .iter()
-            .map(thinslice::CsSlice::len)
-            .collect()
-    } else {
-        a.batch_slices_telemetry(&queries, o.kind, o.threads, tel)
-            .iter()
-            .map(thinslice::Slice::len)
-            .collect()
+    let opts = BatchOptions {
+        fail_fast: o.fail_fast,
+        ..BatchOptions::default()
     };
+    let start = std::time::Instant::now();
+    let outcomes = s.query_batch_with(&queries, o.threads, &opts);
     let elapsed = start.elapsed();
 
-    for ((f, l), size) in seed_lines.iter().zip(&sizes) {
-        println!("{f}:{l}  {:?} slice: {size} statements", o.kind);
+    if o.governed() {
+        print_governed_batch(o, &seed_lines, &outcomes);
+    } else {
+        for ((f, l), out) in seed_lines.iter().zip(&outcomes) {
+            let size = out.slice.as_ref().map(|s| s.len()).unwrap_or(0);
+            println!("{f}:{l}  {:?} slice: {size} statements", o.kind);
+        }
+        println!(
+            "-- {} slices in {:.1} ms on {} thread(s) ({:.0} slices/sec)",
+            outcomes.len(),
+            elapsed.as_secs_f64() * 1000.0,
+            o.threads,
+            outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
     }
-    println!(
-        "-- {} slices in {:.1} ms on {} thread(s) ({:.0} slices/sec)",
-        sizes.len(),
-        elapsed.as_secs_f64() * 1000.0,
-        o.threads,
-        sizes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
-    );
-    print_latency_footer(tel);
+    print_latency_footer(ctx.telemetry());
     Ok(())
 }
 
-/// Builds and freezes the context-sensitive SDG under telemetry spans.
-fn build_cs_frozen(a: &Analysis, tel: &Telemetry) -> thinslice_sdg::FrozenSdg {
-    let cs_sdg = {
-        let mut span = tel.span("sdg.build_cs");
-        let g = a.build_cs_sdg();
-        span.add("sdg.nodes", g.node_count() as u64);
-        span.add("sdg.edges", g.edge_count() as u64);
-        g
-    };
-    let mut span = tel.span("sdg.freeze");
-    let frozen = cs_sdg.freeze();
-    span.add("sdg.csr_edges", frozen.edge_count() as u64);
-    frozen
-}
-
-/// With telemetry enabled, one extra footer line summarising the per-query
-/// latency histogram. Plain runs print nothing extra.
-fn print_latency_footer(tel: &Telemetry) {
-    if let Some(h) = tel.histogram_summary("batch.query_us") {
-        println!(
-            "-- per-query latency: p50 {:.1} us, p95 {:.1} us, max {:.1} us over {} queries",
-            h.p50, h.p95, h.max, h.count
-        );
-    }
-}
-
-/// Batch slicing under a budget: per-seed outcome lines (size, truncation
-/// marker, degradation, latency, retries) and a one-line footer.
-fn cmd_slice_batch_governed(
-    a: &Analysis,
+/// Per-seed outcome lines for a governed batch (size, truncation marker,
+/// degradation, latency, retries) and a one-line footer.
+fn print_governed_batch(
     o: &Options,
-    tel: &Telemetry,
     seed_lines: &[(String, u32)],
-    queries: &[Vec<thinslice_ir::StmtRef>],
-) -> Result<(), String> {
-    let cfg = BatchConfig {
-        budget: o.budget(),
-        fail_fast: o.fail_fast,
-        telemetry: tel.clone(),
-        ..BatchConfig::default()
-    };
-    let outcomes = if o.context_sensitive {
-        let frozen = build_cs_frozen(a, tel);
-        let nodes = thinslice::batch::node_queries(&frozen, queries);
-        thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, o.threads, &cfg)
-    } else {
-        a.governed_batch_slices(queries, o.kind, o.threads, &cfg)
-    };
-
-    for ((f, l), out) in seed_lines.iter().zip(&outcomes) {
+    outcomes: &[thinslice::QueryOutcome],
+) {
+    for ((f, l), out) in seed_lines.iter().zip(outcomes) {
         let ms = out.latency.as_secs_f64() * 1000.0;
         let retried = if out.retries > 0 {
             format!(
@@ -456,147 +457,77 @@ fn cmd_slice_batch_governed(
             Err(e) => println!("{f}:{l}  FAILED: {e}  [{ms:.1} ms{retried}]"),
         }
     }
-    println!("{}", report::governed_batch_footer(&outcomes));
-    print_latency_footer(tel);
-    Ok(())
+    println!("{}", report::governed_batch_footer(outcomes));
 }
 
-fn cmd_slice(o: &Options, tel: &Telemetry) -> Result<(), String> {
-    let a = load(o, tel)?;
-    if o.seeds_file.is_some() || o.all_seeds {
-        return cmd_slice_batch(&a, o, tel);
-    }
-    let seeds = resolve_seed(&a, o)?;
-    if o.context_sensitive {
-        if o.governed() {
-            return cmd_slice_cs_governed(&a, o, tel, &seeds);
-        }
-        let cs_sdg = {
-            let mut span = tel.span("sdg.build_cs");
-            let g = a.build_cs_sdg();
-            span.add("sdg.nodes", g.node_count() as u64);
-            g
-        };
-        let nodes: Vec<_> = seeds
-            .iter()
-            .flat_map(|&s| cs_sdg.stmt_nodes_of(s).to_vec())
-            .collect();
-        let slice = {
-            let mut span = tel.span("slice.cs_query");
-            let slice = thinslice::cs_slice(&cs_sdg, &nodes, o.kind);
-            span.add("slice.nodes_visited", slice.nodes.len() as u64);
-            slice
-        };
+/// With telemetry enabled, one extra footer line summarising the per-query
+/// latency histogram. Plain runs print nothing extra.
+fn print_latency_footer(tel: &Telemetry) {
+    if let Some(h) = tel.histogram_summary("batch.query_us") {
         println!(
-            "context-sensitive {:?} slice: {} statements",
-            o.kind,
-            slice.len()
+            "-- per-query latency: p50 {:.1} us, p95 {:.1} us, max {:.1} us over {} queries",
+            h.p50, h.p95, h.max, h.count
         );
-        let mut stmts: Vec<_> = slice.stmts.iter().copied().collect();
+    }
+}
+
+fn cmd_slice(o: &Options, ctx: &RunCtx) -> Result<(), String> {
+    let mut s = load(o, ctx)?;
+    if o.seeds_file.is_some() || o.all_seeds {
+        return cmd_slice_batch(&mut s, o, ctx);
+    }
+    let seeds = resolve_seed(&mut s, o)?;
+    let result = s.query(&Query::new(seeds, o.kind, o.engine()));
+    if o.context_sensitive {
+        if result.degraded {
+            eprintln!(
+                "note: the context-sensitive query exhausted its budget; \
+                 degraded to context-insensitive reachability over the same graph"
+            );
+        }
+        println!(
+            "context-sensitive {:?} slice: {} statements{}{}",
+            o.kind,
+            result.len(),
+            report::completeness_marker(&result.completeness),
+            if result.degraded {
+                " [DEGRADED: cs -> ci]"
+            } else {
+                ""
+            },
+        );
+        let mut stmts: Vec<_> = result.stmts.iter().copied().collect();
         stmts.sort();
         let mut seen_lines = std::collections::HashSet::new();
-        for s in stmts {
-            let sp = a.program.instr(s).span;
+        let program = s.program();
+        for st in stmts {
+            let sp = program.instr(st).span;
             if seen_lines.insert((sp.file, sp.line)) {
-                println!("  {}", pretty::stmt_str(&a.program, s));
+                println!("  {}", pretty::stmt_str(program, st));
             }
         }
         return Ok(());
     }
-    if o.governed() {
-        let mut span = tel.span("slice.query");
-        let out = a.slice_governed(&seeds, o.kind, &o.budget());
-        span.add("slice.nodes_visited", out.result.nodes.len() as u64);
-        drop(span);
-        println!(
-            "{:?} slice: {} statements (BFS order from the seed){}",
-            o.kind,
-            out.result.len(),
-            report::completeness_marker(&out.completeness),
-        );
-        for line in report::slice_lines(&a.program, &out.result) {
-            println!("  {line}");
-        }
-        return Ok(());
-    }
-    let mut span = tel.span("slice.query");
-    let slice = thinslice::slice_from(
-        &a.csr,
-        &seeds
-            .iter()
-            .flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec())
-            .collect::<Vec<_>>(),
-        o.kind,
-    );
-    span.add("slice.nodes_visited", slice.nodes.len() as u64);
-    drop(span);
     println!(
-        "{:?} slice: {} statements (BFS order from the seed)",
+        "{:?} slice: {} statements (BFS order from the seed){}",
         o.kind,
-        slice.len()
+        result.len(),
+        report::completeness_marker(&result.completeness),
     );
-    for line in thinslice::report::slice_lines(&a.program, &slice) {
+    for line in report::stmt_lines(s.program(), &result.stmts) {
         println!("  {line}");
     }
     Ok(())
 }
 
-/// A single context-sensitive query under a budget, with the CS → CI
-/// degradation ladder surfaced to the user.
-fn cmd_slice_cs_governed(
-    a: &Analysis,
-    o: &Options,
-    tel: &Telemetry,
-    seeds: &[thinslice_ir::StmtRef],
-) -> Result<(), String> {
-    let frozen = build_cs_frozen(a, tel);
-    let queries = vec![seeds.to_vec()];
-    let nodes = thinslice::batch::node_queries(&frozen, &queries);
-    let cfg = BatchConfig {
-        budget: o.budget(),
-        fail_fast: o.fail_fast,
-        telemetry: tel.clone(),
-        ..BatchConfig::default()
-    };
-    let mut outcomes = thinslice::batch::governed_cs_slices(&frozen, &nodes, o.kind, 1, &cfg);
-    let out = outcomes.remove(0);
-    let slice = out.slice.map_err(|e| e.to_string())?;
-    if slice.degraded {
-        eprintln!(
-            "note: the context-sensitive query exhausted its budget; \
-             degraded to context-insensitive reachability over the same graph"
-        );
-    }
-    println!(
-        "context-sensitive {:?} slice: {} statements{}{}",
-        o.kind,
-        slice.stmts.len(),
-        report::completeness_marker(&slice.completeness),
-        if slice.degraded {
-            " [DEGRADED: cs -> ci]"
-        } else {
-            ""
-        },
-    );
-    let mut stmts = slice.stmts.clone();
-    stmts.sort();
-    let mut seen_lines = std::collections::HashSet::new();
-    for s in stmts {
-        let sp = a.program.instr(s).span;
-        if seen_lines.insert((sp.file, sp.line)) {
-            println!("  {}", pretty::stmt_str(&a.program, s));
-        }
-    }
-    Ok(())
-}
-
-fn cmd_explain(o: &Options, tel: &Telemetry) -> Result<(), String> {
-    let a = load(o, tel)?;
-    let seeds = resolve_seed(&a, o)?;
+fn cmd_explain(o: &Options, ctx: &RunCtx) -> Result<(), String> {
+    let mut s = load(o, ctx)?;
+    let seeds = resolve_seed(&mut s, o)?;
+    let a = s.into_analysis();
     // Control dependences of the seed.
     let mut ctrl = Vec::new();
-    for &s in &seeds {
-        for c in thinslice::expand::exposed_control_deps(&a.sdg, s) {
+    for &st in &seeds {
+        for c in thinslice::expand::exposed_control_deps(&a.sdg, st) {
             if !ctrl.contains(&c) {
                 ctrl.push(c);
             }
@@ -619,11 +550,12 @@ fn cmd_explain(o: &Options, tel: &Telemetry) -> Result<(), String> {
     for (load, store) in pairs {
         println!("  load : {}", pretty::stmt_str(&a.program, load));
         println!("  store: {}", pretty::stmt_str(&a.program, store));
-        match thinslice::explain_aliasing_telemetry(&a.program, &a.pta, &a.sdg, load, store, tel) {
+        match thinslice::explain_aliasing_ctx(&a.program, &a.pta, &a.sdg, load, store, ctx) {
             Ok(e) => {
+                let e = e.result;
                 println!("  common objects: {}", e.common_objects.len());
-                for s in e.statements() {
-                    println!("    {}", pretty::stmt_str(&a.program, s));
+                for st in e.statements() {
+                    println!("    {}", pretty::stmt_str(&a.program, st));
                 }
             }
             Err(err) => println!("  (no explanation: {err})"),
@@ -633,15 +565,14 @@ fn cmd_explain(o: &Options, tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(o: &Options, tel: &Telemetry) -> Result<(), String> {
-    let a = load(o, tel)?;
+fn cmd_run(o: &Options, ctx: &RunCtx) -> Result<(), String> {
+    let a = load(o, ctx)?.into_analysis();
     let config = ExecConfig {
         lines: o.lines.clone(),
         ints: o.ints.clone(),
-        budget: o.budget(),
         ..ExecConfig::default()
     };
-    let exec = interp_run(&a.program, &config, tel);
+    let exec = interp_run(&a.program, &config, ctx);
     for (_, text) in &exec.prints {
         println!("{text}");
     }
@@ -659,8 +590,8 @@ fn cmd_run(o: &Options, tel: &Telemetry) -> Result<(), String> {
             );
             let mut stmts: Vec<_> = slice.stmts.iter().copied().collect();
             stmts.sort();
-            for s in stmts {
-                println!("  {}", pretty::stmt_str(&a.program, s));
+            for st in stmts {
+                println!("  {}", pretty::stmt_str(&a.program, st));
             }
         } else {
             println!("(nothing printed — no dynamic slice)");
@@ -669,8 +600,8 @@ fn cmd_run(o: &Options, tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(o: &Options, tel: &Telemetry) -> Result<(), String> {
-    let a = load(o, tel)?;
+fn cmd_info(o: &Options, ctx: &RunCtx) -> Result<(), String> {
+    let a = load(o, ctx)?.into_analysis();
     let stats = thinslice_pta::ProgramStats::compute(&a.program, &a.pta);
     let sdg_stats = thinslice_sdg::SdgStats::compute(&a.sdg);
     println!("classes:               {}", stats.classes);
@@ -728,6 +659,8 @@ mod tests {
         let o = opts(&["a.mj", "--cs", "--no-objsens"]).unwrap();
         assert!(o.context_sensitive);
         assert!(!o.object_sensitive);
+        assert_eq!(o.engine(), Engine::Cs);
+        assert_eq!(opts(&["a.mj"]).unwrap().engine(), Engine::Ci);
     }
 
     #[test]
@@ -761,12 +694,14 @@ mod tests {
         assert!(!o.fail_fast);
         assert!(o.governed());
         assert!(!o.budget().is_unlimited());
+        assert!(o.run_ctx().is_governed());
         let o = opts(&["a.mj", "--fail-fast"]).unwrap();
         assert!(o.fail_fast);
         assert!(o.governed());
         let o = opts(&["a.mj"]).unwrap();
         assert!(!o.governed());
         assert!(o.budget().is_unlimited());
+        assert!(!o.run_ctx().is_governed());
         assert!(opts(&["a.mj", "--deadline-ms", "soon"]).is_err());
         assert!(opts(&["a.mj", "--step-budget", "-1"]).is_err());
         assert!(opts(&["a.mj", "--deadline-ms"]).is_err());
@@ -776,9 +711,11 @@ mod tests {
     fn parses_telemetry_flags() {
         let o = opts(&["a.mj"]).unwrap();
         assert!(!o.telemetry().is_enabled(), "telemetry is opt-in");
+        assert!(!o.run_ctx().telemetry().is_enabled());
         let o = opts(&["a.mj", "--trace"]).unwrap();
         assert!(o.trace && !o.trace_json);
         assert!(o.telemetry().is_enabled());
+        assert!(o.run_ctx().telemetry().is_enabled());
         let o = opts(&["a.mj", "--trace", "--trace-format", "json"]).unwrap();
         assert!(o.trace_json);
         let o = opts(&["a.mj", "--metrics-out", "m.json"]).unwrap();

@@ -9,9 +9,16 @@
 //! over the shared immutable graph.
 //!
 //! Results are returned in query order, and each result is identical to
-//! what the sequential single-query entry points ([`slice_from`],
-//! [`crate::cs_slice`]) produce, whatever the thread count: workers share
-//! only immutable data, and each query's traversal is fully independent.
+//! what the sequential single-query path ([`AnalysisSession::query`])
+//! produces, whatever the thread count: workers share only immutable
+//! data, and each query's traversal is fully independent.
+//!
+//! One engine serves both the plain and the governed batch: a
+//! [`BatchConfig`] whose [`RunCtx`] is ungoverned (and that injects no
+//! faults) runs the zero-overhead fast path — no `catch_unwind`, no
+//! meter arming beyond one predictable branch per work item — while a
+//! governed config adds per-query budgets, panic isolation with bounded
+//! retry, and the CS → CI degradation ladder.
 //!
 //! # Examples
 //!
@@ -31,19 +38,16 @@
 //! assert_eq!(slices[0].stmt_set(), analysis.thin_slice(&seeds[0]).stmt_set());
 //! # Ok::<(), thinslice_ir::CompileError>(())
 //! ```
+//!
+//! [`AnalysisSession::query`]: crate::AnalysisSession::query
 
-use crate::slice::{
-    slice_dense_governed_reusing, slice_dense_reusing, Slice, SliceKind, SliceScratch,
-};
-use crate::tabulation::{
-    cs_slice_governed_reusing, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
-    DownConsumers, MemoStats,
-};
+use crate::session::{Engine, SliceResult};
+use crate::slice::{slice_dense, Slice, SliceKind, SliceScratch};
+use crate::tabulation::{cs_oneshot, cs_reusing, CsScratch, CsSlice, DownConsumers, MemoStats};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
-use thinslice_ir::StmtRef;
 use thinslice_sdg::{DenseDisplay, DepGraph, FrozenSdg, NodeId};
-use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet, Telemetry};
+use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet, Meter, RunCtx, Telemetry};
 
 /// Minimum batch size at which pre-filtering the edge array by the slice
 /// kind pays for its O(edges) setup scan. Below it, queries run directly
@@ -62,28 +66,12 @@ const CS_FILTER_THRESHOLD: usize = 5;
 /// store (with the shared down-edge index) wins.
 const CS_DENSE_THRESHOLD: usize = 2;
 
-/// Computes one backward slice per query, in query order.
-///
-/// Each query is a seed-node set, sliced exactly as [`slice_from`] would.
-/// `threads <= 1` runs inline on the calling thread (bit-identical by
-/// construction); more threads fan out over `graph`, which is shared
-/// immutably.
-///
-/// [`slice_from`]: crate::slice_from
-pub fn slices(
-    graph: &FrozenSdg,
-    queries: &[Vec<NodeId>],
-    kind: SliceKind,
-    threads: usize,
-) -> Vec<Slice> {
-    slices_telemetry(graph, queries, kind, threads, &Telemetry::disabled())
-}
+// ---- the plain (ungoverned) fast path ----
 
-/// [`slices`] recording batch telemetry: a `batch.slices` span, a per-query
-/// latency histogram (`batch.query_us`) and post-hoc traversal counters.
-/// With a disabled handle this is exactly [`slices`] — same dispatch, same
-/// traversals, same output.
-pub fn slices_telemetry(
+/// The ungoverned context-insensitive batch: one BFS per query on shared
+/// scratch, with the per-batch prefilter cost model. Telemetry-optional;
+/// a disabled handle leaves the traversal untouched.
+pub(crate) fn ci_plain(
     graph: &FrozenSdg,
     queries: &[Vec<NodeId>],
     kind: SliceKind,
@@ -124,10 +112,26 @@ fn measured_bfs<G: DenseDisplay>(
     prefiltered: bool,
 ) -> Slice {
     if !tel.is_enabled() {
-        return slice_dense_reusing(graph, seeds, kind, scratch, prefiltered);
+        return slice_dense(
+            graph,
+            seeds,
+            kind,
+            scratch,
+            prefiltered,
+            &mut Meter::unlimited(),
+        )
+        .0;
     }
     let started = Instant::now();
-    let slice = slice_dense_reusing(graph, seeds, kind, scratch, prefiltered);
+    let slice = slice_dense(
+        graph,
+        seeds,
+        kind,
+        scratch,
+        prefiltered,
+        &mut Meter::unlimited(),
+    )
+    .0;
     record_traversal(tel, graph, &slice.nodes, started);
     slice
 }
@@ -149,23 +153,10 @@ fn record_traversal<G: DepGraph>(
     );
 }
 
-/// Computes one context-sensitive (tabulation) slice per query, in query
-/// order. The down-edge index is built once and shared by all workers, so
-/// a batch of N queries scans the graph's edges once, not N times.
-pub fn cs_slices(
-    graph: &FrozenSdg,
-    queries: &[Vec<NodeId>],
-    kind: SliceKind,
-    threads: usize,
-) -> Vec<CsSlice> {
-    cs_slices_telemetry(graph, queries, kind, threads, &Telemetry::disabled())
-}
-
-/// [`cs_slices`] recording batch telemetry: a `batch.cs_slices` span, the
-/// `batch.query_us` latency histogram, traversal counters and the
-/// tabulation's exit-region memo hit/miss + summary-edge counters. With a
-/// disabled handle this is exactly [`cs_slices`].
-pub fn cs_slices_telemetry(
+/// The ungoverned context-sensitive batch: the down-edge index is built
+/// once and shared by all workers, so a batch of N queries scans the
+/// graph's edges once, not N times.
+pub(crate) fn cs_plain(
     graph: &FrozenSdg,
     queries: &[Vec<NodeId>],
     kind: SliceKind,
@@ -174,10 +165,8 @@ pub fn cs_slices_telemetry(
 ) -> Vec<CsSlice> {
     let mut span = tel.span("batch.cs_slices");
     span.add("batch.queries", queries.len() as u64);
-    // The down-edge index is built once and shared by all workers — a
-    // batch of N queries scans the graph's edges once, not N times — and
-    // each worker reuses its tabulation state across queries. For larger
-    // batches the same per-batch edge filter as [`slices`] applies
+    // Each worker reuses its tabulation state across queries. For larger
+    // batches the same per-batch edge filter as the CI batch applies
     // (parameter-edge labels are uniform per kind, so the summary
     // bookkeeping is unaffected).
     if queries.len() < CS_DENSE_THRESHOLD {
@@ -188,10 +177,10 @@ pub fn cs_slices_telemetry(
             || (),
             |_, _, seeds| {
                 if !tel.is_enabled() {
-                    return cs_slice_indexed(graph, &index, seeds, kind);
+                    return cs_oneshot(graph, &index, seeds, kind, &mut Meter::unlimited()).0;
                 }
                 let started = Instant::now();
-                let slice = cs_slice_indexed(graph, &index, seeds, kind);
+                let slice = cs_oneshot(graph, &index, seeds, kind, &mut Meter::unlimited()).0;
                 record_traversal(tel, graph, &slice.nodes, started);
                 slice
             },
@@ -221,11 +210,11 @@ fn measured_cs<G: DepGraph>(
     scratch: &mut CsScratch,
 ) -> CsSlice {
     if !tel.is_enabled() {
-        return cs_slice_reusing(graph, index, seeds, kind, scratch);
+        return cs_reusing(graph, index, seeds, kind, scratch, &mut Meter::unlimited()).0;
     }
     let started = Instant::now();
     let before = scratch.memo_stats();
-    let slice = cs_slice_reusing(graph, index, seeds, kind, scratch);
+    let slice = cs_reusing(graph, index, seeds, kind, scratch, &mut Meter::unlimited()).0;
     record_memo(tel, scratch.memo_stats().since(&before));
     record_traversal(tel, graph, &slice.nodes, started);
     slice
@@ -250,33 +239,49 @@ pub struct FaultInjection {
     pub attempts: u32,
 }
 
-/// Configuration for a governed batch run.
+/// Configuration for a batch run.
+///
+/// The default is the zero-overhead fast path: an ungoverned
+/// [`RunCtx`], no fault injection, no fail-fast. Any governed feature
+/// (a limited budget in the context, fault injection, fail-fast) routes
+/// the batch through the guarded engine instead — per-query budgets,
+/// `catch_unwind` panic isolation, bounded retry.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
-    /// Per-query resource budget (deadline measured per attempt).
-    pub budget: Budget,
+    /// Shared run context: the telemetry sink for per-query latency /
+    /// retry metrics and budget-exhaustion events, plus the per-query
+    /// resource budget (deadline measured per attempt).
+    pub ctx: RunCtx,
     /// Cancel the remaining queries after the first hard query failure.
     pub fail_fast: bool,
     /// How many times a panicked query is retried on fresh scratch.
     pub retries: u32,
     /// Test-only deterministic fault injection.
     pub fault: Option<FaultInjection>,
-    /// Telemetry sink for per-query latency/retry metrics, meter-check
-    /// counts and budget-exhaustion events. Disabled by default, which
-    /// leaves the governed engine byte-identical to its pre-telemetry
-    /// behaviour.
-    pub telemetry: Telemetry,
+    /// Whether a context-sensitive query that exhausts its budget is
+    /// re-answered by the cheaper context-insensitive slicer (the
+    /// paper's scalability ladder). `false` returns the truncated CS
+    /// prefix as-is.
+    pub degrade: bool,
 }
 
 impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
-            budget: Budget::unlimited(),
+            ctx: RunCtx::disabled(),
             fail_fast: false,
             retries: 1,
             fault: None,
-            telemetry: Telemetry::disabled(),
+            degrade: true,
         }
+    }
+}
+
+impl BatchConfig {
+    /// Whether this config needs the guarded engine (budgets, panic
+    /// isolation, cancellation) rather than the zero-overhead fast path.
+    pub(crate) fn needs_guarded(&self) -> bool {
+        self.ctx.is_governed() || self.fault.is_some() || self.fail_fast
     }
 }
 
@@ -300,27 +305,18 @@ impl std::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
-/// A governed slice result: statements plus the honesty labels.
-#[derive(Debug, Clone)]
-pub struct GovernedSlice {
-    /// Statements in the slice. BFS (distance) order for the reachability
-    /// slicers; sorted by statement for the tabulation slicer.
-    pub stmts: Vec<StmtRef>,
-    /// All visited nodes.
-    pub nodes: FxHashSet<NodeId>,
-    /// Whether the traversal reached its fixpoint.
-    pub completeness: Completeness,
-    /// Whether a context-sensitive query fell back to the
-    /// context-insensitive slicer after exhausting its budget.
-    pub degraded: bool,
-}
+/// The pre-0.4 name for a governed batch's per-query slice result.
+#[deprecated(since = "0.4.0", note = "use `SliceResult` instead")]
+pub type GovernedSlice = SliceResult;
 
-/// One query's outcome in a governed batch.
+/// One query's outcome in a batch.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// The slice, or the hard error that survived all retries.
-    pub slice: Result<GovernedSlice, QueryError>,
-    /// Wall-clock time spent on this query (all attempts).
+    pub slice: Result<SliceResult, QueryError>,
+    /// Wall-clock time spent on this query (all attempts). Zero on the
+    /// ungoverned fast path with telemetry disabled — per-query clock
+    /// reads are part of what "zero overhead" means there.
     pub latency: Duration,
     /// How many retries ran (0 = first attempt sufficed).
     pub retries: u32,
@@ -355,7 +351,7 @@ fn run_guarded<S>(
     cancel: &CancelToken,
     scratch: &mut S,
     fresh: impl Fn() -> S,
-    attempt: impl Fn(&mut S) -> GovernedSlice,
+    attempt: impl Fn(&mut S) -> SliceResult,
 ) -> QueryOutcome {
     let start = Instant::now();
     let mut attempts_used = 0u32;
@@ -405,8 +401,8 @@ fn run_guarded<S>(
 /// The effective budget and cancel token for a governed batch: fail-fast
 /// needs a shared token, so one is created unless the caller provided one.
 fn armed_budget(cfg: &BatchConfig) -> (Budget, CancelToken) {
-    let cancel = cfg.budget.cancel_token().cloned().unwrap_or_default();
-    let budget = cfg.budget.clone().with_cancel(cancel.clone());
+    let cancel = cfg.ctx.budget().cancel_token().cloned().unwrap_or_default();
+    let budget = cfg.ctx.budget().clone().with_cancel(cancel.clone());
     (budget, cancel)
 }
 
@@ -447,13 +443,13 @@ fn record_governed(tel: &Telemetry, stage: &str, out: &QueryOutcome) {
     }
 }
 
-/// [`slices`] under a [`BatchConfig`]: per-query budgets, panic isolation
-/// with bounded retry, and per-query latency/retry reporting.
+/// The guarded context-insensitive batch: per-query budgets, panic
+/// isolation with bounded retry, and per-query latency/retry reporting.
 ///
 /// Traversal per query is identical to the ungoverned engine's; a query
 /// that exhausts its budget returns its truncated prefix labelled
 /// `Truncated` instead of blocking the batch.
-pub fn governed_slices(
+pub(crate) fn ci_guarded(
     graph: &FrozenSdg,
     queries: &[Vec<NodeId>],
     kind: SliceKind,
@@ -461,21 +457,23 @@ pub fn governed_slices(
     cfg: &BatchConfig,
 ) -> Vec<QueryOutcome> {
     let (budget, cancel) = armed_budget(cfg);
-    let tel = &cfg.telemetry;
+    let tel = cfg.ctx.telemetry();
     let mut span = tel.span("batch.governed_slices");
     span.add("batch.queries", queries.len() as u64);
     // The traditional-full slicer follows every edge, so the shared graph
-    // is its own filtered view (as in `slices`).
+    // is its own filtered view (as in the plain batch).
     let prefiltered = matches!(kind, SliceKind::TraditionalFull);
     par::map_with(queries, threads, SliceScratch::new, |scratch, i, seeds| {
         let out = run_guarded(i, cfg, &cancel, scratch, SliceScratch::new, |s| {
             let mut meter = budget.meter();
-            let out = slice_dense_governed_reusing(graph, seeds, kind, s, prefiltered, &mut meter);
+            let (slice, completeness) = slice_dense(graph, seeds, kind, s, prefiltered, &mut meter);
             tel.count("govern.meter_checks", meter.slow_checks());
-            GovernedSlice {
-                stmts: out.result.stmts_in_bfs_order,
-                nodes: out.result.nodes,
-                completeness: out.completeness,
+            SliceResult {
+                engine: Engine::Ci,
+                kind,
+                stmts: slice.stmts,
+                nodes: slice.nodes,
+                completeness,
                 degraded: false,
             }
         });
@@ -484,12 +482,13 @@ pub fn governed_slices(
     })
 }
 
-/// [`cs_slices`] under a [`BatchConfig`], with graceful degradation: a
+/// The guarded context-sensitive batch, with graceful degradation: a
 /// query whose tabulation exhausts its budget is re-answered by the
 /// context-insensitive reachability slicer over the same frozen graph
 /// (fresh meter) and marked `degraded` — the paper's scalability ladder,
-/// CS → CI → truncated.
-pub fn governed_cs_slices(
+/// CS → CI → truncated. `cfg.degrade = false` keeps the truncated CS
+/// prefix instead.
+pub(crate) fn cs_guarded(
     graph: &FrozenSdg,
     queries: &[Vec<NodeId>],
     kind: SliceKind,
@@ -497,7 +496,7 @@ pub fn governed_cs_slices(
     cfg: &BatchConfig,
 ) -> Vec<QueryOutcome> {
     let (budget, cancel) = armed_budget(cfg);
-    let tel = &cfg.telemetry;
+    let tel = cfg.ctx.telemetry();
     let mut span = tel.span("batch.governed_cs_slices");
     span.add("batch.queries", queries.len() as u64);
     let index = DownConsumers::build(graph);
@@ -510,39 +509,161 @@ pub fn governed_cs_slices(
             } else {
                 None
             };
-            let out = cs_slice_governed_reusing(graph, &index, seeds, kind, cs, &mut meter);
+            let (slice, completeness) = cs_reusing(graph, &index, seeds, kind, cs, &mut meter);
             if let Some(before) = memo_before {
                 record_memo(tel, cs.memo_stats().since(&before));
             }
-            if out.completeness.is_complete() {
+            if completeness.is_complete() || !cfg.degrade {
                 tel.count("govern.meter_checks", meter.slow_checks());
-                let mut stmts: Vec<StmtRef> = out.result.stmts.iter().copied().collect();
-                stmts.sort_unstable();
-                return GovernedSlice {
-                    stmts,
-                    nodes: out.result.nodes,
-                    completeness: Completeness::Complete,
+                return SliceResult {
+                    engine: Engine::Cs,
+                    kind,
+                    stmts: slice.stmts,
+                    nodes: slice.nodes,
+                    completeness,
                     degraded: false,
                 };
             }
             // Degradation ladder: answer with the cheaper CI slicer over
             // the same graph, under a fresh meter from the same budget.
             let mut ci_meter = budget.meter();
-            let ci = slice_dense_governed_reusing(graph, seeds, kind, bfs, false, &mut ci_meter);
+            let (ci, ci_completeness) = slice_dense(graph, seeds, kind, bfs, false, &mut ci_meter);
             tel.count(
                 "govern.meter_checks",
                 meter.slow_checks() + ci_meter.slow_checks(),
             );
-            GovernedSlice {
-                stmts: ci.result.stmts_in_bfs_order,
-                nodes: ci.result.nodes,
-                completeness: ci.completeness,
+            SliceResult {
+                engine: Engine::Ci,
+                kind,
+                stmts: ci.stmts,
+                nodes: ci.nodes,
+                completeness: ci_completeness,
                 degraded: true,
             }
         });
         record_governed(tel, "cs_slice", &out);
         out
     })
+}
+
+/// The one batch entrypoint: dispatches on the engine and on whether the
+/// config needs the guarded path, and wraps fast-path results in
+/// [`QueryOutcome`]s so callers see one shape.
+pub(crate) fn run_batch(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    engine: Engine,
+    threads: usize,
+    cfg: &BatchConfig,
+) -> Vec<QueryOutcome> {
+    if cfg.needs_guarded() {
+        return match engine {
+            Engine::Ci => ci_guarded(graph, queries, kind, threads, cfg),
+            Engine::Cs => cs_guarded(graph, queries, kind, threads, cfg),
+        };
+    }
+    let tel = cfg.ctx.telemetry();
+    let complete = |engine: Engine, stmts, nodes| QueryOutcome {
+        slice: Ok(SliceResult {
+            engine,
+            kind,
+            stmts,
+            nodes,
+            completeness: Completeness::Complete,
+            degraded: false,
+        }),
+        latency: Duration::ZERO,
+        retries: 0,
+    };
+    match engine {
+        Engine::Ci => ci_plain(graph, queries, kind, threads, tel)
+            .into_iter()
+            .map(|s| complete(Engine::Ci, s.stmts, s.nodes))
+            .collect(),
+        Engine::Cs => cs_plain(graph, queries, kind, threads, tel)
+            .into_iter()
+            .map(|s| complete(Engine::Cs, s.stmts, s.nodes))
+            .collect(),
+    }
+}
+
+// ---- pre-0.4 entrypoints, kept as thin wrappers ----
+
+/// Computes one backward slice per query, in query order.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+) -> Vec<Slice> {
+    ci_plain(graph, queries, kind, threads, &Telemetry::disabled())
+}
+
+/// [`slices`] recording batch telemetry: a `batch.slices` span, a per-query
+/// latency histogram (`batch.query_us`) and post-hoc traversal counters.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn slices_telemetry(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    tel: &Telemetry,
+) -> Vec<Slice> {
+    ci_plain(graph, queries, kind, threads, tel)
+}
+
+/// Computes one context-sensitive (tabulation) slice per query, in query
+/// order.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn cs_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+) -> Vec<CsSlice> {
+    cs_plain(graph, queries, kind, threads, &Telemetry::disabled())
+}
+
+/// [`cs_slices`] recording batch telemetry: a `batch.cs_slices` span, the
+/// `batch.query_us` latency histogram, traversal counters and the
+/// tabulation's exit-region memo hit/miss + summary-edge counters.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn cs_slices_telemetry(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    tel: &Telemetry,
+) -> Vec<CsSlice> {
+    cs_plain(graph, queries, kind, threads, tel)
+}
+
+/// The CI batch under a [`BatchConfig`]: per-query budgets, panic
+/// isolation with bounded retry, and per-query latency/retry reporting.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn governed_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    cfg: &BatchConfig,
+) -> Vec<QueryOutcome> {
+    ci_guarded(graph, queries, kind, threads, cfg)
+}
+
+/// The CS batch under a [`BatchConfig`], with the CS → CI degradation
+/// ladder.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query_batch` instead")]
+pub fn governed_cs_slices(
+    graph: &FrozenSdg,
+    queries: &[Vec<NodeId>],
+    kind: SliceKind,
+    threads: usize,
+    cfg: &BatchConfig,
+) -> Vec<QueryOutcome> {
+    cs_guarded(graph, queries, kind, threads, cfg)
 }
 
 /// Resolves statement-level queries to node-level ones against `graph`.
@@ -560,9 +681,32 @@ pub fn node_queries(graph: &FrozenSdg, queries: &[Vec<thinslice_ir::StmtRef>]) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slice::slice_from;
-    use crate::tabulation::cs_slice;
+    use crate::slice::slice_sparse;
     use crate::Analysis;
+
+    /// Sequential oracle: the historical one-shot CI slice.
+    fn slice_from(sdg: &thinslice_sdg::Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
+        slice_sparse(
+            sdg,
+            seeds,
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
+
+    /// Sequential oracle: the historical one-shot CS slice.
+    fn cs_slice(sdg: &thinslice_sdg::Sdg, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
+        cs_oneshot(
+            sdg,
+            &DownConsumers::build(sdg),
+            seeds,
+            kind,
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
 
     fn setup() -> Analysis {
         Analysis::build(&[(
@@ -616,13 +760,10 @@ mod tests {
                 .map(|q| slice_from(&a.sdg, q, kind))
                 .collect();
             for threads in [1, 4] {
-                let batched = slices(&a.csr, &queries, kind, threads);
+                let batched = ci_plain(&a.csr, &queries, kind, threads, &Telemetry::disabled());
                 assert_eq!(batched.len(), sequential.len());
                 for (b, s) in batched.iter().zip(&sequential) {
-                    assert_eq!(
-                        b.stmts_in_bfs_order, s.stmts_in_bfs_order,
-                        "{kind:?}/{threads}"
-                    );
+                    assert_eq!(b.stmts, s.stmts, "{kind:?}/{threads}");
                     assert_eq!(b.nodes, s.nodes);
                 }
             }
@@ -638,7 +779,13 @@ mod tests {
             .map(|q| cs_slice(&a.sdg, q, SliceKind::Thin))
             .collect();
         for threads in [1, 4] {
-            let batched = cs_slices(&a.csr, &queries, SliceKind::Thin, threads);
+            let batched = cs_plain(
+                &a.csr,
+                &queries,
+                SliceKind::Thin,
+                threads,
+                &Telemetry::disabled(),
+            );
             for (b, s) in batched.iter().zip(&sequential) {
                 assert_eq!(b.stmts, s.stmts, "threads={threads}");
                 assert_eq!(b.nodes, s.nodes);
@@ -653,8 +800,14 @@ mod tests {
         let a = setup();
         let q = all_print_queries(&a);
         let twice: Vec<Vec<NodeId>> = vec![q[0].clone(), q[1].clone(), q[0].clone()];
-        let out = slices(&a.csr, &twice, SliceKind::TraditionalFull, 1);
-        assert_eq!(out[0].stmts_in_bfs_order, out[2].stmts_in_bfs_order);
+        let out = ci_plain(
+            &a.csr,
+            &twice,
+            SliceKind::TraditionalFull,
+            1,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(out[0].stmts, out[2].stmts);
         assert_eq!(out[0].nodes, out[2].nodes);
     }
 
@@ -672,7 +825,7 @@ mod tests {
             SliceKind::TraditionalData,
             SliceKind::TraditionalFull,
         ] {
-            let batched = cs_slices(&a.csr, &tiled, kind, 1);
+            let batched = cs_plain(&a.csr, &tiled, kind, 1, &Telemetry::disabled());
             for (b, seeds) in batched.iter().zip(&tiled) {
                 let s = cs_slice(&a.sdg, seeds, kind);
                 assert_eq!(b.stmts, s.stmts, "{kind:?}");
@@ -699,13 +852,13 @@ mod tests {
             SliceKind::TraditionalData,
             SliceKind::TraditionalFull,
         ] {
-            let batched = slices(&a.csr, &tiled, kind, 2);
+            let batched = ci_plain(&a.csr, &tiled, kind, 2, &Telemetry::disabled());
             for (b, seeds) in batched.iter().zip(&tiled) {
                 let s = slice_from(&a.sdg, seeds, kind);
-                assert_eq!(b.stmts_in_bfs_order, s.stmts_in_bfs_order, "{kind:?}");
+                assert_eq!(b.stmts, s.stmts, "{kind:?}");
                 assert_eq!(b.nodes, s.nodes);
             }
-            let cs_batched = cs_slices(&a.csr, &tiled, kind, 2);
+            let cs_batched = cs_plain(&a.csr, &tiled, kind, 2, &Telemetry::disabled());
             for (b, seeds) in cs_batched.iter().zip(&tiled) {
                 let s = cs_slice(&a.sdg, seeds, kind);
                 assert_eq!(b.stmts, s.stmts, "{kind:?}");
@@ -717,9 +870,42 @@ mod tests {
     #[test]
     fn empty_batch_and_empty_query() {
         let a = setup();
-        assert!(slices(&a.csr, &[], SliceKind::Thin, 4).is_empty());
-        let out = slices(&a.csr, &[Vec::new()], SliceKind::Thin, 1);
+        let none: &[Vec<NodeId>] = &[];
+        assert!(ci_plain(&a.csr, none, SliceKind::Thin, 4, &Telemetry::disabled()).is_empty());
+        let out = ci_plain(
+            &a.csr,
+            &[Vec::new()],
+            SliceKind::Thin,
+            1,
+            &Telemetry::disabled(),
+        );
         assert_eq!(out.len(), 1);
         assert!(out[0].is_empty());
+    }
+
+    #[test]
+    fn run_batch_fast_path_matches_guarded_path() {
+        // The same queries through both halves of the dispatcher must
+        // agree on statements and nodes (the guarded path merely adds
+        // isolation, never changes a traversal).
+        let a = setup();
+        let queries = all_print_queries(&a);
+        let plain_cfg = BatchConfig::default();
+        let guarded_cfg = BatchConfig {
+            ctx: RunCtx::disabled().with_budget(Budget::unlimited().with_step_limit(u64::MAX)),
+            ..BatchConfig::default()
+        };
+        for engine in [Engine::Ci, Engine::Cs] {
+            let fast = run_batch(&a.csr, &queries, SliceKind::Thin, engine, 1, &plain_cfg);
+            let slow = run_batch(&a.csr, &queries, SliceKind::Thin, engine, 1, &guarded_cfg);
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                let (f, s) = (f.slice.as_ref().unwrap(), s.slice.as_ref().unwrap());
+                assert_eq!(f.stmts, s.stmts, "{engine:?}");
+                assert_eq!(f.nodes, s.nodes);
+                assert!(f.completeness.is_complete() && s.completeness.is_complete());
+                assert!(!f.degraded && !s.degraded);
+            }
+        }
     }
 }

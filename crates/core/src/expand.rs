@@ -13,11 +13,11 @@
 //!
 //! Repeating these expansions in the limit yields the traditional slice.
 
-use crate::slice::{slice_from_governed_reusing, Slice, SliceKind, SliceScratch};
+use crate::slice::{slice_sparse, Slice, SliceKind, SliceScratch};
 use thinslice_ir::{InstrKind, MethodId, Program, StmtRef, Var};
 use thinslice_pta::{AllocSite, ObjId, Pta};
 use thinslice_sdg::{EdgeKind, NodeId, NodeKind, Sdg};
-use thinslice_util::{Budget, Completeness, FxHashSet, Meter, Outcome, Telemetry};
+use thinslice_util::{Budget, Completeness, FxHashSet, Meter, Outcome, RunCtx, Telemetry};
 
 /// The result of explaining one heap-based flow in a thin slice.
 #[derive(Debug, Clone)]
@@ -95,18 +95,58 @@ pub fn explain_aliasing(
     load: StmtRef,
     store: StmtRef,
 ) -> Result<AliasExplanation, ExpandError> {
-    explain_aliasing_governed(program, pta, sdg, load, store, &Budget::unlimited())
-        .map(|o| o.result)
+    explain_inner(program, pta, sdg, load, store, &mut Meter::unlimited()).map(|o| o.result)
 }
 
-/// [`explain_aliasing`] recording expansion telemetry: an
+/// [`explain_aliasing`] under a [`RunCtx`]: the context's telemetry gets an
 /// `expand.explain_aliasing` span whose counters give the number of common
-/// objects and explainer statements, plus outcome counters. With a disabled
-/// handle this is exactly [`explain_aliasing`].
+/// objects and explainer statements (plus outcome counters), and the
+/// context's budget bounds the whole expansion — one meter covers both
+/// base-pointer slices, so the budget limits the full question, not each
+/// half. A truncated explanation contains a subset of the unbudgeted
+/// explainer statements. With a disabled context this is exactly
+/// [`explain_aliasing`], labelled.
 ///
 /// # Errors
 ///
 /// Same as [`explain_aliasing`].
+pub fn explain_aliasing_ctx(
+    program: &Program,
+    pta: &Pta,
+    sdg: &Sdg,
+    load: StmtRef,
+    store: StmtRef,
+    ctx: &RunCtx,
+) -> Result<Outcome<AliasExplanation>, ExpandError> {
+    let tel = ctx.telemetry();
+    let mut span = tel.span("expand.explain_aliasing");
+    let out = explain_inner(program, pta, sdg, load, store, &mut ctx.meter());
+    match &out {
+        Ok(exp) => {
+            span.add(
+                "expand.common_objects",
+                exp.result.common_objects.len() as u64,
+            );
+            span.add(
+                "expand.explainer_stmts",
+                exp.result.statements().len() as u64,
+            );
+            tel.count("expand.explanations", 1);
+        }
+        Err(_) => tel.count("expand.rejections", 1),
+    }
+    out
+}
+
+/// [`explain_aliasing`] recording expansion telemetry.
+///
+/// # Errors
+///
+/// Same as [`explain_aliasing`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `explain_aliasing_ctx` with a `RunCtx` instead"
+)]
 pub fn explain_aliasing_telemetry(
     program: &Program,
     pta: &Pta,
@@ -115,24 +155,19 @@ pub fn explain_aliasing_telemetry(
     store: StmtRef,
     tel: &Telemetry,
 ) -> Result<AliasExplanation, ExpandError> {
-    let mut span = tel.span("expand.explain_aliasing");
-    let out = explain_aliasing(program, pta, sdg, load, store);
-    match &out {
-        Ok(exp) => {
-            span.add("expand.common_objects", exp.common_objects.len() as u64);
-            span.add("expand.explainer_stmts", exp.statements().len() as u64);
-            tel.count("expand.explanations", 1);
-        }
-        Err(_) => tel.count("expand.rejections", 1),
-    }
-    out
+    let ctx = RunCtx::disabled().with_telemetry(tel.clone());
+    explain_aliasing_ctx(program, pta, sdg, load, store, &ctx).map(|o| o.result)
 }
 
 /// [`explain_aliasing`] under a resource [`Budget`].
 ///
-/// One meter covers the whole expansion (both base-pointer slices), so the
-/// budget bounds the full question, not each half. A truncated explanation
-/// contains a subset of the unbudgeted explainer statements.
+/// # Errors
+///
+/// Same as [`explain_aliasing`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `explain_aliasing_ctx` with a governed `RunCtx` instead"
+)]
 pub fn explain_aliasing_governed(
     program: &Program,
     pta: &Pta,
@@ -140,6 +175,19 @@ pub fn explain_aliasing_governed(
     load: StmtRef,
     store: StmtRef,
     budget: &Budget,
+) -> Result<Outcome<AliasExplanation>, ExpandError> {
+    explain_inner(program, pta, sdg, load, store, &mut budget.meter())
+}
+
+/// The one expansion engine behind every `explain_aliasing` entrypoint:
+/// caller-armed meter, shared scratch across both base-pointer slices.
+fn explain_inner(
+    program: &Program,
+    pta: &Pta,
+    sdg: &Sdg,
+    load: StmtRef,
+    store: StmtRef,
+    meter: &mut Meter,
 ) -> Result<Outcome<AliasExplanation>, ExpandError> {
     let (lm, lbase) = base_of(program, load).ok_or(ExpandError::NotAHeapAccess(load))?;
     let (sm, sbase) = base_of(program, store).ok_or(ExpandError::NotAHeapAccess(store))?;
@@ -149,7 +197,6 @@ pub fn explain_aliasing_governed(
     }
     let common_vec: Vec<ObjId> = common.iter().collect();
 
-    let mut meter = budget.meter();
     let mut scratch = SliceScratch::new();
     let (load_base_flow, c1) = base_pointer_flow(
         program,
@@ -159,7 +206,7 @@ pub fn explain_aliasing_governed(
         lbase,
         &common_vec,
         &mut scratch,
-        &mut meter,
+        meter,
     );
     let (store_base_flow, c2) = base_pointer_flow(
         program,
@@ -169,7 +216,7 @@ pub fn explain_aliasing_governed(
         sbase,
         &common_vec,
         &mut scratch,
-        &mut meter,
+        meter,
     );
     Ok(Outcome::new(
         AliasExplanation {
@@ -199,13 +246,12 @@ fn base_pointer_flow(
     meter: &mut Meter,
 ) -> (Vec<StmtRef>, Completeness) {
     let seeds = def_nodes_of(program, sdg, method, base);
-    let Outcome {
-        result: slice,
-        completeness,
-    }: Outcome<Slice> = slice_from_governed_reusing(sdg, &seeds, SliceKind::Thin, scratch, meter);
+    let (slice, completeness): (Slice, Completeness) =
+        slice_sparse(sdg, &seeds, SliceKind::Thin, scratch, meter);
     let stmts = slice
-        .stmts_in_bfs_order
-        .into_iter()
+        .stmts
+        .iter()
+        .copied()
         .filter(|s| stmt_touches_objects(program, pta, *s, objects))
         .collect();
     (stmts, completeness)
@@ -302,7 +348,7 @@ pub fn exposed_control_deps(sdg: &Sdg, stmt: StmtRef) -> Vec<StmtRef> {
 pub fn heap_flow_pairs(program: &Program, sdg: &Sdg, slice: &Slice) -> Vec<(StmtRef, StmtRef)> {
     let in_slice: FxHashSet<StmtRef> = slice.stmt_set();
     let mut out = Vec::new();
-    for &s in &slice.stmts_in_bfs_order {
+    for &s in &slice.stmts {
         let is_load = matches!(
             program.instr(s).kind,
             InstrKind::Load { .. } | InstrKind::ArrayLoad { .. }
@@ -338,10 +384,21 @@ pub fn heap_flow_pairs(program: &Program, sdg: &Sdg, slice: &Slice) -> Vec<(Stmt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slice::slice_from;
     use thinslice_ir::compile;
     use thinslice_pta::PtaConfig;
     use thinslice_sdg::build_ci;
+
+    /// The historical one-shot thin slice, over the new internal loop.
+    fn slice_from(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
+        slice_sparse(
+            sdg,
+            seeds,
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
 
     /// The paper's Figure 4 shape: a File is closed through one alias and
     /// read through another; the aliasing explanation must reveal the flow

@@ -8,15 +8,24 @@
 //! base-pointer manipulation and control flow, which become on-demand
 //! *explainers* ([`expand`]).
 //!
-//! The four slicers of the paper's §5 are here:
+//! The four slicers of the paper's §5 are all answered by one entrypoint,
+//! [`AnalysisSession::query`]:
 //!
 //! | | context-insensitive | context-sensitive |
 //! |---|---|---|
-//! | thin | [`Analysis::thin_slice`] | [`tabulation::cs_slice`] + [`SliceKind::Thin`] |
-//! | traditional | [`Analysis::traditional_slice`] | [`tabulation::cs_slice`] + [`SliceKind::TraditionalData`] |
+//! | thin | [`Engine::Ci`] + [`SliceKind::Thin`] | [`Engine::Cs`] + [`SliceKind::Thin`] |
+//! | traditional | [`Engine::Ci`] + [`SliceKind::TraditionalData`] | [`Engine::Cs`] + [`SliceKind::TraditionalData`] |
 //!
 //! plus the §6.1 evaluation harness ([`inspect`]) that simulates a tool
 //! user inspecting statements breadth-first from the seed.
+//!
+//! Two façades are available:
+//!
+//! * [`AnalysisSession`] — the lazy, memoising query session: stage
+//!   artifacts built on first use, one [`RunCtx`] for telemetry and
+//!   governance, one [`Query`] → [`SliceResult`] shape;
+//! * [`Analysis`] — the eager context-insensitive pipeline, convenient
+//!   for scripts and tests that slice a program once.
 //!
 //! # Examples
 //!
@@ -45,33 +54,38 @@ pub mod batch;
 pub mod expand;
 pub mod inspect;
 pub mod report;
+pub mod session;
 pub mod slice;
+mod stmtset;
 pub mod tabulation;
 
-pub use batch::{BatchConfig, FaultInjection, GovernedSlice, QueryError, QueryOutcome};
+#[allow(deprecated)]
+pub use batch::GovernedSlice;
+pub use batch::{BatchConfig, FaultInjection, QueryError, QueryOutcome};
 pub use expand::{
-    explain_aliasing, explain_aliasing_governed, explain_aliasing_telemetry, exposed_control_deps,
-    heap_flow_pairs, AliasExplanation,
+    explain_aliasing, explain_aliasing_ctx, exposed_control_deps, heap_flow_pairs, AliasExplanation,
 };
+#[allow(deprecated)]
+pub use expand::{explain_aliasing_governed, explain_aliasing_telemetry};
 pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
-pub use slice::{
-    slice_from, slice_from_governed, slice_from_reusing, Slice, SliceKind, SliceScratch,
-};
-pub use tabulation::MemoStats;
-pub use tabulation::{
-    cs_slice, cs_slice_governed, cs_slice_indexed, cs_slice_reusing, CsScratch, CsSlice,
-    DownConsumers,
-};
+pub use session::{AnalysisSession, BatchOptions, Engine, Query, QueryPolicy, SliceResult};
+#[allow(deprecated)]
+pub use slice::{slice_from, slice_from_governed, slice_from_reusing};
+pub use slice::{Slice, SliceKind, SliceScratch};
+pub use stmtset::StmtSet;
+#[allow(deprecated)]
+pub use tabulation::{cs_slice, cs_slice_governed, cs_slice_indexed, cs_slice_reusing};
+pub use tabulation::{CsScratch, CsSlice, DownConsumers, MemoStats};
 pub use thinslice_util::{
-    Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome, RunReport, Telemetry,
+    Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome, RunCtx, RunReport, Telemetry,
 };
 
-use thinslice_ir::{compile, compile_telemetry, CompileError, Program, StmtRef};
+use thinslice_ir::{compile, CompileError, Program, StmtRef};
 use thinslice_pta::{ModRef, Pta, PtaConfig};
-use thinslice_sdg::{build_ci, build_ci_governed, build_cs, FrozenSdg, NodeId, Sdg};
+use thinslice_sdg::{build_cs, FrozenSdg, NodeId, Sdg};
 
-/// Per-stage completeness of a governed analysis build
-/// ([`Analysis::from_program_governed`]).
+/// Per-stage completeness of a governed analysis build (see
+/// [`AnalysisSession::build_report`]).
 #[derive(Debug, Clone, Copy)]
 pub struct BuildReport {
     /// Whether the points-to solve reached its fixpoint.
@@ -88,10 +102,12 @@ impl BuildReport {
 }
 
 /// A compiled program plus the analyses slicing needs: points-to results,
-/// call graph and the context-insensitive dependence graph.
+/// call graph and the context-insensitive dependence graph, all built
+/// eagerly.
 ///
-/// This is the façade most users want; the underlying pieces remain
-/// accessible for custom pipelines.
+/// For lazy stage construction, governance, telemetry or
+/// context-sensitive queries, use [`AnalysisSession`]; an `Analysis` is
+/// what [`AnalysisSession::into_analysis`] leaves behind.
 #[derive(Debug)]
 pub struct Analysis {
     /// The compiled program.
@@ -131,74 +147,67 @@ impl Analysis {
         Ok(Self::from_program(program, config))
     }
 
-    /// Runs the analysis pipeline on an already-compiled program.
-    pub fn from_program(program: Program, config: PtaConfig) -> Analysis {
-        Self::from_program_telemetry(program, config, &Telemetry::disabled())
-    }
-
-    /// [`Analysis::with_config`] recording pipeline telemetry: spans for
-    /// parse/lower/SSA, the points-to solve, SDG construction and the CSR
-    /// freeze, plus solver worklist/delta counters. With a disabled handle
-    /// this is exactly [`Analysis::with_config`].
+    /// Like [`Analysis::with_config`], with every pipeline stage running
+    /// under `ctx` — its telemetry records the pipeline spans, its budget
+    /// governs the points-to solve and SDG construction.
     ///
     /// # Errors
     ///
     /// Returns any [`CompileError`] from the frontend.
+    pub fn with_ctx(
+        sources: &[(&str, &str)],
+        config: PtaConfig,
+        ctx: &RunCtx,
+    ) -> Result<Analysis, CompileError> {
+        Ok(AnalysisSession::with_ctx(sources, config, ctx.clone())?.into_analysis())
+    }
+
+    /// Runs the analysis pipeline on an already-compiled program.
+    pub fn from_program(program: Program, config: PtaConfig) -> Analysis {
+        Self::from_program_ctx(program, config, &RunCtx::disabled())
+    }
+
+    /// [`Analysis::from_program`] with every stage running under `ctx`.
+    pub fn from_program_ctx(program: Program, config: PtaConfig, ctx: &RunCtx) -> Analysis {
+        AnalysisSession::from_program(program, config, ctx.clone()).into_analysis()
+    }
+
+    /// [`Analysis::with_config`] recording pipeline telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Analysis::with_ctx` with a `RunCtx` instead"
+    )]
     pub fn with_config_telemetry(
         sources: &[(&str, &str)],
         config: PtaConfig,
         tel: &Telemetry,
     ) -> Result<Analysis, CompileError> {
-        let program = compile_telemetry(sources, tel)?;
-        Ok(Self::from_program_telemetry(program, config, tel))
+        Self::with_ctx(
+            sources,
+            config,
+            &RunCtx::disabled().with_telemetry(tel.clone()),
+        )
     }
 
-    /// [`Analysis::from_program`] recording pipeline telemetry; see
-    /// [`Analysis::with_config_telemetry`].
+    /// [`Analysis::from_program`] recording pipeline telemetry.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Analysis::from_program_ctx` with a `RunCtx` instead"
+    )]
     pub fn from_program_telemetry(
         program: Program,
         config: PtaConfig,
         tel: &Telemetry,
     ) -> Analysis {
-        let pta = {
-            let mut span = tel.span("pta.solve");
-            let pta = Pta::analyze(&program, config);
-            span.add("pta.delta_rounds", pta.solve_stats.delta_rounds);
-            span.add("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
-            span.add("pta.delta_objects", pta.solve_stats.delta_objects);
-            pta
-        };
-        tel.count("pta.delta_rounds", pta.solve_stats.delta_rounds);
-        tel.count("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
-        tel.count("pta.delta_objects", pta.solve_stats.delta_objects);
-        tel.gauge(
-            "pta.max_worklist_depth",
-            pta.solve_stats.max_worklist_depth as u64,
-        );
-        tel.gauge("pta.constraint_edges", pta.constraint_edges as u64);
-        tel.gauge("pta.abstract_objects", pta.objects.len() as u64);
-        let sdg = {
-            let mut span = tel.span("sdg.build");
-            let sdg = build_ci(&program, &pta);
-            span.add("sdg.nodes", sdg.node_count() as u64);
-            span.add("sdg.edges", sdg.edge_count() as u64);
-            sdg
-        };
-        tel.gauge("sdg.nodes", sdg.node_count() as u64);
-        tel.gauge("sdg.edges", sdg.edge_count() as u64);
-        let csr = {
-            let mut span = tel.span("sdg.freeze");
-            let csr = sdg.freeze();
-            span.add("sdg.csr_edges", csr.edge_count() as u64);
-            csr
-        };
-        tel.gauge("sdg.csr_edges", csr.edge_count() as u64);
-        Analysis {
+        Self::from_program_ctx(
             program,
-            pta,
-            sdg,
-            csr,
-        }
+            config,
+            &RunCtx::disabled().with_telemetry(tel.clone()),
+        )
     }
 
     /// [`Analysis::with_config`] under a resource [`Budget`], with a
@@ -207,12 +216,17 @@ impl Analysis {
     /// # Errors
     ///
     /// Returns any [`CompileError`] from the frontend.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `AnalysisSession::with_ctx` with a governed `RunCtx` instead"
+    )]
     pub fn with_config_governed(
         sources: &[(&str, &str)],
         config: PtaConfig,
         budget: &Budget,
     ) -> Result<(Analysis, BuildReport), CompileError> {
         let program = compile(sources)?;
+        #[allow(deprecated)]
         Ok(Self::from_program_governed(program, config, budget))
     }
 
@@ -222,28 +236,19 @@ impl Analysis {
     /// meter from `budget`; a stage that exhausts it yields a sound partial
     /// result (smaller call graph / fewer dependence edges) and the next
     /// stage proceeds on it. The [`BuildReport`] says what was truncated.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `AnalysisSession::from_program` with a governed `RunCtx` instead"
+    )]
     pub fn from_program_governed(
         program: Program,
         config: PtaConfig,
         budget: &Budget,
     ) -> (Analysis, BuildReport) {
-        let mut pta_meter = budget.meter();
-        let (pta, pta_completeness) = Pta::analyze_governed(&program, config, &mut pta_meter);
-        let mut sdg_meter = budget.meter();
-        let (sdg, sdg_completeness) = build_ci_governed(&program, &pta, &mut sdg_meter);
-        let csr = sdg.freeze();
-        (
-            Analysis {
-                program,
-                pta,
-                sdg,
-                csr,
-            },
-            BuildReport {
-                pta: pta_completeness,
-                sdg: sdg_completeness,
-            },
-        )
+        let ctx = RunCtx::disabled().with_budget(budget.clone());
+        let mut session = AnalysisSession::from_program(program, config, ctx);
+        let report = session.build_report();
+        (session.into_analysis(), report)
     }
 
     /// Builds the context-sensitive (heap-parameter) dependence graph.
@@ -290,20 +295,31 @@ impl Analysis {
             .collect()
     }
 
+    fn slice(&self, seeds: &[StmtRef], kind: SliceKind) -> Slice {
+        slice::slice_sparse(
+            &self.csr,
+            &self.nodes_of(seeds),
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
+
     /// The thin slice from `seeds`: producer statements only.
     pub fn thin_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::Thin)
+        self.slice(seeds, SliceKind::Thin)
     }
 
     /// The traditional data slice from `seeds` (all flow dependences,
     /// control handled out of band as in the paper's evaluation).
     pub fn traditional_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::TraditionalData)
+        self.slice(seeds, SliceKind::TraditionalData)
     }
 
     /// The full Weiser-style slice from `seeds` (including control).
     pub fn full_slice(&self, seeds: &[StmtRef]) -> Slice {
-        slice_from(&self.csr, &self.nodes_of(seeds), SliceKind::TraditionalFull)
+        self.slice(seeds, SliceKind::TraditionalFull)
     }
 
     /// Runs the §6.1 breadth-first inspection simulation.
@@ -321,12 +337,22 @@ impl Analysis {
         kind: SliceKind,
         threads: usize,
     ) -> Vec<Slice> {
-        self.batch_slices_telemetry(queries, kind, threads, &Telemetry::disabled())
+        let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
+        batch::ci_plain(
+            &self.csr,
+            &node_queries,
+            kind,
+            threads,
+            &Telemetry::disabled(),
+        )
     }
 
     /// [`Analysis::batch_slices`] recording batch telemetry (per-query
-    /// latency histogram, traversal counters); see
-    /// [`batch::slices_telemetry`].
+    /// latency histogram, traversal counters).
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `AnalysisSession::query_batch` with a traced `RunCtx` instead"
+    )]
     pub fn batch_slices_telemetry(
         &self,
         queries: &[Vec<StmtRef>],
@@ -335,22 +361,36 @@ impl Analysis {
         tel: &Telemetry,
     ) -> Vec<Slice> {
         let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
-        batch::slices_telemetry(&self.csr, &node_queries, kind, threads, tel)
+        batch::ci_plain(&self.csr, &node_queries, kind, threads, tel)
     }
 
-    /// A single slice from `seeds` under a resource [`Budget`]; see
-    /// [`slice::slice_from_governed`].
+    /// A single slice from `seeds` under a resource [`Budget`].
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `AnalysisSession::query` with a budgeted `QueryPolicy` instead"
+    )]
     pub fn slice_governed(
         &self,
         seeds: &[StmtRef],
         kind: SliceKind,
         budget: &Budget,
     ) -> Outcome<Slice> {
-        slice_from_governed(&self.csr, &self.nodes_of(seeds), kind, budget)
+        let (slice, completeness) = slice::slice_sparse(
+            &self.csr,
+            &self.nodes_of(seeds),
+            kind,
+            &mut SliceScratch::new(),
+            &mut budget.meter(),
+        );
+        Outcome::new(slice, completeness)
     }
 
     /// [`Analysis::batch_slices`] under a [`batch::BatchConfig`]: per-query
     /// budgets, panic isolation with bounded retry, per-query latency.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `AnalysisSession::query_batch_with` instead"
+    )]
     pub fn governed_batch_slices(
         &self,
         queries: &[Vec<StmtRef>],
@@ -359,7 +399,7 @@ impl Analysis {
         cfg: &BatchConfig,
     ) -> Vec<QueryOutcome> {
         let node_queries: Vec<Vec<NodeId>> = queries.iter().map(|ss| self.nodes_of(ss)).collect();
-        batch::governed_slices(&self.csr, &node_queries, kind, threads, cfg)
+        batch::ci_guarded(&self.csr, &node_queries, kind, threads, cfg)
     }
 
     /// Explains the aliasing between two heap accesses in a thin slice
@@ -433,7 +473,7 @@ class Main {
 
         let lines_of = |s: &Slice| -> Vec<u32> {
             let mut ls: Vec<u32> = s
-                .stmts_in_bfs_order
+                .stmts
                 .iter()
                 .map(|&st| a.program.instr(st).span)
                 .filter(|sp| !sp.is_synthetic() && a.program.files[sp.file].name == "fig1.mj")
@@ -505,5 +545,17 @@ class Main {
             thin.inspected,
             trad.inspected
         );
+    }
+
+    #[test]
+    fn session_and_facade_agree() {
+        let a = Analysis::build(&[("fig1.mj", FIGURE1)]).unwrap();
+        let mut s = AnalysisSession::new(&[("fig1.mj", FIGURE1)]).unwrap();
+        let seed = a.seed_at_line("fig1.mj", 15).unwrap();
+        assert_eq!(s.seed_at_line("fig1.mj", 15).unwrap(), seed);
+        let facade = a.thin_slice(&seed);
+        let session = s.query(&Query::new(seed, SliceKind::Thin, Engine::Ci));
+        assert_eq!(facade.stmts, session.stmts);
+        assert_eq!(facade.nodes, session.nodes);
     }
 }

@@ -3,6 +3,7 @@
 use crate::batch::QueryOutcome;
 use crate::inspect::InspectionResult;
 use crate::slice::Slice;
+use crate::stmtset::StmtSet;
 use std::collections::BTreeSet;
 use thinslice_ir::{pretty, Program, StmtRef};
 use thinslice_util::Completeness;
@@ -10,9 +11,16 @@ use thinslice_util::Completeness;
 /// Renders a slice as source lines, deduplicated and in inspection (BFS)
 /// order. Synthetic statements (compiler-generated) are skipped.
 pub fn slice_lines(program: &Program, slice: &Slice) -> Vec<String> {
+    stmt_lines(program, &slice.stmts)
+}
+
+/// [`slice_lines`] over a bare statement set (e.g. a
+/// [`SliceResult`](crate::SliceResult)'s `stmts`), in the set's canonical
+/// order.
+pub fn stmt_lines(program: &Program, stmts: &StmtSet) -> Vec<String> {
     let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
     let mut out = Vec::new();
-    for &s in &slice.stmts_in_bfs_order {
+    for &s in stmts {
         let span = program.instr(s).span;
         if span.is_synthetic() {
             continue;
@@ -35,7 +43,7 @@ fn render_line(program: &Program, s: StmtRef) -> String {
 /// for debugging the analyses themselves.
 pub fn slice_instrs(program: &Program, slice: &Slice) -> Vec<String> {
     slice
-        .stmts_in_bfs_order
+        .stmts
         .iter()
         .map(|&s| pretty::stmt_str(program, s))
         .collect()
@@ -108,10 +116,26 @@ pub fn governed_batch_footer(outcomes: &[QueryOutcome]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slice::{slice_from, SliceKind};
+    use crate::slice::{slice_sparse, SliceKind, SliceScratch};
     use thinslice_ir::{compile, InstrKind};
     use thinslice_pta::{Pta, PtaConfig};
     use thinslice_sdg::build_ci;
+    use thinslice_util::Meter;
+
+    fn slice_from(
+        sdg: &thinslice_sdg::Sdg,
+        seeds: &[thinslice_sdg::NodeId],
+        kind: SliceKind,
+    ) -> Slice {
+        slice_sparse(
+            sdg,
+            seeds,
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
 
     #[test]
     fn report_renders_source_lines_once() {

@@ -1,0 +1,695 @@
+//! The unified query session: one object, one entrypoint, every slicer.
+//!
+//! Before 0.4 the crate exposed a cross-product of entrypoints — four
+//! slicer families × {plain, telemetry, governed} × {one-shot, reusing} —
+//! and callers had to thread the right graph, scratch and meter through
+//! each. [`AnalysisSession`] collapses that surface:
+//!
+//! * it owns the pipeline's stage artifacts (compiled program → points-to
+//!   → dependence graph → frozen CSR → down-edge index → tabulation memo)
+//!   and builds each **lazily, once** — a session that only ever answers
+//!   context-insensitive queries never pays for the context-sensitive
+//!   graph, and repeated queries reuse warm scratch and memo state;
+//! * one [`RunCtx`] (telemetry + budget) threads through every stage, so
+//!   a traced or governed session needs no `_telemetry` / `_governed`
+//!   twin calls;
+//! * one request shape, [`Query`] — seeds, slice kind, engine, policy —
+//!   answered by [`AnalysisSession::query`] with one result shape,
+//!   [`SliceResult`].
+//!
+//! Cache invariants: stage artifacts are immutable once built (the MJ
+//! program never changes under a session), so memoisation is pure — a
+//! warm query returns exactly what a cold one would. The tabulation memo
+//! is keyed per slice kind because summary edges depend on which edges a
+//! kind follows; the CS scratch for one kind is never consulted for
+//! another.
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice::{AnalysisSession, Engine, Query, SliceKind};
+//!
+//! let mut session = AnalysisSession::new(&[(
+//!     "t.mj",
+//!     "class Main { static void main() {\nint x = 1;\nprint(x);\n} }",
+//! )])?;
+//! let seeds = session.seed_at_line("t.mj", 3).unwrap();
+//! let thin = session.query(&Query::new(seeds, SliceKind::Thin, Engine::Ci));
+//! assert!(thin.completeness.is_complete());
+//! assert!(!thin.stmts.is_empty());
+//! # Ok::<(), thinslice_ir::CompileError>(())
+//! ```
+
+use crate::batch::{run_batch, BatchConfig, FaultInjection, QueryOutcome};
+use crate::slice::{slice_dense, SliceKind, SliceScratch};
+use crate::stmtset::StmtSet;
+use crate::tabulation::{cs_reusing, CsScratch, DownConsumers};
+use crate::{Analysis, BuildReport};
+use thinslice_ir::{compile_ctx, CompileError, Program, StmtRef};
+use thinslice_pta::{ModRef, Pta, PtaConfig};
+use thinslice_sdg::{build_ci_ctx, build_cs_ctx, DepGraph, FrozenSdg, NodeId, Sdg};
+use thinslice_util::{Budget, Completeness, FxHashSet, RunCtx};
+
+/// Which slicing engine answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Context-insensitive reachability (BFS over the CI dependence
+    /// graph): cheap, may follow unrealisable call/return paths.
+    Ci,
+    /// Context-sensitive tabulation (demand-driven RHS summaries over the
+    /// heap-parameter graph): precise across calls, more expensive.
+    Cs,
+}
+
+/// Per-query execution policy: optional budget and degradation choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPolicy {
+    /// Resource budget for this query; `None` inherits the session
+    /// context's budget (unlimited for a disabled context).
+    pub budget: Option<Budget>,
+    /// Whether a context-sensitive query that exhausts its budget is
+    /// re-answered by the context-insensitive engine over the same graph
+    /// (the scalability ladder CS → CI → truncated).
+    pub degrade: bool,
+}
+
+impl Default for QueryPolicy {
+    fn default() -> Self {
+        QueryPolicy {
+            budget: None,
+            degrade: true,
+        }
+    }
+}
+
+/// One slicing request: what to slice from, which dependence relation to
+/// follow, which engine answers, and under what policy.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Seed statements (all IR statements of the seed line, typically).
+    pub seeds: Vec<StmtRef>,
+    /// The dependence relation to follow.
+    pub kind: SliceKind,
+    /// The engine that answers.
+    pub engine: Engine,
+    /// Budget and degradation policy.
+    pub policy: QueryPolicy,
+}
+
+impl Query {
+    /// A query with the default policy (inherit the session budget,
+    /// degrade on exhaustion).
+    pub fn new(seeds: Vec<StmtRef>, kind: SliceKind, engine: Engine) -> Query {
+        Query {
+            seeds,
+            kind,
+            engine,
+            policy: QueryPolicy::default(),
+        }
+    }
+
+    /// Replaces the policy.
+    pub fn with_policy(mut self, policy: QueryPolicy) -> Query {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The one slice-result shape: statements plus the honesty labels.
+#[derive(Debug, Clone)]
+pub struct SliceResult {
+    /// The engine that actually answered (after any degradation — a
+    /// degraded CS query reports [`Engine::Ci`]).
+    pub engine: Engine,
+    /// The dependence relation the slice followed.
+    pub kind: SliceKind,
+    /// Statements in the slice, in the answering engine's canonical
+    /// order: BFS (distance) order for reachability, sorted for
+    /// tabulation.
+    pub stmts: StmtSet,
+    /// All visited dependence-graph nodes.
+    pub nodes: FxHashSet<NodeId>,
+    /// Whether the traversal reached its fixpoint.
+    pub completeness: Completeness,
+    /// Whether a context-sensitive query fell back to the
+    /// context-insensitive slicer after exhausting its budget.
+    pub degraded: bool,
+}
+
+impl SliceResult {
+    /// Number of statements in the slice.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the slice is empty (possible only for unreachable seeds).
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Whether the slice contains `stmt`.
+    pub fn contains(&self, stmt: StmtRef) -> bool {
+        self.stmts.contains(stmt)
+    }
+
+    /// The statements as a hash set, for set algebra.
+    pub fn stmt_set(&self) -> FxHashSet<StmtRef> {
+        self.stmts.to_hash_set()
+    }
+}
+
+/// Batch-level robustness options for [`AnalysisSession::query_batch_with`]:
+/// everything about *how* a batch runs that is not per-query policy.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Cancel the remaining queries after the first hard query failure.
+    pub fail_fast: bool,
+    /// How many times a panicked query is retried on fresh scratch.
+    /// `None` keeps the engine default (one retry).
+    pub retries: Option<u32>,
+    /// Test-only deterministic fault injection. The fault's query index
+    /// counts positions within one (engine, kind, policy) group of the
+    /// batch — for a homogeneous batch, the original query index.
+    pub fault: Option<FaultInjection>,
+}
+
+/// The number of [`SliceKind`] variants, for per-kind memo slots.
+const KINDS: usize = 3;
+
+fn kind_slot(kind: SliceKind) -> usize {
+    match kind {
+        SliceKind::Thin => 0,
+        SliceKind::TraditionalData => 1,
+        SliceKind::TraditionalFull => 2,
+    }
+}
+
+/// A lazily-built, memoising slicing session over one program.
+///
+/// See the [module docs](self) for the architecture. All stage accessors
+/// take `&mut self` because they build on first use; everything built is
+/// kept for the session's lifetime.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    ctx: RunCtx,
+    config: PtaConfig,
+    program: Program,
+    pta: Option<(Pta, Completeness)>,
+    ci: Option<(Sdg, Completeness)>,
+    ci_csr: Option<FrozenSdg>,
+    cs: Option<Sdg>,
+    cs_csr: Option<FrozenSdg>,
+    cs_index: Option<DownConsumers>,
+    scratch: SliceScratch,
+    cs_scratch: [CsScratch; KINDS],
+}
+
+impl AnalysisSession {
+    /// Compiles `sources` (with the standard library) and opens a session
+    /// with a disabled context and the default points-to configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn new(sources: &[(&str, &str)]) -> Result<AnalysisSession, CompileError> {
+        Self::with_ctx(sources, PtaConfig::default(), RunCtx::disabled())
+    }
+
+    /// Compiles `sources` and opens a session whose every stage runs under
+    /// `ctx` — its telemetry records the pipeline spans, its budget
+    /// governs compilation-free stages (points-to, graph build) and is the
+    /// default budget for queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`CompileError`] from the frontend.
+    pub fn with_ctx(
+        sources: &[(&str, &str)],
+        config: PtaConfig,
+        ctx: RunCtx,
+    ) -> Result<AnalysisSession, CompileError> {
+        let program = compile_ctx(sources, &ctx)?;
+        Ok(Self::from_program(program, config, ctx))
+    }
+
+    /// Opens a session over an already-compiled program.
+    pub fn from_program(program: Program, config: PtaConfig, ctx: RunCtx) -> AnalysisSession {
+        AnalysisSession {
+            ctx,
+            config,
+            program,
+            pta: None,
+            ci: None,
+            ci_csr: None,
+            cs: None,
+            cs_csr: None,
+            cs_index: None,
+            scratch: SliceScratch::new(),
+            cs_scratch: [CsScratch::new(), CsScratch::new(), CsScratch::new()],
+        }
+    }
+
+    /// The session's run context.
+    pub fn ctx(&self) -> &RunCtx {
+        &self.ctx
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    // ---- lazy stage artifacts ----
+
+    fn ensure_pta(&mut self) {
+        if self.pta.is_none() {
+            self.pta = Some(Pta::analyze_ctx(
+                &self.program,
+                self.config.clone(),
+                &self.ctx,
+            ));
+        }
+    }
+
+    fn ensure_ci(&mut self) {
+        self.ensure_pta();
+        if self.ci.is_none() {
+            let (pta, _) = self.pta.as_ref().expect("pta ensured");
+            self.ci = Some(build_ci_ctx(&self.program, pta, &self.ctx));
+        }
+    }
+
+    fn ensure_ci_csr(&mut self) {
+        self.ensure_ci();
+        if self.ci_csr.is_none() {
+            let (sdg, _) = self.ci.as_ref().expect("ci ensured");
+            self.ci_csr = Some(sdg.freeze_ctx(&self.ctx));
+        }
+    }
+
+    fn ensure_cs(&mut self) {
+        self.ensure_pta();
+        if self.cs.is_none() {
+            let (pta, _) = self.pta.as_ref().expect("pta ensured");
+            let modref = ModRef::compute(&self.program, pta);
+            self.cs = Some(build_cs_ctx(&self.program, pta, &modref, &self.ctx));
+        }
+    }
+
+    fn ensure_cs_csr(&mut self) {
+        self.ensure_cs();
+        if self.cs_csr.is_none() {
+            let sdg = self.cs.as_ref().expect("cs ensured");
+            self.cs_csr = Some(sdg.freeze_ctx(&self.ctx));
+        }
+    }
+
+    fn ensure_cs_index(&mut self) {
+        self.ensure_cs_csr();
+        if self.cs_index.is_none() {
+            let csr = self.cs_csr.as_ref().expect("cs csr ensured");
+            self.cs_index = Some(DownConsumers::build(csr));
+        }
+    }
+
+    /// Points-to and call-graph results (built on first use).
+    pub fn pta(&mut self) -> &Pta {
+        self.ensure_pta();
+        &self.pta.as_ref().expect("pta ensured").0
+    }
+
+    /// The context-insensitive dependence graph (built on first use).
+    pub fn ci_sdg(&mut self) -> &Sdg {
+        self.ensure_ci();
+        &self.ci.as_ref().expect("ci ensured").0
+    }
+
+    /// The frozen (CSR) context-insensitive graph — what CI queries
+    /// traverse (built on first use).
+    pub fn ci_graph(&mut self) -> &FrozenSdg {
+        self.ensure_ci_csr();
+        self.ci_csr.as_ref().expect("ci csr ensured")
+    }
+
+    /// The frozen context-sensitive (heap-parameter) graph — what CS
+    /// queries traverse (built on first use). Expensive on large
+    /// programs; that is the paper's point.
+    pub fn cs_graph(&mut self) -> &FrozenSdg {
+        self.ensure_cs_csr();
+        self.cs_csr.as_ref().expect("cs csr ensured")
+    }
+
+    /// Per-stage completeness of the governed pipeline stages built so
+    /// far (forces points-to and the CI graph).
+    pub fn build_report(&mut self) -> BuildReport {
+        self.ensure_ci();
+        BuildReport {
+            pta: self.pta.as_ref().expect("pta ensured").1,
+            sdg: self.ci.as_ref().expect("ci ensured").1,
+        }
+    }
+
+    // ---- seed helpers ----
+
+    /// All IR statements on `line` of the source file named `file`
+    /// (excluding synthetic code), usable as a seed or desired set.
+    pub fn stmts_at_line(&self, file: &str, line: u32) -> Vec<StmtRef> {
+        self.program
+            .all_stmts()
+            .filter(|s| {
+                let span = self.program.instr(*s).span;
+                !span.is_synthetic()
+                    && span.line == line
+                    && self.program.files[span.file].name == file
+            })
+            .collect()
+    }
+
+    /// The seed statements for slicing "from `file:line`" — all reachable
+    /// statements on that line. Returns `None` when the line has no
+    /// reachable statement. Forces the CI graph (reachability is defined
+    /// against it).
+    pub fn seed_at_line(&mut self, file: &str, line: u32) -> Option<Vec<StmtRef>> {
+        let stmts = self.stmts_at_line(file, line);
+        let sdg = self.ci_sdg();
+        let stmts: Vec<StmtRef> = stmts
+            .into_iter()
+            .filter(|s| sdg.stmt_node(*s).is_some())
+            .collect();
+        if stmts.is_empty() {
+            None
+        } else {
+            Some(stmts)
+        }
+    }
+
+    // ---- the query entrypoints ----
+
+    /// The budget a query runs under: its own, or the session's.
+    fn effective_budget(&self, policy: &QueryPolicy) -> Budget {
+        policy
+            .budget
+            .clone()
+            .unwrap_or_else(|| self.ctx.budget().clone())
+    }
+
+    /// Answers one query. Artifacts the query needs are built on first
+    /// use; scratch and (for CS) the per-kind tabulation memo are reused
+    /// across queries, so a warm session answers repeated queries without
+    /// re-deriving anything — and, by the cache invariants, identically
+    /// to a cold one.
+    pub fn query(&mut self, q: &Query) -> SliceResult {
+        let budget = self.effective_budget(&q.policy);
+        let governed = !budget.is_unlimited();
+        let tel = self.ctx.telemetry().clone();
+        let mut span = tel.span("session.query");
+        let result = match q.engine {
+            Engine::Ci => {
+                self.ensure_ci_csr();
+                let graph = self.ci_csr.as_ref().expect("ci csr ensured");
+                let seeds = resolve_seeds(graph, &q.seeds);
+                let prefiltered = matches!(q.kind, SliceKind::TraditionalFull);
+                let mut meter = budget.meter();
+                let (slice, completeness) = slice_dense(
+                    graph,
+                    &seeds,
+                    q.kind,
+                    &mut self.scratch,
+                    prefiltered,
+                    &mut meter,
+                );
+                if governed {
+                    tel.count("govern.meter_checks", meter.slow_checks());
+                }
+                SliceResult {
+                    engine: Engine::Ci,
+                    kind: q.kind,
+                    stmts: slice.stmts,
+                    nodes: slice.nodes,
+                    completeness,
+                    degraded: false,
+                }
+            }
+            Engine::Cs => {
+                self.ensure_cs_index();
+                let graph = self.cs_csr.as_ref().expect("cs csr ensured");
+                let index = self.cs_index.as_ref().expect("cs index ensured");
+                let seeds = resolve_seeds(graph, &q.seeds);
+                let mut meter = budget.meter();
+                let (slice, completeness) = cs_reusing(
+                    graph,
+                    index,
+                    &seeds,
+                    q.kind,
+                    &mut self.cs_scratch[kind_slot(q.kind)],
+                    &mut meter,
+                );
+                if completeness.is_complete() || !q.policy.degrade {
+                    if governed {
+                        tel.count("govern.meter_checks", meter.slow_checks());
+                    }
+                    SliceResult {
+                        engine: Engine::Cs,
+                        kind: q.kind,
+                        stmts: slice.stmts,
+                        nodes: slice.nodes,
+                        completeness,
+                        degraded: false,
+                    }
+                } else {
+                    // Scalability ladder: re-answer with the CI engine
+                    // over the same graph, under a fresh meter.
+                    let mut ci_meter = budget.meter();
+                    let (ci, ci_completeness) = slice_dense(
+                        graph,
+                        &seeds,
+                        q.kind,
+                        &mut self.scratch,
+                        false,
+                        &mut ci_meter,
+                    );
+                    tel.count(
+                        "govern.meter_checks",
+                        meter.slow_checks() + ci_meter.slow_checks(),
+                    );
+                    tel.count("govern.degraded_queries", 1);
+                    SliceResult {
+                        engine: Engine::Ci,
+                        kind: q.kind,
+                        stmts: ci.stmts,
+                        nodes: ci.nodes,
+                        completeness: ci_completeness,
+                        degraded: true,
+                    }
+                }
+            }
+        };
+        span.add("slice.stmts", result.stmts.len() as u64);
+        result
+    }
+
+    /// Answers a batch of queries fanned out over `threads` workers, in
+    /// query order, with default robustness (see
+    /// [`AnalysisSession::query_batch_with`]).
+    pub fn query_batch(&mut self, queries: &[Query], threads: usize) -> Vec<QueryOutcome> {
+        self.query_batch_with(queries, threads, &BatchOptions::default())
+    }
+
+    /// Answers a batch of queries fanned out over `threads` workers.
+    ///
+    /// Queries are grouped by (engine, kind, policy) and each group runs
+    /// through the shared batch engine — graph and down-edge index built
+    /// once, per-worker scratch reuse, and (when any query is governed or
+    /// `opts` asks for isolation) per-query budgets with panic isolation.
+    /// Results come back in the original query order; each is identical
+    /// to what [`AnalysisSession::query`] would return for that query.
+    pub fn query_batch_with(
+        &mut self,
+        queries: &[Query],
+        threads: usize,
+        opts: &BatchOptions,
+    ) -> Vec<QueryOutcome> {
+        // Group by (engine, kind, policy), preserving in-group order.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            let found = groups.iter_mut().find(|(rep, _)| {
+                let r = &queries[*rep];
+                r.engine == q.engine && r.kind == q.kind && r.policy == q.policy
+            });
+            match found {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((i, vec![i])),
+            }
+        }
+        let mut out: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+        for (rep, idxs) in groups {
+            let q = &queries[rep];
+            let budget = self.effective_budget(&q.policy);
+            let ctx = self.ctx.clone().with_budget(budget);
+            let cfg = BatchConfig {
+                ctx,
+                fail_fast: opts.fail_fast,
+                retries: opts.retries.unwrap_or(BatchConfig::default().retries),
+                fault: opts.fault,
+                degrade: q.policy.degrade,
+            };
+            let graph = match q.engine {
+                Engine::Ci => {
+                    self.ensure_ci_csr();
+                    self.ci_csr.as_ref().expect("ci csr ensured")
+                }
+                Engine::Cs => {
+                    self.ensure_cs_csr();
+                    self.cs_csr.as_ref().expect("cs csr ensured")
+                }
+            };
+            let node_q: Vec<Vec<NodeId>> = idxs
+                .iter()
+                .map(|&i| resolve_seeds(graph, &queries[i].seeds))
+                .collect();
+            let results = run_batch(graph, &node_q, q.kind, q.engine, threads, &cfg);
+            for (&i, r) in idxs.iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every query answered by its group"))
+            .collect()
+    }
+
+    /// Converts the session into the eager [`Analysis`] façade (forces
+    /// the CI pipeline). The CS artifacts, if built, are dropped.
+    pub fn into_analysis(mut self) -> Analysis {
+        self.ensure_ci_csr();
+        Analysis {
+            program: self.program,
+            pta: self.pta.expect("pta ensured").0,
+            sdg: self.ci.expect("ci ensured").0,
+            csr: self.ci_csr.expect("ci csr ensured"),
+        }
+    }
+}
+
+/// Resolves statement seeds to graph nodes.
+fn resolve_seeds(graph: &FrozenSdg, seeds: &[StmtRef]) -> Vec<NodeId> {
+    seeds
+        .iter()
+        .flat_map(|&s| graph.stmt_nodes_of(s).to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "class Box { Object item;
+        void fill(Object o) { this.item = o; }
+        Object take() { return this.item; }
+     }
+     class Main { static void main() {
+        Box b = new Box();
+        String s = \"x\";
+        b.fill(s);
+        Object got = b.take();
+        print(got);
+     } }";
+
+    #[test]
+    fn session_builds_stages_lazily() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        assert!(s.pta.is_none() && s.ci.is_none() && s.cs.is_none());
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        assert!(s.pta.is_some() && s.ci.is_some(), "seed lookup forces CI");
+        assert!(s.cs.is_none(), "CS graph not built until a CS query");
+        let r = s.query(&Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci));
+        assert!(s.cs.is_none());
+        assert!(r.completeness.is_complete() && !r.degraded);
+        let r2 = s.query(&Query::new(seeds, SliceKind::Thin, Engine::Cs));
+        assert!(s.cs.is_some(), "CS query forces the CS graph");
+        assert!(r2.completeness.is_complete());
+        assert_eq!(r2.engine, Engine::Cs);
+    }
+
+    #[test]
+    fn warm_queries_match_cold_queries() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        for engine in [Engine::Ci, Engine::Cs] {
+            for kind in [
+                SliceKind::Thin,
+                SliceKind::TraditionalData,
+                SliceKind::TraditionalFull,
+            ] {
+                let q = Query::new(seeds.clone(), kind, engine);
+                let cold = s.query(&q);
+                let warm = s.query(&q);
+                assert_eq!(cold.stmts, warm.stmts, "{engine:?}/{kind:?}");
+                assert_eq!(cold.nodes, warm.nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        // A heterogeneous batch: both engines, two kinds.
+        let queries = vec![
+            Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci),
+            Query::new(seeds.clone(), SliceKind::Thin, Engine::Cs),
+            Query::new(seeds.clone(), SliceKind::TraditionalData, Engine::Ci),
+            Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci),
+        ];
+        let batched = s.query_batch(&queries, 2);
+        assert_eq!(batched.len(), queries.len());
+        for (q, out) in queries.iter().zip(&batched) {
+            let single = s.query(q);
+            let got = out.slice.as_ref().expect("no faults injected");
+            assert_eq!(got.stmts, single.stmts, "{:?}/{:?}", q.engine, q.kind);
+            assert_eq!(got.nodes, single.nodes);
+            assert_eq!(got.engine, single.engine);
+        }
+    }
+
+    #[test]
+    fn governed_query_truncates_honestly() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        let full = s.query(&Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci));
+        let tight = QueryPolicy {
+            budget: Some(Budget::unlimited().with_step_limit(1)),
+            degrade: true,
+        };
+        let partial = s.query(&Query::new(seeds, SliceKind::Thin, Engine::Ci).with_policy(tight));
+        assert!(!partial.completeness.is_complete());
+        assert!(partial.stmts.is_subset(&full.stmts));
+        // The truncated CI result is a prefix of the full BFS order.
+        assert_eq!(
+            partial.stmts.in_order(),
+            &full.stmts.in_order()[..partial.stmts.len()]
+        );
+    }
+
+    #[test]
+    fn governed_cs_query_degrades_to_ci() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        let tight = QueryPolicy {
+            budget: Some(Budget::unlimited().with_step_limit(1)),
+            degrade: true,
+        };
+        let out = s.query(
+            &Query::new(seeds.clone(), SliceKind::Thin, Engine::Cs).with_policy(tight.clone()),
+        );
+        assert!(out.degraded, "a one-step CS budget must degrade");
+        assert_eq!(out.engine, Engine::Ci);
+        let no_ladder = QueryPolicy {
+            degrade: false,
+            ..tight
+        };
+        let out = s.query(&Query::new(seeds, SliceKind::Thin, Engine::Cs).with_policy(no_ladder));
+        assert!(!out.degraded);
+        assert_eq!(out.engine, Engine::Cs);
+        assert!(!out.completeness.is_complete());
+    }
+}

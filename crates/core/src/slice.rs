@@ -1,8 +1,15 @@
 //! Context-insensitive slicing as graph reachability (paper §5.2).
+//!
+//! One metered BFS serves every caller: the ungoverned entrypoints pass an
+//! unlimited [`Meter`] (one predictable branch per node), the governed ones
+//! an armed meter. The [`crate::AnalysisSession`] query path and the batch
+//! engine drive the same loops through [`crate::Query`]; the free
+//! functions of earlier releases survive as deprecated delegating wrappers.
 
+use crate::stmtset::StmtSet;
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DenseDisplay, DepGraph, NodeId, NO_DISPLAY};
-use thinslice_util::{BitSet, Budget, FxHashSet, Meter, Outcome, Worklist};
+use thinslice_util::{BitSet, Budget, Completeness, FxHashSet, Meter, Outcome, Worklist};
 
 /// Which dependence relation a slice follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,28 +45,28 @@ pub struct Slice {
     /// All visited nodes (statements and connective nodes).
     pub nodes: FxHashSet<NodeId>,
     /// Statements in the slice, in BFS (distance) order from the seed.
-    pub stmts_in_bfs_order: Vec<StmtRef>,
+    pub stmts: StmtSet,
 }
 
 impl Slice {
-    /// Statements in the slice as a set.
+    /// Statements in the slice as a hash set.
     pub fn stmt_set(&self) -> FxHashSet<StmtRef> {
-        self.stmts_in_bfs_order.iter().copied().collect()
+        self.stmts.to_hash_set()
     }
 
     /// Whether the slice contains `stmt`.
     pub fn contains(&self, stmt: StmtRef) -> bool {
-        self.stmts_in_bfs_order.contains(&stmt)
+        self.stmts.contains(stmt)
     }
 
     /// Number of statements in the slice.
     pub fn len(&self) -> usize {
-        self.stmts_in_bfs_order.len()
+        self.stmts.len()
     }
 
     /// Whether the slice is empty (possible only for unreachable seeds).
     pub fn is_empty(&self) -> bool {
-        self.stmts_in_bfs_order.is_empty()
+        self.stmts.is_empty()
     }
 }
 
@@ -75,8 +82,8 @@ pub struct SliceScratch {
     touched: Vec<NodeId>,
     frontier: Worklist<NodeId>,
     stmt_set: FxHashSet<StmtRef>,
-    /// Dense-id statement dedup for [`slice_dense_reusing`]; mirrors
-    /// `stmt_set` but costs a bit test instead of a hash per node.
+    /// Dense-id statement dedup for [`slice_dense`]; mirrors `stmt_set`
+    /// but costs a bit test instead of a hash per node.
     stmt_seen: BitSet<u32>,
     stmt_touched: Vec<u32>,
 }
@@ -88,91 +95,20 @@ impl SliceScratch {
     }
 }
 
-/// Computes a backward slice from `seeds` by BFS over the edges `kind`
-/// follows. Seeds at distance 0; ties broken by discovery order.
-///
-/// Generic over [`DepGraph`]: runs identically over the growable
-/// [`thinslice_sdg::Sdg`] and its frozen CSR form
-/// ([`thinslice_sdg::FrozenSdg`]), which is the fast path for repeated
-/// queries.
-pub fn slice_from<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> Slice {
-    slice_from_reusing(sdg, seeds, kind, &mut SliceScratch::new())
-}
-
-/// [`slice_from`] with caller-provided scratch buffers — the batched
-/// engine's per-worker inner loop. The result is identical to
-/// [`slice_from`]'s for any scratch state left by previous queries.
-pub fn slice_from_reusing<G: DepGraph>(
-    sdg: &G,
-    seeds: &[NodeId],
-    kind: SliceKind,
-    scratch: &mut SliceScratch,
-) -> Slice {
-    let SliceScratch {
-        visited,
-        touched,
-        frontier,
-        stmt_set,
-        ..
-    } = scratch;
-    let mut stmts = Vec::new();
-    for &s in seeds {
-        frontier.push(s);
-    }
-    while let Some(n) = frontier.pop() {
-        if !visited.insert(n) {
-            continue;
-        }
-        touched.push(n);
-        if let Some(stmt) = sdg.display_stmt(n) {
-            if stmt_set.insert(stmt) {
-                stmts.push(stmt);
-            }
-        }
-        for e in sdg.deps(n) {
-            if kind.follows(&e.kind) && !visited.contains(e.target) {
-                frontier.push(e.target);
-            }
-        }
-    }
-    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
-    for n in touched.drain(..) {
-        visited.remove(n);
-    }
-    stmt_set.clear();
-    Slice {
-        kind,
-        nodes,
-        stmts_in_bfs_order: stmts,
-    }
-}
-
-/// [`slice_from`] under a resource [`Budget`].
-///
-/// Runs the identical BFS; once the budget is exhausted the traversal stops
-/// pulling from the frontier and the visited prefix — a subset of the
-/// unbudgeted slice, in the same discovery order — is returned labelled
-/// `Truncated` with the abandoned frontier size. With an unlimited budget
-/// the result is bit-identical to [`slice_from`].
-pub fn slice_from_governed<G: DepGraph>(
-    sdg: &G,
-    seeds: &[NodeId],
-    kind: SliceKind,
-    budget: &Budget,
-) -> Outcome<Slice> {
-    let mut meter = budget.meter();
-    slice_from_governed_reusing(sdg, seeds, kind, &mut SliceScratch::new(), &mut meter)
-}
-
-/// [`slice_from_governed`] with caller-provided scratch and an armed meter
-/// (the batched engine's governed inner loop).
-pub fn slice_from_governed_reusing<G: DepGraph>(
+/// The one backward-BFS loop: metered, generic over [`DepGraph`], hash
+/// statement dedup. Seeds at distance 0; ties broken by discovery order.
+/// With an unlimited meter the completeness is always `Complete` and the
+/// traversal matches the historical ungoverned loop bit-for-bit; once an
+/// armed meter exhausts, the traversal stops pulling from the frontier and
+/// the visited prefix — a subset of the full slice, in the same discovery
+/// order — is returned `Truncated` with the abandoned frontier size.
+pub(crate) fn slice_sparse<G: DepGraph>(
     sdg: &G,
     seeds: &[NodeId],
     kind: SliceKind,
     scratch: &mut SliceScratch,
     meter: &mut Meter,
-) -> Outcome<Slice> {
+) -> (Slice, Completeness) {
     let SliceScratch {
         visited,
         touched,
@@ -212,27 +148,32 @@ pub fn slice_from_governed_reusing<G: DepGraph>(
         visited.remove(n);
     }
     stmt_set.clear();
-    Outcome::new(
+    (
         Slice {
             kind,
             nodes,
-            stmts_in_bfs_order: stmts,
+            stmts: StmtSet::from_ordered(stmts),
         },
         completeness,
     )
 }
 
-/// [`slice_dense_reusing`]'s governed twin: the dense-display fast path of
-/// the batched engine, under an armed meter. Traversal order matches the
-/// ungoverned loop exactly; only the budget branch is added.
-pub(crate) fn slice_dense_governed_reusing<G: DenseDisplay>(
+/// [`slice_sparse`] over a frozen graph, using its dense statement
+/// numbering ([`DenseDisplay`]) so the per-node statement dedup is a bit
+/// test instead of a hash — the batched engine's per-worker inner loop.
+/// With `prefiltered` the graph's edges are already exactly the ones
+/// `kind` follows (see `FrozenSdg::filtered`) and the inner loop skips the
+/// per-edge kind test. Discovery order — and therefore the slice — matches
+/// [`slice_sparse`] on the same dependence relation exactly; only the
+/// dedup bookkeeping differs.
+pub(crate) fn slice_dense<G: DenseDisplay>(
     sdg: &G,
     seeds: &[NodeId],
     kind: SliceKind,
     scratch: &mut SliceScratch,
     prefiltered: bool,
     meter: &mut Meter,
-) -> Outcome<Slice> {
+) -> (Slice, Completeness) {
     let SliceScratch {
         visited,
         touched,
@@ -274,70 +215,85 @@ pub(crate) fn slice_dense_governed_reusing<G: DenseDisplay>(
     for d in stmt_touched.drain(..) {
         stmt_seen.remove(d);
     }
-    Outcome::new(
+    (
         Slice {
             kind,
             nodes,
-            stmts_in_bfs_order: stmts,
+            stmts: StmtSet::from_ordered(stmts),
         },
         completeness,
     )
 }
 
-/// [`slice_from_reusing`] over a frozen graph, using its dense statement
-/// numbering ([`DenseDisplay`]) so the per-node statement dedup is a bit
-/// test instead of a hash. With `prefiltered` the graph's edges are
-/// already exactly the ones `kind` follows (see `FrozenSdg::filtered`)
-/// and the inner loop skips the per-edge kind test. Discovery order — and
-/// therefore the slice — matches [`slice_from`] on the same dependence
-/// relation exactly; only the dedup bookkeeping differs.
-pub(crate) fn slice_dense_reusing<G: DenseDisplay>(
+/// Computes a backward slice from `seeds` by BFS over the edges `kind`
+/// follows. Seeds at distance 0; ties broken by discovery order.
+///
+/// Generic over [`DepGraph`]: runs identically over the growable
+/// [`thinslice_sdg::Sdg`] and its frozen CSR form
+/// ([`thinslice_sdg::FrozenSdg`]), which is the fast path for repeated
+/// queries.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query` instead")]
+pub fn slice_from<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> Slice {
+    slice_sparse(
+        sdg,
+        seeds,
+        kind,
+        &mut SliceScratch::new(),
+        &mut Meter::unlimited(),
+    )
+    .0
+}
+
+/// [`slice_from`] with caller-provided scratch buffers. The result is
+/// identical to [`slice_from`]'s for any scratch state left by previous
+/// queries.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query` instead")]
+pub fn slice_from_reusing<G: DepGraph>(
     sdg: &G,
     seeds: &[NodeId],
     kind: SliceKind,
     scratch: &mut SliceScratch,
-    prefiltered: bool,
 ) -> Slice {
-    let SliceScratch {
-        visited,
-        touched,
-        frontier,
-        stmt_seen,
-        stmt_touched,
-        ..
-    } = scratch;
-    let mut stmts = Vec::new();
-    for &s in seeds {
-        frontier.push(s);
-    }
-    while let Some(n) = frontier.pop() {
-        if !visited.insert(n) {
-            continue;
-        }
-        touched.push(n);
-        let d = sdg.display_dense(n);
-        if d != NO_DISPLAY && stmt_seen.insert(d) {
-            stmt_touched.push(d);
-            stmts.push(sdg.dense_stmt(d));
-        }
-        for e in sdg.deps(n) {
-            if (prefiltered || kind.follows(&e.kind)) && !visited.contains(e.target) {
-                frontier.push(e.target);
-            }
-        }
-    }
-    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
-    for n in touched.drain(..) {
-        visited.remove(n);
-    }
-    for d in stmt_touched.drain(..) {
-        stmt_seen.remove(d);
-    }
-    Slice {
-        kind,
-        nodes,
-        stmts_in_bfs_order: stmts,
-    }
+    slice_sparse(sdg, seeds, kind, scratch, &mut Meter::unlimited()).0
+}
+
+/// [`slice_from`] under a resource [`Budget`].
+///
+/// Runs the identical BFS; once the budget is exhausted the traversal stops
+/// pulling from the frontier and the visited prefix — a subset of the
+/// unbudgeted slice, in the same discovery order — is returned labelled
+/// `Truncated` with the abandoned frontier size. With an unlimited budget
+/// the result is bit-identical to [`slice_from`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `AnalysisSession::query` with a budgeted `QueryPolicy` instead"
+)]
+pub fn slice_from_governed<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    budget: &Budget,
+) -> Outcome<Slice> {
+    let mut meter = budget.meter();
+    let (slice, completeness) =
+        slice_sparse(sdg, seeds, kind, &mut SliceScratch::new(), &mut meter);
+    Outcome::new(slice, completeness)
+}
+
+/// [`slice_from_governed`] with caller-provided scratch and an armed meter.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `AnalysisSession::query` with a budgeted `QueryPolicy` instead"
+)]
+pub fn slice_from_governed_reusing<G: DepGraph>(
+    sdg: &G,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut SliceScratch,
+    meter: &mut Meter,
+) -> Outcome<Slice> {
+    let (slice, completeness) = slice_sparse(sdg, seeds, kind, scratch, meter);
+    Outcome::new(slice, completeness)
 }
 
 #[cfg(test)]
@@ -352,6 +308,17 @@ mod tests {
         let pta = Pta::analyze(&p, PtaConfig::default());
         let sdg = build_ci(&p, &pta);
         (p, sdg)
+    }
+
+    fn slice(sdg: &Sdg, seeds: &[NodeId], kind: SliceKind) -> Slice {
+        slice_sparse(
+            sdg,
+            seeds,
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
     }
 
     fn print_seed(p: &thinslice_ir::Program, sdg: &Sdg) -> NodeId {
@@ -379,8 +346,8 @@ mod tests {
             } }",
         );
         let seed = print_seed(&p, &sdg);
-        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
-        let trad = slice_from(&sdg, &[seed], SliceKind::TraditionalData);
+        let thin = slice(&sdg, &[seed], SliceKind::Thin);
+        let trad = slice(&sdg, &[seed], SliceKind::TraditionalData);
 
         // The string literal (producer) is in both slices.
         let lit = p
@@ -424,7 +391,7 @@ mod tests {
             } }",
         );
         let seed = print_seed(&p, &sdg);
-        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let thin = slice(&sdg, &[seed], SliceKind::Thin);
         let alloc = p
             .all_stmts()
             .find(|s| {
@@ -453,8 +420,8 @@ mod tests {
             } }",
         );
         let seed = print_seed(&p, &sdg);
-        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
-        let full = slice_from(&sdg, &[seed], SliceKind::TraditionalFull);
+        let thin = slice(&sdg, &[seed], SliceKind::Thin);
+        let full = slice(&sdg, &[seed], SliceKind::TraditionalFull);
         let if_stmt = p
             .all_stmts()
             .find(|s| s.method == p.main_method && matches!(p.instr(*s).kind, InstrKind::If { .. }))
@@ -486,11 +453,31 @@ mod tests {
             SliceKind::TraditionalData,
             SliceKind::TraditionalFull,
         ] {
-            let warm = slice_from(&sdg, &[seed], kind);
-            let cold = slice_from(&frozen, &[seed], kind);
+            let warm = slice(&sdg, &[seed], kind);
+            let cold = slice_sparse(
+                &frozen,
+                &[seed],
+                kind,
+                &mut SliceScratch::new(),
+                &mut Meter::unlimited(),
+            )
+            .0;
+            let dense = slice_dense(
+                &frozen,
+                &[seed],
+                kind,
+                &mut SliceScratch::new(),
+                false,
+                &mut Meter::unlimited(),
+            )
+            .0;
             assert_eq!(
-                warm.stmts_in_bfs_order, cold.stmts_in_bfs_order,
+                warm.stmts, cold.stmts,
                 "{kind:?}: BFS order must be bit-identical over the CSR graph"
+            );
+            assert_eq!(
+                warm.stmts, dense.stmts,
+                "{kind:?}: the dense-dedup loop must match too"
             );
             assert_eq!(warm.nodes, cold.nodes);
         }
@@ -500,9 +487,9 @@ mod tests {
     fn seed_is_in_its_own_slice() {
         let (p, sdg) = setup("class Main { static void main() { print(1); } }");
         let seed = print_seed(&p, &sdg);
-        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let thin = slice(&sdg, &[seed], SliceKind::Thin);
         assert_eq!(
-            thin.stmts_in_bfs_order.first().copied(),
+            thin.stmts.in_order().first().copied(),
             sdg.node(seed).as_stmt()
         );
     }
@@ -518,9 +505,9 @@ mod tests {
             } }",
         );
         let seed = print_seed(&p, &sdg);
-        let thin = slice_from(&sdg, &[seed], SliceKind::Thin);
+        let thin = slice(&sdg, &[seed], SliceKind::Thin);
         // Seed first; then c's def, then b's, then a's chain.
-        let order = &thin.stmts_in_bfs_order;
+        let order = thin.stmts.in_order();
         let pos = |pred: &dyn Fn(&InstrKind) -> bool| {
             order.iter().position(|s| pred(&p.instr(*s).kind)).unwrap()
         };

@@ -9,6 +9,7 @@
 //! are computed lazily as entry nodes are reached from exits.
 
 use crate::slice::SliceKind;
+use crate::stmtset::StmtSet;
 use std::collections::VecDeque;
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DepGraph, EdgeKind, NodeId, NodeKind};
@@ -20,8 +21,10 @@ use thinslice_util::{Idx, IdxVec};
 pub struct CsSlice {
     /// All nodes in the slice.
     pub nodes: FxHashSet<NodeId>,
-    /// The statements in the slice.
-    pub stmts: FxHashSet<StmtRef>,
+    /// The statements in the slice, in sorted order (tabulation discovery
+    /// order depends on the storage backend, so sorting is the canonical
+    /// order that makes results comparable across backends).
+    pub stmts: StmtSet,
 }
 
 impl CsSlice {
@@ -37,8 +40,17 @@ impl CsSlice {
 
     /// Whether the slice contains `stmt`.
     pub fn contains(&self, stmt: StmtRef) -> bool {
-        self.stmts.contains(&stmt)
+        self.stmts.contains(stmt)
     }
+}
+
+/// Builds the canonical (sorted, deduplicated) [`StmtSet`] of a finished
+/// tabulation from its reached nodes.
+fn harvest_stmts<G: DepGraph>(sdg: &G, reached: impl Iterator<Item = NodeId>) -> StmtSet {
+    let mut stmts: Vec<StmtRef> = reached.filter_map(|n| sdg.display_stmt(n)).collect();
+    stmts.sort_unstable();
+    stmts.dedup();
+    StmtSet::from_ordered(stmts)
 }
 
 /// The source of a tabulation path edge: either the seed region (ascending
@@ -83,8 +95,16 @@ fn classify<G: DepGraph>(kind: &EdgeKind, sdg: &G, target: NodeId) -> Step {
 /// labels, so summarisation cannot continue past them and heap-borne flow
 /// is truncated; the paper likewise only pairs tabulation with heap
 /// parameters (§5.3).
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query` instead")]
 pub fn cs_slice<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
-    cs_slice_indexed(sdg, &DownConsumers::build(sdg), seeds, kind)
+    cs_oneshot(
+        sdg,
+        &DownConsumers::build(sdg),
+        seeds,
+        kind,
+        &mut Meter::unlimited(),
+    )
+    .0
 }
 
 /// The down-edge index tabulation needs: (site, exit node) → caller-side
@@ -196,7 +216,7 @@ impl TabStore for SparseStore {
         // Nothing is memoised across queries, so truncation needs no
         // special handling: everything is cleared either way.
         let nodes: FxHashSet<NodeId> = self.path.keys().copied().collect();
-        let stmts = nodes.iter().filter_map(|&n| sdg.display_stmt(n)).collect();
+        let stmts = harvest_stmts(sdg, nodes.iter().copied());
         self.path.clear();
         self.summaries.clear();
         CsSlice { nodes, stmts }
@@ -395,11 +415,7 @@ impl TabStore for DenseStore {
 
     fn finish<G: DepGraph>(&mut self, sdg: &G, complete: bool) -> CsSlice {
         let nodes: FxHashSet<NodeId> = self.reached.iter().copied().collect();
-        let stmts = self
-            .reached
-            .iter()
-            .filter_map(|&n| sdg.display_stmt(n))
-            .collect();
+        let stmts = harvest_stmts(sdg, self.reached.iter().copied());
         if complete {
             // Harvest the regions this query completed: the worklist has
             // drained, so every exit first explored here is at fixpoint.
@@ -434,13 +450,13 @@ impl TabStore for DenseStore {
     }
 }
 
-/// Reusable tabulation state for the batched engine: a [`DenseStore`] plus
+/// Reusable tabulation state for the batched engine: a dense store plus
 /// the worklist and staging buffers. Kept per worker; per-query state is
 /// cleared between queries retaining capacity, while memoised graph facts
 /// (summaries, callee-exit regions) persist and make later queries
 /// cheaper. In steady state a query allocates nothing but its result.
 /// One-shot entry points ([`cs_slice`],
-/// [`cs_slice_indexed`]) use a [`SparseStore`] instead, which needs no
+/// [`cs_slice_indexed`]) use a sparse store instead, which needs no
 /// O(graph) setup — so their latency is untouched by the batch machinery.
 #[derive(Debug, Default)]
 pub struct CsScratch {
@@ -467,15 +483,16 @@ impl CsScratch {
     }
 }
 
-/// [`cs_slice`] with a prebuilt [`DownConsumers`] index for `sdg`. The
-/// index depends only on the graph, so it can be shared across any number
-/// of queries (and threads).
-pub fn cs_slice_indexed<G: DepGraph>(
+/// The one-shot metered tabulation: a fresh [`SparseStore`] (no O(graph)
+/// setup, cost proportional to the slice), a shared down-edge index and a
+/// caller-armed meter. All single-query entrypoints delegate here.
+pub(crate) fn cs_oneshot<G: DepGraph>(
     sdg: &G,
     index: &DownConsumers,
     seeds: &[NodeId],
     kind: SliceKind,
-) -> CsSlice {
+    meter: &mut Meter,
+) -> (CsSlice, Completeness) {
     let mut store = SparseStore::default();
     tabulate(
         sdg,
@@ -486,9 +503,51 @@ pub fn cs_slice_indexed<G: DepGraph>(
         &mut VecDeque::new(),
         &mut Vec::new(),
         &mut Vec::new(),
-        &mut Meter::unlimited(),
+        meter,
     )
-    .0
+}
+
+/// The scratch-reusing metered tabulation — the batched engine's and the
+/// session's inner loop.
+///
+/// The scratch memoises summary edges and callee-exit regions, which are
+/// facts of the (graph, kind) pair — so a scratch may only be reused
+/// across queries on the **same graph with the same slice kind**. Under
+/// that contract the result is identical for any scratch left by previous
+/// queries, and a truncated query leaves no unsound memoised state behind
+/// (regions it explored are re-explored by the next query that needs
+/// them).
+pub(crate) fn cs_reusing<G: DepGraph>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+    scratch: &mut CsScratch,
+    meter: &mut Meter,
+) -> (CsSlice, Completeness) {
+    let CsScratch {
+        store,
+        wl,
+        tmp_srcs,
+        tmp_conts,
+    } = scratch;
+    store.ensure(sdg.node_count());
+    tabulate(
+        sdg, index, seeds, kind, store, wl, tmp_srcs, tmp_conts, meter,
+    )
+}
+
+/// [`cs_slice`] with a prebuilt [`DownConsumers`] index for `sdg`. The
+/// index depends only on the graph, so it can be shared across any number
+/// of queries (and threads).
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query` instead")]
+pub fn cs_slice_indexed<G: DepGraph>(
+    sdg: &G,
+    index: &DownConsumers,
+    seeds: &[NodeId],
+    kind: SliceKind,
+) -> CsSlice {
+    cs_oneshot(sdg, index, seeds, kind, &mut Meter::unlimited()).0
 }
 
 /// [`cs_slice`] under a resource [`Budget`].
@@ -497,33 +556,28 @@ pub fn cs_slice_indexed<G: DepGraph>(
 /// edges — a subset of the fixpoint relation, since it only grows — are
 /// returned labelled `Truncated` with the abandoned worklist size. With an
 /// unlimited budget the result is bit-identical to [`cs_slice`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `AnalysisSession::query` with a budgeted `QueryPolicy` instead"
+)]
 pub fn cs_slice_governed<G: DepGraph>(
     sdg: &G,
     seeds: &[NodeId],
     kind: SliceKind,
     budget: &Budget,
 ) -> Outcome<CsSlice> {
-    let mut store = SparseStore::default();
     let mut meter = budget.meter();
-    let (slice, completeness) = tabulate(
-        sdg,
-        &DownConsumers::build(sdg),
-        seeds,
-        kind,
-        &mut store,
-        &mut VecDeque::new(),
-        &mut Vec::new(),
-        &mut Vec::new(),
-        &mut meter,
-    );
+    let (slice, completeness) =
+        cs_oneshot(sdg, &DownConsumers::build(sdg), seeds, kind, &mut meter);
     Outcome::new(slice, completeness)
 }
 
 /// [`cs_slice_governed`] with a shared index, caller-provided scratch and
-/// an armed meter — the batched engine's governed inner loop. The scratch
-/// contract of [`cs_slice_reusing`] applies; a truncated query leaves no
-/// unsound memoised state behind (regions it explored are re-explored by
-/// the next query that needs them).
+/// an armed meter. The scratch contract of [`cs_slice_reusing`] applies.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `AnalysisSession::query` with a budgeted `QueryPolicy` instead"
+)]
 pub fn cs_slice_governed_reusing<G: DepGraph>(
     sdg: &G,
     index: &DownConsumers,
@@ -532,27 +586,13 @@ pub fn cs_slice_governed_reusing<G: DepGraph>(
     scratch: &mut CsScratch,
     meter: &mut Meter,
 ) -> Outcome<CsSlice> {
-    let CsScratch {
-        store,
-        wl,
-        tmp_srcs,
-        tmp_conts,
-    } = scratch;
-    store.ensure(sdg.node_count());
-    let (slice, completeness) = tabulate(
-        sdg, index, seeds, kind, store, wl, tmp_srcs, tmp_conts, meter,
-    );
+    let (slice, completeness) = cs_reusing(sdg, index, seeds, kind, scratch, meter);
     Outcome::new(slice, completeness)
 }
 
-/// [`cs_slice_indexed`] with caller-provided scratch state.
-///
-/// The scratch memoises summary edges and callee-exit regions, which are
-/// facts of the (graph, kind) pair — so a scratch may only be reused
-/// across queries on the **same graph with the same slice kind** (as the
-/// batched engine does, one scratch per worker per batch). Under that
-/// contract the result is identical for any scratch left by previous
-/// queries.
+/// [`cs_slice_indexed`] with caller-provided scratch state; see
+/// [`CsScratch`]'s scratch contract.
+#[deprecated(since = "0.4.0", note = "use `AnalysisSession::query` instead")]
 pub fn cs_slice_reusing<G: DepGraph>(
     sdg: &G,
     index: &DownConsumers,
@@ -560,25 +600,7 @@ pub fn cs_slice_reusing<G: DepGraph>(
     kind: SliceKind,
     scratch: &mut CsScratch,
 ) -> CsSlice {
-    let CsScratch {
-        store,
-        wl,
-        tmp_srcs,
-        tmp_conts,
-    } = scratch;
-    store.ensure(sdg.node_count());
-    tabulate(
-        sdg,
-        index,
-        seeds,
-        kind,
-        store,
-        wl,
-        tmp_srcs,
-        tmp_conts,
-        &mut Meter::unlimited(),
-    )
-    .0
+    cs_reusing(sdg, index, seeds, kind, scratch, &mut Meter::unlimited()).0
 }
 
 /// The paper's §5.3 tabulation, generic over graph and storage; see
@@ -675,10 +697,32 @@ fn tabulate<G: DepGraph, S: TabStore>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slice::{slice_from, SliceKind};
+    use crate::slice::{slice_sparse, SliceKind, SliceScratch};
     use thinslice_ir::{compile, InstrKind, Program};
     use thinslice_pta::{ModRef, Pta, PtaConfig};
     use thinslice_sdg::{build_ci, build_cs, Sdg};
+
+    fn cs_slice<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> CsSlice {
+        cs_oneshot(
+            sdg,
+            &DownConsumers::build(sdg),
+            seeds,
+            kind,
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
+
+    fn slice_from<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> crate::Slice {
+        slice_sparse(
+            sdg,
+            seeds,
+            kind,
+            &mut SliceScratch::new(),
+            &mut Meter::unlimited(),
+        )
+        .0
+    }
 
     fn setup(src: &str) -> (Program, Sdg, Sdg) {
         let p = compile(&[("t.mj", src)]).unwrap();
@@ -770,7 +814,7 @@ mod tests {
         let seed = print_seed(&p, &ci, -1);
         let ci_slice = slice_from(&ci, &[seed], SliceKind::Thin);
         let cs = cs_slice(&ci, &[seed], SliceKind::Thin);
-        assert!(cs.stmts.is_subset(&ci_slice.stmt_set()));
+        assert!(cs.stmts.is_subset(&ci_slice.stmts));
     }
 
     #[test]

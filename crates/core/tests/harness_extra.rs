@@ -95,7 +95,7 @@ print(7);
     let seeds = a.seed_at_line("p.mj", 2).unwrap();
     let thin = a.thin_slice(&seeds);
     let lines: std::collections::HashSet<u32> = thin
-        .stmts_in_bfs_order
+        .stmts
         .iter()
         .map(|&s| a.program.instr(s).span.line)
         .filter(|&l| l > 0)
@@ -118,9 +118,11 @@ print(b);
         .iter()
         .flat_map(|&s| a.sdg.stmt_nodes_of(s).to_vec())
         .collect();
+    #[allow(deprecated)]
     let ci = thinslice::slice_from(&a.sdg, &nodes, SliceKind::Thin);
+    #[allow(deprecated)]
     let cs = thinslice::cs_slice(&a.sdg, &nodes, SliceKind::Thin);
-    assert_eq!(ci.stmt_set(), cs.stmts);
+    assert_eq!(ci.stmt_set(), cs.stmts.to_hash_set());
 }
 
 #[test]

@@ -33,6 +33,8 @@ pub mod machine;
 pub mod natives;
 
 pub use dynslice::{dynamic_data_slice, dynamic_thin_slice, DynamicSlice};
-pub use machine::{run, run_telemetry, EventId, ExecConfig, Execution, Outcome};
+#[allow(deprecated)]
+pub use machine::run_telemetry;
+pub use machine::{run, run_ctx, EventId, ExecConfig, Execution, Outcome};
 pub use natives::NativeWorld;
 pub use thinslice_util::{Budget, CancelToken, ExhaustReason};

@@ -14,7 +14,7 @@ use thinslice_ir::{
     BlockId, Body, CallKind, ClassId, Const, FieldId, Instr, InstrKind, IrBinOp, IrUnOp, Loc,
     MethodId, Operand, Program, StmtRef, Type, Var,
 };
-use thinslice_util::{new_index, Budget, ExhaustReason, IdxVec, Meter, Telemetry};
+use thinslice_util::{new_index, Budget, ExhaustReason, IdxVec, Meter, RunCtx, Telemetry};
 
 new_index!(
     /// Identifies a heap object during execution.
@@ -189,13 +189,42 @@ pub fn run(program: &Program, config: &ExecConfig) -> Execution {
     }
 }
 
+/// [`run`] under a [`RunCtx`]: records an `interp.run` span counting
+/// executed instructions and printed values, a per-outcome counter, and an
+/// `interp.budget_exhausted` event when a resource limit stopped the run.
+/// When the context carries a budget and `config.budget` is unlimited, the
+/// context's budget governs the run (the per-run `config.budget` wins
+/// otherwise). With a disabled context this is exactly [`run`].
+pub fn run_ctx(program: &Program, config: &ExecConfig, ctx: &RunCtx) -> Execution {
+    let tel = ctx.telemetry();
+    let effective: std::borrow::Cow<'_, ExecConfig> =
+        if config.budget.is_unlimited() && ctx.is_governed() {
+            std::borrow::Cow::Owned(ExecConfig {
+                budget: ctx.budget().clone(),
+                ..config.clone()
+            })
+        } else {
+            std::borrow::Cow::Borrowed(config)
+        };
+    let mut span = tel.span("interp.run");
+    let exec = run(program, &effective);
+    record_run(tel, &mut span, &exec);
+    exec
+}
+
 /// [`run`] recording interpreter telemetry: an `interp.run` span counting
 /// executed instructions and printed values, a per-outcome counter, and an
 /// `interp.budget_exhausted` event when a resource limit stopped the run.
 /// With a disabled handle this is exactly [`run`].
+#[deprecated(since = "0.4.0", note = "use `run_ctx` with a `RunCtx` instead")]
 pub fn run_telemetry(program: &Program, config: &ExecConfig, tel: &Telemetry) -> Execution {
     let mut span = tel.span("interp.run");
     let exec = run(program, config);
+    record_run(tel, &mut span, &exec);
+    exec
+}
+
+fn record_run(tel: &Telemetry, span: &mut thinslice_util::telemetry::Span<'_>, exec: &Execution) {
     span.add("interp.steps", exec.step_count() as u64);
     span.add("interp.prints", exec.prints.len() as u64);
     let outcome = match &exec.outcome {
@@ -215,7 +244,6 @@ pub fn run_telemetry(program: &Program, config: &ExecConfig, tel: &Telemetry) ->
             ],
         );
     }
-    exec
 }
 
 /// How a method invocation ended.

@@ -10,6 +10,7 @@ use crate::ssa;
 use crate::stdlib::STDLIB_SOURCE;
 use thinslice_util::FxHashMap;
 use thinslice_util::IdxVec;
+use thinslice_util::RunCtx;
 use thinslice_util::Telemetry;
 
 /// Compiles MJ sources into a [`Program`], prepending the built-in standard
@@ -33,19 +34,26 @@ use thinslice_util::Telemetry;
 /// # Ok::<(), thinslice_ir::error::CompileError>(())
 /// ```
 pub fn compile(sources: &[(&str, &str)]) -> Result<Program, CompileError> {
-    compile_telemetry(sources, &Telemetry::disabled())
+    compile_ctx(sources, &RunCtx::disabled())
 }
 
-/// Like [`compile`], but recording frontend telemetry: `ir.parse`,
-/// `ir.resolve`, `ir.lower` and `ir.ssa` spans with size counters. With a
-/// disabled handle this is exactly [`compile`].
+/// Like [`compile`], but under a run context: records frontend telemetry
+/// (`ir.parse`, `ir.resolve`, `ir.lower` and `ir.ssa` spans with size
+/// counters) through `ctx.telemetry()`. With a disabled context this is
+/// exactly [`compile`].
+pub fn compile_ctx(sources: &[(&str, &str)], ctx: &RunCtx) -> Result<Program, CompileError> {
+    let mut all: Vec<(&str, &str)> = vec![("<stdlib>", STDLIB_SOURCE)];
+    all.extend_from_slice(sources);
+    compile_raw_telemetry(&all, ctx.telemetry())
+}
+
+/// Like [`compile`], but recording frontend telemetry.
+#[deprecated(since = "0.4.0", note = "use `compile_ctx` with a `RunCtx` instead")]
 pub fn compile_telemetry(
     sources: &[(&str, &str)],
     tel: &Telemetry,
 ) -> Result<Program, CompileError> {
-    let mut all: Vec<(&str, &str)> = vec![("<stdlib>", STDLIB_SOURCE)];
-    all.extend_from_slice(sources);
-    compile_raw_telemetry(&all, tel)
+    compile_ctx(sources, &RunCtx::disabled().with_telemetry(tel.clone()))
 }
 
 /// Compiles MJ sources *without* the standard library. The sources must

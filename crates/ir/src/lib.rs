@@ -49,7 +49,9 @@ pub mod ssa;
 pub mod stdlib;
 pub mod token;
 
-pub use compile::{compile, compile_raw, compile_telemetry};
+#[allow(deprecated)]
+pub use compile::compile_telemetry;
+pub use compile::{compile, compile_ctx, compile_raw};
 pub use error::CompileError;
 pub use ir::{
     Block, BlockId, Body, CallKind, Class, ClassId, Const, Field, FieldId, Instr, InstrKind,

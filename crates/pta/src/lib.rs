@@ -51,7 +51,7 @@ pub use solver::SolveStats;
 
 use solver::{PtrKey, SolverResult};
 use thinslice_ir::{FieldId, MethodId, Program, StmtRef, Var};
-use thinslice_util::{BitSet, FxHashMap, IdxVec};
+use thinslice_util::{BitSet, Completeness, FxHashMap, IdxVec, RunCtx};
 
 /// Configuration of the points-to analysis.
 #[derive(Debug, Clone)]
@@ -136,14 +136,53 @@ impl Pta {
         Self::from_solver(config, result)
     }
 
+    /// Like [`Pta::analyze`], but under a [`RunCtx`]: the solve is recorded
+    /// as a `pta.solve` span (plus solver counters and gauges) through the
+    /// context's telemetry, and metered against the context's budget when
+    /// one is set. A truncated solve yields a sound under-approximation of
+    /// the call graph and points-to sets, labelled with why it stopped and
+    /// how much worklist was abandoned. With a disabled context this is
+    /// exactly [`Pta::analyze`] (always [`Completeness::Complete`]).
+    pub fn analyze_ctx(program: &Program, config: PtaConfig, ctx: &RunCtx) -> (Pta, Completeness) {
+        let tel = ctx.telemetry();
+        let (pta, completeness) = {
+            let mut span = tel.span("pta.solve");
+            let (result, completeness) = if ctx.is_governed() {
+                let mut meter = ctx.meter();
+                solver::solve_governed(program, &config, &mut meter)
+            } else {
+                (solver::solve(program, &config), Completeness::Complete)
+            };
+            let pta = Self::from_solver(config, result);
+            span.add("pta.delta_rounds", pta.solve_stats.delta_rounds);
+            span.add("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
+            span.add("pta.delta_objects", pta.solve_stats.delta_objects);
+            (pta, completeness)
+        };
+        tel.count("pta.delta_rounds", pta.solve_stats.delta_rounds);
+        tel.count("pta.worklist_pushes", pta.solve_stats.worklist_pushes);
+        tel.count("pta.delta_objects", pta.solve_stats.delta_objects);
+        tel.gauge(
+            "pta.max_worklist_depth",
+            pta.solve_stats.max_worklist_depth as u64,
+        );
+        tel.gauge("pta.constraint_edges", pta.constraint_edges as u64);
+        tel.gauge("pta.abstract_objects", pta.objects.len() as u64);
+        (pta, completeness)
+    }
+
     /// Like [`Pta::analyze`], but metered: a truncated solve yields a sound
     /// under-approximation of the call graph and points-to sets, labelled
     /// with why it stopped and how much worklist was abandoned.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `Pta::analyze_ctx` with a governed `RunCtx` instead"
+    )]
     pub fn analyze_governed(
         program: &Program,
         config: PtaConfig,
         meter: &mut thinslice_util::Meter,
-    ) -> (Pta, thinslice_util::Completeness) {
+    ) -> (Pta, Completeness) {
         let (result, completeness) = solver::solve_governed(program, &config, meter);
         (Self::from_solver(config, result), completeness)
     }

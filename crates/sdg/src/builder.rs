@@ -19,7 +19,7 @@ use crate::Sdg;
 use std::collections::BTreeMap;
 use thinslice_ir::{InstrKind, Loc, MethodId, Operand, Program, StmtRef, UseKind, Var};
 use thinslice_pta::{CgNode, Pta};
-use thinslice_util::{Completeness, FxHashMap, Meter};
+use thinslice_util::{Completeness, FxHashMap, Meter, RunCtx};
 
 /// Builds the context-insensitive SDG for all method instances reachable in
 /// `pta`.
@@ -27,9 +27,42 @@ pub fn build_ci(program: &Program, pta: &Pta) -> Sdg {
     Builder::new(program, pta, crate::HeapMode::DirectEdges).run()
 }
 
+/// Like [`build_ci`], but under a [`RunCtx`]: construction is recorded as a
+/// `sdg.build` span (with node/edge counters and gauges) through the
+/// context's telemetry, and metered against the context's budget when one
+/// is set. A truncated build returns a graph with a (sound) subset of the
+/// statement nodes and dependence edges, labelled with why construction
+/// stopped and roughly how much work was abandoned. With a disabled context
+/// this is exactly [`build_ci`] (always [`Completeness::Complete`]).
+pub fn build_ci_ctx(program: &Program, pta: &Pta, ctx: &RunCtx) -> (Sdg, Completeness) {
+    let tel = ctx.telemetry();
+    let (sdg, completeness) = {
+        let mut span = tel.span("sdg.build");
+        let (sdg, completeness) = if ctx.is_governed() {
+            let mut meter = ctx.meter();
+            Builder::new(program, pta, crate::HeapMode::DirectEdges).run_governed(&mut meter)
+        } else {
+            (
+                Builder::new(program, pta, crate::HeapMode::DirectEdges).run(),
+                Completeness::Complete,
+            )
+        };
+        span.add("sdg.nodes", sdg.node_count() as u64);
+        span.add("sdg.edges", sdg.edge_count() as u64);
+        (sdg, completeness)
+    };
+    tel.gauge("sdg.nodes", sdg.node_count() as u64);
+    tel.gauge("sdg.edges", sdg.edge_count() as u64);
+    (sdg, completeness)
+}
+
 /// Like [`build_ci`], but metered: a truncated build returns a graph with a
 /// (sound) subset of the statement nodes and dependence edges, labelled with
 /// why construction stopped and roughly how much work was abandoned.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `build_ci_ctx` with a governed `RunCtx` instead"
+)]
 pub fn build_ci_governed(program: &Program, pta: &Pta, meter: &mut Meter) -> (Sdg, Completeness) {
     Builder::new(program, pta, crate::HeapMode::DirectEdges).run_governed(meter)
 }

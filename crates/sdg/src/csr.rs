@@ -12,7 +12,7 @@
 use crate::node::{Edge, NodeId, NodeKind};
 use crate::{HeapMode, Sdg};
 use thinslice_ir::StmtRef;
-use thinslice_util::{FxHashMap, Idx};
+use thinslice_util::{FxHashMap, Idx, RunCtx};
 
 /// The read-only graph surface the slicers need.
 ///
@@ -269,6 +269,21 @@ impl DepGraph for FrozenSdg {
 }
 
 impl Sdg {
+    /// Like [`Sdg::freeze`], but under a [`RunCtx`]: the freeze is recorded
+    /// as a `sdg.freeze` span with a `sdg.csr_edges` counter and gauge.
+    /// With a disabled context this is exactly [`Sdg::freeze`].
+    pub fn freeze_ctx(&self, ctx: &RunCtx) -> FrozenSdg {
+        let tel = ctx.telemetry();
+        let csr = {
+            let mut span = tel.span("sdg.freeze");
+            let csr = self.freeze();
+            span.add("sdg.csr_edges", csr.edge_count() as u64);
+            csr
+        };
+        tel.gauge("sdg.csr_edges", csr.edge_count() as u64);
+        csr
+    }
+
     /// Freezes the graph into its CSR form. Per-node edge order is
     /// preserved exactly, so traversals over the frozen graph visit nodes
     /// in the same order as over `self`.

@@ -19,11 +19,23 @@ use crate::node::{Edge, EdgeKind, NodeKind};
 use crate::Sdg;
 use thinslice_ir::{InstrKind, Program, StmtRef};
 use thinslice_pta::{ModRef, Partition, Pta};
+use thinslice_util::RunCtx;
 
 /// Builds the context-sensitive SDG (heap-parameter mode).
 pub fn build_cs(program: &Program, pta: &Pta, modref: &ModRef) -> Sdg {
     let mut sdg = build_skeleton(program, pta);
     add_heap_parameter_edges(&mut sdg, program, pta, modref);
+    sdg
+}
+
+/// Like [`build_cs`], but under a [`RunCtx`]: construction is recorded as a
+/// `sdg.build_cs` span with node/edge counters. With a disabled context
+/// this is exactly [`build_cs`].
+pub fn build_cs_ctx(program: &Program, pta: &Pta, modref: &ModRef, ctx: &RunCtx) -> Sdg {
+    let mut span = ctx.telemetry().span("sdg.build_cs");
+    let sdg = build_cs(program, pta, modref);
+    span.add("sdg.nodes", sdg.node_count() as u64);
+    span.add("sdg.edges", sdg.edge_count() as u64);
     sdg
 }
 

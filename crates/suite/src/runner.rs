@@ -110,15 +110,11 @@ pub fn measure(
     if !found && task.needs_alias_expansion {
         // One level of aliasing expansion: inspect the explanations of the
         // slice's heap-flow pairs until the desired statements appear.
-        let slice = thinslice::slice_from(
-            &analysis.sdg,
-            &widened
-                .seeds
-                .iter()
-                .flat_map(|&s| analysis.sdg.stmt_nodes_of(s).to_vec())
-                .collect::<Vec<_>>(),
-            kind,
-        );
+        let slice = match kind {
+            SliceKind::Thin => analysis.thin_slice(&widened.seeds),
+            SliceKind::TraditionalData => analysis.traditional_slice(&widened.seeds),
+            SliceKind::TraditionalFull => analysis.full_slice(&widened.seeds),
+        };
         let desired_lines: Vec<(thinslice_ir::FileId, u32)> = widened
             .desired
             .iter()

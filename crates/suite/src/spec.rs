@@ -4,7 +4,7 @@
 //! than line numbers, so the MJ programs can be edited without silently
 //! corrupting the experiment definitions.
 
-use thinslice::{Analysis, InspectTask};
+use thinslice::{Analysis, AnalysisSession, InspectTask, RunCtx};
 
 /// A benchmark program: a name and its MJ sources.
 #[derive(Debug, Clone)]
@@ -24,6 +24,18 @@ impl Benchmark {
     /// and must always build.
     pub fn analyze(&self, config: thinslice_pta::PtaConfig) -> Analysis {
         Analysis::with_config(&self.sources, config)
+            .unwrap_or_else(|e| panic!("benchmark {} failed to compile: {e}", self.name))
+    }
+
+    /// Opens an [`AnalysisSession`] on the benchmark — the lazy query
+    /// entrypoint the experiment and equivalence tests drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark sources fail to compile — they are fixtures
+    /// and must always build.
+    pub fn session(&self, config: thinslice_pta::PtaConfig, ctx: RunCtx) -> AnalysisSession {
+        AnalysisSession::with_ctx(&self.sources, config, ctx)
             .unwrap_or_else(|e| panic!("benchmark {} failed to compile: {e}", self.name))
     }
 }

@@ -73,6 +73,16 @@ impl fmt::Display for ExhaustReason {
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 
+impl PartialEq for CancelToken {
+    /// Tokens are equal when they share the same underlying flag, i.e.
+    /// cancelling one cancels the other.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for CancelToken {}
+
 impl CancelToken {
     /// Creates a fresh, uncancelled token.
     pub fn new() -> Self {
@@ -95,7 +105,7 @@ impl CancelToken {
 /// The default budget is unlimited in every dimension; limits compose by
 /// builder calls. A `Budget` is inert — call [`Budget::meter`] at the start
 /// of a stage to arm it (the deadline is measured from that moment).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Budget {
     time_limit: Option<Duration>,
     step_limit: Option<u64>,

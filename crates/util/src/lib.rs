@@ -17,6 +17,8 @@
 //!   shared by every analysis stage,
 //! * [`telemetry`] — tracing spans, a metrics registry and JSON run
 //!   reports, zero-cost when disabled,
+//! * [`RunCtx`] — the run-wide context bundling telemetry + budget,
+//!   threaded as one parameter through every pipeline stage,
 //! * [`SmallRng`] — a deterministic PRNG for generators and tests.
 //!
 //! # Examples
@@ -36,6 +38,7 @@ pub mod govern;
 mod idxvec;
 pub mod par;
 mod rng;
+pub mod runctx;
 pub mod telemetry;
 mod unionfind;
 mod worklist;
@@ -45,6 +48,7 @@ pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use govern::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
 pub use idxvec::IdxVec;
 pub use rng::SmallRng;
+pub use runctx::RunCtx;
 pub use telemetry::{Histogram, MetricsRegistry, RunReport, Telemetry};
 pub use unionfind::UnionFind;
 pub use worklist::Worklist;

@@ -1,0 +1,128 @@
+//! The one run-wide context bundle every pipeline stage takes.
+//!
+//! PRs 1–3 each threaded a new cross-cutting concern (telemetry, resource
+//! governance) through the pipeline as a *separate* parameter, so every
+//! layer grew `{plain, _telemetry, _governed}` entry-point triplets. A
+//! [`RunCtx`] collapses them: it bundles the [`Telemetry`] handle and the
+//! resource [`Budget`] into one value that is threaded as a single
+//! parameter through compilation, the points-to solve, dependence-graph
+//! construction, every slicer, expansion and the interpreter.
+//!
+//! The default context ([`RunCtx::disabled`]) is cheap — a disabled
+//! telemetry handle records nothing and an unlimited budget meters one
+//! predictable branch per work item — so stages take `&RunCtx`
+//! unconditionally and plain runs stay byte-identical to the pre-context
+//! code paths.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::time::Duration;
+//! use thinslice_util::{Budget, RunCtx, Telemetry};
+//!
+//! let plain = RunCtx::disabled();
+//! assert!(!plain.is_governed() && !plain.telemetry().is_enabled());
+//!
+//! let ctx = RunCtx::disabled()
+//!     .with_telemetry(Telemetry::enabled())
+//!     .with_budget(Budget::unlimited().with_deadline(Duration::from_secs(1)));
+//! assert!(ctx.is_governed() && ctx.telemetry().is_enabled());
+//! ```
+
+use crate::govern::{Budget, Meter};
+use crate::telemetry::{Span, Telemetry};
+
+/// The run-wide context: telemetry sink plus resource budget, threaded as
+/// one parameter through every pipeline stage.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    telemetry: Telemetry,
+    budget: Budget,
+}
+
+impl RunCtx {
+    /// The cheap default: disabled telemetry, unlimited budget. Stages
+    /// running under it behave exactly like their pre-context plain
+    /// versions.
+    pub fn disabled() -> RunCtx {
+        RunCtx::default()
+    }
+
+    /// A context from explicit parts.
+    pub fn new(telemetry: Telemetry, budget: Budget) -> RunCtx {
+        RunCtx { telemetry, budget }
+    }
+
+    /// Replaces the telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> RunCtx {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> RunCtx {
+        self.budget = budget;
+        self
+    }
+
+    /// The telemetry handle (disabled handles record nothing).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The resource budget stages arm their meters from.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Whether any resource limit is set. Stages use this to decide
+    /// between their fixpoint and metered variants, so ungoverned runs
+    /// never pay for truncation bookkeeping.
+    pub fn is_governed(&self) -> bool {
+        !self.budget.is_unlimited()
+    }
+
+    /// Arms a fresh [`Meter`] from the budget (deadline measured from now).
+    pub fn meter(&self) -> Meter {
+        self.budget.meter()
+    }
+
+    /// Opens a telemetry span; shorthand for `ctx.telemetry().span(name)`.
+    pub fn span(&self, name: &str) -> Span<'_> {
+        self.telemetry.span(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_is_plain() {
+        let ctx = RunCtx::disabled();
+        assert!(!ctx.is_governed());
+        assert!(!ctx.telemetry().is_enabled());
+        assert!(ctx.budget().is_unlimited());
+        assert!(ctx.meter().tick());
+    }
+
+    #[test]
+    fn budget_makes_it_governed() {
+        let ctx = RunCtx::disabled().with_budget(Budget::unlimited().with_step_limit(1));
+        assert!(ctx.is_governed());
+        let mut meter = ctx.meter();
+        assert!(meter.tick());
+        assert!(!meter.tick());
+    }
+
+    #[test]
+    fn telemetry_flows_through() {
+        let ctx = RunCtx::disabled().with_telemetry(Telemetry::enabled());
+        {
+            let mut span = ctx.span("test.span");
+            span.add("test.counter", 3);
+        }
+        let report = ctx.telemetry().report();
+        assert!(report.spans.iter().any(|s| s.name == "test.span"));
+    }
+}

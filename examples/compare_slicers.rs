@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example compare_slicers [benchmark]`
 
-use thinslice::{Analysis, SliceKind};
+use thinslice::{Analysis, AnalysisSession, Engine, Query, SliceKind};
 use thinslice_sdg::SdgStats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -52,17 +52,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<28} {:>8} {:>8} {:>12} {:>12}",
         "seed", "thin-CI", "trad-CI", "thin-heappar", "trad-heappar"
     );
+    let mut session = AnalysisSession::new(&benchmark.sources)?;
     for &seed in &seeds {
-        let nodes: Vec<_> = analysis.sdg.stmt_nodes_of(seed).to_vec();
-        let cs_nodes: Vec<_> = cs_sdg.stmt_nodes_of(seed).to_vec();
-        let thin_ci = thinslice::slice_from(&analysis.sdg, &nodes, SliceKind::Thin).len();
-        let trad_ci =
-            thinslice::slice_from(&analysis.sdg, &nodes, SliceKind::TraditionalData).len();
+        let q = |kind, engine| Query::new(vec![seed], kind, engine);
+        let thin_ci = session.query(&q(SliceKind::Thin, Engine::Ci)).len();
+        let trad_ci = session
+            .query(&q(SliceKind::TraditionalData, Engine::Ci))
+            .len();
         // Tabulation on the heap-parameter graph: the paper's §5.3 slicer
         // (heap flow surfaces call lines via actual-in/out nodes, so sizes
         // are not comparable one-to-one with the direct-edge graph).
-        let thin_hp = thinslice::cs_slice(&cs_sdg, &cs_nodes, SliceKind::Thin).len();
-        let trad_hp = thinslice::cs_slice(&cs_sdg, &cs_nodes, SliceKind::TraditionalData).len();
+        let thin_hp = session.query(&q(SliceKind::Thin, Engine::Cs)).len();
+        let trad_hp = session
+            .query(&q(SliceKind::TraditionalData, Engine::Cs))
+            .len();
         let span = analysis.program.instr(seed).span;
         let label = format!("{}:{}", analysis.program.files[span.file].name, span.line);
         println!("{label:<28} {thin_ci:>8} {trad_ci:>8} {thin_hp:>12} {trad_hp:>12}");

@@ -9,7 +9,7 @@
 //!
 //! Run with: `cargo run --example debug_file_handle`
 
-use thinslice::{expand, report, Analysis, SliceKind};
+use thinslice::{expand, report, Analysis};
 use thinslice_ir::pretty;
 
 const FILE_PROGRAM: &str = r#"class File {
@@ -86,14 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Contrast: the traditional slice gets there too, but buries the
     // answer in base-pointer plumbing.
-    let trad = thinslice::slice_from(
-        &analysis.sdg,
-        &conditionals
-            .iter()
-            .flat_map(|&s| analysis.sdg.stmt_nodes_of(s).to_vec())
-            .collect::<Vec<_>>(),
-        SliceKind::TraditionalData,
-    );
+    let trad = analysis.traditional_slice(&conditionals);
     println!(
         "\nthin slice: {} statements + {} explanation statements; traditional slice: {} statements",
         thin.len(),

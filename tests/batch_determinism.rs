@@ -7,6 +7,11 @@
 //! clears or memoises only query-independent facts — and this test pins
 //! the construction down against the whole evaluation suite.
 
+// This suite deliberately exercises the legacy node-level entrypoints: it
+// pins the batch engines against the exact sequential slicers they wrap,
+// below the session/Query layer (which tests/session_api.rs covers).
+#![allow(deprecated)]
+
 use thinslice::{batch, cs_slice, slice_from, SliceKind};
 use thinslice_ir::InstrKind;
 use thinslice_pta::PtaConfig;
@@ -50,7 +55,7 @@ fn batched_bfs_slices_match_sequential_on_all_benchmarks() {
                 assert_eq!(batched.len(), sequential.len());
                 for (got, want) in batched.iter().zip(&sequential) {
                     assert_eq!(
-                        got.stmts_in_bfs_order, want.stmts_in_bfs_order,
+                        got.stmts, want.stmts,
                         "{}: {kind:?} at {threads} threads",
                         b.name
                     );
@@ -99,7 +104,7 @@ fn large_batches_match_sequential_through_every_fast_path() {
         let batched = batch::slices(&a.csr, &queries, kind, 2);
         for (got, seeds) in batched.iter().zip(&queries) {
             let want = slice_from(&a.sdg, seeds, kind);
-            assert_eq!(got.stmts_in_bfs_order, want.stmts_in_bfs_order, "{kind:?}");
+            assert_eq!(got.stmts, want.stmts, "{kind:?}");
             assert_eq!(got.nodes, want.nodes, "{kind:?}");
         }
     }

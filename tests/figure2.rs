@@ -48,7 +48,7 @@ fn thin_slice_is_exactly_the_producers() {
     let thin = a.thin_slice(&seed);
 
     let lines: std::collections::BTreeSet<u32> = thin
-        .stmts_in_bfs_order
+        .stmts
         .iter()
         .map(|&s| a.program.instr(s).span.line)
         .collect();
@@ -78,7 +78,7 @@ fn traditional_slice_adds_the_explainers() {
     let full = a.full_slice(&seed);
 
     let lines_of = |s: &thinslice::Slice| -> std::collections::BTreeSet<u32> {
-        s.stmts_in_bfs_order
+        s.stmts
             .iter()
             .map(|&st| a.program.instr(st).span.line)
             .collect()

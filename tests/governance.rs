@@ -4,22 +4,27 @@
 //! panicking worker in a batch cannot corrupt its siblings.
 
 use std::time::Duration;
-use thinslice::batch::{self, BatchConfig, FaultInjection};
+use thinslice::batch::FaultInjection;
 use thinslice::{
-    cs_slice, cs_slice_governed, slice_from, slice_from_governed, Budget, Completeness,
-    ExhaustReason, QueryError, SliceKind,
+    AnalysisSession, BatchOptions, Budget, Completeness, Engine, ExhaustReason, Query, QueryError,
+    QueryPolicy, RunCtx, SliceKind,
 };
-use thinslice_ir::InstrKind;
+use thinslice_ir::{InstrKind, Program, StmtRef};
 use thinslice_pta::PtaConfig;
-use thinslice_sdg::{DepGraph, NodeId};
 
-/// One query per print statement of the program, resolved against `graph`.
-fn print_queries<G: DepGraph>(program: &thinslice_ir::Program, graph: &G) -> Vec<Vec<NodeId>> {
+/// One single-statement seed per print statement of the program.
+fn print_seeds(program: &Program) -> Vec<Vec<StmtRef>> {
     program
         .all_stmts()
         .filter(|s| matches!(program.instr(*s).kind, InstrKind::Print { .. }))
-        .map(|s| graph.stmt_nodes_of(s).to_vec())
-        .filter(|nodes| !nodes.is_empty())
+        .map(|s| vec![s])
+        .collect()
+}
+
+fn queries(program: &Program, kind: SliceKind, engine: Engine) -> Vec<Query> {
+    print_seeds(program)
+        .into_iter()
+        .map(|seeds| Query::new(seeds, kind, engine))
         .collect()
 }
 
@@ -27,25 +32,38 @@ fn steps(n: u64) -> Budget {
     Budget::unlimited().with_step_limit(n)
 }
 
+fn budgeted(budget: Budget) -> QueryPolicy {
+    QueryPolicy {
+        budget: Some(budget),
+        ..QueryPolicy::default()
+    }
+}
+
+fn nanoxml_session() -> AnalysisSession {
+    thinslice_suite::benchmark_named("nanoxml")
+        .expect("nanoxml exists")
+        .session(PtaConfig::default(), RunCtx::disabled())
+}
+
 #[test]
 fn truncated_bfs_slices_are_nonempty_prefixes_of_the_full_slice() {
     for b in thinslice_suite::all_benchmarks() {
-        let a = b.analyze(PtaConfig::default());
-        let queries = print_queries(&a.program, &a.csr);
-        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        let mut s = b.session(PtaConfig::default(), RunCtx::disabled());
         for kind in [SliceKind::Thin, SliceKind::TraditionalData] {
-            for seeds in queries.iter().take(3) {
-                let full = slice_from(&a.csr, seeds, kind);
+            let qs = queries(s.program(), kind, Engine::Ci);
+            assert!(!qs.is_empty(), "{}: no print queries", b.name);
+            for q in qs.iter().take(3) {
+                let full = s.query(q);
                 if full.nodes.len() < 2 {
                     continue;
                 }
                 // Quotas strictly below the full visit count must truncate;
                 // a quota of exactly the fixpoint size must not.
                 for quota in [1, (full.nodes.len() as u64) / 2] {
-                    let out = slice_from_governed(&a.csr, seeds, kind, &steps(quota));
+                    let partial = s.query(&q.clone().with_policy(budgeted(steps(quota))));
                     assert!(
                         matches!(
-                            out.completeness,
+                            partial.completeness,
                             Completeness::Truncated {
                                 reason: ExhaustReason::StepQuota,
                                 ..
@@ -54,20 +72,15 @@ fn truncated_bfs_slices_are_nonempty_prefixes_of_the_full_slice() {
                         "{}: quota {quota} of {} visits gave {:?}",
                         b.name,
                         full.nodes.len(),
-                        out.completeness,
+                        partial.completeness,
                     );
-                    let partial = out.result;
-                    assert!(!partial.stmts_in_bfs_order.is_empty(), "{}", b.name);
-                    assert!(
-                        partial.stmts_in_bfs_order.len() <= full.stmts_in_bfs_order.len(),
-                        "{}",
-                        b.name
-                    );
-                    // The governed twin walks in the same order, so the
+                    assert!(!partial.stmts.is_empty(), "{}", b.name);
+                    assert!(partial.stmts.len() <= full.stmts.len(), "{}", b.name);
+                    // The governed run walks in the same order, so the
                     // partial slice is a *prefix*, not just a subset.
                     assert_eq!(
-                        partial.stmts_in_bfs_order[..],
-                        full.stmts_in_bfs_order[..partial.stmts_in_bfs_order.len()],
+                        partial.stmts.in_order(),
+                        &full.stmts.in_order()[..partial.stmts.len()],
                         "{}: {kind:?} truncated slice is not a prefix",
                         b.name
                     );
@@ -85,19 +98,19 @@ fn truncated_bfs_slices_are_nonempty_prefixes_of_the_full_slice() {
 #[test]
 fn unbudgeted_governed_slices_match_the_ungoverned_slicer() {
     for b in thinslice_suite::all_benchmarks() {
-        let a = b.analyze(PtaConfig::default());
-        let queries = print_queries(&a.program, &a.csr);
+        let mut s = b.session(PtaConfig::default(), RunCtx::disabled());
         for kind in [
             SliceKind::Thin,
             SliceKind::TraditionalData,
             SliceKind::TraditionalFull,
         ] {
-            for seeds in queries.iter().take(2) {
-                let full = slice_from(&a.csr, seeds, kind);
-                let out = slice_from_governed(&a.csr, seeds, kind, &Budget::unlimited());
-                assert!(out.completeness.is_complete(), "{}", b.name);
-                assert_eq!(out.result.stmts_in_bfs_order, full.stmts_in_bfs_order);
-                assert_eq!(out.result.nodes, full.nodes);
+            let qs = queries(s.program(), kind, Engine::Ci);
+            for q in qs.iter().take(2) {
+                let full = s.query(q);
+                let governed = s.query(&q.clone().with_policy(budgeted(Budget::unlimited())));
+                assert!(governed.completeness.is_complete(), "{}", b.name);
+                assert_eq!(governed.stmts, full.stmts);
+                assert_eq!(governed.nodes, full.nodes);
             }
         }
     }
@@ -106,27 +119,31 @@ fn unbudgeted_governed_slices_match_the_ungoverned_slicer() {
 #[test]
 fn truncated_tabulation_slices_are_nonempty_subsets_of_the_fixpoint() {
     for b in thinslice_suite::all_benchmarks() {
-        let a = b.analyze(PtaConfig::default());
-        let cs_sdg = a.build_cs_sdg();
-        let queries = print_queries(&a.program, &cs_sdg);
-        assert!(!queries.is_empty(), "{}: no print queries", b.name);
+        let mut s = b.session(PtaConfig::default(), RunCtx::disabled());
         for kind in [SliceKind::Thin, SliceKind::TraditionalData] {
-            let seeds = &queries[0];
-            let full = cs_slice(&cs_sdg, seeds, kind);
+            let qs = queries(s.program(), kind, Engine::Cs);
+            assert!(!qs.is_empty(), "{}: no print queries", b.name);
+            let q = &qs[0];
+            let full = s.query(q);
             if full.stmts.len() < 2 {
                 continue;
             }
-            let out = cs_slice_governed(&cs_sdg, seeds, kind, &steps(1));
+            // degrade=false pins the truncated tabulation result instead of
+            // falling back to context-insensitive reachability.
+            let partial = s.query(&q.clone().with_policy(QueryPolicy {
+                budget: Some(steps(1)),
+                degrade: false,
+            }));
+            assert_eq!(partial.engine, Engine::Cs, "{}", b.name);
             assert!(
-                matches!(out.completeness, Completeness::Truncated { .. }),
+                matches!(partial.completeness, Completeness::Truncated { .. }),
                 "{}: {kind:?} quota 1 gave {:?}",
                 b.name,
-                out.completeness,
+                partial.completeness,
             );
-            let partial = out.result;
             assert!(!partial.stmts.is_empty(), "{}", b.name);
             assert!(
-                partial.stmts.iter().all(|s| full.stmts.contains(s)),
+                partial.stmts.iter().all(|st| full.stmts.contains(*st)),
                 "{}: truncated tabulation escaped the fixpoint slice",
                 b.name
             );
@@ -141,15 +158,14 @@ fn truncated_tabulation_slices_are_nonempty_subsets_of_the_fixpoint() {
 
 #[test]
 fn one_millisecond_deadline_always_returns_outcomes() {
-    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
-    let a = b.analyze(PtaConfig::default());
-    let queries = print_queries(&a.program, &a.csr);
-    let cfg = BatchConfig {
-        budget: Budget::unlimited().with_deadline(Duration::from_millis(1)),
-        ..BatchConfig::default()
-    };
-    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
-    assert_eq!(outcomes.len(), queries.len());
+    let mut s = nanoxml_session();
+    let policy = budgeted(Budget::unlimited().with_deadline(Duration::from_millis(1)));
+    let qs: Vec<Query> = queries(s.program(), SliceKind::Thin, Engine::Ci)
+        .into_iter()
+        .map(|q| q.with_policy(policy.clone()))
+        .collect();
+    let outcomes = s.query_batch(&qs, 2);
+    assert_eq!(outcomes.len(), qs.len());
     for out in &outcomes {
         // Deadline exhaustion is a truncated result, never a hard error.
         let slice = out.slice.as_ref().expect("no worker may panic");
@@ -165,17 +181,14 @@ fn one_millisecond_deadline_always_returns_outcomes() {
 
 #[test]
 fn exhausted_cs_queries_degrade_to_ci_reachability() {
-    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
-    let a = b.analyze(PtaConfig::default());
-    let cs_sdg = a.build_cs_sdg();
-    let frozen = cs_sdg.freeze();
-    let queries = print_queries(&a.program, &frozen);
-    let cfg = BatchConfig {
-        budget: steps(1),
-        ..BatchConfig::default()
-    };
-    let outcomes = batch::governed_cs_slices(&frozen, &queries, SliceKind::Thin, 2, &cfg);
-    assert_eq!(outcomes.len(), queries.len());
+    let mut s = nanoxml_session();
+    let policy = budgeted(steps(1));
+    let qs: Vec<Query> = queries(s.program(), SliceKind::Thin, Engine::Cs)
+        .into_iter()
+        .map(|q| q.with_policy(policy.clone()))
+        .collect();
+    let outcomes = s.query_batch(&qs, 2);
+    assert_eq!(outcomes.len(), qs.len());
     let mut saw_degraded = false;
     for out in &outcomes {
         let slice = out.slice.as_ref().expect("no worker may panic");
@@ -183,6 +196,7 @@ fn exhausted_cs_queries_degrade_to_ci_reachability() {
             saw_degraded = true;
             // The CI fallback answered from the same frozen graph; with a
             // one-step budget it is itself truncated but non-empty.
+            assert_eq!(slice.engine, Engine::Ci);
             assert!(!slice.stmts.is_empty());
             assert!(!slice.completeness.is_complete());
         }
@@ -192,29 +206,22 @@ fn exhausted_cs_queries_degrade_to_ci_reachability() {
 
 #[test]
 fn injected_worker_panic_cannot_corrupt_sibling_queries() {
-    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
-    let a = b.analyze(PtaConfig::default());
-    let queries = print_queries(&a.program, &a.csr);
-    assert!(queries.len() >= 3, "need at least three queries");
+    let mut s = nanoxml_session();
+    let qs = queries(s.program(), SliceKind::Thin, Engine::Ci);
+    assert!(qs.len() >= 3, "need at least three queries");
 
-    let clean = batch::governed_slices(
-        &a.csr,
-        &queries,
-        SliceKind::Thin,
-        2,
-        &BatchConfig::default(),
-    );
+    let clean = s.query_batch(&qs, 2);
 
     // The faulty query panics on every allowed attempt (2 > 1 retry).
-    let cfg = BatchConfig {
+    let opts = BatchOptions {
         fault: Some(FaultInjection {
             query: 1,
             attempts: 2,
         }),
-        retries: 1,
-        ..BatchConfig::default()
+        retries: Some(1),
+        ..BatchOptions::default()
     };
-    let faulty = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    let faulty = s.query_batch_with(&qs, 2, &opts);
     assert_eq!(faulty.len(), clean.len());
     for (i, (got, want)) in faulty.iter().zip(&clean).enumerate() {
         if i == 1 {
@@ -241,27 +248,20 @@ fn injected_worker_panic_cannot_corrupt_sibling_queries() {
 
 #[test]
 fn a_retry_on_fresh_scratch_recovers_from_a_transient_panic() {
-    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
-    let a = b.analyze(PtaConfig::default());
-    let queries = print_queries(&a.program, &a.csr);
-    let clean = batch::governed_slices(
-        &a.csr,
-        &queries,
-        SliceKind::Thin,
-        2,
-        &BatchConfig::default(),
-    );
+    let mut s = nanoxml_session();
+    let qs = queries(s.program(), SliceKind::Thin, Engine::Ci);
+    let clean = s.query_batch(&qs, 2);
     // One panic, one allowed retry: the query recovers with an identical
     // result on fresh scratch.
-    let cfg = BatchConfig {
+    let opts = BatchOptions {
         fault: Some(FaultInjection {
             query: 0,
             attempts: 1,
         }),
-        retries: 1,
-        ..BatchConfig::default()
+        retries: Some(1),
+        ..BatchOptions::default()
     };
-    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    let outcomes = s.query_batch_with(&qs, 2, &opts);
     let recovered = outcomes[0].slice.as_ref().expect("retry must succeed");
     let want = clean[0].slice.as_ref().unwrap();
     assert_eq!(outcomes[0].retries, 1);
@@ -271,22 +271,20 @@ fn a_retry_on_fresh_scratch_recovers_from_a_transient_panic() {
 
 #[test]
 fn fail_fast_cancels_the_queries_after_a_hard_failure() {
-    let b = thinslice_suite::benchmark_named("nanoxml").expect("nanoxml exists");
-    let a = b.analyze(PtaConfig::default());
-    let queries = print_queries(&a.program, &a.csr);
-    assert!(queries.len() >= 3);
+    let mut s = nanoxml_session();
+    let qs = queries(s.program(), SliceKind::Thin, Engine::Ci);
+    assert!(qs.len() >= 3);
     // One worker, so queries run in order and the cancellation from query
     // 0's hard failure deterministically precedes every later query.
-    let cfg = BatchConfig {
+    let opts = BatchOptions {
         fault: Some(FaultInjection {
             query: 0,
             attempts: 2,
         }),
-        retries: 1,
+        retries: Some(1),
         fail_fast: true,
-        ..BatchConfig::default()
     };
-    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 1, &cfg);
+    let outcomes = s.query_batch_with(&qs, 1, &opts);
     assert!(outcomes[0].slice.is_err());
     for (i, out) in outcomes.iter().enumerate().skip(1) {
         let slice = out.slice.as_ref().expect("cancelled, not failed");

@@ -46,7 +46,7 @@ fn pipeline_invariants_on_generated_programs() {
             assert!(thin.contains(seed));
             // BFS order has no duplicates.
             let mut seen = std::collections::HashSet::new();
-            for s in &thin.stmts_in_bfs_order {
+            for s in &thin.stmts {
                 assert!(seen.insert(*s), "duplicate statement in BFS order");
             }
         }
@@ -78,7 +78,7 @@ fn slicing_is_deterministic() {
             .unwrap();
         let s1 = a1.thin_slice(&[seed_stmt]);
         let s2 = a2.thin_slice(&[seed_stmt]);
-        assert_eq!(s1.stmts_in_bfs_order, s2.stmts_in_bfs_order);
+        assert_eq!(s1.stmts, s2.stmts);
     }
 }
 
@@ -144,9 +144,14 @@ fn tabulation_is_a_refinement() {
             SliceKind::TraditionalData,
             SliceKind::TraditionalFull,
         ] {
+            // Tabulation vs reachability on the *same* graph: the session's
+            // Cs engine answers from the heap-parameter graph instead, so
+            // this refinement check stays on the node-level entrypoints.
+            #[allow(deprecated)]
             let ci = thinslice::slice_from(&a.sdg, &nodes, kind);
+            #[allow(deprecated)]
             let cs = thinslice::cs_slice(&a.sdg, &nodes, kind);
-            assert!(cs.stmts.is_subset(&ci.stmt_set()), "kind {kind:?}");
+            assert!(cs.stmts.is_subset(&ci.stmts), "kind {kind:?}");
         }
     }
 }

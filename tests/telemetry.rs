@@ -3,10 +3,10 @@
 //! round-trips through its hand-rolled JSON parser, governance records
 //! budget-exhaustion events, and a disabled handle changes nothing.
 
-use thinslice::batch::{self, BatchConfig};
-use thinslice::{Analysis, Budget, SliceKind, Telemetry};
-use thinslice_ir::InstrKind;
-use thinslice_sdg::{DepGraph, NodeId};
+use thinslice::{
+    Analysis, AnalysisSession, Budget, Engine, Query, QueryPolicy, RunCtx, SliceKind, Telemetry,
+};
+use thinslice_ir::{Program, StmtRef};
 use thinslice_util::telemetry::RUN_REPORT_SCHEMA;
 use thinslice_util::RunReport;
 
@@ -25,26 +25,43 @@ const PROGRAM: &str = "class Box { Object item;
     print(y);
  } }";
 
-fn setup() -> Analysis {
-    Analysis::build(&[("t.mj", PROGRAM)]).unwrap()
+fn session(ctx: RunCtx) -> AnalysisSession {
+    AnalysisSession::with_ctx(
+        &[("t.mj", PROGRAM)],
+        thinslice_pta::PtaConfig::default(),
+        ctx,
+    )
+    .unwrap()
 }
 
-fn print_queries(a: &Analysis) -> Vec<Vec<NodeId>> {
-    a.program
+/// One single-statement seed per print statement of the program.
+fn print_seeds(program: &Program) -> Vec<Vec<StmtRef>> {
+    program
         .all_stmts()
-        .filter(|s| matches!(a.program.instr(*s).kind, InstrKind::Print { .. }))
-        .map(|s| a.csr.stmt_nodes_of(s).to_vec())
-        .filter(|nodes| !nodes.is_empty())
+        .filter(|s| {
+            matches!(
+                program.instr(*s).kind,
+                thinslice_ir::InstrKind::Print { .. }
+            )
+        })
+        .map(|s| vec![s])
+        .collect()
+}
+
+fn queries(program: &Program, engine: Engine) -> Vec<Query> {
+    print_seeds(program)
+        .into_iter()
+        .map(|seeds| Query::new(seeds, SliceKind::Thin, engine))
         .collect()
 }
 
 #[test]
 fn pipeline_spans_nest_and_time_monotonically() {
     let tel = Telemetry::enabled();
-    let _a = Analysis::with_config_telemetry(
+    let _a = Analysis::with_ctx(
         &[("t.mj", PROGRAM)],
         thinslice_pta::PtaConfig::default(),
-        &tel,
+        &RunCtx::disabled().with_telemetry(tel.clone()),
     )
     .unwrap();
     let report = tel.report();
@@ -109,14 +126,14 @@ fn nested_spans_record_depth() {
 
 #[test]
 fn counters_aggregate_across_batch_workers() {
-    let a = setup();
-    let queries = print_queries(&a);
-    assert!(queries.len() >= 2);
-    // Tile the queries so several workers record concurrently.
-    let tiled: Vec<Vec<NodeId>> = queries.iter().cycle().take(20).cloned().collect();
-
     let tel = Telemetry::enabled();
-    let slices = batch::slices_telemetry(&a.csr, &tiled, SliceKind::Thin, 4, &tel);
+    let mut s = session(RunCtx::disabled().with_telemetry(tel.clone()));
+    let qs = queries(s.program(), Engine::Ci);
+    assert!(qs.len() >= 2);
+    // Tile the queries so several workers record concurrently.
+    let tiled: Vec<Query> = qs.iter().cycle().take(20).cloned().collect();
+
+    let outcomes = s.query_batch(&tiled, 4);
     let report = tel.report();
 
     // One latency sample per query, whatever the thread interleaving.
@@ -125,7 +142,10 @@ fn counters_aggregate_across_batch_workers() {
     assert!(h.p50 <= h.p95 && h.p95 <= h.max);
 
     // The shared counter is the exact sum of per-slice node counts.
-    let expected: u64 = slices.iter().map(|s| s.nodes.len() as u64).sum();
+    let expected: u64 = outcomes
+        .iter()
+        .map(|o| o.slice.as_ref().unwrap().nodes.len() as u64)
+        .sum();
     assert_eq!(report.counters.get("slice.nodes_visited"), Some(&expected));
     assert!(
         report.counters.get("slice.csr_edges_visited").copied() > Some(0),
@@ -136,18 +156,13 @@ fn counters_aggregate_across_batch_workers() {
 
 #[test]
 fn cs_batch_records_memo_hits_and_misses() {
-    let a = setup();
-    let queries = print_queries(&a);
+    let tel = Telemetry::enabled();
+    let mut s = session(RunCtx::disabled().with_telemetry(tel.clone()));
+    let qs = queries(s.program(), Engine::Cs);
     // Repeats of the same queries: later queries splice memoised exit
     // regions, so both hits and misses must show up.
-    let tiled: Vec<Vec<NodeId>> = queries
-        .iter()
-        .cycle()
-        .take(3 * queries.len())
-        .cloned()
-        .collect();
-    let tel = Telemetry::enabled();
-    let _ = batch::cs_slices_telemetry(&a.csr, &tiled, SliceKind::Thin, 1, &tel);
+    let tiled: Vec<Query> = qs.iter().cycle().take(3 * qs.len()).cloned().collect();
+    let _ = s.query_batch(&tiled, 1);
     let report = tel.report();
     let misses = report
         .counters
@@ -173,10 +188,10 @@ fn cs_batch_records_memo_hits_and_misses() {
 
 #[test]
 fn run_report_round_trips_through_json() {
-    let a = setup();
-    let queries = print_queries(&a);
     let tel = Telemetry::enabled();
-    let _ = batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &tel);
+    let mut s = session(RunCtx::disabled().with_telemetry(tel.clone()));
+    let qs = queries(s.program(), Engine::Ci);
+    let _ = s.query_batch(&qs, 2);
     tel.event("test.marker", &[("key", "value \"quoted\"\n".to_string())]);
     let report = tel.report();
 
@@ -188,15 +203,17 @@ fn run_report_round_trips_through_json() {
 
 #[test]
 fn governance_records_budget_exhaustion_with_frontier() {
-    let a = setup();
-    let queries = print_queries(&a);
     let tel = Telemetry::enabled();
-    let cfg = BatchConfig {
-        budget: Budget::unlimited().with_step_limit(1),
-        telemetry: tel.clone(),
-        ..BatchConfig::default()
+    let mut s = session(RunCtx::disabled().with_telemetry(tel.clone()));
+    let policy = QueryPolicy {
+        budget: Some(Budget::unlimited().with_step_limit(1)),
+        ..QueryPolicy::default()
     };
-    let outcomes = batch::governed_slices(&a.csr, &queries, SliceKind::Thin, 2, &cfg);
+    let qs: Vec<Query> = queries(s.program(), Engine::Ci)
+        .into_iter()
+        .map(|q| q.with_policy(policy.clone()))
+        .collect();
+    let outcomes = s.query_batch(&qs, 2);
     let truncated = outcomes
         .iter()
         .filter(|o| matches!(&o.slice, Ok(s) if !s.completeness.is_complete()))
@@ -228,23 +245,29 @@ fn governance_records_budget_exhaustion_with_frontier() {
     assert!(report.counters.get("govern.meter_checks").copied() >= Some(1));
     // The per-query latency histogram covers every query.
     let h = report.histograms.get("batch.query_us").unwrap();
-    assert_eq!(h.count as usize, queries.len());
+    assert_eq!(h.count as usize, qs.len());
 }
 
 #[test]
 fn disabled_telemetry_changes_nothing() {
-    let a = setup();
-    let queries = print_queries(&a);
     let disabled = Telemetry::disabled();
     assert!(!disabled.is_enabled());
 
-    let plain = batch::slices(&a.csr, &queries, SliceKind::Thin, 2);
-    let with_disabled = batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &disabled);
+    let mut plain_session = session(RunCtx::disabled());
+    let qs = queries(plain_session.program(), Engine::Ci);
+    let plain = plain_session.query_batch(&qs, 2);
+    let with_disabled =
+        session(RunCtx::disabled().with_telemetry(disabled.clone())).query_batch(&qs, 2);
     let with_enabled =
-        batch::slices_telemetry(&a.csr, &queries, SliceKind::Thin, 2, &Telemetry::enabled());
+        session(RunCtx::disabled().with_telemetry(Telemetry::enabled())).query_batch(&qs, 2);
     for ((p, d), e) in plain.iter().zip(&with_disabled).zip(&with_enabled) {
-        assert_eq!(p.stmts_in_bfs_order, d.stmts_in_bfs_order);
-        assert_eq!(p.stmts_in_bfs_order, e.stmts_in_bfs_order);
+        let (p, d, e) = (
+            p.slice.as_ref().unwrap(),
+            d.slice.as_ref().unwrap(),
+            e.slice.as_ref().unwrap(),
+        );
+        assert_eq!(p.stmts, d.stmts);
+        assert_eq!(p.stmts, e.stmts);
         assert_eq!(p.nodes, d.nodes);
         assert_eq!(p.nodes, e.nodes);
     }
