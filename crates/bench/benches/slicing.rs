@@ -31,14 +31,23 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use thinslice::{batch, cs_slice, slice_from, Analysis, CsSlice, Slice, SliceKind};
 use thinslice_pta::PtaConfig;
-use thinslice_sdg::{DepGraph, FrozenSdg, Sdg};
-use thinslice_suite::{all_bug_tasks, benchmark_named, line_with, Benchmark};
+use thinslice_sdg::{DepGraph, FrozenSdg, NodeId, Sdg};
+use thinslice_suite::{
+    all_bug_tasks, benchmark_named, generate, line_with, Benchmark, GeneratorConfig,
+};
 use thinslice_util::{par, Histogram};
 
 /// Timing rounds per measurement; the median over rounds is reported.
 const ROUNDS: usize = 25;
 /// Untimed warm-up runs before the rounds (caches, lazy allocations).
 const WARMUP: usize = 2;
+/// Thread counts exercised by the scaling matrix.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Rounds for the thread matrix and the synthetic workload: each round
+/// runs a whole multi-query batch, so fewer rounds give a stable median.
+const MATRIX_ROUNDS: usize = 9;
+/// Seed queries in the synthetic stress workload.
+const SYNTHETIC_QUERIES: usize = 100_000;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slicer {
@@ -95,7 +104,7 @@ struct BenchResult {
 /// during a busy stretch, and the median discards the rounds a scheduler
 /// preemption inflated — both matter for microsecond-scale measurements
 /// on a shared single-core machine.
-fn time_interleaved(mut fs: Vec<Box<dyn FnMut() + '_>>) -> Vec<f64> {
+fn time_interleaved(mut fs: Vec<Box<dyn FnMut() + '_>>, n_rounds: usize) -> Vec<f64> {
     for _ in 0..WARMUP {
         for f in &mut fs {
             f();
@@ -104,7 +113,7 @@ fn time_interleaved(mut fs: Vec<Box<dyn FnMut() + '_>>) -> Vec<f64> {
     // Samples go through the telemetry histogram so the percentile math
     // here is the same nearest-rank implementation the run reports use.
     let mut rounds: Vec<Histogram> = (0..fs.len()).map(|_| Histogram::new()).collect();
-    for _ in 0..ROUNDS {
+    for _ in 0..n_rounds {
         for (i, f) in fs.iter_mut().enumerate() {
             let start = Instant::now();
             f();
@@ -186,26 +195,29 @@ fn run_benchmark(name: &str, threads: usize) -> BenchResult {
                 for (s, bt) in seq.iter().zip(&batched) {
                     assert_eq!(s.stmts, bt.stmts);
                 }
-                let t = time_interleaved(vec![
-                    Box::new(|| {
-                        for q in &queries {
-                            std::hint::black_box(cs_slice(graph, q, kind));
-                        }
-                    }),
-                    Box::new(|| {
-                        for q in &queries {
-                            std::hint::black_box(cs_slice(graph_frozen, q, kind));
-                        }
-                    }),
-                    Box::new(|| {
-                        std::hint::black_box(batch::cs_slices(
-                            graph_frozen,
-                            &queries,
-                            kind,
-                            threads,
-                        ));
-                    }),
-                ]);
+                let t = time_interleaved(
+                    vec![
+                        Box::new(|| {
+                            for q in &queries {
+                                std::hint::black_box(cs_slice(graph, q, kind));
+                            }
+                        }),
+                        Box::new(|| {
+                            for q in &queries {
+                                std::hint::black_box(cs_slice(graph_frozen, q, kind));
+                            }
+                        }),
+                        Box::new(|| {
+                            std::hint::black_box(batch::cs_slices(
+                                graph_frozen,
+                                &queries,
+                                kind,
+                                threads,
+                            ));
+                        }),
+                    ],
+                    ROUNDS,
+                );
                 (t[0], t[1], t[2])
             }
             _ => {
@@ -217,21 +229,29 @@ fn run_benchmark(name: &str, threads: usize) -> BenchResult {
                     "{name}/{}: batch must equal sequential (BFS order included)",
                     slicer.name()
                 );
-                let t = time_interleaved(vec![
-                    Box::new(|| {
-                        for q in &queries {
-                            std::hint::black_box(slice_from(graph, q, kind));
-                        }
-                    }),
-                    Box::new(|| {
-                        for q in &queries {
-                            std::hint::black_box(slice_from(graph_frozen, q, kind));
-                        }
-                    }),
-                    Box::new(|| {
-                        std::hint::black_box(batch::slices(graph_frozen, &queries, kind, threads));
-                    }),
-                ]);
+                let t = time_interleaved(
+                    vec![
+                        Box::new(|| {
+                            for q in &queries {
+                                std::hint::black_box(slice_from(graph, q, kind));
+                            }
+                        }),
+                        Box::new(|| {
+                            for q in &queries {
+                                std::hint::black_box(slice_from(graph_frozen, q, kind));
+                            }
+                        }),
+                        Box::new(|| {
+                            std::hint::black_box(batch::slices(
+                                graph_frozen,
+                                &queries,
+                                kind,
+                                threads,
+                            ));
+                        }),
+                    ],
+                    ROUNDS,
+                );
                 (t[0], t[1], t[2])
             }
         };
@@ -257,7 +277,161 @@ fn run_benchmark(name: &str, threads: usize) -> BenchResult {
     }
 }
 
-fn render_json(results: &[BenchResult], threads: usize) -> String {
+/// One benchmark's graphs and queries kept alive for the thread matrix.
+struct MatrixBench {
+    ci_frozen: FrozenSdg,
+    ci_queries: Vec<Vec<NodeId>>,
+    cs_frozen: FrozenSdg,
+    cs_queries: Vec<Vec<NodeId>>,
+}
+
+/// Builds the full Table 2 workload once (all benchmarks, CI and CS
+/// graphs) so the thread matrix can re-batch it at every thread count
+/// without re-running the analysis pipeline.
+fn matrix_workload(names: &[&'static str]) -> (Vec<MatrixBench>, usize) {
+    let mut benches = Vec::new();
+    let mut queries = 0;
+    for name in names {
+        let b = benchmark_named(name).expect("benchmark exists");
+        let a = b.analyze(PtaConfig::default());
+        let cs_sdg = a.build_cs_sdg();
+        let ci_queries = table2_queries(&b, &a, &a.sdg);
+        let cs_queries = table2_queries(&b, &a, &cs_sdg);
+        // The CI graph serves three slicer kinds, the CS graph one.
+        queries += 3 * ci_queries.len() + cs_queries.len();
+        benches.push(MatrixBench {
+            ci_frozen: a.sdg.freeze(),
+            ci_queries,
+            cs_frozen: cs_sdg.freeze(),
+            cs_queries,
+        });
+    }
+    (benches, queries)
+}
+
+/// Runs every slicer's batch over every benchmark at `threads`.
+fn run_matrix_batches(benches: &[MatrixBench], threads: usize) -> (Vec<Slice>, Vec<CsSlice>) {
+    let mut ci = Vec::new();
+    let mut cs = Vec::new();
+    for b in benches {
+        for kind in [
+            SliceKind::Thin,
+            SliceKind::TraditionalData,
+            SliceKind::TraditionalFull,
+        ] {
+            ci.extend(batch::slices(&b.ci_frozen, &b.ci_queries, kind, threads));
+        }
+        cs.extend(batch::cs_slices(
+            &b.cs_frozen,
+            &b.cs_queries,
+            SliceKind::Thin,
+            threads,
+        ));
+    }
+    (ci, cs)
+}
+
+/// Batch throughput of the Table 2 workload at each thread count, with
+/// every thread count's results asserted bit-identical to single-threaded.
+fn thread_matrix(benches: &[MatrixBench], queries: usize) -> Vec<(usize, f64)> {
+    let (base_ci, base_cs) = run_matrix_batches(benches, 1);
+    for &t in &THREAD_COUNTS[1..] {
+        let (ci, cs) = run_matrix_batches(benches, t);
+        assert_eq!(stmt_sets(&base_ci), stmt_sets(&ci), "threads={t}");
+        for (a, b) in base_cs.iter().zip(&cs) {
+            assert_eq!(a.stmts, b.stmts, "threads={t}");
+        }
+    }
+    let totals = time_interleaved(
+        THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                Box::new(move || {
+                    std::hint::black_box(run_matrix_batches(benches, t));
+                }) as Box<dyn FnMut()>
+            })
+            .collect(),
+        MATRIX_ROUNDS,
+    );
+    THREAD_COUNTS
+        .iter()
+        .zip(totals)
+        .map(|(&t, s)| (t, queries as f64 / s.max(1e-12)))
+        .collect()
+}
+
+struct SyntheticResult {
+    nodes: usize,
+    edges: usize,
+    queries: usize,
+    /// (threads, batch slices/sec).
+    rows: Vec<(usize, f64)>,
+}
+
+/// A generated large-program stress workload: every statement of a
+/// generator-built program becomes a seed, tiled to
+/// [`SYNTHETIC_QUERIES`] thin-slice queries over the frozen CI graph.
+fn run_synthetic() -> SyntheticResult {
+    let src = generate(&GeneratorConfig::scaled(2));
+    let a = Analysis::build(&[("gen.mj", &src)]).expect("generated program compiles");
+    let frozen = &a.csr;
+    let seeds: Vec<Vec<NodeId>> = a
+        .program
+        .all_stmts()
+        .filter_map(|s| {
+            let nodes = frozen.stmt_nodes_of(s);
+            if nodes.is_empty() {
+                None
+            } else {
+                Some(nodes.to_vec())
+            }
+        })
+        .collect();
+    assert!(!seeds.is_empty());
+    let queries: Vec<Vec<NodeId>> = seeds
+        .iter()
+        .cycle()
+        .take(SYNTHETIC_QUERIES)
+        .cloned()
+        .collect();
+
+    // Determinism across the matrix before anything is timed.
+    let base = batch::slices(frozen, &queries, SliceKind::Thin, 1);
+    for &t in &THREAD_COUNTS[1..] {
+        let got = batch::slices(frozen, &queries, SliceKind::Thin, t);
+        assert_eq!(stmt_sets(&base), stmt_sets(&got), "synthetic threads={t}");
+    }
+
+    let totals = time_interleaved(
+        THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                let queries = &queries;
+                Box::new(move || {
+                    std::hint::black_box(batch::slices(frozen, queries, SliceKind::Thin, t));
+                }) as Box<dyn FnMut()>
+            })
+            .collect(),
+        MATRIX_ROUNDS,
+    );
+    SyntheticResult {
+        nodes: frozen.node_count(),
+        edges: frozen.edge_count(),
+        queries: SYNTHETIC_QUERIES,
+        rows: THREAD_COUNTS
+            .iter()
+            .zip(totals)
+            .map(|(&t, s)| (t, SYNTHETIC_QUERIES as f64 / s.max(1e-12)))
+            .collect(),
+    }
+}
+
+fn render_json(
+    results: &[BenchResult],
+    threads: usize,
+    matrix: &[(usize, f64)],
+    synthetic: &SyntheticResult,
+) -> String {
     let mut queries = 0usize;
     let mut seq_s = 0.0f64;
     let mut batch_s = 0.0f64;
@@ -275,6 +449,11 @@ fn render_json(results: &[BenchResult], threads: usize) -> String {
     let _ = writeln!(out, "  \"workload\": \"table2-bug-task-seeds\",");
     let _ = writeln!(out, "  \"rounds\": {ROUNDS},");
     let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "  \"host_cpus\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     out.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");
@@ -326,6 +505,38 @@ fn render_json(results: &[BenchResult], threads: usize) -> String {
         "\"batch_speedup\": {:.2}",
         batch_tput / seq_tput.max(1e-12)
     );
+    out.push_str("},\n");
+
+    // Batch throughput at each worker count, table2 and synthetic
+    // workloads side by side. On a single-core host the columns stay
+    // flat — `host_cpus` above says which case a given file records.
+    let matrix_base = matrix.first().map_or(1.0, |&(_, tput)| tput);
+    let syn_base = synthetic.rows.first().map_or(1.0, |&(_, tput)| tput);
+    out.push_str("  \"thread_matrix\": [\n");
+    for (i, (&(t, table2_tput), &(_, syn_tput))) in matrix.iter().zip(&synthetic.rows).enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"threads\": {t}, ");
+        let _ = write!(out, "\"table2_batch_slices_per_sec\": {table2_tput:.1}, ");
+        let _ = write!(
+            out,
+            "\"table2_speedup_vs_1t\": {:.2}, ",
+            table2_tput / matrix_base.max(1e-12)
+        );
+        let _ = write!(out, "\"synthetic_batch_slices_per_sec\": {syn_tput:.1}, ");
+        let _ = write!(
+            out,
+            "\"synthetic_speedup_vs_1t\": {:.2}",
+            syn_tput / syn_base.max(1e-12)
+        );
+        out.push('}');
+        out.push_str(if i + 1 < matrix.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"synthetic\": {");
+    let _ = write!(out, "\"workload\": \"generated-scaled-2-thin\", ");
+    let _ = write!(out, "\"queries\": {}, ", synthetic.queries);
+    let _ = write!(out, "\"sdg_nodes\": {}, ", synthetic.nodes);
+    let _ = write!(out, "\"sdg_edges\": {}", synthetic.edges);
     out.push_str("}\n}\n");
     out
 }
@@ -340,7 +551,7 @@ fn main() {
     }
 
     let mut results = Vec::new();
-    for name in names {
+    for &name in &names {
         eprintln!("benchmarking {name} …");
         let r = run_benchmark(name, threads);
         println!(
@@ -361,7 +572,19 @@ fn main() {
         results.push(r);
     }
 
-    let json = render_json(&results, threads);
+    eprintln!("thread matrix (table2 workload) …");
+    let (benches, matrix_queries) = matrix_workload(&names);
+    let matrix = thread_matrix(&benches, matrix_queries);
+    eprintln!("synthetic workload ({SYNTHETIC_QUERIES} seeds) …");
+    let synthetic = run_synthetic();
+    for (&(t, table2_tput), &(_, syn_tput)) in matrix.iter().zip(&synthetic.rows) {
+        println!(
+            "threads {t}: table2 {:>9.1} slices/s   synthetic {:>11.1} slices/s",
+            table2_tput, syn_tput
+        );
+    }
+
+    let json = render_json(&results, threads, &matrix, &synthetic);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
     std::fs::write(path, &json).expect("write BENCH_slicing.json");
     println!("\nwrote {path}");

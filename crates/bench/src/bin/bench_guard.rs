@@ -4,9 +4,17 @@
 //!
 //! Usage: `bench_guard <baseline.json> <fresh.json> [max-drop-percent]`
 //!
-//! The guard only gates on *regressions* of the one headline number
-//! (`aggregate.batch_slices_per_sec`): absolute throughput varies across
-//! runner hardware, so per-benchmark or absolute thresholds would flake.
+//! The guard gates on *regressions* only: absolute throughput varies
+//! across runner hardware, so per-benchmark or absolute thresholds would
+//! flake. Two families of numbers are compared:
+//!
+//! * the one headline number, `aggregate.batch_slices_per_sec`;
+//! * every `thread_matrix` row present in both files (matched by thread
+//!   count): the table2 and synthetic batch throughputs must each stay
+//!   within tolerance at every thread count, so a pessimisation that only
+//!   shows up under (or without) parallel workers is still caught. Files
+//!   predating the matrix simply contribute no rows.
+//!
 //! The default tolerance of 25% absorbs runner noise while still
 //! catching a slicer or batch-engine pessimisation.
 
@@ -14,13 +22,48 @@ use thinslice_util::telemetry::Json;
 
 const DEFAULT_MAX_DROP_PERCENT: f64 = 25.0;
 
-fn batch_throughput(path: &str) -> Result<f64, String> {
+fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn batch_throughput(json: &Json, path: &str) -> Result<f64, String> {
     json.get("aggregate")
         .and_then(|a| a.get("batch_slices_per_sec"))
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{path}: missing aggregate.batch_slices_per_sec"))
+}
+
+/// `(threads, throughput)` rows of one matrix column; empty when the file
+/// has no `thread_matrix` section (pre-matrix baselines stay comparable).
+fn matrix_column(json: &Json, field: &str) -> Vec<(u64, f64)> {
+    let Some(rows) = json.get("thread_matrix").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter_map(|r| {
+            let threads = r.get("threads").and_then(Json::as_u64)?;
+            let tput = r.get(field).and_then(Json::as_f64)?;
+            Some((threads, tput))
+        })
+        .collect()
+}
+
+/// One "baseline vs fresh" comparison; `Err` on a drop beyond `max_drop`.
+fn compare(label: &str, baseline: f64, fresh: f64, max_drop: f64) -> Result<String, String> {
+    if baseline <= 0.0 {
+        return Err(format!("{label}: non-positive baseline throughput"));
+    }
+    let drop_percent = (1.0 - fresh / baseline) * 100.0;
+    let summary = format!(
+        "{label}: baseline {baseline:.1}/s, fresh {fresh:.1}/s \
+         ({drop_percent:+.1}% drop, {max_drop:.0}% allowed)"
+    );
+    if drop_percent > max_drop {
+        Err(format!("regression: {summary}"))
+    } else {
+        Ok(summary)
+    }
 }
 
 fn run(args: &[String]) -> Result<String, String> {
@@ -38,21 +81,33 @@ fn run(args: &[String]) -> Result<String, String> {
             .map_err(|e| format!("bad max-drop-percent {p}: {e}"))?,
         None => DEFAULT_MAX_DROP_PERCENT,
     };
-    let baseline = batch_throughput(baseline_path)?;
-    let fresh = batch_throughput(fresh_path)?;
-    if baseline <= 0.0 {
-        return Err(format!("{baseline_path}: non-positive baseline throughput"));
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+
+    let mut lines = vec![compare(
+        "aggregate batch throughput",
+        batch_throughput(&baseline, baseline_path)?,
+        batch_throughput(&fresh, fresh_path)?,
+        max_drop,
+    )?];
+    for field in [
+        "table2_batch_slices_per_sec",
+        "synthetic_batch_slices_per_sec",
+    ] {
+        let base_rows = matrix_column(&baseline, field);
+        for (threads, fresh_tput) in matrix_column(&fresh, field) {
+            let Some(&(_, base_tput)) = base_rows.iter().find(|&&(t, _)| t == threads) else {
+                continue;
+            };
+            lines.push(compare(
+                &format!("{field} @ {threads} threads"),
+                base_tput,
+                fresh_tput,
+                max_drop,
+            )?);
+        }
     }
-    let drop_percent = (1.0 - fresh / baseline) * 100.0;
-    let summary = format!(
-        "aggregate batch throughput: baseline {baseline:.1}/s, fresh {fresh:.1}/s \
-         ({drop_percent:+.1}% drop, {max_drop:.0}% allowed)"
-    );
-    if drop_percent > max_drop {
-        Err(format!("regression: {summary}"))
-    } else {
-        Ok(summary)
-    }
+    Ok(lines.join("\n  "))
 }
 
 fn main() {

@@ -398,8 +398,12 @@ fn cmd_slice_batch(s: &mut AnalysisSession, o: &Options, ctx: &RunCtx) -> Result
         fail_fast: o.fail_fast,
         ..BatchOptions::default()
     };
+    // More workers than queries buys nothing; the engine clamps further
+    // (it refuses to spawn for trivial per-worker shares), but capping
+    // here keeps the printed thread count honest.
+    let threads = o.threads.clamp(1, queries.len().max(1));
     let start = std::time::Instant::now();
-    let outcomes = s.query_batch_with(&queries, o.threads, &opts);
+    let outcomes = s.query_batch_with(&queries, threads, &opts);
     let elapsed = start.elapsed();
 
     if o.governed() {
@@ -413,7 +417,7 @@ fn cmd_slice_batch(s: &mut AnalysisSession, o: &Options, ctx: &RunCtx) -> Result
             "-- {} slices in {:.1} ms on {} thread(s) ({:.0} slices/sec)",
             outcomes.len(),
             elapsed.as_secs_f64() * 1000.0,
-            o.threads,
+            threads,
             outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         );
     }

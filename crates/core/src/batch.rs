@@ -43,8 +43,11 @@
 
 use crate::session::{Engine, SliceResult};
 use crate::slice::{slice_dense, Slice, SliceKind, SliceScratch};
-use crate::tabulation::{cs_oneshot, cs_reusing, CsScratch, CsSlice, DownConsumers, MemoStats};
+use crate::tabulation::{
+    cs_oneshot, cs_reusing, CsScratch, CsSlice, DownConsumers, ExitShare, MemoStats,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use thinslice_sdg::{DenseDisplay, DepGraph, FrozenSdg, NodeId};
 use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet, Meter, RunCtx, Telemetry};
@@ -55,16 +58,25 @@ use thinslice_util::{par, Budget, CancelToken, Completeness, FxHashSet, Meter, R
 /// identical output, this is purely a cost model.
 const FILTER_THRESHOLD: usize = 16;
 
-/// The tabulation revisits edges (a node is reprocessed once per new
-/// source fact), so dropping unfollowed edges up front pays off at much
-/// smaller batch sizes than for plain BFS.
-const CS_FILTER_THRESHOLD: usize = 5;
-
 /// Minimum cs batch size for the dense reusable scratch. Its node-indexed
 /// tables cost O(graph) to set up, repaid by cheaper per-step bookkeeping
 /// and cross-query memoisation — below this, the hash-based one-shot
 /// store (with the shared down-edge index) wins.
 const CS_DENSE_THRESHOLD: usize = 2;
+
+/// Minimum queries a worker must stand to receive before it is worth
+/// spawning: an OS thread costs tens of microseconds to start, which a
+/// worker handed one or two microsecond-scale slices never earns back.
+/// Clamping here (not in [`par`]) keeps the executor a pure mechanism
+/// while every engine entry point shares the one cost model. Results are
+/// unaffected — batches are bit-identical at every thread count.
+const MIN_QUERIES_PER_WORKER: usize = 8;
+
+/// `threads` clamped so each worker averages at least
+/// [`MIN_QUERIES_PER_WORKER`] queries (and never below 1).
+fn effective_threads(threads: usize, queries: usize) -> usize {
+    threads.clamp(1, queries.div_ceil(MIN_QUERIES_PER_WORKER).max(1))
+}
 
 // ---- the plain (ungoverned) fast path ----
 
@@ -80,6 +92,7 @@ pub(crate) fn ci_plain(
 ) -> Vec<Slice> {
     let mut span = tel.span("batch.slices");
     span.add("batch.queries", queries.len() as u64);
+    let threads = effective_threads(threads, queries.len());
     // The traditional-full slicer follows every edge kind, so the graph
     // is its own filtered view: skip both the copy and the per-edge tests.
     if matches!(kind, SliceKind::TraditionalFull) {
@@ -149,7 +162,11 @@ fn record_traversal<G: DepGraph>(
     tel.count("slice.nodes_visited", nodes.len() as u64);
     tel.count(
         "slice.csr_edges_visited",
-        nodes.iter().map(|&n| graph.deps(n).len() as u64).sum(),
+        // Result nodes are external ids; degrees live on the internal CSR.
+        nodes
+            .iter()
+            .map(|&n| graph.deps(graph.to_internal(n)).len() as u64)
+            .sum(),
     );
 }
 
@@ -165,37 +182,41 @@ pub(crate) fn cs_plain(
 ) -> Vec<CsSlice> {
     let mut span = tel.span("batch.cs_slices");
     span.add("batch.queries", queries.len() as u64);
-    // Each worker reuses its tabulation state across queries. For larger
-    // batches the same per-batch edge filter as the CI batch applies
-    // (parameter-edge labels are uniform per kind, so the summary
-    // bookkeeping is unaffected).
+    let threads = effective_threads(threads, queries.len());
+    // Each worker reuses its tabulation state across queries. Unlike the
+    // CI batch, no filtered view is built: the tabulation tests the edge
+    // kind in its own loop regardless, so the view's O(edges) copy bought
+    // nothing the test didn't already provide.
     if queries.len() < CS_DENSE_THRESHOLD {
-        let index = DownConsumers::build(graph);
+        let index = graph.down_consumers();
         return par::map_with(
             queries,
             threads,
             || (),
             |_, _, seeds| {
                 if !tel.is_enabled() {
-                    return cs_oneshot(graph, &index, seeds, kind, &mut Meter::unlimited()).0;
+                    return cs_oneshot(graph, index, seeds, kind, &mut Meter::unlimited()).0;
                 }
                 let started = Instant::now();
-                let slice = cs_oneshot(graph, &index, seeds, kind, &mut Meter::unlimited()).0;
+                let slice = cs_oneshot(graph, index, seeds, kind, &mut Meter::unlimited()).0;
                 record_traversal(tel, graph, &slice.nodes, started);
                 slice
             },
         );
     }
-    if queries.len() < CS_FILTER_THRESHOLD || matches!(kind, SliceKind::TraditionalFull) {
-        let index = DownConsumers::build(graph);
-        return par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
-            measured_cs(tel, graph, &index, seeds, kind, scratch)
-        });
-    }
-    let filtered = graph.filtered(|e| kind.follows(&e.kind));
-    let index = DownConsumers::build(&filtered);
-    par::map_with(queries, threads, CsScratch::new, |scratch, _, seeds| {
-        measured_cs(tel, &filtered, &index, seeds, kind, scratch)
+    // With several workers, each worker's scratch memoises callee-exit
+    // regions privately; a batch-wide share lets the first worker to
+    // complete a region publish it so the others splice instead of
+    // re-tabulating. Single-threaded batches skip the (small) publication
+    // cost: one scratch already sees every region.
+    let share = (threads > 1).then(|| Arc::new(ExitShare::new(graph.node_count())));
+    let new_scratch = || match &share {
+        Some(s) => CsScratch::with_share(Arc::clone(s)),
+        None => CsScratch::new(),
+    };
+    let index = graph.down_consumers();
+    par::map_with(queries, threads, new_scratch, |scratch, _, seeds| {
+        measured_cs(tel, graph, index, seeds, kind, scratch)
     })
 }
 
@@ -224,6 +245,8 @@ fn record_memo(tel: &Telemetry, delta: MemoStats) {
     tel.count("cs.exit_memo_hits", delta.exit_hits);
     tel.count("cs.exit_memo_misses", delta.exit_misses);
     tel.count("cs.summary_edges", delta.summary_edges);
+    tel.count("cs.shared_memo_hits", delta.shared_hits);
+    tel.count("cs.shared_memo_published", delta.shared_published);
 }
 
 // ---- governed batches: budgets, panic isolation, graceful degradation ----
@@ -460,6 +483,7 @@ pub(crate) fn ci_guarded(
     let tel = cfg.ctx.telemetry();
     let mut span = tel.span("batch.governed_slices");
     span.add("batch.queries", queries.len() as u64);
+    let threads = effective_threads(threads, queries.len());
     // The traditional-full slicer follows every edge, so the shared graph
     // is its own filtered view (as in the plain batch).
     let prefiltered = matches!(kind, SliceKind::TraditionalFull);
@@ -499,8 +523,20 @@ pub(crate) fn cs_guarded(
     let tel = cfg.ctx.telemetry();
     let mut span = tel.span("batch.governed_cs_slices");
     span.add("batch.queries", queries.len() as u64);
-    let index = DownConsumers::build(graph);
-    let fresh = || (CsScratch::new(), SliceScratch::new());
+    let threads = effective_threads(threads, queries.len());
+    let index = graph.down_consumers();
+    // Guarded batches share exit regions the same way the plain CS batch
+    // does; a panicked worker's replacement scratch re-attaches to the
+    // batch share (only *complete* queries publish, so a scratch discarded
+    // mid-query has published nothing unsound).
+    let share = (threads > 1).then(|| Arc::new(ExitShare::new(graph.node_count())));
+    let fresh = || {
+        let cs = match &share {
+            Some(s) => CsScratch::with_share(Arc::clone(s)),
+            None => CsScratch::new(),
+        };
+        (cs, SliceScratch::new())
+    };
     par::map_with(queries, threads, fresh, |scratch, i, seeds| {
         let out = run_guarded(i, cfg, &cancel, scratch, fresh, |(cs, bfs)| {
             let mut meter = budget.meter();
@@ -509,7 +545,7 @@ pub(crate) fn cs_guarded(
             } else {
                 None
             };
-            let (slice, completeness) = cs_reusing(graph, &index, seeds, kind, cs, &mut meter);
+            let (slice, completeness) = cs_reusing(graph, index, seeds, kind, cs, &mut meter);
             if let Some(before) = memo_before {
                 record_memo(tel, cs.memo_stats().since(&before));
             }
@@ -759,7 +795,7 @@ mod tests {
                 .iter()
                 .map(|q| slice_from(&a.sdg, q, kind))
                 .collect();
-            for threads in [1, 4] {
+            for threads in [1, 2, 4, 8] {
                 let batched = ci_plain(&a.csr, &queries, kind, threads, &Telemetry::disabled());
                 assert_eq!(batched.len(), sequential.len());
                 for (b, s) in batched.iter().zip(&sequential) {
@@ -778,7 +814,7 @@ mod tests {
             .iter()
             .map(|q| cs_slice(&a.sdg, q, SliceKind::Thin))
             .collect();
-        for threads in [1, 4] {
+        for threads in [1, 2, 4, 8] {
             let batched = cs_plain(
                 &a.csr,
                 &queries,
@@ -836,8 +872,8 @@ mod tests {
 
     #[test]
     fn large_batches_take_the_filtered_path_and_still_match() {
-        // Tile the queries past both filter thresholds so the prefiltered
-        // BFS and the filtered tabulation actually run.
+        // Tile the queries past the CI filter threshold so the prefiltered
+        // BFS actually runs (the CS batch never filters).
         let a = setup();
         let q = all_print_queries(&a);
         let tiled: Vec<Vec<NodeId>> = q
@@ -846,7 +882,7 @@ mod tests {
             .take(FILTER_THRESHOLD + 1)
             .cloned()
             .collect();
-        assert!(tiled.len() > FILTER_THRESHOLD && tiled.len() > CS_FILTER_THRESHOLD);
+        assert!(tiled.len() > FILTER_THRESHOLD);
         for kind in [
             SliceKind::Thin,
             SliceKind::TraditionalData,

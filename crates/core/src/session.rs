@@ -640,14 +640,20 @@ mod tests {
             Query::new(seeds.clone(), SliceKind::TraditionalData, Engine::Ci),
             Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci),
         ];
-        let batched = s.query_batch(&queries, 2);
-        assert_eq!(batched.len(), queries.len());
-        for (q, out) in queries.iter().zip(&batched) {
-            let single = s.query(q);
-            let got = out.slice.as_ref().expect("no faults injected");
-            assert_eq!(got.stmts, single.stmts, "{:?}/{:?}", q.engine, q.kind);
-            assert_eq!(got.nodes, single.nodes);
-            assert_eq!(got.engine, single.engine);
+        for threads in [1, 2, 4, 8] {
+            let batched = s.query_batch(&queries, threads);
+            assert_eq!(batched.len(), queries.len());
+            for (q, out) in queries.iter().zip(&batched) {
+                let single = s.query(q);
+                let got = out.slice.as_ref().expect("no faults injected");
+                assert_eq!(
+                    got.stmts, single.stmts,
+                    "{:?}/{:?}/threads={threads}",
+                    q.engine, q.kind
+                );
+                assert_eq!(got.nodes, single.nodes);
+                assert_eq!(got.engine, single.engine);
+            }
         }
     }
 

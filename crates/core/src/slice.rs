@@ -9,7 +9,7 @@
 use crate::stmtset::StmtSet;
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DenseDisplay, DepGraph, NodeId, NO_DISPLAY};
-use thinslice_util::{BitSet, Budget, Completeness, FxHashSet, Meter, Outcome, Worklist};
+use thinslice_util::{BitSet, Budget, Completeness, FxHashSet, Meter, Outcome};
 
 /// Which dependence relation a slice follows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,7 +44,8 @@ pub struct Slice {
     pub kind: SliceKind,
     /// All visited nodes (statements and connective nodes).
     pub nodes: FxHashSet<NodeId>,
-    /// Statements in the slice, in BFS (distance) order from the seed.
+    /// Statements in the slice, in canonical BFS order from the seed:
+    /// distance first, node id within a level.
     pub stmts: StmtSet,
 }
 
@@ -72,15 +73,21 @@ impl Slice {
 
 /// Reusable buffers for repeated slicing queries over one graph.
 ///
-/// A BFS needs a visited set, a frontier and a statement-dedup set; on a
-/// query-per-seed workload, allocating them anew per query dominates the
-/// cost of small slices. The scratch keeps them warm: after each query only
-/// the touched bits are cleared, so reuse is O(|slice|), not O(|graph|).
+/// A BFS needs a visited set, the current and next wavefront, and a
+/// statement-dedup set; on a query-per-seed workload, allocating them anew
+/// per query dominates the cost of small slices. The scratch keeps them
+/// warm: after each query only the touched bits are cleared, so reuse is
+/// O(|slice|), not O(|graph|).
 #[derive(Debug, Default)]
 pub struct SliceScratch {
     visited: BitSet<NodeId>,
     touched: Vec<NodeId>,
-    frontier: Worklist<NodeId>,
+    /// The current BFS level, sorted into canonical (external-id) order.
+    cur: Vec<NodeId>,
+    /// The next BFS level, collected during expansion.
+    next: Vec<NodeId>,
+    /// Word-level discovery set for the dense wavefront's wide levels.
+    next_bits: BitSet<NodeId>,
     stmt_set: FxHashSet<StmtRef>,
     /// Dense-id statement dedup for [`slice_dense`]; mirrors `stmt_set`
     /// but costs a bit test instead of a hash per node.
@@ -95,13 +102,27 @@ impl SliceScratch {
     }
 }
 
-/// The one backward-BFS loop: metered, generic over [`DepGraph`], hash
-/// statement dedup. Seeds at distance 0; ties broken by discovery order.
-/// With an unlimited meter the completeness is always `Complete` and the
-/// traversal matches the historical ungoverned loop bit-for-bit; once an
-/// armed meter exhausts, the traversal stops pulling from the frontier and
-/// the visited prefix — a subset of the full slice, in the same discovery
-/// order — is returned `Truncated` with the abandoned frontier size.
+/// Once the current level's frontier covers this fraction of the graph
+/// (one node per `WIDE_LEVEL_DIVISOR` graph nodes), the dense wavefront
+/// switches from per-edge visited tests to word-level bitset discovery.
+const WIDE_LEVEL_DIVISOR: usize = 16;
+
+/// The one backward-reachability loop: a metered level-synchronous
+/// wavefront, generic over [`DepGraph`], hash statement dedup.
+///
+/// The canonical visit order is (BFS level, ascending node id in the
+/// *external* numbering): each level is discovered as a set, sorted by
+/// [`DepGraph::to_external`], and emitted in that order. The order is a
+/// property of the dependence relation alone — independent of the graph
+/// representation and of any internal renumbering a frozen graph applies —
+/// which is what keeps batched, sequential, growable and CSR runs
+/// bit-identical.
+///
+/// With an unlimited meter the completeness is always `Complete`; once an
+/// armed meter exhausts, emission stops at the failing node and the
+/// emitted prefix — an exact prefix of the canonical order — is returned
+/// `Truncated` with the abandoned frontier size. Seeds and result nodes
+/// are in the external numbering; conversion happens here at the boundary.
 pub(crate) fn slice_sparse<G: DepGraph>(
     sdg: &G,
     seeds: &[NodeId],
@@ -112,38 +133,60 @@ pub(crate) fn slice_sparse<G: DepGraph>(
     let SliceScratch {
         visited,
         touched,
-        frontier,
+        cur,
+        next,
         stmt_set,
         ..
     } = scratch;
     let mut stmts = Vec::new();
     for &s in seeds {
-        frontier.push(s);
+        let n = sdg.to_internal(s);
+        if visited.insert(n) {
+            cur.push(n);
+        }
     }
-    while let Some(n) = frontier.pop() {
-        if !meter.tick_tracked(touched.len()) {
-            // Unprocessed: back on the frontier for an honest count.
-            frontier.push(n);
+    cur.sort_unstable_by_key(|&n| sdg.to_external(n));
+    let mut leftover = 0usize;
+    while !cur.is_empty() {
+        // Emit this level in canonical order, one meter tick per node.
+        let mut emitted = 0;
+        for &n in cur.iter() {
+            if !meter.tick_tracked(touched.len()) {
+                leftover = cur.len() - emitted;
+                break;
+            }
+            touched.push(n);
+            if let Some(stmt) = sdg.display_stmt(n) {
+                if stmt_set.insert(stmt) {
+                    stmts.push(stmt);
+                }
+            }
+            emitted += 1;
+        }
+        if leftover > 0 {
+            // Discovered-but-unemitted bits must not leak into the next
+            // query on this scratch.
+            for &n in &cur[emitted..] {
+                visited.remove(n);
+            }
             break;
         }
-        if !visited.insert(n) {
-            continue;
-        }
-        touched.push(n);
-        if let Some(stmt) = sdg.display_stmt(n) {
-            if stmt_set.insert(stmt) {
-                stmts.push(stmt);
+        // Expand: discover the next level (set semantics — expansion order
+        // within a level cannot affect membership).
+        for &n in cur.iter() {
+            for e in sdg.deps(n) {
+                if kind.follows(&e.kind) && visited.insert(e.target) {
+                    next.push(e.target);
+                }
             }
         }
-        for e in sdg.deps(n) {
-            if kind.follows(&e.kind) && !visited.contains(e.target) {
-                frontier.push(e.target);
-            }
-        }
+        next.sort_unstable_by_key(|&n| sdg.to_external(n));
+        std::mem::swap(cur, next);
+        next.clear();
     }
-    let completeness = meter.completeness(frontier.len());
-    frontier.clear();
-    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    let completeness = meter.completeness(leftover);
+    cur.clear();
+    let nodes: FxHashSet<NodeId> = touched.iter().map(|&n| sdg.to_external(n)).collect();
     for n in touched.drain(..) {
         visited.remove(n);
     }
@@ -163,9 +206,15 @@ pub(crate) fn slice_sparse<G: DepGraph>(
 /// test instead of a hash — the batched engine's per-worker inner loop.
 /// With `prefiltered` the graph's edges are already exactly the ones
 /// `kind` follows (see `FrozenSdg::filtered`) and the inner loop skips the
-/// per-edge kind test. Discovery order — and therefore the slice — matches
-/// [`slice_sparse`] on the same dependence relation exactly; only the
-/// dedup bookkeeping differs.
+/// per-edge kind test.
+///
+/// Wide levels (more than one frontier node per [`WIDE_LEVEL_DIVISOR`]
+/// graph nodes) switch discovery to word-parallel bitset algebra: targets
+/// are OR-ed into a discovery set unconditionally, then one `subtract` and
+/// one `union_with` per level replace the per-edge visited tests. Level
+/// membership — and therefore the canonical (level, external id) order and
+/// the slice — matches [`slice_sparse`] exactly; only the bookkeeping
+/// differs.
 pub(crate) fn slice_dense<G: DenseDisplay>(
     sdg: &G,
     seeds: &[NodeId],
@@ -177,38 +226,72 @@ pub(crate) fn slice_dense<G: DenseDisplay>(
     let SliceScratch {
         visited,
         touched,
-        frontier,
+        cur,
+        next,
+        next_bits,
         stmt_seen,
         stmt_touched,
         ..
     } = scratch;
+    let node_count = sdg.node_count();
     let mut stmts = Vec::new();
     for &s in seeds {
-        frontier.push(s);
+        let n = sdg.to_internal(s);
+        if visited.insert(n) {
+            cur.push(n);
+        }
     }
-    while let Some(n) = frontier.pop() {
-        if !meter.tick_tracked(touched.len()) {
-            frontier.push(n);
+    cur.sort_unstable_by_key(|&n| sdg.to_external(n));
+    let mut leftover = 0usize;
+    while !cur.is_empty() {
+        let mut emitted = 0;
+        for &n in cur.iter() {
+            if !meter.tick_tracked(touched.len()) {
+                leftover = cur.len() - emitted;
+                break;
+            }
+            touched.push(n);
+            let d = sdg.display_dense(n);
+            if d != NO_DISPLAY && stmt_seen.insert(d) {
+                stmt_touched.push(d);
+                stmts.push(sdg.dense_stmt(d));
+            }
+            emitted += 1;
+        }
+        if leftover > 0 {
+            for &n in &cur[emitted..] {
+                visited.remove(n);
+            }
             break;
         }
-        if !visited.insert(n) {
-            continue;
-        }
-        touched.push(n);
-        let d = sdg.display_dense(n);
-        if d != NO_DISPLAY && stmt_seen.insert(d) {
-            stmt_touched.push(d);
-            stmts.push(sdg.dense_stmt(d));
-        }
-        for e in sdg.deps(n) {
-            if (prefiltered || kind.follows(&e.kind)) && !visited.contains(e.target) {
-                frontier.push(e.target);
+        if cur.len() * WIDE_LEVEL_DIVISOR >= node_count {
+            // Word mode: unconditional discovery, then level-wide algebra.
+            for &n in cur.iter() {
+                for e in sdg.deps(n) {
+                    if prefiltered || kind.follows(&e.kind) {
+                        next_bits.insert(e.target);
+                    }
+                }
+            }
+            next_bits.subtract(visited);
+            visited.union_with(next_bits);
+            next_bits.drain_into(next);
+        } else {
+            for &n in cur.iter() {
+                for e in sdg.deps(n) {
+                    if (prefiltered || kind.follows(&e.kind)) && visited.insert(e.target) {
+                        next.push(e.target);
+                    }
+                }
             }
         }
+        next.sort_unstable_by_key(|&n| sdg.to_external(n));
+        std::mem::swap(cur, next);
+        next.clear();
     }
-    let completeness = meter.completeness(frontier.len());
-    frontier.clear();
-    let nodes: FxHashSet<NodeId> = touched.iter().copied().collect();
+    let completeness = meter.completeness(leftover);
+    cur.clear();
+    let nodes: FxHashSet<NodeId> = touched.iter().map(|&n| sdg.to_external(n)).collect();
     for n in touched.drain(..) {
         visited.remove(n);
     }
@@ -226,7 +309,7 @@ pub(crate) fn slice_dense<G: DenseDisplay>(
 }
 
 /// Computes a backward slice from `seeds` by BFS over the edges `kind`
-/// follows. Seeds at distance 0; ties broken by discovery order.
+/// follows. Seeds at distance 0; ties within a level broken by node id.
 ///
 /// Generic over [`DepGraph`]: runs identically over the growable
 /// [`thinslice_sdg::Sdg`] and its frozen CSR form

@@ -11,6 +11,7 @@
 use crate::slice::SliceKind;
 use crate::stmtset::StmtSet;
 use std::collections::VecDeque;
+use std::sync::{Arc, OnceLock};
 use thinslice_ir::StmtRef;
 use thinslice_sdg::{DepGraph, EdgeKind, NodeId, NodeKind};
 use thinslice_util::{Budget, Completeness, FxHashMap, FxHashSet, Meter, Outcome};
@@ -19,7 +20,8 @@ use thinslice_util::{Idx, IdxVec};
 /// Result of a context-sensitive slice: the visited node set.
 #[derive(Debug, Clone)]
 pub struct CsSlice {
-    /// All nodes in the slice.
+    /// All nodes in the slice, in the graph's *external* (pre-freeze) id
+    /// domain, so results are comparable across growable and frozen views.
     pub nodes: FxHashSet<NodeId>,
     /// The statements in the slice, in sorted order (tabulation discovery
     /// order depends on the storage backend, so sorting is the canonical
@@ -107,29 +109,7 @@ pub fn cs_slice<G: DepGraph>(sdg: &G, seeds: &[NodeId], kind: SliceKind) -> CsSl
     .0
 }
 
-/// The down-edge index tabulation needs: (site, exit node) → caller-side
-/// consumer nodes. Building it scans every edge once, which dominates the
-/// cost of small queries — batched slicing builds it once per graph and
-/// shares it across all queries ([`cs_slice_indexed`]).
-#[derive(Debug, Clone, Default)]
-pub struct DownConsumers {
-    map: FxHashMap<(NodeId, NodeId), Vec<NodeId>>,
-}
-
-impl DownConsumers {
-    /// Scans `sdg` and indexes all `ParamOut` edges.
-    pub fn build<G: DepGraph>(sdg: &G) -> DownConsumers {
-        let mut map: FxHashMap<(NodeId, NodeId), Vec<NodeId>> = FxHashMap::default();
-        for n in (0..sdg.node_count()).map(NodeId::from_usize) {
-            for e in sdg.deps(n) {
-                if let EdgeKind::ParamOut { site } = e.kind {
-                    map.entry((site, e.target)).or_default().push(n);
-                }
-            }
-        }
-        DownConsumers { map }
-    }
-}
+pub use thinslice_sdg::DownConsumers;
 
 /// Storage for the tabulation's path-edge and summary relations.
 ///
@@ -150,8 +130,11 @@ trait TabStore {
     fn add_path(&mut self, n: NodeId, src: Src) -> bool;
     /// Copies `n`'s current sources into `out` (which is cleared first).
     fn copy_srcs(&self, n: NodeId, out: &mut Vec<Src>);
-    /// Records the summary edge `consumer → actual`; true if new.
-    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool;
+    /// Records the summary edge `consumer → actual`, discovered while
+    /// tabulating on behalf of `owner`; true if new. A memoising store uses
+    /// `owner` to attribute the edge to the callee-exit region whose ascent
+    /// produced it, so the region can be republished to other workers.
+    fn add_summary(&mut self, owner: Src, consumer: NodeId, actual: NodeId) -> bool;
     /// Copies `n`'s known summary continuations into `out` (cleared first).
     fn copy_summaries(&self, n: NodeId, out: &mut Vec<NodeId>);
     /// Called when the traversal descends from a node with source `from`
@@ -188,7 +171,7 @@ impl TabStore for SparseStore {
         }
     }
 
-    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool {
+    fn add_summary(&mut self, _owner: Src, consumer: NodeId, actual: NodeId) -> bool {
         let v = self.summaries.entry(consumer).or_default();
         if v.contains(&actual) {
             return false;
@@ -215,11 +198,46 @@ impl TabStore for SparseStore {
     fn finish<G: DepGraph>(&mut self, sdg: &G, _complete: bool) -> CsSlice {
         // Nothing is memoised across queries, so truncation needs no
         // special handling: everything is cleared either way.
-        let nodes: FxHashSet<NodeId> = self.path.keys().copied().collect();
-        let stmts = harvest_stmts(sdg, nodes.iter().copied());
+        let nodes: FxHashSet<NodeId> = self.path.keys().map(|&n| sdg.to_external(n)).collect();
+        let stmts = harvest_stmts(sdg, self.path.keys().copied());
         self.path.clear();
         self.summaries.clear();
         CsSlice { nodes, stmts }
+    }
+}
+
+/// A callee exit's tabulated region at fixpoint, as published to
+/// [`ExitShare`]: the nodes its `Exit` source reaches, the sub-exits the
+/// region descends into (whose regions carry the rest of the nodes), and
+/// the summary edges its exploration discovered. All ids are in the
+/// graph's *internal* domain. Immutable once published.
+#[derive(Debug, Default)]
+pub struct ExitRegion {
+    nodes: Vec<NodeId>,
+    deps: Vec<NodeId>,
+    summaries: Vec<(NodeId, NodeId)>,
+}
+
+/// Cross-worker publication of completed callee-exit regions.
+///
+/// One slot per node, write-once: the first worker whose *complete* query
+/// tabulates an exit's region publishes it; every other worker installs the
+/// published region instead of re-tabulating the callee. Readers take the
+/// lock-free fast path of [`OnceLock::get`]; a lost publication race is
+/// harmless because both racers computed the same fixpoint. Shared per
+/// batch — regions are facts of the (graph, slice kind) pair, so a share
+/// must never outlive either.
+#[derive(Debug)]
+pub struct ExitShare {
+    slots: Vec<OnceLock<Arc<ExitRegion>>>,
+}
+
+impl ExitShare {
+    /// Creates an empty share with one slot per node of the graph.
+    pub fn new(node_count: usize) -> ExitShare {
+        ExitShare {
+            slots: (0..node_count).map(|_| OnceLock::new()).collect(),
+        }
     }
 }
 
@@ -269,6 +287,13 @@ struct DenseStore {
     exit_deps: IdxVec<NodeId, Vec<NodeId>>,
     /// Per-exit [`exit_state`] value.
     exit_state: IdxVec<NodeId, u8>,
+    /// Summary edges attributed to the exit whose ascent discovered them
+    /// (deduplicated per exit, independently of the global `summaries`
+    /// dedup — a re-explored region must re-accumulate its full set).
+    /// Persists across truncation; drained when the region is published.
+    exit_summaries: IdxVec<NodeId, Vec<(NodeId, NodeId)>>,
+    /// Cross-worker region publication, when this store takes part in one.
+    shared: Option<Arc<ExitShare>>,
     /// Exits first explored by the in-flight query, for harvesting.
     explored_now: Vec<NodeId>,
     /// DFS stack and visited list for [`DenseStore::splice`].
@@ -290,6 +315,10 @@ pub struct MemoStats {
     pub exit_misses: u64,
     /// Summary edges recorded (a graph fact shared by later queries).
     pub summary_edges: u64,
+    /// Descents answered by installing a region another worker published.
+    pub shared_hits: u64,
+    /// Regions this scratch published to the cross-worker share.
+    pub shared_published: u64,
 }
 
 impl MemoStats {
@@ -299,6 +328,8 @@ impl MemoStats {
             exit_hits: self.exit_hits - earlier.exit_hits,
             exit_misses: self.exit_misses - earlier.exit_misses,
             summary_edges: self.summary_edges - earlier.summary_edges,
+            shared_hits: self.shared_hits - earlier.shared_hits,
+            shared_published: self.shared_published - earlier.shared_published,
         }
     }
 }
@@ -313,7 +344,68 @@ impl DenseStore {
             self.exit_cache = IdxVec::from_elem(Vec::new(), node_count);
             self.exit_deps = IdxVec::from_elem(Vec::new(), node_count);
             self.exit_state = IdxVec::from_elem(exit_state::UNSEEN, node_count);
+            self.exit_summaries = IdxVec::from_elem(Vec::new(), node_count);
         }
+    }
+
+    /// Tries to satisfy a descent into the unseen `exit` from the
+    /// cross-worker share. Collects the transitive closure of published
+    /// regions the install needs first, then installs all of them or
+    /// nothing: a region whose sub-exit is missing from the share cannot
+    /// be replayed, and one whose sub-exit this query is currently
+    /// EXPLORING must not be spliced over an in-flight tabulation (a
+    /// truncated query would then cache a region that was never completed
+    /// locally). Locally CACHED sub-regions are already satisfied.
+    fn try_install(&mut self, exit: NodeId) -> bool {
+        let share = match &self.shared {
+            Some(s) => Arc::clone(s),
+            None => return false,
+        };
+        let mut stack = vec![exit];
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut regions: Vec<(NodeId, Arc<ExitRegion>)> = Vec::new();
+        while let Some(e) = stack.pop() {
+            if !seen.insert(e) {
+                continue;
+            }
+            match self.exit_state[e] {
+                exit_state::CACHED => continue,
+                exit_state::EXPLORING => return false,
+                _ => {}
+            }
+            let Some(region) = share.slots[e.index()].get() else {
+                return false;
+            };
+            stack.extend_from_slice(&region.deps);
+            regions.push((e, Arc::clone(region)));
+        }
+        for (e, region) in regions {
+            debug_assert!(self.exit_cache[e].is_empty());
+            self.exit_cache[e].extend_from_slice(&region.nodes);
+            for &d in &region.deps {
+                if !self.exit_deps[e].contains(&d) {
+                    self.exit_deps[e].push(d);
+                }
+            }
+            for &(consumer, actual) in &region.summaries {
+                self.add_global_summary(consumer, actual);
+            }
+            self.exit_state[e] = exit_state::CACHED;
+        }
+        self.memo.shared_hits += 1;
+        true
+    }
+
+    /// The global (per-store) summary relation insert; shared by
+    /// [`TabStore::add_summary`] and [`DenseStore::try_install`].
+    fn add_global_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool {
+        let v = &mut self.summaries[consumer];
+        if v.contains(&actual) {
+            return false;
+        }
+        v.push(actual);
+        self.memo.summary_edges += 1;
+        true
     }
 
     /// Replays the memoised region of `exit` (and transitively of the
@@ -366,14 +458,18 @@ impl TabStore for DenseStore {
         out.extend(self.path[n].iter().copied());
     }
 
-    fn add_summary(&mut self, consumer: NodeId, actual: NodeId) -> bool {
-        let v = &mut self.summaries[consumer];
-        if v.contains(&actual) {
-            return false;
+    fn add_summary(&mut self, owner: Src, consumer: NodeId, actual: NodeId) -> bool {
+        if let Src::Exit(e) = owner {
+            // Attribute the edge to the owning exit's region regardless of
+            // the global dedup below: a later (re-)exploration of `e` must
+            // still accumulate the region's complete summary set even when
+            // an earlier query already knew the edge globally.
+            let v = &mut self.exit_summaries[e];
+            if !v.contains(&(consumer, actual)) {
+                v.push((consumer, actual));
+            }
         }
-        v.push(actual);
-        self.memo.summary_edges += 1;
-        true
+        self.add_global_summary(consumer, actual)
     }
 
     fn copy_summaries(&self, n: NodeId, out: &mut Vec<NodeId>) {
@@ -401,6 +497,14 @@ impl TabStore for DenseStore {
             }
             exit_state::EXPLORING => true,
             _ => {
+                if self.try_install(exit) {
+                    // Another worker published the region; it is CACHED
+                    // now, so splice instead of exploring.
+                    if !self.path[exit].contains(&Src::Exit(exit)) {
+                        self.splice(exit);
+                    }
+                    return false;
+                }
                 self.memo.exit_misses += 1;
                 self.exit_state[exit] = exit_state::EXPLORING;
                 self.explored_now.push(exit);
@@ -414,7 +518,7 @@ impl TabStore for DenseStore {
     }
 
     fn finish<G: DepGraph>(&mut self, sdg: &G, complete: bool) -> CsSlice {
-        let nodes: FxHashSet<NodeId> = self.reached.iter().copied().collect();
+        let nodes: FxHashSet<NodeId> = self.reached.iter().map(|&n| sdg.to_external(n)).collect();
         let stmts = harvest_stmts(sdg, self.reached.iter().copied());
         if complete {
             // Harvest the regions this query completed: the worklist has
@@ -430,6 +534,18 @@ impl TabStore for DenseStore {
             }
             for e in self.explored_now.drain(..) {
                 self.exit_state[e] = exit_state::CACHED;
+                if let Some(share) = &self.shared {
+                    let region = ExitRegion {
+                        nodes: self.exit_cache[e].clone(),
+                        deps: self.exit_deps[e].clone(),
+                        summaries: std::mem::take(&mut self.exit_summaries[e]),
+                    };
+                    if share.slots[e.index()].set(Arc::new(region)).is_ok() {
+                        self.memo.shared_published += 1;
+                    }
+                    // A lost race is fine: both racers tabulated the same
+                    // fixpoint, so the winning region is interchangeable.
+                }
             }
         } else {
             // Truncated: the regions first explored here are NOT at
@@ -473,6 +589,23 @@ impl CsScratch {
     /// Creates an empty scratch. Buffers grow on first use.
     pub fn new() -> CsScratch {
         CsScratch::default()
+    }
+
+    /// Creates a scratch whose dense store publishes completed callee-exit
+    /// regions to `share` and installs regions other workers published.
+    /// The share is a fact store of one (graph, slice kind) pair — every
+    /// scratch attached to it must query exactly that pair.
+    pub fn with_share(share: Arc<ExitShare>) -> CsScratch {
+        let mut scratch = CsScratch::default();
+        scratch.store.shared = Some(share);
+        scratch
+    }
+
+    /// The share this scratch publishes to, if any — so a replacement
+    /// scratch (e.g. after panic isolation discards this one) can stay
+    /// attached to the same batch-wide share.
+    pub fn share(&self) -> Option<Arc<ExitShare>> {
+        self.store.shared.clone()
     }
 
     /// Cumulative memoisation counters of this scratch (exit-region memo
@@ -622,7 +755,6 @@ fn tabulate<G: DepGraph, S: TabStore>(
     tmp_conts: &mut Vec<NodeId>,
     meter: &mut Meter,
 ) -> (CsSlice, Completeness) {
-    let down_consumers = &index.map;
     wl.clear();
 
     let add = |store: &mut S, wl: &mut VecDeque<(Src, NodeId)>, src: Src, n: NodeId| {
@@ -632,7 +764,8 @@ fn tabulate<G: DepGraph, S: TabStore>(
     };
 
     for &s in seeds {
-        add(store, wl, Src::Seed, s);
+        // Seeds arrive as external ids; the traversal runs internal.
+        add(store, wl, Src::Seed, sdg.to_internal(s));
     }
 
     while let Some((src, n)) = wl.pop_front() {
@@ -656,9 +789,9 @@ fn tabulate<G: DepGraph, S: TabStore>(
                         // every consumer that descended into `exit` at `c`.
                         Src::Exit(exit) => {
                             let actual = e.target;
-                            if let Some(consumers) = down_consumers.get(&(site, exit)) {
+                            if let Some(consumers) = index.get(site, exit) {
                                 for &consumer in consumers {
-                                    if store.add_summary(consumer, actual) {
+                                    if store.add_summary(src, consumer, actual) {
                                         // Extend everyone who already
                                         // reached the consumer.
                                         store.copy_srcs(consumer, tmp_srcs);

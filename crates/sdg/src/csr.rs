@@ -5,12 +5,21 @@
 //! immutable for the whole query phase, which makes the classic CSR layout
 //! pay off: one contiguous edge array plus an offset array per node. All
 //! slicers traverse the graph through the [`DepGraph`] trait, so they run
-//! unchanged over either representation; [`Sdg::freeze`] preserves per-node
-//! edge order exactly, keeping BFS discovery order — and therefore slice
-//! output — bit-for-bit identical.
+//! unchanged over either representation.
+//!
+//! [`Sdg::freeze`] additionally renumbers the nodes into BFS (wavefront)
+//! order over the dependence edges: nodes a backward slice visits together
+//! get adjacent ids, so a traversal's visited bitset and edge rows stay in
+//! cache. The permutation is internal — every [`NodeId`] crossing the API
+//! boundary (seed resolution via [`DepGraph::stmt_nodes_of`], slice result
+//! node sets) stays in the *original* growable-graph numbering via
+//! [`DepGraph::to_internal`]/[`DepGraph::to_external`], and per-node edge
+//! order is preserved exactly, so slice output — statement order included —
+//! is bit-for-bit identical to slicing the growable graph.
 
-use crate::node::{Edge, NodeId, NodeKind};
+use crate::node::{Edge, EdgeKind, NodeId, NodeKind};
 use crate::{HeapMode, Sdg};
+use std::sync::OnceLock;
 use thinslice_ir::StmtRef;
 use thinslice_util::{FxHashMap, Idx, RunCtx};
 
@@ -37,6 +46,21 @@ pub trait DepGraph {
 
     /// The graph's heap mode.
     fn mode(&self) -> HeapMode;
+
+    /// Maps an *external* node id (the growable graph's numbering, used at
+    /// every API boundary) to this graph's traversal id. Identity except on
+    /// graphs that renumber internally ([`FrozenSdg`]).
+    #[inline]
+    fn to_internal(&self, n: NodeId) -> NodeId {
+        n
+    }
+
+    /// Inverse of [`DepGraph::to_internal`]: maps a traversal id back to
+    /// the external numbering results are reported in.
+    #[inline]
+    fn to_external(&self, n: NodeId) -> NodeId {
+        n
+    }
 }
 
 impl DepGraph for Sdg {
@@ -106,8 +130,16 @@ pub struct FrozenSdg {
     display_idx: Vec<u32>,
     /// The distinct display statements, indexed by their dense id.
     display_stmts: Vec<StmtRef>,
-    /// All instance nodes of a statement, for seed resolution.
+    /// All instance nodes of a statement, for seed resolution. Holds
+    /// *external* (growable-graph) ids in original intern order.
     nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>>,
+    /// BFS renumbering: `perm[external] = internal`.
+    perm: Vec<NodeId>,
+    /// Inverse renumbering: `inv[internal] = external`.
+    inv: Vec<NodeId>,
+    /// Lazily built [`DownConsumers`] index (a pure graph fact, so it is
+    /// cached on the graph and shared by every batch and thread).
+    down: OnceLock<DownConsumers>,
 }
 
 /// Sentinel dense id for nodes without a display statement.
@@ -145,6 +177,12 @@ impl FrozenSdg {
         self.stmt_nodes_of(s).first().copied()
     }
 
+    /// The graph's [`DownConsumers`] index, built on first use and cached
+    /// for the life of the frozen graph.
+    pub fn down_consumers(&self) -> &DownConsumers {
+        self.down.get_or_init(|| DownConsumers::build(self))
+    }
+
     /// A view of the graph keeping only the edges `keep` accepts, per-node
     /// order preserved. The batched engine filters once per batch by the
     /// slice kind's edge predicate, so every query's BFS traverses a
@@ -167,6 +205,63 @@ impl FrozenSdg {
             offsets,
             edges,
         }
+    }
+}
+
+/// The call-return index demand-driven tabulation needs: `(call site,
+/// callee exit)` → caller-side consumer nodes, i.e. an index of every
+/// `ParamOut` edge. A pure graph fact, so it can be shared across any
+/// number of queries and threads; [`FrozenSdg::down_consumers`] caches one
+/// per frozen graph.
+///
+/// Stored as sorted key groups rather than a hash map: building is one
+/// collect + sort with no per-entry allocation (the build used to cost
+/// more than the small queries it served), and the lookup — a binary
+/// search, only on the hit path of a tabulation ascent — is rare enough
+/// that hashing never paid for its setup.
+#[derive(Debug, Clone, Default)]
+pub struct DownConsumers {
+    /// Distinct `(site, exit)` keys, sorted.
+    keys: Vec<(NodeId, NodeId)>,
+    /// `consumers[offsets[i]..offsets[i + 1]]` = consumers of `keys[i]`.
+    offsets: Vec<u32>,
+    consumers: Vec<NodeId>,
+}
+
+impl DownConsumers {
+    /// Scans `sdg` and indexes all `ParamOut` edges.
+    pub fn build<G: DepGraph + ?Sized>(sdg: &G) -> DownConsumers {
+        let mut triples: Vec<(NodeId, NodeId, NodeId)> = Vec::new();
+        for n in (0..sdg.node_count()).map(NodeId::from_usize) {
+            for e in sdg.deps(n) {
+                if let EdgeKind::ParamOut { site } = e.kind {
+                    triples.push((site, e.target, n));
+                }
+            }
+        }
+        triples.sort_unstable();
+        let mut keys = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        let mut consumers = Vec::with_capacity(triples.len());
+        for (site, exit, consumer) in triples {
+            if keys.last() != Some(&(site, exit)) {
+                keys.push((site, exit));
+                offsets.push(consumers.len() as u32);
+            }
+            consumers.push(consumer);
+        }
+        offsets.push(consumers.len() as u32);
+        DownConsumers {
+            keys,
+            offsets,
+            consumers,
+        }
+    }
+
+    /// The consumers that descend into `exit` at call site `site`.
+    pub fn get(&self, site: NodeId, exit: NodeId) -> Option<&[NodeId]> {
+        let i = self.keys.binary_search(&(site, exit)).ok()?;
+        Some(&self.consumers[self.offsets[i] as usize..self.offsets[i + 1] as usize])
     }
 }
 
@@ -210,6 +305,14 @@ impl DepGraph for FilteredCsr<'_> {
 
     fn mode(&self) -> HeapMode {
         self.base.mode()
+    }
+
+    fn to_internal(&self, n: NodeId) -> NodeId {
+        self.base.to_internal(n)
+    }
+
+    fn to_external(&self, n: NodeId) -> NodeId {
+        self.base.to_external(n)
     }
 }
 
@@ -266,6 +369,14 @@ impl DepGraph for FrozenSdg {
     fn mode(&self) -> HeapMode {
         self.mode
     }
+
+    fn to_internal(&self, n: NodeId) -> NodeId {
+        self.perm[n.index()]
+    }
+
+    fn to_external(&self, n: NodeId) -> NodeId {
+        self.inv[n.index()]
+    }
 }
 
 impl Sdg {
@@ -284,11 +395,72 @@ impl Sdg {
         csr
     }
 
-    /// Freezes the graph into its CSR form. Per-node edge order is
-    /// preserved exactly, so traversals over the frozen graph visit nodes
-    /// in the same order as over `self`.
+    /// Freezes the graph into its CSR form, renumbering nodes into BFS
+    /// order over the dependence edges (cache-aware layout: a slice's
+    /// wavefront reads adjacent edge rows and adjacent visited-bitset
+    /// words).
+    ///
+    /// The renumbering is invisible outside the graph: seed resolution
+    /// ([`DepGraph::stmt_nodes_of`]) keeps original ids, traversal code
+    /// converts at the boundary via [`DepGraph::to_internal`] /
+    /// [`DepGraph::to_external`], and per-node edge order is preserved
+    /// exactly — so traversals over the frozen graph visit the same nodes
+    /// in the same order as over `self` and report identical results.
     pub fn freeze(&self) -> FrozenSdg {
         let n = Sdg::node_count(self);
+        let placeholder = NodeId::new(0);
+        // BFS forest over the dependence edges, roots taken in original id
+        // order, new ids assigned at discovery time.
+        let mut perm: Vec<NodeId> = vec![placeholder; n];
+        let mut inv: Vec<NodeId> = Vec::with_capacity(n);
+        let mut discovered = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        for root in 0..n {
+            if discovered[root] {
+                continue;
+            }
+            discovered[root] = true;
+            let old = NodeId::new(root);
+            perm[root] = NodeId::new(inv.len());
+            inv.push(old);
+            queue.push_back(old);
+            while let Some(at) = queue.pop_front() {
+                for e in Sdg::deps(self, at) {
+                    let t = e.target.index();
+                    if !discovered[t] {
+                        discovered[t] = true;
+                        perm[t] = NodeId::new(inv.len());
+                        inv.push(e.target);
+                        queue.push_back(e.target);
+                    }
+                }
+            }
+        }
+
+        // Node ids embedded in edge and node payloads move with the
+        // permutation so the frozen graph is self-consistent internally.
+        let remap_edge = |e: &Edge| -> Edge {
+            let target = perm[e.target.index()];
+            let kind = match e.kind {
+                EdgeKind::ParamIn { site } => EdgeKind::ParamIn {
+                    site: perm[site.index()],
+                },
+                EdgeKind::ParamOut { site } => EdgeKind::ParamOut {
+                    site: perm[site.index()],
+                },
+                k => k,
+            };
+            Edge { target, kind }
+        };
+        let remap_kind = |k: NodeKind| -> NodeKind {
+            match k {
+                NodeKind::ActualParam(site, i) => NodeKind::ActualParam(perm[site.index()], i),
+                NodeKind::ActualIn(site, p) => NodeKind::ActualIn(perm[site.index()], p),
+                NodeKind::ActualOut(site, p) => NodeKind::ActualOut(perm[site.index()], p),
+                k => k,
+            }
+        };
+
         let mut offsets = Vec::with_capacity(n + 1);
         let mut edges = Vec::with_capacity(self.edge_count());
         let mut kinds = Vec::with_capacity(n);
@@ -296,13 +468,14 @@ impl Sdg {
         let mut display_idx = Vec::with_capacity(n);
         let mut display_stmts = Vec::new();
         let mut dense_of: FxHashMap<StmtRef, u32> = FxHashMap::default();
-        let mut nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>> = FxHashMap::default();
         offsets.push(0);
-        for (id, &kind) in self.nodes() {
-            edges.extend_from_slice(Sdg::deps(self, id));
+        for &old in &inv {
+            edges.extend(Sdg::deps(self, old).iter().map(remap_edge));
             offsets.push(u32::try_from(edges.len()).expect("edge count exceeds u32"));
-            kinds.push(kind);
-            let d = Sdg::display_stmt(self, id);
+            kinds.push(remap_kind(Sdg::node(self, old)));
+            // Display statements resolve through the growable graph, where
+            // the embedded site ids are still original.
+            let d = Sdg::display_stmt(self, old);
             display.push(d);
             display_idx.push(match d {
                 Some(s) => *dense_of.entry(s).or_insert_with(|| {
@@ -311,10 +484,18 @@ impl Sdg {
                 }),
                 None => NO_DISPLAY,
             });
+        }
+
+        // Seed resolution keeps *external* ids in original intern order, so
+        // `stmt_nodes_of`/`stmt_node` answer identically to the growable
+        // graph.
+        let mut nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>> = FxHashMap::default();
+        for (id, &kind) in self.nodes() {
             if let NodeKind::Stmt(_, s) = kind {
                 nodes_of_stmt.entry(s).or_default().push(id);
             }
         }
+
         FrozenSdg {
             mode: Sdg::mode(self),
             offsets,
@@ -324,6 +505,9 @@ impl Sdg {
             display_idx,
             display_stmts,
             nodes_of_stmt,
+            perm,
+            inv,
+            down: OnceLock::new(),
         }
     }
 }
@@ -331,7 +515,6 @@ impl Sdg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::EdgeKind;
     use thinslice_ir::{BlockId, Loc, MethodId};
     use thinslice_pta::CgNode;
 
@@ -383,15 +566,53 @@ mod tests {
         assert_eq!(DepGraph::node_count(&f), Sdg::node_count(&g));
         assert_eq!(f.edge_count(), g.edge_count());
         for (id, _) in g.nodes() {
-            assert_eq!(
-                DepGraph::deps(&f, id),
-                Sdg::deps(&g, id),
-                "edge order at {id:?}"
-            );
-            assert_eq!(DepGraph::node(&f, id), Sdg::node(&g, id));
-            assert_eq!(DepGraph::display_stmt(&f, id), Sdg::display_stmt(&g, id));
+            // The frozen graph renumbers internally; modulo the id
+            // mapping, every node keeps its kind, display statement, and
+            // dependence list in the original order.
+            let fid = f.to_internal(id);
+            assert_eq!(f.to_external(fid), id, "permutation roundtrip");
+            let mapped: Vec<(NodeId, EdgeKind)> = DepGraph::deps(&f, fid)
+                .iter()
+                .map(|e| (f.to_external(e.target), e.kind))
+                .collect();
+            let want: Vec<(NodeId, EdgeKind)> = Sdg::deps(&g, id)
+                .iter()
+                .map(|e| (e.target, e.kind))
+                .collect();
+            assert_eq!(mapped, want, "edge order at {id:?}");
+            assert_eq!(DepGraph::node(&f, fid), Sdg::node(&g, id));
+            assert_eq!(DepGraph::display_stmt(&f, fid), Sdg::display_stmt(&g, id));
         }
         assert_eq!(DepGraph::mode(&f), HeapMode::DirectEdges);
+    }
+
+    #[test]
+    fn freeze_renumbers_into_bfs_order() {
+        // Original intern order deliberately scatters the dependence
+        // chain: a -> c -> b. BFS from root `a` must lay them out as
+        // a=0, c=1, b=2 internally.
+        let mut g = Sdg::empty(HeapMode::DirectEdges);
+        let a = g.intern(stmt(0, 0));
+        let b = g.intern(stmt(0, 1));
+        let c = g.intern(stmt(0, 2));
+        g.add_edge(
+            a,
+            Edge {
+                target: c,
+                kind: EdgeKind::Control,
+            },
+        );
+        g.add_edge(
+            c,
+            Edge {
+                target: b,
+                kind: EdgeKind::Call,
+            },
+        );
+        let f = g.freeze();
+        assert_eq!(f.to_internal(a).index(), 0);
+        assert_eq!(f.to_internal(c).index(), 1);
+        assert_eq!(f.to_internal(b).index(), 2);
     }
 
     #[test]
@@ -430,8 +651,9 @@ mod tests {
         assert_eq!(f.dense_stmt_count(), 2);
         let mut seen = std::collections::HashSet::new();
         for (id, _) in g.nodes() {
-            let dense = f.display_dense(id);
-            match DepGraph::display_stmt(&f, id) {
+            let fid = f.to_internal(id);
+            let dense = f.display_dense(fid);
+            match DepGraph::display_stmt(&f, fid) {
                 None => assert_eq!(dense, NO_DISPLAY),
                 Some(s) => {
                     assert_ne!(dense, NO_DISPLAY);
@@ -441,10 +663,12 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), f.dense_stmt_count());
-        // The filtered view shares the numbering.
+        // The filtered view shares the numbering (and the permutation).
         let v = f.filtered(|_| true);
         for (id, _) in g.nodes() {
-            assert_eq!(v.display_dense(id), f.display_dense(id));
+            let fid = v.to_internal(id);
+            assert_eq!(fid, f.to_internal(id));
+            assert_eq!(v.display_dense(fid), f.display_dense(fid));
         }
     }
 

@@ -44,7 +44,7 @@ pub mod stats;
 #[allow(deprecated)]
 pub use builder::build_ci_governed;
 pub use builder::{build_ci, build_ci_ctx};
-pub use csr::{DenseDisplay, DepGraph, FilteredCsr, FrozenSdg, NO_DISPLAY};
+pub use csr::{DenseDisplay, DepGraph, DownConsumers, FilteredCsr, FrozenSdg, NO_DISPLAY};
 pub use heap_params::{build_cs, build_cs_ctx};
 pub use node::{Edge, EdgeKind, NodeId, NodeKind};
 pub use stats::SdgStats;

@@ -90,6 +90,16 @@ impl<I: Idx> BitSet<I> {
 
     /// Number of elements in the set.
     pub fn len(&self) -> usize {
+        self.count_ones()
+    }
+
+    /// Number of set bits, summed word-at-a-time with hardware popcount.
+    ///
+    /// This is the bulk cardinality fast path the wavefront slicer uses
+    /// between levels: no per-element iteration, just one `count_ones` per
+    /// 64-element word.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
@@ -167,6 +177,22 @@ impl<I: Idx> BitSet<I> {
             .iter()
             .enumerate()
             .all(|(i, &a)| a & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Drains the set into `out` in increasing index order, clearing every
+    /// word it visits. One pass over the words: the wavefront slicer uses
+    /// this to turn a level's discovery bits into a node list and reset the
+    /// set for the next level without a second clearing pass.
+    pub fn drain_into(&mut self, out: &mut Vec<I>) {
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            let mut bits = *w;
+            *w = 0;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                out.push(I::from_usize(wi * WORD_BITS + b));
+            }
+        }
     }
 
     /// Iterates over the elements in increasing index order.
@@ -287,6 +313,63 @@ mod tests {
         let elems = [0usize, 63, 64, 127, 128, 500];
         let s: BitSet = elems.into_iter().collect();
         assert_eq!(s.iter().collect::<Vec<_>>(), elems.to_vec());
+    }
+
+    #[test]
+    fn count_ones_agrees_with_iteration_across_word_boundaries() {
+        let elems = [0usize, 1, 62, 63, 64, 65, 126, 127, 128, 191, 192, 1000];
+        let s: BitSet = elems.into_iter().collect();
+        assert_eq!(s.count_ones(), elems.len());
+        assert_eq!(s.count_ones(), s.iter().count());
+        assert_eq!(BitSet::<usize>::new().count_ones(), 0);
+    }
+
+    #[test]
+    fn bulk_ops_handle_mismatched_domains() {
+        // `a` spans one word, `b` grew far past it: union must grow `a`,
+        // subtract/intersect must not index out of bounds in either
+        // direction.
+        let mut a: BitSet = [3usize, 63].into_iter().collect();
+        let b: BitSet = [63usize, 64, 500].into_iter().collect();
+        assert!(a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 63, 64, 500]);
+
+        let mut wide: BitSet = [0usize, 64, 500].into_iter().collect();
+        let narrow: BitSet = [0usize].into_iter().collect();
+        wide.subtract(&narrow);
+        assert_eq!(wide.iter().collect::<Vec<_>>(), vec![64, 500]);
+        let mut shrink = narrow.clone();
+        shrink.subtract(&wide);
+        assert_eq!(shrink.iter().collect::<Vec<_>>(), vec![0]);
+        shrink.intersect_with(&wide);
+        assert!(shrink.is_empty());
+    }
+
+    #[test]
+    fn domain_growth_preserves_existing_bits() {
+        let mut s: BitSet = BitSet::with_domain_size(64);
+        assert!(s.insert(63));
+        // Inserting past the sized domain grows the word array.
+        assert!(s.insert(64));
+        assert!(s.insert(4096));
+        assert!(s.contains(63) && s.contains(64) && s.contains(4096));
+        assert_eq!(s.count_ones(), 3);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.insert(4096), "clear keeps the grown allocation usable");
+    }
+
+    #[test]
+    fn drain_into_empties_in_order() {
+        let elems = [0usize, 63, 64, 127, 128, 300];
+        let mut s: BitSet = elems.into_iter().collect();
+        let mut out = Vec::new();
+        s.drain_into(&mut out);
+        assert_eq!(out, elems.to_vec());
+        assert!(s.is_empty());
+        // Draining an already-empty set appends nothing.
+        s.drain_into(&mut out);
+        assert_eq!(out.len(), elems.len());
     }
 
     #[test]

@@ -50,7 +50,7 @@ fn batched_bfs_slices_match_sequential_on_all_benchmarks() {
                 .iter()
                 .map(|q| slice_from(&a.sdg, q, kind))
                 .collect();
-            for threads in [1, 2, 4] {
+            for threads in [1, 2, 4, 8] {
                 let batched = batch::slices(&a.csr, &queries, kind, threads);
                 assert_eq!(batched.len(), sequential.len());
                 for (got, want) in batched.iter().zip(&sequential) {
@@ -80,7 +80,7 @@ fn batched_tabulation_matches_sequential_on_all_benchmarks() {
             .iter()
             .map(|q| cs_slice(&cs_sdg, q, SliceKind::Thin))
             .collect();
-        for threads in [1, 2, 4] {
+        for threads in [1, 2, 4, 8] {
             let batched = batch::cs_slices(&cs_frozen, &queries, SliceKind::Thin, threads);
             assert_eq!(batched.len(), sequential.len());
             for (got, want) in batched.iter().zip(&sequential) {

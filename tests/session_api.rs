@@ -145,7 +145,7 @@ fn batched_queries_match_sequential_queries_on_all_benchmarks() {
             }
         }
         let sequential: Vec<_> = queries.iter().map(|q| s.query(q)).collect();
-        for threads in [1, 4] {
+        for threads in [1, 2, 4, 8] {
             let batched = s.query_batch(&queries, threads);
             assert_eq!(batched.len(), sequential.len());
             for (i, (got, want)) in batched.iter().zip(&sequential).enumerate() {
