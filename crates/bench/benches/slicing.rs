@@ -48,6 +48,8 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const MATRIX_ROUNDS: usize = 9;
 /// Seed queries in the synthetic stress workload.
 const SYNTHETIC_QUERIES: usize = 100_000;
+/// Slice requests per round in the server-throughput measurement.
+const SERVER_REQUESTS: usize = 200;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Slicer {
@@ -426,11 +428,112 @@ fn run_synthetic() -> SyntheticResult {
     }
 }
 
+struct ServerResult {
+    requests: usize,
+    requests_per_sec: f64,
+}
+
+/// Whole-daemon throughput of `thinslice-serve` on the Table 2 workload:
+/// each round scripts one `load` plus [`SERVER_REQUESTS`] thin-slice
+/// requests by program hash against an in-process server, so after the
+/// first request the session is warm and the graph build is amortised
+/// across the round. The time measured is the full request path — line
+/// parsing, admission, scheduling, query, response serialization.
+fn run_server_throughput() -> ServerResult {
+    use thinslice_serve::protocol::SourceFile;
+    use thinslice_serve::{shared_out, ServeConfig, Server};
+
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    let b = benchmark_named("nanoxml").expect("benchmark exists");
+    let files: Vec<SourceFile> = b
+        .sources
+        .iter()
+        .map(|(n, t)| SourceFile {
+            name: n.to_string(),
+            text: t.to_string(),
+        })
+        .collect();
+    let hash = thinslice_serve::pool::program_hash(&files);
+    let seeds: Vec<(String, u32)> = all_bug_tasks()
+        .iter()
+        .filter(|t| t.benchmark == b.name)
+        .map(|t| {
+            let src = b
+                .sources
+                .iter()
+                .find(|(f, _)| *f == t.seed.file)
+                .expect("seed file");
+            (t.seed.file.to_string(), line_with(src.1, t.seed.snippet))
+        })
+        .collect();
+    assert!(!seeds.is_empty());
+
+    let mut script = String::from("{\"op\":\"load\",\"sources\":[");
+    for (i, f) in files.iter().enumerate() {
+        if i > 0 {
+            script.push(',');
+        }
+        let _ = write!(
+            script,
+            "{{\"name\":\"{}\",\"text\":\"{}\"}}",
+            esc(&f.name),
+            esc(&f.text)
+        );
+    }
+    script.push_str("]}\n");
+    for i in 0..SERVER_REQUESTS {
+        let (file, line) = &seeds[i % seeds.len()];
+        let _ = writeln!(
+            script,
+            "{{\"op\":\"slice\",\"id\":{i},\"program\":\"{hash}\",\
+             \"seed\":{{\"file\":\"{}\",\"line\":{line}}}}}",
+            esc(file)
+        );
+    }
+    script.push_str("{\"op\":\"shutdown\"}\n");
+
+    let mut h = Histogram::new();
+    for round in 0..(WARMUP + MATRIX_ROUNDS) {
+        let server = Server::new(ServeConfig::default());
+        let out = shared_out(std::io::sink());
+        let start = Instant::now();
+        let summary = server.serve(std::io::Cursor::new(script.as_bytes()), out);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(summary.errors, 0, "server round must be error-free");
+        assert_eq!(summary.served as usize, SERVER_REQUESTS + 2);
+        if round >= WARMUP {
+            h.record(elapsed);
+        }
+    }
+    ServerResult {
+        requests: SERVER_REQUESTS,
+        requests_per_sec: SERVER_REQUESTS as f64 / h.median().max(1e-12),
+    }
+}
+
 fn render_json(
     results: &[BenchResult],
     threads: usize,
     matrix: &[(usize, f64)],
     synthetic: &SyntheticResult,
+    server: &ServerResult,
 ) -> String {
     let mut queries = 0usize;
     let mut seq_s = 0.0f64;
@@ -537,6 +640,14 @@ fn render_json(
     let _ = write!(out, "\"queries\": {}, ", synthetic.queries);
     let _ = write!(out, "\"sdg_nodes\": {}, ", synthetic.nodes);
     let _ = write!(out, "\"sdg_edges\": {}", synthetic.edges);
+    out.push_str("},\n");
+    // Warm-session server throughput: the full thinslice-serve request
+    // path (parse, admission, query, response) with the graph build
+    // amortised across the round's requests by the session pool.
+    out.push_str("  \"server\": {");
+    let _ = write!(out, "\"workload\": \"serve-warm-session-table2-thin\", ");
+    let _ = write!(out, "\"requests\": {}, ", server.requests);
+    let _ = write!(out, "\"requests_per_sec\": {:.1}", server.requests_per_sec);
     out.push_str("}\n}\n");
     out
 }
@@ -583,8 +694,14 @@ fn main() {
             table2_tput, syn_tput
         );
     }
+    eprintln!("server throughput ({SERVER_REQUESTS} warm-session requests) …");
+    let server = run_server_throughput();
+    println!(
+        "server: {:>9.1} requests/s over a warm session",
+        server.requests_per_sec
+    );
 
-    let json = render_json(&results, threads, &matrix, &synthetic);
+    let json = render_json(&results, threads, &matrix, &synthetic, &server);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
     std::fs::write(path, &json).expect("write BENCH_slicing.json");
     println!("\nwrote {path}");

@@ -13,7 +13,10 @@
 //!   count): the table2 and synthetic batch throughputs must each stay
 //!   within tolerance at every thread count, so a pessimisation that only
 //!   shows up under (or without) parallel workers is still caught. Files
-//!   predating the matrix simply contribute no rows.
+//!   predating the matrix simply contribute no rows;
+//! * `server.requests_per_sec` — the warm-session `thinslice-serve`
+//!   request path — when both files carry it (baselines predating the
+//!   server row are skipped, not failed).
 //!
 //! The default tolerance of 25% absorbs runner noise while still
 //! catching a slicer or batch-engine pessimisation.
@@ -32,6 +35,14 @@ fn batch_throughput(json: &Json, path: &str) -> Result<f64, String> {
         .and_then(|a| a.get("batch_slices_per_sec"))
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{path}: missing aggregate.batch_slices_per_sec"))
+}
+
+/// The warm-session server throughput, `None` when the file predates the
+/// server row (pre-server baselines stay comparable).
+fn server_throughput(json: &Json) -> Option<f64> {
+    json.get("server")
+        .and_then(|s| s.get("requests_per_sec"))
+        .and_then(Json::as_f64)
 }
 
 /// `(threads, throughput)` rows of one matrix column; empty when the file
@@ -106,6 +117,14 @@ fn run(args: &[String]) -> Result<String, String> {
                 max_drop,
             )?);
         }
+    }
+    if let (Some(base), Some(fresh)) = (server_throughput(&baseline), server_throughput(&fresh)) {
+        lines.push(compare(
+            "server warm-session requests/sec",
+            base,
+            fresh,
+            max_drop,
+        )?);
     }
     Ok(lines.join("\n  "))
 }

@@ -10,6 +10,7 @@
 //! thinslice explain <file.mj>... --seed <file:line>
 //! thinslice run     <file.mj>... [--line <input>]... [--int <n>]... [--dynamic-slice]
 //! thinslice info    <file.mj>...
+//! thinslice serve   [--socket <path>] [--workers <n>] [--chaos] ...
 //! ```
 //!
 //! Batch mode (`--seeds-file`, one `file:line` per line, or `--all-seeds`
@@ -47,7 +48,17 @@ const USAGE: &str = "usage:
   thinslice explain <file.mj>... --seed <file:line>
   thinslice run     <file.mj>... [--line <text>]... [--int <n>]... [--dynamic-slice]
   thinslice info    <file.mj>...
-  thinslice validate-report <report.json>
+  thinslice validate-report <report.json | responses.jsonl>
+  thinslice serve   [--socket <path>] [--workers <n>] [--max-sessions <n>]
+                    [--resident-watermark <elems>] [--deadline-ms <n>]
+                    [--step-budget <n>] [--degrade-pending <n>]
+                    [--truncate-pending <n>] [--truncate-step-cap <n>]
+                    [--client-step-budget <n>] [--max-program-bytes <n>]
+                    [--retries <n>] [--chaos] [--trace]
+
+serve runs the multi-tenant slice daemon: line-delimited JSON requests on
+  stdin (responses on stdout), or on a Unix socket with --socket. SIGTERM
+  drains in-flight queries before exiting. See DESIGN.md for the protocol.
 
 governance (any command): [--deadline-ms <n>] [--step-budget <n>] [--fail-fast]
   Budgeted stages never abort: they return sound partial results marked
@@ -172,7 +183,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: None,
         seeds_file: None,
         all_seeds: false,
-        threads: thinslice_util::par::default_threads(),
+        // An unparseable THINSLICE_THREADS is a clean CLI error here, not
+        // a panic (and not silently ignored).
+        threads: thinslice_util::par::try_default_threads()?,
         kind: SliceKind::Thin,
         context_sensitive: false,
         object_sensitive: true,
@@ -286,6 +299,10 @@ fn resolve_seed(
 
 fn real_main(args: &[String]) -> Result<(), String> {
     let (cmd, rest) = args.split_first().ok_or("no command")?;
+    if cmd == "serve" {
+        // The daemon takes no input files and has its own flag set.
+        return cmd_serve(rest);
+    }
     let o = parse_options(rest)?;
     let ctx = o.run_ctx();
     match cmd.as_str() {
@@ -320,12 +337,36 @@ fn emit_telemetry(o: &Options, tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a previously emitted run report against the
-/// `thinslice.run_report.v1` schema (used by CI to check `--metrics-out`
-/// output stays machine-readable).
+/// Validates previously emitted machine-readable output: a
+/// `thinslice.run_report.v1` report (from `--metrics-out`), or a
+/// `thinslice.serve_response.v1` transcript (the line-delimited responses
+/// a serve run wrote). Dispatches on the `schema` field of the first
+/// non-empty line.
 fn cmd_validate_report(o: &Options) -> Result<(), String> {
+    use thinslice_util::telemetry::Json;
     for path in &o.files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let first_schema = text
+            .lines()
+            .find(|l| !l.trim().is_empty())
+            .and_then(|l| Json::parse(l).ok())
+            .and_then(|v| v.get("schema").and_then(Json::as_str).map(str::to_string));
+        if first_schema.as_deref() == Some(thinslice_serve::RESPONSE_SCHEMA) {
+            let mut responses = 0usize;
+            for (i, line) in text.lines().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                thinslice_serve::protocol::validate_response_line(line)
+                    .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+                responses += 1;
+            }
+            println!(
+                "{path}: valid {} transcript ({responses} responses)",
+                thinslice_serve::RESPONSE_SCHEMA,
+            );
+            continue;
+        }
         let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
         println!(
             "{path}: valid {} report ({} spans, {} counters, {} histograms, {} events)",
@@ -339,30 +380,169 @@ fn cmd_validate_report(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The serve subcommand's options: a [`thinslice_serve::ServeConfig`]
+/// plus where to listen (stdin by default, a Unix socket with `--socket`).
+struct ServeCli {
+    cfg: thinslice_serve::ServeConfig,
+    socket: Option<String>,
+}
+
+fn parse_serve_options(args: &[String]) -> Result<ServeCli, String> {
+    fn num<T: std::str::FromStr>(
+        it: &mut std::slice::Iter<'_, String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+    }
+    let mut cfg = thinslice_serve::ServeConfig::default();
+    let mut socket = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--workers" => {
+                cfg.workers = num(&mut it, "--workers")?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--max-sessions" => {
+                cfg.pool.max_sessions = num(&mut it, "--max-sessions")?;
+                if cfg.pool.max_sessions == 0 {
+                    return Err("--max-sessions must be at least 1".into());
+                }
+            }
+            "--resident-watermark" => {
+                cfg.pool.resident_watermark = Some(num(&mut it, "--resident-watermark")?);
+            }
+            "--deadline-ms" => cfg.default_deadline_ms = Some(num(&mut it, "--deadline-ms")?),
+            "--step-budget" => cfg.default_step_budget = Some(num(&mut it, "--step-budget")?),
+            "--degrade-pending" => cfg.degrade_pending = num(&mut it, "--degrade-pending")?,
+            "--truncate-pending" => cfg.truncate_pending = num(&mut it, "--truncate-pending")?,
+            "--truncate-step-cap" => cfg.truncate_step_cap = num(&mut it, "--truncate-step-cap")?,
+            "--client-step-budget" => {
+                cfg.client_step_budget = Some(num(&mut it, "--client-step-budget")?);
+            }
+            "--max-program-bytes" => {
+                cfg.max_program_bytes = num(&mut it, "--max-program-bytes")?;
+            }
+            "--retries" => cfg.retries = num(&mut it, "--retries")?,
+            "--chaos" => cfg.chaos = true,
+            "--trace" => cfg.trace = true,
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+    }
+    // In stdin mode the reader thread may be blocked on a read when a
+    // signal lands; the server drains, flushes, and exits the process.
+    // Socket reads time out, so that mode drains and returns normally.
+    cfg.exit_on_signal = socket.is_none();
+    Ok(ServeCli { cfg, socket })
+}
+
+/// Installs a SIGTERM handler that flips the server's shutdown flag, so
+/// `kill <pid>` drains in-flight queries instead of dropping them.
+#[cfg(unix)]
+fn install_sigterm(flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_sigterm(_sig: i32) {
+        // Async-signal-safe: one atomic load + one atomic store.
+        if let Some(f) = FLAG.get() {
+            f.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    let _ = FLAG.set(flag);
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm(_flag: std::sync::Arc<std::sync::atomic::AtomicBool>) {}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let ServeCli { cfg, socket } = parse_serve_options(args)?;
+    let server = thinslice_serve::Server::new(cfg);
+    install_sigterm(server.shutdown_flag());
+    let summary = match &socket {
+        #[cfg(unix)]
+        Some(path) => {
+            // A stale socket file from a crashed run would fail the bind.
+            let _ = std::fs::remove_file(path);
+            let listener =
+                std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("thinslice-serve: listening on {path}");
+            let summary = server.serve_listener(listener);
+            let _ = std::fs::remove_file(path);
+            summary
+        }
+        #[cfg(not(unix))]
+        Some(_) => return Err("--socket is only supported on unix".into()),
+        None => {
+            let input = std::io::BufReader::new(std::io::stdin());
+            server.serve(input, thinslice_serve::shared_out(std::io::stdout()))
+        }
+    };
+    eprintln!(
+        "thinslice-serve: done (served {}, errors {}, panics {})",
+        summary.served, summary.errors, summary.panics
+    );
+    Ok(())
+}
+
+/// Parses the text of a `--seeds-file`: one `file:line` seed per line,
+/// blank lines and `#` comments skipped. Every diagnostic names the
+/// seeds file, the 1-based line number within it, and the offending
+/// token, so a bad entry in a thousand-line seed list is findable.
+fn parse_seeds_text(path: &str, text: &str) -> Result<Vec<(String, u32)>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (f, l) = line.rsplit_once(':').ok_or_else(|| {
+            format!(
+                "{path}:{}: expected <file:line>, got {line:?} (no ':' separator)",
+                i + 1
+            )
+        })?;
+        if f.is_empty() {
+            return Err(format!(
+                "{path}:{}: empty file name in seed {line:?}",
+                i + 1
+            ));
+        }
+        let n: u32 = l
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad line number {l:?} in seed {line:?}", i + 1))?;
+        if n == 0 {
+            return Err(format!(
+                "{path}:{}: line numbers are 1-based, got 0 in seed {line:?}",
+                i + 1
+            ));
+        }
+        out.push((f.to_string(), n));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no seeds"));
+    }
+    Ok(out)
+}
+
 /// The batch seed list: parsed from `--seeds-file` (one `file:line` per
 /// line, `#` comments allowed), or every sliceable source line under
 /// `--all-seeds`.
 fn batch_seed_lines(s: &mut AnalysisSession, o: &Options) -> Result<Vec<(String, u32)>, String> {
     if let Some(path) = &o.seeds_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut out = Vec::new();
-        for (i, raw) in text.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            let (f, l) = line
-                .rsplit_once(':')
-                .ok_or_else(|| format!("{path}:{}: expected <file:line>", i + 1))?;
-            let n: u32 = l
-                .parse()
-                .map_err(|_| format!("{path}:{}: bad line number {l:?}", i + 1))?;
-            out.push((f.to_string(), n));
-        }
-        if out.is_empty() {
-            return Err(format!("{path}: no seeds"));
-        }
-        Ok(out)
+        parse_seeds_text(path, &text)
     } else {
         // Every distinct source line with a reachable statement, in file
         // order — the "slice everything" stress mode.
@@ -733,5 +913,88 @@ mod tests {
     fn seed_with_colons_in_path() {
         let o = opts(&["a.mj", "--seed", "dir:with:colons.mj:9"]).unwrap();
         assert_eq!(o.seed, Some(("dir:with:colons.mj".to_string(), 9)));
+    }
+
+    #[test]
+    fn seeds_file_errors_name_file_line_and_token() {
+        let good = "# comment\n\na.mj:3\n  dir:with:colons.mj:12  \n";
+        assert_eq!(
+            parse_seeds_text("seeds.txt", good).unwrap(),
+            vec![
+                ("a.mj".to_string(), 3),
+                ("dir:with:colons.mj".to_string(), 12)
+            ]
+        );
+        // Every diagnostic carries path, line number, and offending token.
+        let err = parse_seeds_text("seeds.txt", "a.mj:1\nnocolon\n").unwrap_err();
+        assert!(err.contains("seeds.txt:2"), "{err}");
+        assert!(err.contains("\"nocolon\""), "{err}");
+        let err = parse_seeds_text("seeds.txt", "a.mj:1\n\n# c\nb.mj:twelve\n").unwrap_err();
+        assert!(err.contains("seeds.txt:4"), "{err}");
+        assert!(err.contains("\"twelve\""), "{err}");
+        assert!(err.contains("\"b.mj:twelve\""), "{err}");
+        let err = parse_seeds_text("seeds.txt", "a.mj:0\n").unwrap_err();
+        assert!(
+            err.contains("seeds.txt:1") && err.contains("1-based"),
+            "{err}"
+        );
+        let err = parse_seeds_text("seeds.txt", ":7\n").unwrap_err();
+        assert!(
+            err.contains("seeds.txt:1") && err.contains("empty file name"),
+            "{err}"
+        );
+        let err = parse_seeds_text("empty.txt", "# only comments\n").unwrap_err();
+        assert!(err.contains("empty.txt: no seeds"), "{err}");
+    }
+
+    fn serve_opts(args: &[&str]) -> Result<ServeCli, String> {
+        parse_serve_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let s = serve_opts(&[]).unwrap();
+        assert!(s.socket.is_none());
+        assert!(
+            s.cfg.exit_on_signal,
+            "stdin mode exits after a signal drain"
+        );
+        let s = serve_opts(&[
+            "--socket",
+            "/tmp/ts.sock",
+            "--workers",
+            "4",
+            "--max-sessions",
+            "2",
+            "--resident-watermark",
+            "100000",
+            "--deadline-ms",
+            "250",
+            "--step-budget",
+            "5000",
+            "--client-step-budget",
+            "9000",
+            "--retries",
+            "2",
+            "--chaos",
+            "--trace",
+        ])
+        .unwrap();
+        assert_eq!(s.socket.as_deref(), Some("/tmp/ts.sock"));
+        assert!(!s.cfg.exit_on_signal, "socket mode drains and returns");
+        assert_eq!(s.cfg.workers, 4);
+        assert_eq!(s.cfg.pool.max_sessions, 2);
+        assert_eq!(s.cfg.pool.resident_watermark, Some(100_000));
+        assert_eq!(s.cfg.default_deadline_ms, Some(250));
+        assert_eq!(s.cfg.default_step_budget, Some(5000));
+        assert_eq!(s.cfg.client_step_budget, Some(9000));
+        assert_eq!(s.cfg.retries, 2);
+        assert!(s.cfg.chaos && s.cfg.trace);
+        assert!(serve_opts(&["--workers", "0"]).is_err());
+        assert!(serve_opts(&["--max-sessions", "0"]).is_err());
+        assert!(serve_opts(&["--deadline-ms", "soon"]).is_err());
+        assert!(serve_opts(&["--socket"]).is_err());
+        assert!(serve_opts(&["--wat"]).is_err());
+        assert!(serve_opts(&["input.mj"]).is_err(), "serve takes no files");
     }
 }

@@ -259,6 +259,27 @@ impl AnalysisSession {
         &self.program
     }
 
+    /// A rough resident-set estimate for this session, in elements (IR
+    /// statements plus nodes and edges of every graph built so far) —
+    /// the same unit [`Budget::with_resident_limit`] polices.
+    ///
+    /// This is what a session pool feeds into govern's watermark
+    /// machinery: cheap (no allocation, no stage is forced), monotone as
+    /// lazy stages materialise, and deterministic for a given program and
+    /// set of built stages.
+    ///
+    /// [`Budget::with_resident_limit`]: thinslice_util::Budget::with_resident_limit
+    pub fn resident_estimate(&self) -> usize {
+        let mut elems = self.program.all_stmts().count();
+        for csr in [&self.ci_csr, &self.cs_csr].into_iter().flatten() {
+            elems += csr.node_count() + csr.edge_count();
+        }
+        for sdg in self.ci.iter().map(|(g, _)| g).chain(self.cs.iter()) {
+            elems += sdg.node_count() + sdg.edge_count();
+        }
+        elems
+    }
+
     // ---- lazy stage artifacts ----
 
     fn ensure_pta(&mut self) {

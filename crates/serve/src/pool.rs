@@ -1,0 +1,513 @@
+//! The multi-tenant session pool: program-hash keying, LRU eviction, a
+//! govern-backed resident watermark, and panic quarantine.
+//!
+//! The pool maps a 64-bit program hash to an entry holding the
+//! program's sources (always retained — they are what quarantine and
+//! re-admission rebuild from) and, while resident, a live
+//! [`AnalysisSession`]. Sessions are handed out exclusively via
+//! [`SessionPool::checkout`] / [`SessionPool::checkin`] because every
+//! session stage accessor takes `&mut self`.
+//!
+//! Two pressure valves bound the fleet's footprint:
+//!
+//! * **Session cap** — at most `max_sessions` live sessions; beyond that
+//!   the least-recently-used live session is dropped (sources stay, so a
+//!   later request rebuilds it transparently).
+//! * **Resident watermark** — the summed [`resident_estimate`] of live
+//!   sessions is policed through govern's own machinery
+//!   ([`Budget::with_resident_limit`] + [`Meter::check_now`]); while the
+//!   meter reports [`ExhaustReason::Memory`], LRU sessions are evicted.
+//!
+//! The most-recently-used session is never evicted: a single program
+//! larger than the watermark still gets served (the alternative is
+//! refusing service, which the admission ladder exists to avoid).
+//!
+//! **Determinism invariant:** rebuilding a session from its retained
+//! sources yields bit-identical query results — sessions memoise pure
+//! stage artifacts of an immutable program, so eviction, quarantine, and
+//! cold starts are all observationally equivalent (pinned by this
+//! module's tests and the chaos suite).
+//!
+//! [`AnalysisSession`]: thinslice::AnalysisSession
+//! [`resident_estimate`]: thinslice::AnalysisSession::resident_estimate
+//! [`Budget::with_resident_limit`]: thinslice_util::Budget::with_resident_limit
+//! [`Meter::check_now`]: thinslice_util::Meter::check_now
+//! [`ExhaustReason::Memory`]: thinslice_util::ExhaustReason::Memory
+
+use std::hash::{Hash, Hasher};
+
+use crate::protocol::SourceFile;
+use thinslice::AnalysisSession;
+use thinslice_ir::CompileError;
+use thinslice_pta::PtaConfig;
+use thinslice_util::telemetry::Telemetry;
+use thinslice_util::{Budget, FxHasher, RunCtx};
+
+/// The pool's 16-hex-digit program key: an order-sensitive FxHash over
+/// every file name and text. Deterministic across runs and platforms.
+pub fn program_hash(sources: &[SourceFile]) -> String {
+    let mut h = FxHasher::default();
+    for s in sources {
+        s.name.hash(&mut h);
+        s.text.hash(&mut h);
+    }
+    format!("{:016x}", h.finish())
+}
+
+/// Pool sizing knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum live sessions (≥ 1 is always kept).
+    pub max_sessions: usize,
+    /// Fleet-wide resident watermark in elements ([`None`] = unlimited),
+    /// policed via govern's resident-limit machinery.
+    pub resident_watermark: Option<usize>,
+    /// Points-to configuration for every session.
+    pub pta: PtaConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig {
+            max_sessions: 8,
+            resident_watermark: None,
+            pta: PtaConfig::default(),
+        }
+    }
+}
+
+/// Pool-wide counters (monotone; reported by the `status` op).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served by a live session.
+    pub hits: u64,
+    /// Checkouts that had to (re)build an evicted session.
+    pub misses: u64,
+    /// Sessions built in total (initial + rebuilds).
+    pub builds: u64,
+    /// Sessions dropped by LRU/watermark pressure.
+    pub evictions: u64,
+    /// Sessions poisoned by a panicking query.
+    pub quarantines: u64,
+    /// Quarantined sessions rebuilt on their next request.
+    pub rebuilds: u64,
+}
+
+#[derive(Debug)]
+struct PoolEntry {
+    hash: String,
+    sources: Vec<SourceFile>,
+    session: Option<Box<AnalysisSession>>,
+    resident: usize,
+    last_used: u64,
+    quarantined: bool,
+}
+
+/// Why a checkout failed.
+#[derive(Debug)]
+pub enum PoolError {
+    /// The hash was never registered (or the client made it up).
+    UnknownProgram,
+    /// Rebuilding the session failed to compile (cannot happen for
+    /// programs that registered successfully, but handled anyway).
+    Compile(CompileError),
+}
+
+/// An exclusively checked-out session. Return it with
+/// [`SessionPool::checkin`] — or, after a panic, [`SessionPool::quarantine`].
+#[derive(Debug)]
+pub struct Checkout {
+    hash: String,
+    session: Box<AnalysisSession>,
+    /// Whether this checkout had to rebuild the session (eviction or
+    /// quarantine), i.e. the caller is paying a cold start.
+    pub rebuilt: bool,
+}
+
+impl Checkout {
+    /// The program hash this session serves.
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// The session, exclusively borrowed.
+    pub fn session(&mut self) -> &mut AnalysisSession {
+        &mut self.session
+    }
+}
+
+/// The session pool. Not internally synchronised — the server wraps it
+/// in a mutex and holds the lock only around checkout/checkin, never
+/// across query execution.
+#[derive(Debug)]
+pub struct SessionPool {
+    cfg: PoolConfig,
+    telemetry: Telemetry,
+    entries: Vec<PoolEntry>,
+    clock: u64,
+    /// Monotone counters; see [`PoolStats`].
+    pub stats: PoolStats,
+}
+
+/// What [`SessionPool::register`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterOutcome {
+    /// The program's pool key.
+    pub hash: String,
+    /// Whether a live session already existed.
+    pub cached: bool,
+    /// The session's resident estimate after registration.
+    pub resident: usize,
+}
+
+impl SessionPool {
+    /// An empty pool; sessions are built under `telemetry` (disabled for
+    /// a deterministic, untraced server).
+    pub fn new(cfg: PoolConfig, telemetry: Telemetry) -> SessionPool {
+        SessionPool {
+            cfg,
+            telemetry,
+            entries: Vec::new(),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn session_ctx(&self) -> RunCtx {
+        RunCtx::disabled().with_telemetry(self.telemetry.clone())
+    }
+
+    fn build_session(&self, sources: &[SourceFile]) -> Result<Box<AnalysisSession>, CompileError> {
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|s| (s.name.as_str(), s.text.as_str()))
+            .collect();
+        Ok(Box::new(AnalysisSession::with_ctx(
+            &refs,
+            self.cfg.pta.clone(),
+            self.session_ctx(),
+        )?))
+    }
+
+    fn find(&self, hash: &str) -> Option<usize> {
+        self.entries.iter().position(|e| e.hash == hash)
+    }
+
+    /// Registers a program, building its session eagerly so compile
+    /// errors surface on `load`, not on the first query. Re-registering
+    /// a program whose session is still live is a cheap cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend's [`CompileError`] for invalid sources (the
+    /// pool is left unchanged).
+    pub fn register(&mut self, sources: Vec<SourceFile>) -> Result<RegisterOutcome, CompileError> {
+        let hash = program_hash(&sources);
+        if let Some(i) = self.find(&hash) {
+            if self.entries[i].session.is_some() {
+                self.stats.hits += 1;
+                let now = self.tick();
+                let e = &mut self.entries[i];
+                e.last_used = now;
+                return Ok(RegisterOutcome {
+                    hash,
+                    cached: true,
+                    resident: e.resident,
+                });
+            }
+            // Known program, evicted or quarantined session: fall through
+            // to checkout's rebuild path.
+            let mut co = self.checkout(&hash).map_err(|e| match e {
+                PoolError::Compile(c) => c,
+                PoolError::UnknownProgram => unreachable!("entry exists"),
+            })?;
+            let resident = co.session().resident_estimate();
+            self.checkin(co);
+            return Ok(RegisterOutcome {
+                hash,
+                cached: false,
+                resident,
+            });
+        }
+        let session = self.build_session(&sources)?;
+        self.stats.builds += 1;
+        self.stats.misses += 1;
+        let resident = session.resident_estimate();
+        let now = self.tick();
+        self.entries.push(PoolEntry {
+            hash: hash.clone(),
+            sources,
+            session: Some(session),
+            resident,
+            last_used: now,
+            quarantined: false,
+        });
+        self.enforce_limits();
+        Ok(RegisterOutcome {
+            hash,
+            cached: false,
+            resident,
+        })
+    }
+
+    /// Whether `hash` names a registered program (live or not).
+    pub fn contains(&self, hash: &str) -> bool {
+        self.find(hash).is_some()
+    }
+
+    /// Exclusively checks out the session for `hash`, transparently
+    /// rebuilding it from retained sources after an eviction or a
+    /// quarantine.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownProgram`] for unregistered hashes;
+    /// [`PoolError::Compile`] if a rebuild fails to compile.
+    pub fn checkout(&mut self, hash: &str) -> Result<Checkout, PoolError> {
+        let i = self.find(hash).ok_or(PoolError::UnknownProgram)?;
+        let now = self.tick();
+        if let Some(session) = self.entries[i].session.take() {
+            self.stats.hits += 1;
+            self.entries[i].last_used = now;
+            return Ok(Checkout {
+                hash: hash.to_string(),
+                session,
+                rebuilt: false,
+            });
+        }
+        let was_quarantined = self.entries[i].quarantined;
+        let session = self
+            .build_session(&self.entries[i].sources)
+            .map_err(PoolError::Compile)?;
+        self.stats.builds += 1;
+        if was_quarantined {
+            self.stats.rebuilds += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        let e = &mut self.entries[i];
+        e.quarantined = false;
+        e.last_used = now;
+        Ok(Checkout {
+            hash: hash.to_string(),
+            session,
+            rebuilt: true,
+        })
+    }
+
+    /// Returns a checked-out session, refreshing its resident estimate
+    /// (queries may have materialised more stages) and re-enforcing the
+    /// session cap and watermark.
+    pub fn checkin(&mut self, co: Checkout) {
+        let Some(i) = self.find(&co.hash) else {
+            // The entry vanished (cannot happen today — entries are never
+            // removed); drop the session rather than resurrect it.
+            return;
+        };
+        let now = self.tick();
+        let e = &mut self.entries[i];
+        e.resident = co.session.resident_estimate();
+        e.session = Some(co.session);
+        e.last_used = now;
+        self.enforce_limits();
+    }
+
+    /// Quarantines a poisoned session: the artifacts are dropped on the
+    /// spot (a panicking query may have left scratch state inconsistent)
+    /// and the entry is marked so the next checkout counts as a rebuild.
+    pub fn quarantine(&mut self, co: Checkout) {
+        self.stats.quarantines += 1;
+        if let Some(i) = self.find(&co.hash) {
+            let e = &mut self.entries[i];
+            e.quarantined = true;
+            e.resident = 0;
+            e.session = None;
+        }
+        drop(co);
+    }
+
+    /// Live (resident) session count.
+    pub fn live_sessions(&self) -> usize {
+        self.entries.iter().filter(|e| e.session.is_some()).count()
+    }
+
+    /// Registered program count (live or not).
+    pub fn programs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Currently-quarantined program count.
+    pub fn quarantined(&self) -> usize {
+        self.entries.iter().filter(|e| e.quarantined).count()
+    }
+
+    /// Summed resident estimate of live sessions, in elements.
+    pub fn resident_total(&self) -> usize {
+        self.entries.iter().map(|e| e.resident).sum()
+    }
+
+    /// Drops the least-recently-used live session (never the
+    /// most-recently-used one). Returns whether anything was evicted.
+    fn evict_lru(&mut self) -> bool {
+        if self.live_sessions() <= 1 {
+            return false;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.session.is_some())
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i);
+        let Some(i) = victim else { return false };
+        let e = &mut self.entries[i];
+        e.session = None;
+        e.resident = 0;
+        self.stats.evictions += 1;
+        true
+    }
+
+    /// Applies both pressure valves; called after every build/checkin.
+    fn enforce_limits(&mut self) {
+        while self.live_sessions() > self.cfg.max_sessions.max(1) {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+        let Some(watermark) = self.cfg.resident_watermark else {
+            return;
+        };
+        // Reuse govern's watermark machinery verbatim: arm a resident-
+        // limited budget and ask for an immediate check. Exhaustion is
+        // sticky per meter, so each round arms afresh.
+        loop {
+            let mut meter = Budget::default().with_resident_limit(watermark).meter();
+            if meter.check_now(self.resident_total()) {
+                return;
+            }
+            if !self.evict_lru() {
+                return; // only the MRU session left; keep serving it
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(name: &str, body: &str) -> Vec<SourceFile> {
+        vec![SourceFile {
+            name: name.to_string(),
+            text: body.to_string(),
+        }]
+    }
+
+    fn program(n: u32) -> Vec<SourceFile> {
+        src(
+            &format!("p{n}.mj"),
+            &format!(
+                "class Main {{ static void main() {{\nint x = {n};\nint y = x + 1;\nprint(y);\n}} }}"
+            ),
+        )
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_content_sensitive() {
+        assert_eq!(program_hash(&program(1)), program_hash(&program(1)));
+        assert_ne!(program_hash(&program(1)), program_hash(&program(2)));
+        assert_eq!(program_hash(&program(7)).len(), 16);
+    }
+
+    #[test]
+    fn register_caches_live_sessions() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let a = pool.register(program(1)).unwrap();
+        assert!(!a.cached);
+        let b = pool.register(program(1)).unwrap();
+        assert!(b.cached);
+        assert_eq!(a.hash, b.hash);
+        assert_eq!(pool.live_sessions(), 1);
+        assert_eq!(pool.stats.builds, 1);
+    }
+
+    #[test]
+    fn compile_errors_leave_the_pool_unchanged() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        assert!(pool.register(src("bad.mj", "class {{{")).is_err());
+        assert_eq!(pool.programs(), 0);
+        assert_eq!(pool.live_sessions(), 0);
+    }
+
+    #[test]
+    fn session_cap_evicts_lru_and_rebuilds_transparently() {
+        let mut pool = SessionPool::new(
+            PoolConfig {
+                max_sessions: 2,
+                ..PoolConfig::default()
+            },
+            Telemetry::disabled(),
+        );
+        let h1 = pool.register(program(1)).unwrap().hash;
+        let h2 = pool.register(program(2)).unwrap().hash;
+        pool.register(program(3)).unwrap();
+        assert_eq!(pool.live_sessions(), 2);
+        assert_eq!(pool.stats.evictions, 1);
+        // Program 1 was the LRU victim; 2 survived.
+        let co = pool.checkout(&h2).unwrap();
+        assert!(!co.rebuilt);
+        pool.checkin(co);
+        let co = pool.checkout(&h1).unwrap();
+        assert!(co.rebuilt, "evicted session rebuilds on demand");
+        pool.checkin(co);
+    }
+
+    #[test]
+    fn watermark_pressure_evicts_down_to_mru() {
+        // Tiny watermark: no two sessions fit, but the MRU one is kept.
+        let mut pool = SessionPool::new(
+            PoolConfig {
+                max_sessions: 8,
+                resident_watermark: Some(1),
+                ..PoolConfig::default()
+            },
+            Telemetry::disabled(),
+        );
+        pool.register(program(1)).unwrap();
+        pool.register(program(2)).unwrap();
+        pool.register(program(3)).unwrap();
+        assert_eq!(pool.live_sessions(), 1, "watermark holds one survivor");
+        assert_eq!(pool.stats.evictions, 2);
+        assert!(pool.resident_total() > 1, "MRU kept even over watermark");
+    }
+
+    #[test]
+    fn unknown_hash_is_an_error() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        assert!(matches!(
+            pool.checkout("ffffffffffffffff"),
+            Err(PoolError::UnknownProgram)
+        ));
+    }
+
+    #[test]
+    fn quarantine_then_checkout_rebuilds() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let h = pool.register(program(1)).unwrap().hash;
+        let co = pool.checkout(&h).unwrap();
+        pool.quarantine(co);
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.live_sessions(), 0);
+        let co = pool.checkout(&h).unwrap();
+        assert!(co.rebuilt);
+        pool.checkin(co);
+        assert_eq!(pool.quarantined(), 0);
+        assert_eq!(pool.stats.quarantines, 1);
+        assert_eq!(pool.stats.rebuilds, 1);
+    }
+}

@@ -1,0 +1,954 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request. Requests are
+//! essentially a [`Query`] plus a program reference; responses carry the
+//! schema tag [`RESPONSE_SCHEMA`] and — for traced status requests — embed
+//! a full `thinslice.run_report.v1` report.
+//!
+//! Hardening contract: **every** malformed input becomes a structured
+//! error response, never a disconnect or a panic. [`parse_request`] is a
+//! total function over arbitrary bytes-as-UTF-8; its error carries the
+//! request `id` whenever one could still be extracted, so clients can
+//! correlate failures.
+//!
+//! Response serialization is deterministic: fixed key order, no
+//! timestamps, no latencies. That is what lets the chaos suite assert
+//! that non-faulted responses are bit-identical between a faulted and a
+//! fault-free run. (Wall-clock figures belong in telemetry reports, not
+//! in slice responses.)
+//!
+//! # Examples
+//!
+//! ```
+//! use thinslice_serve::protocol::{parse_request, Op};
+//!
+//! let req = parse_request(
+//!     r#"{"op":"slice","id":7,"program":"deadbeefdeadbeef",
+//!        "seed":{"file":"t.mj","line":3}}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(req.id, Some(7));
+//! assert!(matches!(req.op, Op::Slice(_)));
+//!
+//! let err = parse_request("{not json").unwrap_err();
+//! assert_eq!(err.code, "parse");
+//! ```
+//!
+//! [`Query`]: thinslice::Query
+
+use std::fmt::Write as _;
+
+use thinslice::{Engine, SliceKind};
+use thinslice_util::govern::Completeness;
+use thinslice_util::telemetry::{Json, RUN_REPORT_SCHEMA};
+
+/// Schema tag carried by every response line.
+pub const RESPONSE_SCHEMA: &str = "thinslice.serve_response.v1";
+
+/// Hard cap on one request line; longer lines are answered with a
+/// `too_large` error without being parsed.
+pub const MAX_LINE_BYTES: usize = 8 * 1024 * 1024;
+
+/// One named source file of a program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceFile {
+    /// File name as referenced by seeds (`"t.mj"`).
+    pub name: String,
+    /// Full source text.
+    pub text: String,
+}
+
+/// How a slice request names its program: inline sources (registered on
+/// first use) or the hash returned by an earlier `load`.
+#[derive(Debug, Clone)]
+pub enum ProgramRef {
+    /// Sources carried in the request itself.
+    Inline(Vec<SourceFile>),
+    /// The 16-hex-digit program hash from a `load` response.
+    Hash(String),
+}
+
+/// A seed position: every non-synthetic statement on that source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedRef {
+    /// Source file name.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// The slice-query payload of a `slice` request.
+#[derive(Debug, Clone)]
+pub struct SliceRequest {
+    /// The program to slice.
+    pub program: ProgramRef,
+    /// Seed positions (at least one).
+    pub seeds: Vec<SeedRef>,
+    /// Slice kind (default thin).
+    pub kind: SliceKind,
+    /// Requested engine (default CI); admission control may degrade CS
+    /// to CI under load.
+    pub engine: Engine,
+    /// Per-request wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Per-request step quota.
+    pub step_budget: Option<u64>,
+    /// Whether a budget-exhausted CS query degrades to CI (default true).
+    pub degrade: bool,
+    /// Deterministic fault injection: panic this many times before
+    /// succeeding. Only honoured by a server started in chaos mode.
+    pub chaos_panics: u32,
+}
+
+/// A parsed request operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Register a program; responds with its hash.
+    Load {
+        /// The program's source files (at least one).
+        sources: Vec<SourceFile>,
+    },
+    /// Answer a slice query.
+    Slice(SliceRequest),
+    /// Report pool/served counters (and a run report when tracing).
+    Status,
+    /// Drain all queued queries, answer them, acknowledge, exit.
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Tenant name for fair scheduling and per-client budgets.
+    pub client: String,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A structured request error: always answered, never a disconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The request id, when it could still be extracted.
+    pub id: Option<u64>,
+    /// Stable machine-readable code (`parse`, `protocol`, `too_large`…).
+    pub code: &'static str,
+    /// Human-readable detail naming the offending token.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: Option<u64>, code: &'static str, message: impl Into<String>) -> RequestError {
+        RequestError {
+            id,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+fn str_field(v: &Json, id: Option<u64>, key: &str) -> Result<String, RequestError> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(other) => Err(RequestError::new(
+            id,
+            "protocol",
+            format!("field \"{key}\" must be a string, got {other:?}"),
+        )),
+        None => Err(RequestError::new(
+            id,
+            "protocol",
+            format!("missing required field \"{key}\""),
+        )),
+    }
+}
+
+fn opt_u64_field(v: &Json, id: Option<u64>, key: &str) -> Result<Option<u64>, RequestError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j.as_u64().map(Some).ok_or_else(|| {
+            RequestError::new(
+                id,
+                "protocol",
+                format!("field \"{key}\" must be a non-negative integer, got {j:?}"),
+            )
+        }),
+    }
+}
+
+fn parse_sources(v: &Json, id: Option<u64>) -> Result<Vec<SourceFile>, RequestError> {
+    let arr = match v.get("sources") {
+        Some(Json::Arr(items)) => items,
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"sources\" must be an array, got {other:?}"),
+            ))
+        }
+        None => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                "missing required field \"sources\"",
+            ))
+        }
+    };
+    if arr.is_empty() {
+        return Err(RequestError::new(id, "protocol", "\"sources\" is empty"));
+    }
+    arr.iter()
+        .map(|item| {
+            Ok(SourceFile {
+                name: str_field(item, id, "name")?,
+                text: str_field(item, id, "text")?,
+            })
+        })
+        .collect()
+}
+
+fn parse_seed_obj(item: &Json, id: Option<u64>) -> Result<SeedRef, RequestError> {
+    let file = str_field(item, id, "file")?;
+    let line = match item.get("line").and_then(Json::as_u64) {
+        Some(n) if n >= 1 && n <= u64::from(u32::MAX) => n as u32,
+        _ => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!(
+                    "seed \"line\" must be a positive integer, got {:?}",
+                    item.get("line")
+                ),
+            ))
+        }
+    };
+    Ok(SeedRef { file, line })
+}
+
+fn parse_slice(v: &Json, id: Option<u64>) -> Result<SliceRequest, RequestError> {
+    let program = match (v.get("program"), v.get("sources")) {
+        (Some(_), Some(_)) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                "give either \"program\" or \"sources\", not both",
+            ))
+        }
+        (Some(Json::Str(h)), None) => ProgramRef::Hash(h.clone()),
+        (Some(other), None) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"program\" must be a string hash, got {other:?}"),
+            ))
+        }
+        (None, Some(_)) => ProgramRef::Inline(parse_sources(v, id)?),
+        (None, None) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                "slice needs a \"program\" hash or inline \"sources\"",
+            ))
+        }
+    };
+
+    let mut seeds = Vec::new();
+    match (v.get("seed"), v.get("seeds")) {
+        (Some(_), Some(_)) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                "give either \"seed\" or \"seeds\", not both",
+            ))
+        }
+        (Some(s), None) => seeds.push(parse_seed_obj(s, id)?),
+        (None, Some(Json::Arr(items))) if !items.is_empty() => {
+            for item in items {
+                seeds.push(parse_seed_obj(item, id)?);
+            }
+        }
+        (None, Some(other)) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"seeds\" must be a non-empty array, got {other:?}"),
+            ))
+        }
+        (None, None) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                "slice needs a \"seed\" or \"seeds\"",
+            ))
+        }
+    }
+
+    let kind = match v.get("kind") {
+        None => SliceKind::Thin,
+        Some(Json::Str(s)) => match s.as_str() {
+            "thin" => SliceKind::Thin,
+            "data" => SliceKind::TraditionalData,
+            "full" => SliceKind::TraditionalFull,
+            other => {
+                return Err(RequestError::new(
+                    id,
+                    "protocol",
+                    format!("unknown kind \"{other}\" (expected thin|data|full)"),
+                ))
+            }
+        },
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"kind\" must be a string, got {other:?}"),
+            ))
+        }
+    };
+    let engine = match v.get("engine") {
+        None => Engine::Ci,
+        Some(Json::Str(s)) => match s.as_str() {
+            "ci" => Engine::Ci,
+            "cs" => Engine::Cs,
+            other => {
+                return Err(RequestError::new(
+                    id,
+                    "protocol",
+                    format!("unknown engine \"{other}\" (expected ci|cs)"),
+                ))
+            }
+        },
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"engine\" must be a string, got {other:?}"),
+            ))
+        }
+    };
+    let degrade = match v.get("degrade") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"degrade\" must be a boolean, got {other:?}"),
+            ))
+        }
+    };
+    let chaos_panics = match v.get("chaos") {
+        None => 0,
+        Some(c) => opt_u64_field(c, id, "panics")?
+            .unwrap_or(0)
+            .min(u64::from(u32::MAX)) as u32,
+    };
+    Ok(SliceRequest {
+        program,
+        seeds,
+        kind,
+        engine,
+        deadline_ms: opt_u64_field(v, id, "deadline_ms")?,
+        step_budget: opt_u64_field(v, id, "step_budget")?,
+        degrade,
+        chaos_panics,
+    })
+}
+
+/// Parses one request line. Total over arbitrary input: every failure is
+/// a [`RequestError`] carrying a stable code, a message naming the
+/// offending token, and the request id when one could be extracted.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(RequestError::new(
+            None,
+            "too_large",
+            format!(
+                "request line is {} bytes (limit {MAX_LINE_BYTES})",
+                line.len()
+            ),
+        ));
+    }
+    let v = Json::parse(line)
+        .map_err(|e| RequestError::new(None, "parse", format!("malformed JSON: {e}")))?;
+    if v.as_obj().is_none() {
+        return Err(RequestError::new(
+            None,
+            "protocol",
+            format!("request must be a JSON object, got {v:?}"),
+        ));
+    }
+    let id = match v.get("id") {
+        None | Some(Json::Null) => None,
+        Some(j) => Some(j.as_u64().ok_or_else(|| {
+            RequestError::new(
+                None,
+                "protocol",
+                format!("field \"id\" must be a non-negative integer, got {j:?}"),
+            )
+        })?),
+    };
+    let client = match v.get("client") {
+        None => "anon".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("field \"client\" must be a string, got {other:?}"),
+            ))
+        }
+    };
+    let op = match str_field(&v, id, "op")?.as_str() {
+        "load" => Op::Load {
+            sources: parse_sources(&v, id)?,
+        },
+        "slice" => Op::Slice(parse_slice(&v, id)?),
+        "status" => Op::Status,
+        "shutdown" => Op::Shutdown,
+        other => {
+            return Err(RequestError::new(
+                id,
+                "protocol",
+                format!("unknown op \"{other}\" (expected load|slice|status|shutdown)"),
+            ))
+        }
+    };
+    Ok(Request { id, client, op })
+}
+
+// ---- response serialization ----
+
+/// The protocol spelling of an engine.
+pub fn engine_str(e: Engine) -> &'static str {
+    match e {
+        Engine::Ci => "ci",
+        Engine::Cs => "cs",
+    }
+}
+
+/// The protocol spelling of a slice kind.
+pub fn kind_str(k: SliceKind) -> &'static str {
+    match k {
+        SliceKind::Thin => "thin",
+        SliceKind::TraditionalData => "data",
+        SliceKind::TraditionalFull => "full",
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn id_json(id: Option<u64>) -> String {
+    match id {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn head(id: Option<u64>, ok: bool, op: Option<&str>) -> String {
+    let mut s = format!(
+        "{{\"schema\":{},\"id\":{},\"ok\":{}",
+        esc(RESPONSE_SCHEMA),
+        id_json(id),
+        ok
+    );
+    if let Some(op) = op {
+        let _ = write!(s, ",\"op\":{}", esc(op));
+    }
+    s
+}
+
+/// Serializes a structured error response.
+pub fn error_line(id: Option<u64>, code: &str, message: &str) -> String {
+    format!(
+        "{},\"error\":{{\"code\":{},\"message\":{}}}}}",
+        head(id, false, None),
+        esc(code),
+        esc(message)
+    )
+}
+
+/// Serializes a successful `load` response.
+pub fn load_line(id: Option<u64>, program: &str, cached: bool, resident: usize) -> String {
+    format!(
+        "{},\"program\":{},\"cached\":{cached},\"resident\":{resident}}}",
+        head(id, true, Some("load")),
+        esc(program)
+    )
+}
+
+/// The admission-control level a request was executed under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Served exactly as requested.
+    Full,
+    /// Load shed one rung: CS requests answered context-insensitively.
+    DegradeCi,
+    /// Load shed two rungs: CI engine plus a hard step cap (truncated
+    /// but sound results) — the fleet-wide PR 2 ladder.
+    Truncate,
+}
+
+impl Admission {
+    /// The protocol spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Admission::Full => "full",
+            Admission::DegradeCi => "degrade-ci",
+            Admission::Truncate => "truncate",
+        }
+    }
+}
+
+/// Serializes a successful `slice` response. Deterministic: no timing
+/// fields, fixed key order, statements in the canonical `stmt_lines`
+/// order.
+#[allow(clippy::too_many_arguments)]
+pub fn slice_line(
+    id: Option<u64>,
+    program: &str,
+    engine: Engine,
+    kind: SliceKind,
+    admission: Admission,
+    degraded: bool,
+    completeness: Completeness,
+    stmts: &[String],
+) -> String {
+    let mut s = format!(
+        "{},\"program\":{},\"engine\":{},\"kind\":{},\"admission\":{},\"degraded\":{degraded}",
+        head(id, true, Some("slice")),
+        esc(program),
+        esc(engine_str(engine)),
+        esc(kind_str(kind)),
+        esc(admission.as_str()),
+    );
+    match completeness {
+        Completeness::Complete => {
+            let _ = write!(s, ",\"completeness\":\"complete\"");
+        }
+        Completeness::Truncated { reason, frontier } => {
+            let _ = write!(
+                s,
+                ",\"completeness\":\"truncated\",\"reason\":{},\"frontier\":{frontier}",
+                esc(&reason.to_string())
+            );
+        }
+    }
+    let _ = write!(s, ",\"stmt_count\":{},\"stmts\":[", stmts.len());
+    for (i, line) in stmts.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&esc(line));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Deterministic counters reported by a `status` response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatusSnapshot {
+    /// Programs registered (live or evicted; sources retained).
+    pub programs: usize,
+    /// Sessions currently resident.
+    pub live_sessions: usize,
+    /// Programs currently quarantined (rebuilt on next request).
+    pub quarantined: usize,
+    /// Total resident estimate across live sessions (elements).
+    pub resident: usize,
+    /// Sessions evicted by LRU/watermark pressure so far.
+    pub evictions: u64,
+    /// Quarantine rebuilds performed so far.
+    pub rebuilds: u64,
+    /// Successful responses written so far.
+    pub served: u64,
+    /// Error responses written so far.
+    pub errors: u64,
+    /// Query panics caught so far.
+    pub panics: u64,
+}
+
+/// Serializes a `status` response; `report` (when tracing) must be a
+/// `thinslice.run_report.v1` JSON document and is embedded verbatim.
+pub fn status_line(id: Option<u64>, s: &StatusSnapshot, report: Option<&str>) -> String {
+    let mut line = format!(
+        "{},\"programs\":{},\"live_sessions\":{},\"quarantined\":{},\"resident\":{},\
+         \"evictions\":{},\"rebuilds\":{},\"served\":{},\"errors\":{},\"panics\":{}",
+        head(id, true, Some("status")),
+        s.programs,
+        s.live_sessions,
+        s.quarantined,
+        s.resident,
+        s.evictions,
+        s.rebuilds,
+        s.served,
+        s.errors,
+        s.panics,
+    );
+    if let Some(r) = report {
+        let _ = write!(line, ",\"report\":{r}");
+    }
+    line.push('}');
+    line
+}
+
+/// Serializes the final `shutdown` acknowledgement; `drained` is how many
+/// queries were still queued or in flight when shutdown was requested,
+/// all of which were answered before this line.
+pub fn shutdown_line(id: Option<u64>, drained: usize) -> String {
+    format!(
+        "{},\"drained\":{drained}}}",
+        head(id, true, Some("shutdown"))
+    )
+}
+
+// ---- response validation (validate-report satellite) ----
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field \"{key}\""))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field \"{key}\""))
+}
+
+/// Validates one server response line against the
+/// `thinslice.serve_response.v1` shape, returning a one-line summary.
+///
+/// An embedded `report` must itself carry the `thinslice.run_report.v1`
+/// schema tag with `spans`/`metrics` sections (full report validation is
+/// `validate-report`'s file mode).
+///
+/// # Errors
+///
+/// Returns a description of the first shape violation.
+pub fn validate_response_line(line: &str) -> Result<String, String> {
+    let v = Json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let schema = need_str(&v, "schema")?;
+    if schema != RESPONSE_SCHEMA {
+        return Err(format!(
+            "schema is {schema:?}, expected {RESPONSE_SCHEMA:?}"
+        ));
+    }
+    let id = match v.get("id") {
+        Some(Json::Null) | None => "null".to_string(),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("field \"id\" must be integer or null, got {j:?}"))?
+            .to_string(),
+    };
+    let ok = match v.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        other => return Err(format!("field \"ok\" must be a boolean, got {other:?}")),
+    };
+    if !ok {
+        let err = v.get("error").ok_or("error response missing \"error\"")?;
+        let code = need_str(err, "code")?;
+        need_str(err, "message")?;
+        return Ok(format!("error id={id} code={code}"));
+    }
+    let op = need_str(&v, "op")?;
+    match op {
+        "load" => {
+            let program = need_str(&v, "program")?;
+            if program.len() != 16 || !program.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "\"program\" must be a 16-hex-digit hash, got {program:?}"
+                ));
+            }
+            need_u64(&v, "resident")?;
+            Ok(format!("ok load id={id} program={program}"))
+        }
+        "slice" => {
+            need_str(&v, "program")?;
+            let engine = need_str(&v, "engine")?;
+            if !matches!(engine, "ci" | "cs") {
+                return Err(format!("unknown engine {engine:?}"));
+            }
+            let kind = need_str(&v, "kind")?;
+            if !matches!(kind, "thin" | "data" | "full") {
+                return Err(format!("unknown kind {kind:?}"));
+            }
+            let admission = need_str(&v, "admission")?;
+            if !matches!(admission, "full" | "degrade-ci" | "truncate") {
+                return Err(format!("unknown admission level {admission:?}"));
+            }
+            match need_str(&v, "completeness")? {
+                "complete" => {}
+                "truncated" => {
+                    need_str(&v, "reason")?;
+                    need_u64(&v, "frontier")?;
+                }
+                other => return Err(format!("unknown completeness {other:?}")),
+            }
+            let count = need_u64(&v, "stmt_count")?;
+            let stmts = v
+                .get("stmts")
+                .and_then(Json::as_arr)
+                .ok_or("missing or non-array field \"stmts\"")?;
+            if stmts.len() as u64 != count {
+                return Err(format!(
+                    "stmt_count is {count} but \"stmts\" has {} entries",
+                    stmts.len()
+                ));
+            }
+            if let Some(bad) = stmts.iter().find(|s| s.as_str().is_none()) {
+                return Err(format!("\"stmts\" entries must be strings, got {bad:?}"));
+            }
+            Ok(format!("ok slice id={id} stmts={count}"))
+        }
+        "status" => {
+            for key in [
+                "programs",
+                "live_sessions",
+                "quarantined",
+                "resident",
+                "evictions",
+                "rebuilds",
+                "served",
+                "errors",
+                "panics",
+            ] {
+                need_u64(&v, key)?;
+            }
+            if let Some(report) = v.get("report") {
+                let rschema =
+                    need_str(report, "schema").map_err(|e| format!("embedded report: {e}"))?;
+                if rschema != RUN_REPORT_SCHEMA {
+                    return Err(format!(
+                        "embedded report schema is {rschema:?}, expected {RUN_REPORT_SCHEMA:?}"
+                    ));
+                }
+            }
+            Ok(format!("ok status id={id}"))
+        }
+        "shutdown" => {
+            need_u64(&v, "drained")?;
+            Ok(format!("ok shutdown id={id}"))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_util::govern::ExhaustReason;
+
+    #[test]
+    fn parses_a_full_slice_request() {
+        let req = parse_request(
+            r#"{"op":"slice","id":3,"client":"ui","program":"0011223344556677",
+               "seeds":[{"file":"a.mj","line":4},{"file":"a.mj","line":9}],
+               "kind":"data","engine":"cs","deadline_ms":250,"step_budget":5000,
+               "degrade":false,"chaos":{"panics":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(3));
+        assert_eq!(req.client, "ui");
+        let Op::Slice(s) = req.op else {
+            panic!("expected slice")
+        };
+        assert!(matches!(s.program, ProgramRef::Hash(ref h) if h == "0011223344556677"));
+        assert_eq!(s.seeds.len(), 2);
+        assert_eq!(s.kind, SliceKind::TraditionalData);
+        assert_eq!(s.engine, Engine::Cs);
+        assert_eq!(s.deadline_ms, Some(250));
+        assert_eq!(s.step_budget, Some(5000));
+        assert!(!s.degrade);
+        assert_eq!(s.chaos_panics, 2);
+    }
+
+    #[test]
+    fn defaults_are_thin_ci_degrading() {
+        let req = parse_request(
+            r#"{"op":"slice","sources":[{"name":"t.mj","text":"class M {}"}],
+               "seed":{"file":"t.mj","line":1}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, None);
+        assert_eq!(req.client, "anon");
+        let Op::Slice(s) = req.op else {
+            panic!("expected slice")
+        };
+        assert!(matches!(s.program, ProgramRef::Inline(ref f) if f.len() == 1));
+        assert_eq!(s.kind, SliceKind::Thin);
+        assert_eq!(s.engine, Engine::Ci);
+        assert!(s.degrade);
+        assert_eq!(s.chaos_panics, 0);
+    }
+
+    #[test]
+    fn malformed_inputs_become_structured_errors() {
+        for (line, code, needle) in [
+            ("{not json", "parse", "malformed JSON"),
+            ("", "parse", "malformed JSON"),
+            ("[1,2]", "protocol", "must be a JSON object"),
+            ("42", "protocol", "must be a JSON object"),
+            (r#"{"op":"warp"}"#, "protocol", "unknown op \"warp\""),
+            (r#"{"id":1}"#, "protocol", "missing required field \"op\""),
+            (r#"{"op":"slice","id":1}"#, "protocol", "\"program\""),
+            (
+                r#"{"op":"slice","id":1,"program":"x","seed":{"file":"t.mj","line":0}}"#,
+                "protocol",
+                "positive integer",
+            ),
+            (
+                r#"{"op":"slice","id":1,"program":"x","seed":{"file":"t.mj","line":2},"kind":"fat"}"#,
+                "protocol",
+                "unknown kind \"fat\"",
+            ),
+            (
+                r#"{"op":"slice","id":1,"program":"x","seed":{"file":"t.mj","line":2},"engine":"warp"}"#,
+                "protocol",
+                "unknown engine \"warp\"",
+            ),
+            (r#"{"op":"load","id":1,"sources":[]}"#, "protocol", "empty"),
+            (
+                r#"{"op":"load","id":1,"sources":[{"name":"t.mj"}]}"#,
+                "protocol",
+                "\"text\"",
+            ),
+            (r#"{"op":"slice","id":"x"}"#, "protocol", "\"id\""),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, code, "line {line:?} → {err:?}");
+            assert!(
+                err.message.contains(needle),
+                "line {line:?}: message {:?} should mention {needle:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn errors_echo_the_request_id_once_extractable() {
+        let err = parse_request(r#"{"op":"slice","id":9,"program":"x"}"#).unwrap_err();
+        assert_eq!(err.id, Some(9));
+        let err = parse_request("][").unwrap_err();
+        assert_eq!(err.id, None);
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_parsing() {
+        let line = format!(
+            "{{\"op\":\"load\",\"pad\":\"{}\"}}",
+            "x".repeat(MAX_LINE_BYTES)
+        );
+        let err = parse_request(&line).unwrap_err();
+        assert_eq!(err.code, "too_large");
+        assert!(err.message.contains("limit"));
+    }
+
+    #[test]
+    fn response_lines_are_deterministic_and_validate() {
+        let e = error_line(Some(4), "parse", "malformed JSON: bad \"quote\"");
+        assert_eq!(
+            e,
+            "{\"schema\":\"thinslice.serve_response.v1\",\"id\":4,\"ok\":false,\
+             \"error\":{\"code\":\"parse\",\"message\":\"malformed JSON: bad \\\"quote\\\"\"}}"
+        );
+        assert!(validate_response_line(&e)
+            .unwrap()
+            .starts_with("error id=4"));
+
+        let l = load_line(Some(1), "00112233aabbccdd", true, 420);
+        assert!(validate_response_line(&l).unwrap().contains("load"));
+
+        let s = slice_line(
+            Some(2),
+            "00112233aabbccdd",
+            Engine::Cs,
+            SliceKind::Thin,
+            Admission::Full,
+            false,
+            Completeness::Complete,
+            &["t.mj:2: int x = 1".to_string()],
+        );
+        assert_eq!(validate_response_line(&s).unwrap(), "ok slice id=2 stmts=1");
+        // Byte-for-byte stability is what the chaos suite leans on.
+        assert_eq!(
+            s,
+            slice_line(
+                Some(2),
+                "00112233aabbccdd",
+                Engine::Cs,
+                SliceKind::Thin,
+                Admission::Full,
+                false,
+                Completeness::Complete,
+                &["t.mj:2: int x = 1".to_string()],
+            )
+        );
+
+        let t = slice_line(
+            None,
+            "00112233aabbccdd",
+            Engine::Ci,
+            SliceKind::TraditionalFull,
+            Admission::Truncate,
+            true,
+            Completeness::Truncated {
+                reason: ExhaustReason::StepQuota,
+                frontier: 17,
+            },
+            &[],
+        );
+        assert!(t.contains("\"completeness\":\"truncated\""));
+        assert!(t.contains("\"reason\":\"step quota\""));
+        assert!(t.contains("\"frontier\":17"));
+        assert_eq!(
+            validate_response_line(&t).unwrap(),
+            "ok slice id=null stmts=0"
+        );
+
+        let st = status_line(Some(5), &StatusSnapshot::default(), None);
+        assert_eq!(validate_response_line(&st).unwrap(), "ok status id=5");
+
+        let sd = shutdown_line(Some(6), 3);
+        assert_eq!(validate_response_line(&sd).unwrap(), "ok shutdown id=6");
+    }
+
+    #[test]
+    fn validation_rejects_shape_violations() {
+        assert!(validate_response_line("{oops").is_err());
+        assert!(validate_response_line("{\"schema\":\"other.v1\"}").is_err());
+        // stmt_count disagreeing with the array is caught.
+        let bad = "{\"schema\":\"thinslice.serve_response.v1\",\"id\":1,\"ok\":true,\
+                   \"op\":\"slice\",\"program\":\"00112233aabbccdd\",\"engine\":\"ci\",\
+                   \"kind\":\"thin\",\"admission\":\"full\",\"degraded\":false,\
+                   \"completeness\":\"complete\",\"stmt_count\":2,\"stmts\":[\"a\"]}";
+        let err = validate_response_line(bad).unwrap_err();
+        assert!(err.contains("stmt_count"), "{err}");
+        // An embedded report must carry the run-report schema.
+        let bad_report = status_line(
+            Some(1),
+            &StatusSnapshot::default(),
+            Some("{\"schema\":\"wrong.v1\"}"),
+        );
+        assert!(validate_response_line(&bad_report).is_err());
+    }
+}

@@ -1,0 +1,861 @@
+//! The hardened request loop: fair scheduling, admission control, panic
+//! quarantine, deadlines, and graceful drain.
+//!
+//! A [`Server`] owns one [`SessionPool`] and a scheduler of per-client
+//! FIFO queues served round-robin, so one heavy tenant cannot starve the
+//! rest. `load`/`status`/`shutdown` are answered synchronously on the
+//! reader thread; `slice` requests are queued and executed by a worker
+//! pool.
+//!
+//! Robustness layers, outermost first:
+//!
+//! * **Malformed input** — the reader consumes raw bytes line by line
+//!   (bounded, lossy UTF-8), so garbage, truncated JSON, or oversized
+//!   lines each produce one structured error response and the loop keeps
+//!   reading. Nothing a client sends can disconnect it or panic the
+//!   process.
+//! * **Admission control** — under queue pressure the fleet walks the
+//!   PR 2 degradation ladder instead of refusing service: beyond
+//!   `degrade_pending` queued queries, CS requests are answered
+//!   context-insensitively ([`Admission::DegradeCi`]); beyond
+//!   `truncate_pending`, a hard step cap yields truncated-but-sound
+//!   results ([`Admission::Truncate`]). A client that exhausts its
+//!   `client_step_budget` is degraded the same way while others ride
+//!   unaffected.
+//! * **Panic isolation** — each query attempt runs under `catch_unwind`.
+//!   A panic quarantines the session (dropped and rebuilt from retained
+//!   sources on next use) and the request is retried on the fresh
+//!   session up to `retries` times before a structured `panic` error is
+//!   returned. Sibling requests never notice.
+//! * **Deterministic fault injection** — the PR 2 [`FaultInjection`]
+//!   shape extends into the request path: a config-level fault panics
+//!   the Nth slice request's first `attempts` attempts, and chaos-mode
+//!   requests may carry `"chaos":{"panics":n}` themselves. The chaos
+//!   suite is built on this.
+//! * **Graceful shutdown** — EOF, a `shutdown` request, or an external
+//!   signal flag all stop intake, drain every queued and in-flight
+//!   query (each still gets its response), then acknowledge.
+//!
+//! [`FaultInjection`]: thinslice::FaultInjection
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::pool::{PoolConfig, PoolError, SessionPool};
+use crate::protocol::{
+    error_line, load_line, parse_request, shutdown_line, slice_line, status_line, Admission, Op,
+    ProgramRef, SliceRequest, SourceFile, StatusSnapshot,
+};
+use thinslice::{report, Budget, Engine, FaultInjection, Query, QueryPolicy, SliceResult};
+use thinslice_util::telemetry::Telemetry;
+use thinslice_util::FxHashMap;
+
+/// A writer shared between the reader thread and the workers; response
+/// lines are serialized under its lock and flushed per line.
+pub type SharedOut = Arc<Mutex<dyn Write + Send>>;
+
+/// Wraps a writer for [`Server::serve`].
+pub fn shared_out<W: Write + Send + 'static>(w: W) -> SharedOut {
+    Arc::new(Mutex::new(w))
+}
+
+/// Server tuning knobs. The default is a deterministic single-worker
+/// daemon with admission thresholds suited to interactive load.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing slice queries.
+    pub workers: usize,
+    /// Session-pool sizing (cap, watermark, points-to config).
+    pub pool: PoolConfig,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Step quota applied to requests that do not carry their own.
+    pub default_step_budget: Option<u64>,
+    /// Queue depth at which CS requests degrade to CI (`usize::MAX`
+    /// disables the rung).
+    pub degrade_pending: usize,
+    /// Queue depth at which requests additionally get a hard step cap.
+    pub truncate_pending: usize,
+    /// The step cap applied at the [`Admission::Truncate`] rung.
+    pub truncate_step_cap: u64,
+    /// Cumulative per-client step allowance (graph nodes visited);
+    /// clients over it are served at the truncate rung.
+    pub client_step_budget: Option<u64>,
+    /// How many times a panicked request is retried on a rebuilt
+    /// session before a `panic` error response.
+    pub retries: u32,
+    /// Whether request-carried `"chaos"` fault fields are honoured.
+    pub chaos: bool,
+    /// Config-level deterministic fault: the `query`-th slice request
+    /// (arrival order, 0-based) panics for its first `attempts` attempts.
+    pub fault: Option<FaultInjection>,
+    /// Reject programs whose summed source bytes exceed this.
+    pub max_program_bytes: usize,
+    /// Collect telemetry; `status` responses then embed a
+    /// `thinslice.run_report.v1` report.
+    pub trace: bool,
+    /// After an external-signal drain, flush and `exit(0)` instead of
+    /// returning (the CLI sets this; a reader blocked on stdin cannot be
+    /// joined). Never affects EOF or `shutdown`-request paths.
+    pub exit_on_signal: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            pool: PoolConfig::default(),
+            default_deadline_ms: None,
+            default_step_budget: None,
+            degrade_pending: 64,
+            truncate_pending: 256,
+            truncate_step_cap: 50_000,
+            client_step_budget: None,
+            retries: 1,
+            chaos: false,
+            fault: None,
+            max_program_bytes: 4 * 1024 * 1024,
+            trace: false,
+            exit_on_signal: false,
+        }
+    }
+}
+
+/// What one [`Server::serve`] run did (reported on stderr by the CLI).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Successful responses written.
+    pub served: u64,
+    /// Error responses written.
+    pub errors: u64,
+    /// Query panics caught (injected or real).
+    pub panics: u64,
+}
+
+struct Job {
+    id: Option<u64>,
+    client: String,
+    req: SliceRequest,
+    admission: Admission,
+    out: SharedOut,
+}
+
+struct Ack {
+    id: Option<u64>,
+    drained: usize,
+    out: SharedOut,
+}
+
+#[derive(Default)]
+struct Sched {
+    /// Per-client FIFO queues, in first-seen client order; served
+    /// round-robin from `rr`.
+    queues: Vec<(String, VecDeque<Job>)>,
+    rr: usize,
+    pending: usize,
+    in_flight: usize,
+    accepting: bool,
+    /// Cumulative step spend (graph nodes visited) per client.
+    spent: FxHashMap<String, u64>,
+}
+
+/// What [`Server::ingest`] decided about one request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// Keep reading.
+    Continue,
+    /// A `shutdown` request was accepted: stop reading and drain.
+    Shutdown,
+}
+
+/// The long-lived daemon core. Drivable in-process (the chaos suite
+/// feeds it a byte buffer) or from the CLI over stdin/socket.
+pub struct Server {
+    cfg: ServeConfig,
+    telemetry: Telemetry,
+    pool: Mutex<SessionPool>,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    shutdown: Arc<AtomicBool>,
+    input_done: AtomicBool,
+    shutdown_ack: Mutex<Option<Ack>>,
+    slice_seq: AtomicU64,
+    served: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Server {
+    /// Builds a server; nothing runs until [`Server::serve`].
+    pub fn new(cfg: ServeConfig) -> Server {
+        let telemetry = if cfg.trace {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
+        let pool = SessionPool::new(cfg.pool.clone(), telemetry.clone());
+        Server {
+            cfg,
+            telemetry,
+            pool: Mutex::new(pool),
+            sched: Mutex::new(Sched {
+                accepting: true,
+                ..Sched::default()
+            }),
+            cv: Condvar::new(),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            input_done: AtomicBool::new(false),
+            shutdown_ack: Mutex::new(None),
+            slice_seq: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        }
+    }
+
+    /// The external shutdown flag; a signal handler stores `true` and
+    /// the serve loop drains and exits. Clone freely.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    fn write_ok(&self, out: &SharedOut, line: &str) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        Self::write_raw(out, line);
+    }
+
+    fn write_err(&self, out: &SharedOut, id: Option<u64>, code: &str, message: &str) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        Self::write_raw(out, &error_line(id, code, message));
+    }
+
+    fn write_raw(out: &SharedOut, line: &str) {
+        let mut o = out.lock().unwrap();
+        let _ = writeln!(o, "{line}");
+        let _ = o.flush();
+    }
+
+    fn admission_for(&self, pending: usize) -> Admission {
+        if pending >= self.cfg.truncate_pending {
+            Admission::Truncate
+        } else if pending >= self.cfg.degrade_pending {
+            Admission::DegradeCi
+        } else {
+            Admission::Full
+        }
+    }
+
+    fn sources_size(sources: &[SourceFile]) -> usize {
+        sources.iter().map(|s| s.name.len() + s.text.len()).sum()
+    }
+
+    fn handle_load(&self, id: Option<u64>, sources: Vec<SourceFile>, out: &SharedOut) {
+        let size = Self::sources_size(&sources);
+        if size > self.cfg.max_program_bytes {
+            self.write_err(
+                out,
+                id,
+                "too_large",
+                &format!(
+                    "program is {size} bytes (limit {})",
+                    self.cfg.max_program_bytes
+                ),
+            );
+            return;
+        }
+        match self.pool.lock().unwrap().register(sources) {
+            Ok(r) => self.write_ok(out, &load_line(id, &r.hash, r.cached, r.resident)),
+            Err(e) => self.write_err(out, id, "compile", &e.to_string()),
+        }
+    }
+
+    fn handle_status(&self, id: Option<u64>, out: &SharedOut) {
+        let snap = {
+            let pool = self.pool.lock().unwrap();
+            StatusSnapshot {
+                programs: pool.programs(),
+                live_sessions: pool.live_sessions(),
+                quarantined: pool.quarantined(),
+                resident: pool.resident_total(),
+                evictions: pool.stats.evictions,
+                rebuilds: pool.stats.rebuilds,
+                served: self.served.load(Ordering::Relaxed),
+                errors: self.errors.load(Ordering::Relaxed),
+                panics: self.panics.load(Ordering::Relaxed),
+            }
+        };
+        let report = self.cfg.trace.then(|| self.telemetry.report().to_json());
+        self.write_ok(out, &status_line(id, &snap, report.as_deref()));
+    }
+
+    fn handle_shutdown(&self, id: Option<u64>, out: &SharedOut) {
+        let mut sched = self.sched.lock().unwrap();
+        if !sched.accepting {
+            drop(sched);
+            self.write_err(out, id, "shutting_down", "shutdown already in progress");
+            return;
+        }
+        sched.accepting = false;
+        let drained = sched.pending + sched.in_flight;
+        drop(sched);
+        *self.shutdown_ack.lock().unwrap() = Some(Ack {
+            id,
+            drained,
+            out: out.clone(),
+        });
+        self.cv.notify_all();
+    }
+
+    fn enqueue_slice(&self, id: Option<u64>, client: String, req: SliceRequest, out: &SharedOut) {
+        if let ProgramRef::Inline(sources) = &req.program {
+            let size = Self::sources_size(sources);
+            if size > self.cfg.max_program_bytes {
+                self.write_err(
+                    out,
+                    id,
+                    "too_large",
+                    &format!(
+                        "program is {size} bytes (limit {})",
+                        self.cfg.max_program_bytes
+                    ),
+                );
+                return;
+            }
+        }
+        let mut chaos_panics = req.chaos_panics;
+        if chaos_panics > 0 && !self.cfg.chaos {
+            self.write_err(
+                out,
+                id,
+                "chaos_disabled",
+                "request carries a chaos fault but the server was not started with --chaos",
+            );
+            return;
+        }
+        let seq = self.slice_seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(fault) = &self.cfg.fault {
+            if fault.query as u64 == seq {
+                chaos_panics = chaos_panics.max(fault.attempts);
+            }
+        }
+        let mut req = req;
+        req.chaos_panics = chaos_panics;
+
+        let mut sched = self.sched.lock().unwrap();
+        if !sched.accepting {
+            drop(sched);
+            self.write_err(out, id, "shutting_down", "server is draining; resend later");
+            return;
+        }
+        let admission = self.admission_for(sched.pending);
+        let job = Job {
+            id,
+            client: client.clone(),
+            req,
+            admission,
+            out: out.clone(),
+        };
+        match sched.queues.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, q)) => q.push_back(job),
+            None => sched.queues.push((client, VecDeque::from([job]))),
+        }
+        sched.pending += 1;
+        drop(sched);
+        self.cv.notify_all();
+    }
+
+    /// Handles one request line: synchronous ops are answered in place,
+    /// slice queries are queued for the workers. Total over arbitrary
+    /// input — every failure is a structured error response.
+    pub fn ingest(&self, line: &str, out: &SharedOut) -> Ingest {
+        match parse_request(line) {
+            Err(e) => {
+                self.write_err(out, e.id, e.code, &e.message);
+                Ingest::Continue
+            }
+            Ok(req) => match req.op {
+                Op::Load { sources } => {
+                    self.handle_load(req.id, sources, out);
+                    Ingest::Continue
+                }
+                Op::Status => {
+                    self.handle_status(req.id, out);
+                    Ingest::Continue
+                }
+                Op::Shutdown => {
+                    self.handle_shutdown(req.id, out);
+                    Ingest::Shutdown
+                }
+                Op::Slice(sr) => {
+                    self.enqueue_slice(req.id, req.client, sr, out);
+                    Ingest::Continue
+                }
+            },
+        }
+    }
+
+    fn pop_job(sched: &mut Sched) -> Option<Job> {
+        if sched.pending == 0 || sched.queues.is_empty() {
+            return None;
+        }
+        let n = sched.queues.len();
+        for step in 0..n {
+            let i = (sched.rr + step) % n;
+            if let Some(job) = sched.queues[i].1.pop_front() {
+                sched.rr = (i + 1) % n;
+                sched.pending -= 1;
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut sched = self.sched.lock().unwrap();
+                loop {
+                    if let Some(job) = Self::pop_job(&mut sched) {
+                        sched.in_flight += 1;
+                        break job;
+                    }
+                    if !sched.accepting {
+                        return;
+                    }
+                    sched = self.cv.wait(sched).unwrap();
+                }
+            };
+            self.execute(job);
+            let mut sched = self.sched.lock().unwrap();
+            sched.in_flight -= 1;
+            drop(sched);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Resolves the job's program to a pool hash, registering inline
+    /// sources on first use.
+    fn resolve_program(&self, job: &Job) -> Result<String, (&'static str, String)> {
+        match &job.req.program {
+            ProgramRef::Hash(h) => {
+                if self.pool.lock().unwrap().contains(h) {
+                    Ok(h.clone())
+                } else {
+                    Err((
+                        "unknown_program",
+                        format!("program {h:?} is not registered; send a load request first"),
+                    ))
+                }
+            }
+            ProgramRef::Inline(sources) => {
+                match self.pool.lock().unwrap().register(sources.clone()) {
+                    Ok(r) => Ok(r.hash),
+                    Err(e) => Err(("compile", e.to_string())),
+                }
+            }
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        let hash = match self.resolve_program(&job) {
+            Ok(h) => h,
+            Err((code, msg)) => {
+                self.write_err(&job.out, job.id, code, &msg);
+                return;
+            }
+        };
+        // A client over its cumulative allowance is load-shed to the
+        // truncate rung; other tenants are unaffected.
+        let mut admission = job.admission;
+        if let Some(allowance) = self.cfg.client_step_budget {
+            let sched = self.sched.lock().unwrap();
+            if sched.spent.get(&job.client).copied().unwrap_or(0) >= allowance {
+                admission = Admission::Truncate;
+            }
+        }
+
+        let mut attempt: u32 = 0;
+        loop {
+            let mut co = match self.pool.lock().unwrap().checkout(&hash) {
+                Ok(co) => co,
+                Err(PoolError::UnknownProgram) => {
+                    self.write_err(
+                        &job.out,
+                        job.id,
+                        "unknown_program",
+                        &format!("program {hash:?} is not registered"),
+                    );
+                    return;
+                }
+                Err(PoolError::Compile(e)) => {
+                    self.write_err(&job.out, job.id, "compile", &e.to_string());
+                    return;
+                }
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if job.req.chaos_panics > attempt {
+                    panic!("injected chaos panic (attempt {attempt})");
+                }
+                self.run_query(co.session(), &job.req, admission)
+            }));
+            match outcome {
+                Ok(Ok((slice, engine, stmts, spend))) => {
+                    self.pool.lock().unwrap().checkin(co);
+                    {
+                        let mut sched = self.sched.lock().unwrap();
+                        *sched.spent.entry(job.client.clone()).or_insert(0) += spend;
+                    }
+                    let degraded =
+                        slice.degraded || (job.req.engine == Engine::Cs && engine == Engine::Ci);
+                    self.write_ok(
+                        &job.out,
+                        &slice_line(
+                            job.id,
+                            &hash,
+                            engine,
+                            job.req.kind,
+                            admission,
+                            degraded,
+                            slice.completeness,
+                            &stmts,
+                        ),
+                    );
+                    return;
+                }
+                Ok(Err(msg)) => {
+                    self.pool.lock().unwrap().checkin(co);
+                    self.write_err(&job.out, job.id, "seed", &msg);
+                    return;
+                }
+                Err(payload) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    self.pool.lock().unwrap().quarantine(co);
+                    attempt += 1;
+                    if attempt > self.cfg.retries {
+                        self.write_err(
+                            &job.out,
+                            job.id,
+                            "panic",
+                            &format!(
+                                "query panicked on {attempt} attempts ({}); session \
+                                 quarantined and will rebuild on the next request",
+                                panic_message(payload.as_ref())
+                            ),
+                        );
+                        return;
+                    }
+                    // Retry: the next checkout rebuilds the quarantined
+                    // session from sources.
+                }
+            }
+        }
+    }
+
+    /// Runs one query attempt on a checked-out session. Returns the
+    /// result, the engine actually used, the canonical statement lines,
+    /// and the step spend charged to the client.
+    #[allow(clippy::type_complexity)]
+    fn run_query(
+        &self,
+        session: &mut thinslice::AnalysisSession,
+        req: &SliceRequest,
+        admission: Admission,
+    ) -> Result<(SliceResult, Engine, Vec<String>, u64), String> {
+        let mut seeds = Vec::new();
+        for sr in &req.seeds {
+            match session.seed_at_line(&sr.file, sr.line) {
+                Some(s) => seeds.extend(s),
+                None => return Err(format!("no statements at {}:{}", sr.file, sr.line)),
+            }
+        }
+        let engine = match (admission, req.engine) {
+            (Admission::DegradeCi | Admission::Truncate, Engine::Cs) => Engine::Ci,
+            (_, e) => e,
+        };
+        let mut budget = Budget::default();
+        if let Some(ms) = req.deadline_ms.or(self.cfg.default_deadline_ms) {
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = req.step_budget.or(self.cfg.default_step_budget) {
+            budget = budget.with_step_limit(steps);
+        }
+        if admission == Admission::Truncate {
+            budget = budget.cap_steps(self.cfg.truncate_step_cap);
+        }
+        let policy = QueryPolicy {
+            budget: (!budget.is_unlimited()).then_some(budget),
+            degrade: req.degrade,
+        };
+        let query = Query::new(seeds, req.kind, engine).with_policy(policy);
+        let slice = session.query(&query);
+        let stmts = report::stmt_lines(session.program(), &slice.stmts);
+        let spend = slice.nodes.len() as u64;
+        Ok((slice, engine, stmts, spend))
+    }
+
+    fn begin_drain(&self) {
+        self.sched.lock().unwrap().accepting = false;
+        self.cv.notify_all();
+    }
+
+    fn wait_drained(&self) {
+        let mut sched = self.sched.lock().unwrap();
+        while sched.pending > 0 || sched.in_flight > 0 {
+            sched = self.cv.wait(sched).unwrap();
+        }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            served: self.served.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs the daemon over one input stream until EOF, a `shutdown`
+    /// request, or the external [`Server::shutdown_flag`]. All three
+    /// paths stop intake, drain every queued and in-flight query (each
+    /// still receives its response), then return the run's summary —
+    /// after writing the `shutdown` acknowledgement when one is owed.
+    pub fn serve<R: BufRead + Send>(&self, input: R, out: SharedOut) -> ServeSummary {
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers.max(1) {
+                scope.spawn(|| self.worker_loop());
+            }
+            {
+                let out = out.clone();
+                scope.spawn(move || {
+                    self.reader_loop(input, &out);
+                    self.input_done.store(true, Ordering::Relaxed);
+                    self.cv.notify_all();
+                });
+            }
+            // Wait for the input to end or the signal flag; the timeout
+            // bounds how long a signal waits behind a blocked read.
+            loop {
+                let sched = self.sched.lock().unwrap();
+                if self.input_done.load(Ordering::Relaxed) || self.shutdown.load(Ordering::Relaxed)
+                {
+                    break;
+                }
+                let _ = self
+                    .cv
+                    .wait_timeout(sched, Duration::from_millis(25))
+                    .unwrap();
+            }
+            let signalled =
+                self.shutdown.load(Ordering::Relaxed) && !self.input_done.load(Ordering::Relaxed);
+            self.begin_drain();
+            self.wait_drained();
+            if let Some(ack) = self.shutdown_ack.lock().unwrap().take() {
+                self.write_ok(&ack.out, &shutdown_line(ack.id, ack.drained));
+            }
+            let summary = self.summary();
+            if signalled && self.cfg.exit_on_signal {
+                // The reader thread may be blocked on stdin forever; the
+                // scope could never join it. Everything is drained and
+                // flushed, so exiting the process is the clean option.
+                let _ = out.lock().unwrap().flush();
+                eprintln!(
+                    "thinslice-serve: signal received; drained in-flight queries \
+                     (served {}, errors {}, panics {}); exiting",
+                    summary.served, summary.errors, summary.panics
+                );
+                std::process::exit(0);
+            }
+            summary
+        })
+    }
+
+    /// Serves a Unix-domain socket: each accepted connection gets its own
+    /// reader thread and writes responses back on that connection, while
+    /// all connections share the worker pool, session pool, and admission
+    /// state. A `shutdown` request from any client — or the external
+    /// [`Server::shutdown_flag`] — stops intake on every connection,
+    /// drains, acknowledges, and returns.
+    #[cfg(unix)]
+    pub fn serve_listener(&self, listener: std::os::unix::net::UnixListener) -> ServeSummary {
+        // Non-blocking accept so the loop can observe the shutdown flag.
+        let _ = listener.set_nonblocking(true);
+        std::thread::scope(|scope| {
+            for _ in 0..self.cfg.workers.max(1) {
+                scope.spawn(|| self.worker_loop());
+            }
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) || !self.sched.lock().unwrap().accepting {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let out: SharedOut = match stream.try_clone() {
+                            Ok(w) => Arc::new(Mutex::new(w)),
+                            Err(_) => continue,
+                        };
+                        scope.spawn(move || self.conn_loop(stream, &out));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => break,
+                }
+            }
+            self.begin_drain();
+            self.wait_drained();
+            if let Some(ack) = self.shutdown_ack.lock().unwrap().take() {
+                self.write_ok(&ack.out, &shutdown_line(ack.id, ack.drained));
+            }
+            self.summary()
+        })
+    }
+
+    /// One socket connection's read loop: bounded lines, lossy UTF-8,
+    /// oversized lines discarded after a structured error. Reads carry a
+    /// short timeout so the loop can notice a daemon-wide drain even
+    /// while its client is idle.
+    #[cfg(unix)]
+    fn conn_loop(&self, stream: std::os::unix::net::UnixStream, out: &SharedOut) {
+        use crate::protocol::MAX_LINE_BYTES;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let mut reader = std::io::BufReader::new(stream);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut skipping = false; // discarding the rest of an oversized line
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) || !self.sched.lock().unwrap().accepting {
+                return;
+            }
+            let (consumed, line_end) = {
+                let chunk = match reader.fill_buf() {
+                    Ok([]) => return, // client disconnected
+                    Ok(c) => c,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock
+                                | std::io::ErrorKind::TimedOut
+                                | std::io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        continue;
+                    }
+                    Err(_) => return,
+                };
+                let (consumed, line_end) = match chunk.iter().position(|&b| b == b'\n') {
+                    Some(pos) => (pos + 1, true),
+                    None => (chunk.len(), false),
+                };
+                if !skipping {
+                    buf.extend_from_slice(&chunk[..consumed]);
+                }
+                (consumed, line_end)
+            };
+            reader.consume(consumed);
+            if !line_end {
+                if !skipping && buf.len() > MAX_LINE_BYTES {
+                    self.write_err(
+                        out,
+                        None,
+                        "too_large",
+                        &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                    );
+                    buf.clear();
+                    skipping = true;
+                }
+                continue;
+            }
+            if skipping {
+                skipping = false;
+                continue;
+            }
+            if buf.len().saturating_sub(1) > MAX_LINE_BYTES {
+                self.write_err(
+                    out,
+                    None,
+                    "too_large",
+                    &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                buf.clear();
+                continue;
+            }
+            let stop = {
+                let text = String::from_utf8_lossy(&buf);
+                let line = text.trim_end_matches(['\n', '\r']);
+                !line.trim().is_empty() && self.ingest(line, out) == Ingest::Shutdown
+            };
+            buf.clear();
+            if stop {
+                return;
+            }
+        }
+    }
+
+    /// Reads raw bytes line by line (bounded, lossy UTF-8) and ingests
+    /// each. Oversized lines are answered and skipped without being
+    /// buffered whole; invalid UTF-8 becomes a parse error response.
+    fn reader_loop<R: BufRead>(&self, mut input: R, out: &SharedOut) {
+        use crate::protocol::MAX_LINE_BYTES;
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            buf.clear();
+            let mut limited = (&mut input).take((MAX_LINE_BYTES + 1) as u64);
+            match limited.read_until(b'\n', &mut buf) {
+                Ok(0) => return, // EOF
+                Ok(_) => {
+                    let hit_cap = buf.len() > MAX_LINE_BYTES
+                        || (buf.len() == MAX_LINE_BYTES + 1 && buf.last() != Some(&b'\n'));
+                    if hit_cap && buf.last() != Some(&b'\n') {
+                        self.write_err(
+                            out,
+                            None,
+                            "too_large",
+                            &format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                        );
+                        if !skip_to_newline(&mut input) {
+                            return;
+                        }
+                        continue;
+                    }
+                    let text = String::from_utf8_lossy(&buf);
+                    let line = text.trim_end_matches(['\n', '\r']);
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    if let Ingest::Shutdown = self.ingest(line, out) {
+                        return;
+                    }
+                }
+                Err(_) => return, // unrecoverable I/O error on the stream
+            }
+        }
+    }
+}
+
+/// Discards input up to and including the next newline; `false` on EOF.
+fn skip_to_newline<R: BufRead>(input: &mut R) -> bool {
+    let mut byte = [0u8; 1];
+    loop {
+        match input.read(&mut byte) {
+            Ok(0) | Err(_) => return false,
+            Ok(_) if byte[0] == b'\n' => return true,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

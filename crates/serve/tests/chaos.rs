@@ -1,0 +1,504 @@
+//! Chaos suite for the slice server.
+//!
+//! The contract under test (ISSUE 7 acceptance criteria): under injected
+//! panics, deadline storms, oversized programs, and truncated/garbage
+//! request lines, the daemon never exits, quarantined sessions rebuild on
+//! the next request, every non-faulted response is bit-identical to the
+//! same request served by a fault-free daemon, and graceful shutdown
+//! drains all in-flight queries.
+//!
+//! Determinism ground rules: slice and load responses carry no timing or
+//! load-dependent fields, so they are compared byte-for-byte across runs.
+//! `status` and `shutdown` responses intentionally report load-dependent
+//! counters (serve order, drain depth) and are excluded from bit-identity
+//! comparisons — their *presence* is still asserted.
+
+use std::io::{Cursor, Write};
+use std::sync::{Arc, Mutex};
+
+use thinslice::FaultInjection;
+use thinslice_serve::pool::PoolConfig;
+use thinslice_serve::protocol::validate_response_line;
+use thinslice_serve::{ServeConfig, ServeSummary, Server};
+use thinslice_util::telemetry::Json;
+
+/// A shared byte sink the server writes response lines into.
+#[derive(Clone, Default)]
+struct Sink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Sink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs one scripted server session; returns (response lines, summary).
+/// Every response line is schema-validated on the way out.
+fn run_script(cfg: ServeConfig, script: &[String]) -> (Vec<String>, ServeSummary) {
+    let sink = Sink::default();
+    let out: thinslice_serve::SharedOut = Arc::new(Mutex::new(sink.clone()));
+    let server = Server::new(cfg);
+    let input = script.join("\n") + "\n";
+    let summary = server.serve(Cursor::new(input.into_bytes()), out);
+    let bytes = sink.0.lock().unwrap().clone();
+    let lines: Vec<String> = String::from_utf8(bytes)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    for line in &lines {
+        validate_response_line(line).unwrap_or_else(|e| panic!("invalid response {line:?}: {e}"));
+    }
+    (lines, summary)
+}
+
+/// Indexes responses by id (every scripted request carries a unique id).
+fn by_id(lines: &[String]) -> std::collections::BTreeMap<u64, String> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in lines {
+        let v = Json::parse(line).unwrap();
+        if let Some(id) = v.get("id").and_then(Json::as_u64) {
+            assert!(
+                map.insert(id, line.clone()).is_none(),
+                "duplicate response for id {id}"
+            );
+        }
+    }
+    map
+}
+
+fn field(line: &str, key: &str) -> Json {
+    Json::parse(line)
+        .unwrap()
+        .get(key)
+        .cloned()
+        .unwrap_or(Json::Null)
+}
+
+fn program(n: u32) -> String {
+    // A little call structure so CS and CI genuinely differ in work done.
+    format!(
+        "class Main {{ static int id(int a) {{ return a; }} \
+         static void main() {{\nint x = {n};\nint y = Main.id(x) + {n};\nint z = y * 2;\nprint(z);\n}} }}"
+    )
+}
+
+fn src_json(n: u32) -> String {
+    let text = program(n)
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!("[{{\"name\":\"p{n}.mj\",\"text\":\"{text}\"}}]")
+}
+
+fn load(id: u64, n: u32) -> String {
+    format!(
+        "{{\"op\":\"load\",\"id\":{id},\"sources\":{}}}",
+        src_json(n)
+    )
+}
+
+fn slice(id: u64, n: u32, line: u32, extra: &str) -> String {
+    format!(
+        "{{\"op\":\"slice\",\"id\":{id},\"sources\":{},\"seed\":{{\"file\":\"p{n}.mj\",\"line\":{line}}}{extra}}}",
+        src_json(n)
+    )
+}
+
+fn shutdown(id: u64) -> String {
+    format!("{{\"op\":\"shutdown\",\"id\":{id}}}")
+}
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        chaos: true,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn garbage_and_truncated_lines_get_structured_errors_not_disconnects() {
+    let script = vec![
+        "{not json at all".to_string(),
+        "][".to_string(),
+        "42".to_string(),
+        "\"just a string\"".to_string(),
+        r#"{"op":"warp","id":90}"#.to_string(),
+        r#"{"op":"slice","id":91}"#.to_string(),
+        // Truncated mid-object, as if the client died mid-write.
+        r#"{"op":"slice","id":92,"sources":[{"name":"t.mj","te"#.to_string(),
+        // The daemon must still serve real work after all of that.
+        load(1, 1),
+        slice(2, 1, 4, ""),
+        shutdown(3),
+    ];
+    let (lines, summary) = run_script(ServeConfig::default(), &script);
+    assert_eq!(lines.len(), script.len(), "one response per request line");
+    assert_eq!(summary.errors, 7);
+    assert_eq!(summary.served, 3);
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&90], "ok"), Json::Bool(false));
+    assert_eq!(field(&map[&91], "ok"), Json::Bool(false));
+    assert_eq!(field(&map[&2], "ok"), Json::Bool(true));
+    assert_eq!(
+        field(&map[&2], "completeness"),
+        Json::Str("complete".into())
+    );
+}
+
+#[test]
+fn injected_panic_quarantines_rebuilds_and_siblings_stay_bit_identical() {
+    // Request 4 panics on more attempts than the server retries, so it
+    // hard-fails; request 5 re-queries the same program afterwards.
+    let faulted: Vec<String> = vec![
+        load(1, 1),
+        slice(2, 1, 3, ""),
+        slice(3, 2, 4, ""),
+        slice(4, 1, 4, r#","chaos":{"panics":3}"#),
+        slice(5, 1, 4, ""),
+        shutdown(6),
+    ];
+    let clean: Vec<String> = faulted
+        .iter()
+        .map(|l| l.replace(r#","chaos":{"panics":3}"#, ""))
+        .collect();
+
+    let (f_lines, f_summary) = run_script(chaos_cfg(), &faulted);
+    let (c_lines, c_summary) = run_script(chaos_cfg(), &clean);
+    let f = by_id(&f_lines);
+    let c = by_id(&c_lines);
+
+    // The faulted request hard-failed with a structured panic error...
+    assert_eq!(field(&f[&4], "ok"), Json::Bool(false));
+    let err = field(&f[&4], "error");
+    assert_eq!(err.get("code").and_then(Json::as_str), Some("panic"));
+    assert!(err
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("quarantined"));
+    assert_eq!(f_summary.panics, 2, "initial attempt + one retry");
+    assert_eq!(c_summary.panics, 0);
+
+    // ...the daemon stayed up, the quarantined session rebuilt, and every
+    // non-faulted response is bit-identical to the fault-free run.
+    for id in [1u64, 2, 3, 5] {
+        assert_eq!(f[&id], c[&id], "response {id} must be bit-identical");
+    }
+    assert!(
+        f.contains_key(&6) && c.contains_key(&6),
+        "both runs drained"
+    );
+}
+
+#[test]
+fn single_panic_recovers_via_retry_with_identical_response() {
+    // One injected panic is absorbed by the retry on a rebuilt session:
+    // the client sees the same successful response as a fault-free run.
+    let faulted = vec![
+        load(1, 1),
+        slice(2, 1, 4, r#","chaos":{"panics":1}"#),
+        shutdown(3),
+    ];
+    let clean: Vec<String> = faulted
+        .iter()
+        .map(|l| l.replace(r#","chaos":{"panics":1}"#, ""))
+        .collect();
+    let (f_lines, f_summary) = run_script(chaos_cfg(), &faulted);
+    let (c_lines, _) = run_script(chaos_cfg(), &clean);
+    assert_eq!(f_summary.panics, 1);
+    assert_eq!(f_summary.errors, 0, "the retry hid the fault entirely");
+    assert_eq!(by_id(&f_lines)[&2], by_id(&c_lines)[&2]);
+}
+
+#[test]
+fn config_level_fault_injection_extends_batch_fault_shape() {
+    // The PR 2 FaultInjection shape, applied to the server's request
+    // path: the 1st slice request (0-based) panics once and recovers.
+    let script = vec![
+        load(1, 1),
+        slice(2, 1, 3, ""),
+        slice(3, 1, 4, ""),
+        shutdown(4),
+    ];
+    let cfg = ServeConfig {
+        fault: Some(FaultInjection {
+            query: 1,
+            attempts: 1,
+        }),
+        ..ServeConfig::default()
+    };
+    let (f_lines, f_summary) = run_script(cfg, &script);
+    let (c_lines, _) = run_script(ServeConfig::default(), &script);
+    assert_eq!(f_summary.panics, 1);
+    assert_eq!(f_summary.errors, 0);
+    let (f, c) = (by_id(&f_lines), by_id(&c_lines));
+    for id in [1u64, 2, 3] {
+        assert_eq!(f[&id], c[&id]);
+    }
+}
+
+#[test]
+fn chaos_fields_are_rejected_when_chaos_mode_is_off() {
+    let script = vec![slice(1, 1, 3, r#","chaos":{"panics":1}"#), shutdown(2)];
+    let (lines, summary) = run_script(ServeConfig::default(), &script);
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&1], "ok"), Json::Bool(false));
+    assert_eq!(
+        field(&map[&1], "error").get("code").and_then(Json::as_str),
+        Some("chaos_disabled")
+    );
+    assert_eq!(summary.panics, 0);
+}
+
+#[test]
+fn deadline_storm_never_takes_the_daemon_down() {
+    let mut script = vec![load(1, 1)];
+    for i in 0..40 {
+        script.push(slice(10 + i, 1, 4, r#","deadline_ms":0"#));
+    }
+    script.push(slice(90, 1, 4, ""));
+    script.push(shutdown(99));
+    let (lines, summary) = run_script(ServeConfig::default(), &script);
+    assert_eq!(lines.len(), script.len(), "every request answered");
+    assert_eq!(
+        summary.errors, 0,
+        "deadline exhaustion degrades, never errors"
+    );
+    let map = by_id(&lines);
+    for i in 0..40u64 {
+        assert_eq!(field(&map[&(10 + i)], "ok"), Json::Bool(true));
+    }
+    // After the storm the daemon still serves an ungoverned query fully.
+    assert_eq!(
+        field(&map[&90], "completeness"),
+        Json::Str("complete".into())
+    );
+    assert!(
+        map.contains_key(&99),
+        "shutdown acknowledged after the storm"
+    );
+}
+
+#[test]
+fn oversized_programs_are_refused_structurally() {
+    let cfg = ServeConfig {
+        max_program_bytes: 256,
+        ..ServeConfig::default()
+    };
+    let big = "x".repeat(4096);
+    let script = vec![
+        format!(
+            "{{\"op\":\"load\",\"id\":1,\"sources\":[{{\"name\":\"big.mj\",\"text\":\"{big}\"}}]}}"
+        ),
+        format!(
+            "{{\"op\":\"slice\",\"id\":2,\"sources\":[{{\"name\":\"big.mj\",\"text\":\"{big}\"}}],\"seed\":{{\"file\":\"big.mj\",\"line\":1}}}}"
+        ),
+        slice(3, 1, 4, ""),
+        shutdown(4),
+    ];
+    let (lines, _) = run_script(cfg, &script);
+    let map = by_id(&lines);
+    for id in [1u64, 2] {
+        assert_eq!(
+            field(&map[&id], "error").get("code").and_then(Json::as_str),
+            Some("too_large"),
+            "response {id}"
+        );
+    }
+    assert_eq!(
+        field(&map[&3], "ok"),
+        Json::Bool(true),
+        "small programs still served"
+    );
+}
+
+#[test]
+fn admission_ladder_degrades_cs_to_ci_then_truncates_fleet_wide() {
+    // Pin the first rung: any queue depth degrades CS to CI.
+    let cfg = ServeConfig {
+        degrade_pending: 0,
+        ..ServeConfig::default()
+    };
+    let script = vec![slice(1, 1, 4, r#","engine":"cs""#), shutdown(2)];
+    let (lines, _) = run_script(cfg, &script);
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&1], "admission"), Json::Str("degrade-ci".into()));
+    assert_eq!(field(&map[&1], "engine"), Json::Str("ci".into()));
+    assert_eq!(field(&map[&1], "degraded"), Json::Bool(true));
+
+    // Pin the second rung: a one-step cap truncates (soundly) as well.
+    let cfg = ServeConfig {
+        degrade_pending: 0,
+        truncate_pending: 0,
+        truncate_step_cap: 1,
+        ..ServeConfig::default()
+    };
+    let (lines, summary) = run_script(cfg, &script.clone());
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&1], "admission"), Json::Str("truncate".into()));
+    assert_eq!(
+        field(&map[&1], "completeness"),
+        Json::Str("truncated".into())
+    );
+    assert_eq!(field(&map[&1], "reason"), Json::Str("step quota".into()));
+    assert_eq!(summary.errors, 0, "truncation is degradation, not refusal");
+}
+
+#[test]
+fn per_client_budget_sheds_the_heavy_tenant_only() {
+    let cfg = ServeConfig {
+        client_step_budget: Some(1),
+        ..ServeConfig::default()
+    };
+    let with_client = |id: u64, client: &str| slice(id, 1, 4, &format!(",\"client\":\"{client}\""));
+    let script = vec![
+        with_client(1, "heavy"),
+        with_client(2, "heavy"),
+        with_client(3, "light"),
+        shutdown(4),
+    ];
+    let (lines, _) = run_script(cfg, &script);
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&1], "admission"), Json::Str("full".into()));
+    assert_eq!(
+        field(&map[&2], "admission"),
+        Json::Str("truncate".into()),
+        "second heavy-tenant request is load-shed"
+    );
+    assert_eq!(
+        field(&map[&3], "admission"),
+        Json::Str("full".into()),
+        "other tenants ride unaffected"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_every_queued_query() {
+    let mut script = vec![load(1, 1)];
+    for i in 0..10 {
+        script.push(slice(10 + i, 1, 4, ""));
+    }
+    script.push(shutdown(50));
+    // Lines queued after the shutdown request must NOT be read.
+    script.push(slice(60, 1, 4, ""));
+    let (lines, summary) = run_script(ServeConfig::default(), &script);
+    let map = by_id(&lines);
+    for i in 0..10u64 {
+        assert_eq!(
+            field(&map[&(10 + i)], "ok"),
+            Json::Bool(true),
+            "queued query {} drained with a real answer",
+            10 + i
+        );
+    }
+    assert!(map.contains_key(&50), "shutdown acknowledged last");
+    assert!(!map.contains_key(&60), "intake stopped at shutdown");
+    assert_eq!(summary.served, 12);
+    // EOF (no shutdown request) drains identically, just without an ack.
+    let script: Vec<String> = script[..script.len() - 2].to_vec();
+    let (lines, _) = run_script(ServeConfig::default(), &script);
+    assert_eq!(lines.len(), script.len());
+}
+
+#[test]
+fn evicted_then_requeried_sessions_answer_bit_identically() {
+    // Session-granularity LRU/watermark coverage (satellite 3): with a
+    // one-session cap, alternating programs forces an eviction + rebuild
+    // on every request; a roomy pool keeps everything warm. Responses
+    // must be bit-identical either way.
+    let mut script = vec![load(1, 1), load(2, 2)];
+    let mut id = 10;
+    for round in 0..3 {
+        for n in [1u32, 2] {
+            script.push(slice(id, n, 3 + round % 2, ""));
+            id += 1;
+        }
+    }
+    script.push(shutdown(99));
+
+    let thrash = ServeConfig {
+        pool: PoolConfig {
+            max_sessions: 1,
+            ..PoolConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let squeeze = ServeConfig {
+        pool: PoolConfig {
+            resident_watermark: Some(1),
+            ..PoolConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let warm = ServeConfig::default();
+
+    let (t_lines, _) = run_script(thrash, &script);
+    let (s_lines, _) = run_script(squeeze, &script);
+    let (w_lines, _) = run_script(warm, &script);
+    let (t, s, w) = (by_id(&t_lines), by_id(&s_lines), by_id(&w_lines));
+    for rid in 10..id {
+        assert_eq!(t[&rid], w[&rid], "LRU-evicted answer {rid} ≡ warm");
+        assert_eq!(s[&rid], w[&rid], "watermark-evicted answer {rid} ≡ warm");
+    }
+}
+
+#[test]
+fn multi_worker_runs_match_single_worker_responses() {
+    let mut script = vec![load(1, 1), load(2, 2), load(3, 3)];
+    let mut id = 10;
+    for n in [1u32, 2, 3] {
+        for line in [3u32, 4, 5] {
+            script.push(slice(
+                id,
+                n,
+                line,
+                &format!(
+                    ",\"client\":\"c{n}\",\"engine\":\"{}\"",
+                    if id % 2 == 0 { "cs" } else { "ci" }
+                ),
+            ));
+            id += 1;
+        }
+    }
+    script.push(shutdown(99));
+    let parallel = ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    };
+    let (p_lines, _) = run_script(parallel, &script);
+    let (s_lines, _) = run_script(ServeConfig::default(), &script);
+    let (p, s) = (by_id(&p_lines), by_id(&s_lines));
+    for rid in (1..4).chain(10..id) {
+        assert_eq!(p[&rid], s[&rid], "response {rid}: 4 workers ≡ 1 worker");
+    }
+}
+
+#[test]
+fn traced_status_embeds_a_valid_run_report() {
+    let cfg = ServeConfig {
+        trace: true,
+        ..ServeConfig::default()
+    };
+    let script = vec![
+        load(1, 1),
+        slice(2, 1, 4, ""),
+        r#"{"op":"status","id":3}"#.to_string(),
+        shutdown(4),
+    ];
+    let (lines, _) = run_script(cfg, &script);
+    let map = by_id(&lines);
+    let report = field(&map[&3], "report");
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some(thinslice_util::telemetry::RUN_REPORT_SCHEMA)
+    );
+    // Round-trip through the real report parser, not just the shape check.
+    let status = &map[&3];
+    let start = status.find("\"report\":").unwrap() + "\"report\":".len();
+    let report_text = &status[start..status.len() - 1];
+    thinslice_util::RunReport::from_json(report_text).expect("embedded report parses");
+}

@@ -278,6 +278,48 @@ impl Meter {
         true
     }
 
+    /// Runs the slow checks (cancellation, deadline, resident watermark,
+    /// step quota) immediately, without waiting for the current check
+    /// window to drain.
+    ///
+    /// [`Meter::tick_tracked`] polices the watermark at `CHECK_INTERVAL`
+    /// granularity, which is right for per-item worklists but useless for
+    /// callers that make a handful of coarse decisions — a session pool
+    /// deciding whether the fleet's resident total still fits is the
+    /// motivating case. Step accounting stays exact: the consumed portion
+    /// of the current window is folded into the total and a fresh window
+    /// is opened, so interleaving `check_now` with `tick` never over- or
+    /// under-counts.
+    pub fn check_now(&mut self, resident: usize) -> bool {
+        self.checks += 1;
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.steps_used += self.stride - self.until_check;
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return self.exhaust(ExhaustReason::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return self.exhaust(ExhaustReason::Deadline);
+            }
+        }
+        if resident > self.resident_limit {
+            return self.exhaust(ExhaustReason::Memory);
+        }
+        let remaining = self.step_limit - self.steps_used;
+        if remaining == 0 {
+            return self.exhaust(ExhaustReason::StepQuota);
+        }
+        // Unlike `slow_check`, this call is not tied to a work item, so the
+        // fresh window starts full.
+        self.stride = remaining.min(CHECK_INTERVAL);
+        self.until_check = self.stride;
+        true
+    }
+
     fn exhaust(&mut self, reason: ExhaustReason) -> bool {
         self.exhausted = Some(reason);
         // Zero the window so `steps_used()` stops at the accounted total.
@@ -481,6 +523,48 @@ mod tests {
         // The first slow check after the initial window sees the watermark.
         assert_eq!(m.reason(), Some(ExhaustReason::Memory));
         assert!(admitted <= CHECK_INTERVAL);
+    }
+
+    #[test]
+    fn check_now_trips_watermark_immediately() {
+        // tick_tracked would admit a whole CHECK_INTERVAL window first;
+        // check_now consults the watermark on the spot.
+        let mut m = Budget::default().with_resident_limit(10).meter();
+        assert!(m.check_now(10));
+        assert!(!m.check_now(11));
+        assert_eq!(m.reason(), Some(ExhaustReason::Memory));
+        // Exhaustion is sticky, even back under the watermark.
+        assert!(!m.check_now(0));
+        assert!(!m.tick());
+    }
+
+    #[test]
+    fn check_now_keeps_step_accounting_exact() {
+        let mut m = Budget::default().with_step_limit(2048).meter();
+        for _ in 0..5 {
+            assert!(m.tick());
+        }
+        assert!(m.check_now(0));
+        assert_eq!(m.steps_used(), 5);
+        let mut admitted = 5;
+        while m.tick() {
+            admitted += 1;
+        }
+        assert_eq!(admitted, 2048, "quota stays exact across check_now");
+        assert_eq!(m.reason(), Some(ExhaustReason::StepQuota));
+    }
+
+    #[test]
+    fn check_now_observes_cancellation_and_unlimited_budgets() {
+        let mut m = Meter::unlimited();
+        assert!(m.check_now(usize::MAX - 1));
+
+        let token = CancelToken::new();
+        let mut m = Budget::default().with_cancel(token.clone()).meter();
+        assert!(m.check_now(0));
+        token.cancel();
+        assert!(!m.check_now(0));
+        assert_eq!(m.reason(), Some(ExhaustReason::Cancelled));
     }
 
     #[test]
