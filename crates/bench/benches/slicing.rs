@@ -433,15 +433,21 @@ struct ServerResult {
     requests_per_sec: f64,
 }
 
-/// Whole-daemon throughput of `thinslice-serve` on the Table 2 workload:
-/// each round scripts one `load` plus [`SERVER_REQUESTS`] thin-slice
-/// requests by program hash against an in-process server, so after the
-/// first request the session is warm and the graph build is amortised
-/// across the round. The time measured is the full request path — line
-/// parsing, admission, scheduling, query, response serialization.
-fn run_server_throughput() -> ServerResult {
+struct ObservabilityResult {
+    requests: usize,
+    recorder_on_rps: f64,
+    recorder_off_rps: f64,
+    /// Flight-recorder cost on the warm request path, in percent of the
+    /// recorder-off round time (positive = recording is slower).
+    overhead_pct: f64,
+}
+
+/// The warm-session serve script: one `load` plus [`SERVER_REQUESTS`]
+/// thin-slice requests by program hash, then `shutdown`. After the first
+/// request the session is warm and the graph build is amortised across
+/// the round.
+fn server_script() -> String {
     use thinslice_serve::protocol::SourceFile;
-    use thinslice_serve::{shared_out, ServeConfig, Server};
 
     fn esc(s: &str) -> String {
         let mut out = String::with_capacity(s.len());
@@ -508,16 +514,30 @@ fn run_server_throughput() -> ServerResult {
         );
     }
     script.push_str("{\"op\":\"shutdown\"}\n");
+    script
+}
 
+/// One timed pass of `script` through a fresh in-process server. The time
+/// measured is the full request path — line parsing, admission,
+/// scheduling, query, response serialization.
+fn server_round(script: &str, cfg: thinslice_serve::ServeConfig) -> f64 {
+    use thinslice_serve::{shared_out, Server};
+    let server = Server::new(cfg);
+    let out = shared_out(std::io::sink());
+    let start = Instant::now();
+    let summary = server.serve(std::io::Cursor::new(script.as_bytes()), out);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(summary.errors, 0, "server round must be error-free");
+    assert_eq!(summary.served as usize, SERVER_REQUESTS + 2);
+    elapsed
+}
+
+/// Whole-daemon throughput of `thinslice-serve` on the Table 2 workload
+/// under the default configuration (flight recorder on).
+fn run_server_throughput(script: &str) -> ServerResult {
     let mut h = Histogram::new();
     for round in 0..(WARMUP + MATRIX_ROUNDS) {
-        let server = Server::new(ServeConfig::default());
-        let out = shared_out(std::io::sink());
-        let start = Instant::now();
-        let summary = server.serve(std::io::Cursor::new(script.as_bytes()), out);
-        let elapsed = start.elapsed().as_secs_f64();
-        assert_eq!(summary.errors, 0, "server round must be error-free");
-        assert_eq!(summary.served as usize, SERVER_REQUESTS + 2);
+        let elapsed = server_round(script, thinslice_serve::ServeConfig::default());
         if round >= WARMUP {
             h.record(elapsed);
         }
@@ -528,12 +548,43 @@ fn run_server_throughput() -> ServerResult {
     }
 }
 
+/// Flight-recorder overhead on the warm serve path: the same script run
+/// with the recorder at its default capacity vs disabled
+/// (`recorder_capacity: 0`), interleaved round by round so machine-load
+/// drift hits both configurations alike.
+fn run_observability(script: &str) -> ObservabilityResult {
+    use thinslice_serve::ServeConfig;
+    let (mut on, mut off) = (Histogram::new(), Histogram::new());
+    for round in 0..(WARMUP + MATRIX_ROUNDS) {
+        let t_on = server_round(script, ServeConfig::default());
+        let t_off = server_round(
+            script,
+            ServeConfig {
+                recorder_capacity: 0,
+                ..ServeConfig::default()
+            },
+        );
+        if round >= WARMUP {
+            on.record(t_on);
+            off.record(t_off);
+        }
+    }
+    let (t_on, t_off) = (on.median().max(1e-12), off.median().max(1e-12));
+    ObservabilityResult {
+        requests: SERVER_REQUESTS,
+        recorder_on_rps: SERVER_REQUESTS as f64 / t_on,
+        recorder_off_rps: SERVER_REQUESTS as f64 / t_off,
+        overhead_pct: (t_on / t_off - 1.0) * 100.0,
+    }
+}
+
 fn render_json(
     results: &[BenchResult],
     threads: usize,
     matrix: &[(usize, f64)],
     synthetic: &SyntheticResult,
     server: &ServerResult,
+    obs: &ObservabilityResult,
 ) -> String {
     let mut queries = 0usize;
     let mut seq_s = 0.0f64;
@@ -648,6 +699,23 @@ fn render_json(
     let _ = write!(out, "\"workload\": \"serve-warm-session-table2-thin\", ");
     let _ = write!(out, "\"requests\": {}, ", server.requests);
     let _ = write!(out, "\"requests_per_sec\": {:.1}", server.requests_per_sec);
+    out.push_str("},\n");
+    // Observability-plane cost: the same warm serve rounds with the
+    // flight recorder at its default capacity vs disabled.
+    out.push_str("  \"observability\": {");
+    let _ = write!(out, "\"workload\": \"serve-warm-session-table2-thin\", ");
+    let _ = write!(out, "\"requests\": {}, ", obs.requests);
+    let _ = write!(
+        out,
+        "\"recorder_on_requests_per_sec\": {:.1}, ",
+        obs.recorder_on_rps
+    );
+    let _ = write!(
+        out,
+        "\"recorder_off_requests_per_sec\": {:.1}, ",
+        obs.recorder_off_rps
+    );
+    let _ = write!(out, "\"recorder_overhead_pct\": {:.2}", obs.overhead_pct);
     out.push_str("}\n}\n");
     out
 }
@@ -695,13 +763,20 @@ fn main() {
         );
     }
     eprintln!("server throughput ({SERVER_REQUESTS} warm-session requests) …");
-    let server = run_server_throughput();
+    let script = server_script();
+    let server = run_server_throughput(&script);
     println!(
         "server: {:>9.1} requests/s over a warm session",
         server.requests_per_sec
     );
+    eprintln!("observability overhead (flight recorder on vs off) …");
+    let obs = run_observability(&script);
+    println!(
+        "observability: recorder on {:>9.1} req/s, off {:>9.1} req/s ({:+.1}% overhead)",
+        obs.recorder_on_rps, obs.recorder_off_rps, obs.overhead_pct
+    );
 
-    let json = render_json(&results, threads, &matrix, &synthetic, &server);
+    let json = render_json(&results, threads, &matrix, &synthetic, &server, &obs);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
     std::fs::write(path, &json).expect("write BENCH_slicing.json");
     println!("\nwrote {path}");

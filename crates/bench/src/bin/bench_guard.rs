@@ -16,7 +16,12 @@
 //!   predating the matrix simply contribute no rows;
 //! * `server.requests_per_sec` — the warm-session `thinslice-serve`
 //!   request path — when both files carry it (baselines predating the
-//!   server row are skipped, not failed).
+//!   server row are skipped, not failed);
+//! * the `observability` row's recorder-on and recorder-off warm-session
+//!   throughputs, again only when both files carry them. The fresh file's
+//!   `recorder_overhead_pct` is reported in the summary but not gated:
+//!   it is a difference of two noisy medians, so an absolute threshold
+//!   would flake where the relative throughput comparisons do not.
 //!
 //! The default tolerance of 25% absorbs runner noise while still
 //! catching a slicer or batch-engine pessimisation.
@@ -42,6 +47,14 @@ fn batch_throughput(json: &Json, path: &str) -> Result<f64, String> {
 fn server_throughput(json: &Json) -> Option<f64> {
     json.get("server")
         .and_then(|s| s.get("requests_per_sec"))
+        .and_then(Json::as_f64)
+}
+
+/// A field of the `observability` row, `None` when the file predates it
+/// (pre-observability baselines stay comparable).
+fn observability_field(json: &Json, field: &str) -> Option<f64> {
+    json.get("observability")
+        .and_then(|s| s.get(field))
         .and_then(Json::as_f64)
 }
 
@@ -125,6 +138,25 @@ fn run(args: &[String]) -> Result<String, String> {
             fresh,
             max_drop,
         )?);
+    }
+    for field in [
+        "recorder_on_requests_per_sec",
+        "recorder_off_requests_per_sec",
+    ] {
+        if let (Some(base), Some(fresh_tput)) = (
+            observability_field(&baseline, field),
+            observability_field(&fresh, field),
+        ) {
+            lines.push(compare(
+                &format!("observability {field}"),
+                base,
+                fresh_tput,
+                max_drop,
+            )?);
+        }
+    }
+    if let Some(overhead) = observability_field(&fresh, "recorder_overhead_pct") {
+        lines.push(format!("recorder overhead {overhead:+.2}% (informational)"));
     }
     Ok(lines.join("\n  "))
 }

@@ -11,6 +11,7 @@
 //! thinslice run     <file.mj>... [--line <input>]... [--int <n>]... [--dynamic-slice]
 //! thinslice info    <file.mj>...
 //! thinslice serve   [--socket <path>] [--workers <n>] [--chaos] ...
+//! thinslice stats   --socket <path> [--json]
 //! ```
 //!
 //! Batch mode (`--seeds-file`, one `file:line` per line, or `--all-seeds`
@@ -55,10 +56,20 @@ const USAGE: &str = "usage:
                     [--truncate-pending <n>] [--truncate-step-cap <n>]
                     [--client-step-budget <n>] [--max-program-bytes <n>]
                     [--retries <n>] [--chaos] [--trace]
+                    [--recorder-capacity <n>] [--slow-ms <ms>]
+                    [--stats-interval <secs>]
+  thinslice stats   --socket <path> [--json]
 
 serve runs the multi-tenant slice daemon: line-delimited JSON requests on
   stdin (responses on stdout), or on a Unix socket with --socket. SIGTERM
   drains in-flight queries before exiting. See DESIGN.md for the protocol.
+
+serve observability: the flight recorder is always on (--recorder-capacity
+  events, 0 disables); --slow-ms logs queries over the threshold;
+  --stats-interval prints a stats snapshot to stderr every <secs> seconds.
+  `thinslice stats` asks a running daemon for its thinslice.serve_stats.v1
+  document over the socket and renders a top-style table (--json prints
+  the raw response line instead).
 
 governance (any command): [--deadline-ms <n>] [--step-budget <n>] [--fail-fast]
   Budgeted stages never abort: they return sound partial results marked
@@ -303,6 +314,10 @@ fn real_main(args: &[String]) -> Result<(), String> {
         // The daemon takes no input files and has its own flag set.
         return cmd_serve(rest);
     }
+    if cmd == "stats" {
+        // The stats client talks to a running daemon, no input files.
+        return cmd_stats(rest);
+    }
     let o = parse_options(rest)?;
     let ctx = o.run_ctx();
     match cmd.as_str() {
@@ -338,10 +353,11 @@ fn emit_telemetry(o: &Options, tel: &Telemetry) -> Result<(), String> {
 }
 
 /// Validates previously emitted machine-readable output: a
-/// `thinslice.run_report.v1` report (from `--metrics-out`), or a
+/// `thinslice.run_report.v1` report (from `--metrics-out`), a
 /// `thinslice.serve_response.v1` transcript (the line-delimited responses
-/// a serve run wrote). Dispatches on the `schema` field of the first
-/// non-empty line.
+/// a serve run wrote), or a `thinslice.serve_stats.v1` snapshot (the
+/// document the `stats` op embeds). Dispatches on the `schema` field of
+/// the first non-empty line; any other schema id is rejected by name.
 fn cmd_validate_report(o: &Options) -> Result<(), String> {
     use thinslice_util::telemetry::Json;
     for path in &o.files {
@@ -367,7 +383,26 @@ fn cmd_validate_report(o: &Options) -> Result<(), String> {
             );
             continue;
         }
-        let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        if first_schema.as_deref() == Some(thinslice_serve::SERVE_STATS_SCHEMA) {
+            let doc =
+                Json::parse(text.trim()).map_err(|e| format!("{path}: malformed JSON: {e}"))?;
+            let summary = thinslice_serve::protocol::validate_stats_doc(&doc)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "{path}: valid {} snapshot ({summary})",
+                thinslice_serve::SERVE_STATS_SCHEMA,
+            );
+            continue;
+        }
+        let report = RunReport::from_json(&text).map_err(|e| match first_schema.as_deref() {
+            Some(s) if s != thinslice_util::telemetry::RUN_REPORT_SCHEMA => format!(
+                "{path}: unknown schema {s:?} (expected {:?}, {:?}, or {:?})",
+                thinslice_util::telemetry::RUN_REPORT_SCHEMA,
+                thinslice_serve::RESPONSE_SCHEMA,
+                thinslice_serve::SERVE_STATS_SCHEMA,
+            ),
+            _ => format!("{path}: {e}"),
+        })?;
         println!(
             "{path}: valid {} report ({} spans, {} counters, {} histograms, {} events)",
             thinslice_util::telemetry::RUN_REPORT_SCHEMA,
@@ -430,6 +465,14 @@ fn parse_serve_options(args: &[String]) -> Result<ServeCli, String> {
             "--retries" => cfg.retries = num(&mut it, "--retries")?,
             "--chaos" => cfg.chaos = true,
             "--trace" => cfg.trace = true,
+            "--recorder-capacity" => cfg.recorder_capacity = num(&mut it, "--recorder-capacity")?,
+            "--slow-ms" => cfg.slow_ms = Some(num(&mut it, "--slow-ms")?),
+            "--stats-interval" => {
+                cfg.stats_interval = Some(num(&mut it, "--stats-interval")?);
+                if cfg.stats_interval == Some(0) {
+                    return Err("--stats-interval must be at least 1 second".into());
+                }
+            }
             other => return Err(format!("unknown serve flag {other}")),
         }
     }
@@ -494,6 +537,239 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         summary.served, summary.errors, summary.panics
     );
     Ok(())
+}
+
+/// The stats subcommand's options: which daemon socket to query and
+/// whether to print the raw response line instead of the rendered table.
+struct StatsCli {
+    socket: String,
+    json: bool,
+}
+
+fn parse_stats_options(args: &[String]) -> Result<StatsCli, String> {
+    let mut socket = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--json" => json = true,
+            other => return Err(format!("unknown stats flag {other}")),
+        }
+    }
+    Ok(StatsCli {
+        socket: socket.ok_or("stats needs --socket <path> (the daemon's socket)")?,
+        json,
+    })
+}
+
+/// One-shot observability client: asks a running daemon for its
+/// `thinslice.serve_stats.v1` snapshot over the Unix socket and renders
+/// it as a `top`-style table (or the raw response line with `--json`).
+#[cfg(unix)]
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use thinslice_util::telemetry::Json;
+    let cli = parse_stats_options(args)?;
+    let mut stream = std::os::unix::net::UnixStream::connect(&cli.socket).map_err(|e| {
+        format!(
+            "{}: {e} (is `thinslice serve --socket {}` running?)",
+            cli.socket, cli.socket
+        )
+    })?;
+    stream
+        .write_all(b"{\"op\":\"stats\",\"id\":0,\"client\":\"thinslice-stats\"}\n")
+        .map_err(|e| format!("{}: write: {e}", cli.socket))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("{}: read: {e}", cli.socket))?;
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err(format!(
+            "{}: the daemon closed the connection without answering",
+            cli.socket
+        ));
+    }
+    thinslice_serve::protocol::validate_response_line(line)
+        .map_err(|e| format!("{}: bad response: {e}", cli.socket))?;
+    if cli.json {
+        println!("{line}");
+        return Ok(());
+    }
+    let v = Json::parse(line).map_err(|e| format!("{}: {e}", cli.socket))?;
+    if !matches!(v.get("ok"), Some(Json::Bool(true))) {
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("{}: daemon error: {msg}", cli.socket));
+    }
+    let doc = v
+        .get("stats")
+        .ok_or_else(|| format!("{}: response has no embedded stats document", cli.socket))?;
+    print!("{}", render_stats(doc));
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let _ = parse_stats_options(args)?;
+    Err("stats talks to a Unix-socket daemon; only supported on unix".into())
+}
+
+/// Renders a parsed `thinslice.serve_stats.v1` document as text: a daemon
+/// header line, the per-tenant table, the per-session table, the
+/// slow-query log, and the flight-recorder tail. Missing fields render as
+/// zeros rather than failing — the wire doc was already validated.
+fn render_stats(doc: &thinslice_util::telemetry::Json) -> String {
+    use std::fmt::Write as _;
+    use thinslice_util::telemetry::Json;
+    fn u(v: &Json, key: &str) -> u64 {
+        v.get(key).and_then(Json::as_u64).unwrap_or(0)
+    }
+    fn f(v: &Json, key: &str) -> f64 {
+        v.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+    }
+    fn s<'a>(v: &'a Json, key: &str) -> &'a str {
+        v.get(key).and_then(Json::as_str).unwrap_or("?")
+    }
+    fn arr<'a>(v: &'a Json, key: &str) -> &'a [Json] {
+        v.get(key).and_then(Json::as_arr).unwrap_or(&[])
+    }
+    /// Exit-memo hit rate in percent, from hit/miss counters on `v`.
+    fn memo_pct(v: &Json) -> f64 {
+        let hits = u(v, "exit_hits");
+        let total = hits + u(v, "exit_misses");
+        if total > 0 {
+            100.0 * hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+    let pool = doc.get("pool");
+    let server = doc.get("server");
+    let pu = |key: &str| pool.map_or(0, |p| u(p, key));
+    let su = |key: &str| server.map_or(0, |p| u(p, key));
+    let mut out = format!(
+        "thinslice-serve up {:.1}s · pool {}/{} sessions ({} quarantined, resident {}) · \
+         served {} errors {} panics {} · recorder {}/{} events\n",
+        u(doc, "uptime_ms") as f64 / 1000.0,
+        pu("live_sessions"),
+        pu("capacity"),
+        pu("quarantined"),
+        pu("resident"),
+        su("served"),
+        su("errors"),
+        su("panics"),
+        su("recorded").min(su("recorder_capacity")),
+        su("recorder_capacity"),
+    );
+    let tenants = arr(doc, "tenants");
+    if !tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>9} {:>9} {:>9} {:>6}",
+            "CLIENT",
+            "REQ",
+            "ERR",
+            "RETRY",
+            "DEGR",
+            "SHED",
+            "STEPS",
+            "p50us",
+            "p95us",
+            "maxus",
+            "MEMO%"
+        );
+        for t in tenants {
+            let lat = t.get("latency_us");
+            let lf = |key: &str| lat.map_or(0.0, |l| f(l, key));
+            let _ = writeln!(
+                out,
+                "{:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>9.0} {:>9.0} {:>9.0} {:>6.1}",
+                s(t, "client"),
+                u(t, "requests"),
+                u(t, "errors"),
+                u(t, "retries"),
+                u(t, "degraded"),
+                u(t, "shed"),
+                u(t, "spent_steps"),
+                lf("p50"),
+                lf("p95"),
+                lf("max"),
+                memo_pct(t),
+            );
+        }
+    }
+    let sessions = arr(doc, "sessions");
+    if !sessions.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>5} {:>5} {:>10} {:>6} {:>6} {:>9}",
+            "SESSION", "LIVE", "QUAR", "RESIDENT", "REQ", "MEMO%", "p95us"
+        );
+        for r in sessions {
+            let yes = |key: &str| {
+                if matches!(r.get(key), Some(Json::Bool(true))) {
+                    "yes"
+                } else {
+                    "no"
+                }
+            };
+            let lat = r.get("latency_us");
+            let _ = writeln!(
+                out,
+                "{:<16} {:>5} {:>5} {:>10} {:>6} {:>6.1} {:>9.0}",
+                s(r, "program"),
+                yes("live"),
+                yes("quarantined"),
+                u(r, "resident"),
+                lat.map_or(0, |l| u(l, "count")),
+                memo_pct(r),
+                lat.map_or(0.0, |l| f(l, "p95")),
+            );
+        }
+    }
+    let slow = arr(doc, "slow");
+    if !slow.is_empty() {
+        let _ = writeln!(out, "\nslow queries ({}):", slow.len());
+        for q in slow {
+            let id = q
+                .get("id")
+                .and_then(Json::as_u64)
+                .map_or("null".to_string(), |n| n.to_string());
+            let _ = writeln!(
+                out,
+                "  id={id} client={} {}/{} {} queue {}us exec {}us total {}us spend {}",
+                s(q, "client"),
+                s(q, "kind"),
+                s(q, "engine"),
+                s(q, "completeness"),
+                u(q, "queue_us"),
+                u(q, "exec_us"),
+                u(q, "total_us"),
+                u(q, "spend"),
+            );
+        }
+    }
+    let events = arr(doc, "events");
+    if !events.is_empty() {
+        let _ = writeln!(out, "\nrecent events ({}):", events.len());
+        for e in events {
+            let _ = writeln!(
+                out,
+                "  #{} {} {} a={} b={}",
+                u(e, "seq"),
+                s(e, "kind"),
+                s(e, "label"),
+                u(e, "a"),
+                u(e, "b"),
+            );
+        }
+    }
+    out
 }
 
 /// Parses the text of a `--seeds-file`: one `file:line` seed per line,
@@ -978,6 +1254,12 @@ mod tests {
             "2",
             "--chaos",
             "--trace",
+            "--recorder-capacity",
+            "512",
+            "--slow-ms",
+            "50",
+            "--stats-interval",
+            "10",
         ])
         .unwrap();
         assert_eq!(s.socket.as_deref(), Some("/tmp/ts.sock"));
@@ -990,11 +1272,93 @@ mod tests {
         assert_eq!(s.cfg.client_step_budget, Some(9000));
         assert_eq!(s.cfg.retries, 2);
         assert!(s.cfg.chaos && s.cfg.trace);
+        assert_eq!(s.cfg.recorder_capacity, 512);
+        assert_eq!(s.cfg.slow_ms, Some(50));
+        assert_eq!(s.cfg.stats_interval, Some(10));
         assert!(serve_opts(&["--workers", "0"]).is_err());
         assert!(serve_opts(&["--max-sessions", "0"]).is_err());
         assert!(serve_opts(&["--deadline-ms", "soon"]).is_err());
         assert!(serve_opts(&["--socket"]).is_err());
         assert!(serve_opts(&["--wat"]).is_err());
         assert!(serve_opts(&["input.mj"]).is_err(), "serve takes no files");
+        assert_eq!(
+            serve_opts(&[]).unwrap().cfg.recorder_capacity,
+            thinslice_serve::ServeConfig::default().recorder_capacity,
+            "the flight recorder is on by default"
+        );
+        assert!(
+            serve_opts(&["--recorder-capacity", "0"]).is_ok(),
+            "0 disables"
+        );
+        assert!(serve_opts(&["--stats-interval", "0"]).is_err());
+        assert!(serve_opts(&["--slow-ms", "soon"]).is_err());
+    }
+
+    fn stats_opts(args: &[&str]) -> Result<StatsCli, String> {
+        parse_stats_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_stats_flags() {
+        let s = stats_opts(&["--socket", "/tmp/ts.sock"]).unwrap();
+        assert_eq!(s.socket, "/tmp/ts.sock");
+        assert!(!s.json);
+        let s = stats_opts(&["--socket", "/tmp/ts.sock", "--json"]).unwrap();
+        assert!(s.json);
+        assert!(stats_opts(&[]).is_err(), "--socket is required");
+        assert!(stats_opts(&["--socket"]).is_err());
+        assert!(stats_opts(&["--wat"]).is_err());
+    }
+
+    #[test]
+    fn renders_stats_documents() {
+        use thinslice_util::telemetry::Json;
+        let doc = Json::parse(
+            r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":1500,
+                "pool":{"programs":1,"live_sessions":1,"capacity":8,"quarantined":0,
+                        "resident":123,"hits":3,"misses":1,"builds":1,"evictions":0,
+                        "quarantines":0,"rebuilds":0},
+                "server":{"served":4,"errors":0,"panics":0,"recorded":6,"recorder_capacity":256},
+                "tenants":[{"client":"alpha","requests":4,"errors":0,"retries":0,"degraded":1,
+                            "shed":0,"spent_steps":900,"exit_hits":3,"exit_misses":1,
+                            "shared_hits":0,
+                            "latency_us":{"count":4,"sum":800,"p50":150,"p95":400,"max":420}}],
+                "sessions":[{"program":"00deadbeef00cafe","live":true,"quarantined":false,
+                             "resident":123,"exit_hits":3,"exit_misses":1,"shared_hits":0,
+                             "latency_us":{"count":4,"sum":800,"p50":150,"p95":400,"max":420}}],
+                "slow":[{"id":7,"client":"alpha","program":"00deadbeef00cafe","kind":"thin",
+                         "engine":"ci","admission":"full","completeness":"complete","seeds":1,
+                         "queue_us":10,"exec_us":90,"total_us":100,"spend":200}],
+                "events":[{"seq":0,"kind":"session_built","label":"00deadbeef00cafe",
+                           "a":123,"b":0}]}"#,
+        )
+        .unwrap();
+        // The fixture passes the wire validator, so the renderer is
+        // exercised on exactly the shape a daemon emits.
+        thinslice_serve::protocol::validate_stats_doc(&doc).unwrap();
+        let text = render_stats(&doc);
+        assert!(text.contains("up 1.5s"), "{text}");
+        assert!(text.contains("pool 1/8 sessions"), "{text}");
+        assert!(text.contains("CLIENT"), "{text}");
+        assert!(text.contains("alpha"), "{text}");
+        assert!(text.contains("75.0"), "memo hit rate: {text}");
+        assert!(text.contains("SESSION"), "{text}");
+        assert!(text.contains("00deadbeef00cafe"), "{text}");
+        assert!(text.contains("slow queries (1):"), "{text}");
+        assert!(text.contains("queue 10us exec 90us total 100us"), "{text}");
+        assert!(text.contains("session_built"), "{text}");
+        // An idle daemon renders just the header line.
+        let idle = Json::parse(
+            r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":0,
+                "pool":{"programs":0,"live_sessions":0,"capacity":8,"quarantined":0,
+                        "resident":0,"hits":0,"misses":0,"builds":0,"evictions":0,
+                        "quarantines":0,"rebuilds":0},
+                "server":{"served":0,"errors":0,"panics":0,"recorded":0,"recorder_capacity":256},
+                "tenants":[],"sessions":[],"slow":[],"events":[]}"#,
+        )
+        .unwrap();
+        let text = render_stats(&idle);
+        assert_eq!(text.lines().count(), 1, "{text}");
+        assert!(text.contains("served 0 errors 0 panics 0"), "{text}");
     }
 }

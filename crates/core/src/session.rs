@@ -43,7 +43,7 @@
 use crate::batch::{run_batch, BatchConfig, FaultInjection, QueryOutcome};
 use crate::slice::{slice_dense, SliceKind, SliceScratch};
 use crate::stmtset::StmtSet;
-use crate::tabulation::{cs_reusing, CsScratch, DownConsumers};
+use crate::tabulation::{cs_reusing, CsScratch, DownConsumers, MemoStats};
 use crate::{Analysis, BuildReport};
 use thinslice_ir::{compile_ctx, CompileError, Program, StmtRef};
 use thinslice_pta::{ModRef, Pta, PtaConfig};
@@ -278,6 +278,26 @@ impl AnalysisSession {
             elems += sdg.node_count() + sdg.edge_count();
         }
         elems
+    }
+
+    /// Cumulative [`MemoStats`] across this session's context-sensitive
+    /// scratches (one per slice kind), summed counter-wise.
+    ///
+    /// Counters are monotone over the session's lifetime; observers
+    /// (e.g. a server's per-tenant tables) snapshot before and after a
+    /// query and diff with [`MemoStats::since`] for per-query hit rates.
+    /// Cheap and read-only: no stage is forced, nothing allocates.
+    pub fn memo_stats(&self) -> MemoStats {
+        let mut total = MemoStats::default();
+        for scratch in &self.cs_scratch {
+            let s = scratch.memo_stats();
+            total.exit_hits += s.exit_hits;
+            total.exit_misses += s.exit_misses;
+            total.summary_edges += s.summary_edges;
+            total.shared_hits += s.shared_hits;
+            total.shared_published += s.shared_published;
+        }
+        total
     }
 
     // ---- lazy stage artifacts ----

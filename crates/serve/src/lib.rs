@@ -22,6 +22,12 @@
 //!   isolation with bounded retry, deadlines, deterministic fault
 //!   injection, and graceful shutdown that drains in-flight queries.
 //!
+//! An always-on observability plane rides along: a fixed-capacity flight
+//! recorder of structured lifecycle events, per-tenant and per-session
+//! latency/counter tables, and a slow-query log, all reported by the
+//! `stats` op as an embedded `thinslice.serve_stats.v1` document —
+//! without ever touching the bytes of non-stats responses.
+//!
 //! # Examples
 //!
 //! Drive a server in-process (exactly what the chaos suite does):
@@ -50,5 +56,5 @@ pub mod protocol;
 pub mod server;
 
 pub use pool::{PoolConfig, SessionPool};
-pub use protocol::{Admission, RESPONSE_SCHEMA};
+pub use protocol::{Admission, RESPONSE_SCHEMA, SERVE_STATS_SCHEMA};
 pub use server::{shared_out, Ingest, ServeConfig, ServeSummary, Server, SharedOut};

@@ -35,12 +35,13 @@
 //! [`ExhaustReason::Memory`]: thinslice_util::ExhaustReason::Memory
 
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use crate::protocol::SourceFile;
+use crate::protocol::{SessionRow, SourceFile};
 use thinslice::AnalysisSession;
 use thinslice_ir::CompileError;
 use thinslice_pta::PtaConfig;
-use thinslice_util::telemetry::Telemetry;
+use thinslice_util::telemetry::{FlightKind, FlightRecorder, Telemetry};
 use thinslice_util::{Budget, FxHasher, RunCtx};
 
 /// The pool's 16-hex-digit program key: an order-sensitive FxHash over
@@ -143,6 +144,9 @@ impl Checkout {
 pub struct SessionPool {
     cfg: PoolConfig,
     telemetry: Telemetry,
+    /// Flight recorder for pool lifecycle events (build / evict /
+    /// quarantine); [`None`] leaves the pool entirely unobserved.
+    recorder: Option<Arc<FlightRecorder>>,
     entries: Vec<PoolEntry>,
     clock: u64,
     /// Monotone counters; see [`PoolStats`].
@@ -167,9 +171,22 @@ impl SessionPool {
         SessionPool {
             cfg,
             telemetry,
+            recorder: None,
             entries: Vec::new(),
             clock: 0,
             stats: PoolStats::default(),
+        }
+    }
+
+    /// Attaches (or detaches) a flight recorder; pool lifecycle events
+    /// (session built / evicted / quarantined) land in its ring.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<FlightRecorder>>) {
+        self.recorder = recorder;
+    }
+
+    fn flight(&self, kind: FlightKind, label: &str, a: u64, b: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(kind, label, a, b);
         }
     }
 
@@ -238,6 +255,7 @@ impl SessionPool {
         self.stats.builds += 1;
         self.stats.misses += 1;
         let resident = session.resident_estimate();
+        self.flight(FlightKind::SessionBuilt, &hash, resident as u64, 0);
         let now = self.tick();
         self.entries.push(PoolEntry {
             hash: hash.clone(),
@@ -285,6 +303,12 @@ impl SessionPool {
             .build_session(&self.entries[i].sources)
             .map_err(PoolError::Compile)?;
         self.stats.builds += 1;
+        self.flight(
+            FlightKind::SessionBuilt,
+            hash,
+            session.resident_estimate() as u64,
+            u64::from(was_quarantined),
+        );
         if was_quarantined {
             self.stats.rebuilds += 1;
         } else {
@@ -322,6 +346,7 @@ impl SessionPool {
     /// and the entry is marked so the next checkout counts as a rebuild.
     pub fn quarantine(&mut self, co: Checkout) {
         self.stats.quarantines += 1;
+        self.flight(FlightKind::SessionQuarantined, &co.hash, 0, 0);
         if let Some(i) = self.find(&co.hash) {
             let e = &mut self.entries[i];
             e.quarantined = true;
@@ -351,6 +376,42 @@ impl SessionPool {
         self.entries.iter().map(|e| e.resident).sum()
     }
 
+    /// The configured session cap.
+    pub fn capacity(&self) -> usize {
+        self.cfg.max_sessions.max(1)
+    }
+
+    /// One [`SessionRow`] per registered program, in hash order, with
+    /// residency state and the live session's cumulative memo counters
+    /// (zero while evicted, quarantined, or checked out — memo state
+    /// travels with the session). Latency quantiles are the server's to
+    /// fill in; the pool does not observe wall-clock time.
+    pub fn session_rows(&self) -> Vec<SessionRow> {
+        let mut rows: Vec<SessionRow> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let memo = e
+                    .session
+                    .as_ref()
+                    .map(|s| s.memo_stats())
+                    .unwrap_or_default();
+                SessionRow {
+                    program: e.hash.clone(),
+                    live: e.session.is_some(),
+                    quarantined: e.quarantined,
+                    resident: e.resident,
+                    exit_hits: memo.exit_hits,
+                    exit_misses: memo.exit_misses,
+                    shared_hits: memo.shared_hits,
+                    latency_us: Default::default(),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.program.cmp(&b.program));
+        rows
+    }
+
     /// Drops the least-recently-used live session (never the
     /// most-recently-used one). Returns whether anything was evicted.
     fn evict_lru(&mut self) -> bool {
@@ -365,10 +426,15 @@ impl SessionPool {
             .min_by_key(|(_, e)| e.last_used)
             .map(|(i, _)| i);
         let Some(i) = victim else { return false };
-        let e = &mut self.entries[i];
-        e.session = None;
-        e.resident = 0;
+        let (hash, resident) = {
+            let e = &mut self.entries[i];
+            e.session = None;
+            let r = e.resident;
+            e.resident = 0;
+            (e.hash.clone(), r)
+        };
         self.stats.evictions += 1;
+        self.flight(FlightKind::SessionEvicted, &hash, resident as u64, 0);
         true
     }
 

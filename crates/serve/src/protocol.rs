@@ -40,10 +40,14 @@ use std::fmt::Write as _;
 
 use thinslice::{Engine, SliceKind};
 use thinslice_util::govern::Completeness;
-use thinslice_util::telemetry::{Json, RUN_REPORT_SCHEMA};
+use thinslice_util::telemetry::{FlightEvent, HistogramSummary, Json, RUN_REPORT_SCHEMA};
 
 /// Schema tag carried by every response line.
 pub const RESPONSE_SCHEMA: &str = "thinslice.serve_response.v1";
+
+/// Schema tag of the observability document embedded in a `stats`
+/// response (and accepted standalone by `validate-report`).
+pub const SERVE_STATS_SCHEMA: &str = "thinslice.serve_stats.v1";
 
 /// Hard cap on one request line; longer lines are answered with a
 /// `too_large` error without being parsed.
@@ -112,6 +116,9 @@ pub enum Op {
     Slice(SliceRequest),
     /// Report pool/served counters (and a run report when tracing).
     Status,
+    /// Report the live observability plane: per-tenant tables, histogram
+    /// quantiles, slow-query log, and the flight-recorder tail.
+    Stats,
     /// Drain all queued queries, answer them, acknowledge, exit.
     Shutdown,
 }
@@ -406,12 +413,13 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
         },
         "slice" => Op::Slice(parse_slice(&v, id)?),
         "status" => Op::Status,
+        "stats" => Op::Stats,
         "shutdown" => Op::Shutdown,
         other => {
             return Err(RequestError::new(
                 id,
                 "protocol",
-                format!("unknown op \"{other}\" (expected load|slice|status|shutdown)"),
+                format!("unknown op \"{other}\" (expected load|slice|status|stats|shutdown)"),
             ))
         }
     };
@@ -585,6 +593,13 @@ pub struct StatusSnapshot {
     pub errors: u64,
     /// Query panics caught so far.
     pub panics: u64,
+    /// The pool's session cap, so occupancy is `live_sessions` of
+    /// `pool_capacity` without consulting server config.
+    pub pool_capacity: usize,
+    /// Milliseconds since the server was built. Wall-clock (like the
+    /// embedded trace report, status is excluded from bit-identity
+    /// comparisons).
+    pub uptime_ms: u64,
 }
 
 /// Serializes a `status` response; `report` (when tracing) must be a
@@ -592,7 +607,8 @@ pub struct StatusSnapshot {
 pub fn status_line(id: Option<u64>, s: &StatusSnapshot, report: Option<&str>) -> String {
     let mut line = format!(
         "{},\"programs\":{},\"live_sessions\":{},\"quarantined\":{},\"resident\":{},\
-         \"evictions\":{},\"rebuilds\":{},\"served\":{},\"errors\":{},\"panics\":{}",
+         \"evictions\":{},\"rebuilds\":{},\"served\":{},\"errors\":{},\"panics\":{},\
+         \"pool_capacity\":{},\"uptime_ms\":{}",
         head(id, true, Some("status")),
         s.programs,
         s.live_sessions,
@@ -603,6 +619,8 @@ pub fn status_line(id: Option<u64>, s: &StatusSnapshot, report: Option<&str>) ->
         s.served,
         s.errors,
         s.panics,
+        s.pool_capacity,
+        s.uptime_ms,
     );
     if let Some(r) = report {
         let _ = write!(line, ",\"report\":{r}");
@@ -618,6 +636,250 @@ pub fn shutdown_line(id: Option<u64>, drained: usize) -> String {
     format!(
         "{},\"drained\":{drained}}}",
         head(id, true, Some("shutdown"))
+    )
+}
+
+// ---- stats document (`thinslice.serve_stats.v1`) ----
+
+/// One tenant's row in a stats document: request counters plus memo-hit
+/// deltas and the latency quantiles of everything this client ran.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantRow {
+    /// The client name requests carried.
+    pub client: String,
+    /// Slice requests answered successfully.
+    pub requests: u64,
+    /// Error responses attributed to this client.
+    pub errors: u64,
+    /// Panic retries spent on this client's requests.
+    pub retries: u64,
+    /// Requests answered below the requested engine (degrade-ci rung or
+    /// in-query degradation).
+    pub degraded: u64,
+    /// Requests answered at the truncate rung.
+    pub shed: u64,
+    /// Cumulative step spend (graph nodes visited).
+    pub spent_steps: u64,
+    /// Exit-region memo hits this client's queries observed.
+    pub exit_hits: u64,
+    /// Exit-region memo misses this client's queries observed.
+    pub exit_misses: u64,
+    /// Cross-worker exit-share hits this client's queries observed.
+    pub shared_hits: u64,
+    /// Wall-clock latency quantiles in microseconds.
+    pub latency_us: HistogramSummary,
+}
+
+/// One program's row in a stats document: pool residency plus the
+/// session's cumulative memo counters and per-session latency quantiles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionRow {
+    /// The 16-hex-digit program hash.
+    pub program: String,
+    /// Whether a session is currently resident.
+    pub live: bool,
+    /// Whether the program is quarantined (rebuild pending).
+    pub quarantined: bool,
+    /// Resident estimate in elements (0 while evicted).
+    pub resident: usize,
+    /// Exit-region memo hits accumulated by the live session.
+    pub exit_hits: u64,
+    /// Exit-region memo misses accumulated by the live session.
+    pub exit_misses: u64,
+    /// Cross-worker exit-share hits accumulated by the live session.
+    pub shared_hits: u64,
+    /// Wall-clock latency quantiles of queries on this program, in
+    /// microseconds.
+    pub latency_us: HistogramSummary,
+}
+
+/// One slow-query log entry: a request that exceeded the `--slow-ms`
+/// threshold, with its query shape, stage breakdown, and completeness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlowQueryRow {
+    /// The request's correlation id.
+    pub id: Option<u64>,
+    /// The client that sent it.
+    pub client: String,
+    /// The program hash it ran against.
+    pub program: String,
+    /// Slice kind (protocol spelling).
+    pub kind: String,
+    /// Engine actually used (protocol spelling).
+    pub engine: String,
+    /// Admission level it executed under (protocol spelling).
+    pub admission: String,
+    /// `complete` or `truncated`.
+    pub completeness: String,
+    /// Seed positions in the request.
+    pub seeds: usize,
+    /// Stage breakdown: time spent queued before a worker picked it up.
+    pub queue_us: u64,
+    /// Stage breakdown: time inside query execution (all attempts).
+    pub exec_us: u64,
+    /// End-to-end latency from enqueue to response.
+    pub total_us: u64,
+    /// Step spend (graph nodes visited).
+    pub spend: u64,
+}
+
+/// Everything a `stats` response reports, gathered by the server under
+/// its locks and serialized by [`stats_doc`].
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// Milliseconds since the server was built.
+    pub uptime_ms: u64,
+    /// The same counters `status` reports.
+    pub status: StatusSnapshot,
+    /// Pool checkouts served by a live session.
+    pub pool_hits: u64,
+    /// Pool checkouts that had to (re)build a session.
+    pub pool_misses: u64,
+    /// Sessions built in total.
+    pub pool_builds: u64,
+    /// Sessions poisoned by a panicking query.
+    pub pool_quarantines: u64,
+    /// Flight-recorder events ever recorded (0 when disabled).
+    pub recorded: u64,
+    /// Flight-recorder ring capacity (0 when disabled).
+    pub recorder_capacity: usize,
+    /// Per-tenant tables, in client name order.
+    pub tenants: Vec<TenantRow>,
+    /// Per-program tables, in hash order.
+    pub sessions: Vec<SessionRow>,
+    /// The slow-query log, oldest first (bounded).
+    pub slow: Vec<SlowQueryRow>,
+    /// The flight-recorder tail, oldest first.
+    pub events: Vec<FlightEvent>,
+}
+
+fn summary_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"max\":{}}}",
+        s.count, s.sum, s.p50, s.p95, s.max
+    )
+}
+
+/// Serializes a [`StatsSnapshot`] as a standalone
+/// `thinslice.serve_stats.v1` JSON document (fixed key order).
+pub fn stats_doc(s: &StatsSnapshot) -> String {
+    let mut d = format!(
+        "{{\"schema\":{},\"uptime_ms\":{},\"pool\":{{\"programs\":{},\"live_sessions\":{},\
+         \"capacity\":{},\"quarantined\":{},\"resident\":{},\"hits\":{},\"misses\":{},\
+         \"builds\":{},\"evictions\":{},\"quarantines\":{},\"rebuilds\":{}}},\
+         \"server\":{{\"served\":{},\"errors\":{},\"panics\":{},\"recorded\":{},\
+         \"recorder_capacity\":{}}}",
+        esc(SERVE_STATS_SCHEMA),
+        s.uptime_ms,
+        s.status.programs,
+        s.status.live_sessions,
+        s.status.pool_capacity,
+        s.status.quarantined,
+        s.status.resident,
+        s.pool_hits,
+        s.pool_misses,
+        s.pool_builds,
+        s.status.evictions,
+        s.pool_quarantines,
+        s.status.rebuilds,
+        s.status.served,
+        s.status.errors,
+        s.status.panics,
+        s.recorded,
+        s.recorder_capacity,
+    );
+    d.push_str(",\"tenants\":[");
+    for (i, t) in s.tenants.iter().enumerate() {
+        if i > 0 {
+            d.push(',');
+        }
+        let _ = write!(
+            d,
+            "{{\"client\":{},\"requests\":{},\"errors\":{},\"retries\":{},\"degraded\":{},\
+             \"shed\":{},\"spent_steps\":{},\"exit_hits\":{},\"exit_misses\":{},\
+             \"shared_hits\":{},\"latency_us\":{}}}",
+            esc(&t.client),
+            t.requests,
+            t.errors,
+            t.retries,
+            t.degraded,
+            t.shed,
+            t.spent_steps,
+            t.exit_hits,
+            t.exit_misses,
+            t.shared_hits,
+            summary_json(&t.latency_us),
+        );
+    }
+    d.push_str("],\"sessions\":[");
+    for (i, r) in s.sessions.iter().enumerate() {
+        if i > 0 {
+            d.push(',');
+        }
+        let _ = write!(
+            d,
+            "{{\"program\":{},\"live\":{},\"quarantined\":{},\"resident\":{},\"exit_hits\":{},\
+             \"exit_misses\":{},\"shared_hits\":{},\"latency_us\":{}}}",
+            esc(&r.program),
+            r.live,
+            r.quarantined,
+            r.resident,
+            r.exit_hits,
+            r.exit_misses,
+            r.shared_hits,
+            summary_json(&r.latency_us),
+        );
+    }
+    d.push_str("],\"slow\":[");
+    for (i, q) in s.slow.iter().enumerate() {
+        if i > 0 {
+            d.push(',');
+        }
+        let _ = write!(
+            d,
+            "{{\"id\":{},\"client\":{},\"program\":{},\"kind\":{},\"engine\":{},\
+             \"admission\":{},\"completeness\":{},\"seeds\":{},\"queue_us\":{},\
+             \"exec_us\":{},\"total_us\":{},\"spend\":{}}}",
+            id_json(q.id),
+            esc(&q.client),
+            esc(&q.program),
+            esc(&q.kind),
+            esc(&q.engine),
+            esc(&q.admission),
+            esc(&q.completeness),
+            q.seeds,
+            q.queue_us,
+            q.exec_us,
+            q.total_us,
+            q.spend,
+        );
+    }
+    d.push_str("],\"events\":[");
+    for (i, e) in s.events.iter().enumerate() {
+        if i > 0 {
+            d.push(',');
+        }
+        let _ = write!(
+            d,
+            "{{\"seq\":{},\"kind\":{},\"label\":{},\"a\":{},\"b\":{}}}",
+            e.seq,
+            esc(e.kind.as_str()),
+            esc(e.label()),
+            e.a,
+            e.b,
+        );
+    }
+    d.push_str("]}");
+    d
+}
+
+/// Serializes a `stats` response: the standard envelope with the
+/// `thinslice.serve_stats.v1` document embedded under `"stats"`.
+pub fn stats_line(id: Option<u64>, snapshot: &StatsSnapshot) -> String {
+    format!(
+        "{},\"stats\":{}}}",
+        head(id, true, Some("stats")),
+        stats_doc(snapshot)
     )
 }
 
@@ -745,12 +1007,156 @@ pub fn validate_response_line(line: &str) -> Result<String, String> {
             }
             Ok(format!("ok status id={id}"))
         }
+        "stats" => {
+            let doc = v.get("stats").ok_or("stats response missing \"stats\"")?;
+            let summary = validate_stats_doc(doc).map_err(|e| format!("embedded stats: {e}"))?;
+            Ok(format!("ok stats id={id} ({summary})"))
+        }
         "shutdown" => {
             need_u64(&v, "drained")?;
             Ok(format!("ok shutdown id={id}"))
         }
         other => Err(format!("unknown op {other:?}")),
     }
+}
+
+fn need_summary(v: &Json, key: &str) -> Result<(), String> {
+    let s = v.get(key).ok_or_else(|| format!("missing field {key:?}"))?;
+    need_u64(s, "count")?;
+    for f in ["sum", "p50", "p95", "max"] {
+        s.get(f)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{key}: missing or non-number field {f:?}"))?;
+    }
+    Ok(())
+}
+
+/// Validates a `thinslice.serve_stats.v1` document (standalone or as
+/// extracted from a `stats` response), returning a one-line summary.
+///
+/// # Errors
+///
+/// Returns a description of the first shape violation.
+pub fn validate_stats_doc(v: &Json) -> Result<String, String> {
+    let schema = need_str(v, "schema")?;
+    if schema != SERVE_STATS_SCHEMA {
+        return Err(format!(
+            "schema is {schema:?}, expected {SERVE_STATS_SCHEMA:?}"
+        ));
+    }
+    need_u64(v, "uptime_ms")?;
+    let pool = v.get("pool").ok_or("missing \"pool\" section")?;
+    for key in [
+        "programs",
+        "live_sessions",
+        "capacity",
+        "quarantined",
+        "resident",
+        "hits",
+        "misses",
+        "builds",
+        "evictions",
+        "quarantines",
+        "rebuilds",
+    ] {
+        need_u64(pool, key).map_err(|e| format!("pool: {e}"))?;
+    }
+    let server = v.get("server").ok_or("missing \"server\" section")?;
+    for key in [
+        "served",
+        "errors",
+        "panics",
+        "recorded",
+        "recorder_capacity",
+    ] {
+        need_u64(server, key).map_err(|e| format!("server: {e}"))?;
+    }
+    let tenants = v
+        .get("tenants")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array field \"tenants\"")?;
+    for t in tenants {
+        need_str(t, "client").map_err(|e| format!("tenant: {e}"))?;
+        for key in [
+            "requests",
+            "errors",
+            "retries",
+            "degraded",
+            "shed",
+            "spent_steps",
+            "exit_hits",
+            "exit_misses",
+            "shared_hits",
+        ] {
+            need_u64(t, key).map_err(|e| format!("tenant: {e}"))?;
+        }
+        need_summary(t, "latency_us").map_err(|e| format!("tenant: {e}"))?;
+    }
+    let sessions = v
+        .get("sessions")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array field \"sessions\"")?;
+    for s in sessions {
+        let program = need_str(s, "program").map_err(|e| format!("session: {e}"))?;
+        if program.len() != 16 || !program.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!(
+                "session \"program\" must be a 16-hex-digit hash, got {program:?}"
+            ));
+        }
+        for key in ["resident", "exit_hits", "exit_misses", "shared_hits"] {
+            need_u64(s, key).map_err(|e| format!("session: {e}"))?;
+        }
+        for key in ["live", "quarantined"] {
+            if !matches!(s.get(key), Some(Json::Bool(_))) {
+                return Err(format!("session: field {key:?} must be a boolean"));
+            }
+        }
+        need_summary(s, "latency_us").map_err(|e| format!("session: {e}"))?;
+    }
+    let slow = v
+        .get("slow")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array field \"slow\"")?;
+    for q in slow {
+        for key in [
+            "client",
+            "program",
+            "kind",
+            "engine",
+            "admission",
+            "completeness",
+        ] {
+            need_str(q, key).map_err(|e| format!("slow: {e}"))?;
+        }
+        for key in ["seeds", "queue_us", "exec_us", "total_us", "spend"] {
+            need_u64(q, key).map_err(|e| format!("slow: {e}"))?;
+        }
+    }
+    let events = v
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing or non-array field \"events\"")?;
+    let mut prev_seq = None;
+    for e in events {
+        let seq = need_u64(e, "seq").map_err(|e| format!("event: {e}"))?;
+        need_str(e, "kind").map_err(|e| format!("event: {e}"))?;
+        need_str(e, "label").map_err(|e| format!("event: {e}"))?;
+        need_u64(e, "a").map_err(|e| format!("event: {e}"))?;
+        need_u64(e, "b").map_err(|e| format!("event: {e}"))?;
+        if let Some(p) = prev_seq {
+            if seq <= p {
+                return Err(format!("event tail out of order: seq {seq} after {p}"));
+            }
+        }
+        prev_seq = Some(seq);
+    }
+    Ok(format!(
+        "tenants={} sessions={} slow={} events={}",
+        tenants.len(),
+        sessions.len(),
+        slow.len(),
+        events.len()
+    ))
 }
 
 #[cfg(test)]
@@ -930,6 +1336,107 @@ mod tests {
 
         let sd = shutdown_line(Some(6), 3);
         assert_eq!(validate_response_line(&sd).unwrap(), "ok shutdown id=6");
+    }
+
+    #[test]
+    fn stats_lines_serialize_and_validate() {
+        use thinslice_util::telemetry::{FlightKind, FlightRecorder};
+        let rec = FlightRecorder::new(4);
+        rec.record(FlightKind::SessionBuilt, "00112233aabbccdd", 42, 0);
+        rec.record(FlightKind::RequestAdmitted, "ui", 7, 1);
+        let snap = StatsSnapshot {
+            uptime_ms: 1234,
+            status: StatusSnapshot {
+                programs: 1,
+                live_sessions: 1,
+                pool_capacity: 8,
+                served: 3,
+                ..StatusSnapshot::default()
+            },
+            pool_hits: 2,
+            pool_builds: 1,
+            recorded: rec.recorded(),
+            recorder_capacity: rec.capacity(),
+            tenants: vec![TenantRow {
+                client: "ui".to_string(),
+                requests: 3,
+                spent_steps: 120,
+                exit_hits: 5,
+                latency_us: HistogramSummary {
+                    count: 3,
+                    sum: 450.0,
+                    p50: 150.0,
+                    p95: 200.0,
+                    max: 200.0,
+                },
+                ..TenantRow::default()
+            }],
+            sessions: vec![SessionRow {
+                program: "00112233aabbccdd".to_string(),
+                live: true,
+                resident: 42,
+                ..SessionRow::default()
+            }],
+            slow: vec![SlowQueryRow {
+                id: Some(9),
+                client: "ui".to_string(),
+                program: "00112233aabbccdd".to_string(),
+                kind: "thin".to_string(),
+                engine: "ci".to_string(),
+                admission: "full".to_string(),
+                completeness: "complete".to_string(),
+                seeds: 1,
+                queue_us: 10,
+                exec_us: 90,
+                total_us: 100,
+                spend: 12,
+            }],
+            events: rec.snapshot(),
+            ..StatsSnapshot::default()
+        };
+        // The standalone document validates under its own schema.
+        let doc = stats_doc(&snap);
+        let parsed = Json::parse(&doc).expect("stats doc parses");
+        assert_eq!(
+            validate_stats_doc(&parsed).unwrap(),
+            "tenants=1 sessions=1 slow=1 events=2"
+        );
+        // The response line validates under the envelope schema.
+        let line = stats_line(Some(5), &snap);
+        assert_eq!(
+            validate_response_line(&line).unwrap(),
+            "ok stats id=5 (tenants=1 sessions=1 slow=1 events=2)"
+        );
+    }
+
+    #[test]
+    fn stats_validation_rejects_shape_violations() {
+        let reject = |doc: &str, needle: &str| {
+            let v = Json::parse(doc).unwrap();
+            let err = validate_stats_doc(&v).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        };
+        reject("{\"schema\":\"other.v1\"}", "schema");
+        reject(
+            "{\"schema\":\"thinslice.serve_stats.v1\",\"uptime_ms\":1}",
+            "pool",
+        );
+        // An out-of-order event tail is caught.
+        let doc = stats_doc(&StatsSnapshot::default());
+        let bad = doc.replace(
+            "\"events\":[]",
+            "\"events\":[{\"seq\":2,\"kind\":\"slow_query\",\"label\":\"\",\"a\":0,\"b\":0},\
+             {\"seq\":1,\"kind\":\"slow_query\",\"label\":\"\",\"a\":0,\"b\":0}]",
+        );
+        reject(&bad, "out of order");
+        // A stats response whose document is broken fails line validation.
+        let line = format!(
+            "{},\"stats\":{{\"schema\":\"wrong.v1\"}}}}",
+            "{\"schema\":\"thinslice.serve_response.v1\",\"id\":1,\"ok\":true,\"op\":\"stats\""
+        );
+        assert!(validate_response_line(&line)
+            .unwrap_err()
+            .contains("embedded stats"));
     }
 
     #[test]

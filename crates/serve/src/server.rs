@@ -38,21 +38,29 @@
 //!
 //! [`FaultInjection`]: thinslice::FaultInjection
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::pool::{PoolConfig, PoolError, SessionPool};
 use crate::protocol::{
-    error_line, load_line, parse_request, shutdown_line, slice_line, status_line, Admission, Op,
-    ProgramRef, SliceRequest, SourceFile, StatusSnapshot,
+    engine_str, error_line, kind_str, load_line, parse_request, shutdown_line, slice_line,
+    stats_line, status_line, Admission, Op, ProgramRef, SliceRequest, SlowQueryRow, SourceFile,
+    StatsSnapshot, StatusSnapshot, TenantRow,
 };
 use thinslice::{report, Budget, Engine, FaultInjection, Query, QueryPolicy, SliceResult};
-use thinslice_util::telemetry::Telemetry;
+use thinslice_util::govern::Completeness;
+use thinslice_util::telemetry::{FlightKind, FlightRecorder, Histogram, Telemetry};
 use thinslice_util::FxHashMap;
+
+/// How many slow queries the log retains (oldest dropped first).
+const SLOW_LOG_CAP: usize = 32;
+
+/// How many flight-recorder events a `stats` response tails.
+const EVENT_TAIL: usize = 32;
 
 /// A writer shared between the reader thread and the workers; response
 /// lines are serialized under its lock and flushed per line.
@@ -98,6 +106,16 @@ pub struct ServeConfig {
     /// Collect telemetry; `status` responses then embed a
     /// `thinslice.run_report.v1` report.
     pub trace: bool,
+    /// Flight-recorder ring capacity in events; 0 disables the recorder
+    /// entirely (the `stats` op then reports an empty event tail).
+    pub recorder_capacity: usize,
+    /// Slow-query threshold in milliseconds: requests at or over it are
+    /// captured into the slow-query log and the flight recorder.
+    /// [`None`] disables the log; 0 captures every request.
+    pub slow_ms: Option<u64>,
+    /// Emit a `stats` snapshot to stderr every this-many seconds while
+    /// serving (the operator's drive-by view; [`None`] disables it).
+    pub stats_interval: Option<u64>,
     /// After an external-signal drain, flush and `exit(0)` instead of
     /// returning (the CLI sets this; a reader blocked on stdin cannot be
     /// joined). Never affects EOF or `shutdown`-request paths.
@@ -120,6 +138,9 @@ impl Default for ServeConfig {
             fault: None,
             max_program_bytes: 4 * 1024 * 1024,
             trace: false,
+            recorder_capacity: 256,
+            slow_ms: None,
+            stats_interval: None,
             exit_on_signal: false,
         }
     }
@@ -141,7 +162,47 @@ struct Job {
     client: String,
     req: SliceRequest,
     admission: Admission,
+    /// When the job entered the queue, for the slow-query log's
+    /// queue-time stage breakdown.
+    enqueued: Instant,
     out: SharedOut,
+}
+
+/// One tenant's live aggregation (under the observability lock).
+#[derive(Default)]
+struct TenantAgg {
+    requests: u64,
+    errors: u64,
+    retries: u64,
+    degraded: u64,
+    shed: u64,
+    spent_steps: u64,
+    exit_hits: u64,
+    exit_misses: u64,
+    shared_hits: u64,
+    latency: Histogram,
+}
+
+/// Wall-clock stage breakdown of one completed request, in microseconds
+/// (plus the step spend charged for it).
+struct ObservedTiming {
+    queue_us: u64,
+    exec_us: u64,
+    spend: u64,
+}
+
+/// The observability plane's mutable state. One mutex, touched once per
+/// completed request and once per `stats` snapshot — never while a query
+/// runs, so an idle daemon (and the query itself) pays nothing for it.
+#[derive(Default)]
+struct Obs {
+    /// Per-tenant tables, keyed by client name (sorted iteration gives
+    /// the stats doc its deterministic row order).
+    tenants: BTreeMap<String, TenantAgg>,
+    /// Per-program latency histograms, keyed by pool hash.
+    session_lat: BTreeMap<String, Histogram>,
+    /// The slow-query log, oldest first, capped at [`SLOW_LOG_CAP`].
+    slow: VecDeque<SlowQueryRow>,
 }
 
 struct Ack {
@@ -187,6 +248,12 @@ pub struct Server {
     served: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
+    /// Always-on flight recorder ([`None`] when `recorder_capacity` is 0).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Per-tenant tables, per-session latency, slow-query log.
+    obs: Mutex<Obs>,
+    /// When the server was built, for `uptime_ms`.
+    start: Instant,
 }
 
 impl Server {
@@ -197,7 +264,10 @@ impl Server {
         } else {
             Telemetry::disabled()
         };
-        let pool = SessionPool::new(cfg.pool.clone(), telemetry.clone());
+        let recorder = (cfg.recorder_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(cfg.recorder_capacity)));
+        let mut pool = SessionPool::new(cfg.pool.clone(), telemetry.clone());
+        pool.set_recorder(recorder.clone());
         Server {
             cfg,
             telemetry,
@@ -214,7 +284,22 @@ impl Server {
             served: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            recorder,
+            obs: Mutex::new(Obs::default()),
+            start: Instant::now(),
         }
+    }
+
+    fn flight(&self, kind: FlightKind, label: &str, a: u64, b: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(kind, label, a, b);
+        }
+    }
+
+    /// Attributes one error response to a tenant's table.
+    fn tenant_err(&self, client: &str) {
+        let mut obs = self.obs.lock().unwrap();
+        obs.tenants.entry(client.to_string()).or_default().errors += 1;
     }
 
     /// The external shutdown flag; a signal handler stores `true` and
@@ -273,23 +358,142 @@ impl Server {
         }
     }
 
+    fn status_snapshot(&self, pool: &SessionPool) -> StatusSnapshot {
+        StatusSnapshot {
+            programs: pool.programs(),
+            live_sessions: pool.live_sessions(),
+            quarantined: pool.quarantined(),
+            resident: pool.resident_total(),
+            evictions: pool.stats.evictions,
+            rebuilds: pool.stats.rebuilds,
+            served: self.served.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            pool_capacity: pool.capacity(),
+            uptime_ms: self.start.elapsed().as_millis() as u64,
+        }
+    }
+
     fn handle_status(&self, id: Option<u64>, out: &SharedOut) {
-        let snap = {
-            let pool = self.pool.lock().unwrap();
-            StatusSnapshot {
-                programs: pool.programs(),
-                live_sessions: pool.live_sessions(),
-                quarantined: pool.quarantined(),
-                resident: pool.resident_total(),
-                evictions: pool.stats.evictions,
-                rebuilds: pool.stats.rebuilds,
-                served: self.served.load(Ordering::Relaxed),
-                errors: self.errors.load(Ordering::Relaxed),
-                panics: self.panics.load(Ordering::Relaxed),
-            }
-        };
+        let snap = self.status_snapshot(&self.pool.lock().unwrap());
         let report = self.cfg.trace.then(|| self.telemetry.report().to_json());
         self.write_ok(out, &status_line(id, &snap, report.as_deref()));
+    }
+
+    /// Gathers the full observability snapshot. Pool and observability
+    /// locks are taken one after the other, never nested, and never
+    /// while a query is executing.
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let (status, mut sessions, pool_stats) = {
+            let pool = self.pool.lock().unwrap();
+            (self.status_snapshot(&pool), pool.session_rows(), pool.stats)
+        };
+        let obs = self.obs.lock().unwrap();
+        for row in &mut sessions {
+            if let Some(h) = obs.session_lat.get(&row.program) {
+                row.latency_us = h.summary();
+            }
+        }
+        let tenants = obs
+            .tenants
+            .iter()
+            .map(|(client, t)| TenantRow {
+                client: client.clone(),
+                requests: t.requests,
+                errors: t.errors,
+                retries: t.retries,
+                degraded: t.degraded,
+                shed: t.shed,
+                spent_steps: t.spent_steps,
+                exit_hits: t.exit_hits,
+                exit_misses: t.exit_misses,
+                shared_hits: t.shared_hits,
+                latency_us: t.latency.summary(),
+            })
+            .collect();
+        let slow = obs.slow.iter().cloned().collect();
+        drop(obs);
+        let (recorded, recorder_capacity, events) = match &self.recorder {
+            Some(rec) => (rec.recorded(), rec.capacity(), rec.tail(EVENT_TAIL)),
+            None => (0, 0, Vec::new()),
+        };
+        StatsSnapshot {
+            uptime_ms: status.uptime_ms,
+            status,
+            pool_hits: pool_stats.hits,
+            pool_misses: pool_stats.misses,
+            pool_builds: pool_stats.builds,
+            pool_quarantines: pool_stats.quarantines,
+            recorded,
+            recorder_capacity,
+            tenants,
+            sessions,
+            slow,
+            events,
+        }
+    }
+
+    fn handle_stats(&self, id: Option<u64>, out: &SharedOut) {
+        self.write_ok(out, &stats_line(id, &self.stats_snapshot()));
+    }
+
+    /// A compact human rendering of the current snapshot, for the
+    /// `--stats-interval` stderr ticker.
+    pub fn stats_text(&self) -> String {
+        let s = self.stats_snapshot();
+        let mut out = format!(
+            "thinslice-serve up {:.1}s · pool {}/{} sessions ({} quarantined, resident {}) · \
+             served {} errors {} panics {} · recorder {}/{} events",
+            s.uptime_ms as f64 / 1000.0,
+            s.status.live_sessions,
+            s.status.pool_capacity,
+            s.status.quarantined,
+            s.status.resident,
+            s.status.served,
+            s.status.errors,
+            s.status.panics,
+            s.recorded.min(s.recorder_capacity as u64),
+            s.recorder_capacity,
+        );
+        if !s.tenants.is_empty() {
+            out.push_str(&format!(
+                "\n  {:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>9} {:>9} {:>9}",
+                "CLIENT", "REQ", "ERR", "RETRY", "DEGR", "SHED", "STEPS", "p50us", "p95us", "maxus"
+            ));
+            for t in &s.tenants {
+                out.push_str(&format!(
+                    "\n  {:<16} {:>6} {:>5} {:>5} {:>5} {:>5} {:>10} {:>9.0} {:>9.0} {:>9.0}",
+                    t.client,
+                    t.requests,
+                    t.errors,
+                    t.retries,
+                    t.degraded,
+                    t.shed,
+                    t.spent_steps,
+                    t.latency_us.p50,
+                    t.latency_us.p95,
+                    t.latency_us.max,
+                ));
+            }
+        }
+        if !s.slow.is_empty() {
+            out.push_str(&format!("\n  slow queries ({}):", s.slow.len()));
+            for q in &s.slow {
+                out.push_str(&format!(
+                    "\n    id={} client={} {}/{} {} queue {}us exec {}us total {}us spend {}",
+                    q.id.map_or("null".to_string(), |n| n.to_string()),
+                    q.client,
+                    q.kind,
+                    q.engine,
+                    q.completeness,
+                    q.queue_us,
+                    q.exec_us,
+                    q.total_us,
+                    q.spend,
+                ));
+            }
+        }
+        out
     }
 
     fn handle_shutdown(&self, id: Option<u64>, out: &SharedOut) {
@@ -314,6 +518,7 @@ impl Server {
         if let ProgramRef::Inline(sources) = &req.program {
             let size = Self::sources_size(sources);
             if size > self.cfg.max_program_bytes {
+                self.tenant_err(&client);
                 self.write_err(
                     out,
                     id,
@@ -328,6 +533,7 @@ impl Server {
         }
         let mut chaos_panics = req.chaos_panics;
         if chaos_panics > 0 && !self.cfg.chaos {
+            self.tenant_err(&client);
             self.write_err(
                 out,
                 id,
@@ -348,6 +554,7 @@ impl Server {
         let mut sched = self.sched.lock().unwrap();
         if !sched.accepting {
             drop(sched);
+            self.tenant_err(&client);
             self.write_err(out, id, "shutting_down", "server is draining; resend later");
             return;
         }
@@ -357,6 +564,7 @@ impl Server {
             client: client.clone(),
             req,
             admission,
+            enqueued: Instant::now(),
             out: out.clone(),
         };
         match sched.queues.iter_mut().find(|(c, _)| *c == client) {
@@ -384,6 +592,10 @@ impl Server {
                 }
                 Op::Status => {
                     self.handle_status(req.id, out);
+                    Ingest::Continue
+                }
+                Op::Stats => {
+                    self.handle_stats(req.id, out);
                     Ingest::Continue
                 }
                 Op::Shutdown => {
@@ -461,9 +673,12 @@ impl Server {
     }
 
     fn execute(&self, job: Job) {
+        let started = Instant::now();
+        let queue_us = started.duration_since(job.enqueued).as_micros() as u64;
         let hash = match self.resolve_program(&job) {
             Ok(h) => h,
             Err((code, msg)) => {
+                self.tenant_err(&job.client);
                 self.write_err(&job.out, job.id, code, &msg);
                 return;
             }
@@ -477,12 +692,19 @@ impl Server {
                 admission = Admission::Truncate;
             }
         }
+        let admission_kind = match admission {
+            Admission::Full => FlightKind::RequestAdmitted,
+            Admission::DegradeCi => FlightKind::RequestDegraded,
+            Admission::Truncate => FlightKind::RequestShed,
+        };
+        self.flight(admission_kind, &job.client, job.id.unwrap_or(0), queue_us);
 
         let mut attempt: u32 = 0;
         loop {
             let mut co = match self.pool.lock().unwrap().checkout(&hash) {
                 Ok(co) => co,
                 Err(PoolError::UnknownProgram) => {
+                    self.tenant_err(&job.client);
                     self.write_err(
                         &job.out,
                         job.id,
@@ -492,10 +714,20 @@ impl Server {
                     return;
                 }
                 Err(PoolError::Compile(e)) => {
+                    self.tenant_err(&job.client);
                     self.write_err(&job.out, job.id, "compile", &e.to_string());
                     return;
                 }
             };
+            if job.req.chaos_panics > attempt {
+                self.flight(
+                    FlightKind::FaultInjected,
+                    &job.client,
+                    job.id.unwrap_or(0),
+                    u64::from(attempt),
+                );
+            }
+            let memo_before = co.session().memo_stats();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if job.req.chaos_panics > attempt {
                     panic!("injected chaos panic (attempt {attempt})");
@@ -504,6 +736,7 @@ impl Server {
             }));
             match outcome {
                 Ok(Ok((slice, engine, stmts, spend))) => {
+                    let memo = co.session().memo_stats().since(&memo_before);
                     self.pool.lock().unwrap().checkin(co);
                     {
                         let mut sched = self.sched.lock().unwrap();
@@ -511,6 +744,22 @@ impl Server {
                     }
                     let degraded =
                         slice.degraded || (job.req.engine == Engine::Cs && engine == Engine::Ci);
+                    if let Completeness::Truncated { frontier, .. } = slice.completeness {
+                        self.flight(
+                            FlightKind::BudgetExhausted,
+                            &job.client,
+                            frontier as u64,
+                            spend,
+                        );
+                    }
+                    let timing = ObservedTiming {
+                        queue_us,
+                        exec_us: started.elapsed().as_micros() as u64,
+                        spend,
+                    };
+                    self.observe(
+                        &job, &hash, admission, engine, &slice, attempt, memo, timing,
+                    );
                     self.write_ok(
                         &job.out,
                         &slice_line(
@@ -528,6 +777,7 @@ impl Server {
                 }
                 Ok(Err(msg)) => {
                     self.pool.lock().unwrap().checkin(co);
+                    self.tenant_err(&job.client);
                     self.write_err(&job.out, job.id, "seed", &msg);
                     return;
                 }
@@ -536,6 +786,7 @@ impl Server {
                     self.pool.lock().unwrap().quarantine(co);
                     attempt += 1;
                     if attempt > self.cfg.retries {
+                        self.tenant_err(&job.client);
                         self.write_err(
                             &job.out,
                             job.id,
@@ -553,6 +804,76 @@ impl Server {
                 }
             }
         }
+    }
+
+    /// Folds one completed request into the per-tenant and per-session
+    /// tables, and into the slow-query log when it crossed `slow_ms`.
+    /// Runs after the query, outside every other lock — the response
+    /// bytes are already fixed, so observation cannot perturb them.
+    #[allow(clippy::too_many_arguments)]
+    fn observe(
+        &self,
+        job: &Job,
+        hash: &str,
+        admission: Admission,
+        engine: Engine,
+        slice: &SliceResult,
+        retries: u32,
+        memo: thinslice::MemoStats,
+        timing: ObservedTiming,
+    ) {
+        let total_us = timing.queue_us + timing.exec_us;
+        let degraded = slice.degraded || (job.req.engine == Engine::Cs && engine == Engine::Ci);
+        {
+            let mut obs = self.obs.lock().unwrap();
+            let t = obs.tenants.entry(job.client.clone()).or_default();
+            t.requests += 1;
+            t.retries += u64::from(retries);
+            if degraded {
+                t.degraded += 1;
+            }
+            if admission == Admission::Truncate {
+                t.shed += 1;
+            }
+            t.spent_steps += timing.spend;
+            t.exit_hits += memo.exit_hits;
+            t.exit_misses += memo.exit_misses;
+            t.shared_hits += memo.shared_hits;
+            t.latency.record(total_us as f64);
+            obs.session_lat
+                .entry(hash.to_string())
+                .or_default()
+                .record(total_us as f64);
+        }
+        let Some(slow_ms) = self.cfg.slow_ms else {
+            return;
+        };
+        if total_us < slow_ms.saturating_mul(1000) {
+            return;
+        }
+        self.flight(FlightKind::SlowQuery, &job.client, total_us, timing.spend);
+        let row = SlowQueryRow {
+            id: job.id,
+            client: job.client.clone(),
+            program: hash.to_string(),
+            kind: kind_str(job.req.kind).to_string(),
+            engine: engine_str(engine).to_string(),
+            admission: admission.as_str().to_string(),
+            completeness: match slice.completeness {
+                Completeness::Complete => "complete".to_string(),
+                Completeness::Truncated { .. } => "truncated".to_string(),
+            },
+            seeds: job.req.seeds.len(),
+            queue_us: timing.queue_us,
+            exec_us: timing.exec_us,
+            total_us,
+            spend: timing.spend,
+        };
+        let mut obs = self.obs.lock().unwrap();
+        if obs.slow.len() == SLOW_LOG_CAP {
+            obs.slow.pop_front();
+        }
+        obs.slow.push_back(row);
     }
 
     /// Runs one query attempt on a checked-out session. Returns the
@@ -597,6 +918,20 @@ impl Server {
         Ok((slice, engine, stmts, spend))
     }
 
+    /// Emits the `--stats-interval` stderr snapshot when one is due.
+    /// Costs a clock read per loop tick when disabled or not yet due —
+    /// the zero-overhead-when-idle invariant in practice.
+    fn stats_tick(&self, last: &mut Instant) {
+        let Some(secs) = self.cfg.stats_interval else {
+            return;
+        };
+        if last.elapsed() < Duration::from_secs(secs.max(1)) {
+            return;
+        }
+        *last = Instant::now();
+        eprintln!("{}", self.stats_text());
+    }
+
     fn begin_drain(&self) {
         self.sched.lock().unwrap().accepting = false;
         self.cv.notify_all();
@@ -637,6 +972,7 @@ impl Server {
             }
             // Wait for the input to end or the signal flag; the timeout
             // bounds how long a signal waits behind a blocked read.
+            let mut last_snapshot = Instant::now();
             loop {
                 let sched = self.sched.lock().unwrap();
                 if self.input_done.load(Ordering::Relaxed) || self.shutdown.load(Ordering::Relaxed)
@@ -647,6 +983,7 @@ impl Server {
                     .cv
                     .wait_timeout(sched, Duration::from_millis(25))
                     .unwrap();
+                self.stats_tick(&mut last_snapshot);
             }
             let signalled =
                 self.shutdown.load(Ordering::Relaxed) && !self.input_done.load(Ordering::Relaxed);
@@ -686,10 +1023,12 @@ impl Server {
             for _ in 0..self.cfg.workers.max(1) {
                 scope.spawn(|| self.worker_loop());
             }
+            let mut last_snapshot = Instant::now();
             loop {
                 if self.shutdown.load(Ordering::Relaxed) || !self.sched.lock().unwrap().accepting {
                     break;
                 }
+                self.stats_tick(&mut last_snapshot);
                 match listener.accept() {
                     Ok((stream, _)) => {
                         let out: SharedOut = match stream.try_clone() {

@@ -502,3 +502,198 @@ fn traced_status_embeds_a_valid_run_report() {
     let report_text = &status[start..status.len() - 1];
     thinslice_util::RunReport::from_json(report_text).expect("embedded report parses");
 }
+
+#[test]
+fn status_reports_pool_occupancy_and_uptime() {
+    let script = vec![
+        load(1, 1),
+        r#"{"op":"status","id":2}"#.to_string(),
+        shutdown(3),
+    ];
+    let (lines, _) = run_script(ServeConfig::default(), &script);
+    let map = by_id(&lines);
+    let status = &map[&2];
+    // New occupancy/uptime fields ride along; the PR 7 fields survive.
+    assert_eq!(field(status, "pool_capacity").as_u64(), Some(8));
+    assert!(field(status, "uptime_ms").as_u64().is_some());
+    assert_eq!(field(status, "programs").as_u64(), Some(1));
+    assert_eq!(field(status, "live_sessions").as_u64(), Some(1));
+    assert_eq!(field(status, "evictions").as_u64(), Some(0));
+}
+
+#[test]
+fn stats_op_is_answered_inline_during_chaos() {
+    // `stats` mid-stream, with faults flying: still one valid response
+    // per request (run_script schema-validates the embedded document).
+    let cfg = chaos_cfg();
+    let script = vec![
+        load(1, 1),
+        slice(2, 1, 4, r#","chaos":{"panics":1}"#),
+        r#"{"op":"stats","id":3}"#.to_string(),
+        slice(4, 1, 5, ""),
+        shutdown(5),
+    ];
+    let (lines, summary) = run_script(cfg, &script);
+    let map = by_id(&lines);
+    assert_eq!(field(&map[&3], "op").as_str(), Some("stats"));
+    let doc = field(&map[&3], "stats");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("thinslice.serve_stats.v1")
+    );
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.panics, 1);
+}
+
+/// Drains a script, then asks the same server for `stats` — so the
+/// tables deterministically cover every completed request.
+fn stats_after(cfg: ServeConfig, script: &[String]) -> Json {
+    let sink = Sink::default();
+    let out: thinslice_serve::SharedOut = Arc::new(Mutex::new(sink.clone()));
+    let server = Server::new(cfg);
+    let input = script.join("\n") + "\n";
+    server.serve(Cursor::new(input.into_bytes()), out.clone());
+    sink.0.lock().unwrap().clear();
+    server.ingest(r#"{"op":"stats","id":9999}"#, &out);
+    let bytes = sink.0.lock().unwrap().clone();
+    let line = String::from_utf8(bytes).unwrap().trim().to_string();
+    validate_response_line(&line).unwrap_or_else(|e| panic!("invalid stats {line:?}: {e}"));
+    field(&line, "stats")
+}
+
+#[test]
+fn stats_reports_tenant_tables_memo_and_slow_queries() {
+    let cfg = ServeConfig {
+        chaos: true,
+        slow_ms: Some(0), // every request is "slow": the log must fill
+        ..ServeConfig::default()
+    };
+    let script = vec![
+        load(1, 1),
+        slice(10, 1, 4, r#","client":"alpha","engine":"cs""#),
+        slice(11, 1, 5, r#","client":"alpha""#),
+        slice(12, 1, 4, r#","client":"beta","chaos":{"panics":1}"#),
+        slice(
+            13,
+            1,
+            4,
+            r#","client":"beta","step_budget":1,"degrade":false"#,
+        ),
+        shutdown(99),
+    ];
+    let doc = stats_after(cfg, &script);
+
+    // Per-tenant tables, sorted by client, with latency quantiles.
+    let tenants = doc.get("tenants").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = tenants
+        .iter()
+        .map(|t| t.get("client").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(names, ["alpha", "beta"]);
+    let alpha = &tenants[0];
+    assert_eq!(alpha.get("requests").and_then(Json::as_u64), Some(2));
+    assert!(alpha.get("spent_steps").and_then(Json::as_u64).unwrap() > 0);
+    let lat = alpha.get("latency_us").unwrap();
+    assert_eq!(lat.get("count").and_then(Json::as_u64), Some(2));
+    assert!(lat.get("max").and_then(Json::as_f64).unwrap() > 0.0);
+    // The CS query tabulates exit regions: memo activity is visible.
+    let memo_touched = alpha.get("exit_hits").and_then(Json::as_u64).unwrap()
+        + alpha.get("exit_misses").and_then(Json::as_u64).unwrap();
+    assert!(memo_touched > 0, "CS query must touch the exit memo");
+    let beta = &tenants[1];
+    assert_eq!(beta.get("requests").and_then(Json::as_u64), Some(2));
+    assert_eq!(beta.get("retries").and_then(Json::as_u64), Some(1));
+
+    // Per-session table: one program, live, with its latency histogram.
+    let sessions = doc.get("sessions").and_then(Json::as_arr).unwrap();
+    assert_eq!(sessions.len(), 1);
+    let sess = &sessions[0];
+    assert_eq!(
+        sess.get("program").and_then(Json::as_str).unwrap().len(),
+        16
+    );
+    assert_eq!(sess.get("live"), Some(&Json::Bool(true)));
+    assert!(sess.get("resident").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        sess.get("latency_us")
+            .and_then(|l| l.get("count"))
+            .and_then(Json::as_u64),
+        Some(4)
+    );
+
+    // Slow-query log: every slice crossed the 0ms threshold, capturing
+    // query shape, stage breakdown, and completeness.
+    let slow = doc.get("slow").and_then(Json::as_arr).unwrap();
+    assert_eq!(slow.len(), 4);
+    assert!(slow
+        .iter()
+        .any(|q| { q.get("completeness").and_then(Json::as_str) == Some("truncated") }));
+    for q in slow {
+        let total = q.get("total_us").and_then(Json::as_u64).unwrap();
+        let queue = q.get("queue_us").and_then(Json::as_u64).unwrap();
+        let exec = q.get("exec_us").and_then(Json::as_u64).unwrap();
+        assert_eq!(total, queue + exec);
+    }
+
+    // Flight-recorder tail: the lifecycle is in there.
+    let events = doc.get("events").and_then(Json::as_arr).unwrap();
+    let kinds: std::collections::BTreeSet<&str> = events
+        .iter()
+        .map(|e| e.get("kind").and_then(Json::as_str).unwrap())
+        .collect();
+    for kind in [
+        "session_built",
+        "request_admitted",
+        "fault_injected",
+        "session_quarantined",
+        "budget_exhausted",
+        "slow_query",
+    ] {
+        assert!(kinds.contains(kind), "missing {kind} in {kinds:?}");
+    }
+    assert!(
+        doc.get("server")
+            .and_then(|s| s.get("recorded"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    assert_eq!(
+        doc.get("pool")
+            .and_then(|p| p.get("quarantines"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
+fn observability_knobs_do_not_perturb_responses() {
+    // The acceptance bar: with the recorder on (default), off, and with
+    // the slow-query log armed, every load/slice/error response is
+    // byte-identical. Only `stats` itself may differ.
+    let cfg_default = ServeConfig::default();
+    let cfg_off = ServeConfig {
+        recorder_capacity: 0,
+        ..ServeConfig::default()
+    };
+    let cfg_armed = ServeConfig {
+        recorder_capacity: 1024,
+        slow_ms: Some(0),
+        ..ServeConfig::default()
+    };
+    let script = vec![
+        load(1, 1),
+        slice(10, 1, 4, r#","client":"a","engine":"cs""#),
+        slice(11, 1, 5, r#","client":"b""#),
+        r#"{"op":"slice","id":12}"#.to_string(), // structured error
+        shutdown(99),
+    ];
+    let (d_lines, _) = run_script(cfg_default, &script);
+    let (o_lines, _) = run_script(cfg_off, &script);
+    let (a_lines, _) = run_script(cfg_armed, &script);
+    let (d, o, a) = (by_id(&d_lines), by_id(&o_lines), by_id(&a_lines));
+    for rid in [1, 10, 11, 12] {
+        assert_eq!(d[&rid], o[&rid], "response {rid}: recorder off ≡ default");
+        assert_eq!(d[&rid], a[&rid], "response {rid}: log armed ≡ default");
+    }
+}

@@ -49,7 +49,9 @@ pub use govern::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcom
 pub use idxvec::IdxVec;
 pub use rng::SmallRng;
 pub use runctx::RunCtx;
-pub use telemetry::{Histogram, MetricsRegistry, RunReport, Telemetry};
+pub use telemetry::{
+    FlightEvent, FlightKind, FlightRecorder, Histogram, MetricsRegistry, RunReport, Telemetry,
+};
 pub use unionfind::UnionFind;
 pub use worklist::Worklist;
 

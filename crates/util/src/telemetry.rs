@@ -396,6 +396,15 @@ impl Histogram {
         self.percentile(50.0)
     }
 
+    /// Folds another histogram's samples into this one. Workers keep
+    /// private histograms on their own hot paths; the aggregator merges
+    /// them before computing quantiles, so percentile math always runs
+    /// over the union of samples rather than an average of per-worker
+    /// percentiles (which would be statistically meaningless).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Snapshot summary with the percentiles reports care about.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -421,6 +430,202 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// Largest sample.
     pub max: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Longest label a [`FlightEvent`] keeps inline. Longer labels are
+/// truncated (at a UTF-8 boundary) rather than heap-allocated, so the
+/// per-event cost stays bounded regardless of what callers pass in.
+pub const FLIGHT_LABEL_BYTES: usize = 24;
+
+/// What happened, for one [`FlightEvent`].
+///
+/// The variants mirror the daemon's decision points: admission control,
+/// the degradation ladder, pool lifecycle, budget exhaustion, injected
+/// faults and the slow-query log. `Copy` and field-free so recording one
+/// never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlightKind {
+    /// A request was admitted at full fidelity.
+    RequestAdmitted,
+    /// A request was degraded (e.g. context-sensitive → insensitive).
+    RequestDegraded,
+    /// A request was shed (truncated or rejected) under load.
+    RequestShed,
+    /// A session finished building in the pool.
+    SessionBuilt,
+    /// A session was evicted from the pool.
+    SessionEvicted,
+    /// A session was quarantined after a panic.
+    SessionQuarantined,
+    /// A query exhausted its step budget or deadline.
+    BudgetExhausted,
+    /// A configured fault was injected.
+    FaultInjected,
+    /// A request exceeded the slow-query threshold.
+    SlowQuery,
+}
+
+impl FlightKind {
+    /// Stable lower-snake name used in JSON renderings of the ring.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::RequestAdmitted => "request_admitted",
+            FlightKind::RequestDegraded => "request_degraded",
+            FlightKind::RequestShed => "request_shed",
+            FlightKind::SessionBuilt => "session_built",
+            FlightKind::SessionEvicted => "session_evicted",
+            FlightKind::SessionQuarantined => "session_quarantined",
+            FlightKind::BudgetExhausted => "budget_exhausted",
+            FlightKind::FaultInjected => "fault_injected",
+            FlightKind::SlowQuery => "slow_query",
+        }
+    }
+}
+
+/// One entry in the [`FlightRecorder`] ring.
+///
+/// Fixed-size and `Copy`: the numeric payloads are two bare `u64`s whose
+/// meaning depends on [`FlightKind`] (documented at each recording site),
+/// and the label is an inline, truncated byte array — no heap allocation
+/// per event, ever.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Monotonic sequence number, assigned at record time. Never reused;
+    /// gaps in a snapshot mean the ring wrapped and overwrote entries.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Primary numeric payload (kind-dependent, e.g. latency in µs).
+    pub a: u64,
+    /// Secondary numeric payload (kind-dependent, e.g. resident bytes).
+    pub b: u64,
+    label: [u8; FLIGHT_LABEL_BYTES],
+    label_len: u8,
+}
+
+impl FlightEvent {
+    const EMPTY: FlightEvent = FlightEvent {
+        seq: 0,
+        kind: FlightKind::RequestAdmitted,
+        a: 0,
+        b: 0,
+        label: [0; FLIGHT_LABEL_BYTES],
+        label_len: 0,
+    };
+
+    /// The (possibly truncated) label recorded with the event, typically
+    /// a client name, program hash or fault site.
+    pub fn label(&self) -> &str {
+        // Truncation in `FlightRecorder::record` lands on a char
+        // boundary, so this is always valid UTF-8.
+        std::str::from_utf8(&self.label[..self.label_len as usize]).unwrap_or("")
+    }
+}
+
+/// An always-on, fixed-capacity ring buffer of [`FlightEvent`]s.
+///
+/// The ring is allocated once at construction; recording overwrites the
+/// slot at `seq % capacity` and never allocates, so the recorder can stay
+/// on the daemon's hot path permanently. Sequence numbers are assigned
+/// under the same lock that writes the slot, so a [`snapshot`] is always
+/// a contiguous, strictly-ordered suffix of everything ever recorded —
+/// the oldest `total - capacity` events are the only ones lost.
+///
+/// [`snapshot`]: FlightRecorder::snapshot
+///
+/// ```
+/// use thinslice_util::telemetry::{FlightKind, FlightRecorder};
+///
+/// let rec = FlightRecorder::new(2);
+/// rec.record(FlightKind::SessionBuilt, "abc", 1, 0);
+/// rec.record(FlightKind::RequestAdmitted, "tenant-a", 2, 0);
+/// rec.record(FlightKind::RequestShed, "tenant-b", 3, 0); // overwrites seq 0
+/// let snap = rec.snapshot();
+/// assert_eq!(snap.len(), 2);
+/// assert_eq!(snap[0].seq, 1);
+/// assert_eq!(snap[1].label(), "tenant-b");
+/// assert_eq!(rec.recorded(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<FlightRing>,
+}
+
+#[derive(Debug)]
+struct FlightRing {
+    /// Next sequence number to assign == total events ever recorded.
+    next_seq: u64,
+    slots: Box<[FlightEvent]>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (clamped to ≥ 1).
+    /// This is the only allocation the recorder ever performs.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            inner: Mutex::new(FlightRing {
+                next_seq: 0,
+                slots: vec![FlightEvent::EMPTY; cap].into_boxed_slice(),
+            }),
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+
+    /// Records one event and returns its sequence number. Labels longer
+    /// than [`FLIGHT_LABEL_BYTES`] are truncated at a char boundary;
+    /// nothing is allocated. Safe to call from any number of threads —
+    /// sequence numbers are unique and slot writes are ordered by them.
+    pub fn record(&self, kind: FlightKind, label: &str, a: u64, b: u64) -> u64 {
+        let mut cut = label.len().min(FLIGHT_LABEL_BYTES);
+        while !label.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let mut ring = self.inner.lock().unwrap();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let idx = (seq % ring.slots.len() as u64) as usize;
+        let slot = &mut ring.slots[idx];
+        slot.seq = seq;
+        slot.kind = kind;
+        slot.a = a;
+        slot.b = b;
+        slot.label[..cut].copy_from_slice(&label.as_bytes()[..cut]);
+        slot.label_len = cut as u8;
+        seq
+    }
+
+    /// Total events ever recorded (not just those still resident).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// All live events, oldest first, strictly ordered by `seq`.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.tail(usize::MAX)
+    }
+
+    /// The newest `n` live events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<FlightEvent> {
+        let ring = self.inner.lock().unwrap();
+        let cap = ring.slots.len() as u64;
+        let live = ring.next_seq.min(cap);
+        let take = live.min(n as u64);
+        let mut out = Vec::with_capacity(take as usize);
+        for seq in (ring.next_seq - take)..ring.next_seq {
+            out.push(ring.slots[(seq % cap) as usize]);
+        }
+        out
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1062,5 +1267,129 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("{} x").is_err());
         assert!(RunReport::from_json("{\"schema\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty: every quantile is 0.0, summary is all-zero.
+        let empty = Histogram::new();
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(empty.percentile(p), 0.0);
+        }
+        assert_eq!(empty.summary(), HistogramSummary::default());
+
+        // Single sample: every quantile is that sample.
+        let mut one = Histogram::new();
+        one.record(7.5);
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(one.percentile(p), 7.5);
+        }
+        let s = one.summary();
+        assert_eq!(
+            (s.count, s.sum, s.p50, s.p95, s.max),
+            (1, 7.5, 7.5, 7.5, 7.5)
+        );
+    }
+
+    #[test]
+    fn histogram_merge_matches_union() {
+        // Three "workers" record disjoint sample sets; merged quantiles
+        // must equal a single histogram fed the union.
+        let mut workers = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        let mut union = Histogram::new();
+        for (i, w) in workers.iter_mut().enumerate() {
+            for j in 0..4 {
+                let v = (i * 10 + j) as f64;
+                w.record(v);
+                union.record(v);
+            }
+        }
+        let mut merged = Histogram::new();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), union.count());
+        assert_eq!(merged.sum(), union.sum());
+        for p in [0.0, 25.0, 50.0, 90.0, 95.0, 100.0] {
+            assert_eq!(merged.percentile(p), union.percentile(p));
+        }
+        // Merging an empty histogram is a no-op.
+        let before = merged.summary();
+        merged.merge(&Histogram::new());
+        assert_eq!(merged.summary(), before);
+    }
+
+    #[test]
+    fn flight_recorder_wraps_and_orders() {
+        let rec = FlightRecorder::new(4);
+        assert_eq!(rec.capacity(), 4);
+        assert!(rec.snapshot().is_empty());
+        for i in 0..10u64 {
+            let seq = rec.record(FlightKind::RequestAdmitted, "c", i, 0);
+            assert_eq!(seq, i);
+        }
+        assert_eq!(rec.recorded(), 10);
+        let snap = rec.snapshot();
+        // Only the newest `capacity` events survive, strictly ordered.
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(
+            snap.iter().map(|e| e.a).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        let tail = rec.tail(2);
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![8, 9]);
+        assert_eq!(rec.tail(0).len(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_truncates_labels_on_char_boundary() {
+        let rec = FlightRecorder::new(2);
+        let long = "x".repeat(FLIGHT_LABEL_BYTES + 10);
+        rec.record(FlightKind::SessionBuilt, &long, 0, 0);
+        // Multi-byte char straddling the cut is dropped whole.
+        let multi = format!("{}é", "a".repeat(FLIGHT_LABEL_BYTES - 1));
+        rec.record(FlightKind::SessionBuilt, &multi, 0, 0);
+        let snap = rec.snapshot();
+        assert_eq!(snap[0].label(), "x".repeat(FLIGHT_LABEL_BYTES));
+        assert_eq!(snap[1].label(), "a".repeat(FLIGHT_LABEL_BYTES - 1));
+    }
+
+    #[test]
+    fn flight_recorder_concurrent_writers_keep_order() {
+        use std::sync::Arc;
+        let rec = Arc::new(FlightRecorder::new(64));
+        let writers = 4;
+        let per_writer = 500u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let rec = Arc::clone(&rec);
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        rec.record(FlightKind::RequestAdmitted, "w", w as u64, i);
+                    }
+                });
+            }
+        });
+        let total = writers as u64 * per_writer;
+        assert_eq!(rec.recorded(), total);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 64);
+        // The snapshot is the contiguous, strictly-increasing suffix of
+        // all sequence numbers — wrap-around never reorders or drops a
+        // live slot, even with racing writers.
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.seq, total - 64 + i as u64);
+        }
+        // Each writer's own payloads arrive in its program order.
+        for w in 0..writers as u64 {
+            let mine: Vec<u64> = snap.iter().filter(|e| e.a == w).map(|e| e.b).collect();
+            assert!(
+                mine.windows(2).all(|p| p[0] < p[1]),
+                "writer {w} reordered: {mine:?}"
+            );
+        }
     }
 }
