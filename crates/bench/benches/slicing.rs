@@ -428,6 +428,97 @@ fn run_synthetic() -> SyntheticResult {
     }
 }
 
+struct IncrementalResult {
+    benchmarks: usize,
+    /// Median ms for a from-scratch rebuild + one warm thin CI slice.
+    full_rebuild_ms: f64,
+    /// Median ms for `AnalysisSession::update` + the same slice.
+    update_ms: f64,
+    /// full_rebuild_ms / update_ms — the edit-sized-invalidation payoff.
+    speedup: f64,
+}
+
+/// Edit-to-answer latency: for each Table 2 benchmark, toggle a warm
+/// session between two versions differing by one integer literal (the
+/// canonical single-method body edit) and time `update` + one thin CI
+/// slice, against building a fresh session + the same slice. Both paths
+/// are asserted bit-identical before anything is timed. Rounds pool
+/// across benchmarks; the medians are per-edit latencies.
+fn run_incremental(names: &[&'static str]) -> IncrementalResult {
+    use thinslice::{AnalysisSession, Engine, Query};
+    use thinslice_ir::InstrKind;
+    use thinslice_suite::edits::tweak_first_int;
+
+    fn first_print_seed(s: &AnalysisSession) -> thinslice_ir::StmtRef {
+        let program = s.program();
+        program
+            .all_stmts()
+            .find(|st| matches!(program.instr(*st).kind, InstrKind::Print { .. }))
+            .expect("benchmark has a print statement")
+    }
+    fn thin_ci(s: &mut AnalysisSession) -> thinslice::StmtSet {
+        let seed = first_print_seed(s);
+        s.query(&Query::new(vec![seed], SliceKind::Thin, Engine::Ci))
+            .stmts
+    }
+
+    let (mut full, mut upd) = (Histogram::new(), Histogram::new());
+    let mut benchmarks = 0usize;
+    for &name in names {
+        let b = benchmark_named(name).expect("table2 benchmark exists");
+        let v0: Vec<(String, String)> = b
+            .sources
+            .iter()
+            .map(|(n, t)| ((*n).to_string(), (*t).to_string()))
+            .collect();
+        let mut v1 = v0.clone();
+        v1[0].1 = tweak_first_int(&v0[0].1).expect("benchmark has an int literal");
+        fn as_refs(v: &[(String, String)]) -> Vec<(&str, &str)> {
+            v.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect()
+        }
+        benchmarks += 1;
+
+        // Correctness before timing: updated ≡ fresh on the edit.
+        let mut live = AnalysisSession::new(&as_refs(&v0)).expect("compiles");
+        let _ = thin_ci(&mut live);
+        live.update(&as_refs(&v1)).expect("update compiles");
+        let mut fresh = AnalysisSession::new(&as_refs(&v1)).expect("compiles");
+        assert_eq!(
+            thin_ci(&mut live),
+            thin_ci(&mut fresh),
+            "{name}: update ≡ rebuild"
+        );
+
+        for round in 0..(WARMUP + ROUNDS) {
+            // Alternate the edit direction so every round is a real edit.
+            let target = if round % 2 == 0 { &v0 } else { &v1 };
+            let refs = as_refs(target);
+
+            let start = Instant::now();
+            live.update(&refs).expect("update compiles");
+            std::hint::black_box(thin_ci(&mut live));
+            let t_upd = start.elapsed().as_secs_f64();
+
+            let start = Instant::now();
+            let mut scratch = AnalysisSession::new(&refs).expect("compiles");
+            std::hint::black_box(thin_ci(&mut scratch));
+            let t_full = start.elapsed().as_secs_f64();
+
+            if round >= WARMUP {
+                upd.record(t_upd);
+                full.record(t_full);
+            }
+        }
+    }
+    let (full_s, upd_s) = (full.median().max(1e-12), upd.median().max(1e-12));
+    IncrementalResult {
+        benchmarks,
+        full_rebuild_ms: full_s * 1e3,
+        update_ms: upd_s * 1e3,
+        speedup: full_s / upd_s,
+    }
+}
+
 struct ServerResult {
     requests: usize,
     requests_per_sec: f64,
@@ -585,6 +676,7 @@ fn render_json(
     synthetic: &SyntheticResult,
     server: &ServerResult,
     obs: &ObservabilityResult,
+    incr: &IncrementalResult,
 ) -> String {
     let mut queries = 0usize;
     let mut seq_s = 0.0f64;
@@ -716,6 +808,17 @@ fn render_json(
         obs.recorder_off_rps
     );
     let _ = write!(out, "\"recorder_overhead_pct\": {:.2}", obs.overhead_pct);
+    out.push_str("},\n");
+    // Edit-to-answer latency: one-literal body edit through
+    // `AnalysisSession::update` vs a from-scratch rebuild, each followed
+    // by the same warm thin CI slice (medians pooled over the table2
+    // benchmarks).
+    out.push_str("  \"incremental\": {");
+    let _ = write!(out, "\"workload\": \"table2-single-literal-edit\", ");
+    let _ = write!(out, "\"benchmarks\": {}, ", incr.benchmarks);
+    let _ = write!(out, "\"full_rebuild_ms\": {:.3}, ", incr.full_rebuild_ms);
+    let _ = write!(out, "\"update_ms\": {:.3}, ", incr.update_ms);
+    let _ = write!(out, "\"speedup\": {:.2}", incr.speedup);
     out.push_str("}\n}\n");
     out
 }
@@ -776,7 +879,14 @@ fn main() {
         obs.recorder_on_rps, obs.recorder_off_rps, obs.overhead_pct
     );
 
-    let json = render_json(&results, threads, &matrix, &synthetic, &server, &obs);
+    eprintln!("incremental re-analysis (single-literal edits) …");
+    let incr = run_incremental(&names);
+    println!(
+        "incremental: update {:.2} ms vs rebuild {:.2} ms ({:.1}x) over {} benchmarks",
+        incr.update_ms, incr.full_rebuild_ms, incr.speedup, incr.benchmarks
+    );
+
+    let json = render_json(&results, threads, &matrix, &synthetic, &server, &obs, &incr);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
     std::fs::write(path, &json).expect("write BENCH_slicing.json");
     println!("\nwrote {path}");

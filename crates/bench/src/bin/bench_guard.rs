@@ -21,7 +21,13 @@
 //!   throughputs, again only when both files carry them. The fresh file's
 //!   `recorder_overhead_pct` is reported in the summary but not gated:
 //!   it is a difference of two noisy medians, so an absolute threshold
-//!   would flake where the relative throughput comparisons do not.
+//!   would flake where the relative throughput comparisons do not;
+//! * the `incremental` row's `speedup` (from-scratch rebuild time over
+//!   `update` time for a one-literal edit) when both files carry it.
+//!   The ratio is gated rather than either absolute latency because it is
+//!   hardware-independent: both numerator and denominator are measured on
+//!   the same runner in the same round. Baselines predating the row are
+//!   skipped, not failed.
 //!
 //! The default tolerance of 25% absorbs runner noise while still
 //! catching a slicer or batch-engine pessimisation.
@@ -55,6 +61,14 @@ fn server_throughput(json: &Json) -> Option<f64> {
 fn observability_field(json: &Json, field: &str) -> Option<f64> {
     json.get("observability")
         .and_then(|s| s.get(field))
+        .and_then(Json::as_f64)
+}
+
+/// The incremental-reanalysis rebuild/update speedup, `None` when the
+/// file predates the `incremental` row.
+fn incremental_speedup(json: &Json) -> Option<f64> {
+    json.get("incremental")
+        .and_then(|s| s.get("speedup"))
         .and_then(Json::as_f64)
 }
 
@@ -157,6 +171,18 @@ fn run(args: &[String]) -> Result<String, String> {
     }
     if let Some(overhead) = observability_field(&fresh, "recorder_overhead_pct") {
         lines.push(format!("recorder overhead {overhead:+.2}% (informational)"));
+    }
+    if let (Some(base), Some(fresh_ratio)) =
+        (incremental_speedup(&baseline), incremental_speedup(&fresh))
+    {
+        // compare() gates on relative drop, which works for ratios the
+        // same way it does for throughputs.
+        lines.push(compare(
+            "incremental update speedup",
+            base,
+            fresh_ratio,
+            max_drop,
+        )?);
     }
     Ok(lines.join("\n  "))
 }

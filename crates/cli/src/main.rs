@@ -59,6 +59,7 @@ const USAGE: &str = "usage:
                     [--recorder-capacity <n>] [--slow-ms <ms>]
                     [--stats-interval <secs>]
   thinslice stats   --socket <path> [--json]
+  thinslice reload  <file.mj>... --socket <path> --program <hash> [--json]
 
 serve runs the multi-tenant slice daemon: line-delimited JSON requests on
   stdin (responses on stdout), or on a Unix socket with --socket. SIGTERM
@@ -317,6 +318,10 @@ fn real_main(args: &[String]) -> Result<(), String> {
     if cmd == "stats" {
         // The stats client talks to a running daemon, no input files.
         return cmd_stats(rest);
+    }
+    if cmd == "reload" {
+        // The reload client pushes edited sources to a running daemon.
+        return cmd_reload(rest);
     }
     let o = parse_options(rest)?;
     let ctx = o.run_ctx();
@@ -617,6 +622,129 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let _ = parse_stats_options(args)?;
     Err("stats talks to a Unix-socket daemon; only supported on unix".into())
+}
+
+/// The reload subcommand's options: which daemon socket to talk to, which
+/// loaded program (pool key) to update, and the edited source files.
+struct ReloadCli {
+    socket: String,
+    program: String,
+    files: Vec<String>,
+    json: bool,
+}
+
+fn parse_reload_options(args: &[String]) -> Result<ReloadCli, String> {
+    let mut socket = None;
+    let mut program = None;
+    let mut files = Vec::new();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().ok_or("--socket needs a path")?.clone()),
+            "--program" => program = Some(it.next().ok_or("--program needs a hash")?.clone()),
+            "--json" => json = true,
+            other if other.starts_with("--") => return Err(format!("unknown reload flag {other}")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return Err("reload needs the edited source files".into());
+    }
+    Ok(ReloadCli {
+        socket: socket.ok_or("reload needs --socket <path> (the daemon's socket)")?,
+        program: program
+            .ok_or("reload needs --program <hash> (the key an earlier load returned)")?,
+        files,
+        json,
+    })
+}
+
+/// One-shot incremental-update client: pushes edited sources to a running
+/// daemon under an existing program key (`reload` op) and reports which
+/// invalidation path the daemon took. File names are sent as basenames,
+/// matching what `load` registered.
+#[cfg(unix)]
+fn cmd_reload(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use thinslice_util::telemetry::Json;
+    let cli = parse_reload_options(args)?;
+    let mut sources = Vec::new();
+    for f in &cli.files {
+        let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        let name = std::path::Path::new(f)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| f.clone());
+        sources.push(thinslice_serve::protocol::SourceFile { name, text });
+    }
+    let request = thinslice_serve::protocol::reload_request_line(
+        0,
+        "thinslice-reload",
+        &cli.program,
+        &sources,
+    );
+    let mut stream = std::os::unix::net::UnixStream::connect(&cli.socket).map_err(|e| {
+        format!(
+            "{}: {e} (is `thinslice serve --socket {}` running?)",
+            cli.socket, cli.socket
+        )
+    })?;
+    stream
+        .write_all(format!("{request}\n").as_bytes())
+        .map_err(|e| format!("{}: write: {e}", cli.socket))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("{}: read: {e}", cli.socket))?;
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Err(format!(
+            "{}: the daemon closed the connection without answering",
+            cli.socket
+        ));
+    }
+    thinslice_serve::protocol::validate_response_line(line)
+        .map_err(|e| format!("{}: bad response: {e}", cli.socket))?;
+    if cli.json {
+        println!("{line}");
+        return Ok(());
+    }
+    let v = Json::parse(line).map_err(|e| format!("{}: {e}", cli.socket))?;
+    if !matches!(v.get("ok"), Some(Json::Bool(true))) {
+        let msg = v
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("{}: daemon error: {msg}", cli.socket));
+    }
+    let s = |key: &str| v.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+    let u = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "reloaded {} (content {}) path={} methods {}/{} changed · \
+         constraints retracted {} readded {} of {} · \
+         csr refrozen {}/{} · memo invalidated {} kept {}",
+        s("program"),
+        s("content"),
+        s("path"),
+        u("methods_changed"),
+        u("methods_total"),
+        u("constraints_retracted"),
+        u("constraints_readded"),
+        u("constraints_total"),
+        u("csr_segments_refrozen"),
+        u("csr_segments_total"),
+        u("memo_invalidated"),
+        u("memo_kept"),
+    );
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_reload(args: &[String]) -> Result<(), String> {
+    let _ = parse_reload_options(args)?;
+    Err("reload talks to a Unix-socket daemon; only supported on unix".into())
 }
 
 /// Renders a parsed `thinslice.serve_stats.v1` document as text: a daemon
@@ -1317,13 +1445,13 @@ mod tests {
             r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":1500,
                 "pool":{"programs":1,"live_sessions":1,"capacity":8,"quarantined":0,
                         "resident":123,"hits":3,"misses":1,"builds":1,"evictions":0,
-                        "quarantines":0,"rebuilds":0},
+                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0},
                 "server":{"served":4,"errors":0,"panics":0,"recorded":6,"recorder_capacity":256},
                 "tenants":[{"client":"alpha","requests":4,"errors":0,"retries":0,"degraded":1,
                             "shed":0,"spent_steps":900,"exit_hits":3,"exit_misses":1,
                             "shared_hits":0,
                             "latency_us":{"count":4,"sum":800,"p50":150,"p95":400,"max":420}}],
-                "sessions":[{"program":"00deadbeef00cafe","live":true,"quarantined":false,
+                "sessions":[{"program":"00deadbeef00cafe","content":"00deadbeef00cafe","live":true,"quarantined":false,
                              "resident":123,"exit_hits":3,"exit_misses":1,"shared_hits":0,
                              "latency_us":{"count":4,"sum":800,"p50":150,"p95":400,"max":420}}],
                 "slow":[{"id":7,"client":"alpha","program":"00deadbeef00cafe","kind":"thin",
@@ -1352,7 +1480,7 @@ mod tests {
             r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":0,
                 "pool":{"programs":0,"live_sessions":0,"capacity":8,"quarantined":0,
                         "resident":0,"hits":0,"misses":0,"builds":0,"evictions":0,
-                        "quarantines":0,"rebuilds":0},
+                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0},
                 "server":{"served":0,"errors":0,"panics":0,"recorded":0,"recorder_capacity":256},
                 "tenants":[],"sessions":[],"slow":[],"events":[]}"#,
         )

@@ -68,7 +68,9 @@ pub use expand::{
 #[allow(deprecated)]
 pub use expand::{explain_aliasing_governed, explain_aliasing_telemetry};
 pub use inspect::{simulate_inspection, InspectTask, InspectionResult};
-pub use session::{AnalysisSession, BatchOptions, Engine, Query, QueryPolicy, SliceResult};
+pub use session::{
+    AnalysisSession, BatchOptions, Engine, Query, QueryPolicy, SliceResult, UpdateStats,
+};
 #[allow(deprecated)]
 pub use slice::{slice_from, slice_from_governed, slice_from_reusing};
 pub use slice::{Slice, SliceKind, SliceScratch};

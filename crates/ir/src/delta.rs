@@ -1,0 +1,659 @@
+//! Function-granularity program diffing for incremental re-analysis.
+//!
+//! [`ProgramDelta::between`] parses two versions of an MJ source set and
+//! classifies every method as unchanged, body-changed, added, removed,
+//! renamed, or signature-changed, using **span-free fingerprints** of the
+//! normalized AST. Whitespace and comment edits therefore produce an empty
+//! delta ([`ProgramDelta::is_noop`]), and downstream stages can reuse every
+//! cached artifact because no analysis key in the pipeline (`StmtRef`,
+//! `NodeKind`, PTA constraint streams) mentions source positions.
+//!
+//! The classification drives [the session's incremental update][update]:
+//! body-only changes keep identifier numbering (`ClassId`/`MethodId`/
+//! `FieldId` are assigned in declaration order) and so permit per-method
+//! cache reuse; anything that changes the *shape* of the class table —
+//! declarations added, removed, renamed, re-ordered, or re-typed — renumbers
+//! identifiers and forces a full (but still deterministic) rebuild.
+//!
+//! [update]: ../../thinslice_core/struct.AnalysisSession.html#method.update
+
+use std::hash::{Hash, Hasher};
+
+use thinslice_util::{FxHashMap, FxHasher};
+
+use crate::ast::{AstProgram, ClassDecl, Expr, ExprKind, MethodDecl, Stmt, StmtKind, TypeExpr};
+use crate::error::CompileError;
+use crate::ir::{MethodId, Program};
+use crate::parser;
+use crate::span::FileId;
+
+/// Identifies a method across program versions: declaring class + name.
+///
+/// MJ has no overloading, so `(class, name)` is unique within a well-typed
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnKey {
+    /// Declaring class name.
+    pub class: String,
+    /// Method name ([`crate::ast::CTOR_NAME`] for constructors).
+    pub name: String,
+}
+
+impl std::fmt::Display for FnKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.class, self.name)
+    }
+}
+
+/// Span-free fingerprints for one method declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FnFp {
+    /// Signature: staticness, nativeness, return type, parameter types.
+    sig: u64,
+    /// Body: parameter names + normalized statement tree (spans ignored).
+    body: u64,
+}
+
+/// The classified difference between two versions of a source set.
+///
+/// Produced by [`ProgramDelta::between`]. Key lists are sorted and
+/// deduplicated; `renamed` pairs also appear in neither `added` nor
+/// `removed`.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramDelta {
+    /// Methods present in both versions whose bodies differ (signature
+    /// unchanged). The only non-structural change class.
+    pub changed: Vec<FnKey>,
+    /// Methods only in the new version.
+    pub added: Vec<FnKey>,
+    /// Methods only in the old version.
+    pub removed: Vec<FnKey>,
+    /// `(old, new)` pairs: same class, identical signature and body
+    /// fingerprints, different name.
+    pub renamed: Vec<(FnKey, FnKey)>,
+    /// Methods present in both versions with differing signatures.
+    pub sig_changed: Vec<FnKey>,
+    /// Whether the class-table *shape* differs: classes, superclasses,
+    /// fields, or the ordered list of method signatures. True whenever any
+    /// of `added`/`removed`/`renamed`/`sig_changed` is non-empty, and also
+    /// on declaration re-ordering or field/class edits that touch no method.
+    pub shape_changed: bool,
+}
+
+impl ProgramDelta {
+    /// Parses both source sets and classifies every method.
+    ///
+    /// Sources are `(name, text)` pairs as accepted by
+    /// [`crate::compile()`]. Parse errors in either version are returned as-is;
+    /// type errors are *not* detected here (the caller recompiles anyway).
+    pub fn between(
+        old: &[(&str, &str)],
+        new: &[(&str, &str)],
+    ) -> Result<ProgramDelta, CompileError> {
+        let old_sum = ProgramFingerprints::of(old)?;
+        let new_sum = ProgramFingerprints::of(new)?;
+        Ok(Self::classify(&old_sum, &new_sum))
+    }
+
+    /// Classifies the difference between two already-computed fingerprint
+    /// sets, without touching source text.
+    ///
+    /// This is the steady-state path of an incremental session: it retains
+    /// the previous version's [`ProgramFingerprints`] (obtained from the
+    /// same parse that compiled it, via
+    /// [`compile_fingerprinted`][crate::compile_fingerprinted]), so each
+    /// update diffs by pure hashing. Both arguments must come from the same
+    /// construction recipe (both with or both without the prepended
+    /// standard library) — a consistently-included stdlib cancels out of
+    /// the diff.
+    pub fn between_fingerprints(
+        old: &ProgramFingerprints,
+        new: &ProgramFingerprints,
+    ) -> ProgramDelta {
+        Self::classify(old, new)
+    }
+
+    fn classify(old: &ProgramFingerprints, new: &ProgramFingerprints) -> ProgramDelta {
+        let mut delta = ProgramDelta {
+            shape_changed: old.shape != new.shape,
+            ..ProgramDelta::default()
+        };
+        for (key, ofp) in &old.fns {
+            match new.fns.get(key) {
+                None => delta.removed.push(key.clone()),
+                Some(nfp) if nfp.sig != ofp.sig => delta.sig_changed.push(key.clone()),
+                Some(nfp) if nfp.body != ofp.body => delta.changed.push(key.clone()),
+                Some(_) => {}
+            }
+        }
+        for key in new.fns.keys() {
+            if !old.fns.contains_key(key) {
+                delta.added.push(key.clone());
+            }
+        }
+        delta.changed.sort();
+        delta.sig_changed.sort();
+        delta.removed.sort();
+        delta.added.sort();
+        // Rename detection: a removed method whose exact fingerprints
+        // reappear under a single new name in the same class.
+        let mut renamed = Vec::new();
+        delta.removed.retain(|old_key| {
+            let ofp = old.fns[old_key];
+            let mut matches = delta
+                .added
+                .iter()
+                .filter(|new_key| new_key.class == old_key.class && new.fns[*new_key] == ofp);
+            match (matches.next(), matches.next()) {
+                (Some(new_key), None) => {
+                    renamed.push((old_key.clone(), new_key.clone()));
+                    false
+                }
+                _ => true,
+            }
+        });
+        for (_, new_key) in &renamed {
+            delta.added.retain(|k| k != new_key);
+        }
+        delta.renamed = renamed;
+        delta
+    }
+
+    /// True when nothing analysable changed (whitespace/comment-only edit):
+    /// every cached artifact remains valid.
+    pub fn is_noop(&self) -> bool {
+        !self.shape_changed && self.changed.is_empty()
+    }
+
+    /// True when identifier numbering may have shifted
+    /// (`ClassId`/`MethodId`/`FieldId` are declaration-order), so per-method
+    /// caches keyed by id must be discarded.
+    pub fn is_structural(&self) -> bool {
+        self.shape_changed
+    }
+
+    /// Total number of classified method-level differences.
+    pub fn len(&self) -> usize {
+        self.changed.len()
+            + self.added.len()
+            + self.removed.len()
+            + self.renamed.len()
+            + self.sig_changed.len()
+    }
+
+    /// True when no method-level difference was classified. Note a pure
+    /// field/class edit can be `is_empty() && is_structural()`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the body-changed keys against a compiled program.
+    ///
+    /// Returns the [`MethodId`]s of `self.changed` in `program`; keys that
+    /// do not resolve (shouldn't happen for the program the delta was
+    /// computed from) are skipped.
+    pub fn changed_method_ids(&self, program: &Program) -> Vec<MethodId> {
+        self.changed
+            .iter()
+            .filter_map(|key| {
+                program.methods.iter_enumerated().find_map(|(m, method)| {
+                    (method.name == key.name && program.classes[method.class].name == key.class)
+                        .then_some(m)
+                })
+            })
+            .collect()
+    }
+}
+
+/// Per-version digest of one source set: span-free method fingerprints
+/// plus a class-table shape hash.
+///
+/// Computing one costs a parse — or nothing extra, when it rides along the
+/// parse that compiled the program
+/// ([`compile_fingerprinted`][crate::compile_fingerprinted]). Diffing two
+/// ([`ProgramDelta::between_fingerprints`]) is pure hashing, so a session
+/// that retains its current version's fingerprints never re-reads old text
+/// on update. Fingerprints are only comparable when built the same way:
+/// diff two `of` results or two compile-produced ones, not a mix.
+#[derive(Debug, Clone)]
+pub struct ProgramFingerprints {
+    fns: FxHashMap<FnKey, FnFp>,
+    shape: u64,
+}
+
+impl ProgramFingerprints {
+    /// Parses `sources` (`(name, text)` pairs) and fingerprints every
+    /// method declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse error; later phases (resolution, typing)
+    /// are not run.
+    pub fn of(sources: &[(&str, &str)]) -> Result<ProgramFingerprints, CompileError> {
+        let mut fps = ProgramFingerprints::default();
+        for (i, (_, text)) in sources.iter().enumerate() {
+            fps.absorb(&parser::parse(FileId::new(i), text)?);
+        }
+        Ok(fps)
+    }
+
+    /// Fingerprints already-parsed files — the shared-parse path used by
+    /// [`compile_fingerprinted`][crate::compile_fingerprinted].
+    pub fn of_asts<'a>(asts: impl IntoIterator<Item = &'a AstProgram>) -> ProgramFingerprints {
+        let mut fps = ProgramFingerprints::default();
+        for ast in asts {
+            fps.absorb(ast);
+        }
+        fps
+    }
+
+    fn absorb(&mut self, ast: &AstProgram) {
+        let mut shape = FxHasher::default();
+        self.shape.hash(&mut shape);
+        summarize(ast, &mut self.fns, &mut shape);
+        self.shape = shape.finish();
+    }
+}
+
+impl Default for ProgramFingerprints {
+    fn default() -> Self {
+        ProgramFingerprints {
+            fns: FxHashMap::default(),
+            shape: FxHasher::default().finish(),
+        }
+    }
+}
+
+fn summarize(ast: &AstProgram, fns: &mut FxHashMap<FnKey, FnFp>, shape: &mut FxHasher) {
+    for class in &ast.classes {
+        hash_class_shape(class, shape);
+        for method in &class.methods {
+            let key = FnKey {
+                class: class.name.clone(),
+                name: method.name.clone(),
+            };
+            fns.insert(key, fingerprint_method(method));
+        }
+    }
+}
+
+/// Hashes everything about a class *except* method bodies: name, superclass,
+/// ordered field declarations, ordered method signatures. Declaration order
+/// matters because lowering assigns ids in this order.
+fn hash_class_shape(class: &ClassDecl, h: &mut FxHasher) {
+    class.name.hash(h);
+    class.superclass.hash(h);
+    class.fields.len().hash(h);
+    for field in &class.fields {
+        field.is_static.hash(h);
+        hash_ty(&field.ty, h);
+        field.name.hash(h);
+    }
+    class.methods.len().hash(h);
+    for method in &class.methods {
+        method.name.hash(h);
+        sig_fp(method).hash(h);
+    }
+}
+
+fn fingerprint_method(method: &MethodDecl) -> FnFp {
+    FnFp {
+        sig: sig_fp(method),
+        body: body_fp(method),
+    }
+}
+
+fn sig_fp(method: &MethodDecl) -> u64 {
+    let mut h = FxHasher::default();
+    method.is_static.hash(&mut h);
+    method.is_native.hash(&mut h);
+    hash_ty(&method.ret, &mut h);
+    method.params.len().hash(&mut h);
+    for (ty, _) in &method.params {
+        hash_ty(ty, &mut h);
+    }
+    h.finish()
+}
+
+/// Parameter *names* count as body, not signature: renaming a parameter
+/// re-lowers the body but does not change the method's external shape.
+fn body_fp(method: &MethodDecl) -> u64 {
+    let mut h = FxHasher::default();
+    for (_, name) in &method.params {
+        name.hash(&mut h);
+    }
+    match &method.body {
+        None => 0u8.hash(&mut h),
+        Some(stmts) => {
+            1u8.hash(&mut h);
+            hash_stmts(stmts, &mut h);
+        }
+    }
+    h.finish()
+}
+
+fn hash_ty(ty: &TypeExpr, h: &mut FxHasher) {
+    match ty {
+        TypeExpr::Int => 0u8.hash(h),
+        TypeExpr::Boolean => 1u8.hash(h),
+        TypeExpr::Void => 2u8.hash(h),
+        TypeExpr::Named(name) => {
+            3u8.hash(h);
+            name.hash(h);
+        }
+        TypeExpr::Array(elem) => {
+            4u8.hash(h);
+            hash_ty(elem, h);
+        }
+    }
+}
+
+fn hash_stmts(stmts: &[Stmt], h: &mut FxHasher) {
+    stmts.len().hash(h);
+    for stmt in stmts {
+        hash_stmt(stmt, h);
+    }
+}
+
+fn hash_stmt(stmt: &Stmt, h: &mut FxHasher) {
+    match &stmt.kind {
+        StmtKind::VarDecl { ty, name, init } => {
+            0u8.hash(h);
+            hash_ty(ty, h);
+            name.hash(h);
+            match init {
+                None => 0u8.hash(h),
+                Some(e) => {
+                    1u8.hash(h);
+                    hash_expr(e, h);
+                }
+            }
+        }
+        StmtKind::Assign { lhs, op, rhs } => {
+            1u8.hash(h);
+            hash_expr(lhs, h);
+            (*op as u8).hash(h);
+            hash_expr(rhs, h);
+        }
+        StmtKind::IncDec { lhs, inc } => {
+            2u8.hash(h);
+            hash_expr(lhs, h);
+            inc.hash(h);
+        }
+        StmtKind::If { cond, then, els } => {
+            3u8.hash(h);
+            hash_expr(cond, h);
+            hash_stmts(then, h);
+            hash_stmts(els, h);
+        }
+        StmtKind::While { cond, body } => {
+            4u8.hash(h);
+            hash_expr(cond, h);
+            hash_stmts(body, h);
+        }
+        StmtKind::Return { value } => {
+            5u8.hash(h);
+            match value {
+                None => 0u8.hash(h),
+                Some(e) => {
+                    1u8.hash(h);
+                    hash_expr(e, h);
+                }
+            }
+        }
+        StmtKind::Throw { value } => {
+            6u8.hash(h);
+            hash_expr(value, h);
+        }
+        StmtKind::Print { value } => {
+            7u8.hash(h);
+            hash_expr(value, h);
+        }
+        StmtKind::ExprStmt { expr } => {
+            8u8.hash(h);
+            hash_expr(expr, h);
+        }
+        StmtKind::Block { body } => {
+            9u8.hash(h);
+            hash_stmts(body, h);
+        }
+    }
+}
+
+fn hash_expr(expr: &Expr, h: &mut FxHasher) {
+    match &expr.kind {
+        ExprKind::IntLit(v) => {
+            0u8.hash(h);
+            v.hash(h);
+        }
+        ExprKind::BoolLit(v) => {
+            1u8.hash(h);
+            v.hash(h);
+        }
+        ExprKind::StrLit(s) => {
+            2u8.hash(h);
+            s.hash(h);
+        }
+        ExprKind::Null => 3u8.hash(h),
+        ExprKind::This => 4u8.hash(h),
+        ExprKind::Name(name) => {
+            5u8.hash(h);
+            name.hash(h);
+        }
+        ExprKind::Unary { op, expr } => {
+            6u8.hash(h);
+            (*op as u8).hash(h);
+            hash_expr(expr, h);
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            7u8.hash(h);
+            (*op as u8).hash(h);
+            hash_expr(lhs, h);
+            hash_expr(rhs, h);
+        }
+        ExprKind::Field { base, name } => {
+            8u8.hash(h);
+            hash_expr(base, h);
+            name.hash(h);
+        }
+        ExprKind::Index { base, index } => {
+            9u8.hash(h);
+            hash_expr(base, h);
+            hash_expr(index, h);
+        }
+        ExprKind::Call { base, name, args } => {
+            10u8.hash(h);
+            match base {
+                None => 0u8.hash(h),
+                Some(b) => {
+                    1u8.hash(h);
+                    hash_expr(b, h);
+                }
+            }
+            name.hash(h);
+            args.len().hash(h);
+            for arg in args {
+                hash_expr(arg, h);
+            }
+        }
+        ExprKind::SuperCall { args } => {
+            11u8.hash(h);
+            args.len().hash(h);
+            for arg in args {
+                hash_expr(arg, h);
+            }
+        }
+        ExprKind::New { class, args } => {
+            12u8.hash(h);
+            class.hash(h);
+            args.len().hash(h);
+            for arg in args {
+                hash_expr(arg, h);
+            }
+        }
+        ExprKind::NewArray { elem, len } => {
+            13u8.hash(h);
+            hash_ty(elem, h);
+            hash_expr(len, h);
+        }
+        ExprKind::Cast { ty, expr } => {
+            14u8.hash(h);
+            hash_ty(ty, h);
+            hash_expr(expr, h);
+        }
+        ExprKind::InstanceOf { expr, class } => {
+            15u8.hash(h);
+            hash_expr(expr, h);
+            class.hash(h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"
+        class Main {
+            int count;
+            static void main() {
+                Main m = new Main();
+                m.tick(3);
+                print(m.count);
+            }
+            void tick(int by) {
+                this.count = this.count + by;
+            }
+        }
+    "#;
+
+    fn delta(old: &str, new: &str) -> ProgramDelta {
+        ProgramDelta::between(&[("main.mj", old)], &[("main.mj", new)]).unwrap()
+    }
+
+    fn keys(list: &[FnKey]) -> Vec<String> {
+        list.iter().map(|k| k.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_sources_are_noop() {
+        let d = delta(BASE, BASE);
+        assert!(d.is_noop(), "{d:?}");
+        assert!(d.is_empty());
+        assert!(!d.is_structural());
+    }
+
+    #[test]
+    fn whitespace_and_comment_edit_is_noop() {
+        let new = BASE
+            .replace("m.tick(3);", "m.tick(  3  ); // poke the counter")
+            .replace(
+                "class Main {",
+                "/* reformatted\n   header */\nclass Main\n{",
+            );
+        let d = delta(BASE, &new);
+        assert!(
+            d.is_noop(),
+            "whitespace/comment edit must invalidate nothing: {d:?}"
+        );
+    }
+
+    #[test]
+    fn body_only_edit_is_changed_not_structural() {
+        let new = BASE.replace("this.count + by", "this.count + by + 1");
+        let d = delta(BASE, &new);
+        assert_eq!(keys(&d.changed), ["Main.tick"]);
+        assert!(!d.is_structural(), "{d:?}");
+        assert!(!d.is_noop());
+        assert!(d.added.is_empty() && d.removed.is_empty() && d.sig_changed.is_empty());
+    }
+
+    #[test]
+    fn function_added() {
+        let new = BASE.replace(
+            "void tick(int by) {",
+            "void reset() { this.count = 0; }\n            void tick(int by) {",
+        );
+        let d = delta(BASE, &new);
+        assert_eq!(keys(&d.added), ["Main.reset"]);
+        assert!(d.is_structural());
+        assert!(d.removed.is_empty() && d.renamed.is_empty());
+    }
+
+    #[test]
+    fn function_removed() {
+        let old = BASE.replace(
+            "void tick(int by) {",
+            "void reset() { this.count = 0; }\n            void tick(int by) {",
+        );
+        let d = delta(&old, BASE);
+        assert_eq!(keys(&d.removed), ["Main.reset"]);
+        assert!(d.is_structural());
+    }
+
+    #[test]
+    fn function_renamed() {
+        let new = BASE.replace("tick", "bump");
+        let d = delta(BASE, &new);
+        assert_eq!(d.renamed.len(), 1, "{d:?}");
+        let (old_key, new_key) = &d.renamed[0];
+        assert_eq!(old_key.to_string(), "Main.tick");
+        assert_eq!(new_key.to_string(), "Main.bump");
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        // Call sites referencing the new name are body changes.
+        assert_eq!(keys(&d.changed), ["Main.main"]);
+        assert!(d.is_structural());
+    }
+
+    #[test]
+    fn signature_change() {
+        let new = BASE
+            .replace("void tick(int by)", "void tick(int by, boolean loud)")
+            .replace("m.tick(3)", "m.tick(3, true)");
+        let d = delta(BASE, &new);
+        assert_eq!(keys(&d.sig_changed), ["Main.tick"]);
+        assert_eq!(keys(&d.changed), ["Main.main"]);
+        assert!(d.is_structural());
+    }
+
+    #[test]
+    fn parameter_rename_is_body_only() {
+        let new = BASE
+            .replace("int by", "int amount")
+            .replace("+ by", "+ amount");
+        let d = delta(BASE, &new);
+        assert_eq!(keys(&d.changed), ["Main.tick"]);
+        assert!(d.sig_changed.is_empty());
+        assert!(!d.is_structural());
+    }
+
+    #[test]
+    fn field_edit_is_structural_without_method_changes() {
+        let new = BASE.replace("int count;", "int count;\n            int spare;");
+        let d = delta(BASE, &new);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(d.is_structural(), "field shape must renumber ids");
+    }
+
+    #[test]
+    fn method_reordering_is_structural() {
+        let old = r#"class A { void f() {} void g() {} }"#;
+        let new = r#"class A { void g() {} void f() {} }"#;
+        let d = delta(old, new);
+        assert!(d.is_empty());
+        assert!(
+            d.is_structural(),
+            "MethodId order depends on declaration order"
+        );
+    }
+
+    #[test]
+    fn changed_method_ids_resolve() {
+        let new = BASE.replace("this.count + by", "this.count - by");
+        let d = delta(BASE, &new);
+        let program = crate::compile(&[("main.mj", BASE)]).unwrap();
+        let ids = d.changed_method_ids(&program);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(program.methods[ids[0]].name, "tick");
+    }
+}

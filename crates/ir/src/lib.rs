@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod compile;
+pub mod delta;
 pub mod dom;
 pub mod error;
 pub mod ir;
@@ -51,7 +52,7 @@ pub mod token;
 
 #[allow(deprecated)]
 pub use compile::compile_telemetry;
-pub use compile::{compile, compile_ctx, compile_raw};
+pub use compile::{compile, compile_ctx, compile_fingerprinted, compile_raw};
 pub use error::CompileError;
 pub use ir::{
     Block, BlockId, Body, CallKind, Class, ClassId, Const, Field, FieldId, Instr, InstrKind,

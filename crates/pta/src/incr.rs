@@ -1,0 +1,308 @@
+//! Incremental-analysis support for the solver: cached per-method
+//! constraint-generation streams and constraint-relevant fingerprints.
+//!
+//! The solver generates constraints by walking each reachable method
+//! instance's instruction stream. Two observations make re-analysis after
+//! an edit cheap:
+//!
+//! 1. The `(Loc, InstrKind)` stream a method contributes is **span-free**
+//!    and identical for every context clone of the method, so it can be
+//!    built once per method and shared ([`GenCache`]) — both across the
+//!    clones within one solve and across solves when the method didn't
+//!    change.
+//! 2. Only a subset of instruction kinds can generate constraints, and for
+//!    several of those only part of the payload matters (a string literal's
+//!    *value* never reaches the constraint graph, only its allocation
+//!    site). [`stream_hash`] fingerprints exactly that projection: if a
+//!    method's hash is unchanged, re-solving would retract and re-add a
+//!    byte-identical constraint set, so the previous [`crate::Pta`] can be
+//!    reused wholesale.
+//!
+//! Retraction is realized as *replay from a restarted worklist*: inclusion
+//! constraints have a unique least fixpoint, so re-running propagation over
+//! cached streams (unchanged methods) plus fresh streams (edited methods)
+//! reproduces the from-scratch solution bit-for-bit while skipping all
+//! re-generation work for untouched code.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use thinslice_ir::{InstrKind, Loc, MethodId, Operand, Program};
+use thinslice_util::{FxHashMap, FxHasher};
+
+/// A shared, per-method instruction stream as consumed by the solver's
+/// constraint generator.
+pub type GenStream = Arc<Vec<(Loc, InstrKind)>>;
+
+/// Cache of per-method constraint-generation streams.
+///
+/// Valid for one [`Program`] *lineage*: after an edit, call
+/// [`GenCache::invalidate`] with the body-changed methods (identifier
+/// numbering unchanged) or [`GenCache::clear`] on a structural change.
+#[derive(Debug, Default)]
+pub struct GenCache {
+    streams: FxHashMap<MethodId, GenStream>,
+    /// Streams served from cache (per solve; monotone over the cache's life).
+    pub hits: u64,
+    /// Streams built because the cache had no valid entry.
+    pub misses: u64,
+}
+
+impl GenCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `method`'s generation stream, building and retaining it on
+    /// first use.
+    pub fn stream(&mut self, program: &Program, method: MethodId) -> GenStream {
+        if let Some(s) = self.streams.get(&method) {
+            self.hits += 1;
+            return Arc::clone(s);
+        }
+        self.misses += 1;
+        let body = program.methods[method].body.as_ref().expect("non-native");
+        let stream: GenStream = Arc::new(
+            body.instrs()
+                .map(|(loc, i)| (loc, i.kind.clone()))
+                .collect(),
+        );
+        self.streams.insert(method, Arc::clone(&stream));
+        stream
+    }
+
+    /// Drops the cached streams of `dirty` methods (body edits with stable
+    /// identifier numbering).
+    pub fn invalidate(&mut self, dirty: &[MethodId]) {
+        for m in dirty {
+            self.streams.remove(m);
+        }
+    }
+
+    /// Drops every cached stream (structural edits renumber `MethodId`s).
+    pub fn clear(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Number of retained per-method streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether the cache holds no streams.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+/// Whether an instruction is a *generation site*: it can contribute
+/// constraints, edges, or call-graph work in the solver.
+///
+/// Mirrors the solver's generation match including its operand guards, but
+/// not its type guards (`is_reference`, field types): those depend only on
+/// declarations, which are fingerprinted separately, so ignoring them here
+/// merely over-approximates — never under-approximates — relevance.
+pub fn is_gen_site(kind: &InstrKind) -> bool {
+    matches!(
+        kind,
+        InstrKind::New { .. }
+            | InstrKind::NewArray { .. }
+            | InstrKind::StrConst { .. }
+            | InstrKind::StrConcat { .. }
+            | InstrKind::Phi { .. }
+            | InstrKind::Load { .. }
+            | InstrKind::StaticLoad { .. }
+            | InstrKind::ArrayLoad { .. }
+            | InstrKind::Call { .. }
+            | InstrKind::Move {
+                src: Operand::Var(_),
+                ..
+            }
+            | InstrKind::Cast {
+                src: Operand::Var(_),
+                ..
+            }
+            | InstrKind::Store {
+                value: Operand::Var(_),
+                ..
+            }
+            | InstrKind::StaticStore {
+                value: Operand::Var(_),
+                ..
+            }
+            | InstrKind::ArrayStore {
+                value: Operand::Var(_),
+                ..
+            }
+            | InstrKind::Return {
+                value: Some(Operand::Var(_)),
+            }
+    )
+}
+
+/// Number of generation sites in `method`'s body (0 for natives).
+///
+/// This is the static measure behind the session's "constraints retracted /
+/// re-added" counters: an edit retracts the old body's sites and re-adds
+/// the new body's, while every other method's sites are replayed from
+/// cache untouched.
+pub fn gen_site_count(program: &Program, method: MethodId) -> u64 {
+    match &program.methods[method].body {
+        None => 0,
+        Some(body) => body.instrs().filter(|(_, i)| is_gen_site(&i.kind)).count() as u64,
+    }
+}
+
+/// Fingerprint of everything the constraint generator can observe in
+/// `method`'s body.
+///
+/// Two program versions (with identical declarations, i.e. a non-structural
+/// delta) in which every method has an equal `stream_hash` generate
+/// byte-identical constraint systems, so the solver's result — and
+/// everything derived from it — can be reused without re-solving. Payload
+/// the generator provably ignores (string literal values, array lengths,
+/// constant operands, arithmetic) is masked out, which is what lets
+/// constant-only edits keep the whole points-to result warm.
+pub fn stream_hash(program: &Program, method: MethodId) -> u64 {
+    let mut h = FxHasher::default();
+    let m = &program.methods[method];
+    m.is_native.hash(&mut h);
+    let Some(body) = &m.body else {
+        return h.finish();
+    };
+    // The generator consults parameter vars (receiver seeding) and each
+    // var's reference-ness (`is_ref_var` guards).
+    body.params.hash(&mut h);
+    for (_, info) in body.vars.iter_enumerated() {
+        info.ty.is_reference().hash(&mut h);
+    }
+    for (loc, instr) in body.instrs() {
+        hash_site(loc, &instr.kind, &mut h);
+    }
+    h.finish()
+}
+
+/// Hashes the constraint-relevant projection of one instruction (no-op for
+/// non-generation sites). Tags keep distinct variants from colliding.
+fn hash_site(loc: Loc, kind: &InstrKind, h: &mut FxHasher) {
+    let var = |o: &Operand, h: &mut FxHasher| {
+        if let Operand::Var(v) = o {
+            1u8.hash(h);
+            v.hash(h);
+        } else {
+            0u8.hash(h);
+        }
+    };
+    match kind {
+        InstrKind::New { dst, class } => {
+            (loc, 0u8, dst, class).hash(h);
+        }
+        InstrKind::NewArray { dst, elem, .. } => {
+            (loc, 1u8, dst).hash(h);
+            elem.hash(h);
+        }
+        InstrKind::StrConst { dst, .. } => (loc, 2u8, dst).hash(h),
+        InstrKind::StrConcat { dst, .. } => (loc, 3u8, dst).hash(h),
+        InstrKind::Move {
+            dst,
+            src: Operand::Var(s),
+        } => (loc, 4u8, dst, s).hash(h),
+        InstrKind::Phi { dst, args } => {
+            (loc, 5u8, dst).hash(h);
+            for (_, a) in args {
+                var(a, h);
+            }
+        }
+        InstrKind::Cast {
+            dst,
+            ty,
+            src: Operand::Var(s),
+        } => {
+            (loc, 6u8, dst, s).hash(h);
+            ty.hash(h);
+        }
+        InstrKind::Load { dst, base, field } => (loc, 7u8, dst, base, field).hash(h),
+        InstrKind::Store {
+            base,
+            field,
+            value: Operand::Var(v),
+        } => (loc, 8u8, base, field, v).hash(h),
+        InstrKind::StaticLoad { dst, field } => (loc, 9u8, dst, field).hash(h),
+        InstrKind::StaticStore {
+            field,
+            value: Operand::Var(v),
+        } => (loc, 10u8, field, v).hash(h),
+        InstrKind::ArrayLoad { dst, base, .. } => (loc, 11u8, dst, base).hash(h),
+        InstrKind::ArrayStore {
+            base,
+            value: Operand::Var(v),
+            ..
+        } => (loc, 12u8, base, v).hash(h),
+        InstrKind::Return {
+            value: Some(Operand::Var(v)),
+        } => (loc, 13u8, v).hash(h),
+        InstrKind::Call {
+            dst,
+            kind,
+            callee,
+            args,
+        } => {
+            (loc, 14u8, dst, kind, callee, args.len()).hash(h);
+            for a in args {
+                var(a, h);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thinslice_ir::compile;
+
+    fn program(src: &str) -> Program {
+        compile(&[("t.mj", src)]).unwrap()
+    }
+
+    const SRC: &str = "class Main { static void main() {
+        Vector v = new Vector();
+        v.add(\"payload\");
+        int x = 41;
+        print(x + 1);
+        print((String) v.get(0));
+    } }";
+
+    #[test]
+    fn constant_and_string_value_edits_keep_hash() {
+        let a = program(SRC);
+        let b = program(&SRC.replace("41", "99").replace("payload", "cargo"));
+        let m = a.main_method;
+        assert_eq!(stream_hash(&a, m), stream_hash(&b, m));
+        assert_eq!(gen_site_count(&a, m), gen_site_count(&b, m));
+    }
+
+    #[test]
+    fn pointer_relevant_edit_changes_hash() {
+        let a = program(SRC);
+        let b = program(&SRC.replace("v.add(\"payload\");", "v.add(\"payload\"); v.add(\"x\");"));
+        let m = a.main_method;
+        assert_ne!(stream_hash(&a, m), stream_hash(&b, m));
+        assert!(gen_site_count(&b, m) > gen_site_count(&a, m));
+    }
+
+    #[test]
+    fn cache_reuses_streams_across_instances() {
+        let p = program(SRC);
+        let mut cache = GenCache::new();
+        let s1 = cache.stream(&p, p.main_method);
+        let s2 = cache.stream(&p, p.main_method);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        cache.invalidate(&[p.main_method]);
+        let s3 = cache.stream(&p, p.main_method);
+        assert_eq!(*s1, *s3, "rebuilt stream must be identical");
+        assert!(!Arc::ptr_eq(&s1, &s3));
+    }
+}

@@ -38,12 +38,14 @@
 pub mod callgraph;
 pub mod cha;
 pub mod heap;
+pub mod incr;
 pub mod modref;
 pub mod solver;
 pub mod stats;
 
 pub use callgraph::{CallGraph, CgNode, Ctx};
 pub use heap::{AbstractObject, AllocSite, ObjId, ObjKind};
+pub use incr::GenCache;
 pub use modref::{ModRef, PartId, Partition};
 pub use stats::ProgramStats;
 
@@ -144,14 +146,36 @@ impl Pta {
     /// how much worklist was abandoned. With a disabled context this is
     /// exactly [`Pta::analyze`] (always [`Completeness::Complete`]).
     pub fn analyze_ctx(program: &Program, config: PtaConfig, ctx: &RunCtx) -> (Pta, Completeness) {
+        let mut cache = GenCache::new();
+        Self::analyze_cached(program, config, ctx, &mut cache)
+    }
+
+    /// Like [`Pta::analyze_ctx`], but replaying per-method constraint
+    /// generation streams from (and retaining new ones into) `cache`.
+    ///
+    /// This is the incremental-update entry point: after an edit, the
+    /// session invalidates only the changed methods' streams and re-solves,
+    /// which restarts propagation but skips all generation work for
+    /// untouched code. The result is bit-identical to a cold
+    /// [`Pta::analyze_ctx`] because cached streams are byte-equal to
+    /// freshly built ones and inclusion constraints have a unique least
+    /// fixpoint.
+    pub fn analyze_cached(
+        program: &Program,
+        config: PtaConfig,
+        ctx: &RunCtx,
+        cache: &mut GenCache,
+    ) -> (Pta, Completeness) {
         let tel = ctx.telemetry();
         let (pta, completeness) = {
             let mut span = tel.span("pta.solve");
-            let (result, completeness) = if ctx.is_governed() {
-                let mut meter = ctx.meter();
-                solver::solve_governed(program, &config, &mut meter)
-            } else {
-                (solver::solve(program, &config), Completeness::Complete)
+            let (result, completeness) = {
+                let mut meter = if ctx.is_governed() {
+                    ctx.meter()
+                } else {
+                    thinslice_util::Meter::unlimited()
+                };
+                solver::solve_governed_cached(program, &config, &mut meter, cache)
             };
             let pta = Self::from_solver(config, result);
             span.add("pta.delta_rounds", pta.solve_stats.delta_rounds);

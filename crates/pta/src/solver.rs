@@ -10,6 +10,7 @@
 
 use crate::callgraph::{CallGraph, CgNode, Ctx};
 use crate::heap::{AbstractObject, AllocSite, ObjId, ObjKind};
+use crate::incr::GenCache;
 use crate::PtaConfig;
 use thinslice_ir::{
     CallKind, ClassId, FieldId, InstrKind, Loc, MethodId, Operand, Program, StmtRef, Type, Var,
@@ -93,7 +94,8 @@ pub struct SolverResult {
 
 /// Runs the points-to analysis from `program`'s `main`.
 pub fn solve(program: &Program, config: &PtaConfig) -> SolverResult {
-    Solver::new(program, config).run()
+    let mut cache = GenCache::new();
+    Solver::new(program, config, &mut cache).run()
 }
 
 /// Like [`solve`], but metered: stops pulling worklist items once `meter`
@@ -103,7 +105,22 @@ pub fn solve_governed(
     config: &PtaConfig,
     meter: &mut Meter,
 ) -> (SolverResult, Completeness) {
-    Solver::new(program, config).run_governed(meter)
+    let mut cache = GenCache::new();
+    Solver::new(program, config, &mut cache).run_governed(meter)
+}
+
+/// Like [`solve_governed`], but replaying per-method generation streams
+/// from (and retaining new ones into) `cache` — the incremental-update
+/// entry point. With an empty cache this is exactly [`solve_governed`];
+/// with a warm cache the result is still bit-identical, because cached
+/// streams are byte-equal to freshly built ones for unchanged methods.
+pub fn solve_governed_cached(
+    program: &Program,
+    config: &PtaConfig,
+    meter: &mut Meter,
+    cache: &mut GenCache,
+) -> (SolverResult, Completeness) {
+    Solver::new(program, config, cache).run_governed(meter)
 }
 
 struct Solver<'p> {
@@ -126,10 +143,13 @@ struct Solver<'p> {
     worklist: Worklist<PtrNode>,
     edge_count: usize,
     stats: SolveStats,
+    /// Per-method generation streams, shared across context clones and —
+    /// when the caller keeps the cache — across incremental re-solves.
+    cache: &'p mut GenCache,
 }
 
 impl<'p> Solver<'p> {
-    fn new(program: &'p Program, config: &'p PtaConfig) -> Self {
+    fn new(program: &'p Program, config: &'p PtaConfig, cache: &'p mut GenCache) -> Self {
         let container_classes = config
             .container_classes
             .iter()
@@ -152,6 +172,7 @@ impl<'p> Solver<'p> {
             worklist: Worklist::new(),
             edge_count: 0,
             stats: SolveStats::default(),
+            cache,
         }
     }
 
@@ -528,12 +549,9 @@ impl<'p> Solver<'p> {
             }
         }
 
-        let stmts: Vec<(Loc, InstrKind)> = body
-            .instrs()
-            .map(|(loc, i)| (loc, i.kind.clone()))
-            .collect();
-        for (loc, kind) in stmts {
-            self.gen_constraints(inst, m, loc, &kind);
+        let stmts = self.cache.stream(self.program, m);
+        for &(loc, ref kind) in stmts.iter() {
+            self.gen_constraints(inst, m, loc, kind);
         }
     }
 

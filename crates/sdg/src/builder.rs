@@ -13,7 +13,7 @@
 //! through to the dependence graph — a `Vector.get` clone only links to the
 //! stores of *its* receiver's backing array.
 
-use crate::control::ControlDeps;
+use crate::cache::SdgCache;
 use crate::node::{Edge, EdgeKind, NodeId, NodeKind};
 use crate::Sdg;
 use std::collections::BTreeMap;
@@ -67,11 +67,48 @@ pub fn build_ci_governed(program: &Program, pta: &Pta, meter: &mut Meter) -> (Sd
     Builder::new(program, pta, crate::HeapMode::DirectEdges).run_governed(meter)
 }
 
+/// Like [`build_ci_ctx`], but serving per-method def-site/control-dependence
+/// artifacts from (and retaining new ones into) `cache` — the incremental
+/// rebuild entry point. With an empty cache this is exactly
+/// [`build_ci_ctx`]; with a warm cache the graph is still bit-identical,
+/// because cached artifacts equal freshly computed ones for unchanged
+/// methods and interning order is unaffected.
+pub fn build_ci_cached(
+    program: &Program,
+    pta: &Pta,
+    ctx: &RunCtx,
+    cache: &mut SdgCache,
+) -> (Sdg, Completeness) {
+    let tel = ctx.telemetry();
+    let (sdg, completeness) = {
+        let mut span = tel.span("sdg.build");
+        let mut meter = if ctx.is_governed() {
+            ctx.meter()
+        } else {
+            Meter::unlimited()
+        };
+        let (sdg, completeness) =
+            Builder::with_cache(program, pta, crate::HeapMode::DirectEdges, Some(cache))
+                .run_governed(&mut meter);
+        span.add("sdg.nodes", sdg.node_count() as u64);
+        span.add("sdg.edges", sdg.edge_count() as u64);
+        (sdg, completeness)
+    };
+    tel.gauge("sdg.nodes", sdg.node_count() as u64);
+    tel.gauge("sdg.edges", sdg.edge_count() as u64);
+    (sdg, completeness)
+}
+
 /// Builds the statement/parameter/control skeleton *without* heap edges;
 /// used by [`crate::heap_params::build_cs`], which adds heap-parameter
 /// nodes instead of direct edges.
 pub(crate) fn build_skeleton(program: &Program, pta: &Pta) -> Sdg {
     Builder::new(program, pta, crate::HeapMode::Parameters).run()
+}
+
+/// [`build_skeleton`] with an external per-method artifact cache.
+pub(crate) fn build_skeleton_cached(program: &Program, pta: &Pta, cache: &mut SdgCache) -> Sdg {
+    Builder::with_cache(program, pta, crate::HeapMode::Parameters, Some(cache)).run()
 }
 
 /// A recorded heap access: the accessing instance, statement and base var.
@@ -91,13 +128,24 @@ struct Builder<'p> {
     static_loads: BTreeMap<thinslice_ir::FieldId, Vec<(CgNode, StmtRef)>>,
     static_stores: BTreeMap<thinslice_ir::FieldId, Vec<(CgNode, StmtRef)>>,
     /// Per method: SSA def sites (shared by all clones).
-    def_sites: FxHashMap<MethodId, FxHashMap<Var, Loc>>,
+    def_sites: FxHashMap<MethodId, crate::cache::DefSites>,
     /// Per method: control dependences (shared by all clones).
-    control: FxHashMap<MethodId, ControlDeps>,
+    control: FxHashMap<MethodId, std::sync::Arc<crate::control::ControlDeps>>,
+    /// External per-method artifact cache (incremental rebuilds).
+    cache: Option<&'p mut SdgCache>,
 }
 
 impl<'p> Builder<'p> {
     fn new(program: &'p Program, pta: &'p Pta, mode: crate::HeapMode) -> Self {
+        Self::with_cache(program, pta, mode, None)
+    }
+
+    fn with_cache(
+        program: &'p Program,
+        pta: &'p Pta,
+        mode: crate::HeapMode,
+        cache: Option<&'p mut SdgCache>,
+    ) -> Self {
         Self {
             program,
             pta,
@@ -111,6 +159,7 @@ impl<'p> Builder<'p> {
             static_stores: BTreeMap::new(),
             def_sites: FxHashMap::default(),
             control: FxHashMap::default(),
+            cache,
         }
     }
 
@@ -127,18 +176,21 @@ impl<'p> Builder<'p> {
             .map(|(n, m, _)| (n, m))
             .collect();
 
-        // Per-method caches.
+        // Per-method caches, served from the external cache when one is
+        // attached (incremental rebuilds reuse unchanged methods' entries).
         for &(_, m) in &instances {
             if self.def_sites.contains_key(&m) {
                 continue;
             }
-            let body = self.program.methods[m].body.as_ref().expect("body");
-            let defs: FxHashMap<Var, Loc> = body
-                .instrs()
-                .filter_map(|(loc, i)| i.kind.def().map(|d| (d, loc)))
-                .collect();
+            let (defs, control) = match self.cache.as_deref_mut() {
+                Some(cache) => cache.entry(self.program, m),
+                None => {
+                    let mut scratch = SdgCache::new();
+                    scratch.entry(self.program, m)
+                }
+            };
             self.def_sites.insert(m, defs);
-            self.control.insert(m, ControlDeps::compute(body));
+            self.control.insert(m, control);
         }
 
         // A truncated pass leaves `abandoned` as a lower bound on the work

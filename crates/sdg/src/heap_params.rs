@@ -39,6 +39,24 @@ pub fn build_cs_ctx(program: &Program, pta: &Pta, modref: &ModRef, ctx: &RunCtx)
     sdg
 }
 
+/// Like [`build_cs_ctx`], but serving per-method skeleton artifacts from
+/// (and retaining new ones into) `cache` — the incremental rebuild entry
+/// point, bit-identical to a cold build for the same inputs.
+pub fn build_cs_cached(
+    program: &Program,
+    pta: &Pta,
+    modref: &ModRef,
+    ctx: &RunCtx,
+    cache: &mut crate::cache::SdgCache,
+) -> Sdg {
+    let mut span = ctx.telemetry().span("sdg.build_cs");
+    let mut sdg = crate::builder::build_skeleton_cached(program, pta, cache);
+    add_heap_parameter_edges(&mut sdg, program, pta, modref);
+    span.add("sdg.nodes", sdg.node_count() as u64);
+    span.add("sdg.edges", sdg.edge_count() as u64);
+    sdg
+}
+
 fn add_heap_parameter_edges(sdg: &mut Sdg, program: &Program, pta: &Pta, modref: &ModRef) {
     let instances: Vec<(thinslice_pta::CgNode, thinslice_ir::MethodId)> = pta
         .callgraph

@@ -35,17 +35,21 @@
 //! ```
 
 pub mod builder;
+pub mod cache;
 pub mod control;
 pub mod csr;
+pub mod fingerprint;
 pub mod heap_params;
 pub mod node;
 pub mod stats;
 
 #[allow(deprecated)]
 pub use builder::build_ci_governed;
-pub use builder::{build_ci, build_ci_ctx};
+pub use builder::{build_ci, build_ci_cached, build_ci_ctx};
+pub use cache::SdgCache;
 pub use csr::{DenseDisplay, DepGraph, DownConsumers, FilteredCsr, FrozenSdg, NO_DISPLAY};
-pub use heap_params::{build_cs, build_cs_ctx};
+pub use fingerprint::body_fingerprint;
+pub use heap_params::{build_cs, build_cs_cached, build_cs_ctx};
 pub use node::{Edge, EdgeKind, NodeId, NodeKind};
 pub use stats::SdgStats;
 
@@ -185,6 +189,24 @@ impl Sdg {
     /// Total edge count.
     pub fn edge_count(&self) -> usize {
         self.edge_count
+    }
+
+    /// Number of method instances (call-graph clones) with nodes in the
+    /// graph — the CSR segment count for incremental accounting.
+    pub fn instance_count(&self) -> usize {
+        self.method_of_inst.len()
+    }
+
+    /// Structural equality: same heap mode, same node interning order, and
+    /// identical per-node dependence lists.
+    ///
+    /// Because the frozen CSR, its traversal permutation, and every slice
+    /// answer are pure functions of this structure (plus seeds), two graphs
+    /// for which this holds yield byte-identical slicer output — the test
+    /// the incremental session uses to keep a previous freeze and its memo
+    /// tables after an edit.
+    pub fn same_graph(&self, other: &Sdg) -> bool {
+        self.mode == other.mode && self.nodes == other.nodes && self.deps == other.deps
     }
 
     /// The method a node belongs to (call-site nodes belong to the caller).

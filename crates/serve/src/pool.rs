@@ -38,7 +38,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::protocol::{SessionRow, SourceFile};
-use thinslice::AnalysisSession;
+use thinslice::{AnalysisSession, UpdateStats};
 use thinslice_ir::CompileError;
 use thinslice_pta::PtaConfig;
 use thinslice_util::telemetry::{FlightKind, FlightRecorder, Telemetry};
@@ -92,12 +92,22 @@ pub struct PoolStats {
     pub quarantines: u64,
     /// Quarantined sessions rebuilt on their next request.
     pub rebuilds: u64,
+    /// Reload ops applied (source swaps under a preserved pool key).
+    pub reloads: u64,
+    /// Reloads served by updating a resident session in place; the
+    /// remainder had to rebuild from the new sources. The ratio is the
+    /// fleet's incremental-reuse rate.
+    pub reloads_incremental: u64,
 }
 
 #[derive(Debug)]
 struct PoolEntry {
+    /// The immutable pool key: the hash of the sources first loaded.
     hash: String,
+    /// Current sources; diverge from the originals after a reload.
     sources: Vec<SourceFile>,
+    /// Hash of `sources`; equals `hash` until the first reload.
+    content: String,
     session: Option<Box<AnalysisSession>>,
     resident: usize,
     last_used: u64,
@@ -119,6 +129,10 @@ pub enum PoolError {
 #[derive(Debug)]
 pub struct Checkout {
     hash: String,
+    /// The entry's content hash at checkout time. A checkin whose content
+    /// no longer matches (a reload raced the query) drops the now-stale
+    /// session instead of resurrecting it.
+    content: String,
     session: Box<AnalysisSession>,
     /// Whether this checkout had to rebuild the session (eviction or
     /// quarantine), i.e. the caller is paying a cold start.
@@ -161,6 +175,22 @@ pub struct RegisterOutcome {
     /// Whether a live session already existed.
     pub cached: bool,
     /// The session's resident estimate after registration.
+    pub resident: usize,
+}
+
+/// What [`SessionPool::reload`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The preserved pool key.
+    pub hash: String,
+    /// The hash of the entry's current (new) sources.
+    pub content: String,
+    /// Whether the session had to be rebuilt from scratch because it was
+    /// not resident (eviction/quarantine); `stats` is zeroed then.
+    pub rebuilt: bool,
+    /// The session's update accounting.
+    pub stats: UpdateStats,
+    /// Resident estimate after the reload.
     pub resident: usize,
 }
 
@@ -259,6 +289,7 @@ impl SessionPool {
         let now = self.tick();
         self.entries.push(PoolEntry {
             hash: hash.clone(),
+            content: hash.clone(),
             sources,
             session: Some(session),
             resident,
@@ -294,6 +325,7 @@ impl SessionPool {
             self.entries[i].last_used = now;
             return Ok(Checkout {
                 hash: hash.to_string(),
+                content: self.entries[i].content.clone(),
                 session,
                 rebuilt: false,
             });
@@ -319,9 +351,97 @@ impl SessionPool {
         e.last_used = now;
         Ok(Checkout {
             hash: hash.to_string(),
+            content: e.content.clone(),
             session,
             rebuilt: true,
         })
+    }
+
+    /// Swaps a registered program's sources under its existing pool key,
+    /// incrementally updating the resident session (or rebuilding from
+    /// the new sources when the session is evicted or quarantined).
+    ///
+    /// The pool key — and therefore every client-held program handle —
+    /// survives the reload; only the reported content hash changes.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownProgram`] for unregistered keys;
+    /// [`PoolError::Compile`] for invalid new sources (the entry, its
+    /// previous sources, and any resident session are left untouched).
+    pub fn reload(
+        &mut self,
+        hash: &str,
+        new_sources: Vec<SourceFile>,
+    ) -> Result<ReloadOutcome, PoolError> {
+        let i = self.find(hash).ok_or(PoolError::UnknownProgram)?;
+        let content = program_hash(&new_sources);
+        let now = self.tick();
+        if let Some(mut session) = self.entries[i].session.take() {
+            let refs: Vec<(&str, &str)> = new_sources
+                .iter()
+                .map(|s| (s.name.as_str(), s.text.as_str()))
+                .collect();
+            match session.update(&refs) {
+                Ok(stats) => {
+                    let resident = session.resident_estimate();
+                    let e = &mut self.entries[i];
+                    e.session = Some(session);
+                    e.sources = new_sources;
+                    e.content = content.clone();
+                    e.resident = resident;
+                    e.last_used = now;
+                    self.stats.reloads += 1;
+                    self.stats.reloads_incremental += 1;
+                    self.flight(
+                        FlightKind::SessionUpdated,
+                        hash,
+                        stats.methods_changed as u64,
+                        u64::from(stats.any_reuse()),
+                    );
+                    self.enforce_limits();
+                    Ok(ReloadOutcome {
+                        hash: hash.to_string(),
+                        content,
+                        rebuilt: false,
+                        stats,
+                        resident,
+                    })
+                }
+                Err(err) => {
+                    // update() leaves the session untouched on a compile
+                    // error; restore it and report.
+                    let e = &mut self.entries[i];
+                    e.session = Some(session);
+                    e.last_used = now;
+                    Err(PoolError::Compile(err))
+                }
+            }
+        } else {
+            // Evicted or quarantined: build directly from the new sources.
+            let session = self
+                .build_session(&new_sources)
+                .map_err(PoolError::Compile)?;
+            self.stats.builds += 1;
+            let resident = session.resident_estimate();
+            let e = &mut self.entries[i];
+            e.session = Some(session);
+            e.sources = new_sources;
+            e.content = content.clone();
+            e.resident = resident;
+            e.quarantined = false;
+            e.last_used = now;
+            self.stats.reloads += 1;
+            self.flight(FlightKind::SessionUpdated, hash, 0, 0);
+            self.enforce_limits();
+            Ok(ReloadOutcome {
+                hash: hash.to_string(),
+                content,
+                rebuilt: true,
+                stats: UpdateStats::default(),
+                resident,
+            })
+        }
     }
 
     /// Returns a checked-out session, refreshing its resident estimate
@@ -333,6 +453,12 @@ impl SessionPool {
             // removed); drop the session rather than resurrect it.
             return;
         };
+        if self.entries[i].content != co.content {
+            // A reload swapped the sources while this session was out:
+            // the session answers the old program, so drop it instead of
+            // clobbering the reloaded one.
+            return;
+        }
         let now = self.tick();
         let e = &mut self.entries[i];
         e.resident = co.session.resident_estimate();
@@ -349,9 +475,13 @@ impl SessionPool {
         self.flight(FlightKind::SessionQuarantined, &co.hash, 0, 0);
         if let Some(i) = self.find(&co.hash) {
             let e = &mut self.entries[i];
-            e.quarantined = true;
-            e.resident = 0;
-            e.session = None;
+            if e.content == co.content {
+                e.quarantined = true;
+                e.resident = 0;
+                e.session = None;
+            }
+            // Else a reload already replaced this session; the poisoned
+            // one just gets dropped.
         }
         drop(co);
     }
@@ -398,6 +528,7 @@ impl SessionPool {
                     .unwrap_or_default();
                 SessionRow {
                     program: e.hash.clone(),
+                    content: e.content.clone(),
                     live: e.session.is_some(),
                     quarantined: e.quarantined,
                     resident: e.resident,
@@ -559,6 +690,110 @@ mod tests {
             pool.checkout("ffffffffffffffff"),
             Err(PoolError::UnknownProgram)
         ));
+    }
+
+    fn main_with(n: u32) -> Vec<SourceFile> {
+        src(
+            "m.mj",
+            &format!(
+                "class Main {{ static void main() {{\nint x = {n};\nint y = x + 1;\nprint(y);\n}} }}"
+            ),
+        )
+    }
+
+    fn slice_line_2(pool: &mut SessionPool, hash: &str) -> Vec<String> {
+        let mut co = pool.checkout(hash).unwrap();
+        let s = co.session();
+        let seeds = s.seed_at_line("m.mj", 4).unwrap();
+        let r = s.query(&thinslice::Query::new(
+            seeds,
+            thinslice::SliceKind::Thin,
+            thinslice::Engine::Ci,
+        ));
+        let out = r
+            .stmts
+            .in_order()
+            .iter()
+            .map(|st| format!("{st:?}"))
+            .collect();
+        pool.checkin(co);
+        out
+    }
+
+    #[test]
+    fn reload_updates_in_place_under_the_same_key() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let h = pool.register(main_with(1)).unwrap().hash;
+        // Warm the lazy stages so the reload has something to reuse.
+        slice_line_2(&mut pool, &h);
+        let out = pool.reload(&h, main_with(2)).unwrap();
+        assert_eq!(out.hash, h, "pool key lineage preserved");
+        assert_ne!(out.content, h, "content hash tracks the new sources");
+        assert_eq!(out.content, program_hash(&main_with(2)));
+        assert!(!out.rebuilt);
+        assert!(!out.stats.structural, "int tweak is a body-only edit");
+        assert!(out.stats.pta_reused, "constant edits keep the solver");
+        assert_eq!((pool.stats.reloads, pool.stats.reloads_incremental), (1, 1));
+        // The row exposes both hashes.
+        let rows = pool.session_rows();
+        assert_eq!(rows[0].program, h);
+        assert_eq!(rows[0].content, out.content);
+        // Bit-identity: the reloaded session answers like a fresh pool.
+        let mut fresh = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let fh = fresh.register(main_with(2)).unwrap().hash;
+        assert_eq!(slice_line_2(&mut pool, &h), slice_line_2(&mut fresh, &fh));
+    }
+
+    #[test]
+    fn reload_of_nonresident_session_rebuilds_from_new_sources() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let h = pool.register(main_with(1)).unwrap().hash;
+        let co = pool.checkout(&h).unwrap();
+        pool.quarantine(co);
+        let out = pool.reload(&h, main_with(2)).unwrap();
+        assert!(out.rebuilt);
+        assert_eq!(out.stats, thinslice::UpdateStats::default());
+        assert_eq!(pool.quarantined(), 0, "reload clears quarantine");
+        assert_eq!((pool.stats.reloads, pool.stats.reloads_incremental), (1, 0));
+        let mut fresh = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let fh = fresh.register(main_with(2)).unwrap().hash;
+        assert_eq!(slice_line_2(&mut pool, &h), slice_line_2(&mut fresh, &fh));
+    }
+
+    #[test]
+    fn reload_errors_leave_the_entry_untouched() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        assert!(matches!(
+            pool.reload("ffffffffffffffff", main_with(1)),
+            Err(PoolError::UnknownProgram)
+        ));
+        let h = pool.register(main_with(1)).unwrap().hash;
+        assert!(matches!(
+            pool.reload(&h, src("m.mj", "class Broken {")),
+            Err(PoolError::Compile(_))
+        ));
+        assert_eq!(pool.stats.reloads, 0);
+        let rows = pool.session_rows();
+        assert_eq!(rows[0].content, h, "content hash unchanged on failure");
+        // Still serves the original program.
+        let mut fresh = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let fh = fresh.register(main_with(1)).unwrap().hash;
+        assert_eq!(slice_line_2(&mut pool, &h), slice_line_2(&mut fresh, &fh));
+    }
+
+    #[test]
+    fn checkin_after_a_racing_reload_drops_the_stale_session() {
+        let mut pool = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let h = pool.register(main_with(1)).unwrap().hash;
+        let co = pool.checkout(&h).unwrap();
+        // Reload lands while the session is out: rebuild path.
+        let out = pool.reload(&h, main_with(2)).unwrap();
+        assert!(out.rebuilt);
+        // The stale (v1) session must not clobber the reloaded (v2) one.
+        pool.checkin(co);
+        let mut fresh = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
+        let fh = fresh.register(main_with(2)).unwrap().hash;
+        assert_eq!(slice_line_2(&mut pool, &h), slice_line_2(&mut fresh, &fh));
     }
 
     #[test]

@@ -38,7 +38,7 @@
 
 use std::fmt::Write as _;
 
-use thinslice::{Engine, SliceKind};
+use thinslice::{Engine, SliceKind, UpdateStats};
 use thinslice_util::govern::Completeness;
 use thinslice_util::telemetry::{FlightEvent, HistogramSummary, Json, RUN_REPORT_SCHEMA};
 
@@ -114,6 +114,16 @@ pub enum Op {
     },
     /// Answer a slice query.
     Slice(SliceRequest),
+    /// Swap a registered program's sources in place, incrementally
+    /// re-analysing the resident session. The pool key (`program`) is
+    /// preserved — the entry's lineage continues — while the reported
+    /// `content` hash tracks the current sources.
+    Reload {
+        /// The pool key from the original `load`.
+        program: String,
+        /// The edited source files (at least one).
+        sources: Vec<SourceFile>,
+    },
     /// Report pool/served counters (and a run report when tracing).
     Status,
     /// Report the live observability plane: per-tenant tables, histogram
@@ -412,6 +422,10 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             sources: parse_sources(&v, id)?,
         },
         "slice" => Op::Slice(parse_slice(&v, id)?),
+        "reload" => Op::Reload {
+            program: str_field(&v, id, "program")?,
+            sources: parse_sources(&v, id)?,
+        },
         "status" => Op::Status,
         "stats" => Op::Stats,
         "shutdown" => Op::Shutdown,
@@ -419,7 +433,9 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             return Err(RequestError::new(
                 id,
                 "protocol",
-                format!("unknown op \"{other}\" (expected load|slice|status|stats|shutdown)"),
+                format!(
+                    "unknown op \"{other}\" (expected load|slice|reload|status|stats|shutdown)"
+                ),
             ))
         }
     };
@@ -502,6 +518,74 @@ pub fn load_line(id: Option<u64>, program: &str, cached: bool, resident: usize) 
         head(id, true, Some("load")),
         esc(program)
     )
+}
+
+/// Which invalidation path a `reload` took; reported in the response.
+pub fn reload_path(rebuilt: bool, stats: &UpdateStats) -> &'static str {
+    if rebuilt {
+        "rebuild"
+    } else if stats.noop {
+        "noop"
+    } else if stats.structural || stats.undiffed {
+        "structural"
+    } else {
+        "incremental"
+    }
+}
+
+/// Serializes a successful `reload` response: the preserved pool key, the
+/// new content hash, the invalidation path, and the work/reuse counters
+/// from the session update (all zero for a non-resident rebuild).
+/// Deterministic: fixed key order, no timing fields.
+pub fn reload_line(
+    id: Option<u64>,
+    program: &str,
+    content: &str,
+    rebuilt: bool,
+    stats: &UpdateStats,
+    resident: usize,
+) -> String {
+    format!(
+        "{},\"program\":{},\"content\":{},\"path\":{},\"methods_total\":{},\
+         \"methods_changed\":{},\"pta_reused\":{},\"ci_graph_reused\":{},\
+         \"cs_graph_reused\":{},\"constraints_total\":{},\"constraints_retracted\":{},\
+         \"constraints_readded\":{},\"csr_segments_total\":{},\"csr_segments_refrozen\":{},\
+         \"memo_invalidated\":{},\"memo_kept\":{},\"resident\":{resident}}}",
+        head(id, true, Some("reload")),
+        esc(program),
+        esc(content),
+        esc(reload_path(rebuilt, stats)),
+        stats.methods_total,
+        stats.methods_changed,
+        stats.pta_reused,
+        stats.ci_graph_reused,
+        stats.cs_graph_reused,
+        stats.constraints_total,
+        stats.constraints_retracted,
+        stats.constraints_readded,
+        stats.csr_segments_total,
+        stats.csr_segments_refrozen,
+        stats.memo_entries_invalidated,
+        stats.memo_entries_kept,
+    )
+}
+
+/// Serializes a `reload` *request* line as a client sends it (used by the
+/// CLI's one-shot reload client). Round-trips through [`parse_request`].
+pub fn reload_request_line(id: u64, client: &str, program: &str, sources: &[SourceFile]) -> String {
+    let mut s = format!(
+        "{{\"op\":\"reload\",\"id\":{id},\"client\":{},\"program\":{},\"sources\":[",
+        esc(client),
+        esc(program)
+    );
+    for (i, f) in sources.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"name\":{},\"text\":{}}}", esc(&f.name), esc(&f.text));
+    }
+    s.push_str("]}");
+    s
 }
 
 /// The admission-control level a request was executed under.
@@ -674,8 +758,11 @@ pub struct TenantRow {
 /// session's cumulative memo counters and per-session latency quantiles.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SessionRow {
-    /// The 16-hex-digit program hash.
+    /// The 16-hex-digit pool key (hash of the sources first loaded).
     pub program: String,
+    /// The 16-hex-digit hash of the *current* sources. Equal to
+    /// `program` until a `reload` swaps the sources under the same key.
+    pub content: String,
     /// Whether a session is currently resident.
     pub live: bool,
     /// Whether the program is quarantined (rebuild pending).
@@ -739,6 +826,10 @@ pub struct StatsSnapshot {
     pub pool_builds: u64,
     /// Sessions poisoned by a panicking query.
     pub pool_quarantines: u64,
+    /// Reload ops applied so far.
+    pub pool_reloads: u64,
+    /// Reloads that updated a resident session in place (vs rebuilt).
+    pub pool_reloads_incremental: u64,
     /// Flight-recorder events ever recorded (0 when disabled).
     pub recorded: u64,
     /// Flight-recorder ring capacity (0 when disabled).
@@ -766,7 +857,8 @@ pub fn stats_doc(s: &StatsSnapshot) -> String {
     let mut d = format!(
         "{{\"schema\":{},\"uptime_ms\":{},\"pool\":{{\"programs\":{},\"live_sessions\":{},\
          \"capacity\":{},\"quarantined\":{},\"resident\":{},\"hits\":{},\"misses\":{},\
-         \"builds\":{},\"evictions\":{},\"quarantines\":{},\"rebuilds\":{}}},\
+         \"builds\":{},\"evictions\":{},\"quarantines\":{},\"rebuilds\":{},\
+         \"reloads\":{},\"reloads_incremental\":{}}},\
          \"server\":{{\"served\":{},\"errors\":{},\"panics\":{},\"recorded\":{},\
          \"recorder_capacity\":{}}}",
         esc(SERVE_STATS_SCHEMA),
@@ -782,6 +874,8 @@ pub fn stats_doc(s: &StatsSnapshot) -> String {
         s.status.evictions,
         s.pool_quarantines,
         s.status.rebuilds,
+        s.pool_reloads,
+        s.pool_reloads_incremental,
         s.status.served,
         s.status.errors,
         s.status.panics,
@@ -818,9 +912,10 @@ pub fn stats_doc(s: &StatsSnapshot) -> String {
         }
         let _ = write!(
             d,
-            "{{\"program\":{},\"live\":{},\"quarantined\":{},\"resident\":{},\"exit_hits\":{},\
-             \"exit_misses\":{},\"shared_hits\":{},\"latency_us\":{}}}",
+            "{{\"program\":{},\"content\":{},\"live\":{},\"quarantined\":{},\"resident\":{},\
+             \"exit_hits\":{},\"exit_misses\":{},\"shared_hits\":{},\"latency_us\":{}}}",
             esc(&r.program),
+            esc(&r.content),
             r.live,
             r.quarantined,
             r.resident,
@@ -944,6 +1039,40 @@ pub fn validate_response_line(line: &str) -> Result<String, String> {
             need_u64(&v, "resident")?;
             Ok(format!("ok load id={id} program={program}"))
         }
+        "reload" => {
+            for key in ["program", "content"] {
+                let hash = need_str(&v, key)?;
+                if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(format!(
+                        "\"{key}\" must be a 16-hex-digit hash, got {hash:?}"
+                    ));
+                }
+            }
+            let path = need_str(&v, "path")?;
+            if !matches!(path, "noop" | "incremental" | "structural" | "rebuild") {
+                return Err(format!("unknown reload path {path:?}"));
+            }
+            for key in [
+                "methods_total",
+                "methods_changed",
+                "constraints_total",
+                "constraints_retracted",
+                "constraints_readded",
+                "csr_segments_total",
+                "csr_segments_refrozen",
+                "memo_invalidated",
+                "memo_kept",
+                "resident",
+            ] {
+                need_u64(&v, key)?;
+            }
+            for key in ["pta_reused", "ci_graph_reused", "cs_graph_reused"] {
+                if !matches!(v.get(key), Some(Json::Bool(_))) {
+                    return Err(format!("field {key:?} must be a boolean"));
+                }
+            }
+            Ok(format!("ok reload id={id} path={path}"))
+        }
         "slice" => {
             need_str(&v, "program")?;
             let engine = need_str(&v, "engine")?;
@@ -1058,6 +1187,8 @@ pub fn validate_stats_doc(v: &Json) -> Result<String, String> {
         "evictions",
         "quarantines",
         "rebuilds",
+        "reloads",
+        "reloads_incremental",
     ] {
         need_u64(pool, key).map_err(|e| format!("pool: {e}"))?;
     }
@@ -1097,11 +1228,13 @@ pub fn validate_stats_doc(v: &Json) -> Result<String, String> {
         .and_then(Json::as_arr)
         .ok_or("missing or non-array field \"sessions\"")?;
     for s in sessions {
-        let program = need_str(s, "program").map_err(|e| format!("session: {e}"))?;
-        if program.len() != 16 || !program.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return Err(format!(
-                "session \"program\" must be a 16-hex-digit hash, got {program:?}"
-            ));
+        for key in ["program", "content"] {
+            let hash = need_str(s, key).map_err(|e| format!("session: {e}"))?;
+            if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "session \"{key}\" must be a 16-hex-digit hash, got {hash:?}"
+                ));
+            }
         }
         for key in ["resident", "exit_hits", "exit_misses", "shared_hits"] {
             need_u64(s, key).map_err(|e| format!("session: {e}"))?;
@@ -1339,6 +1472,99 @@ mod tests {
     }
 
     #[test]
+    fn parses_a_reload_request() {
+        let req = parse_request(
+            r#"{"op":"reload","id":11,"program":"0011223344556677",
+               "sources":[{"name":"t.mj","text":"class M {}"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(11));
+        let Op::Reload { program, sources } = req.op else {
+            panic!("expected reload")
+        };
+        assert_eq!(program, "0011223344556677");
+        assert_eq!(sources.len(), 1);
+        // Both fields are required.
+        for line in [
+            r#"{"op":"reload","id":1,"program":"0011223344556677"}"#,
+            r#"{"op":"reload","id":1,"sources":[{"name":"t.mj","text":"class M {}"}]}"#,
+        ] {
+            assert_eq!(parse_request(line).unwrap_err().code, "protocol");
+        }
+    }
+
+    #[test]
+    fn reload_request_lines_round_trip() {
+        let files = vec![SourceFile {
+            name: "a \"b\".mj".into(),
+            text: "class M {\n\tint x;\n}".into(),
+        }];
+        let line = reload_request_line(7, "cli", "0011223344556677", &files);
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.id, Some(7));
+        assert_eq!(req.client, "cli");
+        let Op::Reload { program, sources } = req.op else {
+            panic!("expected reload")
+        };
+        assert_eq!(program, "0011223344556677");
+        assert_eq!(sources, files);
+    }
+
+    #[test]
+    fn reload_lines_serialize_and_validate() {
+        let stats = UpdateStats {
+            methods_total: 4,
+            methods_changed: 1,
+            pta_reused: true,
+            ci_graph_reused: true,
+            cs_graph_reused: true,
+            constraints_total: 20,
+            csr_segments_total: 6,
+            memo_entries_kept: 3,
+            ..UpdateStats::default()
+        };
+        let line = reload_line(
+            Some(8),
+            "0011223344556677",
+            "ffeeddccbbaa9988",
+            false,
+            &stats,
+            420,
+        );
+        assert_eq!(
+            validate_response_line(&line).unwrap(),
+            "ok reload id=8 path=incremental"
+        );
+        // Deterministic serialization (no timing fields).
+        assert_eq!(
+            line,
+            reload_line(
+                Some(8),
+                "0011223344556677",
+                "ffeeddccbbaa9988",
+                false,
+                &stats,
+                420,
+            )
+        );
+        assert!(line.contains("\"content\":\"ffeeddccbbaa9988\""));
+        assert!(line.contains("\"pta_reused\":true"));
+        // Path classification covers all four outcomes.
+        assert_eq!(reload_path(true, &stats), "rebuild");
+        assert_eq!(reload_path(false, &UpdateStats::default()), "incremental");
+        let noop = UpdateStats {
+            noop: true,
+            ..UpdateStats::default()
+        };
+        assert_eq!(reload_path(false, &noop), "noop");
+        let structural = UpdateStats {
+            structural: true,
+            ..UpdateStats::default()
+        };
+        assert_eq!(reload_path(false, &structural), "structural");
+    }
+
+    #[test]
     fn stats_lines_serialize_and_validate() {
         use thinslice_util::telemetry::{FlightKind, FlightRecorder};
         let rec = FlightRecorder::new(4);
@@ -1373,6 +1599,7 @@ mod tests {
             }],
             sessions: vec![SessionRow {
                 program: "00112233aabbccdd".to_string(),
+                content: "ffeeddccbbaa9988".to_string(),
                 live: true,
                 resident: 42,
                 ..SessionRow::default()

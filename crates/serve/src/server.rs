@@ -47,9 +47,9 @@ use std::time::{Duration, Instant};
 
 use crate::pool::{PoolConfig, PoolError, SessionPool};
 use crate::protocol::{
-    engine_str, error_line, kind_str, load_line, parse_request, shutdown_line, slice_line,
-    stats_line, status_line, Admission, Op, ProgramRef, SliceRequest, SlowQueryRow, SourceFile,
-    StatsSnapshot, StatusSnapshot, TenantRow,
+    engine_str, error_line, kind_str, load_line, parse_request, reload_line, shutdown_line,
+    slice_line, stats_line, status_line, Admission, Op, ProgramRef, SliceRequest, SlowQueryRow,
+    SourceFile, StatsSnapshot, StatusSnapshot, TenantRow,
 };
 use thinslice::{report, Budget, Engine, FaultInjection, Query, QueryPolicy, SliceResult};
 use thinslice_util::govern::Completeness;
@@ -358,6 +358,45 @@ impl Server {
         }
     }
 
+    /// Answers a `reload` synchronously on the reader thread, like `load`:
+    /// the pool swaps the entry's sources under its existing key and
+    /// updates (or rebuilds) the session before the response is written,
+    /// so every later query on that key sees the new program.
+    fn handle_reload(
+        &self,
+        id: Option<u64>,
+        program: String,
+        sources: Vec<SourceFile>,
+        out: &SharedOut,
+    ) {
+        let size = Self::sources_size(&sources);
+        if size > self.cfg.max_program_bytes {
+            self.write_err(
+                out,
+                id,
+                "too_large",
+                &format!(
+                    "program is {size} bytes (limit {})",
+                    self.cfg.max_program_bytes
+                ),
+            );
+            return;
+        }
+        match self.pool.lock().unwrap().reload(&program, sources) {
+            Ok(r) => self.write_ok(
+                out,
+                &reload_line(id, &r.hash, &r.content, r.rebuilt, &r.stats, r.resident),
+            ),
+            Err(PoolError::UnknownProgram) => self.write_err(
+                out,
+                id,
+                "unknown_program",
+                &format!("program {program:?} was never loaded"),
+            ),
+            Err(PoolError::Compile(e)) => self.write_err(out, id, "compile", &e.to_string()),
+        }
+    }
+
     fn status_snapshot(&self, pool: &SessionPool) -> StatusSnapshot {
         StatusSnapshot {
             programs: pool.programs(),
@@ -424,6 +463,8 @@ impl Server {
             pool_misses: pool_stats.misses,
             pool_builds: pool_stats.builds,
             pool_quarantines: pool_stats.quarantines,
+            pool_reloads: pool_stats.reloads,
+            pool_reloads_incremental: pool_stats.reloads_incremental,
             recorded,
             recorder_capacity,
             tenants,
@@ -588,6 +629,10 @@ impl Server {
             Ok(req) => match req.op {
                 Op::Load { sources } => {
                     self.handle_load(req.id, sources, out);
+                    Ingest::Continue
+                }
+                Op::Reload { program, sources } => {
+                    self.handle_reload(req.id, program, sources, out);
                     Ingest::Continue
                 }
                 Op::Status => {

@@ -697,3 +697,68 @@ fn observability_knobs_do_not_perturb_responses() {
         assert_eq!(d[&rid], a[&rid], "response {rid}: log armed ≡ default");
     }
 }
+
+/// End-to-end `reload`: a hash-addressed slice after the reload answers
+/// for the edited program, bit-identical to a fresh daemon that loaded
+/// the edit directly, and the stats doc exposes the new content hash.
+#[test]
+fn reload_serves_the_edited_program_under_the_original_key() {
+    use thinslice_serve::pool::program_hash;
+    use thinslice_serve::protocol::SourceFile;
+
+    let files = |n: u32| {
+        vec![SourceFile {
+            name: format!("p{n}.mj"),
+            text: program(n),
+        }]
+    };
+    let h1 = program_hash(&files(1));
+    let h2 = program_hash(&files(2));
+    let reload = format!(
+        "{{\"op\":\"reload\",\"id\":2,\"program\":\"{h1}\",\"sources\":{}}}",
+        src_json(2)
+    );
+    let hash_slice = |id: u64, hash: &str| {
+        format!(
+            "{{\"op\":\"slice\",\"id\":{id},\"program\":\"{hash}\",\"seed\":{{\"file\":\"p2.mj\",\"line\":4}}}}"
+        )
+    };
+    let script = vec![
+        load(1, 1),
+        slice(10, 1, 4, ""), // warm the lazy stages before the edit
+        reload,
+        hash_slice(11, &h1), // key lineage: still addressed by h1
+        format!("{{\"op\":\"stats\",\"id\":3}}"),
+        shutdown(99),
+    ];
+    let (lines, _) = run_script(ServeConfig::default(), &script);
+    let r = by_id(&lines);
+    assert_eq!(field(&r[&2], "program"), Json::Str(h1.clone()));
+    assert_eq!(field(&r[&2], "content"), Json::Str(h2.clone()));
+    assert_eq!(field(&r[&2], "path"), Json::Str("incremental".into()));
+    assert_eq!(field(&r[&2], "pta_reused"), Json::Bool(true));
+
+    // Fresh daemon loads program 2 directly; slices must be byte-equal
+    // modulo the program hash they are addressed by.
+    let fresh_script = vec![load(1, 2), hash_slice(11, &h2), shutdown(99)];
+    let (fresh_lines, _) = run_script(ServeConfig::default(), &fresh_script);
+    let f = by_id(&fresh_lines);
+    assert_eq!(
+        r[&11].replace(&h1, "_"),
+        f[&11].replace(&h2, "_"),
+        "post-reload slice ≡ fresh daemon on the edited program"
+    );
+
+    // The stats session row shows lineage key and current content hash.
+    let doc = field(&r[&3], "stats");
+    let sessions = doc.get("sessions").and_then(Json::as_arr).unwrap();
+    let row = &sessions[0];
+    assert_eq!(row.get("program").and_then(Json::as_str), Some(h1.as_str()));
+    assert_eq!(row.get("content").and_then(Json::as_str), Some(h2.as_str()));
+    let pool = doc.get("pool").unwrap();
+    assert_eq!(pool.get("reloads").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        pool.get("reloads_incremental").and_then(Json::as_u64),
+        Some(1)
+    );
+}

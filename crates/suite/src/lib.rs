@@ -11,11 +11,14 @@
 //!   tasks;
 //! * Table 3 (tough casts): [`programs::mtrt`], [`programs::jess`],
 //!   [`programs::javac`], [`programs::jack`];
-//! * [`generator`] — parametric programs for the scalability experiments.
+//! * [`generator`] — parametric programs for the scalability experiments;
+//! * [`edits`] — seeded compile-safe edit scripts for the incremental
+//!   re-analysis equivalence suite.
 //!
 //! [`runner`] executes a task with the paper's methodology and produces
 //! table rows.
 
+pub mod edits;
 pub mod generator;
 pub mod programs;
 pub mod runner;

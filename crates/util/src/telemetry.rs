@@ -462,6 +462,8 @@ pub enum FlightKind {
     SessionEvicted,
     /// A session was quarantined after a panic.
     SessionQuarantined,
+    /// A resident session was incrementally updated to edited sources.
+    SessionUpdated,
     /// A query exhausted its step budget or deadline.
     BudgetExhausted,
     /// A configured fault was injected.
@@ -480,6 +482,7 @@ impl FlightKind {
             FlightKind::SessionBuilt => "session_built",
             FlightKind::SessionEvicted => "session_evicted",
             FlightKind::SessionQuarantined => "session_quarantined",
+            FlightKind::SessionUpdated => "session_updated",
             FlightKind::BudgetExhausted => "budget_exhausted",
             FlightKind::FaultInjected => "fault_injected",
             FlightKind::SlowQuery => "slow_query",
