@@ -438,6 +438,37 @@ struct IncrementalResult {
     speedup: f64,
 }
 
+fn owned_sources(b: &Benchmark) -> Vec<(String, String)> {
+    b.sources
+        .iter()
+        .map(|(n, t)| ((*n).to_string(), (*t).to_string()))
+        .collect()
+}
+
+fn as_refs(v: &[(String, String)]) -> Vec<(&str, &str)> {
+    v.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect()
+}
+
+fn first_print_seed(s: &thinslice::AnalysisSession) -> thinslice_ir::StmtRef {
+    let program = s.program();
+    program
+        .all_stmts()
+        .find(|st| {
+            matches!(
+                program.instr(*st).kind,
+                thinslice_ir::InstrKind::Print { .. }
+            )
+        })
+        .expect("benchmark has a print statement")
+}
+
+fn thin_ci(s: &mut thinslice::AnalysisSession) -> thinslice::StmtSet {
+    use thinslice::{Engine, Query};
+    let seed = first_print_seed(s);
+    s.query(&Query::new(vec![seed], SliceKind::Thin, Engine::Ci))
+        .stmts
+}
+
 /// Edit-to-answer latency: for each Table 2 benchmark, toggle a warm
 /// session between two versions differing by one integer literal (the
 /// canonical single-method body edit) and time `update` + one thin CI
@@ -445,37 +476,16 @@ struct IncrementalResult {
 /// are asserted bit-identical before anything is timed. Rounds pool
 /// across benchmarks; the medians are per-edit latencies.
 fn run_incremental(names: &[&'static str]) -> IncrementalResult {
-    use thinslice::{AnalysisSession, Engine, Query};
-    use thinslice_ir::InstrKind;
+    use thinslice::AnalysisSession;
     use thinslice_suite::edits::tweak_first_int;
-
-    fn first_print_seed(s: &AnalysisSession) -> thinslice_ir::StmtRef {
-        let program = s.program();
-        program
-            .all_stmts()
-            .find(|st| matches!(program.instr(*st).kind, InstrKind::Print { .. }))
-            .expect("benchmark has a print statement")
-    }
-    fn thin_ci(s: &mut AnalysisSession) -> thinslice::StmtSet {
-        let seed = first_print_seed(s);
-        s.query(&Query::new(vec![seed], SliceKind::Thin, Engine::Ci))
-            .stmts
-    }
 
     let (mut full, mut upd) = (Histogram::new(), Histogram::new());
     let mut benchmarks = 0usize;
     for &name in names {
         let b = benchmark_named(name).expect("table2 benchmark exists");
-        let v0: Vec<(String, String)> = b
-            .sources
-            .iter()
-            .map(|(n, t)| ((*n).to_string(), (*t).to_string()))
-            .collect();
+        let v0: Vec<(String, String)> = owned_sources(&b);
         let mut v1 = v0.clone();
         v1[0].1 = tweak_first_int(&v0[0].1).expect("benchmark has an int literal");
-        fn as_refs(v: &[(String, String)]) -> Vec<(&str, &str)> {
-            v.iter().map(|(n, t)| (n.as_str(), t.as_str())).collect()
-        }
         benchmarks += 1;
 
         // Correctness before timing: updated ≡ fresh on the edit.
@@ -516,6 +526,131 @@ fn run_incremental(names: &[&'static str]) -> IncrementalResult {
         full_rebuild_ms: full_s * 1e3,
         update_ms: upd_s * 1e3,
         speedup: full_s / upd_s,
+    }
+}
+
+struct SnapshotResult {
+    /// Benchmarks whose restored sessions were asserted bit-identical.
+    benchmarks_verified: usize,
+    /// The benchmark the timed rows ran on (the largest table2 program).
+    benchmark: &'static str,
+    /// Median ms for a from-scratch build + one thin CI slice.
+    cold_build_ms: f64,
+    /// Median ms for serialising the forced session to snapshot bytes.
+    write_ms: f64,
+    /// Median ms for restoring from those bytes + the same slice.
+    restore_ms: f64,
+    /// Size of the persisted snapshot, in bytes.
+    snapshot_bytes: usize,
+    /// cold_build_ms / restore_ms — the warm-start payoff.
+    restore_speedup: f64,
+}
+
+/// Warm-start payoff: restoring an [`AnalysisSession`] from its binary
+/// snapshot vs rebuilding it from source. Before anything is timed,
+/// every table2 benchmark is round-tripped through
+/// `write_snapshot`/`from_snapshot` and the restored session is
+/// asserted bit-identical to a fresh build across all four slicer
+/// variants. The timed rows then run on the largest benchmark: a cold
+/// build + one thin CI slice, the snapshot write, and a restore + the
+/// same slice (the snapshot holds exactly the stages the cold path
+/// builds, so the comparison is stage-for-stage fair).
+///
+/// The verification sweep covers every suite benchmark — all eight,
+/// not just the four that carry Table 2 bug tasks — because snapshot
+/// fidelity is a whole-pipeline property, not a workload one.
+///
+/// [`AnalysisSession`]: thinslice::AnalysisSession
+fn run_snapshot() -> SnapshotResult {
+    use thinslice::{source_hash, AnalysisSession, Engine, Query, RunCtx};
+    use thinslice_suite::all_benchmarks;
+
+    const COMBOS: [(SliceKind, Engine); 4] = [
+        (SliceKind::Thin, Engine::Ci),
+        (SliceKind::TraditionalData, Engine::Ci),
+        (SliceKind::TraditionalFull, Engine::Ci),
+        (SliceKind::Thin, Engine::Cs),
+    ];
+
+    let mut benchmarks_verified = 0usize;
+    for b in all_benchmarks() {
+        let name = b.name;
+        let sources = owned_sources(&b);
+        let refs = as_refs(&sources);
+        let key = source_hash(&refs);
+        let mut fresh = AnalysisSession::new(&refs).expect("compiles");
+        let seed = first_print_seed(&fresh);
+        let want: Vec<thinslice::StmtSet> = COMBOS
+            .iter()
+            .map(|&(kind, engine)| fresh.query(&Query::new(vec![seed], kind, engine)).stmts)
+            .collect();
+        let bytes = fresh
+            .write_snapshot(&key)
+            .expect("complete session snapshots");
+        let mut warm =
+            AnalysisSession::from_snapshot(&bytes, &key, PtaConfig::default(), RunCtx::disabled())
+                .expect("snapshot restores");
+        for (&(kind, engine), want) in COMBOS.iter().zip(&want) {
+            assert_eq!(
+                &warm.query(&Query::new(vec![seed], kind, engine)).stmts,
+                want,
+                "{name}: snapshot-restored ≡ fresh ({kind:?}/{engine:?})"
+            );
+        }
+        benchmarks_verified += 1;
+    }
+
+    // Time on javac, the largest benchmark and the acceptance target.
+    let name = "javac";
+    let b = benchmark_named(name).expect("benchmark exists");
+    let sources = owned_sources(&b);
+    let refs = as_refs(&sources);
+    let key = source_hash(&refs);
+
+    // The donor holds exactly the stages the cold path builds (program,
+    // points-to, CI SDG + CSR), so restore and cold build are
+    // stage-for-stage comparable.
+    let mut donor = AnalysisSession::new(&refs).expect("compiles");
+    let _ = thin_ci(&mut donor);
+    let snapshot_bytes = donor.write_snapshot(&key).expect("snapshots").len();
+
+    let (mut cold, mut write, mut restore) = (Histogram::new(), Histogram::new(), Histogram::new());
+    for round in 0..(WARMUP + ROUNDS) {
+        let start = Instant::now();
+        let mut scratch = AnalysisSession::new(&refs).expect("compiles");
+        std::hint::black_box(thin_ci(&mut scratch));
+        let t_cold = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let bytes = std::hint::black_box(donor.write_snapshot(&key).expect("snapshots"));
+        let t_write = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let mut warm =
+            AnalysisSession::from_snapshot(&bytes, &key, PtaConfig::default(), RunCtx::disabled())
+                .expect("snapshot restores");
+        std::hint::black_box(thin_ci(&mut warm));
+        let t_restore = start.elapsed().as_secs_f64();
+
+        if round >= WARMUP {
+            cold.record(t_cold);
+            write.record(t_write);
+            restore.record(t_restore);
+        }
+    }
+    let (cold_s, write_s, restore_s) = (
+        cold.median().max(1e-12),
+        write.median().max(1e-12),
+        restore.median().max(1e-12),
+    );
+    SnapshotResult {
+        benchmarks_verified,
+        benchmark: name,
+        cold_build_ms: cold_s * 1e3,
+        write_ms: write_s * 1e3,
+        restore_ms: restore_s * 1e3,
+        snapshot_bytes,
+        restore_speedup: cold_s / restore_s,
     }
 }
 
@@ -669,6 +804,7 @@ fn run_observability(script: &str) -> ObservabilityResult {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     results: &[BenchResult],
     threads: usize,
@@ -677,6 +813,7 @@ fn render_json(
     server: &ServerResult,
     obs: &ObservabilityResult,
     incr: &IncrementalResult,
+    snap: &SnapshotResult,
 ) -> String {
     let mut queries = 0usize;
     let mut seq_s = 0.0f64;
@@ -819,6 +956,24 @@ fn render_json(
     let _ = write!(out, "\"full_rebuild_ms\": {:.3}, ", incr.full_rebuild_ms);
     let _ = write!(out, "\"update_ms\": {:.3}, ", incr.update_ms);
     let _ = write!(out, "\"speedup\": {:.2}", incr.speedup);
+    out.push_str("},\n");
+    // Warm start: cold build + one thin CI slice vs snapshot write and
+    // restore + the same slice on the largest table2 benchmark.
+    // Restored sessions are asserted bit-identical to fresh builds
+    // across every benchmark and slicer before the timed rounds.
+    out.push_str("  \"snapshot\": {");
+    let _ = write!(out, "\"workload\": \"session-snapshot-warm-start\", ");
+    let _ = write!(out, "\"benchmark\": \"{}\", ", snap.benchmark);
+    let _ = write!(
+        out,
+        "\"benchmarks_verified\": {}, ",
+        snap.benchmarks_verified
+    );
+    let _ = write!(out, "\"cold_build_ms\": {:.3}, ", snap.cold_build_ms);
+    let _ = write!(out, "\"write_ms\": {:.3}, ", snap.write_ms);
+    let _ = write!(out, "\"restore_ms\": {:.3}, ", snap.restore_ms);
+    let _ = write!(out, "\"snapshot_bytes\": {}, ", snap.snapshot_bytes);
+    let _ = write!(out, "\"restore_speedup\": {:.2}", snap.restore_speedup);
     out.push_str("}\n}\n");
     out
 }
@@ -886,7 +1041,21 @@ fn main() {
         incr.update_ms, incr.full_rebuild_ms, incr.speedup, incr.benchmarks
     );
 
-    let json = render_json(&results, threads, &matrix, &synthetic, &server, &obs, &incr);
+    eprintln!("session snapshots (cold build vs warm restore) …");
+    let snap = run_snapshot();
+    println!(
+        "snapshot: restore {:.2} ms vs cold build {:.2} ms ({:.1}x; {} bytes, write {:.2} ms) on {}",
+        snap.restore_ms,
+        snap.cold_build_ms,
+        snap.restore_speedup,
+        snap.snapshot_bytes,
+        snap.write_ms,
+        snap.benchmark
+    );
+
+    let json = render_json(
+        &results, threads, &matrix, &synthetic, &server, &obs, &incr, &snap,
+    );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slicing.json");
     std::fs::write(path, &json).expect("write BENCH_slicing.json");
     println!("\nwrote {path}");

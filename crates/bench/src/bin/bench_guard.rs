@@ -27,7 +27,14 @@
 //!   The ratio is gated rather than either absolute latency because it is
 //!   hardware-independent: both numerator and denominator are measured on
 //!   the same runner in the same round. Baselines predating the row are
-//!   skipped, not failed.
+//!   skipped, not failed;
+//! * the `snapshot` row's `restore_speedup` (cold build time over
+//!   snapshot-restore time, both followed by the same thin CI slice).
+//!   Like the incremental ratio it is compared against the baseline only
+//!   when both files carry it, but the fresh file additionally must meet
+//!   an absolute floor: a warm restore that is not at least 5x faster
+//!   than a cold build defeats the point of persisting snapshots, and
+//!   the ratio is runner-independent so the floor does not flake.
 //!
 //! The default tolerance of 25% absorbs runner noise while still
 //! catching a slicer or batch-engine pessimisation.
@@ -35,6 +42,11 @@
 use thinslice_util::telemetry::Json;
 
 const DEFAULT_MAX_DROP_PERCENT: f64 = 25.0;
+
+/// Absolute floor for `snapshot.restore_speedup`: restoring a session
+/// from its snapshot must beat rebuilding it from source by at least
+/// this factor on the largest benchmark.
+const MIN_RESTORE_SPEEDUP: f64 = 5.0;
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -69,6 +81,14 @@ fn observability_field(json: &Json, field: &str) -> Option<f64> {
 fn incremental_speedup(json: &Json) -> Option<f64> {
     json.get("incremental")
         .and_then(|s| s.get("speedup"))
+        .and_then(Json::as_f64)
+}
+
+/// The snapshot cold-build/warm-restore speedup, `None` when the file
+/// predates the `snapshot` row.
+fn snapshot_restore_speedup(json: &Json) -> Option<f64> {
+    json.get("snapshot")
+        .and_then(|s| s.get("restore_speedup"))
         .and_then(Json::as_f64)
 }
 
@@ -183,6 +203,28 @@ fn run(args: &[String]) -> Result<String, String> {
             fresh_ratio,
             max_drop,
         )?);
+    }
+    if let Some(fresh_ratio) = snapshot_restore_speedup(&fresh) {
+        if fresh_ratio < MIN_RESTORE_SPEEDUP {
+            return Err(format!(
+                "snapshot restore speedup {fresh_ratio:.2}x is below the \
+                 {MIN_RESTORE_SPEEDUP:.0}x floor"
+            ));
+        }
+        match snapshot_restore_speedup(&baseline) {
+            Some(base) => lines.push(compare(
+                "snapshot restore speedup",
+                base,
+                fresh_ratio,
+                max_drop,
+            )?),
+            // Pre-snapshot baselines have no ratio to drop from; the
+            // absolute floor above still applies.
+            None => lines.push(format!(
+                "snapshot restore speedup {fresh_ratio:.2}x (no baseline row, \
+                 floor {MIN_RESTORE_SPEEDUP:.0}x met)"
+            )),
+        }
     }
     Ok(lines.join("\n  "))
 }

@@ -46,12 +46,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   thinslice slice   <file.mj>... --seed <file:line> [--kind thin|data|full] [--cs] [--no-objsens]
   thinslice slice   <file.mj>... (--seeds-file <path> | --all-seeds) [--threads <n>] [--kind ...]
+                    [--snapshot-dir <dir>] (either form: warm-start from / persist
+                    to content-hash-keyed session snapshots, skipping the build)
   thinslice explain <file.mj>... --seed <file:line>
   thinslice run     <file.mj>... [--line <text>]... [--int <n>]... [--dynamic-slice]
   thinslice info    <file.mj>...
   thinslice validate-report <report.json | responses.jsonl>
   thinslice serve   [--socket <path>] [--workers <n>] [--max-sessions <n>]
-                    [--resident-watermark <elems>] [--deadline-ms <n>]
+                    [--resident-watermark <elems>] [--snapshot-dir <dir>]
+                    [--deadline-ms <n>]
                     [--step-budget <n>] [--degrade-pending <n>]
                     [--truncate-pending <n>] [--truncate-step-cap <n>]
                     [--client-step-budget <n>] [--max-program-bytes <n>]
@@ -100,6 +103,7 @@ struct Options {
     trace: bool,
     trace_json: bool,
     metrics_out: Option<String>,
+    snapshot_dir: Option<String>,
 }
 
 impl Options {
@@ -210,6 +214,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: false,
         trace_json: false,
         metrics_out: None,
+        snapshot_dir: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -251,6 +256,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .push(v.parse().map_err(|_| format!("bad int {v:?}"))?);
             }
             "--dynamic-slice" => o.dynamic_slice = true,
+            "--snapshot-dir" => {
+                o.snapshot_dir = Some(it.next().ok_or("--snapshot-dir needs a directory")?.clone());
+            }
             f if !f.starts_with('-') => o.files.push(f.to_string()),
             other => return Err(format!("unknown flag {other}")),
         }
@@ -261,7 +269,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// Where to persist a one-shot command's session once its stages have
+/// been forced, so the next invocation on the same sources warm-starts.
+struct SnapshotPersist {
+    store: thinslice::SnapshotStore,
+    key: String,
+}
+
+impl SnapshotPersist {
+    /// Best-effort save; persistence never surfaces an error.
+    fn persist(&self, s: &AnalysisSession) {
+        let _ = self.store.save(s, &self.key);
+    }
+}
+
 fn load(o: &Options, ctx: &RunCtx) -> Result<AnalysisSession, String> {
+    load_with_snapshot(o, ctx).map(|(s, _)| s)
+}
+
+fn load_with_snapshot(
+    o: &Options,
+    ctx: &RunCtx,
+) -> Result<(AnalysisSession, Option<SnapshotPersist>), String> {
     let mut sources: Vec<(String, String)> = Vec::new();
     for f in &o.files {
         let text = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
@@ -280,8 +309,19 @@ fn load(o: &Options, ctx: &RunCtx) -> Result<AnalysisSession, String> {
     } else {
         thinslice_pta::PtaConfig::without_object_sensitivity()
     };
-    let mut session =
-        AnalysisSession::with_ctx(&borrowed, config, ctx.clone()).map_err(|e| e.to_string())?;
+    let snapshot = o.snapshot_dir.as_ref().map(|dir| SnapshotPersist {
+        store: thinslice::SnapshotStore::new(dir),
+        key: thinslice::source_hash(&borrowed),
+    });
+    let warm = snapshot
+        .as_ref()
+        .and_then(|sn| sn.store.load(&sn.key, config.clone(), ctx.clone()));
+    let mut session = match warm {
+        Some(session) => session,
+        None => {
+            AnalysisSession::with_ctx(&borrowed, config, ctx.clone()).map_err(|e| e.to_string())?
+        }
+    };
     if o.governed() {
         let build = session.build_report();
         if !build.pta.is_complete() {
@@ -297,7 +337,7 @@ fn load(o: &Options, ctx: &RunCtx) -> Result<AnalysisSession, String> {
             );
         }
     }
-    Ok(session)
+    Ok((session, snapshot))
 }
 
 fn resolve_seed(
@@ -455,6 +495,10 @@ fn parse_serve_options(args: &[String]) -> Result<ServeCli, String> {
             }
             "--resident-watermark" => {
                 cfg.pool.resident_watermark = Some(num(&mut it, "--resident-watermark")?);
+            }
+            "--snapshot-dir" => {
+                cfg.pool.snapshot_dir =
+                    Some(it.next().ok_or("--snapshot-dir needs a directory")?.clone());
             }
             "--deadline-ms" => cfg.default_deadline_ms = Some(num(&mut it, "--deadline-ms")?),
             "--step-budget" => cfg.default_step_budget = Some(num(&mut it, "--step-budget")?),
@@ -794,6 +838,20 @@ fn render_stats(doc: &thinslice_util::telemetry::Json) -> String {
         su("recorded").min(su("recorder_capacity")),
         su("recorder_capacity"),
     );
+    // Warm-start snapshot traffic; an all-zero row (snapshots disabled
+    // or untouched) is omitted to keep the idle header to one line.
+    let (sh, sm, sw, sc) = (
+        pu("snapshot_hits"),
+        pu("snapshot_misses"),
+        pu("snapshot_writes"),
+        pu("snapshot_discarded_corrupt"),
+    );
+    if sh + sm + sw + sc > 0 {
+        let _ = writeln!(
+            out,
+            "snapshots: {sh} restored, {sm} missed, {sw} written, {sc} discarded corrupt"
+        );
+    }
     let tenants = arr(doc, "tenants");
     if !tenants.is_empty() {
         let _ = writeln!(
@@ -1060,12 +1118,21 @@ fn print_latency_footer(tel: &Telemetry) {
 }
 
 fn cmd_slice(o: &Options, ctx: &RunCtx) -> Result<(), String> {
-    let mut s = load(o, ctx)?;
+    let (mut s, snapshot) = load_with_snapshot(o, ctx)?;
     if o.seeds_file.is_some() || o.all_seeds {
-        return cmd_slice_batch(&mut s, o, ctx);
+        let outcome = cmd_slice_batch(&mut s, o, ctx);
+        // Persist after the batch forced its stages, so the next
+        // invocation on these sources skips the build entirely.
+        if let Some(sn) = &snapshot {
+            sn.persist(&s);
+        }
+        return outcome;
     }
     let seeds = resolve_seed(&mut s, o)?;
     let result = s.query(&Query::new(seeds, o.kind, o.engine()));
+    if let Some(sn) = &snapshot {
+        sn.persist(&s);
+    }
     if o.context_sensitive {
         if result.degraded {
             eprintln!(
@@ -1314,6 +1381,14 @@ mod tests {
     }
 
     #[test]
+    fn parses_snapshot_dir() {
+        let o = opts(&["a.mj", "--snapshot-dir", "/tmp/snaps"]).unwrap();
+        assert_eq!(o.snapshot_dir.as_deref(), Some("/tmp/snaps"));
+        assert!(opts(&["a.mj"]).unwrap().snapshot_dir.is_none());
+        assert!(opts(&["a.mj", "--snapshot-dir"]).is_err());
+    }
+
+    #[test]
     fn seed_with_colons_in_path() {
         let o = opts(&["a.mj", "--seed", "dir:with:colons.mj:9"]).unwrap();
         assert_eq!(o.seed, Some(("dir:with:colons.mj".to_string(), 9)));
@@ -1372,6 +1447,8 @@ mod tests {
             "2",
             "--resident-watermark",
             "100000",
+            "--snapshot-dir",
+            "/tmp/snaps",
             "--deadline-ms",
             "250",
             "--step-budget",
@@ -1395,6 +1472,7 @@ mod tests {
         assert_eq!(s.cfg.workers, 4);
         assert_eq!(s.cfg.pool.max_sessions, 2);
         assert_eq!(s.cfg.pool.resident_watermark, Some(100_000));
+        assert_eq!(s.cfg.pool.snapshot_dir.as_deref(), Some("/tmp/snaps"));
         assert_eq!(s.cfg.default_deadline_ms, Some(250));
         assert_eq!(s.cfg.default_step_budget, Some(5000));
         assert_eq!(s.cfg.client_step_budget, Some(9000));
@@ -1445,7 +1523,9 @@ mod tests {
             r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":1500,
                 "pool":{"programs":1,"live_sessions":1,"capacity":8,"quarantined":0,
                         "resident":123,"hits":3,"misses":1,"builds":1,"evictions":0,
-                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0},
+                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0,
+                        "snapshot_hits":2,"snapshot_misses":1,"snapshot_writes":3,
+                        "snapshot_discarded_corrupt":1},
                 "server":{"served":4,"errors":0,"panics":0,"recorded":6,"recorder_capacity":256},
                 "tenants":[{"client":"alpha","requests":4,"errors":0,"retries":0,"degraded":1,
                             "shed":0,"spent_steps":900,"exit_hits":3,"exit_misses":1,
@@ -1467,6 +1547,10 @@ mod tests {
         let text = render_stats(&doc);
         assert!(text.contains("up 1.5s"), "{text}");
         assert!(text.contains("pool 1/8 sessions"), "{text}");
+        assert!(
+            text.contains("snapshots: 2 restored, 1 missed, 3 written, 1 discarded corrupt"),
+            "{text}"
+        );
         assert!(text.contains("CLIENT"), "{text}");
         assert!(text.contains("alpha"), "{text}");
         assert!(text.contains("75.0"), "memo hit rate: {text}");
@@ -1480,7 +1564,9 @@ mod tests {
             r#"{"schema":"thinslice.serve_stats.v1","uptime_ms":0,
                 "pool":{"programs":0,"live_sessions":0,"capacity":8,"quarantined":0,
                         "resident":0,"hits":0,"misses":0,"builds":0,"evictions":0,
-                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0},
+                        "quarantines":0,"rebuilds":0,"reloads":0,"reloads_incremental":0,
+                        "snapshot_hits":0,"snapshot_misses":0,"snapshot_writes":0,
+                        "snapshot_discarded_corrupt":0},
                 "server":{"served":0,"errors":0,"panics":0,"recorded":0,"recorder_capacity":256},
                 "tenants":[],"sessions":[],"slow":[],"events":[]}"#,
         )

@@ -56,6 +56,7 @@ pub mod inspect;
 pub mod report;
 pub mod session;
 pub mod slice;
+pub mod snapshot;
 mod stmtset;
 pub mod tabulation;
 
@@ -74,6 +75,7 @@ pub use session::{
 #[allow(deprecated)]
 pub use slice::{slice_from, slice_from_governed, slice_from_reusing};
 pub use slice::{Slice, SliceKind, SliceScratch};
+pub use snapshot::{source_hash, SnapshotLoad, SnapshotStore};
 pub use stmtset::StmtSet;
 #[allow(deprecated)]
 pub use tabulation::{cs_slice, cs_slice_governed, cs_slice_indexed, cs_slice_reusing};

@@ -42,6 +42,7 @@
 
 use crate::batch::{run_batch, BatchConfig, FaultInjection, QueryOutcome};
 use crate::slice::{slice_dense, SliceKind, SliceScratch};
+use crate::snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use crate::stmtset::StmtSet;
 use crate::tabulation::{cs_reusing, CsScratch, DownConsumers, MemoStats};
 use crate::{Analysis, BuildReport};
@@ -51,7 +52,10 @@ use thinslice_pta::{incr, GenCache, ModRef, Pta, PtaConfig};
 use thinslice_sdg::{
     body_fingerprint, build_ci_cached, build_cs_cached, DepGraph, FrozenSdg, NodeId, Sdg, SdgCache,
 };
-use thinslice_util::{Budget, Completeness, FxHashSet, RunCtx};
+use thinslice_util::{
+    Budget, ByteReader, ByteWriter, CodecError, Completeness, FxHashSet, RunCtx, SnapshotReader,
+    SnapshotWriter,
+};
 
 /// Which slicing engine answers a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -267,8 +271,17 @@ pub struct AnalysisSession {
     fingerprints: Option<ProgramFingerprints>,
     pta: Option<(Pta, Completeness)>,
     ci: Option<(Sdg, Completeness)>,
+    /// Encoded growable CI graph adopted from a snapshot, decoded on
+    /// first use: queries traverse the frozen graph, so only an edit
+    /// (or an explicit [`AnalysisSession::ci_sdg`] call) pays the
+    /// decode. A section that fails to decode falls back to a clean
+    /// rebuild — never an error on the query path.
+    ci_snap: Option<Vec<u8>>,
     ci_csr: Option<FrozenSdg>,
     cs: Option<Sdg>,
+    /// Encoded growable CS graph adopted from a snapshot (see
+    /// [`AnalysisSession::ci_snap`](#structfield.ci_snap)).
+    cs_snap: Option<Vec<u8>>,
     cs_csr: Option<FrozenSdg>,
     cs_index: Option<DownConsumers>,
     scratch: SliceScratch,
@@ -322,8 +335,10 @@ impl AnalysisSession {
             fingerprints: None,
             pta: None,
             ci: None,
+            ci_snap: None,
             ci_csr: None,
             cs: None,
+            cs_snap: None,
             cs_csr: None,
             cs_index: None,
             scratch: SliceScratch::new(),
@@ -361,6 +376,30 @@ impl AnalysisSession {
         for sdg in self.ci.iter().map(|(g, _)| g).chain(self.cs.iter()) {
             elems += sdg.node_count() + sdg.edge_count();
         }
+        // A snapshot-adopted graph still pending decode holds the same
+        // nodes and edges its frozen counterpart does; count it via that
+        // proxy so a warm session is not under-reported to the eviction
+        // watermark before its first edit.
+        if self.ci.is_none() && self.ci_snap.is_some() {
+            if let Some(csr) = &self.ci_csr {
+                elems += csr.node_count() + csr.edge_count();
+            }
+        }
+        if self.cs.is_none() && self.cs_snap.is_some() {
+            if let Some(csr) = &self.cs_csr {
+                elems += csr.node_count() + csr.edge_count();
+            }
+        }
+        // Solved and cached state is resident too: the points-to sets, the
+        // warm constraint streams, and the per-method SDG artifacts all
+        // survive across queries and updates, so a watermark that ignored
+        // them would under-report exactly the sessions that are most
+        // expensive to keep.
+        if let Some((pta, _)) = &self.pta {
+            elems += pta.resident_estimate();
+        }
+        elems += self.gen_cache.resident_estimate();
+        elems += self.sdg_cache.resident_estimate();
         elems
     }
 
@@ -428,6 +467,16 @@ impl AnalysisSession {
         // diff against the retained previous-version fingerprints costs
         // no extra pass over either version's text.
         let (new_program, new_fingerprints) = compile_fingerprinted(new_sources, &self.ctx)?;
+        // The delta paths below diff and rebuild the growable graphs in
+        // place, so graphs adopted from a snapshot but not yet decoded
+        // must materialise first (their encodings describe the
+        // pre-edit program and would be stale afterwards).
+        if self.ci_snap.is_some() {
+            self.ensure_ci();
+        }
+        if self.cs_snap.is_some() {
+            self.ensure_cs();
+        }
         let delta = self
             .fingerprints
             .as_ref()
@@ -656,6 +705,15 @@ impl AnalysisSession {
     fn ensure_ci(&mut self) {
         self.ensure_pta();
         if self.ci.is_none() {
+            // A snapshot-adopted encoding decodes to the exact graph the
+            // donor session held; a section that fails to decode falls
+            // through to a clean rebuild (bit-identical by construction).
+            if let Some(bytes) = self.ci_snap.take() {
+                if let Some(sdg) = decode_section(&bytes, thinslice_sdg::snap::decode_sdg) {
+                    self.ci = Some((sdg, Completeness::Complete));
+                    return;
+                }
+            }
             let (pta, _) = self.pta.as_ref().expect("pta ensured");
             self.ci = Some(build_ci_cached(
                 &self.program,
@@ -667,8 +725,11 @@ impl AnalysisSession {
     }
 
     fn ensure_ci_csr(&mut self) {
-        self.ensure_ci();
+        // Short-circuit on a present frozen graph: a snapshot restores the
+        // CSR eagerly but leaves the growable graph pending, and queries
+        // must not force its decode.
         if self.ci_csr.is_none() {
+            self.ensure_ci();
             let (sdg, _) = self.ci.as_ref().expect("ci ensured");
             self.ci_csr = Some(sdg.freeze_ctx(&self.ctx));
         }
@@ -677,6 +738,12 @@ impl AnalysisSession {
     fn ensure_cs(&mut self) {
         self.ensure_pta();
         if self.cs.is_none() {
+            if let Some(bytes) = self.cs_snap.take() {
+                if let Some(sdg) = decode_section(&bytes, thinslice_sdg::snap::decode_sdg) {
+                    self.cs = Some(sdg);
+                    return;
+                }
+            }
             let (pta, _) = self.pta.as_ref().expect("pta ensured");
             let modref = ModRef::compute(&self.program, pta);
             self.cs = Some(build_cs_cached(
@@ -690,16 +757,16 @@ impl AnalysisSession {
     }
 
     fn ensure_cs_csr(&mut self) {
-        self.ensure_cs();
         if self.cs_csr.is_none() {
+            self.ensure_cs();
             let sdg = self.cs.as_ref().expect("cs ensured");
             self.cs_csr = Some(sdg.freeze_ctx(&self.ctx));
         }
     }
 
     fn ensure_cs_index(&mut self) {
-        self.ensure_cs_csr();
         if self.cs_index.is_none() {
+            self.ensure_cs_csr();
             let csr = self.cs_csr.as_ref().expect("cs csr ensured");
             self.cs_index = Some(DownConsumers::build(csr));
         }
@@ -760,11 +827,12 @@ impl AnalysisSession {
 
     /// The seed statements for slicing "from `file:line`" — all reachable
     /// statements on that line. Returns `None` when the line has no
-    /// reachable statement. Forces the CI graph (reachability is defined
-    /// against it).
+    /// reachable statement. Forces the frozen CI graph (reachability is
+    /// defined against it), which queries need anyway.
     pub fn seed_at_line(&mut self, file: &str, line: u32) -> Option<Vec<StmtRef>> {
         let stmts = self.stmts_at_line(file, line);
-        let sdg = self.ci_sdg();
+        self.ensure_ci_csr();
+        let sdg = self.ci_csr.as_ref().expect("ci csr ensured");
         let stmts: Vec<StmtRef> = stmts
             .into_iter()
             .filter(|s| sdg.stmt_node(*s).is_some())
@@ -950,9 +1018,185 @@ impl AnalysisSession {
             .collect()
     }
 
+    // ---- warm-start snapshots ----
+
+    /// Serializes every built stage artifact into a versioned snapshot
+    /// keyed by `key` (the program content hash, see
+    /// [`crate::snapshot::source_hash`]). Stage presence mirrors the
+    /// session's lazy state: a stage never built is not written, and a
+    /// restored session stays lazy about it. Returns `None` when any
+    /// built stage is truncated — a budget-cut artifact must be rebuilt,
+    /// not warmed over — so only exact, complete results are ever
+    /// persisted.
+    ///
+    /// Scratch space, tabulation memos, and the per-method caches are
+    /// deliberately *not* serialized: they are performance state that
+    /// repopulates on use, and the bit-identity contract holds without
+    /// them.
+    pub fn write_snapshot(&self, key: &str) -> Option<Vec<u8>> {
+        if self.pta.iter().any(|(_, c)| !c.is_complete()) {
+            return None;
+        }
+        if self.ci.iter().any(|(_, c)| !c.is_complete()) {
+            return None;
+        }
+        let mut snap = SnapshotWriter::new(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, key);
+        let mut w = ByteWriter::new();
+        thinslice_pta::snap::encode_config(&self.config, &mut w);
+        snap.section("config", w.into_bytes());
+        let mut w = ByteWriter::new();
+        thinslice_ir::snap::encode_program(&self.program, &mut w);
+        snap.section("program", w.into_bytes());
+        if let Some(fp) = &self.fingerprints {
+            let mut w = ByteWriter::new();
+            fp.encode(&mut w);
+            snap.section("fingerprints", w.into_bytes());
+        }
+        if let Some((pta, _)) = &self.pta {
+            let mut w = ByteWriter::new();
+            thinslice_pta::snap::encode_pta(pta, &mut w);
+            snap.section("pta", w.into_bytes());
+            let mut w = ByteWriter::new();
+            let hashes = thinslice_pta::snap::reachable_stream_hashes(pta, &self.program);
+            thinslice_pta::snap::encode_stream_hashes(&hashes, &mut w);
+            snap.section("streams", w.into_bytes());
+        }
+        if let Some((ci, _)) = &self.ci {
+            let mut w = ByteWriter::new();
+            thinslice_sdg::snap::encode_sdg(ci, &mut w);
+            snap.section("ci", w.into_bytes());
+        } else if let Some(b) = &self.ci_snap {
+            // Adopted from a snapshot and never forced since: the
+            // encoding is canonical, so the bytes round-trip verbatim.
+            snap.section("ci", b.clone());
+        }
+        if let Some(csr) = &self.ci_csr {
+            let mut w = ByteWriter::new();
+            thinslice_sdg::snap::encode_frozen(csr, &mut w);
+            snap.section("ci_csr", w.into_bytes());
+        }
+        if let Some(cs) = &self.cs {
+            let mut w = ByteWriter::new();
+            thinslice_sdg::snap::encode_sdg(cs, &mut w);
+            snap.section("cs", w.into_bytes());
+        } else if let Some(b) = &self.cs_snap {
+            snap.section("cs", b.clone());
+        }
+        if let Some(csr) = &self.cs_csr {
+            let mut w = ByteWriter::new();
+            thinslice_sdg::snap::encode_frozen(csr, &mut w);
+            snap.section("cs_csr", w.into_bytes());
+        }
+        if let Some(idx) = &self.cs_index {
+            let mut w = ByteWriter::new();
+            thinslice_sdg::snap::encode_down(idx, &mut w);
+            snap.section("cs_index", w.into_bytes());
+        }
+        Some(snap.finish())
+    }
+
+    /// Restores a session from snapshot bytes written by
+    /// [`AnalysisSession::write_snapshot`].
+    ///
+    /// Adoption is gated by, in order: the container's magic, format
+    /// version, and whole-file checksum; the key (the caller's program
+    /// content hash must equal the snapshot's); the points-to
+    /// configuration (canonical encodings must be byte-equal); stage
+    /// presence invariants (a graph without its points-to input is
+    /// rejected); and the constraint-stream cross-check (every reachable
+    /// method's stream hash, recomputed over the restored program, must
+    /// match what the solve was keyed on). Any failure returns `None` —
+    /// the caller falls back to a clean full build, never an error on the
+    /// query path.
+    pub fn from_snapshot(
+        bytes: &[u8],
+        key: &str,
+        config: PtaConfig,
+        ctx: RunCtx,
+    ) -> Option<AnalysisSession> {
+        let snap = SnapshotReader::open(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION).ok()?;
+        if snap.key() != key {
+            return None;
+        }
+        let mut want = ByteWriter::new();
+        thinslice_pta::snap::encode_config(&config, &mut want);
+        if snap.section("config")? != want.into_bytes().as_slice() {
+            return None;
+        }
+        let program = decode_section(snap.section("program")?, thinslice_ir::snap::decode_program)?;
+        let fingerprints = match snap.section("fingerprints") {
+            Some(b) => Some(decode_section(b, ProgramFingerprints::decode)?),
+            None => None,
+        };
+        let pta = match snap.section("pta") {
+            Some(b) => {
+                let pta = decode_section(b, thinslice_pta::snap::decode_pta)?;
+                let stored = decode_section(
+                    snap.section("streams")?,
+                    thinslice_pta::snap::decode_stream_hashes,
+                )?;
+                if stored != thinslice_pta::snap::reachable_stream_hashes(&pta, &program) {
+                    return None;
+                }
+                Some((pta, Completeness::Complete))
+            }
+            None => None,
+        };
+        // The growable graphs are adopted as encoded bytes and decoded
+        // on first use — queries traverse the frozen graphs below, so
+        // the warm-start path never pays for graph replay it may never
+        // need. (The whole-file checksum already vouched for the bytes;
+        // a section that still fails to decode falls back to a clean
+        // rebuild inside the ensure path.)
+        let ci_snap = snap.section("ci").map(<[u8]>::to_vec);
+        let ci_csr = match snap.section("ci_csr") {
+            Some(b) => Some(decode_section(b, thinslice_sdg::snap::decode_frozen)?),
+            None => None,
+        };
+        let cs_snap = snap.section("cs").map(<[u8]>::to_vec);
+        let cs_csr = match snap.section("cs_csr") {
+            Some(b) => Some(decode_section(b, thinslice_sdg::snap::decode_frozen)?),
+            None => None,
+        };
+        let cs_index = match snap.section("cs_index") {
+            Some(b) => Some(decode_section(b, thinslice_sdg::snap::decode_down)?),
+            None => None,
+        };
+        // Stage-dependency invariants: each artifact implies its input.
+        let ok = (pta.is_some() || (ci_snap.is_none() && cs_snap.is_none()))
+            && (ci_snap.is_some() || ci_csr.is_none())
+            && (cs_snap.is_some() || cs_csr.is_none())
+            && (cs_csr.is_some() || cs_index.is_none());
+        if !ok {
+            return None;
+        }
+        Some(AnalysisSession {
+            ctx,
+            config,
+            program,
+            fingerprints,
+            pta,
+            ci: None,
+            ci_snap,
+            ci_csr,
+            cs: None,
+            cs_snap,
+            cs_csr,
+            cs_index,
+            scratch: SliceScratch::new(),
+            cs_scratch: [CsScratch::new(), CsScratch::new(), CsScratch::new()],
+            gen_cache: GenCache::new(),
+            sdg_cache: SdgCache::new(),
+        })
+    }
+
     /// Converts the session into the eager [`Analysis`] façade (forces
     /// the CI pipeline). The CS artifacts, if built, are dropped.
     pub fn into_analysis(mut self) -> Analysis {
+        // ensure_ci_csr short-circuits on a restored frozen graph, so
+        // force the growable graph explicitly (it may still be pending
+        // snapshot decode).
+        self.ensure_ci();
         self.ensure_ci_csr();
         Analysis {
             program: self.program,
@@ -964,6 +1208,17 @@ impl AnalysisSession {
 }
 
 /// Total constraint-generation sites across a program's method bodies.
+/// Decodes one snapshot section, requiring the decoder to consume it
+/// exactly; `None` on any codec error (the caller rebuilds instead).
+fn decode_section<'a, T>(
+    bytes: &'a [u8],
+    f: impl FnOnce(&mut ByteReader<'a>) -> Result<T, CodecError>,
+) -> Option<T> {
+    let mut r = ByteReader::new(bytes);
+    let v = f(&mut r).ok()?;
+    r.is_at_end().then_some(v)
+}
+
 fn total_sites(program: &Program) -> u64 {
     program
         .methods
@@ -1207,6 +1462,199 @@ mod tests {
             partial.stmts.in_order(),
             &full.stmts.in_order()[..partial.stmts.len()]
         );
+    }
+
+    /// Every engine × kind answer of `a` and `b` must be identical,
+    /// statement order included.
+    fn assert_sessions_identical(a: &mut AnalysisSession, b: &mut AnalysisSession, line: u32) {
+        let seeds = a.seed_at_line("t.mj", line).unwrap();
+        assert_eq!(seeds, b.seed_at_line("t.mj", line).unwrap());
+        for engine in [Engine::Ci, Engine::Cs] {
+            for kind in [
+                SliceKind::Thin,
+                SliceKind::TraditionalData,
+                SliceKind::TraditionalFull,
+            ] {
+                let q = Query::new(seeds.clone(), kind, engine);
+                let ra = a.query(&q);
+                let rb = b.query(&q);
+                assert_eq!(
+                    ra.stmts.in_order(),
+                    rb.stmts.in_order(),
+                    "{engine:?}/{kind:?}"
+                );
+                assert_eq!(ra.nodes, rb.nodes);
+                assert_eq!(ra.completeness, rb.completeness);
+            }
+        }
+    }
+
+    fn full_session() -> AnalysisSession {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        // Force every stage: CI CSR, CS CSR, and the down-edge index.
+        s.query(&Query::new(seeds.clone(), SliceKind::Thin, Engine::Ci));
+        s.query(&Query::new(seeds, SliceKind::Thin, Engine::Cs));
+        s
+    }
+
+    #[test]
+    fn snapshot_restore_answers_bit_identically() {
+        let mut s = full_session();
+        let bytes = s
+            .write_snapshot("deadbeef")
+            .expect("complete stages snapshot");
+        let mut restored = AnalysisSession::from_snapshot(
+            &bytes,
+            "deadbeef",
+            PtaConfig::default(),
+            RunCtx::disabled(),
+        )
+        .expect("clean snapshot restores");
+        assert!(restored.pta.is_some());
+        assert!(restored.ci_csr.is_some() && restored.cs_csr.is_some());
+        assert!(restored.cs_index.is_some());
+        // The growable graphs are adopted as pending bytes; queries go
+        // through the frozen graphs and never force them.
+        assert!(restored.ci.is_none() && restored.ci_snap.is_some());
+        assert!(restored.cs.is_none() && restored.cs_snap.is_some());
+        assert_sessions_identical(&mut restored, &mut s, 10);
+        assert!(restored.ci.is_none() && restored.cs.is_none());
+        // Forcing them decodes the donor's exact graphs.
+        assert!(restored.ci_sdg().same_graph(s.ci_sdg()));
+        restored.ensure_cs();
+        assert!(restored
+            .cs
+            .as_ref()
+            .unwrap()
+            .same_graph(s.cs.as_ref().unwrap()));
+        // And against a genuinely fresh build.
+        assert_matches_fresh(&mut restored, SRC, 10);
+    }
+
+    #[test]
+    fn snapshot_preserves_stage_laziness() {
+        let mut s = AnalysisSession::new(&[("t.mj", SRC)]).unwrap();
+        let seeds = s.seed_at_line("t.mj", 10).unwrap();
+        s.query(&Query::new(seeds, SliceKind::Thin, Engine::Ci));
+        assert!(s.cs.is_none());
+        let bytes = s.write_snapshot("k").unwrap();
+        let restored =
+            AnalysisSession::from_snapshot(&bytes, "k", PtaConfig::default(), RunCtx::disabled())
+                .unwrap();
+        assert!(restored.pta.is_some() && restored.ci_csr.is_some());
+        assert!(
+            restored.cs.is_none() && restored.cs_csr.is_none() && restored.cs_index.is_none(),
+            "a stage never built must not materialise through a snapshot"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_mismatch_and_corruption() {
+        let s = full_session();
+        let bytes = s.write_snapshot("cafe").unwrap();
+        let ok = |b: &[u8], key: &str, config: PtaConfig| {
+            AnalysisSession::from_snapshot(b, key, config, RunCtx::disabled()).is_some()
+        };
+        assert!(ok(&bytes, "cafe", PtaConfig::default()));
+        // Wrong key: the caller's sources hash elsewhere.
+        assert!(!ok(&bytes, "beef", PtaConfig::default()));
+        // Config drift: the solved result answers a different question.
+        let other = PtaConfig {
+            object_sensitive_containers: false,
+            ..PtaConfig::default()
+        };
+        assert!(!ok(&bytes, "cafe", other));
+        // Truncation anywhere is caught by the container checks.
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                !ok(&bytes[..cut], "cafe", PtaConfig::default()),
+                "cut={cut}"
+            );
+        }
+        // Any single bit flip is caught by the whole-file checksum.
+        for pos in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(!ok(&bad, "cafe", PtaConfig::default()), "flip at {pos}");
+        }
+    }
+
+    #[test]
+    fn snapshot_declines_truncated_stages() {
+        let mut s = full_session();
+        assert!(s.write_snapshot("k").is_some());
+        s.pta.as_mut().unwrap().1 = Completeness::Truncated {
+            reason: crate::ExhaustReason::StepQuota,
+            frontier: 1,
+        };
+        assert!(
+            s.write_snapshot("k").is_none(),
+            "a truncated stage must be rebuilt, not persisted"
+        );
+    }
+
+    #[test]
+    fn update_after_restore_matches_fresh() {
+        let s = full_session();
+        let bytes = s.write_snapshot("k").unwrap();
+        let mut restored =
+            AnalysisSession::from_snapshot(&bytes, "k", PtaConfig::default(), RunCtx::disabled())
+                .unwrap();
+        // Body-only edit on the restored session: the retained
+        // fingerprints must drive the same incremental path a live
+        // session takes, and the answers must match a fresh build.
+        let edited = SRC.replace("print(got);", "Object extra = b.take();\nprint(got);");
+        let stats = restored.update(&[("t.mj", &edited)]).unwrap();
+        assert!(!stats.structural && !stats.undiffed, "{stats:?}");
+        assert_matches_fresh(&mut restored, &edited, 10);
+    }
+
+    #[test]
+    fn snapshot_store_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("tsnap-test-{}", std::process::id()));
+        let store = crate::snapshot::SnapshotStore::new(&dir);
+        let mut s = full_session();
+        let key = "0123456789abcdef";
+        assert!(store
+            .load(key, PtaConfig::default(), RunCtx::disabled())
+            .is_none());
+        let size = store.save(&s, key).expect("save succeeds");
+        assert!(size > 0 && store.path(key).exists());
+        let mut restored = store
+            .load(key, PtaConfig::default(), RunCtx::disabled())
+            .expect("load succeeds");
+        assert_sessions_identical(&mut restored, &mut s, 10);
+        assert!(store.invalidate(key));
+        assert!(!store.path(key).exists());
+        assert!(store
+            .load(key, PtaConfig::default(), RunCtx::disabled())
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resident_estimate_counts_solved_and_cached_state() {
+        let s = full_session();
+        // The old estimator: program statements plus graph nodes/edges
+        // only. Solved points-to sets, constraint streams, and per-method
+        // SDG artifacts were invisible to the eviction watermark.
+        let mut csr_only = s.program.all_stmts().count();
+        for csr in [&s.ci_csr, &s.cs_csr].into_iter().flatten() {
+            csr_only += csr.node_count() + csr.edge_count();
+        }
+        for sdg in s.ci.iter().map(|(g, _)| g).chain(s.cs.iter()) {
+            csr_only += sdg.node_count() + sdg.edge_count();
+        }
+        let full = s.resident_estimate();
+        assert!(
+            full > csr_only,
+            "solved+cached state must register: {full} vs {csr_only}"
+        );
+        let (pta, _) = s.pta.as_ref().unwrap();
+        assert!(pta.resident_estimate() > 0);
+        assert!(s.gen_cache.resident_estimate() > 0);
+        assert!(s.sdg_cache.resident_estimate() > 0);
     }
 
     #[test]

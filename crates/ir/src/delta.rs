@@ -253,6 +253,36 @@ impl ProgramFingerprints {
         summarize(ast, &mut self.fns, &mut shape);
         self.shape = shape.finish();
     }
+
+    /// Encodes the fingerprints for a warm-start snapshot. Entries are
+    /// written sorted by [`FnKey`] so the encoding is canonical.
+    pub fn encode(&self, w: &mut thinslice_util::ByteWriter) {
+        w.u64_le(self.shape);
+        let mut keys: Vec<&FnKey> = self.fns.keys().collect();
+        keys.sort();
+        w.vusize(keys.len());
+        for key in keys {
+            let fp = self.fns[key];
+            w.str(&key.class);
+            w.str(&key.name);
+            w.u64_le(fp.sig);
+            w.u64_le(fp.body);
+        }
+    }
+
+    /// Decodes fingerprints previously written by [`Self::encode`].
+    pub fn decode(r: &mut thinslice_util::ByteReader) -> Result<Self, thinslice_util::CodecError> {
+        let shape = r.u64_le()?;
+        let mut fns = FxHashMap::default();
+        for _ in 0..r.vusize()? {
+            let class = r.str()?.to_string();
+            let name = r.str()?.to_string();
+            let sig = r.u64_le()?;
+            let body = r.u64_le()?;
+            fns.insert(FnKey { class, name }, FnFp { sig, body });
+        }
+        Ok(ProgramFingerprints { fns, shape })
+    }
 }
 
 impl Default for ProgramFingerprints {
@@ -645,6 +675,25 @@ mod tests {
             d.is_structural(),
             "MethodId order depends on declaration order"
         );
+    }
+
+    #[test]
+    fn fingerprints_roundtrip_through_codec() {
+        let fps = ProgramFingerprints::of(&[("main.mj", BASE)]).unwrap();
+        let mut w = thinslice_util::ByteWriter::new();
+        fps.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = thinslice_util::ByteReader::new(&bytes);
+        let back = ProgramFingerprints::decode(&mut r).unwrap();
+        assert!(r.is_at_end());
+        assert_eq!(back.shape, fps.shape);
+        assert_eq!(back.fns, fps.fns);
+        // A restored fingerprint set diffs exactly like the original.
+        let edited =
+            ProgramFingerprints::of(&[("main.mj", &BASE.replace("+ by", "- by"))]).unwrap();
+        let d = ProgramDelta::between_fingerprints(&back, &edited);
+        assert_eq!(keys(&d.changed), ["Main.tick"]);
+        assert!(!d.is_structural());
     }
 
     #[test]

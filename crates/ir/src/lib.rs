@@ -45,6 +45,7 @@ pub mod lexer;
 mod lower;
 pub mod parser;
 pub mod pretty;
+pub mod snap;
 pub mod span;
 pub mod ssa;
 pub mod stdlib;

@@ -113,6 +113,100 @@ impl CallGraph {
         methods
     }
 
+    /// Total number of call edges (summed over call sites).
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// Encodes the graph for a warm-start snapshot.
+    ///
+    /// Nodes are written in intern order; both adjacency maps are written
+    /// with sorted keys but *unsorted* per-key target vectors, so a decoded
+    /// graph answers [`Self::targets`] and [`Self::callers`] with exactly
+    /// the vectors (contents *and* order) the solver produced.
+    pub fn encode(&self, w: &mut thinslice_util::ByteWriter) {
+        w.vusize(self.nodes.len());
+        for (m, ctx) in self.nodes.iter() {
+            w.vu64(u64::from(m.raw()));
+            match ctx {
+                Ctx::Insensitive => w.u8(0),
+                Ctx::Obj(o) => {
+                    w.u8(1);
+                    w.vu64(u64::from(o.raw()));
+                }
+            }
+        }
+        let mut edge_keys: Vec<&(CgNode, Loc)> = self.edges.keys().collect();
+        edge_keys.sort();
+        w.vusize(edge_keys.len());
+        for key in edge_keys {
+            let (caller, site) = key;
+            w.vu64(u64::from(caller.raw()));
+            w.vu64(u64::from(site.block.raw()));
+            w.vu64(u64::from(site.index));
+            let targets = &self.edges[key];
+            w.vusize(targets.len());
+            for t in targets {
+                w.vu64(u64::from(t.raw()));
+            }
+        }
+        let mut caller_keys: Vec<&CgNode> = self.callers.keys().collect();
+        caller_keys.sort();
+        w.vusize(caller_keys.len());
+        for key in caller_keys {
+            w.vu64(u64::from(key.raw()));
+            let sites = &self.callers[key];
+            w.vusize(sites.len());
+            for (n, site) in sites {
+                w.vu64(u64::from(n.raw()));
+                w.vu64(u64::from(site.block.raw()));
+                w.vu64(u64::from(site.index));
+            }
+        }
+    }
+
+    /// Decodes a graph written by [`Self::encode`].
+    pub fn decode(
+        r: &mut thinslice_util::ByteReader,
+    ) -> Result<CallGraph, thinslice_util::CodecError> {
+        let mut cg = CallGraph::new();
+        for _ in 0..r.vusize()? {
+            let m = MethodId::new(r.vusize()?);
+            let ctx = match r.u8()? {
+                0 => Ctx::Insensitive,
+                1 => Ctx::Obj(ObjId::new(r.vusize()?)),
+                _ => return Err(thinslice_util::CodecError::Malformed("call ctx")),
+            };
+            cg.intern(m, ctx);
+        }
+        let d_loc =
+            |r: &mut thinslice_util::ByteReader| -> Result<Loc, thinslice_util::CodecError> {
+                Ok(Loc {
+                    block: thinslice_ir::BlockId::new(r.vusize()?),
+                    index: r.vu64()? as u32,
+                })
+            };
+        for _ in 0..r.vusize()? {
+            let caller = CgNode::new(r.vusize()?);
+            let site = d_loc(r)?;
+            let mut targets = Vec::new();
+            for _ in 0..r.vusize()? {
+                targets.push(CgNode::new(r.vusize()?));
+            }
+            cg.edges.insert((caller, site), targets);
+        }
+        for _ in 0..r.vusize()? {
+            let callee = CgNode::new(r.vusize()?);
+            let mut sites = Vec::new();
+            for _ in 0..r.vusize()? {
+                let n = CgNode::new(r.vusize()?);
+                sites.push((n, d_loc(r)?));
+            }
+            cg.callers.insert(callee, sites);
+        }
+        Ok(cg)
+    }
+
     /// Collapses edges to the method level: call statement → possible target
     /// methods (context-insensitive view used by the dependence graph).
     pub fn method_level_targets(&self) -> FxHashMap<StmtRef, Vec<MethodId>> {

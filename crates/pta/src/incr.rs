@@ -94,6 +94,13 @@ impl GenCache {
     pub fn is_empty(&self) -> bool {
         self.streams.is_empty()
     }
+
+    /// A rough element count of the retained constraint streams, for
+    /// session footprint accounting (one element per cached generation
+    /// site, plus one per entry so empty streams still register).
+    pub fn resident_estimate(&self) -> usize {
+        self.streams.values().map(|s| s.len() + 1).sum()
+    }
 }
 
 /// Whether an instruction is a *generation site*: it can contribute

@@ -40,6 +40,7 @@ pub mod cha;
 pub mod heap;
 pub mod incr;
 pub mod modref;
+pub mod snap;
 pub mod solver;
 pub mod stats;
 
@@ -121,14 +122,14 @@ pub struct Pta {
     pub constraint_edges: usize,
     /// Propagation statistics of the solver run that produced this result.
     pub solve_stats: SolveStats,
-    var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>>,
-    inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>>,
-    field_pts: FxHashMap<(ObjId, FieldId), BitSet<ObjId>>,
-    array_pts: FxHashMap<ObjId, BitSet<ObjId>>,
-    static_pts: FxHashMap<FieldId, BitSet<ObjId>>,
-    call_targets: FxHashMap<StmtRef, Vec<MethodId>>,
-    instances: FxHashMap<MethodId, Vec<CgNode>>,
-    empty: BitSet<ObjId>,
+    pub(crate) var_pts: FxHashMap<(MethodId, Var), BitSet<ObjId>>,
+    pub(crate) inst_var_pts: FxHashMap<(CgNode, Var), BitSet<ObjId>>,
+    pub(crate) field_pts: FxHashMap<(ObjId, FieldId), BitSet<ObjId>>,
+    pub(crate) array_pts: FxHashMap<ObjId, BitSet<ObjId>>,
+    pub(crate) static_pts: FxHashMap<FieldId, BitSet<ObjId>>,
+    pub(crate) call_targets: FxHashMap<StmtRef, Vec<MethodId>>,
+    pub(crate) instances: FxHashMap<MethodId, Vec<CgNode>>,
+    pub(crate) empty: BitSet<ObjId>,
 }
 
 impl Pta {
@@ -321,6 +322,29 @@ impl Pta {
     /// All methods reachable from `main` (including natives).
     pub fn reachable_methods(&self) -> Vec<MethodId> {
         self.callgraph.reachable_methods()
+    }
+
+    /// A rough resident-set estimate of the solved result, in elements:
+    /// abstract objects, call-graph nodes and edges, and the backing words
+    /// of every points-to set. Cheap (no allocation) and deterministic;
+    /// session-level footprint accounting sums this into its watermark so
+    /// solved points-to state is visible to eviction decisions.
+    pub fn resident_estimate(&self) -> usize {
+        fn set_words<K>(sets: &FxHashMap<K, BitSet<ObjId>>) -> usize {
+            sets.values().map(|s| s.as_words().len() + 1).sum()
+        }
+        let mut elems = self.objects.len() + self.callgraph.node_count();
+        elems += self.callgraph.edge_count();
+        elems += set_words(&self.var_pts) + set_words(&self.inst_var_pts);
+        elems += set_words(&self.field_pts) + set_words(&self.array_pts);
+        elems += set_words(&self.static_pts);
+        elems += self
+            .call_targets
+            .values()
+            .map(|v| v.len() + 1)
+            .sum::<usize>();
+        elems += self.instances.values().map(|v| v.len() + 1).sum::<usize>();
+        elems
     }
 
     /// Whether a downcast of `src` to `target` is *verified* by this

@@ -80,6 +80,18 @@ impl SdgCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// A rough element count of the retained artifacts (def sites plus
+    /// control-dependence edges, one extra per entry), for session
+    /// footprint accounting.
+    pub fn resident_estimate(&self) -> usize {
+        self.entries
+            .values()
+            .map(|(defs, control)| {
+                defs.len() + control.deps.iter().map(Vec::len).sum::<usize>() + 1
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

@@ -116,30 +116,30 @@ impl DepGraph for Sdg {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FrozenSdg {
-    mode: HeapMode,
+    pub(crate) mode: HeapMode,
     /// CSR row offsets; `offsets.len() == node_count + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// All edges, grouped by source node, per-node order preserved.
-    edges: Vec<Edge>,
+    pub(crate) edges: Vec<Edge>,
     /// Node kinds, indexed by `NodeId`.
-    kinds: Vec<NodeKind>,
+    pub(crate) kinds: Vec<NodeKind>,
     /// Pre-resolved display statements, indexed by `NodeId`.
-    display: Vec<Option<StmtRef>>,
+    pub(crate) display: Vec<Option<StmtRef>>,
     /// Dense id of each node's display statement ([`NO_DISPLAY`] if none):
     /// distinct display statements numbered `0..display_stmts.len()`.
-    display_idx: Vec<u32>,
+    pub(crate) display_idx: Vec<u32>,
     /// The distinct display statements, indexed by their dense id.
-    display_stmts: Vec<StmtRef>,
+    pub(crate) display_stmts: Vec<StmtRef>,
     /// All instance nodes of a statement, for seed resolution. Holds
     /// *external* (growable-graph) ids in original intern order.
-    nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>>,
+    pub(crate) nodes_of_stmt: FxHashMap<StmtRef, Vec<NodeId>>,
     /// BFS renumbering: `perm[external] = internal`.
-    perm: Vec<NodeId>,
+    pub(crate) perm: Vec<NodeId>,
     /// Inverse renumbering: `inv[internal] = external`.
-    inv: Vec<NodeId>,
+    pub(crate) inv: Vec<NodeId>,
     /// Lazily built [`DownConsumers`] index (a pure graph fact, so it is
     /// cached on the graph and shared by every batch and thread).
-    down: OnceLock<DownConsumers>,
+    pub(crate) down: OnceLock<DownConsumers>,
 }
 
 /// Sentinel dense id for nodes without a display statement.
@@ -222,10 +222,10 @@ impl FrozenSdg {
 #[derive(Debug, Clone, Default)]
 pub struct DownConsumers {
     /// Distinct `(site, exit)` keys, sorted.
-    keys: Vec<(NodeId, NodeId)>,
+    pub(crate) keys: Vec<(NodeId, NodeId)>,
     /// `consumers[offsets[i]..offsets[i + 1]]` = consumers of `keys[i]`.
-    offsets: Vec<u32>,
-    consumers: Vec<NodeId>,
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) consumers: Vec<NodeId>,
 }
 
 impl DownConsumers {

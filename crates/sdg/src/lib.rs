@@ -41,6 +41,7 @@ pub mod csr;
 pub mod fingerprint;
 pub mod heap_params;
 pub mod node;
+pub mod snap;
 pub mod stats;
 
 #[allow(deprecated)]

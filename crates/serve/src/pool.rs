@@ -34,25 +34,25 @@
 //! [`Meter::check_now`]: thinslice_util::Meter::check_now
 //! [`ExhaustReason::Memory`]: thinslice_util::ExhaustReason::Memory
 
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::protocol::{SessionRow, SourceFile};
-use thinslice::{AnalysisSession, UpdateStats};
+use thinslice::{AnalysisSession, SnapshotLoad, SnapshotStore, UpdateStats};
 use thinslice_ir::CompileError;
 use thinslice_pta::PtaConfig;
 use thinslice_util::telemetry::{FlightKind, FlightRecorder, Telemetry};
-use thinslice_util::{Budget, FxHasher, RunCtx};
+use thinslice_util::{Budget, RunCtx};
 
 /// The pool's 16-hex-digit program key: an order-sensitive FxHash over
 /// every file name and text. Deterministic across runs and platforms.
+/// Delegates to core's [`thinslice::source_hash`] so the pool key and
+/// the warm-start snapshot key are the same string by construction.
 pub fn program_hash(sources: &[SourceFile]) -> String {
-    let mut h = FxHasher::default();
-    for s in sources {
-        s.name.hash(&mut h);
-        s.text.hash(&mut h);
-    }
-    format!("{:016x}", h.finish())
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|s| (s.name.as_str(), s.text.as_str()))
+        .collect();
+    thinslice::source_hash(&refs)
 }
 
 /// Pool sizing knobs.
@@ -65,6 +65,11 @@ pub struct PoolConfig {
     pub resident_watermark: Option<usize>,
     /// Points-to configuration for every session.
     pub pta: PtaConfig,
+    /// Directory of warm-start session snapshots ([`None`] disables
+    /// persistence). Sessions are persisted on build, reload, eviction,
+    /// and drain, keyed by content hash; a later build of the same
+    /// content restores instead of recompiling.
+    pub snapshot_dir: Option<String>,
 }
 
 impl Default for PoolConfig {
@@ -73,6 +78,7 @@ impl Default for PoolConfig {
             max_sessions: 8,
             resident_watermark: None,
             pta: PtaConfig::default(),
+            snapshot_dir: None,
         }
     }
 }
@@ -98,6 +104,17 @@ pub struct PoolStats {
     /// remainder had to rebuild from the new sources. The ratio is the
     /// fleet's incremental-reuse rate.
     pub reloads_incremental: u64,
+    /// Session builds satisfied by a warm-start snapshot restore
+    /// (a subset of `builds` — a restore still materialises a session).
+    pub snapshot_hits: u64,
+    /// Builds that looked for a snapshot and found no file.
+    pub snapshot_misses: u64,
+    /// Snapshot files persisted (build/reload/evict/drain).
+    pub snapshot_writes: u64,
+    /// Snapshot files found but discarded — corruption, version skew,
+    /// or an integrity/config mismatch. The stale file is deleted and
+    /// the session is built from sources.
+    pub snapshot_discarded_corrupt: u64,
 }
 
 #[derive(Debug)]
@@ -161,6 +178,8 @@ pub struct SessionPool {
     /// Flight recorder for pool lifecycle events (build / evict /
     /// quarantine); [`None`] leaves the pool entirely unobserved.
     recorder: Option<Arc<FlightRecorder>>,
+    /// Warm-start snapshot store; [`None`] when persistence is off.
+    store: Option<SnapshotStore>,
     entries: Vec<PoolEntry>,
     clock: u64,
     /// Monotone counters; see [`PoolStats`].
@@ -198,10 +217,12 @@ impl SessionPool {
     /// An empty pool; sessions are built under `telemetry` (disabled for
     /// a deterministic, untraced server).
     pub fn new(cfg: PoolConfig, telemetry: Telemetry) -> SessionPool {
+        let store = cfg.snapshot_dir.as_ref().map(SnapshotStore::new);
         SessionPool {
             cfg,
             telemetry,
             recorder: None,
+            store,
             entries: Vec::new(),
             clock: 0,
             stats: PoolStats::default(),
@@ -239,6 +260,67 @@ impl SessionPool {
             self.cfg.pta.clone(),
             self.session_ctx(),
         )?))
+    }
+
+    /// Attempts a warm start from the snapshot keyed by content hash,
+    /// counting the outcome. A corrupt or stale file is deleted so it
+    /// is not re-parsed on every subsequent build.
+    fn warm_start(&mut self, content: &str) -> Option<Box<AnalysisSession>> {
+        let store = self.store.clone()?;
+        match store.try_load(content, self.cfg.pta.clone(), self.session_ctx()) {
+            SnapshotLoad::Loaded(session) => {
+                self.stats.snapshot_hits += 1;
+                self.flight(
+                    FlightKind::SessionBuilt,
+                    content,
+                    session.resident_estimate() as u64,
+                    2, // restored from snapshot, not compiled
+                );
+                Some(session)
+            }
+            SnapshotLoad::Missing => {
+                self.stats.snapshot_misses += 1;
+                None
+            }
+            SnapshotLoad::Discarded => {
+                self.stats.snapshot_discarded_corrupt += 1;
+                store.invalidate(content);
+                None
+            }
+        }
+    }
+
+    /// Best-effort snapshot persistence; a declined or failed save is
+    /// invisible to the query path.
+    fn persist(&mut self, session: &AnalysisSession, content: &str) {
+        if let Some(store) = &self.store {
+            if store.save(session, content).is_some() {
+                self.stats.snapshot_writes += 1;
+            }
+        }
+    }
+
+    /// Deletes the snapshot keyed `content` (a reload made it stale).
+    fn invalidate_snapshot(&self, content: &str) {
+        if let Some(store) = &self.store {
+            store.invalidate(content);
+        }
+    }
+
+    /// Persists every live session. The server calls this on drain so a
+    /// restarted daemon warm-starts with all forced stages intact.
+    pub fn persist_all(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        for i in 0..self.entries.len() {
+            let session = self.entries[i].session.take();
+            let content = self.entries[i].content.clone();
+            if let Some(s) = &session {
+                self.persist(s, &content);
+            }
+            self.entries[i].session = session;
+        }
     }
 
     fn find(&self, hash: &str) -> Option<usize> {
@@ -281,11 +363,23 @@ impl SessionPool {
                 resident,
             });
         }
-        let session = self.build_session(&sources)?;
+        let session = match self.warm_start(&hash) {
+            Some(session) => session,
+            None => {
+                let session = self.build_session(&sources)?;
+                self.flight(
+                    FlightKind::SessionBuilt,
+                    &hash,
+                    session.resident_estimate() as u64,
+                    0,
+                );
+                self.persist(&session, &hash);
+                session
+            }
+        };
         self.stats.builds += 1;
         self.stats.misses += 1;
         let resident = session.resident_estimate();
-        self.flight(FlightKind::SessionBuilt, &hash, resident as u64, 0);
         let now = self.tick();
         self.entries.push(PoolEntry {
             hash: hash.clone(),
@@ -331,16 +425,24 @@ impl SessionPool {
             });
         }
         let was_quarantined = self.entries[i].quarantined;
-        let session = self
-            .build_session(&self.entries[i].sources)
-            .map_err(PoolError::Compile)?;
+        let content = self.entries[i].content.clone();
+        let session = match self.warm_start(&content) {
+            Some(session) => session,
+            None => {
+                let session = self
+                    .build_session(&self.entries[i].sources)
+                    .map_err(PoolError::Compile)?;
+                self.flight(
+                    FlightKind::SessionBuilt,
+                    hash,
+                    session.resident_estimate() as u64,
+                    u64::from(was_quarantined),
+                );
+                self.persist(&session, &content);
+                session
+            }
+        };
         self.stats.builds += 1;
-        self.flight(
-            FlightKind::SessionBuilt,
-            hash,
-            session.resident_estimate() as u64,
-            u64::from(was_quarantined),
-        );
         if was_quarantined {
             self.stats.rebuilds += 1;
         } else {
@@ -385,6 +487,14 @@ impl SessionPool {
             match session.update(&refs) {
                 Ok(stats) => {
                     let resident = session.resident_estimate();
+                    // The on-disk snapshot of the old sources is stale
+                    // the moment the reload lands; replace it with one
+                    // for the new content.
+                    let stale = self.entries[i].content.clone();
+                    if stale != content {
+                        self.invalidate_snapshot(&stale);
+                    }
+                    self.persist(&session, &content);
                     let e = &mut self.entries[i];
                     e.session = Some(session);
                     e.sources = new_sources;
@@ -419,10 +529,21 @@ impl SessionPool {
             }
         } else {
             // Evicted or quarantined: build directly from the new sources.
-            let session = self
-                .build_session(&new_sources)
-                .map_err(PoolError::Compile)?;
+            let session = match self.warm_start(&content) {
+                Some(session) => session,
+                None => {
+                    let session = self
+                        .build_session(&new_sources)
+                        .map_err(PoolError::Compile)?;
+                    self.persist(&session, &content);
+                    session
+                }
+            };
             self.stats.builds += 1;
+            let stale = self.entries[i].content.clone();
+            if stale != content {
+                self.invalidate_snapshot(&stale);
+            }
             let resident = session.resident_estimate();
             let e = &mut self.entries[i];
             e.session = Some(session);
@@ -557,9 +678,16 @@ impl SessionPool {
             .min_by_key(|(_, e)| e.last_used)
             .map(|(i, _)| i);
         let Some(i) = victim else { return false };
+        // Persist the victim's forced stages before dropping them, so a
+        // later checkout restores instead of recompiling.
+        let session = self.entries[i].session.take();
+        let content = self.entries[i].content.clone();
+        if let Some(s) = &session {
+            self.persist(s, &content);
+        }
+        drop(session);
         let (hash, resident) = {
             let e = &mut self.entries[i];
-            e.session = None;
             let r = e.resident;
             e.resident = 0;
             (e.hash.clone(), r)
@@ -794,6 +922,117 @@ mod tests {
         let mut fresh = SessionPool::new(PoolConfig::default(), Telemetry::disabled());
         let fh = fresh.register(main_with(2)).unwrap().hash;
         assert_eq!(slice_line_2(&mut pool, &h), slice_line_2(&mut fresh, &fh));
+    }
+
+    /// A fresh scratch directory for one test's snapshot store.
+    fn snap_dir(test: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("ts_pool_{test}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn snap_pool(dir: &str) -> SessionPool {
+        SessionPool::new(
+            PoolConfig {
+                snapshot_dir: Some(dir.to_string()),
+                ..PoolConfig::default()
+            },
+            Telemetry::disabled(),
+        )
+    }
+
+    #[test]
+    fn snapshot_survives_pool_restart() {
+        let dir = snap_dir("restart");
+        let mut pool = snap_pool(&dir);
+        let h = pool.register(main_with(1)).unwrap().hash;
+        let expected = slice_line_2(&mut pool, &h);
+        assert_eq!(pool.stats.snapshot_misses, 1, "cold build misses");
+        assert_eq!(pool.stats.snapshot_writes, 1, "persisted on build");
+        pool.persist_all();
+        assert!(pool.stats.snapshot_writes >= 2, "drain re-persists");
+
+        // A brand-new pool (a restarted daemon) warm-starts on load.
+        let mut pool2 = snap_pool(&dir);
+        let out = pool2.register(main_with(1)).unwrap();
+        assert_eq!(out.hash, h);
+        assert_eq!(pool2.stats.snapshot_hits, 1, "restored, not compiled");
+        assert_eq!(pool2.stats.builds, 1, "a restore still counts as a build");
+        assert_eq!(slice_line_2(&mut pool2, &h), expected, "bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_warm_starts_evicted_sessions() {
+        let dir = snap_dir("evict");
+        let mut pool = SessionPool::new(
+            PoolConfig {
+                max_sessions: 1,
+                snapshot_dir: Some(dir.clone()),
+                ..PoolConfig::default()
+            },
+            Telemetry::disabled(),
+        );
+        let h = pool.register(main_with(1)).unwrap().hash;
+        let expected = slice_line_2(&mut pool, &h);
+        // Evict program 1; eviction persists its forced stages.
+        pool.register(program(2)).unwrap();
+        assert_eq!(pool.stats.evictions, 1);
+        let writes = pool.stats.snapshot_writes;
+        assert!(writes >= 2, "build + evict both persisted");
+        // The rebuild restores from disk instead of recompiling, with
+        // the evicted session's forced stages intact.
+        assert_eq!(slice_line_2(&mut pool, &h), expected);
+        assert_eq!(pool.stats.snapshot_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_invalidates_the_stale_snapshot() {
+        let dir = snap_dir("reload");
+        let mut pool = snap_pool(&dir);
+        let h = pool.register(main_with(1)).unwrap().hash;
+        slice_line_2(&mut pool, &h);
+        let store = SnapshotStore::new(&dir);
+        assert!(
+            store.path(&h).exists(),
+            "build persisted under content hash"
+        );
+        let out = pool.reload(&h, main_with(2)).unwrap();
+        assert!(
+            !store.path(&h).exists(),
+            "reload deletes the superseded snapshot"
+        );
+        assert!(
+            store.path(&out.content).exists(),
+            "and persists one for the new content"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_discarded_and_rebuilt() {
+        let dir = snap_dir("corrupt");
+        let mut pool = snap_pool(&dir);
+        let h = pool.register(main_with(1)).unwrap().hash;
+        let expected = slice_line_2(&mut pool, &h);
+        // Flip a byte in the middle of the persisted file.
+        let path = SnapshotStore::new(&dir).path(&h);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut pool2 = snap_pool(&dir);
+        pool2.register(main_with(1)).unwrap();
+        assert_eq!(pool2.stats.snapshot_discarded_corrupt, 1);
+        assert_eq!(pool2.stats.snapshot_hits, 0);
+        assert_eq!(
+            slice_line_2(&mut pool2, &h),
+            expected,
+            "rebuilt from sources"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

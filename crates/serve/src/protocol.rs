@@ -830,6 +830,14 @@ pub struct StatsSnapshot {
     pub pool_reloads: u64,
     /// Reloads that updated a resident session in place (vs rebuilt).
     pub pool_reloads_incremental: u64,
+    /// Session builds satisfied by a warm-start snapshot restore.
+    pub snapshot_hits: u64,
+    /// Builds that looked for a snapshot and found no file.
+    pub snapshot_misses: u64,
+    /// Snapshot files persisted (build/reload/evict/drain).
+    pub snapshot_writes: u64,
+    /// Snapshot files found but discarded as corrupt or stale.
+    pub snapshot_discarded_corrupt: u64,
     /// Flight-recorder events ever recorded (0 when disabled).
     pub recorded: u64,
     /// Flight-recorder ring capacity (0 when disabled).
@@ -858,7 +866,8 @@ pub fn stats_doc(s: &StatsSnapshot) -> String {
         "{{\"schema\":{},\"uptime_ms\":{},\"pool\":{{\"programs\":{},\"live_sessions\":{},\
          \"capacity\":{},\"quarantined\":{},\"resident\":{},\"hits\":{},\"misses\":{},\
          \"builds\":{},\"evictions\":{},\"quarantines\":{},\"rebuilds\":{},\
-         \"reloads\":{},\"reloads_incremental\":{}}},\
+         \"reloads\":{},\"reloads_incremental\":{},\"snapshot_hits\":{},\
+         \"snapshot_misses\":{},\"snapshot_writes\":{},\"snapshot_discarded_corrupt\":{}}},\
          \"server\":{{\"served\":{},\"errors\":{},\"panics\":{},\"recorded\":{},\
          \"recorder_capacity\":{}}}",
         esc(SERVE_STATS_SCHEMA),
@@ -876,6 +885,10 @@ pub fn stats_doc(s: &StatsSnapshot) -> String {
         s.status.rebuilds,
         s.pool_reloads,
         s.pool_reloads_incremental,
+        s.snapshot_hits,
+        s.snapshot_misses,
+        s.snapshot_writes,
+        s.snapshot_discarded_corrupt,
         s.status.served,
         s.status.errors,
         s.status.panics,
@@ -1189,6 +1202,10 @@ pub fn validate_stats_doc(v: &Json) -> Result<String, String> {
         "rebuilds",
         "reloads",
         "reloads_incremental",
+        "snapshot_hits",
+        "snapshot_misses",
+        "snapshot_writes",
+        "snapshot_discarded_corrupt",
     ] {
         need_u64(pool, key).map_err(|e| format!("pool: {e}"))?;
     }

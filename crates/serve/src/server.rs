@@ -465,6 +465,10 @@ impl Server {
             pool_quarantines: pool_stats.quarantines,
             pool_reloads: pool_stats.reloads,
             pool_reloads_incremental: pool_stats.reloads_incremental,
+            snapshot_hits: pool_stats.snapshot_hits,
+            snapshot_misses: pool_stats.snapshot_misses,
+            snapshot_writes: pool_stats.snapshot_writes,
+            snapshot_discarded_corrupt: pool_stats.snapshot_discarded_corrupt,
             recorded,
             recorder_capacity,
             tenants,
@@ -1034,6 +1038,9 @@ impl Server {
                 self.shutdown.load(Ordering::Relaxed) && !self.input_done.load(Ordering::Relaxed);
             self.begin_drain();
             self.wait_drained();
+            // Persist every live session so a restarted daemon
+            // warm-starts with all forced stages intact.
+            self.pool.lock().unwrap().persist_all();
             if let Some(ack) = self.shutdown_ack.lock().unwrap().take() {
                 self.write_ok(&ack.out, &shutdown_line(ack.id, ack.drained));
             }
@@ -1090,6 +1097,7 @@ impl Server {
             }
             self.begin_drain();
             self.wait_drained();
+            self.pool.lock().unwrap().persist_all();
             if let Some(ack) = self.shutdown_ack.lock().unwrap().take() {
                 self.write_ok(&ack.out, &shutdown_line(ack.id, ack.drained));
             }

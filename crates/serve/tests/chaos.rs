@@ -55,6 +55,75 @@ fn run_script(cfg: ServeConfig, script: &[String]) -> (Vec<String>, ServeSummary
     (lines, summary)
 }
 
+/// Feeds a script one line at a time, yielding line N+1 only once N
+/// responses are in the sink. Synchronous ops (load/reload/stats) are
+/// handled inline on the reader thread while slice queries run on
+/// workers, so an unpaced script can race a reload against a slice that
+/// is still checked out; lockstep pacing makes such scripts
+/// deterministic. Requires every request to produce exactly one
+/// response line.
+struct LockstepInput {
+    lines: Vec<Vec<u8>>,
+    next: usize,
+    sink: Sink,
+    pending: Vec<u8>,
+}
+
+impl std::io::Read for LockstepInput {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending.is_empty() {
+            if self.next >= self.lines.len() {
+                return Ok(0);
+            }
+            loop {
+                let answered = self
+                    .sink
+                    .0
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|b| **b == b'\n')
+                    .count();
+                if answered >= self.next {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            self.pending = self.lines[self.next].clone();
+            self.pending.push(b'\n');
+            self.next += 1;
+        }
+        let n = buf.len().min(self.pending.len());
+        buf[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+}
+
+/// [`run_script`], but each request waits for the previous response.
+fn run_script_lockstep(cfg: ServeConfig, script: &[String]) -> (Vec<String>, ServeSummary) {
+    let sink = Sink::default();
+    let out: thinslice_serve::SharedOut = Arc::new(Mutex::new(sink.clone()));
+    let server = Server::new(cfg);
+    let input = LockstepInput {
+        lines: script.iter().map(|l| l.clone().into_bytes()).collect(),
+        next: 0,
+        sink: sink.clone(),
+        pending: Vec::new(),
+    };
+    let summary = server.serve(std::io::BufReader::new(input), out);
+    let bytes = sink.0.lock().unwrap().clone();
+    let lines: Vec<String> = String::from_utf8(bytes)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    for line in &lines {
+        validate_response_line(line).unwrap_or_else(|e| panic!("invalid response {line:?}: {e}"));
+    }
+    (lines, summary)
+}
+
 /// Indexes responses by id (every scripted request carries a unique id).
 fn by_id(lines: &[String]) -> std::collections::BTreeMap<u64, String> {
     let mut map = std::collections::BTreeMap::new();
@@ -731,7 +800,8 @@ fn reload_serves_the_edited_program_under_the_original_key() {
         format!("{{\"op\":\"stats\",\"id\":3}}"),
         shutdown(99),
     ];
-    let (lines, _) = run_script(ServeConfig::default(), &script);
+    // Lockstep: the reload must not race the queued slice before it.
+    let (lines, _) = run_script_lockstep(ServeConfig::default(), &script);
     let r = by_id(&lines);
     assert_eq!(field(&r[&2], "program"), Json::Str(h1.clone()));
     assert_eq!(field(&r[&2], "content"), Json::Str(h2.clone()));
@@ -761,4 +831,154 @@ fn reload_serves_the_edited_program_under_the_original_key() {
         pool.get("reloads_incremental").and_then(Json::as_u64),
         Some(1)
     );
+}
+
+/// A fresh scratch directory for one test's snapshot store.
+fn snap_dir(test: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("ts_chaos_{test}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+fn snap_cfg(dir: &str) -> ServeConfig {
+    ServeConfig {
+        pool: PoolConfig {
+            snapshot_dir: Some(dir.to_string()),
+            ..PoolConfig::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn pool_counter(doc: &Json, key: &str) -> u64 {
+    doc.get("pool")
+        .and_then(|p| p.get(key))
+        .and_then(Json::as_u64)
+        .unwrap()
+}
+
+/// Snapshot chaos: a daemon pointed at truncated, bit-flipped, and
+/// version-skewed snapshot files stays up, rebuilds from sources, and
+/// answers bit-identically to a daemon with no snapshot directory.
+#[test]
+fn corrupt_snapshot_files_fall_back_to_clean_rebuilds() {
+    use thinslice::snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+    use thinslice::SnapshotStore;
+    use thinslice_serve::pool::program_hash;
+    use thinslice_serve::protocol::SourceFile;
+
+    let dir = snap_dir("corrupt");
+    let script = vec![
+        load(1, 1),
+        slice(2, 1, 4, ""),
+        slice(3, 1, 5, ""),
+        shutdown(9),
+    ];
+
+    // Seed the store with a genuine snapshot, then keep a pristine
+    // baseline from a snapshot-free daemon.
+    let (_, _) = run_script(snap_cfg(&dir), &script);
+    let (base_lines, _) = run_script(ServeConfig::default(), &script);
+    let base = by_id(&base_lines);
+
+    let h = program_hash(&[SourceFile {
+        name: "p1.mj".to_string(),
+        text: program(1),
+    }]);
+    let path = SnapshotStore::new(&dir).path(&h);
+    let pristine = std::fs::read(&path).expect("daemon persisted a snapshot");
+
+    // Three sabotage modes: truncation, a mid-file bit flip, and a
+    // well-formed file written under a future format version.
+    let mut flipped = pristine.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x08;
+    let mut skewed = thinslice_util::SnapshotWriter::new(SNAPSHOT_MAGIC, SNAPSHOT_VERSION + 1, &h);
+    skewed.section("config", vec![1, 2, 3]);
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("truncated", pristine[..pristine.len() / 3].to_vec()),
+        ("bit-flipped", flipped),
+        ("version-skewed", skewed.finish()),
+    ];
+    for (label, bytes) in cases {
+        std::fs::write(&path, &bytes).unwrap();
+        let (lines, summary) = run_script(snap_cfg(&dir), &script);
+        assert_eq!(summary.errors, 0, "{label}: corruption never errors");
+        let got = by_id(&lines);
+        for id in [1u64, 2, 3] {
+            assert_eq!(
+                got[&id], base[&id],
+                "{label}: response {id} ≡ snapshot-free daemon"
+            );
+        }
+    }
+
+    // The discard is visible in the stats document.
+    std::fs::write(&path, &pristine[..pristine.len() / 3]).unwrap();
+    let doc = stats_after(snap_cfg(&dir), &script[..script.len() - 1]);
+    assert_eq!(pool_counter(&doc, "snapshot_discarded_corrupt"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm start end to end: a restarted daemon restores the persisted
+/// session (counted as a snapshot hit), answers bit-identically, and a
+/// `reload` invalidates the now-stale on-disk snapshot.
+#[test]
+fn warm_started_daemon_matches_cold_and_reload_invalidates_the_snapshot() {
+    use thinslice::SnapshotStore;
+    use thinslice_serve::pool::program_hash;
+    use thinslice_serve::protocol::SourceFile;
+
+    let dir = snap_dir("warm");
+    let files = |n: u32| {
+        vec![SourceFile {
+            name: format!("p{n}.mj"),
+            text: program(n),
+        }]
+    };
+    let h1 = program_hash(&files(1));
+    let h2 = program_hash(&files(2));
+    let script = vec![load(1, 1), slice(2, 1, 4, ""), shutdown(9)];
+
+    // First daemon builds cold and persists on build + drain.
+    run_script(snap_cfg(&dir), &script);
+    let store = SnapshotStore::new(&dir);
+    assert!(store.path(&h1).exists());
+
+    // Restarted daemon warm-starts; responses ≡ a snapshot-free daemon.
+    let (warm_lines, _) = run_script(snap_cfg(&dir), &script);
+    let (cold_lines, _) = run_script(ServeConfig::default(), &script);
+    let (warm, cold) = (by_id(&warm_lines), by_id(&cold_lines));
+    assert_eq!(warm[&2], cold[&2], "warm slice ≡ cold slice, byte-equal");
+    // The load ack differs only in `resident`: the restored session
+    // carries the stages the previous run's queries forced, so its
+    // estimate is honestly larger than a cold build's.
+    for key in ["ok", "program", "cached"] {
+        assert_eq!(field(&warm[&1], key), field(&cold[&1], key), "load {key}");
+    }
+    assert!(
+        field(&warm[&1], "resident").as_u64() >= field(&cold[&1], "resident").as_u64(),
+        "restored session carries at least the cold session's stages"
+    );
+    let doc = stats_after(snap_cfg(&dir), &script[..script.len() - 1]);
+    assert_eq!(pool_counter(&doc, "snapshot_hits"), 1, "restored from disk");
+    assert_eq!(pool_counter(&doc, "snapshot_discarded_corrupt"), 0);
+
+    // A reload supersedes the on-disk snapshot for the old content and
+    // persists one for the new content under the preserved pool key.
+    let reload = format!(
+        "{{\"op\":\"reload\",\"id\":3,\"program\":\"{h1}\",\"sources\":{}}}",
+        src_json(2)
+    );
+    let script = vec![load(1, 1), slice(2, 1, 4, ""), reload, shutdown(9)];
+    run_script_lockstep(snap_cfg(&dir), &script);
+    assert!(
+        !store.path(&h1).exists(),
+        "reload invalidates the stale snapshot"
+    );
+    assert!(
+        store.path(&h2).exists(),
+        "and persists the edited program's snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

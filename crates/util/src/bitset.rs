@@ -195,6 +195,21 @@ impl<I: Idx> BitSet<I> {
         }
     }
 
+    /// The raw 64-bit words backing the set, for exact-fidelity
+    /// serialization. Word `w` holds elements `w*64 .. w*64+63`; trailing
+    /// zero words are preserved (they participate in `Eq`/`Hash`).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a set from raw words previously taken via [`Self::as_words`].
+    pub fn from_words(words: Vec<u64>) -> Self {
+        Self {
+            words,
+            _marker: PhantomData,
+        }
+    }
+
     /// Iterates over the elements in increasing index order.
     pub fn iter(&self) -> BitSetIter<'_, I> {
         BitSetIter {

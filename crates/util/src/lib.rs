@@ -8,6 +8,8 @@
 //! * [`new_index!`] — a macro declaring a typed index newtype,
 //! * [`IdxVec`] — a `Vec` indexed by such a newtype,
 //! * [`BitSet`] — a dense bitset used for points-to sets and slice sets,
+//! * [`codec`] — a hand-rolled binary codec (varints, section tables,
+//!   xxHash64 checksums) backing the persistent snapshot format,
 //! * [`Worklist`] — a FIFO worklist with membership dedup,
 //! * [`UnionFind`] — used for heap-partition merging,
 //! * [`FxHashMap`]/[`FxHashSet`] — fast non-DoS-resistant hashing for the
@@ -33,6 +35,7 @@
 //! ```
 
 mod bitset;
+pub mod codec;
 mod fx;
 pub mod govern;
 mod idxvec;
@@ -44,6 +47,7 @@ mod unionfind;
 mod worklist;
 
 pub use bitset::{BitSet, BitSetIter};
+pub use codec::{ByteReader, ByteWriter, CodecError, SnapshotReader, SnapshotWriter};
 pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use govern::{Budget, CancelToken, Completeness, ExhaustReason, Meter, Outcome};
 pub use idxvec::IdxVec;
